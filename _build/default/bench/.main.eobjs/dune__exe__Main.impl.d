@@ -1,0 +1,1 @@
+bench/main.ml: Array Bg_experiments List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Core Float Hashtbl List Measure Printf Staged Test Time Toolkit

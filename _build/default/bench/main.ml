@@ -1,0 +1,39 @@
+(* The reproduction harness: runs every claim experiment (E1-E14, DESIGN.md
+   section 5) and then the micro-benchmarks.
+
+   Usage:
+     bench/main.exe                run everything
+     bench/main.exe E7 E8          run selected experiments only
+     bench/main.exe --no-micro     skip the bechamel micro-benchmarks *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_micro = List.mem "--no-micro" args in
+  let selected =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  print_endline "Beyond Geometry (PODC 2014) — claim-reproduction harness";
+  print_endline
+    "Each experiment reproduces a numbered claim of the paper; see DESIGN.md section 5 and EXPERIMENTS.md.";
+  print_newline ();
+  let verdicts =
+    match selected with
+    | [] -> Bg_experiments.Registry.run_all ()
+    | ids ->
+        List.map
+          (fun id ->
+            match Bg_experiments.Registry.find id with
+            | Some e ->
+                Printf.printf "--- %s: %s ---\n%!" e.Bg_experiments.Registry.id
+                  e.Bg_experiments.Registry.claim;
+                (e.Bg_experiments.Registry.id, e.Bg_experiments.Registry.run ())
+            | None -> failwith ("unknown experiment id: " ^ id))
+          ids
+  in
+  print_endline "=== experiment verdicts ===";
+  List.iter
+    (fun (id, ok) -> Printf.printf "  %-4s %s\n" id (if ok then "PASS" else "FAIL"))
+    verdicts;
+  print_newline ();
+  if not no_micro then Micro.run ();
+  if List.exists (fun (_, ok) -> not ok) verdicts then exit 1

@@ -1,0 +1,287 @@
+(* bg — command-line front end for the Beyond Geometry library.
+
+   Subcommands:
+     bg analyze <file.csv>         full parameter report of a decay matrix
+     bg generate <kind> ...        emit a decay matrix (zoo / radio) as CSV
+     bg capacity <file.csv> ...    run a capacity algorithm on random links
+     bg experiment <id>            run one claim experiment (E1..E28)
+     bg protocols <file.csv>       run the distributed protocol suite
+     bg stats <file.csv>           measurement-style statistics
+     bg zoo                        list the built-in constructions *)
+
+open Cmdliner
+
+let space_of_file path = Core.Decay.Decay_io.load path
+
+(* ------------------------------------------------------------- analyze *)
+
+let gamma_at =
+  Arg.(
+    value
+    & opt (list float) []
+    & info [ "gamma-at" ] ~docv:"R,.."
+        ~doc:"Also evaluate the fading parameter gamma(r) at these separations.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Decay matrix CSV.")
+
+let analyze_cmd =
+  let run file gamma_at =
+    let space = space_of_file file in
+    let report = Core.Analysis.analyze ~gamma_at space in
+    Core.Prelude.Table.print (Core.Analysis.to_table report)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Compute every decay-space parameter of a matrix.")
+    Term.(const run $ file_arg $ gamma_at)
+
+(* ------------------------------------------------------------ generate *)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let nodes_arg =
+  Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("uniform", `Uniform); ("star", `Star); ("welzl", `Welzl);
+                  ("three-point", `Three_point); ("plane", `Plane);
+                  ("office", `Office); ("clutter", `Clutter) ]))
+          None
+      & info [] ~docv:"KIND"
+          ~doc:
+            "One of: uniform, star, welzl, three-point, plane, office, clutter.")
+  in
+  let alpha =
+    Arg.(value & opt float 3. & info [ "alpha" ] ~docv:"A" ~doc:"Path-loss exponent (plane).")
+  in
+  let q = Arg.(value & opt float 1e4 & info [ "q" ] ~docv:"Q" ~doc:"three-point q.") in
+  let run kind n seed alpha q =
+    let rng = Core.Prelude.Rng.create seed in
+    let space =
+      match kind with
+      | `Uniform -> Core.Decay.Spaces.uniform n
+      | `Star -> Core.Decay.Spaces.star ~k:(max 1 (n - 2)) ~r:2.
+      | `Welzl -> Core.Decay.Spaces.welzl ~n:(max 1 (n - 2)) ~eps:0.25
+      | `Three_point -> Core.Decay.Spaces.three_point ~q
+      | `Plane ->
+          Core.Decay.Decay_space.of_points ~alpha
+            (Core.Decay.Spaces.random_points rng ~n ~side:25.)
+      | `Office ->
+          let env =
+            Core.Radio.Environment.office ~rooms_x:3 ~rooms_y:3 ~room_size:6.
+              Core.Radio.Material.drywall
+          in
+          let pts = Core.Decay.Spaces.random_points rng ~n ~side:17. in
+          Core.Radio.Measure.decay_space ~seed env (Core.Radio.Node.of_points pts)
+      | `Clutter ->
+          let env =
+            Core.Radio.Environment.random_clutter rng ~side:25. ~n_walls:30
+              [ Core.Radio.Material.concrete; Core.Radio.Material.metal ]
+          in
+          let pts = Core.Decay.Spaces.random_points rng ~n ~side:24. in
+          Core.Radio.Measure.decay_space ~seed env (Core.Radio.Node.of_points pts)
+    in
+    print_string (Core.Decay.Decay_io.to_csv space)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Emit a decay matrix from the construction zoo or the radio simulator.")
+    Term.(const run $ kind $ nodes_arg $ seed_arg $ alpha $ q)
+
+(* ------------------------------------------------------------ capacity *)
+
+let capacity_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("alg1", Core.Solve.Alg1);
+               ("greedy", Core.Solve.Affectance_greedy);
+               ("strongest", Core.Solve.Strongest_first);
+               ("exact", Core.Solve.Exact) ])
+          Core.Solve.Alg1
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"alg1 | greedy | strongest | exact.")
+  in
+  let links =
+    Arg.(value & opt int 8 & info [ "links" ] ~docv:"K" ~doc:"Links to sample.")
+  in
+  let run file algo links seed =
+    let space = space_of_file file in
+    let zeta = Core.Decay.Metricity.zeta space in
+    let inst =
+      Core.Sinr.Instance.random_links_in_space ~zeta
+        (Core.Prelude.Rng.create seed) ~n_links:links
+        ~max_decay:(Core.Decay.Decay_space.max_decay space)
+        space
+    in
+    let chosen = Core.Solve.capacity ~algo inst in
+    Printf.printf "space: %s (n=%d, zeta=%.3f)\n"
+      (Core.Decay.Decay_space.name space)
+      (Core.Decay.Decay_space.n space)
+      zeta;
+    Printf.printf "algorithm: %s\n" (Core.Solve.capacity_algo_name algo);
+    Printf.printf "selected %d / %d links:\n" (List.length chosen) links;
+    List.iter
+      (fun l ->
+        Printf.printf "  link %d: %d -> %d (decay %.4g)\n" l.Core.Sinr.Link.id
+          l.Core.Sinr.Link.sender l.Core.Sinr.Link.receiver
+          (Core.Sinr.Link.self_decay space l))
+      chosen;
+    let feasible =
+      Core.Sinr.Feasibility.is_feasible inst (Core.Sinr.Power.uniform 1.) chosen
+    in
+    Printf.printf "feasible: %b\n" feasible
+  in
+  Cmd.v
+    (Cmd.info "capacity"
+       ~doc:"Sample links in a decay matrix and run a capacity algorithm.")
+    Term.(const run $ file_arg $ algo $ links $ seed_arg)
+
+(* ---------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id, E1 through E23 (or 'all').")
+  in
+  let run id =
+    if String.lowercase_ascii id = "all" then begin
+      let verdicts = Bg_experiments.Registry.run_all () in
+      List.iter
+        (fun (id, ok) ->
+          Printf.printf "  %-4s %s\n" id (if ok then "PASS" else "FAIL"))
+        verdicts;
+      if List.exists (fun (_, ok) -> not ok) verdicts then exit 1
+    end
+    else
+      match Bg_experiments.Registry.find id with
+      | Some e ->
+          Printf.printf "--- %s: %s ---\n%!" e.Bg_experiments.Registry.id
+            e.Bg_experiments.Registry.claim;
+          if not (e.Bg_experiments.Registry.run ()) then exit 1
+      | None ->
+          prerr_endline ("unknown experiment: " ^ id);
+          exit 2
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one of the paper-claim experiments.")
+    Term.(const run $ id)
+
+(* ---------------------------------------------------------------- stats *)
+
+let stats_cmd =
+  let run file =
+    let space = space_of_file file in
+    let s = Core.Decay.Statistics.summarize space in
+    let t =
+      Core.Prelude.Table.create
+        ~title:("decay statistics: " ^ Core.Decay.Decay_space.name space)
+        [ "statistic"; "value" ]
+    in
+    let open Core.Prelude.Table in
+    add_row t [ S "nodes"; I s.Core.Decay.Statistics.n ];
+    add_row t [ S "min decay (dB)"; F2 s.Core.Decay.Statistics.min_db ];
+    add_row t [ S "median decay (dB)"; F2 s.Core.Decay.Statistics.median_db ];
+    add_row t [ S "max decay (dB)"; F2 s.Core.Decay.Statistics.max_db ];
+    add_row t
+      [ S "dynamic range (dB)"; F2 s.Core.Decay.Statistics.dynamic_range_db ];
+    add_row t [ S "worst asymmetry (dB)"; F2 s.Core.Decay.Statistics.asymmetry_db ];
+    add_row t
+      [ S "zeta upper bound";
+        F2 (Core.Decay.Metricity.zeta_upper_bound space) ];
+    print t
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print measurement-style statistics of a decay matrix.")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------ protocols *)
+
+let protocols_cmd =
+  let radius_pct =
+    Arg.(
+      value & opt float 25.
+      & info [ "radius-percentile" ] ~docv:"P"
+          ~doc:"Neighbourhood radius as a percentile of the decays.")
+  in
+  let run file radius_pct seed =
+    let space = space_of_file file in
+    let decays =
+      Core.Decay.Statistics.decays_db space
+      |> Array.map (fun db -> 10. ** (db /. 10.))
+    in
+    let radius = Core.Prelude.Stats.percentile decays radius_pct in
+    let rng = Core.Prelude.Rng.create seed in
+    Printf.printf "space: %s (n=%d), neighbourhood radius: decay <= %.4g\n\n"
+      (Core.Decay.Decay_space.name space)
+      (Core.Decay.Decay_space.n space)
+      radius;
+    let t =
+      Core.Prelude.Table.create ~title:"distributed protocol suite"
+        [ "protocol"; "rounds"; "outcome" ]
+    in
+    let open Core.Prelude.Table in
+    let bc = Core.Distrib.Broadcast.run rng space ~source:0 ~radius in
+    add_row t
+      [ S "broadcast (from node 0)"; I bc.Core.Distrib.Broadcast.rounds;
+        S (Printf.sprintf "informed %d" bc.Core.Distrib.Broadcast.informed) ];
+    let lb = Core.Distrib.Local_broadcast.run rng space ~radius in
+    add_row t
+      [ S "local broadcast"; I lb.Core.Distrib.Local_broadcast.rounds;
+        S (Printf.sprintf "%d/%d pairs" lb.Core.Distrib.Local_broadcast.deliveries
+             lb.Core.Distrib.Local_broadcast.pairs) ];
+    let col = Core.Distrib.Coloring.run rng space ~radius in
+    add_row t
+      [ S "coloring"; I col.Core.Distrib.Coloring.rounds;
+        S (Printf.sprintf "%d colors, proper: %b" col.Core.Distrib.Coloring.palette
+             col.Core.Distrib.Coloring.proper) ];
+    let dom = Core.Distrib.Dominating_set.run rng space ~radius in
+    add_row t
+      [ S "dominating set"; I dom.Core.Distrib.Dominating_set.rounds;
+        S (Printf.sprintf "%d leaders, dominating: %b"
+             (List.length dom.Core.Distrib.Dominating_set.leaders)
+             dom.Core.Distrib.Dominating_set.dominating) ];
+    print t
+  in
+  Cmd.v
+    (Cmd.info "protocols"
+       ~doc:"Run the distributed protocol suite on a decay matrix.")
+    Term.(const run $ file_arg $ radius_pct $ seed_arg)
+
+(* ------------------------------------------------------------------ zoo *)
+
+let zoo_cmd =
+  let run () =
+    let t =
+      Core.Prelude.Table.create ~title:"construction zoo"
+        [ "kind"; "paper reference"; "property" ]
+    in
+    let open Core.Prelude.Table in
+    add_row t [ S "uniform"; S "Sec. 4.1"; S "independence dim 1, unbounded doubling" ];
+    add_row t [ S "star"; S "Sec. 3.4"; S "unbounded doubling, bounded fading value" ];
+    add_row t [ S "welzl"; S "Sec. 4.1"; S "doubling dim 1, unbounded independence" ];
+    add_row t [ S "three-point"; S "Sec. 4.2"; S "phi < 2 while zeta unbounded" ];
+    add_row t [ S "plane"; S "Sec. 2.2"; S "GEO-SINR: zeta = alpha" ];
+    add_row t [ S "office / clutter"; S "Sec. 1"; S "multi-wall radio simulation" ];
+    print t
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List the built-in decay-space constructions.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "bg" ~version:"1.0.0"
+       ~doc:"Decay-space wireless models (Beyond Geometry, PODC 2014).")
+    [ analyze_cmd; generate_cmd; capacity_cmd; experiment_cmd; stats_cmd;
+      protocols_cmd; zoo_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/hardness_gallery.ml: Core List Printf

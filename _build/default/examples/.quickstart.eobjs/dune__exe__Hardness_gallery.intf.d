@@ -1,0 +1,1 @@
+examples/hardness_gallery.mli:

@@ -1,0 +1,1 @@
+examples/indoor_factory.ml: Core List

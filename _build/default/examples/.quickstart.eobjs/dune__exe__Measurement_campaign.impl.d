@@ -1,0 +1,1 @@
+examples/measurement_campaign.ml: Array Core Filename List Printf

@@ -1,0 +1,1 @@
+examples/measurement_campaign.mli:

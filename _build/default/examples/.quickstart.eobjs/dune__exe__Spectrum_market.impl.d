@@ -1,0 +1,1 @@
+examples/spectrum_market.ml: Array Core Float List Option Printf

@@ -1,0 +1,1 @@
+examples/spectrum_market.mli:

@@ -1,0 +1,61 @@
+(* Indoor factory: what happens to capacity algorithms as the environment
+   hardens?
+
+   We fix one deployment of machines-with-radios on a factory floor and
+   sweep the amount of metal clutter.  For each environment we measure the
+   decay space, report its metricity, and compare three capacity
+   algorithms against the exact optimum — the practical version of the
+   paper's question "how does approximability degrade with zeta?".
+
+   Run with:  dune exec examples/indoor_factory.exe *)
+
+module D = Core.Decay.Decay_space
+module T = Core.Prelude.Table
+
+let () =
+  let side = 40. in
+  let rng = Core.Prelude.Rng.create 99 in
+  let points = Core.Decay.Spaces.random_points rng ~n:28 ~side:(side -. 2.) in
+  let nodes = Core.Radio.Node.of_points points in
+  let table =
+    T.create ~title:"factory floor: capacity vs clutter (14-link workload, OPT via B&B)"
+      [ "metal walls"; "zeta"; "dist-decay corr"; "OPT"; "Alg1"; "greedy";
+        "strongest"; "Alg1 ratio" ]
+  in
+  List.iter
+    (fun n_walls ->
+      let env =
+        if n_walls = 0 then Core.Radio.Environment.empty ~side
+        else
+          Core.Radio.Environment.random_clutter (Core.Prelude.Rng.create 5)
+            ~side ~n_walls
+            [ Core.Radio.Material.metal; Core.Radio.Material.concrete ]
+      in
+      let config =
+        { Core.Radio.Propagation.default with
+          Core.Radio.Propagation.shadowing_sigma_db = 5. }
+      in
+      let space = Core.Radio.Measure.decay_space ~seed:11 ~config env nodes in
+      let zeta = Core.Decay.Metricity.zeta space in
+      let corr = Core.Radio.Measure.distance_decay_correlation env nodes space in
+      (* The same 14 links in every environment: machines talk to fixed
+         controllers. *)
+      let inst =
+        Core.Sinr.Instance.random_links_in_space ~zeta
+          (Core.Prelude.Rng.create 13) ~n_links:14
+          ~max_decay:(D.max_decay space) space
+      in
+      let opt = List.length (Core.Capacity.Exact.capacity inst) in
+      let alg1 = List.length (Core.Capacity.Alg1.run inst) in
+      let greedy = List.length (Core.Capacity.Greedy.affectance_greedy inst) in
+      let strongest = List.length (Core.Capacity.Greedy.strongest_first inst) in
+      T.add_row table
+        [ T.I n_walls; T.F2 zeta; T.F2 corr; T.I opt; T.I alg1; T.I greedy;
+          T.I strongest; T.F2 (float_of_int opt /. float_of_int (max 1 alg1)) ])
+    [ 0; 10; 25; 50 ];
+  T.print table;
+  print_endline
+    "Reading: clutter decorrelates link quality from distance and raises zeta,";
+  print_endline
+    "yet the decay-space algorithms keep working — only their approximation";
+  print_endline "slack (OPT / Alg1) moves, as the paper's theory predicts."

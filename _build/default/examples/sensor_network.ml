@@ -1,0 +1,88 @@
+(* Sensor network: the distributed side of the paper (section 3).
+
+   A field of battery-powered sensors measured into a decay space runs
+   three fully distributed protocols on the simulated SINR channel:
+
+   - local broadcast (every node's message to its decay-ball neighbours),
+   - the no-regret transmit/sleep capacity game,
+   - tree aggregation to a sink.
+
+   We run the same protocols on an open field and inside a cluttered hall
+   and watch the round counts move with the fading parameter gamma.
+
+   Run with:  dune exec examples/sensor_network.exe *)
+
+module D = Core.Decay.Decay_space
+module T = Core.Prelude.Table
+
+let percentile_decay space p =
+  let n = D.n space in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then acc := D.decay space i j :: !acc
+    done
+  done;
+  Core.Prelude.Stats.percentile (Array.of_list !acc) p
+
+let run_site name space table =
+  let radius = percentile_decay space 25. in
+  let gamma = Core.Decay.Fading.gamma ~exact_limit:14 space ~r:radius in
+  let lb =
+    Core.Distrib.Local_broadcast.run ~max_rounds:6000
+      (Core.Prelude.Rng.create 21) space ~radius
+  in
+  let zeta = Core.Decay.Metricity.zeta space in
+  let inst =
+    Core.Sinr.Instance.random_links_in_space ~zeta (Core.Prelude.Rng.create 22)
+      ~n_links:8 ~max_decay:(D.max_decay space) space
+  in
+  let game = Core.Distrib.Regret.run ~rounds:600 (Core.Prelude.Rng.create 23) inst in
+  let agg =
+    Core.Distrib.Aggregation.run ~power:(2. *. D.max_decay space) ~beta:1.5
+      ~noise:1. space ~sink:0
+  in
+  T.add_row table
+    [ T.S name; T.F4 gamma; T.I lb.Core.Distrib.Local_broadcast.rounds;
+      T.S (string_of_bool lb.Core.Distrib.Local_broadcast.completed);
+      T.F2 game.Core.Distrib.Regret.avg_successes;
+      T.I agg.Core.Distrib.Aggregation.reached;
+      T.I agg.Core.Distrib.Aggregation.slots ]
+
+let () =
+  let rng = Core.Prelude.Rng.create 7 in
+  let points = Core.Decay.Spaces.random_points rng ~n:24 ~side:35. in
+  let nodes = Core.Radio.Node.of_points points in
+  let table =
+    T.create ~title:"sensor field: distributed protocols across environments"
+      [ "site"; "gamma(r)"; "LB rounds"; "LB done"; "game thpt";
+        "agg reach"; "agg slots" ]
+  in
+  (* Open field: plain log-distance decay. *)
+  let open_field =
+    Core.Radio.Measure.decay_space ~seed:31
+      ~config:{ Core.Radio.Propagation.default with
+                Core.Radio.Propagation.walls = false; shadowing_sigma_db = 2. }
+      (Core.Radio.Environment.empty ~side:36.)
+      nodes
+  in
+  run_site "open field" open_field table;
+  (* Cluttered hall: same sensors, heavy walls and shadowing. *)
+  let hall =
+    Core.Radio.Measure.decay_space ~seed:31
+      ~config:{ Core.Radio.Propagation.default with
+                Core.Radio.Propagation.shadowing_sigma_db = 7. }
+      (Core.Radio.Environment.random_clutter (Core.Prelude.Rng.create 32)
+         ~side:36. ~n_walls:30
+         [ Core.Radio.Material.concrete; Core.Radio.Material.brick ])
+      nodes
+  in
+  run_site "cluttered hall" hall table;
+  (* The adversarial star of section 3.4, as a stress test. *)
+  run_site "star k=20 (sec 3.4)" (Core.Decay.Spaces.star ~k:20 ~r:4.) table;
+  T.print table;
+  print_endline
+    "Reading: the protocols never look at coordinates — only at decays —";
+  print_endline
+    "so they run unchanged everywhere; their round counts track the fading";
+  print_endline "parameter, exactly the currency section 3 prices them in."

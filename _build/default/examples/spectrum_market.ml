@@ -1,0 +1,83 @@
+(* Spectrum market: sell one transmission round to competing links.
+
+   A venue (say, a conference hall with heavy partitions) is measured into
+   a decay space; exhibitors bid for the right to run their links in the
+   next slot.  The venue runs the truthful greedy auction from the decay-
+   space toolkit: winners are SINR-compatible, and each pays its critical
+   bid — so nobody can gain by shading.
+
+   Run with:  dune exec examples/spectrum_market.exe *)
+
+module D = Core.Decay.Decay_space
+module T = Core.Prelude.Table
+
+let () =
+  (* The venue. *)
+  let env =
+    Core.Radio.Environment.random_clutter (Core.Prelude.Rng.create 71)
+      ~side:30. ~n_walls:18
+      [ Core.Radio.Material.concrete; Core.Radio.Material.drywall ]
+  in
+  let pts = Core.Decay.Spaces.random_points (Core.Prelude.Rng.create 72) ~n:20 ~side:28. in
+  let space = Core.Radio.Measure.decay_space ~seed:7 env (Core.Radio.Node.of_points pts) in
+  let zeta = Core.Decay.Metricity.zeta space in
+  Printf.printf "venue decay space: n=20, zeta = %.2f\n\n" zeta;
+
+  (* Ten bidding links with private valuations. *)
+  let inst =
+    Core.Sinr.Instance.random_links_in_space ~zeta (Core.Prelude.Rng.create 73)
+      ~n_links:10 ~max_decay:(D.max_decay space) space
+  in
+  let g = Core.Prelude.Rng.create 74 in
+  let values =
+    Array.init (Array.length inst.Core.Sinr.Instance.links) (fun _ ->
+        Float.round ((2. +. Core.Prelude.Rng.float g 18.) *. 100.) /. 100.)
+  in
+
+  (* Truthful bidding (that is the point of the mechanism). *)
+  let o = Core.Capacity.Auction.run inst ~bids:values in
+  let t = T.create ~title:"auction outcome (truthful bids)"
+      [ "link"; "value"; "won"; "pays"; "surplus" ]
+  in
+  Array.iter
+    (fun l ->
+      let id = l.Core.Sinr.Link.id in
+      let won =
+        List.exists (fun w -> w.Core.Sinr.Link.id = id) o.Core.Capacity.Auction.winners
+      in
+      let pay =
+        Option.value ~default:0.
+          (List.assoc_opt id o.Core.Capacity.Auction.payments)
+      in
+      T.add_row t
+        [ T.I id; T.F2 values.(id); T.S (string_of_bool won); T.F2 pay;
+          T.F2 (if won then values.(id) -. pay else 0.) ])
+    inst.Core.Sinr.Instance.links;
+  T.print t;
+  Printf.printf "welfare: %.2f (revenue %.2f)\n" o.Core.Capacity.Auction.welfare
+    (List.fold_left (fun a (_, p) -> a +. p) 0. o.Core.Capacity.Auction.payments);
+
+  (* Compare against the exact welfare optimum. *)
+  let opt = Core.Capacity.Weighted.exact inst values in
+  Printf.printf "exact optimum welfare: %.2f (auction achieves %.0f%%)\n\n"
+    (Core.Capacity.Weighted.total values opt)
+    (100. *. o.Core.Capacity.Auction.welfare
+    /. Core.Capacity.Weighted.total values opt);
+
+  (* Demonstrate that shading a bid cannot help a winner. *)
+  (match o.Core.Capacity.Auction.winners with
+  | w :: _ ->
+      let id = w.Core.Sinr.Link.id in
+      let pay = List.assoc id o.Core.Capacity.Auction.payments in
+      let shaded = Array.copy values in
+      shaded.(id) <- pay /. 2.;
+      let o' = Core.Capacity.Auction.run inst ~bids:shaded in
+      let still_wins =
+        List.exists (fun l -> l.Core.Sinr.Link.id = id) o'.Core.Capacity.Auction.winners
+      in
+      Printf.printf
+        "link %d pays %.2f; bidding below that (%.2f) makes it lose: %b\n" id pay
+        (pay /. 2.) (not still_wins)
+  | [] -> ());
+  print_endline
+    "\nEverything above ran on measured decays — no coordinates were used."

@@ -1,0 +1,1 @@
+lib/capacity/alg1.ml: Array Bg_sinr List

@@ -1,0 +1,1 @@
+lib/capacity/alg1.mli: Bg_sinr

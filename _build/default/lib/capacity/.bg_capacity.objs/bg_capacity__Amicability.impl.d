@@ -1,0 +1,1 @@
+lib/capacity/amicability.ml: Array Bg_sinr Float List

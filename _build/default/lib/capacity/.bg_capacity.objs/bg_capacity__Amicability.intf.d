@@ -1,0 +1,1 @@
+lib/capacity/amicability.mli: Bg_sinr

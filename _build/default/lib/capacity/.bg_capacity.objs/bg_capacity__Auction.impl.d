@@ -1,0 +1,1 @@
+lib/capacity/auction.ml: Array Bg_sinr Float List

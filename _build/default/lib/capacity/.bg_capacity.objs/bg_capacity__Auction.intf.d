@@ -1,0 +1,1 @@
+lib/capacity/auction.mli: Bg_sinr

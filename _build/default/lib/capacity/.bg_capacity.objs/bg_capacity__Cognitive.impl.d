@@ -1,0 +1,1 @@
+lib/capacity/cognitive.ml: Bg_sinr List

@@ -1,0 +1,1 @@
+lib/capacity/cognitive.mli: Bg_sinr

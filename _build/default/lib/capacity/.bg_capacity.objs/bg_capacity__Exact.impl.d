@@ -1,0 +1,1 @@
+lib/capacity/exact.ml: Array Bg_sinr List

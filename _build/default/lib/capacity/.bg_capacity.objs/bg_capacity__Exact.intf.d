@@ -1,0 +1,1 @@
+lib/capacity/exact.mli: Bg_sinr

@@ -1,0 +1,1 @@
+lib/capacity/greedy.ml: Array Bg_prelude Bg_sinr List

@@ -1,0 +1,1 @@
+lib/capacity/greedy.mli: Bg_prelude Bg_sinr

@@ -1,0 +1,1 @@
+lib/capacity/online.ml: Bg_sinr Exact List

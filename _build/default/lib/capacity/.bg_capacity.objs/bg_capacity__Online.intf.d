@@ -1,0 +1,1 @@
+lib/capacity/online.mli: Bg_sinr

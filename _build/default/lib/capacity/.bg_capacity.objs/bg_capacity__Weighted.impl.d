@@ -1,0 +1,1 @@
+lib/capacity/weighted.ml: Array Bg_sinr Float Fun List

@@ -1,0 +1,1 @@
+lib/capacity/weighted.mli: Bg_sinr

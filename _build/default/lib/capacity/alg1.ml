@@ -1,0 +1,65 @@
+module I = Bg_sinr.Instance
+module A = Bg_sinr.Affectance
+module S = Bg_sinr.Separation
+
+let run_with_trace ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) =
+  let links = Array.to_list t.I.links in
+  let ordered =
+    List.sort (Bg_sinr.Link.compare_by_decay t.I.space) links
+  in
+  let eta = t.I.zeta /. 2. in
+  (* Indexed by link id, which need not be dense (sub-instances keep the
+     original ids). *)
+  let max_id =
+    Array.fold_left (fun m l -> max m l.Bg_sinr.Link.id) (-1) t.I.links
+  in
+  let verdicts = Array.make (max_id + 1) `Not_separated in
+  let x =
+    List.fold_left
+      (fun x lv ->
+        if not (S.is_separated_from t ~eta lv x) then begin
+          verdicts.(lv.Bg_sinr.Link.id) <- `Not_separated;
+          x
+        end
+        else if
+          A.out_affectance t power lv x +. A.in_affectance t power x lv > 0.5
+        then begin
+          verdicts.(lv.Bg_sinr.Link.id) <- `No_headroom;
+          x
+        end
+        else begin
+          verdicts.(lv.Bg_sinr.Link.id) <- `Accepted;
+          lv :: x
+        end)
+      [] ordered
+  in
+  let s = List.filter (fun lv -> A.in_affectance t power x lv <= 1.) x in
+  (List.rev s, verdicts)
+
+let run ?power t = fst (run_with_trace ?power t)
+
+let run_configured ?(power = Bg_sinr.Power.uniform 1.) ?eta ?(headroom = 0.5)
+    ?(final_filter = true) (t : I.t) =
+  let eta = match eta with Some e -> e | None -> t.I.zeta /. 2. in
+  let ordered =
+    List.sort (Bg_sinr.Link.compare_by_decay t.I.space)
+      (Array.to_list t.I.links)
+  in
+  let x =
+    List.fold_left
+      (fun x lv ->
+        let separated = eta <= 0. || S.is_separated_from t ~eta lv x in
+        let headroom_ok =
+          headroom = infinity
+          || A.out_affectance t power lv x +. A.in_affectance t power x lv
+             <= headroom
+        in
+        if separated && headroom_ok then lv :: x else x)
+      [] ordered
+  in
+  let s =
+    if final_filter then
+      List.filter (fun lv -> A.in_affectance t power x lv <= 1.) x
+    else x
+  in
+  List.rev s

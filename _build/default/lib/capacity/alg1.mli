@@ -1,0 +1,34 @@
+(** Algorithm 1 of the paper: CAPACITY with uniform power in bounded-growth
+    decay spaces (Theorem 5).
+
+    Processes links in non-decreasing decay order; admits a link when it is
+    [zeta/2]-separated from the accepted set and the mutual affectance
+    headroom [a_v(X) + a_X(v) <= 1/2] holds; finally keeps the accepted
+    links with [a_X(v) <= 1].  Theorem 5: this is a [zeta^{O(1)}]
+    approximation in bounded-growth spaces — on the plane [O(alpha^4)], the
+    first capacity bound sub-exponential in the path-loss exponent. *)
+
+val run : ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> Bg_sinr.Link.t list
+(** The selected feasible set.  [power] defaults to uniform 1; the
+    algorithm is specified for uniform power.  The returned set is
+    guaranteed feasible in the affectance sense (a final safety filter
+    drops any link whose in-affectance exceeds 1, which the analysis
+    already ensures). *)
+
+val run_with_trace :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t ->
+  Bg_sinr.Link.t list * [ `Accepted | `Not_separated | `No_headroom ] array
+(** The selection plus, for each link id, why it was (not) admitted —
+    used by the experiment drivers to report rejection profiles. *)
+
+val run_configured :
+  ?power:Bg_sinr.Power.t -> ?eta:float -> ?headroom:float ->
+  ?final_filter:bool -> Bg_sinr.Instance.t -> Bg_sinr.Link.t list
+(** Ablation surface: the same pass with each design choice exposed.
+    [eta] is the separation requirement (default [zeta/2]; [0.] disables
+    the separation test), [headroom] the bidirectional affectance budget
+    (default 1/2; [infinity] disables it), [final_filter] the closing
+    in-affectance <= 1 sweep (default on).  [run] is
+    [run_configured] with the paper's parameters.  NOTE: with choices
+    disabled the output may be SINR-infeasible — that is the point of the
+    ablation (experiment E28 measures how often). *)

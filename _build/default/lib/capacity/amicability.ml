@@ -1,0 +1,38 @@
+module I = Bg_sinr.Instance
+module A = Bg_sinr.Affectance
+
+type report = {
+  subset : Bg_sinr.Link.t list;
+  shrinkage : float;
+  max_out_affectance : float;
+  separated_classes : int;
+}
+
+let extract ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) ~feasible =
+  if feasible = [] then
+    { subset = []; shrinkage = 1.; max_out_affectance = 0.; separated_classes = 0 }
+  else begin
+    let classes =
+      Bg_sinr.Partition.sparsify t power ~eta:t.I.zeta feasible
+    in
+    let s_hat = Bg_sinr.Partition.largest classes in
+    (* Keep the low-out-affectance half: links whose total affectance onto
+       the rest of the class is at most 2 (at least half qualify, since the
+       average out-affectance of a feasible set is at most 1). *)
+    let s' =
+      List.filter (fun lv -> A.out_affectance t power lv s_hat <= 2.) s_hat
+    in
+    let max_out =
+      Array.fold_left
+        (fun acc lv -> Float.max acc (A.out_affectance t power lv s'))
+        0. t.I.links
+    in
+    {
+      subset = s';
+      shrinkage =
+        float_of_int (List.length feasible)
+        /. float_of_int (max 1 (List.length s'));
+      max_out_affectance = max_out;
+      separated_classes = List.length classes;
+    }
+  end

@@ -1,0 +1,79 @@
+module I = Bg_sinr.Instance
+module F = Bg_sinr.Feasibility
+
+type outcome = {
+  winners : Bg_sinr.Link.t list;
+  payments : (int * float) list;
+  welfare : float;
+}
+
+let bid_of bids (l : Bg_sinr.Link.t) =
+  if l.Bg_sinr.Link.id < 0 || l.Bg_sinr.Link.id >= Array.length bids then
+    invalid_arg "Auction: link id out of bid range";
+  let b = bids.(l.Bg_sinr.Link.id) in
+  if b < 0. then invalid_arg "Auction: bids must be non-negative";
+  b
+
+let greedy_allocation ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) ~bids =
+  let ordered =
+    List.sort
+      (fun a b ->
+        let c = Float.compare (bid_of bids b) (bid_of bids a) in
+        if c <> 0 then c else compare a.Bg_sinr.Link.id b.Bg_sinr.Link.id)
+      (Array.to_list t.I.links)
+  in
+  List.rev
+    (List.fold_left
+       (fun acc l ->
+         if bid_of bids l > 0. && F.is_feasible t power (l :: acc) then l :: acc
+         else acc)
+       [] ordered)
+
+let wins ?power t ~bids l =
+  List.exists
+    (fun w -> w.Bg_sinr.Link.id = l.Bg_sinr.Link.id)
+    (greedy_allocation ?power t ~bids)
+
+let critical_payment ?power (t : I.t) ~bids l =
+  (* The allocation changes only when l's bid crosses another bidder's bid
+     level: re-run at each candidate level (just above it via tie-break
+     order, which favours lower ids at equality, so equality itself is the
+     boundary we test). *)
+  let others =
+    Array.to_list t.I.links
+    |> List.filter_map (fun w ->
+           if w.Bg_sinr.Link.id = l.Bg_sinr.Link.id then None
+           else Some bids.(w.Bg_sinr.Link.id))
+  in
+  let levels = List.sort_uniq Float.compare (0. :: others) in
+  let try_level b =
+    let bids' = Array.copy bids in
+    bids'.(l.Bg_sinr.Link.id) <- b;
+    wins ?power t ~bids:bids' l
+  in
+  (* Find the smallest level at which l still wins; the payment is that
+     level (winning is monotone in own bid for greedy-by-bid rules).  We
+     nudge strictly above the level to sidestep tie-break asymmetry. *)
+  let eps = 1e-9 in
+  let rec scan = function
+    | [] -> bid_of bids l
+    | b :: rest -> if try_level (b +. eps) then b +. eps else scan rest
+  in
+  scan levels
+
+let run ?power (t : I.t) ~bids =
+  let winners = greedy_allocation ?power t ~bids in
+  let payments =
+    List.map
+      (fun l -> (l.Bg_sinr.Link.id, critical_payment ?power t ~bids l))
+      winners
+  in
+  let welfare = List.fold_left (fun acc l -> acc +. bid_of bids l) 0. winners in
+  { winners; payments; welfare }
+
+let is_winner_monotone ?power (t : I.t) ~bids l =
+  if not (wins ?power t ~bids l) then
+    invalid_arg "Auction.is_winner_monotone: link is not a winner";
+  let bids' = Array.copy bids in
+  bids'.(l.Bg_sinr.Link.id) <- (2. *. bids.(l.Bg_sinr.Link.id)) +. 1.;
+  wins ?power t ~bids:bids' l

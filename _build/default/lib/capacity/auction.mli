@@ -1,0 +1,34 @@
+(** Secondary spectrum auctions over decay spaces — the [38], [37] family
+    that Proposition 1 transfers.
+
+    Bidders are links; a bid is a willingness to pay for transmitting in
+    the allocated round.  The mechanism is the canonical monotone greedy:
+    process bids in descending order, allocate when the winner set stays
+    SINR-feasible, and charge every winner its critical bid (the infimum
+    bid at which it would still win, others fixed) — a deterministic
+    truthful mechanism by Myerson monotonicity.  Welfare approximability
+    again degrades with the metricity, which experiment E18 measures. *)
+
+type outcome = {
+  winners : Bg_sinr.Link.t list;
+  payments : (int * float) list;  (** (link id, critical payment) *)
+  welfare : float;  (** sum of winning bids *)
+}
+
+val greedy_allocation :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> bids:float array ->
+  Bg_sinr.Link.t list
+(** The allocation rule alone: descending-bid greedy with exact
+    feasibility checks (ties broken by link id, so the rule is
+    deterministic and monotone in each bid). *)
+
+val run :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> bids:float array -> outcome
+(** Allocation plus critical payments (computed by re-running the rule on
+    the other bidders' bid levels).  O(n^2) allocation re-runs. *)
+
+val is_winner_monotone :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> bids:float array ->
+  Bg_sinr.Link.t -> bool
+(** Spot check of Myerson monotonicity for one winner: raising its bid
+    (doubling) keeps it winning. *)

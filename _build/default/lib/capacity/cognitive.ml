@@ -1,0 +1,51 @@
+module I = Bg_sinr.Instance
+module F = Bg_sinr.Feasibility
+
+let admission_is_safe ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) ~primaries
+    ~admitted =
+  F.is_feasible t power (primaries @ admitted)
+
+let check_primaries ?(power = Bg_sinr.Power.uniform 1.) t primaries =
+  if not (F.is_feasible t power primaries) then
+    invalid_arg "Cognitive: primaries are not feasible by themselves"
+
+let greedy ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) ~primaries
+    ~secondaries =
+  check_primaries ~power t primaries;
+  let ordered =
+    List.sort (Bg_sinr.Link.compare_by_decay t.I.space) secondaries
+  in
+  List.rev
+    (List.fold_left
+       (fun acc l ->
+         if admission_is_safe ~power t ~primaries ~admitted:(l :: acc) then
+           l :: acc
+         else acc)
+       [] ordered)
+
+let exact ?(power = Bg_sinr.Power.uniform 1.) ?(limit = 30)
+    ?(node_budget = 5_000_000) (t : I.t) ~primaries ~secondaries =
+  check_primaries ~power t primaries;
+  if List.length secondaries > limit then
+    invalid_arg "Cognitive.exact: too many secondaries";
+  let budget = ref node_budget in
+  let best = ref [] in
+  let feasible admitted = admission_is_safe ~power t ~primaries ~admitted in
+  let rec go current size cands =
+    decr budget;
+    if !budget > 0 then begin
+      if size > List.length !best then best := current;
+      match cands with
+      | [] -> ()
+      | l :: rest ->
+          if size + List.length cands > List.length !best then begin
+            let with_l = l :: current in
+            let filtered = List.filter (fun w -> feasible (w :: with_l)) rest in
+            go with_l (size + 1) filtered;
+            go current size rest
+          end
+    end
+  in
+  let initial = List.filter (fun l -> feasible [ l ]) secondaries in
+  go [] 0 initial;
+  List.rev !best

@@ -1,0 +1,29 @@
+(** Cognitive-radio admission ([33]: "wireless capacity and admission
+    control in cognitive radio", from Proposition 1's transfer list).
+
+    Primary links hold licenses and must remain SINR-feasible no matter
+    what; secondary links may be admitted only if the combined set keeps
+    every primary *and* every admitted secondary feasible.  This is
+    CAPACITY with a protected base set — still downward closed in the
+    secondaries, so both a greedy rule and an exact solver apply. *)
+
+val greedy :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t ->
+  primaries:Bg_sinr.Link.t list -> secondaries:Bg_sinr.Link.t list ->
+  Bg_sinr.Link.t list
+(** Admit secondaries in non-decreasing decay order whenever primaries and
+    admitted secondaries all stay feasible.
+    @raise Invalid_argument if the primaries alone are infeasible. *)
+
+val exact :
+  ?power:Bg_sinr.Power.t -> ?limit:int -> ?node_budget:int ->
+  Bg_sinr.Instance.t -> primaries:Bg_sinr.Link.t list ->
+  secondaries:Bg_sinr.Link.t list -> Bg_sinr.Link.t list
+(** Maximum admissible secondary set (branch and bound over secondaries
+    with the primaries pinned). *)
+
+val admission_is_safe :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t ->
+  primaries:Bg_sinr.Link.t list -> admitted:Bg_sinr.Link.t list -> bool
+(** The defining predicate: primaries plus admitted secondaries all clear
+    the threshold. *)

@@ -1,0 +1,53 @@
+module I = Bg_sinr.Instance
+
+let exact_flag = ref true
+let was_exact () = !exact_flag
+
+(* Generic maximum downward-closed subset search.  [feasible] must be
+   monotone: subsets of feasible sets are feasible. *)
+let max_subset ~feasible ~node_budget links =
+  let budget = ref node_budget in
+  let best = ref [] in
+  exact_flag := true;
+  let rec go current current_size cands =
+    decr budget;
+    if !budget <= 0 then exact_flag := false
+    else begin
+      if current_size > List.length !best then best := current;
+      match cands with
+      | [] -> ()
+      | l :: rest ->
+          if current_size + List.length cands > List.length !best then begin
+            (* Include l (cands are pre-filtered: current @ [l] feasible),
+               then keep only candidates that survive alongside l. *)
+            let with_l = l :: current in
+            let filtered =
+              List.filter (fun w -> feasible (w :: with_l)) rest
+            in
+            go with_l (current_size + 1) filtered;
+            (* Exclude l. *)
+            go current current_size rest
+          end
+    end
+  in
+  let initial = List.filter (fun l -> feasible [ l ]) links in
+  go [] 0 initial;
+  !best
+
+let order_links (t : I.t) =
+  List.sort (Bg_sinr.Link.compare_by_decay t.I.space) (Array.to_list t.I.links)
+
+let capacity ?(power = Bg_sinr.Power.uniform 1.) ?(limit = 30)
+    ?(node_budget = 5_000_000) (t : I.t) =
+  if Array.length t.I.links > limit then
+    invalid_arg "Exact.capacity: instance exceeds size limit";
+  max_subset
+    ~feasible:(fun set -> Bg_sinr.Feasibility.is_feasible t power set)
+    ~node_budget (order_links t)
+
+let capacity_power_control ?(limit = 30) ?(node_budget = 5_000_000) (t : I.t) =
+  if Array.length t.I.links > limit then
+    invalid_arg "Exact.capacity_power_control: instance exceeds size limit";
+  max_subset
+    ~feasible:(fun set -> Bg_sinr.Power_control.is_feasible t set)
+    ~node_budget (order_links t)

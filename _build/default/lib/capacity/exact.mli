@@ -1,0 +1,26 @@
+(** Exact maximum feasible subset under a fixed power assignment.
+
+    Feasibility under fixed power is downward closed, so branch-and-bound
+    enumeration with candidate filtering is exact: a link that breaks
+    feasibility with the current prefix can never rejoin on that branch.
+    Exponential in the worst case — intended for the <= ~26-link instances
+    on which the experiments measure true approximation ratios. *)
+
+val capacity :
+  ?power:Bg_sinr.Power.t -> ?limit:int -> ?node_budget:int ->
+  Bg_sinr.Instance.t -> Bg_sinr.Link.t list
+(** A maximum-cardinality feasible subset.  [limit] (default 30) caps the
+    number of links; [node_budget] (default 5_000_000) caps search nodes —
+    on exhaustion the incumbent is returned and {!was_exact} reports
+    [false].
+    @raise Invalid_argument when the instance exceeds [limit]. *)
+
+val was_exact : unit -> bool
+(** Whether the most recent {!capacity} call completed its search within
+    the node budget (i.e. the result is certified optimal). *)
+
+val capacity_power_control :
+  ?limit:int -> ?node_budget:int -> Bg_sinr.Instance.t -> Bg_sinr.Link.t list
+(** Maximum subset feasible under *some* power assignment (spectral-radius
+    test; also downward closed).  Used to certify the "arbitrary power
+    control" clauses of Theorems 3 and 6. *)

@@ -1,0 +1,39 @@
+module I = Bg_sinr.Instance
+module A = Bg_sinr.Affectance
+module F = Bg_sinr.Feasibility
+
+let affectance_greedy ?(power = Bg_sinr.Power.uniform 1.) ?(threshold = 0.5)
+    (t : I.t) =
+  let ordered =
+    List.sort (Bg_sinr.Link.compare_by_decay t.I.space)
+      (Array.to_list t.I.links)
+  in
+  let x =
+    List.fold_left
+      (fun x lv ->
+        if
+          A.out_affectance t power lv x +. A.in_affectance t power x lv
+          <= threshold
+        then lv :: x
+        else x)
+      [] ordered
+  in
+  List.rev (List.filter (fun lv -> A.in_affectance t power x lv <= 1.) x)
+
+let admit_in_order power t ordered =
+  let x =
+    List.fold_left
+      (fun x lv -> if F.is_feasible t power (lv :: x) then lv :: x else x)
+      [] ordered
+  in
+  List.rev x
+
+let strongest_first ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) =
+  admit_in_order power t
+    (List.sort (Bg_sinr.Link.compare_by_decay t.I.space)
+       (Array.to_list t.I.links))
+
+let random_order ?(power = Bg_sinr.Power.uniform 1.) rng (t : I.t) =
+  let arr = Array.copy t.I.links in
+  Bg_prelude.Rng.shuffle rng arr;
+  admit_in_order power t (Array.to_list arr)

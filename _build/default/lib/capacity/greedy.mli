@@ -1,0 +1,29 @@
+(** Greedy capacity algorithms that work in arbitrary decay spaces.
+
+    [affectance_greedy] is the general-metric algorithm family of
+    Halldórsson–Mitra [30] transplanted per Proposition 1: process links in
+    non-decreasing decay order and admit on an affectance-headroom test.
+    Its approximation guarantee in decay spaces is exponential in the
+    metricity (3^zeta after [24]'s refinement) — the foil against which
+    Algorithm 1's polynomial-in-zeta behaviour is measured.
+
+    [strongest_first] is the naive baseline: sort by decay and admit
+    whenever the set stays SINR-feasible. *)
+
+val affectance_greedy :
+  ?power:Bg_sinr.Power.t -> ?threshold:float -> Bg_sinr.Instance.t ->
+  Bg_sinr.Link.t list
+(** Admit [l_v] when [a_v(X) + a_X(v) <= threshold] (default 1/2), then
+    keep links with in-affectance at most 1.  Works with any monotone
+    power assignment (default uniform 1). *)
+
+val strongest_first :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> Bg_sinr.Link.t list
+(** Admit in non-decreasing decay order whenever the accepted set remains
+    feasible (exact SINR check).  Always returns a feasible set; no
+    approximation guarantee. *)
+
+val random_order :
+  ?power:Bg_sinr.Power.t -> Bg_prelude.Rng.t -> Bg_sinr.Instance.t ->
+  Bg_sinr.Link.t list
+(** Control baseline: like {!strongest_first} but in a random order. *)

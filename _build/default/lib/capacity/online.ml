@@ -1,0 +1,30 @@
+module I = Bg_sinr.Instance
+module F = Bg_sinr.Feasibility
+module A = Bg_sinr.Affectance
+module S = Bg_sinr.Separation
+
+let feasibility_only ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) ~arrival =
+  List.rev
+    (List.fold_left
+       (fun acc l -> if F.is_feasible t power (l :: acc) then l :: acc else acc)
+       [] arrival)
+
+let guarded ?(power = Bg_sinr.Power.uniform 1.) ?eta ?(headroom = 0.5)
+    (t : I.t) ~arrival =
+  let eta = match eta with Some e -> e | None -> t.I.zeta /. 2. in
+  List.rev
+    (List.fold_left
+       (fun acc l ->
+         let ok =
+           S.is_separated_from t ~eta l acc
+           && List.for_all (fun w -> S.is_separated_from t ~eta w [ l ]) acc
+           && A.out_affectance t power l acc +. A.in_affectance t power acc l
+              <= headroom
+           && F.is_feasible t power (l :: acc)
+         in
+         if ok then l :: acc else acc)
+       [] arrival)
+
+let competitive_ratio ?power (t : I.t) ~accepted =
+  let opt = List.length (Exact.capacity ?power t) in
+  float_of_int opt /. float_of_int (max 1 (List.length accepted))

@@ -1,0 +1,29 @@
+(** Online capacity maximization (Fanghänel–Geulen–Hoefer–Vöcking [15],
+    from the paper's §3.3 transfer list): links arrive one at a time and
+    must be irrevocably accepted or rejected; the accepted set must stay
+    feasible at all times.
+
+    Two admission rules:
+    - [feasibility_only]: accept iff the set stays SINR-feasible — greedy,
+      no guarantee (an early weak link can block everything after it);
+    - [guarded]: accept iff the set stays feasible *and* the newcomer is
+      [eta]-separated from the accepted set with affectance headroom
+      [headroom] — the separation-based rule whose competitive analysis
+      the annulus argument powers; robust to adversarial orders. *)
+
+val feasibility_only :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> arrival:Bg_sinr.Link.t list ->
+  Bg_sinr.Link.t list
+(** Process [arrival] in order; returns the accepted set (arrival order). *)
+
+val guarded :
+  ?power:Bg_sinr.Power.t -> ?eta:float -> ?headroom:float ->
+  Bg_sinr.Instance.t -> arrival:Bg_sinr.Link.t list -> Bg_sinr.Link.t list
+(** Separation-guarded admission.  [eta] defaults to [zeta/2], [headroom]
+    to 1/2 (mirroring Algorithm 1's offline test). *)
+
+val competitive_ratio :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t ->
+  accepted:Bg_sinr.Link.t list -> float
+(** [|OPT| / |accepted|] against the offline exact optimum of the whole
+    instance (small instances only — runs the branch-and-bound solver). *)

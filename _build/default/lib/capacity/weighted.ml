@@ -1,0 +1,79 @@
+module I = Bg_sinr.Instance
+module A = Bg_sinr.Affectance
+module F = Bg_sinr.Feasibility
+
+type weights = float array
+
+let weight_of weights (l : Bg_sinr.Link.t) =
+  if l.Bg_sinr.Link.id < 0 || l.Bg_sinr.Link.id >= Array.length weights then
+    invalid_arg "Weighted: link id out of weight range";
+  let w = weights.(l.Bg_sinr.Link.id) in
+  if w <= 0. then invalid_arg "Weighted: weights must be positive";
+  w
+
+let total weights set =
+  List.fold_left (fun acc l -> acc +. weight_of weights l) 0. set
+
+let greedy ?(power = Bg_sinr.Power.uniform 1.) ?(threshold = 0.5) (t : I.t)
+    weights =
+  let ordered =
+    List.sort
+      (fun a b -> Float.compare (weight_of weights b) (weight_of weights a))
+      (Array.to_list t.I.links)
+  in
+  let x =
+    List.fold_left
+      (fun x lv ->
+        if
+          A.out_affectance t power lv x +. A.in_affectance t power x lv
+          <= threshold
+        then lv :: x
+        else x)
+      [] ordered
+  in
+  List.rev (List.filter (fun lv -> A.in_affectance t power x lv <= 1.) x)
+
+let exact ?(power = Bg_sinr.Power.uniform 1.) ?(limit = 30)
+    ?(node_budget = 5_000_000) (t : I.t) weights =
+  if Array.length t.I.links > limit then
+    invalid_arg "Weighted.exact: instance exceeds size limit";
+  let ordered =
+    List.sort
+      (fun a b -> Float.compare (weight_of weights b) (weight_of weights a))
+      (Array.to_list t.I.links)
+  in
+  let feasible set = F.is_feasible t power set in
+  let candidates = List.filter (fun l -> feasible [ l ]) ordered in
+  let arr = Array.of_list candidates in
+  let k = Array.length arr in
+  let suffix = Array.make (k + 1) 0. in
+  for i = k - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) +. weight_of weights arr.(i)
+  done;
+  let budget = ref node_budget in
+  let best = ref [] and best_w = ref 0. in
+  (* cands is a list of candidate indices (into arr), in order. *)
+  let rec go current current_w cands =
+    decr budget;
+    if !budget > 0 then begin
+      if current_w > !best_w then begin
+        best_w := current_w;
+        best := current
+      end;
+      match cands with
+      | [] -> ()
+      | i :: rest ->
+          if current_w +. suffix.(i) > !best_w then begin
+            let l = arr.(i) in
+            let with_l = l :: current in
+            let filtered =
+              List.filter (fun j -> feasible (arr.(j) :: with_l)) rest
+            in
+            go with_l (current_w +. weight_of weights l) filtered;
+            go current current_w rest
+          end
+    end
+  in
+  let initial = List.init k Fun.id in
+  go [] 0. initial;
+  List.rev !best

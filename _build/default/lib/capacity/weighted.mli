@@ -1,0 +1,26 @@
+(** Weighted CAPACITY — maximize total weight (utility, rate, bid) of a
+    feasible subset.  The weighted problem underlies the spectrum-auction
+    and cognitive-radio applications ([38], [33]) that Proposition 1
+    transfers to decay spaces; approximability again degrades with the
+    metricity through the same affectance machinery. *)
+
+type weights = float array
+(** Indexed by link id; all weights must be positive. *)
+
+val greedy :
+  ?power:Bg_sinr.Power.t -> ?threshold:float -> Bg_sinr.Instance.t ->
+  weights -> Bg_sinr.Link.t list
+(** Weight-density greedy: process links in non-increasing weight order,
+    admit on the usual bidirectional affectance-headroom test (default
+    threshold 1/2), final in-affectance filter.  Output is feasible in the
+    affectance sense. *)
+
+val exact :
+  ?power:Bg_sinr.Power.t -> ?limit:int -> ?node_budget:int ->
+  Bg_sinr.Instance.t -> weights -> Bg_sinr.Link.t list
+(** Maximum-weight feasible subset by branch and bound (suffix-weight-sum
+    pruning; feasibility downward closure).  Small instances only.
+    @raise Invalid_argument beyond [limit] links (default 30). *)
+
+val total : weights -> Bg_sinr.Link.t list -> float
+(** Sum of the weights of a link set. *)

@@ -1,0 +1,1 @@
+lib/core/core.ml: Analysis Bg_capacity Bg_decay Bg_distrib Bg_geom Bg_graph Bg_prelude Bg_radio Bg_sched Bg_sinr Solve

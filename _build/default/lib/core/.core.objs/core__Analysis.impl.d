@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Bg_decay Bg_prelude Format List Printf

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Bg_decay Bg_prelude Format

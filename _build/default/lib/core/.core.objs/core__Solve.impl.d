@@ -1,0 +1,1 @@
+lib/core/solve.ml: Bg_capacity Bg_sched

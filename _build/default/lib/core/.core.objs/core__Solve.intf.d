@@ -1,0 +1,1 @@
+lib/core/solve.mli: Bg_sched Bg_sinr

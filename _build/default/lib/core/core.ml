@@ -1,0 +1,17 @@
+(** Beyond Geometry: decay-space wireless models (PODC 2014) — public API.
+
+    The umbrella module: every substrate under a stable name, plus the
+    {!Analysis} report and {!Solve} entry points.  Downstream code should
+    depend on this library and open nothing. *)
+
+module Prelude = Bg_prelude
+module Geom = Bg_geom
+module Graph = Bg_graph
+module Decay = Bg_decay
+module Radio = Bg_radio
+module Sinr = Bg_sinr
+module Capacity = Bg_capacity
+module Sched = Bg_sched
+module Distrib = Bg_distrib
+module Analysis = Analysis
+module Solve = Solve

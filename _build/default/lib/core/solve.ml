@@ -1,0 +1,20 @@
+type capacity_algo = Alg1 | Affectance_greedy | Strongest_first | Exact
+
+let capacity ?(algo = Alg1) ?power t =
+  match algo with
+  | Alg1 -> Bg_capacity.Alg1.run ?power t
+  | Affectance_greedy -> Bg_capacity.Greedy.affectance_greedy ?power t
+  | Strongest_first -> Bg_capacity.Greedy.strongest_first ?power t
+  | Exact -> Bg_capacity.Exact.capacity ?power t
+
+let capacity_algo_name = function
+  | Alg1 -> "alg1"
+  | Affectance_greedy -> "affectance-greedy"
+  | Strongest_first -> "strongest-first"
+  | Exact -> "exact"
+
+let schedule ?(via = `First_fit) t =
+  match via with
+  | `First_fit -> Bg_sched.Scheduler.first_fit t
+  | `Capacity algo ->
+      Bg_sched.Scheduler.via_capacity ~algorithm:(fun t -> capacity ~algo t) t

@@ -1,0 +1,21 @@
+(** High-level solver entry points: pick a capacity algorithm or a
+    scheduler by name.  Wraps the algorithm libraries for the examples and
+    the CLI. *)
+
+type capacity_algo =
+  | Alg1  (** the paper's Algorithm 1 (Theorem 5) *)
+  | Affectance_greedy  (** general-metric greedy ([30] family) *)
+  | Strongest_first  (** naive SINR-checked greedy *)
+  | Exact  (** branch-and-bound optimum (small instances only) *)
+
+val capacity :
+  ?algo:capacity_algo -> ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t ->
+  Bg_sinr.Link.t list
+(** Run the chosen capacity algorithm (default [Alg1]). *)
+
+val capacity_algo_name : capacity_algo -> string
+
+val schedule :
+  ?via:[ `First_fit | `Capacity of capacity_algo ] -> Bg_sinr.Instance.t ->
+  Bg_sched.Scheduler.schedule
+(** Schedule all links into feasible slots (default [`First_fit]). *)

@@ -1,0 +1,1 @@
+lib/decay/ball.ml: Array Bg_graph Decay_space List

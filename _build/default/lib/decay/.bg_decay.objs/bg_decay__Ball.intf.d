@@ -1,0 +1,1 @@
+lib/decay/ball.mli: Decay_space

@@ -1,0 +1,1 @@
+lib/decay/decay_io.ml: Array Buffer Decay_space Filename Fun List Printf String

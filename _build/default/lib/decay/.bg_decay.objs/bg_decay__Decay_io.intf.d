@@ -1,0 +1,1 @@
+lib/decay/decay_io.mli: Decay_space

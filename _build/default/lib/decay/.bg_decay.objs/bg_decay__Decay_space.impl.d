@@ -1,0 +1,1 @@
+lib/decay/decay_space.ml: Array Bg_geom Bg_prelude Float Format

@@ -1,0 +1,1 @@
+lib/decay/decay_space.mli: Bg_geom Format

@@ -1,0 +1,1 @@
+lib/decay/dimension.ml: Array Ball Bg_geom Bg_graph Bg_prelude Decay_space Float Fun Hashtbl List Quasi_metric

@@ -1,0 +1,1 @@
+lib/decay/dimension.mli: Decay_space

@@ -1,0 +1,1 @@
+lib/decay/fading.ml: Array Bg_prelude Decay_space Float Fun List

@@ -1,0 +1,1 @@
+lib/decay/fading.mli: Decay_space

@@ -1,0 +1,1 @@
+lib/decay/metricity.ml: Array Bg_prelude Decay_space Float Fun

@@ -1,0 +1,1 @@
+lib/decay/metricity.mli: Bg_prelude Decay_space

@@ -1,0 +1,1 @@
+lib/decay/quasi_metric.ml: Array Bg_geom Decay_space Metricity

@@ -1,0 +1,1 @@
+lib/decay/quasi_metric.mli: Bg_geom Decay_space

@@ -1,0 +1,1 @@
+lib/decay/spaces.ml: Bg_geom Bg_graph Bg_prelude Decay_space Float Fun List

@@ -1,0 +1,1 @@
+lib/decay/spaces.mli: Bg_geom Bg_graph Bg_prelude Decay_space

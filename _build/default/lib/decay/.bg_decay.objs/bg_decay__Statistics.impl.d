@@ -1,0 +1,1 @@
+lib/decay/statistics.ml: Array Bg_geom Bg_prelude Decay_space Float

@@ -1,0 +1,1 @@
+lib/decay/statistics.mli: Bg_geom Bg_prelude Decay_space

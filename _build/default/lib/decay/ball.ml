@@ -1,0 +1,41 @@
+let members d ~centre ~radius =
+  let acc = ref [] in
+  for x = Decay_space.n d - 1 downto 0 do
+    if x = centre || Decay_space.decay d x centre < radius then acc := x :: !acc
+  done;
+  !acc
+
+let separated d ~radius x y =
+  Decay_space.decay d x y > 2. *. radius
+  && Decay_space.decay d y x > 2. *. radius
+
+let is_packing d ~radius nodes =
+  let rec pairs = function
+    | [] -> true
+    | x :: rest -> List.for_all (separated d ~radius x) rest && pairs rest
+  in
+  pairs nodes
+
+let conflict_graph d ~radius nodes =
+  let arr = Array.of_list nodes in
+  let k = Array.length arr in
+  let g = Bg_graph.Graph.create k in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if not (separated d ~radius arr.(i) arr.(j)) then
+        Bg_graph.Graph.add_edge g i j
+    done
+  done;
+  (g, arr)
+
+let max_packing ?(exact_limit = 30) d ~within ~radius =
+  let g, arr = conflict_graph d ~radius within in
+  let chosen =
+    if Array.length arr <= exact_limit then Bg_graph.Mis.exact g
+    else Bg_graph.Mis.greedy g
+  in
+  List.map (fun i -> arr.(i)) chosen
+
+let packing_number ?exact_limit d ~centre ~ball_radius ~packing_radius =
+  let body = members d ~centre ~radius:ball_radius in
+  List.length (max_packing ?exact_limit d ~within:body ~radius:packing_radius)

@@ -1,0 +1,60 @@
+let to_csv d =
+  let n = Decay_space.n d in
+  let buf = Buffer.create (n * n * 8) in
+  Buffer.add_string buf ("# name: " ^ Decay_space.name d ^ "\n");
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.17g" (Decay_space.decay d i j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_csv ?(name = "csv") text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref name in
+  let rows =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then None
+        else if String.length line > 0 && line.[0] = '#' then begin
+          let prefix = "# name:" in
+          if String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+          then
+            name :=
+              String.trim
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix));
+          None
+        end
+        else
+          Some
+            (String.split_on_char ',' line
+            |> List.map (fun cell ->
+                   match float_of_string_opt (String.trim cell) with
+                   | Some v -> v
+                   | None ->
+                       invalid_arg
+                         ("Decay_io.of_csv: not a number: " ^ String.trim cell))))
+      lines
+  in
+  let matrix = Array.of_list (List.map Array.of_list rows) in
+  Decay_space.of_matrix ~name:!name matrix
+
+let save d path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv d))
+
+let load path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_csv ~name:(Filename.basename path) text

@@ -1,0 +1,21 @@
+(** Loading and saving decay matrices.
+
+    The on-disk format is plain CSV: row [i] holds the decays from node [i]
+    to every node (diagonal entries must be 0).  Lines starting with [#]
+    are comments; the optional header comment carries the space's name.
+    This is the interchange point with real measurement campaigns: dump
+    RSSI-derived decays from any tool and analyze them with [bg analyze]. *)
+
+val to_csv : Decay_space.t -> string
+(** Render as CSV with a [# name: ...] header comment. *)
+
+val of_csv : ?name:string -> string -> Decay_space.t
+(** Parse CSV text (comments and blank lines ignored; a [# name:] header
+    overrides [name]).
+    @raise Invalid_argument on malformed input or an invalid matrix. *)
+
+val save : Decay_space.t -> string -> unit
+(** Write to a file path. *)
+
+val load : string -> Decay_space.t
+(** Read from a file path; the name defaults to the basename. *)

@@ -1,0 +1,103 @@
+type t = { n : int; f : float array array; name : string }
+
+let validate name f =
+  let n = Array.length f in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg (name ^ ": decay matrix is not square"))
+    f;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v = f.(i).(j) in
+      if not (Float.is_finite v) then
+        invalid_arg (name ^ ": non-finite decay");
+      if i = j && v <> 0. then invalid_arg (name ^ ": nonzero diagonal decay");
+      if i <> j && v <= 0. then
+        invalid_arg (name ^ ": nonpositive decay between distinct nodes")
+    done
+  done
+
+let of_matrix ?(name = "decay") m =
+  validate name m;
+  { n = Array.length m; f = Array.map Array.copy m; name }
+
+let of_fn ?(name = "decay") n fn =
+  let f =
+    Array.init n (fun i -> Array.init n (fun j -> if i = j then 0. else fn i j))
+  in
+  validate name f;
+  { n; f; name }
+
+let of_metric ?(name = "geo") ~alpha (m : Bg_geom.Metric.t) =
+  if alpha <= 0. then invalid_arg "Decay_space.of_metric: alpha must be positive";
+  of_fn ~name m.Bg_geom.Metric.n (fun i j -> m.Bg_geom.Metric.d.(i).(j) ** alpha)
+
+let of_points ?(name = "plane") ~alpha points =
+  of_metric ~name ~alpha (Bg_geom.Metric.of_points points)
+
+let n d = d.n
+let name d = d.name
+let rename name d = { d with name }
+
+let decay d p q =
+  if p < 0 || p >= d.n || q < 0 || q >= d.n then
+    invalid_arg "Decay_space.decay: node out of range";
+  d.f.(p).(q)
+
+let gain d p q =
+  let f = decay d p q in
+  if f = 0. then infinity else 1. /. f
+
+let matrix d = Array.map Array.copy d.f
+
+let is_symmetric ?(eps = 1e-9) d =
+  let ok = ref true in
+  for i = 0 to d.n - 1 do
+    for j = i + 1 to d.n - 1 do
+      if not (Bg_prelude.Numerics.feq ~eps d.f.(i).(j) d.f.(j).(i)) then
+        ok := false
+    done
+  done;
+  !ok
+
+let off_diagonal_fold op init d =
+  if d.n < 2 then invalid_arg "Decay_space: need at least two nodes";
+  let acc = ref init in
+  for i = 0 to d.n - 1 do
+    for j = 0 to d.n - 1 do
+      if i <> j then acc := op !acc d.f.(i).(j)
+    done
+  done;
+  !acc
+
+let min_decay d = off_diagonal_fold Float.min infinity d
+let max_decay d = off_diagonal_fold Float.max 0. d
+
+let scale k d =
+  if k <= 0. then invalid_arg "Decay_space.scale: factor must be positive";
+  { d with f = Array.map (Array.map (fun x -> k *. x)) d.f }
+
+let pow e d =
+  if e <= 0. then invalid_arg "Decay_space.pow: exponent must be positive";
+  { d with f = Array.map (Array.map (fun x -> if x = 0. then 0. else x ** e)) d.f }
+
+let symmetrize d =
+  of_fn ~name:(d.name ^ "/sym") d.n (fun i j -> Float.max d.f.(i).(j) d.f.(j).(i))
+
+let sub_space d idx =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= d.n then invalid_arg "Decay_space.sub_space: index range")
+    idx;
+  of_fn ~name:(d.name ^ "/sub") (Array.length idx) (fun i j ->
+      d.f.(idx.(i)).(idx.(j)))
+
+let map fn d =
+  of_fn ~name:d.name d.n (fun i j -> fn i j d.f.(i).(j))
+
+let pp fmt d =
+  if d.n < 2 then Format.fprintf fmt "%s: %d node(s)" d.name d.n
+  else
+    Format.fprintf fmt "%s: %d nodes, decays in [%g, %g]" d.name d.n
+      (min_decay d) (max_decay d)

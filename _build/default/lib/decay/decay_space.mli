@@ -1,0 +1,81 @@
+(** Decay spaces — Definition 2.1 of the paper.
+
+    A decay space is a pair [D = (V, f)] where [V] is a finite set of nodes
+    and [f : V x V -> R>=0] assigns a positive decay to every ordered pair
+    of distinct nodes ([f(p,p) = 0] by convention; the paper notes the
+    diagonal is immaterial).  The channel gain from [p] to [q] is
+    [G(p,q) = 1 / f(p,q)]: larger decay, weaker signal.  Decay spaces need
+    not be symmetric and need not obey the triangle inequality — they are
+    premetrics, and the whole point of the paper is to parameterize how far
+    from a metric they are. *)
+
+type t
+(** An immutable decay space. *)
+
+val of_matrix : ?name:string -> float array array -> t
+(** Wrap a square matrix of decays.  Validates: square shape, zero diagonal,
+    strictly positive off-diagonal entries, all finite.
+    @raise Invalid_argument on any violation. *)
+
+val of_fn : ?name:string -> int -> (int -> int -> float) -> t
+(** [of_fn n f] tabulates [f] over all ordered pairs ([f i i] is ignored and
+    stored as [0]). *)
+
+val of_metric : ?name:string -> alpha:float -> Bg_geom.Metric.t -> t
+(** Geometric path loss over a metric: [f(p,q) = d(p,q)^alpha].  This embeds
+    the classical GEO-SINR model as the special case in which the metricity
+    [zeta] equals the path-loss exponent [alpha]. *)
+
+val of_points : ?name:string -> alpha:float -> Bg_geom.Point.t list -> t
+(** Euclidean GEO-SINR decay space on planar points. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val name : t -> string
+(** Human-readable label (used in experiment tables). *)
+
+val rename : string -> t -> t
+(** Same space under a new label. *)
+
+val decay : t -> int -> int -> float
+(** [decay d p q] is [f(p,q)].  Bounds-checked. *)
+
+val gain : t -> int -> int -> float
+(** [gain d p q = 1 / f(p,q)]; [infinity] when [p = q]. *)
+
+val matrix : t -> float array array
+(** A defensive copy of the decay matrix. *)
+
+val is_symmetric : ?eps:float -> t -> bool
+(** Whether [f(p,q) = f(q,p)] within relative tolerance. *)
+
+val min_decay : t -> float
+(** Smallest off-diagonal decay.  Raises on spaces with fewer than two
+    nodes. *)
+
+val max_decay : t -> float
+(** Largest off-diagonal decay. *)
+
+val scale : float -> t -> t
+(** Multiply all decays by a positive constant.  The metricity is invariant
+    under scaling only in the trivial sense that quasi-distances rescale;
+    tests cover the exact behaviour. *)
+
+val pow : float -> t -> t
+(** [pow e d] raises every decay to the positive power [e]; this multiplies
+    the metricity by exactly [e] (for [zeta >= 1] results). *)
+
+val symmetrize : t -> t
+(** Replace [f(p,q)] and [f(q,p)] by their maximum, the conservative
+    symmetrization (a signal must survive the worse direction). *)
+
+val sub_space : t -> int array -> t
+(** Induced decay sub-space on the given node indices (in the given order). *)
+
+val map : (int -> int -> float -> float) -> t -> t
+(** Pointwise transformation of off-diagonal decays; the result is
+    re-validated. *)
+
+val pp : Format.formatter -> t -> unit
+(** Short description: name, size, decay range. *)

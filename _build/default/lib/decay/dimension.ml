@@ -1,0 +1,153 @@
+let packing_growth ?exact_limit ?centres d ~q =
+  if q <= 1. then invalid_arg "Dimension.packing_growth: q must exceed 1";
+  let n = Decay_space.n d in
+  let centres = match centres with Some cs -> cs | None -> List.init n Fun.id in
+  let best = ref 0 in
+  List.iter
+    (fun x ->
+      (* Candidate ball radii: the distinct decays into x (open balls, so
+         nudge just above each decay value to include that node). *)
+      let radii = ref [] in
+      for y = 0 to n - 1 do
+        if y <> x then radii := (Decay_space.decay d y x *. (1. +. 1e-9)) :: !radii
+      done;
+      let radii = List.sort_uniq compare !radii in
+      List.iter
+        (fun r ->
+          let p =
+            Ball.packing_number ?exact_limit d ~centre:x ~ball_radius:r
+              ~packing_radius:(r /. q)
+          in
+          if p > !best then best := p)
+        radii)
+    centres;
+  !best
+
+let assouad ?exact_limit ?(qs = [ 2.; 4.; 8.; 16. ]) d =
+  let qs = Array.of_list qs in
+  let gs =
+    Array.map (fun q -> float_of_int (packing_growth ?exact_limit d ~q)) qs
+  in
+  if Array.exists (fun g -> g <= 0.) gs then 0.
+  else begin
+    let fit = Bg_prelude.Stats.loglog_fit qs gs in
+    Float.max 0. fit.Bg_prelude.Stats.slope
+  end
+
+let assouad_max ?exact_limit ?(qs = [ 2.; 4.; 8.; 16. ]) ~c d =
+  List.fold_left
+    (fun acc q ->
+      let g = float_of_int (packing_growth ?exact_limit d ~q) in
+      if g <= 0. then acc else Float.max acc (log (g /. c) /. log q))
+    0. qs
+
+let quasi_doubling ?zeta d =
+  let m, _ = Quasi_metric.induce ?zeta d in
+  Bg_prelude.Numerics.log2 (float_of_int (Bg_geom.Metric.doubling_constant m))
+
+let is_independent_wrt d ~x nodes =
+  let ok = ref true in
+  List.iter
+    (fun z ->
+      if z = x then invalid_arg "Dimension.is_independent_wrt: set contains x";
+      List.iter
+        (fun y ->
+          if y <> z && Decay_space.decay d y z <= Decay_space.decay d z x then
+            ok := false)
+        nodes)
+    nodes;
+  !ok
+
+(* Conflict graph on V \ {x}: an (unordered) pair conflicts when either
+   member fails to be strictly farther from the other than the other is
+   from x.  (Strictness matters: the uniform space must get independence
+   dimension 1, matching the guard-count duality — a single guard covers
+   everything there via the closed inequality.) *)
+let independence_conflicts d ~x =
+  let n = Decay_space.n d in
+  let others = List.filter (fun v -> v <> x) (List.init n Fun.id) in
+  let arr = Array.of_list others in
+  let k = Array.length arr in
+  let g = Bg_graph.Graph.create k in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let z = arr.(i) and y = arr.(j) in
+      if
+        Decay_space.decay d y z <= Decay_space.decay d z x
+        || Decay_space.decay d z y <= Decay_space.decay d y x
+      then Bg_graph.Graph.add_edge g i j
+    done
+  done;
+  (g, arr)
+
+let independence_wrt ?(exact_limit = 30) d ~x =
+  let g, arr = independence_conflicts d ~x in
+  let chosen =
+    if Array.length arr <= exact_limit then Bg_graph.Mis.exact g
+    else Bg_graph.Mis.greedy g
+  in
+  List.map (fun i -> arr.(i)) chosen
+
+let independence_dimension ?exact_limit d =
+  let n = Decay_space.n d in
+  let best = ref 0 in
+  for x = 0 to n - 1 do
+    let k = List.length (independence_wrt ?exact_limit d ~x) in
+    if k > !best then best := k
+  done;
+  !best
+
+let is_guard_set d ~x guards =
+  let n = Decay_space.n d in
+  let ok = ref true in
+  for z = 0 to n - 1 do
+    if z <> x then begin
+      let fzx = Decay_space.decay d z x in
+      if not (List.exists (fun y -> y = z || Decay_space.decay d z y <= fzx) guards)
+      then ok := false
+    end
+  done;
+  !ok
+
+let greedy_guards d ~x =
+  let n = Decay_space.n d in
+  let uncovered = Hashtbl.create 16 in
+  for z = 0 to n - 1 do
+    if z <> x then Hashtbl.replace uncovered z ()
+  done;
+  let covers y z =
+    y = z || Decay_space.decay d z y <= Decay_space.decay d z x
+  in
+  let guards = ref [] in
+  while Hashtbl.length uncovered > 0 do
+    (* Pick the candidate guard covering the most uncovered nodes. *)
+    let best = ref (-1) and best_count = ref (-1) in
+    for y = 0 to n - 1 do
+      if y <> x then begin
+        let count = ref 0 in
+        Hashtbl.iter (fun z () -> if covers y z then incr count) uncovered;
+        if !count > !best_count then begin
+          best := y;
+          best_count := !count
+        end
+      end
+    done;
+    let y = !best in
+    if !best_count <= 0 then
+      (* Cannot happen: every node covers itself. *)
+      assert false;
+    guards := y :: !guards;
+    let to_remove = ref [] in
+    Hashtbl.iter (fun z () -> if covers y z then to_remove := z :: !to_remove) uncovered;
+    List.iter (Hashtbl.remove uncovered) !to_remove
+  done;
+  List.sort compare !guards
+
+let max_guard_count d =
+  let n = Decay_space.n d in
+  let best = ref 0 in
+  for x = 0 to n - 1 do
+    let k = List.length (greedy_guards d ~x) in
+    if k > !best then best := k
+  done;
+  !best

@@ -1,0 +1,34 @@
+(** The fading parameter (Definition 3.1) and Theorem 2's bound.
+
+    [gamma_z(r) = r * max over r-separated X of sum_{x in X} 1/f(x,z)]
+    measures the worst normalized interference node [z] can receive from
+    uniform-power senders that are mutually (and from [z]) at decay at least
+    [r].  The fading parameter of the space is [gamma(r) = max_z gamma_z(r)].
+    Distributed algorithms transfer to a decay space at a time cost governed
+    by this parameter (§3); Theorem 2 bounds it on doubling spaces by
+    [C * 2^(A+1) * (zetahat(2 - A) - 1)] where [zetahat] is the Riemann zeta
+    function and [A < 1] the Assouad dimension. *)
+
+val is_separated : Decay_space.t -> r:float -> int list -> bool
+(** Whether all pairwise decays (both directions) of the given nodes are at
+    least [r]. *)
+
+val gamma_z :
+  ?exact_limit:int -> Decay_space.t -> z:int -> r:float -> float * int list
+(** The fading value of node [z] at separation [r], together with the
+    witnessing separated sender set.  Maximizing over separated subsets is a
+    weighted independent-set problem; solved exactly by branch and bound for
+    small candidate sets (default limit 24), by greedy + swap local search
+    otherwise (then a lower bound). *)
+
+val gamma : ?exact_limit:int -> Decay_space.t -> r:float -> float
+(** The fading parameter [max_z gamma_z(r)]. *)
+
+val theorem2_bound : c:float -> a:float -> float
+(** Theorem 2's closed form [C * 2^(A+1) * (zetahat(2-A) - 1)]; requires
+    [a < 1]. *)
+
+val interference_at :
+  Decay_space.t -> z:int -> senders:int list -> power:float -> float
+(** Total received power [sum_x power / f(x,z)] — the quantity
+    [I_S(z)] of the annulus argument. *)

@@ -1,0 +1,117 @@
+module Num = Bg_prelude.Numerics
+
+type witness = { x : int; y : int; z : int; value : float }
+
+(* Validity of a given zeta for one triple.  Working in log space avoids
+   repeated [**] on huge decays. *)
+let triple_holds ~fxy ~fxz ~fzy z =
+  let t = 1. /. z in
+  exp (t *. log fxz) +. exp (t *. log fzy) >= exp (t *. log fxy)
+
+let zeta_triple ?(tol = 1e-9) fxy fxz fzy =
+  if fxy <= fxz +. fzy then 1.
+  else begin
+    (* zeta >= lg (fxy / min side) always suffices: at that zeta the larger
+       side alone is within a factor 2^(1/zeta) and the two sides add up. *)
+    let m = Float.min fxz fzy in
+    let hi = Float.max 1.5 (Num.log2 (fxy /. m) +. 1e-6) in
+    Num.bisect ~tol ~lo:1. ~hi (triple_holds ~fxy ~fxz ~fzy)
+  end
+
+let fold_triples d init step =
+  let n = Decay_space.n d in
+  let f = Decay_space.matrix d in
+  let acc = ref init in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if y <> x then
+        for z = 0 to n - 1 do
+          if z <> x && z <> y then
+            acc := step !acc ~x ~y ~z ~fxy:f.(x).(y) ~fxz:f.(x).(z) ~fzy:f.(z).(y)
+        done
+    done
+  done;
+  !acc
+
+let zeta_witness ?(tol = 1e-9) d =
+  if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
+  else
+    fold_triples d
+      { x = 0; y = 1; z = 2; value = 1. }
+      (fun best ~x ~y ~z ~fxy ~fxz ~fzy ->
+        (* Fast path: if the inequality already holds at the incumbent zeta,
+           this triple cannot raise the maximum (validity is monotone). *)
+        if fxy <= fxz +. fzy then best
+        else if triple_holds ~fxy ~fxz ~fzy best.value then best
+        else begin
+          let v = zeta_triple ~tol fxy fxz fzy in
+          if v > best.value then { x; y; z; value = v } else best
+        end)
+
+let zeta ?tol d = (zeta_witness ?tol d).value
+
+let zeta_sampled ?(tol = 1e-9) ~samples rng d =
+  let n = Decay_space.n d in
+  if n < 3 then invalid_arg "Metricity.zeta_sampled: need at least 3 nodes";
+  let best = ref 1. in
+  for _ = 1 to samples do
+    let x = Bg_prelude.Rng.int rng n in
+    let y = ref (Bg_prelude.Rng.int rng n) in
+    while !y = x do
+      y := Bg_prelude.Rng.int rng n
+    done;
+    let z = ref (Bg_prelude.Rng.int rng n) in
+    while !z = x || !z = !y do
+      z := Bg_prelude.Rng.int rng n
+    done;
+    let fxy = Decay_space.decay d x !y
+    and fxz = Decay_space.decay d x !z
+    and fzy = Decay_space.decay d !z !y in
+    if fxy > fxz +. fzy && not (triple_holds ~fxy ~fxz ~fzy !best) then begin
+      let v = zeta_triple ~tol fxy fxz fzy in
+      if v > !best then best := v
+    end
+  done;
+  !best
+
+let zeta_subsampled ?tol ?(rounds = 8) ~nodes rng d =
+  let n = Decay_space.n d in
+  if nodes < 3 || nodes > n then
+    invalid_arg "Metricity.zeta_subsampled: need 3 <= nodes <= n";
+  let all = Array.init n Fun.id in
+  let best = ref 1. in
+  for _ = 1 to rounds do
+    let idx = Bg_prelude.Rng.sample rng nodes all in
+    let sub = Decay_space.sub_space d idx in
+    let w = zeta_witness ?tol sub in
+    if w.value > !best then best := w.value
+  done;
+  !best
+
+let zeta_upper_bound d =
+  if Decay_space.n d < 2 then 1.
+  else Float.max 1. (Num.log2 (Decay_space.max_decay d /. Decay_space.min_decay d))
+
+let holds_at d z =
+  Decay_space.n d < 3
+  || fold_triples d true (fun ok ~x:_ ~y:_ ~z:_ ~fxy ~fxz ~fzy ->
+         ok
+         && (fxy <= fxz +. fzy
+            || triple_holds ~fxy ~fxz ~fzy (z +. 1e-7)))
+
+let phi_witness d =
+  if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
+  else begin
+    (* phi compares f(x,z) against f(x,y) + f(y,z): outer pair (x,z) with
+       midpoint y.  The triple iterator hands us exactly that inequality's
+       decays with its roles named (x, y, z) = (start, end, midpoint), so
+       the witness stores the iterator's z as the midpoint field y. *)
+    fold_triples d
+      { x = 0; y = 2; z = 1; value = 1. }
+      (fun best ~x ~y ~z ~fxy ~fxz ~fzy ->
+        let v = fxy /. (fxz +. fzy) in
+        if v > best.value then { x; y = z; z = y; value = v } else best)
+  end
+
+let phi d = (phi_witness d).value
+let phi_log d = Num.log2 (phi d)

@@ -1,0 +1,66 @@
+(** Metricity parameters of a decay space — Definition 2.2 and §4.2.
+
+    The metricity [zeta(D)] is the smallest [z >= 1] such that for every
+    triple of distinct nodes
+    [f(x,y)^(1/z) <= f(x,z)^(1/z) + f(z,y)^(1/z)].
+    For geometric path loss [f = d^alpha] over a metric, [zeta = alpha]; for
+    arbitrary measured decays it quantifies how far the space is from
+    supporting triangle-inequality arguments.
+
+    The variant [phi] is the smallest value with
+    [f(x,z) <= phi * (f(x,y) + f(y,z))] for all triples (the relaxed
+    triangle inequality), and [phi_log = lg phi] is the parameter the
+    paper's Theorem 6 lower bound is stated in.  Note the paper's displayed
+    formula for [phi] is the reciprocal of its prose definition; we
+    implement the prose version, under which the paper's own examples check
+    out (see DESIGN.md §3 and experiment E9). *)
+
+type witness = { x : int; y : int; z : int; value : float }
+(** The triple achieving an extremal parameter, and the value there. *)
+
+val zeta_triple : ?tol:float -> float -> float -> float -> float
+(** [zeta_triple fxy fxz fzy] is the smallest [z >= 1] making the relaxed
+    inequality [fxy^(1/z) <= fxz^(1/z) + fzy^(1/z)] hold for one triple of
+    decays (bisection; validity is monotone in [z]).  [tol] is the relative
+    bisection tolerance, default [1e-9]. *)
+
+val zeta : ?tol:float -> Decay_space.t -> float
+(** Exact metricity: maximum of {!zeta_triple} over all ordered triples of
+    distinct nodes.  O(n^3) with a constant-time fast path for triples that
+    already satisfy the plain triangle inequality.  Returns [1.] for spaces
+    with fewer than three nodes. *)
+
+val zeta_witness : ?tol:float -> Decay_space.t -> witness
+(** The metricity together with a triple attaining it. *)
+
+val zeta_sampled : ?tol:float -> samples:int -> Bg_prelude.Rng.t -> Decay_space.t -> float
+(** Lower-bound estimate of the metricity from uniformly sampled triples;
+    useful when [n^3] is prohibitive.  Requires [n >= 3]. *)
+
+val zeta_subsampled :
+  ?tol:float -> ?rounds:int -> nodes:int -> Bg_prelude.Rng.t ->
+  Decay_space.t -> float
+(** Lower-bound estimate from exact metricity of random induced
+    sub-spaces of [nodes] nodes ([rounds] of them, default 8).  Metricity
+    is monotone under taking sub-spaces, so the estimate only ever
+    under-shoots; it beats triple sampling when violations cluster in a
+    small node subset.  Requires [3 <= nodes <= n]. *)
+
+val zeta_upper_bound : Decay_space.t -> float
+(** The paper's a-priori bound [zeta <= max(1, lg (f_max / f_min))]. *)
+
+val holds_at : Decay_space.t -> float -> bool
+(** [holds_at d z] checks the relaxed triangle inequality at parameter [z]
+    for all triples (within the bisection tolerance). *)
+
+val phi : Decay_space.t -> float
+(** The relaxed-triangle-inequality constant
+    [max(1, max_{x,y,z} f(x,z) / (f(x,y) + f(y,z)))] over distinct triples. *)
+
+val phi_witness : Decay_space.t -> witness
+(** [phi] together with an attaining triple (fields [x], [z] are the outer
+    pair and [y] the midpoint). *)
+
+val phi_log : Decay_space.t -> float
+(** [lg phi], the exponent form used by Theorem 6 ([phi_log <= zeta] always,
+    by the argument in §4.2). *)

@@ -1,0 +1,14 @@
+let distance ~zeta d p q =
+  let f = Decay_space.decay d p q in
+  if f = 0. then 0. else f ** (1. /. zeta)
+
+let induce ?zeta d =
+  let z = match zeta with Some z -> z | None -> Metricity.zeta d in
+  let n = Decay_space.n d in
+  let m =
+    Array.init n (fun i -> Array.init n (fun j -> distance ~zeta:z d i j))
+  in
+  (Bg_geom.Metric.of_matrix m, z)
+
+let round_trip ~zeta (m : Bg_geom.Metric.t) =
+  Decay_space.of_metric ~name:"quasi^zeta" ~alpha:zeta m

@@ -1,0 +1,21 @@
+(** Quasi-distances induced by a decay space (§2.2).
+
+    With [zeta = zeta(D)], the quasi-distances [d(p,q) = f(p,q)^(1/zeta)]
+    satisfy the triangle inequality by construction; they form a metric iff
+    [D] is symmetric.  This is the bridge behind Proposition 1 (theory
+    transfer): run any metric-space SINR algorithm on the induced
+    quasi-metric with path-loss exponent [zeta]. *)
+
+val induce : ?zeta:float -> Decay_space.t -> Bg_geom.Metric.t * float
+(** [induce d] computes (or accepts) the metricity and returns the induced
+    quasi-distance matrix together with the [zeta] used.  The returned
+    structure satisfies the triangle inequality up to the metricity
+    tolerance; symmetry is inherited from [d]. *)
+
+val distance : zeta:float -> Decay_space.t -> int -> int -> float
+(** Pointwise quasi-distance [f(p,q)^(1/zeta)] without materializing the
+    matrix. *)
+
+val round_trip : zeta:float -> Bg_geom.Metric.t -> Decay_space.t
+(** Inverse operation: decay space [f = d^zeta] over a quasi-metric.
+    [induce] followed by [round_trip] reproduces the original decays. *)

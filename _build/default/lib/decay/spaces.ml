@@ -1,0 +1,129 @@
+module Rng = Bg_prelude.Rng
+
+let uniform n = Decay_space.of_fn ~name:"uniform" n (fun _ _ -> 1.)
+
+let star ~k ~r =
+  if k < 1 then invalid_arg "Spaces.star: need k >= 1";
+  if r <= 0. then invalid_arg "Spaces.star: need r > 0";
+  (* Index 0: centre x0.  Index 1: the close leaf x_{-1} at distance r.
+     Indices 2 .. k+1: far leaves at distance k^2.  Leaf-to-leaf distances
+     go through the centre (star metric). *)
+  let far = float_of_int (k * k) in
+  let leg i = if i = 1 then r else far in
+  Decay_space.of_fn ~name:"star" (k + 2) (fun i j ->
+      if i = 0 then leg j else if j = 0 then leg i else leg i +. leg j)
+
+let welzl ~n ~eps =
+  if n < 1 then invalid_arg "Spaces.welzl: need n >= 1";
+  if eps <= 0. || eps > 0.25 then
+    invalid_arg "Spaces.welzl: need 0 < eps <= 1/4";
+  (* Index 0 plays v_{-1}; index i+1 plays v_i for i = 0..n. *)
+  let dist i j =
+    (* i < j in construction index space (v order). *)
+    let hi = max i j and lo = min i j in
+    if lo = 0 then (2. ** float_of_int (hi - 1)) -. eps
+    else 2. ** float_of_int (hi - 1)
+  in
+  Decay_space.of_fn ~name:"welzl" (n + 2) dist
+
+let three_point ~q =
+  if q <= 0. then invalid_arg "Spaces.three_point: q must be positive";
+  let f = [| [| 0.; 1.; 2. *. q |]; [| 1.; 0.; q |]; [| 2. *. q; q; 0. |] |] in
+  Decay_space.of_matrix ~name:"three-point" f
+
+let mis_construction g =
+  let n = Bg_graph.Graph.n g in
+  if n < 2 then invalid_arg "Spaces.mis_construction: need >= 2 vertices";
+  (* Edge pairs interfere at twice the signal strength (decay 1/2 < f_vv),
+     so they can never coexist — not even under power control, since the
+     product of their mutual normalized gains is 4 > 1.  Non-edge pairs
+     interfere at 1/n of the signal, so any independent set is feasible
+     under uniform power.  (The arXiv text lists the two constants with the
+     roles of gain and decay swapped; this is the reading under which the
+     theorem's proof arithmetic goes through.) *)
+  let cross i j =
+    if Bg_graph.Graph.has_edge g i j then 0.5 else float_of_int n
+  in
+  (* Node u < n is sender s_u; node n + u is receiver r_u.  All decays
+     between distinct nodes follow the edge pattern of the underlying
+     vertices, with the link decay f(s_i, r_i) = 1. *)
+  let vertex u = if u < n then u else u - n in
+  let space =
+    Decay_space.of_fn ~name:"thm3-mis" (2 * n) (fun u v ->
+        let i = vertex u and j = vertex v in
+        if i = j then 1. else cross i j)
+  in
+  let links = List.init n (fun i -> (i, n + i)) in
+  (space, links)
+
+let two_line g ~alpha' ?(delta = 0.25) () =
+  let n = Bg_graph.Graph.n g in
+  if n < 2 then invalid_arg "Spaces.two_line: need >= 2 vertices";
+  if alpha' < 1. then invalid_arg "Spaces.two_line: need alpha' >= 1";
+  if delta <= 0. || delta >= 0.5 then
+    invalid_arg "Spaces.two_line: need 0 < delta < 1/2";
+  let fn = float_of_int n in
+  let same_line i j = float_of_int (abs (i - j)) ** alpha' in
+  let cross i j =
+    if i = j then fn ** alpha'
+    else if Bg_graph.Graph.has_edge g i j then (fn ** alpha') -. delta
+    else fn ** (alpha' +. 1.)
+  in
+  (* Node u < n is sender s_u on the left line; node n + u is receiver r_u
+     on the right line. *)
+  let space =
+    Decay_space.of_fn ~name:"thm6-two-line" (2 * n) (fun u v ->
+        match (u < n, v < n) with
+        | true, true -> same_line u v
+        | false, false -> same_line (u - n) (v - n)
+        | true, false -> cross u (v - n)
+        | false, true -> cross v (u - n))
+  in
+  let links = List.init n (fun i -> (i, n + i)) in
+  (space, links)
+
+let random_points rng ~n ~side =
+  List.init n (fun _ ->
+      Bg_geom.Point.make (Rng.float rng side) (Rng.float rng side))
+
+let grid_points ~rows ~cols ~spacing =
+  List.concat_map
+    (fun r ->
+      List.init cols (fun c ->
+          Bg_geom.Point.make (float_of_int c *. spacing) (float_of_int r *. spacing)))
+    (List.init rows Fun.id)
+
+let line_points ~n ~spacing =
+  List.init n (fun i -> Bg_geom.Point.make (float_of_int i *. spacing) 0.)
+
+let clustered_points rng ~clusters ~per_cluster ~side ~spread =
+  List.concat_map
+    (fun _ ->
+      let cx = Rng.float rng side and cy = Rng.float rng side in
+      List.init per_cluster (fun _ ->
+          Bg_geom.Point.make
+            (cx +. Rng.gaussian ~sigma:spread rng)
+            (cy +. Rng.gaussian ~sigma:spread rng)))
+    (List.init clusters Fun.id)
+
+let random_points_3d rng ~n ~side =
+  List.init n (fun _ ->
+      Bg_geom.Point3.make (Rng.float rng side) (Rng.float rng side)
+        (Rng.float rng side))
+
+let of_points_3d ?(name = "space-3d") ~alpha points =
+  Decay_space.of_metric ~name ~alpha (Bg_geom.Metric.of_points3 points)
+
+let exponential_line ~n =
+  if n < 2 then invalid_arg "Spaces.exponential_line: need n >= 2";
+  let coord i = 2. ** float_of_int i in
+  Decay_space.of_fn ~name:"exp-line" n (fun i j ->
+      Float.abs (coord i -. coord j))
+
+let perturbed rng ~alpha ~sigma points =
+  let base = Decay_space.of_points ~name:"perturbed" ~alpha points in
+  if sigma = 0. then base
+  else
+    Decay_space.map
+      (fun _ _ f -> f *. Rng.lognormal ~mu:0. ~sigma rng)
+      base

@@ -1,0 +1,88 @@
+(** A zoo of decay spaces: every named construction in the paper plus the
+    generators used by the experiments.
+
+    Constructions returning link endpoints do so as [(sender, receiver)]
+    index pairs into the decay space; the SINR layer turns them into links. *)
+
+val uniform : int -> Decay_space.t
+(** All decays equal 1 — independence dimension 1 but unbounded doubling
+    dimension (§4.1). *)
+
+val star : k:int -> r:float -> Decay_space.t
+(** §3.4's example: a star metric with centre [x0] (index 0), a close leaf
+    [x-1] (index 1) at distance [r], and [k] far leaves at distance [k^2];
+    decay equals distance ([zeta = 1]).  Doubling dimension is unbounded in
+    [k] yet the interference at [x-1] from the far leaves is only [1/k]. *)
+
+val welzl : n:int -> eps:float -> Decay_space.t
+(** Welzl's construction (§4.1): [n+2] points [v_{-1}, v_0, ..., v_n] with
+    [d(v_{-1}, v_i) = 2^i - eps] and [d(v_j, v_i) = 2^i] for [j < i],
+    [j <> -1]; requires [0 < eps <= 1/4].  Doubling dimension 1 but
+    independence dimension [n+1] (all of [V minus v_{-1}] is independent
+    with respect to [v_{-1}]). *)
+
+val three_point : q:float -> Decay_space.t
+(** §4.2's separator of the two metricity parameters: decays
+    [f_ab = 1, f_bc = q, f_ac = 2q] (symmetric).  Then [phi <= 2] while
+    [zeta = Theta(log q / log log q)] grows without bound. *)
+
+val mis_construction :
+  Bg_graph.Graph.t -> Decay_space.t * (int * int) list
+(** Theorem 3's hardness construction.  For a graph on [n] vertices, builds
+    a decay space on [2n] nodes (senders [0..n-1], receivers [n..2n-1]) with
+    unit link decays [f(s_i, r_i) = 1] and cross decays [1/2] for edges,
+    [n] for non-edges; returns the space and the [n] link endpoint pairs.
+    (The arXiv text states the two constants as gains; we store decays.)
+    Feasible link sets correspond one-to-one to independent sets of the
+    graph — under uniform power and under arbitrary power control alike —
+    and [zeta <= lg (2n)]. *)
+
+val two_line :
+  Bg_graph.Graph.t -> alpha':float -> ?delta:float -> unit ->
+  Decay_space.t * (int * int) list
+(** Theorem 6's bounded-growth hardness construction: senders on the
+    vertical segment [(0,0)..(0,n)], receivers on [(n,0)..(n,n)].  On-line
+    decays are [|i-j|^alpha']; cross decays are [n^alpha'] on the diagonal,
+    [n^alpha' - delta] for edges and [n^(alpha'+1)] for non-edges
+    (default [delta = 1/4]).  [phi = Theta(n)] while the space remains
+    doubling (decay balls, A <= 2) with independence dimension 3. *)
+
+(** {2 Planar generators} *)
+
+val random_points :
+  Bg_prelude.Rng.t -> n:int -> side:float -> Bg_geom.Point.t list
+(** [n] points uniform in the [side x side] square. *)
+
+val grid_points : rows:int -> cols:int -> spacing:float -> Bg_geom.Point.t list
+(** Regular grid. *)
+
+val line_points : n:int -> spacing:float -> Bg_geom.Point.t list
+(** [n] points on a horizontal line — chain/backhaul topologies. *)
+
+val clustered_points :
+  Bg_prelude.Rng.t -> clusters:int -> per_cluster:int -> side:float ->
+  spread:float -> Bg_geom.Point.t list
+(** Cluster centres uniform in the square, members Gaussian around them
+    with standard deviation [spread] — the hotspot deployments where
+    capacity algorithms earn their keep. *)
+
+val random_points_3d :
+  Bg_prelude.Rng.t -> n:int -> side:float -> Bg_geom.Point3.t list
+(** [n] points uniform in the [side^3] cube — volumetric deployments. *)
+
+val of_points_3d :
+  ?name:string -> alpha:float -> Bg_geom.Point3.t list -> Decay_space.t
+(** GEO-SINR decay over a 3-D point set: [zeta = alpha], Assouad dimension
+    ~[3/alpha], independence dimension at most the R^3 kissing number 12. *)
+
+val exponential_line : n:int -> Decay_space.t
+(** Points at coordinates [2^0, 2^1, ..., 2^(n-1)] with decay = distance:
+    a doubling chain with geometric scale spread (dimension-1 stress
+    case). *)
+
+val perturbed :
+  Bg_prelude.Rng.t -> alpha:float -> sigma:float -> Bg_geom.Point.t list ->
+  Decay_space.t
+(** Geometric decay [d^alpha] multiplied by i.i.d. log-normal shadowing of
+    log-stddev [sigma] (in nats) — the cheapest "realistic" departure from
+    geometry; [sigma = 0] recovers GEO-SINR exactly. *)

@@ -1,0 +1,61 @@
+type summary = {
+  n : int;
+  min_db : float;
+  max_db : float;
+  median_db : float;
+  dynamic_range_db : float;
+  asymmetry_db : float;
+}
+
+let db x = 10. *. log10 x
+
+let decays_db d =
+  let n = Decay_space.n d in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then acc := db (Decay_space.decay d i j) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let summarize d =
+  let n = Decay_space.n d in
+  if n < 2 then invalid_arg "Statistics.summarize: need at least 2 nodes";
+  let xs = decays_db d in
+  let lo, hi = Bg_prelude.Stats.min_max xs in
+  let asym = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a =
+        Float.abs (db (Decay_space.decay d i j /. Decay_space.decay d j i))
+      in
+      if a > !asym then asym := a
+    done
+  done;
+  {
+    n;
+    min_db = lo;
+    max_db = hi;
+    median_db = Bg_prelude.Stats.median xs;
+    dynamic_range_db = hi -. lo;
+    asymmetry_db = !asym;
+  }
+
+let effective_alpha ~positions d =
+  let n = Decay_space.n d in
+  if Array.length positions <> n then
+    invalid_arg "Statistics.effective_alpha: positions length mismatch";
+  let dists = ref [] and decays = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let dist = Bg_geom.Point.dist positions.(i) positions.(j) in
+        if dist > 0. then begin
+          dists := dist :: !dists;
+          decays := Decay_space.decay d i j :: !decays
+        end
+      end
+    done
+  done;
+  Bg_prelude.Stats.loglog_fit (Array.of_list !dists) (Array.of_list !decays)

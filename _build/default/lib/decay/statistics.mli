@@ -1,0 +1,27 @@
+(** Descriptive statistics of decay spaces — the measurement-campaign view
+    (§2.2): summary quantities a practitioner computes from a freshly
+    measured decay matrix before running any algorithm on it. *)
+
+type summary = {
+  n : int;
+  min_db : float;  (** smallest off-diagonal decay, in dB *)
+  max_db : float;
+  median_db : float;
+  dynamic_range_db : float;  (** max - min in dB *)
+  asymmetry_db : float;
+      (** largest |f(i,j)/f(j,i)| in dB over unordered pairs — 0 for
+          symmetric spaces *)
+}
+
+val summarize : Decay_space.t -> summary
+(** Requires at least 2 nodes. *)
+
+val effective_alpha :
+  positions:Bg_geom.Point.t array -> Decay_space.t -> Bg_prelude.Stats.fit
+(** Log-log regression of decay against inter-node distance: the slope is
+    the "effective path-loss exponent" a geometric model would fit to this
+    space, and [r2] says how much of the decay variance geometry explains
+    (the paper's point is that indoors it explains little). *)
+
+val decays_db : Decay_space.t -> float array
+(** All ordered off-diagonal decays in dB (for histograms). *)

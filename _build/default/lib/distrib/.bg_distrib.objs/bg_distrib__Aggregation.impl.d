@@ -1,0 +1,1 @@
+lib/distrib/aggregation.ml: Array Bg_decay Bg_sinr List Queue

@@ -1,0 +1,1 @@
+lib/distrib/aggregation.mli: Bg_decay Bg_sinr

@@ -1,0 +1,1 @@
+lib/distrib/broadcast.ml: Array Bg_decay Bg_prelude List Queue Sim

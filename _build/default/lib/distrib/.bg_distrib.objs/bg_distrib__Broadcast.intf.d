@@ -1,0 +1,1 @@
+lib/distrib/broadcast.mli: Bg_decay Bg_prelude

@@ -1,0 +1,1 @@
+lib/distrib/coloring.ml: Array Bg_decay Bg_prelude Fun List Sim

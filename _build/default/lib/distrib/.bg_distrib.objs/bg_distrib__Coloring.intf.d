@@ -1,0 +1,1 @@
+lib/distrib/coloring.mli: Bg_decay Bg_prelude

@@ -1,0 +1,1 @@
+lib/distrib/connectivity.ml: Array Bg_decay Bg_prelude Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/distrib/connectivity.mli: Bg_decay

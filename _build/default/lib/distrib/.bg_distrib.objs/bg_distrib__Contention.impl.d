@@ -1,0 +1,1 @@
+lib/distrib/contention.ml: Array Bg_prelude Bg_sinr Float List

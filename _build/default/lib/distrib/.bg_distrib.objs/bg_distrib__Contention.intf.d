@@ -1,0 +1,1 @@
+lib/distrib/contention.mli: Bg_prelude Bg_sinr

@@ -1,0 +1,1 @@
+lib/distrib/dominating_set.ml: Array Bg_decay Bg_prelude Fun Hashtbl List Sim

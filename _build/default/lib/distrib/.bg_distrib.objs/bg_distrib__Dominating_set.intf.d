@@ -1,0 +1,1 @@
+lib/distrib/dominating_set.mli: Bg_decay Bg_prelude

@@ -1,0 +1,1 @@
+lib/distrib/local_broadcast.ml: Array Bg_decay Bg_prelude Hashtbl List Sim

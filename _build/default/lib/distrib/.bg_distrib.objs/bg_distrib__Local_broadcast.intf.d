@@ -1,0 +1,1 @@
+lib/distrib/local_broadcast.mli: Bg_decay Bg_prelude

@@ -1,0 +1,1 @@
+lib/distrib/regret.ml: Array Bg_prelude Bg_sinr List Sim

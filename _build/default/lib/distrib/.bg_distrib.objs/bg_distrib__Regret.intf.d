@@ -1,0 +1,1 @@
+lib/distrib/regret.mli: Bg_prelude Bg_sinr

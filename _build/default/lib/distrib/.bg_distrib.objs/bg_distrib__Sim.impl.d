@@ -1,0 +1,1 @@
+lib/distrib/sim.ml: Bg_decay Bg_sinr List

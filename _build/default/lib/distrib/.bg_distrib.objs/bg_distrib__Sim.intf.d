@@ -1,0 +1,1 @@
+lib/distrib/sim.mli: Bg_decay Bg_sinr

@@ -1,0 +1,83 @@
+type result = {
+  tree_edges : (int * int) list;
+  reached : int;
+  slots : int;
+  schedule : Bg_sinr.Link.t list list;
+}
+
+let communication_graph space ~power ~beta ~noise =
+  let n = Bg_decay.Decay_space.n space in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      if u <> v then begin
+        let signal = power /. Bg_decay.Decay_space.decay space v u in
+        let ok = if noise = 0. then true else signal /. noise >= beta in
+        if ok then edges := (v, u) :: !edges
+      end
+    done
+  done;
+  !edges
+
+let run ?(power = 1.) ?(beta = 1.) ?(noise = 0.) space ~sink =
+  let n = Bg_decay.Decay_space.n space in
+  if sink < 0 || sink >= n then invalid_arg "Aggregation.run: sink out of range";
+  (* Adjacency for BFS *toward* the sink: parent u can hear child v, so we
+     explore reverse edges from the sink outward. *)
+  let hears = Array.make_matrix n n false in
+  List.iter
+    (fun (v, u) -> hears.(u).(v) <- true)
+    (communication_graph space ~power ~beta ~noise);
+  let parent = Array.make n (-1) in
+  let visited = Array.make n false in
+  visited.(sink) <- true;
+  let queue = Queue.create () in
+  Queue.add sink queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for v = 0 to n - 1 do
+      (* u can hear v: v may forward its aggregate to u. *)
+      if (not visited.(v)) && hears.(u).(v) then begin
+        visited.(v) <- true;
+        parent.(v) <- u;
+        Queue.add v queue
+      end
+    done
+  done;
+  let tree_edges = ref [] in
+  for v = n - 1 downto 0 do
+    if parent.(v) >= 0 then tree_edges := (v, parent.(v)) :: !tree_edges
+  done;
+  let reached = Array.fold_left (fun a b -> if b then a + 1 else a) 0 visited in
+  (* Schedule tree edges as links, deepest levels first, first-fit into
+     feasible slots. *)
+  let depth = Array.make n 0 in
+  let rec depth_of v =
+    if v = sink || parent.(v) < 0 then 0
+    else begin
+      if depth.(v) = 0 then depth.(v) <- 1 + depth_of parent.(v);
+      depth.(v)
+    end
+  in
+  let edges_by_depth =
+    List.sort
+      (fun (v1, _) (v2, _) -> compare (depth_of v2) (depth_of v1))
+      !tree_edges
+  in
+  let instance =
+    Bg_sinr.Instance.make ~noise ~beta ~zeta:1. space edges_by_depth
+  in
+  let pw = Bg_sinr.Power.uniform power in
+  let slots : Bg_sinr.Link.t list list ref = ref [] in
+  let place lv =
+    let rec try_slots acc = function
+      | [] -> slots := List.rev ([ lv ] :: acc)
+      | s :: rest ->
+          if Bg_sinr.Feasibility.is_feasible instance pw (lv :: s) then
+            slots := List.rev_append acc ((lv :: s) :: rest)
+          else try_slots (s :: acc) rest
+    in
+    try_slots [] !slots
+  in
+  Array.iter place instance.Bg_sinr.Instance.links;
+  { tree_edges = !tree_edges; reached; slots = List.length !slots; schedule = !slots }

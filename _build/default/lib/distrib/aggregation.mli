@@ -1,0 +1,26 @@
+(** Data aggregation (convergecast) over a decay space — the
+    connectivity-and-aggregation family ([6], [34], [31]) that §3 transfers
+    to decay spaces.
+
+    Builds a shortest-path (in hop count) aggregation tree over the
+    "solo-decodable" graph — [u] can hear [v] when [v] transmits alone —
+    then schedules the tree edges into SINR-feasible slots, leaves first.
+    The number of slots is the aggregation latency. *)
+
+type result = {
+  tree_edges : (int * int) list;  (** (child, parent) pairs, all nodes reached *)
+  reached : int;  (** nodes connected to the sink (including it) *)
+  slots : int;  (** feasible slots used to flush the tree *)
+  schedule : Bg_sinr.Link.t list list;  (** the slot contents *)
+}
+
+val communication_graph :
+  Bg_decay.Decay_space.t -> power:float -> beta:float -> noise:float ->
+  (int * int) list
+(** Directed edges [(v, u)] such that [u] decodes [v] transmitting alone. *)
+
+val run :
+  ?power:float -> ?beta:float -> ?noise:float -> Bg_decay.Decay_space.t ->
+  sink:int -> result
+(** Aggregate everything to [sink].  Unreachable nodes are reported via
+    [reached] < n. *)

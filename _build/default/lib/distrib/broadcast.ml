@@ -1,0 +1,74 @@
+module Rng = Bg_prelude.Rng
+module D = Bg_decay.Decay_space
+
+type result = {
+  rounds : int;
+  completed : bool;
+  informed : int;
+  per_round_informed : int list;
+}
+
+let eccentricity space ~radius v =
+  let n = D.n space in
+  let dist = Array.make n (-1) in
+  dist.(v) <- 0;
+  let queue = Queue.create () in
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(u) + 1;
+          Queue.add w queue
+        end)
+      (Sim.neighbourhood space ~radius u)
+  done;
+  if Array.exists (fun d -> d < 0) dist then None
+  else Some (Array.fold_left max 0 dist)
+
+let run ?power ?(beta = 1.) ?(noise = 0.) ?(max_rounds = 5000) rng space
+    ~source ~radius =
+  let n = D.n space in
+  if source < 0 || source >= n then invalid_arg "Broadcast.run: source range";
+  let power =
+    match power with
+    | Some p -> p
+    | None -> if noise > 0. then beta *. noise *. radius *. 4. else 1.
+  in
+  let neighbours = Array.init n (Sim.neighbourhood space ~radius) in
+  let prob =
+    Array.init n (fun v -> 1. /. float_of_int (1 + List.length neighbours.(v)))
+  in
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let informed_count = ref 1 in
+  let rounds = ref 0 in
+  let history = ref [] in
+  while !informed_count < n && !rounds < max_rounds do
+    incr rounds;
+    let transmitters = ref [] in
+    for v = n - 1 downto 0 do
+      if informed.(v) && Rng.bernoulli rng prob.(v) then
+        transmitters := v :: !transmitters
+    done;
+    let txs = !transmitters in
+    if txs <> [] then
+      for u = 0 to n - 1 do
+        if not informed.(u) then
+          match
+            Sim.decodes ~space ~noise ~beta ~power ~transmitters:txs ~receiver:u
+          with
+          | Some _ ->
+              informed.(u) <- true;
+              incr informed_count
+          | None -> ()
+      done;
+    history := !informed_count :: !history
+  done;
+  {
+    rounds = !rounds;
+    completed = !informed_count = n;
+    informed = !informed_count;
+    per_round_informed = List.rev !history;
+  }

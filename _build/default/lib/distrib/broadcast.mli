@@ -1,0 +1,26 @@
+(** Global (multi-hop) broadcast over a decay space — the [13] family from
+    §3.3: one source's message must reach every node, relayed by informed
+    nodes transmitting with density-scaled probabilities under thresholded
+    SINR.  The round count is governed by the network diameter of the
+    decay-ball graph and the fading parameter. *)
+
+type result = {
+  rounds : int;  (** rounds until everyone was informed (or budget) *)
+  completed : bool;
+  informed : int;  (** nodes holding the message at the end *)
+  per_round_informed : int list;
+      (** cumulative informed counts, one entry per round (newest last) *)
+}
+
+val run :
+  ?power:float -> ?beta:float -> ?noise:float -> ?max_rounds:int ->
+  Bg_prelude.Rng.t -> Bg_decay.Decay_space.t -> source:int -> radius:float ->
+  result
+(** Flood from [source].  [radius] defines the decay-ball neighbourhoods
+    used for the density estimate (and hence transmission probabilities);
+    reception itself is pure SINR.  Defaults as in
+    {!Local_broadcast.run}. *)
+
+val eccentricity : Bg_decay.Decay_space.t -> radius:float -> int -> int option
+(** Hop eccentricity of a node in the decay-ball graph ([None] if some
+    node is unreachable) — the lower bound any broadcast must pay. *)

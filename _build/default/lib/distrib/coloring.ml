@@ -1,0 +1,144 @@
+module Rng = Bg_prelude.Rng
+module D = Bg_decay.Decay_space
+
+type result = {
+  rounds : int;
+  completed : bool;
+  colors : int array;
+  palette : int;
+  proper : bool;
+}
+
+(* Symmetrized decay-ball adjacency: u and v are neighbours when either can
+   be in the other's ball (conflicts matter both ways). *)
+let adjacency space ~radius =
+  let n = D.n space in
+  let adj = Array.make_matrix n n false in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun u ->
+        adj.(v).(u) <- true;
+        adj.(u).(v) <- true)
+      (Sim.neighbourhood space ~radius v)
+  done;
+  adj
+
+let max_degree space ~radius =
+  let adj = adjacency space ~radius in
+  let n = D.n space in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    let d = ref 0 in
+    for u = 0 to n - 1 do
+      if adj.(v).(u) then incr d
+    done;
+    if !d > !best then best := !d
+  done;
+  !best
+
+(* Each round every node announces its (committed or proposed) color with a
+   density-scaled probability.  A proposer that hears a neighbour claim its
+   color re-proposes; it commits only after [commit_streak] of its own
+   announcements went out without any conflicting claim heard in between —
+   the verification-epoch pattern of the distributed coloring literature,
+   proper w.h.p. *)
+let run ?power ?(beta = 1.) ?(noise = 0.) ?(max_rounds = 5000) rng space
+    ~radius =
+  let n = D.n space in
+  let power =
+    match power with
+    | Some p -> p
+    | None -> if noise > 0. then beta *. noise *. radius *. 4. else 1.
+  in
+  let adj = adjacency space ~radius in
+  let delta = max_degree space ~radius in
+  let palette_size = delta + 1 in
+  let commit_streak = 6 in
+  let degree v =
+    let d = ref 0 in
+    for u = 0 to n - 1 do
+      if adj.(v).(u) then incr d
+    done;
+    !d
+  in
+  let prob = Array.init n (fun v -> 1. /. float_of_int (1 + degree v)) in
+  let committed = Array.make n (-1) in
+  (* Colors known to be committed by some neighbour: forbidden. *)
+  let forbidden = Array.make n [] in
+  let fresh_proposal v =
+    let free =
+      List.filter
+        (fun c -> not (List.mem c forbidden.(v)))
+        (List.init palette_size Fun.id)
+    in
+    match free with
+    | [] -> Rng.int rng palette_size (* cannot happen: |forbidden| <= Delta *)
+    | _ -> List.nth free (Rng.int rng (List.length free))
+  in
+  let proposal = Array.init n (fun v -> fresh_proposal v) in
+  let streak = Array.make n 0 in
+  let uncolored = ref n in
+  let rounds = ref 0 in
+  while !uncolored > 0 && !rounds < max_rounds do
+    incr rounds;
+    let transmitters = ref [] in
+    for v = n - 1 downto 0 do
+      if Rng.bernoulli rng prob.(v) then transmitters := v :: !transmitters
+    done;
+    let txs = !transmitters in
+    (* Reception: claims are (color, committed-flag) read off the sender's
+       state at transmission time. *)
+    if txs <> [] then
+      for u = 0 to n - 1 do
+        match
+          Sim.decodes ~space ~noise ~beta ~power ~transmitters:txs ~receiver:u
+        with
+        | Some s when adj.(u).(s) ->
+            let c_committed = committed.(s) >= 0 in
+            let c = if c_committed then committed.(s) else proposal.(s) in
+            if c_committed && not (List.mem c forbidden.(u)) then
+              forbidden.(u) <- c :: forbidden.(u);
+            if committed.(u) < 0 && proposal.(u) = c then begin
+              (* Conflict heard: back off to a fresh color. *)
+              proposal.(u) <- fresh_proposal u;
+              streak.(u) <- 0
+            end
+            else if
+              committed.(u) < 0 && List.mem proposal.(u) forbidden.(u)
+            then begin
+              proposal.(u) <- fresh_proposal u;
+              streak.(u) <- 0
+            end
+        | Some _ | None -> ()
+      done;
+    (* A proposer that got on the air extends its verification streak. *)
+    List.iter
+      (fun v ->
+        if committed.(v) < 0 then begin
+          streak.(v) <- streak.(v) + 1;
+          if streak.(v) >= commit_streak then begin
+            committed.(v) <- proposal.(v);
+            decr uncolored
+          end
+        end)
+      txs
+  done;
+  let proper = ref true in
+  for v = 0 to n - 1 do
+    for u = v + 1 to n - 1 do
+      if adj.(v).(u) && committed.(v) >= 0 && committed.(v) = committed.(u) then
+        proper := false
+    done
+  done;
+  let palette =
+    List.length
+      (List.sort_uniq compare
+         (List.filter (fun c -> c >= 0) (Array.to_list committed)))
+  in
+  {
+    rounds = !rounds;
+    completed = !uncolored = 0;
+    colors = committed;
+    palette;
+    proper = !proper;
+  }

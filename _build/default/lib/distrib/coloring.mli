@@ -1,0 +1,28 @@
+(** Distributed (Delta+1)-coloring in the physical model — the [67] family
+    of §3.3: every node must end with a color different from all its
+    decay-ball neighbours, learning about conflicts only through SINR
+    reception.
+
+    Protocol (randomized, Luby-style over the simulated channel): an
+    uncolored node proposes a random color from [0 .. Delta] and announces
+    it with the usual density-scaled probability; a node that *hears* a
+    neighbour's announcement records the claim; a proposal is committed in
+    the next round unless a heard neighbour claimed the same color
+    earlier.  Correctness (properness) is verified against the decay-ball
+    graph after the run. *)
+
+type result = {
+  rounds : int;
+  completed : bool;  (** every node committed a color *)
+  colors : int array;  (** committed color per node; -1 if uncolored *)
+  palette : int;  (** number of distinct colors used *)
+  proper : bool;  (** no two decay-ball neighbours share a color *)
+}
+
+val run :
+  ?power:float -> ?beta:float -> ?noise:float -> ?max_rounds:int ->
+  Bg_prelude.Rng.t -> Bg_decay.Decay_space.t -> radius:float -> result
+(** Run until every node is colored or [max_rounds] (default 5000). *)
+
+val max_degree : Bg_decay.Decay_space.t -> radius:float -> int
+(** Delta of the decay-ball graph (with symmetrized adjacency). *)

@@ -1,0 +1,76 @@
+module D = Bg_decay.Decay_space
+module Uf = Bg_prelude.Union_find
+
+(* Compare in the same form the candidate thresholds are computed in
+   (power >= beta * noise * f), so a candidate power includes its own
+   edge exactly. *)
+let decodes_solo space ~power ~beta ~noise u v =
+  noise <= 0. || power >= beta *. noise *. D.decay space u v
+
+let bidirectional_graph space ~power ~beta ~noise =
+  let n = D.n space in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if
+        decodes_solo space ~power ~beta ~noise u v
+        && decodes_solo space ~power ~beta ~noise v u
+      then edges := (u, v) :: !edges
+    done
+  done;
+  !edges
+
+let union_of space ~power ~beta ~noise =
+  let n = D.n space in
+  let uf = Uf.create n in
+  List.iter
+    (fun (u, v) -> ignore (Uf.union uf u v))
+    (bidirectional_graph space ~power ~beta ~noise);
+  uf
+
+let is_connected space ~power ~beta ~noise =
+  D.n space <= 1 || Uf.count (union_of space ~power ~beta ~noise) = 1
+
+let min_uniform_power space ~beta ~noise =
+  let n = D.n space in
+  if n = 0 then None
+  else if n = 1 then Some 0.
+  else if noise <= 0. then None
+  else begin
+    (* Candidate thresholds: the power at which each (unordered) pair's
+       worse direction becomes decodable. *)
+    let cands = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        cands :=
+          beta *. noise *. Float.max (D.decay space u v) (D.decay space v u)
+          :: !cands
+      done
+    done;
+    let sorted = List.sort_uniq Float.compare !cands in
+    let arr = Array.of_list sorted in
+    if not (is_connected space ~power:arr.(Array.length arr - 1) ~beta ~noise)
+    then None
+    else begin
+      (* Binary search: connectivity is monotone in power. *)
+      let lo = ref 0 and hi = ref (Array.length arr - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if is_connected space ~power:arr.(mid) ~beta ~noise then hi := mid
+        else lo := mid + 1
+      done;
+      Some arr.(!lo)
+    end
+  end
+
+let components space ~power ~beta ~noise =
+  let n = D.n space in
+  let uf = union_of space ~power ~beta ~noise in
+  let tbl = Hashtbl.create 8 in
+  for v = n - 1 downto 0 do
+    let root = Uf.find uf v in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt tbl root) in
+    Hashtbl.replace tbl root (v :: existing)
+  done;
+  Hashtbl.fold (fun _ vs acc -> vs :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,29 @@
+(** Connectivity of decay-space deployments (the [51], [34], [31] family).
+
+    Two nodes are linked at uniform power [P] when each can decode the
+    other transmitting alone against the noise; the deployment is connected
+    when the resulting undirected graph is.  The minimum power for
+    connectivity is a pure function of the decay matrix — no geometry —
+    and seeds the aggregation / connectivity-scheduling pipeline. *)
+
+val bidirectional_graph :
+  Bg_decay.Decay_space.t -> power:float -> beta:float -> noise:float ->
+  (int * int) list
+(** Undirected edges [(u, v)], [u < v], decodable solo in both
+    directions. *)
+
+val is_connected :
+  Bg_decay.Decay_space.t -> power:float -> beta:float -> noise:float -> bool
+(** Whether the bidirectional graph is connected (union-find). *)
+
+val min_uniform_power :
+  Bg_decay.Decay_space.t -> beta:float -> noise:float -> float option
+(** The smallest uniform power connecting the deployment: binary search
+    over the candidate powers [beta * noise * max(f(u,v), f(v,u))].
+    [None] only for [noise <= 0] (any positive power connects) or an empty
+    space; requires at least 2 nodes otherwise trivially connected. *)
+
+val components :
+  Bg_decay.Decay_space.t -> power:float -> beta:float -> noise:float ->
+  int list list
+(** Connected components (each sorted) of the bidirectional graph. *)

@@ -1,0 +1,52 @@
+module I = Bg_sinr.Instance
+module Rng = Bg_prelude.Rng
+
+type policy = Fixed of float | Backoff of float
+
+type result = {
+  rounds : int;
+  completed : bool;
+  successes_by_round : int list;
+}
+
+let run ?(power = Bg_sinr.Power.uniform 1.) ?(max_rounds = 10_000) ~policy rng
+    (t : I.t) =
+  let links = t.I.links in
+  let n = Array.length links in
+  (match policy with
+  | Fixed p | Backoff p ->
+      if p <= 0. || p > 1. then invalid_arg "Contention.run: p out of (0,1]");
+  let pending = Array.make n true in
+  let prob =
+    Array.make n (match policy with Fixed p | Backoff p -> p)
+  in
+  let remaining = ref n in
+  let rounds = ref 0 in
+  let history = ref [] in
+  while !remaining > 0 && !rounds < max_rounds do
+    incr rounds;
+    let transmitting = ref [] in
+    for i = n - 1 downto 0 do
+      if pending.(i) && Rng.bernoulli rng prob.(i) then
+        transmitting := i :: !transmitting
+    done;
+    let tx_links = List.map (fun i -> links.(i)) !transmitting in
+    List.iter
+      (fun i ->
+        if Bg_sinr.Feasibility.sinr t power tx_links links.(i) >= t.I.beta
+        then begin
+          pending.(i) <- false;
+          decr remaining
+        end
+        else
+          match policy with
+          | Backoff _ -> prob.(i) <- Float.max 1e-4 (prob.(i) /. 2.)
+          | Fixed _ -> ())
+      !transmitting;
+    history := (n - !remaining) :: !history
+  done;
+  {
+    rounds = !rounds;
+    completed = !remaining = 0;
+    successes_by_round = List.rev !history;
+  }

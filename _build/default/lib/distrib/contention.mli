@@ -1,0 +1,25 @@
+(** Distributed contention resolution (Kesselheim–Vöcking [45], §2.3):
+    every link holds one packet; each round a pending link transmits with
+    its current probability, exits on success, and otherwise adapts.  The
+    total time until all links have succeeded is the distributed analogue
+    of a schedule, and the analysis transfers to decay spaces with the
+    usual parameter pricing.
+
+    Two probability policies:
+    - [Fixed p]: constant transmission probability;
+    - [Backoff]: start at [p0] and halve after each failed transmission
+      (decay-space-oblivious exponential backoff; resets are not needed
+      because links leave on success). *)
+
+type policy = Fixed of float | Backoff of float
+
+type result = {
+  rounds : int;  (** rounds until all links succeeded (or budget ran out) *)
+  completed : bool;
+  successes_by_round : int list;
+      (** cumulative count of finished links per round *)
+}
+
+val run :
+  ?power:Bg_sinr.Power.t -> ?max_rounds:int -> policy:policy ->
+  Bg_prelude.Rng.t -> Bg_sinr.Instance.t -> result

@@ -1,0 +1,152 @@
+module Rng = Bg_prelude.Rng
+module D = Bg_decay.Decay_space
+
+type result = {
+  rounds : int;
+  completed : bool;
+  leaders : int list;
+  dominating : bool;
+  size_ratio : float;
+}
+
+let closed_ball space ~radius v = v :: Sim.neighbourhood space ~radius v
+
+let greedy_centralized space ~radius =
+  let n = D.n space in
+  let balls = Array.init n (closed_ball space ~radius) in
+  (* Coverage is symmetrized: u covers v if v in ball(u) or u in ball(v). *)
+  let covers = Array.make_matrix n n false in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        covers.(u).(v) <- true;
+        covers.(v).(u) <- true)
+      balls.(u)
+  done;
+  let uncovered = Hashtbl.create n in
+  for v = 0 to n - 1 do
+    Hashtbl.replace uncovered v ()
+  done;
+  let leaders = ref [] in
+  while Hashtbl.length uncovered > 0 do
+    let best = ref (-1) and best_gain = ref (-1) in
+    for u = 0 to n - 1 do
+      let gain = ref 0 in
+      Hashtbl.iter (fun v () -> if covers.(u).(v) then incr gain) uncovered;
+      if !gain > !best_gain then begin
+        best := u;
+        best_gain := !gain
+      end
+    done;
+    let u = !best in
+    leaders := u :: !leaders;
+    let drop = ref [] in
+    Hashtbl.iter (fun v () -> if covers.(u).(v) then drop := v :: !drop) uncovered;
+    List.iter (Hashtbl.remove uncovered) !drop
+  done;
+  List.sort compare !leaders
+
+let run ?power ?(beta = 1.) ?(noise = 0.) ?(max_rounds = 5000) rng space
+    ~radius =
+  let n = D.n space in
+  let power =
+    match power with
+    | Some p -> p
+    | None -> if noise > 0. then beta *. noise *. radius *. 4. else 1.
+  in
+  let neighbours = Array.init n (Sim.neighbourhood space ~radius) in
+  let adj = Array.make_matrix n n false in
+  Array.iteri
+    (fun v ns ->
+      List.iter
+        (fun u ->
+          adj.(v).(u) <- true;
+          adj.(u).(v) <- true)
+        ns)
+    neighbours;
+  let prob =
+    Array.init n (fun v -> 1. /. float_of_int (1 + List.length neighbours.(v)))
+  in
+  (* States: `Undecided | `Nominee of streak | `Leader | `Dominated.  The
+     protocol runs until every node is a leader or dominated — nominees
+     are still unresolved. *)
+  let state = Array.make n `Undecided in
+  let commit_streak = 5 in
+  let pending () =
+    Array.exists
+      (fun s -> match s with `Undecided | `Nominee _ -> true | _ -> false)
+      state
+  in
+  let rounds = ref 0 in
+  while pending () && !rounds < max_rounds do
+    incr rounds;
+    (* Undecided nodes nominate themselves with probability p. *)
+    for v = 0 to n - 1 do
+      if state.(v) = `Undecided && Rng.bernoulli rng prob.(v) then
+        state.(v) <- `Nominee 0
+    done;
+    let transmitters = ref [] in
+    for v = n - 1 downto 0 do
+      match state.(v) with
+      | `Nominee _ | `Leader ->
+          if Rng.bernoulli rng prob.(v) then transmitters := v :: !transmitters
+      | `Undecided | `Dominated -> ()
+    done;
+    let txs = !transmitters in
+    if txs <> [] then
+      for u = 0 to n - 1 do
+        match
+          Sim.decodes ~space ~noise ~beta ~power ~transmitters:txs ~receiver:u
+        with
+        | Some s when adj.(u).(s) -> begin
+            match state.(u) with
+            | `Undecided ->
+                (* Only a committed leader dominates; a nominee may still
+                   lose the race and be dominated itself. *)
+                if state.(s) = `Leader then state.(u) <- `Dominated
+            | `Nominee _ -> begin
+                (* Defer to a heard leader; also defer to a heard nominee
+                   with smaller id (deterministic tie-break). *)
+                match state.(s) with
+                | `Leader ->
+                    state.(u) <- `Dominated
+                | `Nominee _ when s < u ->
+                    state.(u) <- `Nominee 0
+                    (* reset streak; stays in the race *)
+                | _ -> ()
+              end
+            | `Leader | `Dominated -> ()
+          end
+        | Some _ | None -> ()
+      done;
+    (* Surviving nominees that transmitted extend their streak. *)
+    List.iter
+      (fun v ->
+        match state.(v) with
+        | `Nominee k ->
+            if k + 1 >= commit_streak then state.(v) <- `Leader
+            else state.(v) <- `Nominee (k + 1)
+        | `Leader | `Undecided | `Dominated -> ())
+      txs
+  done;
+  let leaders = ref [] in
+  for v = n - 1 downto 0 do
+    match state.(v) with
+    | `Leader | `Nominee _ -> leaders := v :: !leaders
+    | `Undecided | `Dominated -> ()
+  done;
+  let leaders = !leaders in
+  let dominated_ok v =
+    List.mem v leaders || List.exists (fun u -> adj.(v).(u)) leaders
+  in
+  let dominating = List.for_all dominated_ok (List.init n Fun.id) in
+  let greedy = greedy_centralized space ~radius in
+  {
+    rounds = !rounds;
+    completed = not (pending ());
+    leaders;
+    dominating;
+    size_ratio =
+      float_of_int (List.length leaders)
+      /. float_of_int (max 1 (List.length greedy));
+  }

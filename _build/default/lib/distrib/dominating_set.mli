@@ -1,0 +1,26 @@
+(** Distributed dominating set under the physical model — the [55] family
+    of §3.3: elect a small set of leaders such that every node has a
+    leader in its decay-ball neighbourhood, using only SINR reception.
+
+    Protocol: undecided nodes self-nominate with a density-scaled
+    probability and announce; a node that hears a nominated neighbour
+    becomes dominated; a nominee that survives [streak] announcements
+    without hearing an earlier leader in its ball becomes a leader.
+    Domination is verified against the decay-ball graph after the run. *)
+
+type result = {
+  rounds : int;
+  completed : bool;  (** every node is a leader or hears one *)
+  leaders : int list;
+  dominating : bool;  (** verified against the ball graph *)
+  size_ratio : float;
+      (** |leaders| / (greedy centralized dominating set size) *)
+}
+
+val run :
+  ?power:float -> ?beta:float -> ?noise:float -> ?max_rounds:int ->
+  Bg_prelude.Rng.t -> Bg_decay.Decay_space.t -> radius:float -> result
+
+val greedy_centralized : Bg_decay.Decay_space.t -> radius:float -> int list
+(** Classical greedy set-cover dominating set on the ball graph — the
+    comparison baseline. *)

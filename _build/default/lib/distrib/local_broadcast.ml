@@ -1,0 +1,52 @@
+module Rng = Bg_prelude.Rng
+
+type result = {
+  rounds : int;
+  completed : bool;
+  deliveries : int;
+  pairs : int;
+}
+
+let run ?power ?(beta = 1.) ?(noise = 0.) ?(max_rounds = 5000) rng space
+    ~radius =
+  let n = Bg_decay.Decay_space.n space in
+  let power =
+    match power with
+    | Some p -> p
+    | None -> if noise > 0. then beta *. noise *. radius *. 4. else 1.
+  in
+  let neighbours = Array.init n (Sim.neighbourhood space ~radius) in
+  (* Transmission probability: keep the expected number of transmitters in
+     each neighbourhood around one — the constant-density invariant of the
+     randomized local-broadcast algorithms. *)
+  let prob =
+    Array.init n (fun v -> 1. /. float_of_int (1 + List.length neighbours.(v)))
+  in
+  let pending = Hashtbl.create 64 in
+  Array.iteri
+    (fun v ns -> List.iter (fun u -> Hashtbl.replace pending (v, u) ()) ns)
+    neighbours;
+  let pairs = Hashtbl.length pending in
+  let rounds = ref 0 in
+  while Hashtbl.length pending > 0 && !rounds < max_rounds do
+    incr rounds;
+    let transmitters = ref [] in
+    for v = n - 1 downto 0 do
+      if Rng.bernoulli rng prob.(v) then transmitters := v :: !transmitters
+    done;
+    let txs = !transmitters in
+    if txs <> [] then
+      for u = 0 to n - 1 do
+        match
+          Sim.decodes ~space ~noise ~beta ~power ~transmitters:txs ~receiver:u
+        with
+        | Some s when Hashtbl.mem pending (s, u) -> Hashtbl.remove pending (s, u)
+        | Some _ | None -> ()
+      done
+  done;
+  {
+    rounds = !rounds;
+    completed = Hashtbl.length pending = 0;
+    deliveries = pairs - Hashtbl.length pending;
+    pairs;
+  }

@@ -1,0 +1,25 @@
+(** Randomized local broadcast on a decay space (the annulus-argument
+    algorithm family of §3.3: [22, 68, 69, 32]).
+
+    Every node holds one message and must deliver it to every node of its
+    decay-ball neighbourhood [B(v, radius)].  Nodes transmit independently
+    each round with a density-scaled probability (the expected number of
+    transmitters per neighbourhood stays constant — the invariant whose
+    interference analysis is exactly Theorem 2's annulus argument); a
+    delivery happens when the receiver decodes the sender under thresholded
+    SINR.  The round count until completion is governed by the fading
+    parameter [gamma(radius)] of the space. *)
+
+type result = {
+  rounds : int;  (** rounds until every neighbour pair was served *)
+  completed : bool;  (** false if [max_rounds] ran out first *)
+  deliveries : int;  (** number of (sender, neighbour) pairs served *)
+  pairs : int;  (** total neighbour pairs to serve *)
+}
+
+val run :
+  ?power:float -> ?beta:float -> ?noise:float -> ?max_rounds:int ->
+  Bg_prelude.Rng.t -> Bg_decay.Decay_space.t -> radius:float -> result
+(** Simulate until completion or [max_rounds] (default 5000).  [power]
+    defaults to [beta * noise * radius * 4] when noise is positive (enough
+    margin to decode across the neighbourhood), else 1. *)

@@ -1,0 +1,70 @@
+module I = Bg_sinr.Instance
+module Rng = Bg_prelude.Rng
+
+type result = {
+  rounds : int;
+  avg_successes : float;
+  final_active : Bg_sinr.Link.t list;
+  active_feasible : bool;
+  convergence_round : int option;
+}
+
+let run ?(power = Bg_sinr.Power.uniform 1.) ?(rounds = 800)
+    ?(learning_rate = 0.25) ?(penalty = 0.6) ?(jam_prob = 0.) rng (t : I.t) =
+  if jam_prob < 0. || jam_prob > 1. then
+    invalid_arg "Regret.run: jam_prob out of [0,1]";
+  let n = Array.length t.I.links in
+  (* Weight of the transmit action; sleep is fixed at weight 1. *)
+  let w = Array.make n 1. in
+  let prob i = w.(i) /. (w.(i) +. 1.) in
+  let successes_tail = ref 0 and tail_rounds = ref 0 in
+  let last_active : bool array = Array.make n false in
+  let last_change = ref 0 in
+  for round = 1 to rounds do
+    let transmitting =
+      Array.to_list t.I.links
+      |> List.filter (fun l -> Rng.bernoulli rng (prob l.Bg_sinr.Link.id))
+    in
+    let outcomes = Sim.link_outcomes t power ~transmitting in
+    let outcomes =
+      if jam_prob = 0. then outcomes
+      else
+        List.map
+          (fun (l, ok) -> (l, ok && not (Rng.bernoulli rng jam_prob)))
+          outcomes
+    in
+    List.iter
+      (fun (l, ok) ->
+        let i = l.Bg_sinr.Link.id in
+        let payoff = if ok then 1. else -.penalty in
+        w.(i) <- w.(i) *. exp (learning_rate *. payoff);
+        (* Keep weights in a sane dynamic range. *)
+        w.(i) <- Bg_prelude.Numerics.clamp ~lo:1e-6 ~hi:1e6 w.(i))
+      outcomes;
+    (* Track the active-set trajectory. *)
+    for i = 0 to n - 1 do
+      let active = prob i > 0.5 in
+      if active <> last_active.(i) then begin
+        last_active.(i) <- active;
+        last_change := round
+      end
+    done;
+    if round > 3 * rounds / 4 then begin
+      incr tail_rounds;
+      successes_tail :=
+        !successes_tail + List.length (List.filter snd outcomes)
+    end
+  done;
+  let final_active =
+    Array.to_list t.I.links
+    |> List.filter (fun l -> prob l.Bg_sinr.Link.id > 0.5)
+  in
+  {
+    rounds;
+    avg_successes =
+      (if !tail_rounds = 0 then 0.
+       else float_of_int !successes_tail /. float_of_int !tail_rounds);
+    final_active;
+    active_feasible = Bg_sinr.Feasibility.is_feasible t power final_active;
+    convergence_round = (if !last_change < rounds then Some !last_change else None);
+  }

@@ -1,0 +1,32 @@
+(** Distributed capacity by no-regret dynamics (the [14],[1] family that
+    Proposition 1 transfers to decay spaces).
+
+    Every link independently runs multiplicative weights over the two
+    actions transmit / sleep: transmitting pays 1 on success and [-penalty]
+    on failure, sleeping pays 0.  Each link only observes its own outcome —
+    fully distributed.  The dynamics converge (in the amicability-governed
+    sense of §4.1) to a state whose per-round successful-transmission count
+    is a constant fraction of the optimum; the experiments track throughput
+    and convergence time as the decay space's parameters grow. *)
+
+type result = {
+  rounds : int;  (** rounds simulated *)
+  avg_successes : float;
+      (** mean successful transmissions per round over the last quarter *)
+  final_active : Bg_sinr.Link.t list;
+      (** links whose transmit probability ended above 1/2 *)
+  active_feasible : bool;  (** whether that active set is SINR-feasible *)
+  convergence_round : int option;
+      (** first round after which the active set never changed *)
+}
+
+val run :
+  ?power:Bg_sinr.Power.t -> ?rounds:int -> ?learning_rate:float ->
+  ?penalty:float -> ?jam_prob:float -> Bg_prelude.Rng.t ->
+  Bg_sinr.Instance.t -> result
+(** Simulate the dynamics.  Defaults: 800 rounds, learning rate 0.25,
+    penalty 0.6.  [jam_prob] (default 0) lets an oblivious jammer destroy
+    each transmission independently with that probability — the
+    jamming-resistant-learning setting of [11] that the paper notes
+    carries over to decay spaces; no-regret dynamics degrade gracefully
+    rather than collapse.  Deterministic given the generator. *)

@@ -1,0 +1,41 @@
+module I = Bg_sinr.Instance
+
+let link_outcomes (t : I.t) power ~transmitting =
+  List.map
+    (fun lv ->
+      (lv, Bg_sinr.Feasibility.sinr t power transmitting lv >= t.I.beta))
+    transmitting
+
+let decodes ~space ~noise ~beta ~power ~transmitters ~receiver =
+  if List.mem receiver transmitters then None
+  else begin
+    let strengths =
+      List.map
+        (fun s -> (s, power /. Bg_decay.Decay_space.decay space s receiver))
+        transmitters
+    in
+    let total = List.fold_left (fun a (_, p) -> a +. p) 0. strengths in
+    let best =
+      List.fold_left
+        (fun acc (s, p) ->
+          match acc with
+          | Some (_, bp) when bp >= p -> acc
+          | _ -> Some (s, p))
+        None strengths
+    in
+    match best with
+    | None -> None
+    | Some (s, p) ->
+        let interference = noise +. (total -. p) in
+        let sinr = if interference = 0. then infinity else p /. interference in
+        if sinr >= beta then Some s else None
+  end
+
+let neighbourhood space ~radius v =
+  let n = Bg_decay.Decay_space.n space in
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    if u <> v && Bg_decay.Decay_space.decay space v u <= radius then
+      acc := u :: !acc
+  done;
+  !acc

@@ -1,0 +1,27 @@
+(** Synchronous-round SINR network simulator over a decay space.
+
+    Each round a set of senders transmit simultaneously; reception is
+    decided by the thresholded SINR computed from the decay matrix (§2.1) —
+    exactly the physical model the distributed algorithms of §3 are
+    analysed in.  Both a link-level view (does link v's own transmission
+    get through?) and a node-level view (which transmitter, if any, does a
+    listening node decode?) are provided. *)
+
+val link_outcomes :
+  Bg_sinr.Instance.t -> Bg_sinr.Power.t -> transmitting:Bg_sinr.Link.t list ->
+  (Bg_sinr.Link.t * bool) list
+(** For every transmitting link, whether its receiver decodes it against
+    the interference of all the others. *)
+
+val decodes :
+  space:Bg_decay.Decay_space.t -> noise:float -> beta:float -> power:float ->
+  transmitters:int list -> receiver:int -> int option
+(** Node-level capture: among uniform-power [transmitters], the one the
+    [receiver] decodes ([None] if no SINR clears [beta]).  A receiver that
+    is itself transmitting decodes nothing (half-duplex). *)
+
+val neighbourhood :
+  Bg_decay.Decay_space.t -> radius:float -> int -> int list
+(** Nodes whose decay *from* the given node is at most [radius] — the
+    communication neighbourhood used by local broadcast (excludes the node
+    itself). *)

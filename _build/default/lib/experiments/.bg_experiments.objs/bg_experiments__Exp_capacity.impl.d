@@ -1,0 +1,1 @@
+lib/experiments/exp_capacity.ml: Array Core Float List Printf

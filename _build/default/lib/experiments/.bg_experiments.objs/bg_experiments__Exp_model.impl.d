@@ -1,0 +1,1 @@
+lib/experiments/exp_model.ml: Array Core Float List Option Printf

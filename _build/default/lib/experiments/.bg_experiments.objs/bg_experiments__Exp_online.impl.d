@@ -1,0 +1,1 @@
+lib/experiments/exp_online.ml: Array Core List

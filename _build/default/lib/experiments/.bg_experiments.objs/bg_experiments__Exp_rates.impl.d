@@ -1,0 +1,1 @@
+lib/experiments/exp_rates.ml: Array Core List

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_applications Exp_capacity Exp_dimension3 Exp_extensions Exp_flow Exp_model Exp_online Exp_rates Exp_scaling Exp_system List Printf String

@@ -1,0 +1,11 @@
+(** Experiment E28: ablation of Algorithm 1's design choices.
+
+    The algorithm has three moving parts — the [zeta/2] separation test,
+    the [1/2] affectance-headroom test, and the final in-affectance
+    filter.  The ablation disables / varies each and measures selection
+    size, feasibility rate and distance to optimum, showing which piece
+    buys what (the separation test buys the Theorem 5 analysis; the
+    headroom test buys feasibility; the final filter is a safety net the
+    analysis needs but random instances rarely trigger). *)
+
+val e28_alg1_ablation : unit -> bool

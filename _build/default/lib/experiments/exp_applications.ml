@@ -1,0 +1,165 @@
+module I = Core.Sinr.Instance
+module Pw = Core.Sinr.Power
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module D = Core.Decay.Decay_space
+
+(* E18 — spectrum auctions: allocation quality and incentive checks. *)
+let e18_spectrum_auction () =
+  let t = T.create ~title:"E18  Spectrum auction [38]: greedy truthful mechanism vs exact welfare optimum"
+      [ "alpha"; "welfare greedy"; "welfare OPT"; "ratio"; "payments <= bids";
+        "monotone" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun alpha ->
+      let inst =
+        I.random_planar (Rng.create 1401) ~n_links:12 ~side:18. ~alpha ~lmin:1.
+          ~lmax:2.
+      in
+      let g = Rng.create 1402 in
+      let bids =
+        Array.init (Array.length inst.I.links) (fun _ ->
+            1. +. Rng.float g 9.)
+      in
+      let o = Core.Capacity.Auction.run inst ~bids in
+      let opt_set = Core.Capacity.Weighted.exact inst bids in
+      let opt = Core.Capacity.Weighted.total bids opt_set in
+      let ratio = opt /. Float.max 1e-9 o.Core.Capacity.Auction.welfare in
+      let payments_ok =
+        List.for_all
+          (fun (id, pay) -> pay <= bids.(id) +. 1e-6 && pay >= 0.)
+          o.Core.Capacity.Auction.payments
+      in
+      let monotone =
+        List.for_all
+          (fun l -> Core.Capacity.Auction.is_winner_monotone inst ~bids l)
+          o.Core.Capacity.Auction.winners
+      in
+      if not (payments_ok && monotone && ratio < 3.) then ok := false;
+      T.add_row t
+        [ T.F alpha; T.F2 o.Core.Capacity.Auction.welfare; T.F2 opt; T.F2 ratio;
+          T.S (string_of_bool payments_ok); T.S (string_of_bool monotone) ])
+    [ 2.; 3.; 4.; 6. ];
+  T.print t;
+  !ok
+
+(* E19 — conflict graphs: how much does the pairwise abstraction lose? *)
+let e19_conflict_graphs () =
+  let t = T.create ~title:"E19  Conflict graphs [61,60]: pairwise abstraction vs additive SINR"
+      [ "side"; "alpha"; "true capacity"; "graph capacity"; "overestimate";
+        "CG slots"; "SINR slots"; "slot fidelity" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (side, alpha) ->
+      let inst =
+        I.random_planar (Rng.create 1501) ~n_links:14 ~side ~alpha ~lmin:1.
+          ~lmax:2.
+      in
+      let true_cap = List.length (Core.Capacity.Exact.capacity inst) in
+      let graph_cap = Core.Sched.Conflict_graph.graph_capacity inst in
+      let cg_slots = List.length (Core.Sched.Conflict_graph.schedule inst) in
+      let sinr_slots =
+        List.length (Core.Sched.Scheduler.first_fit inst)
+      in
+      let fid = Core.Sched.Conflict_graph.fidelity inst in
+      if graph_cap < true_cap then ok := false;
+      T.add_row t
+        [ T.F side; T.F alpha; T.I true_cap; T.I graph_cap;
+          T.F2 (float_of_int graph_cap /. float_of_int (max 1 true_cap));
+          T.I cg_slots; T.I sinr_slots; T.F2 fid ])
+    [ (40., 3.); (14., 3.); (7., 3.); (14., 2.); (14., 5.) ];
+  T.print t;
+  print_endline
+    "E19 reading: the graph model never under-counts capacity (independent pairs\n\
+     stay independent) but its slots lose SINR-feasibility as density grows —\n\
+     the additive-interference gap the conflict-graph literature bounds.";
+  print_newline ();
+  !ok
+
+(* E20 — the remaining distributed protocol families + measurement. *)
+let e20_protocol_suite () =
+  let t = T.create ~title:"E20  Protocol suite [13,67,55] across spaces, and RSSI sampling [sec 2.2]"
+      [ "space"; "bcast rounds"; "bcast done"; "color rounds"; "proper";
+        "palette/(D+1)"; "domset rounds"; "dominating"; "leaders" ]
+  in
+  let ok = ref true in
+  let run ?bcast_power name space ~radius =
+    (* Noise bounds solo reception (default: decay <= 4*radius), so the
+       broadcast is genuinely multi-hop rather than one lucky solo round;
+       spaces whose diameter exceeds that reach pass an explicit power. *)
+    let bc =
+      Core.Distrib.Broadcast.run ?power:bcast_power ~noise:1. ~max_rounds:6000
+        (Rng.create 1601) space ~source:0 ~radius
+    in
+    let col =
+      Core.Distrib.Coloring.run ~max_rounds:6000 (Rng.create 1602) space ~radius
+    in
+    let dom =
+      Core.Distrib.Dominating_set.run ~max_rounds:6000 (Rng.create 1603) space
+        ~radius
+    in
+    let delta = Core.Distrib.Coloring.max_degree space ~radius in
+    if
+      not
+        (bc.Core.Distrib.Broadcast.completed
+        && col.Core.Distrib.Coloring.proper
+        && dom.Core.Distrib.Dominating_set.dominating)
+    then ok := false;
+    T.add_row t
+      [ T.S name; T.I bc.Core.Distrib.Broadcast.rounds;
+        T.S (string_of_bool bc.Core.Distrib.Broadcast.completed);
+        T.I col.Core.Distrib.Coloring.rounds;
+        T.S (string_of_bool col.Core.Distrib.Coloring.proper);
+        T.F2
+          (float_of_int col.Core.Distrib.Coloring.palette
+          /. float_of_int (delta + 1));
+        T.I dom.Core.Distrib.Dominating_set.rounds;
+        T.S (string_of_bool dom.Core.Distrib.Dominating_set.dominating);
+        T.I (List.length dom.Core.Distrib.Dominating_set.leaders) ]
+  in
+  run "grid 5x5 alpha=3"
+    (D.of_points ~alpha:3. (Core.Decay.Spaces.grid_points ~rows:5 ~cols:5 ~spacing:1.))
+    ~radius:1.5;
+  run "random 20 alpha=3"
+    (D.of_points ~alpha:3.
+       (Core.Decay.Spaces.random_points (Rng.create 1604) ~n:20 ~side:5.))
+    ~radius:2.;
+  run ~bcast_power:800. "star k=14" (Core.Decay.Spaces.star ~k:14 ~r:4.)
+    ~radius:5.;
+  run "uniform n=16" (Core.Decay.Spaces.uniform 16) ~radius:1.5;
+  T.print t;
+  (* Sampling estimator: error vs K. *)
+  let st = T.create ~title:"E20b  RSSI sampling estimator under Rayleigh fading"
+      [ "samples K"; "median err (dB)"; "p95 err (dB)" ]
+  in
+  let env = Core.Radio.Environment.empty ~side:20. in
+  let nodes =
+    Core.Radio.Node.of_points
+      (Core.Decay.Spaces.random_points (Rng.create 1605) ~n:8 ~side:18.)
+  in
+  let cfg =
+    { Core.Radio.Propagation.default with
+      Core.Radio.Propagation.walls = false;
+      fading = Core.Radio.Propagation.Rayleigh }
+  in
+  let truth =
+    Core.Radio.Measure.decay_space ~seed:6
+      ~config:{ cfg with Core.Radio.Propagation.fading = Core.Radio.Propagation.No_fading }
+      env nodes
+  in
+  let prev = ref infinity in
+  List.iter
+    (fun k ->
+      let est =
+        Core.Radio.Sampling.estimate_decay_space ~seed:6 ~config:cfg ~samples:k
+          env nodes
+      in
+      let med, p95 = Core.Radio.Sampling.error_db ~truth ~estimate:est in
+      if med > !prev +. 0.3 then ok := false;
+      prev := med;
+      T.add_row st [ T.I k; T.F2 med; T.F2 p95 ])
+    [ 2; 8; 32; 128; 512 ];
+  T.print st;
+  !ok

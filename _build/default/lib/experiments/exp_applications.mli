@@ -1,0 +1,17 @@
+(** Experiments E18-E20: application-layer families the paper's §2.3 lists
+    as transferring to decay spaces — spectrum auctions [38, 37], conflict
+    graphs [61, 60], and the remaining §3.3 protocol families (broadcast
+    [13], coloring [67], dominating set [55]) together with the §2.2
+    measurement story (sampling estimator). *)
+
+val e18_spectrum_auction : unit -> bool
+(** Truthful greedy auction: winners feasible, payments critical and
+    bid-independent, welfare vs the exact optimum across an alpha sweep. *)
+
+val e19_conflict_graphs : unit -> bool
+(** Conflict-graph scheduling fidelity and capacity over-estimation as
+    density and metricity grow. *)
+
+val e20_protocol_suite : unit -> bool
+(** Broadcast, coloring and dominating set on planar vs adversarial vs
+    measured spaces, plus RSSI-sampling estimator convergence. *)

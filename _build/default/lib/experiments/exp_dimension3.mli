@@ -1,0 +1,8 @@
+(** Experiment E27: dimension parameters vs the ambient dimension.
+    Welzl's kissing-number bound on independence (§4.1) and Definition
+    3.3's fading threshold are checked in R^2 against R^3: independence
+    stays within the respective kissing numbers (6 and 12), the Assouad
+    estimate tracks [dim / alpha], and [alpha > dim] marks the fading
+    boundary in each ambient dimension. *)
+
+val e27_ambient_dimension : unit -> bool

@@ -1,0 +1,128 @@
+module I = Core.Sinr.Instance
+module Pw = Core.Sinr.Power
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module Stats = Core.Prelude.Stats
+
+(* E15 — power regimes.  Fix planar instances whose link lengths span a
+   growing range; compare the exact capacity under each fixed oblivious
+   assignment and feasibility of the whole set under optimal power
+   control.  The classical picture: with near-equal lengths all regimes
+   tie; with high dispersion, mean power dominates uniform. *)
+let e15_power_regimes () =
+  let t = T.create ~title:"E15  Power regimes: exact capacity under oblivious assignments (length dispersion sweep)"
+      [ "lmax/lmin"; "uniform"; "mean (sqrt)"; "linear"; "best oblivious";
+        "pc feasible (all)" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun spread ->
+      let caps = Array.make 3 0. in
+      let pc_all = ref 0 in
+      let trials = [ 1101; 1102; 1103 ] in
+      List.iter
+        (fun seed ->
+          let inst =
+            I.random_planar (Rng.create seed) ~n_links:12 ~side:20. ~alpha:3.
+              ~lmin:1. ~lmax:spread
+          in
+          let cap p =
+            List.length (Core.Capacity.Exact.capacity ~power:p inst)
+          in
+          caps.(0) <- caps.(0) +. float_of_int (cap (Pw.uniform 1.));
+          caps.(1) <- caps.(1) +. float_of_int (cap (Pw.mean ~coeff:1.));
+          caps.(2) <- caps.(2) +. float_of_int (cap (Pw.linear ~coeff:1.));
+          if
+            Core.Sinr.Power_control.is_feasible inst
+              (Array.to_list inst.I.links)
+          then incr pc_all)
+        trials;
+      let k = float_of_int (List.length trials) in
+      let u = caps.(0) /. k and m = caps.(1) /. k and l = caps.(2) /. k in
+      let best = if m >= u && m >= l then "mean" else if u >= l then "uniform" else "linear" in
+      (* Claim check: mean power is never worse than both extremes by more
+         than one link on average (it interpolates them). *)
+      if m +. 1. < Float.min u l then ok := false;
+      T.add_row t
+        [ T.F spread; T.F2 u; T.F2 m; T.F2 l; T.S best;
+          T.S (Printf.sprintf "%d/%d" !pc_all (List.length trials)) ])
+    [ 1.2; 4.; 16.; 64. ];
+  T.print t;
+  !ok
+
+(* E16 — dynamic packet scheduling: stability frontier of LQF vs random
+   access as the per-link arrival rate lambda grows. *)
+let e16_dynamic_stability () =
+  let t = T.create ~title:"E16  Dynamic scheduling: stability vs arrival rate (12 links, planar alpha=3)"
+      [ "lambda"; "LQF backlog"; "LQF stable"; "RA backlog"; "RA stable" ]
+  in
+  let inst =
+    I.random_planar (Rng.create 1201) ~n_links:12 ~side:18. ~alpha:3. ~lmin:1.
+      ~lmax:2.
+  in
+  let n = Array.length inst.I.links in
+  let run policy lambda seed =
+    Core.Sched.Dynamic.run ~slots:2000 ~policy
+      ~arrival_rates:(Array.make n lambda) (Rng.create seed) inst
+  in
+  let ok = ref true in
+  let lqf_low_stable = ref false and lqf_high_unstable = ref false in
+  List.iter
+    (fun lambda ->
+      let lqf = run Core.Sched.Dynamic.Longest_queue_first lambda 1202 in
+      let ra = run (Core.Sched.Dynamic.Random_access 0.25) lambda 1203 in
+      if lambda <= 0.15 && lqf.Core.Sched.Dynamic.stable then
+        lqf_low_stable := true;
+      if lambda >= 0.9 && not lqf.Core.Sched.Dynamic.stable then
+        lqf_high_unstable := true;
+      T.add_row t
+        [ T.F lambda; T.F2 lqf.Core.Sched.Dynamic.mean_backlog;
+          T.S (string_of_bool lqf.Core.Sched.Dynamic.stable);
+          T.F2 ra.Core.Sched.Dynamic.mean_backlog;
+          T.S (string_of_bool ra.Core.Sched.Dynamic.stable) ])
+    [ 0.05; 0.15; 0.3; 0.5; 0.7; 0.9 ];
+  if not (!lqf_low_stable && !lqf_high_unstable) then ok := false;
+  T.print t;
+  !ok
+
+(* E17 — Rayleigh fading: closed form vs Monte-Carlo, and expected fading
+   throughput of the threshold-model capacity sets. *)
+let e17_rayleigh () =
+  let t = T.create ~title:"E17  Rayleigh reduction [10]: closed form vs MC; threshold sets under fading"
+      [ "seed"; "closed form"; "monte carlo"; "|S| threshold"; "E[succ] fading";
+        "retention" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun seed ->
+      let inst =
+        I.random_planar (Rng.create seed) ~n_links:10 ~side:25. ~alpha:3.
+          ~lmin:1. ~lmax:2.
+      in
+      let p = Pw.uniform 1. in
+      let all = Array.to_list inst.I.links in
+      let lv = List.hd all in
+      let closed =
+        Core.Sinr.Rayleigh.success_probability inst p ~interferers:all lv
+      in
+      let mc =
+        Core.Sinr.Rayleigh.simulate_success_rate ~samples:20000
+          (Rng.create (seed + 7)) inst p ~interferers:all lv
+      in
+      if Float.abs (closed -. mc) > 0.02 then ok := false;
+      (* Take the threshold-model capacity set and score it under fading:
+         a 3 dB SINR margin keeps most of the expected throughput. *)
+      let s = Core.Capacity.Alg1.run inst in
+      let expected = Core.Sinr.Rayleigh.expected_successes inst p s in
+      let retention = expected /. float_of_int (max 1 (List.length s)) in
+      if retention < 0.4 then ok := false;
+      T.add_row t
+        [ T.I seed; T.F4 closed; T.F4 mc; T.I (List.length s); T.F2 expected;
+          T.F2 retention ])
+    [ 1301; 1302; 1303 ];
+  T.print t;
+  print_endline
+    "E17 reading: fading turns the feasibility predicate into a product formula the\n\
+     library evaluates exactly; threshold-model selections remain good under it.";
+  print_newline ();
+  !ok

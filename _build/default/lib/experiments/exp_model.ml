@@ -1,0 +1,219 @@
+module D = Core.Decay.Decay_space
+module Met = Core.Decay.Metricity
+module Dim = Core.Decay.Dimension
+module Fad = Core.Decay.Fading
+module Sp = Core.Decay.Spaces
+module I = Core.Sinr.Instance
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module Num = Core.Prelude.Numerics
+
+let ids links =
+  List.sort compare (List.map (fun l -> l.Core.Sinr.Link.id) links)
+
+(* E1 — Proposition 1: theory transfer.  GEO-SINR decay spaces have
+   zeta = alpha, and any algorithm run through the induced quasi-metric
+   (with path loss zeta) reproduces its direct run on the decay space. *)
+let e1_theory_transfer () =
+  let t = T.create ~title:"E1  Prop. 1: theory transfer (GEO-SINR embeds; quasi-metric run = direct run)"
+      [ "alpha"; "zeta(D)"; "|Alg1 direct|"; "|Alg1 via quasi-metric|"; "identical" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun alpha ->
+      let inst =
+        I.random_planar (Rng.create 101) ~n_links:20 ~side:40. ~alpha ~lmin:1.
+          ~lmax:3.
+      in
+      let zeta = Met.zeta inst.I.space in
+      let direct = Core.Capacity.Alg1.run inst in
+      let m, z = Core.Decay.Quasi_metric.induce ~zeta inst.I.space in
+      let space' = Core.Decay.Quasi_metric.round_trip ~zeta:z m in
+      let pairs =
+        Array.to_list
+          (Array.map
+             (fun l -> (l.Core.Sinr.Link.sender, l.Core.Sinr.Link.receiver))
+             inst.I.links)
+      in
+      let via = Core.Capacity.Alg1.run (I.make ~zeta:z space' pairs) in
+      let same = ids direct = ids via in
+      if not (same && Float.abs (zeta -. alpha) < 0.01) then ok := false;
+      T.add_row t
+        [ T.F alpha; T.F4 zeta; T.I (List.length direct); T.I (List.length via);
+          T.S (string_of_bool same) ])
+    [ 2.; 3.; 4. ];
+  T.print t;
+  !ok
+
+(* E2 — Theorem 2: gamma(r) <= C 2^(A+1) (zetahat(2-A) - 1) on fading
+   spaces.  The constant C is calibrated from the measured packing growth
+   g(q) <= C q^A. *)
+let e2_fading_bound () =
+  let t = T.create ~title:"E2  Thm 2: fading parameter vs closed-form bound on doubling spaces"
+      [ "space"; "alpha"; "A (est)"; "C (est)"; "r"; "gamma(r)"; "bound"; "holds" ]
+  in
+  let ok = ref true in
+  let qs = [ 2.; 4.; 8. ] in
+  List.iter
+    (fun (name, alpha, space) ->
+      let a = Dim.assouad ~qs space in
+      let a = Float.min a 0.95 in
+      (* Calibrate C as the worst measured g(q) / q^A. *)
+      let c =
+        List.fold_left
+          (fun acc q ->
+            let g = float_of_int (Dim.packing_growth space ~q) in
+            Float.max acc (g /. (q ** a)))
+          1. qs
+      in
+      List.iter
+        (fun r ->
+          let gamma = Fad.gamma ~exact_limit:18 space ~r in
+          let bound = Fad.theorem2_bound ~c ~a in
+          let holds = gamma <= bound +. 1e-9 in
+          if not holds then ok := false;
+          T.add_row t
+            [ T.S name; T.F alpha; T.F4 a; T.F2 c; T.F r; T.F4 gamma;
+              T.F4 bound; T.S (string_of_bool holds) ])
+        [ 1.; 4. ])
+    [
+      ("grid 6x6", 3., D.of_points ~alpha:3. (Sp.grid_points ~rows:6 ~cols:6 ~spacing:1.));
+      ("grid 6x6", 4., D.of_points ~alpha:4. (Sp.grid_points ~rows:6 ~cols:6 ~spacing:1.));
+      ("random 30", 3., D.of_points ~alpha:3. (Sp.random_points (Rng.create 7) ~n:30 ~side:6.));
+      ("random 30", 4.5, D.of_points ~alpha:4.5 (Sp.random_points (Rng.create 7) ~n:30 ~side:6.));
+    ];
+  T.print t;
+  !ok
+
+(* E3 — the star example of section 3.4: doubling dimension grows with k
+   while interference at the close leaf stays bounded (and the far-leaf
+   share vanishes). *)
+let e3_star_example () =
+  let t = T.create ~title:"E3  Sec. 3.4 star: unbounded dimension, bounded fading value"
+      [ "k"; "quasi-doubling A'"; "gamma_z(x_-1, r)"; "far-leaf share"; "vanishing" ]
+  in
+  let ok = ref true in
+  let r = 4. in
+  let prev_share = ref infinity in
+  List.iter
+    (fun k ->
+      let space = Sp.star ~k ~r in
+      let a' = Dim.quasi_doubling ~zeta:1. space in
+      let g, witness = Fad.gamma_z ~exact_limit:60 space ~z:1 ~r in
+      let leaves = List.filter (fun x -> x >= 2) witness in
+      let share = r *. Fad.interference_at space ~z:1 ~senders:leaves ~power:1. in
+      let vanishing = share < !prev_share in
+      prev_share := share;
+      if not (vanishing && g < 2.) then ok := false;
+      T.add_row t
+        [ T.I k; T.F4 a'; T.F4 g; T.F4 share; T.S (string_of_bool vanishing) ])
+    [ 4; 8; 16; 32 ];
+  T.print t;
+  !ok
+
+(* E9 — zeta vs phi across the zoo; the three-point family separates them. *)
+let e9_zeta_vs_phi () =
+  let t = T.create ~title:"E9  Sec. 4.2: metricity zeta vs variant phi (phi_log <= zeta everywhere)"
+      [ "space"; "n"; "zeta"; "phi"; "lg phi"; "lg phi <= zeta" ]
+  in
+  let ok = ref true in
+  let row name space =
+    let z = Met.zeta space and p = Met.phi space in
+    let holds = Num.log2 p <= z +. 1e-6 in
+    if not holds then ok := false;
+    T.add_row t
+      [ T.S name; T.I (D.n space); T.F4 z; T.F4 p; T.F4 (Num.log2 p);
+        T.S (string_of_bool holds) ]
+  in
+  row "euclid a=3 (n=20)"
+    (D.of_points ~alpha:3. (Sp.random_points (Rng.create 11) ~n:20 ~side:10.));
+  row "uniform (n=12)" (Sp.uniform 12);
+  row "star k=10" (Sp.star ~k:10 ~r:2.);
+  row "welzl n=8" (Sp.welzl ~n:8 ~eps:0.25);
+  List.iter
+    (fun q -> row (Printf.sprintf "three-point q=1e%d" (int_of_float (log10 q)))
+        (Sp.three_point ~q))
+    [ 1e2; 1e4; 1e6; 1e8 ];
+  let g = Core.Graph.Graph.random (Rng.create 12) 8 0.5 in
+  let mis_space, _ = Sp.mis_construction g in
+  row "thm3 G(8,.5)" mis_space;
+  let two_line, _ = Sp.two_line (Core.Graph.Graph.random (Rng.create 13) 6 0.5) ~alpha':2. () in
+  row "thm6 n=6 a'=2" two_line;
+  let env =
+    Core.Radio.Environment.random_clutter (Rng.create 14) ~side:25. ~n_walls:20
+      [ Core.Radio.Material.concrete ]
+  in
+  let nodes =
+    Core.Radio.Node.of_points (Sp.random_points (Rng.create 15) ~n:14 ~side:24.)
+  in
+  row "indoor clutter (n=14)" (Core.Radio.Measure.decay_space ~seed:1 env nodes);
+  (* Separation: zeta grows along the three-point family while phi < 2. *)
+  let z_small = Met.zeta (Sp.three_point ~q:1e2) in
+  let z_large = Met.zeta (Sp.three_point ~q:1e8) in
+  if not (z_large > z_small +. 1. && Met.phi (Sp.three_point ~q:1e8) < 2.) then
+    ok := false;
+  T.print t;
+  !ok
+
+(* E10 — Welzl's construction: doubling dimension 1, independence n+1. *)
+let e10_welzl () =
+  let t = T.create ~title:"E10  Welzl construction: doubling dim 1, unbounded independence dim"
+      [ "n"; "quasi-doubling A'"; "independence dim"; "expected"; "match" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let space = Sp.welzl ~n ~eps:0.25 in
+      let a' = Dim.quasi_doubling ~zeta:1. space in
+      let indep = Dim.independence_dimension ~exact_limit:40 space in
+      let good = indep = n + 1 && a' <= 1.01 in
+      if not good then ok := false;
+      T.add_row t
+        [ T.I n; T.F4 a'; T.I indep; T.I (n + 1); T.S (string_of_bool good) ])
+    [ 4; 8; 12; 16 ];
+  T.print t;
+  !ok
+
+(* E11 — guards on the plane: greedy guard sets of size <= 6; the explicit
+   six-sector construction verifies as a guard set. *)
+let e11_guards () =
+  let t = T.create ~title:"E11  Sec. 4.1 guards: planar guard sets (<= 6) and independence (<= 6)"
+      [ "seed"; "n"; "max greedy guards"; "independence dim"; "sectors verify" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun seed ->
+      let pts = Sp.random_points (Rng.create seed) ~n:20 ~side:10. in
+      let arr = Array.of_list pts in
+      let space = D.of_points ~alpha:2. pts in
+      let guards = Dim.max_guard_count space in
+      let indep = Dim.independence_dimension ~exact_limit:30 space in
+      (* The six-sector construction around node 0: nearest point in each
+         60-degree sector. *)
+      let x = 0 in
+      let sector_guard s =
+        let lo = float_of_int s *. Float.pi /. 3. -. Float.pi in
+        let hi = lo +. (Float.pi /. 3.) in
+        let best = ref None in
+        Array.iteri
+          (fun i p ->
+            if i <> x then begin
+              let d = Core.Geom.Point.sub p arr.(x) in
+              let a = atan2 d.Core.Geom.Point.y d.Core.Geom.Point.x in
+              if a >= lo && a < hi then
+                match !best with
+                | Some (_, bd) when bd <= Core.Geom.Point.dist arr.(x) p -> ()
+                | _ -> best := Some (i, Core.Geom.Point.dist arr.(x) p)
+            end)
+          arr;
+        Option.map fst !best
+      in
+      let sector_guards = List.filter_map sector_guard [ 0; 1; 2; 3; 4; 5 ] in
+      let sectors_ok = Dim.is_guard_set space ~x sector_guards in
+      let good = guards <= 6 && indep <= 6 && sectors_ok in
+      if not good then ok := false;
+      T.add_row t
+        [ T.I seed; T.I 20; T.I guards; T.I indep; T.S (string_of_bool sectors_ok) ])
+    [ 201; 202; 203; 204 ];
+  T.print t;
+  !ok

@@ -1,0 +1,88 @@
+module I = Core.Sinr.Instance
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module On = Core.Capacity.Online
+module Cont = Core.Distrib.Contention
+
+(* E21 — online capacity: naive vs separation-guarded admission under
+   random and adversarial (weakest-first) arrival orders. *)
+let e21_online_capacity () =
+  let t = T.create ~title:"E21  Online capacity [15]: admission rules vs arrival order (OPT via B&B)"
+      [ "order"; "alpha"; "OPT"; "naive accepted"; "naive ratio";
+        "guarded accepted"; "guarded ratio" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun (order_name, order_fn) ->
+          let inst =
+            I.random_planar (Rng.create 1701) ~n_links:14 ~side:12. ~alpha
+              ~lmin:1. ~lmax:3.
+          in
+          let arrival = order_fn inst in
+          let naive = On.feasibility_only inst ~arrival in
+          let guarded = On.guarded inst ~arrival in
+          let opt = List.length (Core.Capacity.Exact.capacity inst) in
+          let ratio s = float_of_int opt /. float_of_int (max 1 (List.length s)) in
+          (* Both rules must stay within a moderate factor on these small
+             instances; the guarded rule must never be catastrophically
+             worse than naive. *)
+          if ratio guarded > 8. then ok := false;
+          T.add_row t
+            [ T.S order_name; T.F alpha; T.I opt; T.I (List.length naive);
+              T.F2 (ratio naive); T.I (List.length guarded);
+              T.F2 (ratio guarded) ])
+        [
+          ( "random",
+            fun (inst : I.t) ->
+              let arr = Array.copy inst.I.links in
+              Core.Prelude.Rng.shuffle (Rng.create 1702) arr;
+              Array.to_list arr );
+          ( "weakest-first",
+            fun (inst : I.t) ->
+              List.sort
+                (fun a b -> Core.Sinr.Link.compare_by_decay inst.I.space b a)
+                (Array.to_list inst.I.links) );
+        ])
+    [ 3.; 5. ];
+  T.print t;
+  !ok
+
+(* E22 — contention resolution: drain time across density and spaces. *)
+let e22_contention_resolution () =
+  let t = T.create ~title:"E22  Contention resolution [45]: rounds to drain one packet per link"
+      [ "instance"; "links"; "fixed p=0.25"; "backoff p0=0.8"; "all done" ]
+  in
+  let ok = ref true in
+  let run name (inst : I.t) =
+    let f = Cont.run ~max_rounds:20000 ~policy:(Cont.Fixed 0.25) (Rng.create 1801) inst in
+    let b = Cont.run ~max_rounds:20000 ~policy:(Cont.Backoff 0.8) (Rng.create 1802) inst in
+    let done_ = f.Cont.completed && b.Cont.completed in
+    if not done_ then ok := false;
+    T.add_row t
+      [ T.S name; T.I (Array.length inst.I.links); T.I f.Cont.rounds;
+        T.I b.Cont.rounds; T.S (string_of_bool done_) ]
+  in
+  run "planar sparse (side 60)"
+    (I.random_planar (Rng.create 1803) ~n_links:12 ~side:60. ~alpha:3. ~lmin:1. ~lmax:2.);
+  run "planar dense (side 8)"
+    (I.random_planar (Rng.create 1804) ~n_links:12 ~side:8. ~alpha:3. ~lmin:1. ~lmax:2.);
+  let g = Core.Graph.Graph.cycle 8 in
+  let sp, pairs = Core.Decay.Spaces.mis_construction g in
+  run "thm3 C8 (MIS space)" (I.equi_decay_of_space sp pairs);
+  let env =
+    Core.Radio.Environment.office ~rooms_x:3 ~rooms_y:3 ~room_size:6.
+      Core.Radio.Material.drywall
+  in
+  let nodes =
+    Core.Radio.Node.of_points
+      (Core.Decay.Spaces.random_points (Rng.create 1805) ~n:24 ~side:17.)
+  in
+  let space = Core.Radio.Measure.decay_space ~seed:9 env nodes in
+  run "indoor office"
+    (I.random_links_in_space ~zeta:(Core.Decay.Metricity.zeta space)
+       (Rng.create 1806) ~n_links:10
+       ~max_decay:(Core.Decay.Decay_space.max_decay space) space);
+  T.print t;
+  !ok

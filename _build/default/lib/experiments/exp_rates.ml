@@ -1,0 +1,63 @@
+module I = Core.Sinr.Instance
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module R = Core.Sched.Rates
+module Cog = Core.Capacity.Cognitive
+
+let e23_rates_and_cognitive () =
+  let ok = ref true in
+  (* Part A: flexible data rates. *)
+  let t = T.create ~title:"E23a  Flexible data rates [43]: slots to serve demands (greedy rate scheduler)"
+      [ "side"; "demand/link"; "slots"; "completed"; "verified" ]
+  in
+  List.iter
+    (fun (side, demand) ->
+      let inst =
+        I.random_planar (Rng.create 1901) ~n_links:10 ~side ~alpha:3. ~lmin:1.
+          ~lmax:2.
+      in
+      let demands = Array.make 10 demand in
+      let r = R.schedule ~demands inst in
+      let v = R.verify inst ~demands r in
+      if not (r.R.completed && v) then ok := false;
+      T.add_row t
+        [ T.F side; T.F demand; T.I r.R.slots; T.S (string_of_bool r.R.completed);
+          T.S (string_of_bool v) ])
+    [ (30., 4.); (30., 16.); (8., 4.); (8., 16.) ];
+  T.print t;
+  (* Part B: cognitive radio. *)
+  let t2 = T.create ~title:"E23b  Cognitive radio [33]: secondary admission under primary protection"
+      [ "seed"; "primaries"; "secondaries"; "greedy admit"; "exact admit";
+        "primaries safe" ]
+  in
+  List.iter
+    (fun seed ->
+      let inst =
+        I.random_planar (Rng.create seed) ~n_links:14 ~side:16. ~alpha:3.
+          ~lmin:1. ~lmax:2.
+      in
+      let all = Array.to_list inst.I.links in
+      let rec take k = function
+        | l :: rest when k > 0 ->
+            let a, b = take (k - 1) rest in
+            (l :: a, b)
+        | rest -> ([], rest)
+      in
+      let prim_cand, secondaries = take 4 all in
+      let primaries =
+        Core.Capacity.Greedy.strongest_first
+          (I.with_links inst (Array.of_list prim_cand))
+      in
+      let g = Cog.greedy inst ~primaries ~secondaries in
+      let e = Cog.exact inst ~primaries ~secondaries in
+      let safe =
+        Cog.admission_is_safe inst ~primaries ~admitted:e
+        && Cog.admission_is_safe inst ~primaries ~admitted:g
+      in
+      if not (safe && List.length e >= List.length g) then ok := false;
+      T.add_row t2
+        [ T.I seed; T.I (List.length primaries); T.I (List.length secondaries);
+          T.I (List.length g); T.I (List.length e); T.S (string_of_bool safe) ])
+    [ 1902; 1903; 1904 ];
+  T.print t2;
+  !ok

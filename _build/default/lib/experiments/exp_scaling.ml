@@ -1,0 +1,45 @@
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module Met = Core.Decay.Metricity
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, (Unix.gettimeofday () -. t0) *. 1e3)
+
+let e24_metricity_scaling () =
+  let t = T.create ~title:"E24  Metricity at scale: exact vs sampled estimators on indoor spaces"
+      [ "n"; "exact zeta"; "ms"; "triple-sampled (20k)"; "ms";
+        "node-subsampled (8x24)"; "ms"; "both lower bounds" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let env =
+        Core.Radio.Environment.random_clutter (Rng.create 2001) ~side:40.
+          ~n_walls:30
+          [ Core.Radio.Material.concrete; Core.Radio.Material.drywall ]
+      in
+      let nodes =
+        Core.Radio.Node.of_points
+          (Core.Decay.Spaces.random_points (Rng.create (2002 + n)) ~n ~side:38.)
+      in
+      let space = Core.Radio.Measure.decay_space ~seed:2 env nodes in
+      let exact, t_exact = time_it (fun () -> Met.zeta space) in
+      let sampled, t_sampled =
+        time_it (fun () -> Met.zeta_sampled ~samples:20_000 (Rng.create 3) space)
+      in
+      let sub, t_sub =
+        time_it (fun () ->
+            Met.zeta_subsampled ~rounds:8 ~nodes:(min 24 n) (Rng.create 4) space)
+      in
+      let lower = sampled <= exact +. 1e-9 && sub <= exact +. 1e-9 in
+      if not lower then ok := false;
+      (* The estimators should recover a substantial share of the truth. *)
+      if sampled < 0.5 *. exact && sub < 0.5 *. exact then ok := false;
+      T.add_row t
+        [ T.I n; T.F2 exact; T.F2 t_exact; T.F2 sampled; T.F2 t_sampled;
+          T.F2 sub; T.F2 t_sub; T.S (string_of_bool lower) ])
+    [ 30; 60; 100 ];
+  T.print t;
+  !ok

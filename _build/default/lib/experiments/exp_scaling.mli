@@ -1,0 +1,8 @@
+(** Experiment E24: engineering-side scaling of the metricity computation —
+    exact O(n^3) vs triple sampling vs node-subsampling on measured indoor
+    spaces, with wall-clock cost.  Not a paper claim; the due diligence a
+    release needs so users know which estimator to reach for. *)
+
+val e24_metricity_scaling : unit -> bool
+(** Both estimators stay within the exact value (lower bounds) and recover
+    most of it at a fraction of the cost. *)

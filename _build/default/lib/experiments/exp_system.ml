@@ -1,0 +1,164 @@
+module D = Core.Decay.Decay_space
+module Met = Core.Decay.Metricity
+module Fad = Core.Decay.Fading
+module Sp = Core.Decay.Spaces
+module I = Core.Sinr.Instance
+module T = Core.Prelude.Table
+module Rng = Core.Prelude.Rng
+module Prop = Core.Radio.Propagation
+module Env = Core.Radio.Environment
+module Meas = Core.Radio.Measure
+module Node = Core.Radio.Node
+module LB = Core.Distrib.Local_broadcast
+
+(* E12 — distributed algorithms across spaces of growing fading value:
+   local-broadcast round counts track gamma(r); the no-regret game and
+   aggregation run unchanged on every space (Prop. 1 for the distributed
+   families of section 3.3). *)
+let e12_distributed () =
+  let t = T.create ~title:"E12  Sec. 3: distributed algorithms vs the fading parameter gamma(r)"
+      [ "space"; "n"; "gamma(r)"; "LB rounds"; "LB done"; "regret thpt";
+        "agg slots" ]
+  in
+  let rows = ref [] in
+  let run name space ~radius =
+    let n = D.n space in
+    let gamma = Fad.gamma ~exact_limit:16 space ~r:radius in
+    let lb = LB.run ~max_rounds:4000 (Rng.create 801) space ~radius in
+    let zeta = Met.zeta space in
+    let inst =
+      I.random_links_in_space ~zeta (Rng.create 802) ~n_links:(min 6 (n / 3))
+        ~max_decay:(D.max_decay space) space
+    in
+    let game = Core.Distrib.Regret.run ~rounds:500 (Rng.create 803) inst in
+    let agg = Core.Distrib.Aggregation.run ~power:(2. *. D.max_decay space)
+        ~beta:1.5 ~noise:1. space ~sink:0 in
+    rows := (gamma, lb.LB.rounds) :: !rows;
+    T.add_row t
+      [ T.S name; T.I n; T.F4 gamma; T.I lb.LB.rounds;
+        T.S (string_of_bool lb.LB.completed);
+        T.F2 game.Core.Distrib.Regret.avg_successes; T.I agg.Core.Distrib.Aggregation.slots ];
+    lb.LB.completed
+  in
+  let grid4 = D.of_points ~alpha:4. (Sp.grid_points ~rows:5 ~cols:5 ~spacing:1.) in
+  let grid25 = D.of_points ~alpha:2.5 (Sp.grid_points ~rows:5 ~cols:5 ~spacing:1.) in
+  let star = Sp.star ~k:16 ~r:4. in
+  let env = Env.random_clutter (Rng.create 804) ~side:25. ~n_walls:20
+      [ Core.Radio.Material.concrete; Core.Radio.Material.drywall ] in
+  let indoor =
+    Meas.decay_space ~seed:5 env
+      (Node.of_points (Sp.random_points (Rng.create 805) ~n:18 ~side:24.))
+  in
+  let uniform = Sp.uniform 18 in
+  let ok = ref true in
+  if not (run "grid alpha=4 (fading)" grid4 ~radius:2.) then ok := false;
+  if not (run "grid alpha=2.5" grid25 ~radius:2.) then ok := false;
+  if not (run "star k=16" star ~radius:4.) then ok := false;
+  if not (run "uniform n=18" uniform ~radius:1.) then ok := false;
+  (* Indoor decays are astronomically scaled; pick the neighbourhood radius
+     at the 30th percentile of decays. *)
+  let all_decays =
+    let n = D.n indoor in
+    let acc = ref [] in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then acc := D.decay indoor i j :: !acc
+      done
+    done;
+    Array.of_list !acc
+  in
+  let radius = Core.Prelude.Stats.percentile all_decays 30. in
+  if not (run "indoor clutter" indoor ~radius) then ok := false;
+  T.print t;
+  !ok
+
+(* E13 — thresholding: PRR vs mean SINR under different small-scale fading
+   regimes.  Without fading the curve is the exact indicator step; with
+   fading it is the steep S-curve reported by the experimental studies the
+   paper cites in defence of keeping the capture assumption. *)
+let e13_thresholding () =
+  let beta = 2. in
+  let t = T.create ~title:"E13  Sec. 2.1: packet reception rate vs mean SINR (beta = 2, i.e. 3 dB)"
+      [ "SINR (dB)"; "no fading"; "rayleigh"; "rician K=10" ] in
+  let g = Rng.create 901 in
+  let curve fading sinr_db =
+    Meas.prr ~samples:4000 g ~beta ~mean_sinr:(10. ** (sinr_db /. 10.)) ~fading
+  in
+  let sweep = [ -6.; -3.; 0.; 3.; 6.; 9.; 12.; 15. ] in
+  List.iter
+    (fun s ->
+      T.add_row t
+        [ T.F s; T.F2 (curve Prop.No_fading s); T.F2 (curve Prop.Rayleigh s);
+          T.F2 (curve (Prop.Rician 10.) s) ])
+    sweep;
+  T.print t;
+  (* Claim checks: exact step without fading; Rician steeper than Rayleigh
+     around the threshold; all curves monotone. *)
+  let step_low = curve Prop.No_fading 2.9 and step_high = curve Prop.No_fading 3.1 in
+  let ric_span = curve (Prop.Rician 10.) 9. -. curve (Prop.Rician 10.) (-3.) in
+  let ray_span = curve Prop.Rayleigh 9. -. curve Prop.Rayleigh (-3.) in
+  let ok = step_low = 0. && step_high = 1. && ric_span > ray_span in
+  Printf.printf
+    "E13 summary: hard threshold at 3 dB without fading; transition width shrinks with K (Rician span %.2f > Rayleigh span %.2f over [-3,9] dB)\n\n"
+    ric_span ray_span;
+  ok
+
+(* E14 — measurability: distance stops predicting decay as environments
+   get harsher, while zeta stays moderate and the RSSI pipeline preserves
+   it.  This is the paper's core empirical motivation, reproduced in
+   simulation. *)
+let e14_measurability () =
+  let t = T.create ~title:"E14  Sec. 1/2.2: link quality vs distance across environments"
+      [ "environment"; "spearman(dist, decay)"; "zeta (truth)"; "zeta (RSSI)";
+        "zeta upper bound" ]
+  in
+  let pts = Sp.random_points (Rng.create 1001) ~n:16 ~side:23. in
+  let nodes = Node.of_points pts in
+  let results = ref [] in
+  let row name env config =
+    let space = Meas.decay_space ~seed:9 ~config env nodes in
+    let corr = Meas.distance_decay_correlation env nodes space in
+    let zeta = Met.zeta space in
+    let measured =
+      Meas.measured_decay_space ~tx_power_dbm:20. space
+    in
+    let zeta_m = Met.zeta measured in
+    results := (name, corr, zeta, zeta_m) :: !results;
+    T.add_row t
+      [ T.S name; T.F4 corr; T.F2 zeta; T.F2 zeta_m;
+        T.F2 (Met.zeta_upper_bound space) ]
+  in
+  let free = Env.empty ~side:25. in
+  row "free space" free Prop.free_space_config;
+  row "open + shadowing 6dB" free
+    { Prop.default with Prop.walls = false };
+  row "office drywall" (Env.office ~rooms_x:4 ~rooms_y:4 ~room_size:6.
+                          Core.Radio.Material.drywall)
+    { Prop.default with Prop.shadowing_sigma_db = 4. };
+  row "dense metal clutter"
+    (Env.random_clutter (Rng.create 1002) ~side:25. ~n_walls:60
+       [ Core.Radio.Material.metal; Core.Radio.Material.concrete ])
+    { Prop.default with Prop.shadowing_sigma_db = 8. };
+  T.print t;
+  (* Claims: perfect correlation in free space; correlation strictly drops
+     to the harshest environment; RSSI-measured zeta tracks the truth. *)
+  match List.rev !results with
+  | (_, c_free, z_free, _) :: rest ->
+      let _, c_worst, _, _ = List.nth rest (List.length rest - 1) in
+      (* Quantization can only nudge zeta up slightly; noise-floor
+         censoring truncates the extreme decays and hence can pull the
+         measured metricity well below the truth.  The faithful check is
+         one-sided: measurement never inflates zeta by more than the
+         quantization wiggle. *)
+      let zeta_tracks =
+        List.for_all (fun (_, _, z, zm) -> zm <= z +. 1.5) (List.rev !results)
+      in
+      let ok =
+        c_free > 0.999 && c_worst < 0.8 && Float.abs (z_free -. 2.) < 0.01
+        && zeta_tracks
+      in
+      Printf.printf
+        "E14 summary: correlation %.3f (free space) -> %.3f (metal clutter); RSSI measurement never inflates zeta (censoring can deflate it)\n\n"
+        c_free c_worst;
+      ok
+  | [] -> false

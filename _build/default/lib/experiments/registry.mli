@@ -1,0 +1,16 @@
+(** The experiment registry: every claim-reproduction experiment of
+    DESIGN.md section 5, addressable by id ("E1" .. "E17").  Used by
+    [bench/main.exe] (runs everything) and by the [bg experiment] CLI
+    subcommand (runs one). *)
+
+type entry = { id : string; claim : string; run : unit -> bool }
+
+val all : entry list
+(** E1 through E17 in order (E15+ are extension ablations). *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val run_all : unit -> (string * bool) list
+(** Run every experiment in order (tables go to stdout); returns the
+    per-experiment verdicts. *)

@@ -1,0 +1,1 @@
+lib/geom/metric.ml: Array Float Hashtbl List Point Point3

@@ -1,0 +1,1 @@
+lib/geom/metric.mli: Point Point3

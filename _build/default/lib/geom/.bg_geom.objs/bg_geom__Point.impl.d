@@ -1,0 +1,1 @@
+lib/geom/point.ml: Bg_prelude Float Format

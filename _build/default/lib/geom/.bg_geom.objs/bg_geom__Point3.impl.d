@@ -1,0 +1,1 @@
+lib/geom/point3.ml: Bg_prelude Float Format

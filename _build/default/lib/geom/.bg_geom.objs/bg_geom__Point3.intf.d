@@ -1,0 +1,1 @@
+lib/geom/point3.mli: Format

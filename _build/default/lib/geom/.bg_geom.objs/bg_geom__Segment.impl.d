@@ -1,0 +1,1 @@
+lib/geom/segment.ml: Bg_prelude Float List Point

@@ -1,0 +1,1 @@
+lib/geom/segment.mli: Point

@@ -1,0 +1,138 @@
+type t = { n : int; d : float array array }
+
+let of_matrix m =
+  let n = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Metric.of_matrix: not square")
+    m;
+  for i = 0 to n - 1 do
+    if m.(i).(i) <> 0. then invalid_arg "Metric.of_matrix: nonzero diagonal";
+    for j = 0 to n - 1 do
+      if m.(i).(j) < 0. then invalid_arg "Metric.of_matrix: negative distance";
+      if i <> j && m.(i).(j) = 0. then
+        invalid_arg "Metric.of_matrix: zero distance between distinct points"
+    done
+  done;
+  { n; d = Array.map Array.copy m }
+
+let of_points points =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  let d = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then d.(i).(j) <- Point.dist pts.(i) pts.(j)
+    done
+  done;
+  { n; d }
+
+let of_points3 points =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  let d = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then d.(i).(j) <- Point3.dist pts.(i) pts.(j)
+    done
+  done;
+  { n; d }
+
+let uniform n =
+  let d = Array.make_matrix n n 1. in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0.
+  done;
+  { n; d }
+
+let line coords =
+  let xs = Array.of_list coords in
+  let n = Array.length xs in
+  let d = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      d.(i).(j) <- Float.abs (xs.(i) -. xs.(j))
+    done
+  done;
+  { n; d }
+
+let scale k m =
+  if k <= 0. then invalid_arg "Metric.scale: factor must be positive";
+  { n = m.n; d = Array.map (Array.map (fun x -> k *. x)) m.d }
+
+let check_symmetry m =
+  let ok = ref true in
+  for i = 0 to m.n - 1 do
+    for j = 0 to m.n - 1 do
+      if m.d.(i).(j) <> m.d.(j).(i) then ok := false
+    done
+  done;
+  !ok
+
+let check_triangle ?(eps = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.n - 1 do
+    for j = 0 to m.n - 1 do
+      for k = 0 to m.n - 1 do
+        let slack = eps *. Float.max 1. m.d.(i).(j) in
+        if m.d.(i).(j) > m.d.(i).(k) +. m.d.(k).(j) +. slack then ok := false
+      done
+    done
+  done;
+  !ok
+
+let is_metric m = check_symmetry m && check_triangle m
+
+let shortest_paths m =
+  let d = Array.map Array.copy m.d in
+  let n = m.n in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let via = d.(i).(k) +. d.(k).(j) in
+        if via < d.(i).(j) then d.(i).(j) <- via
+      done
+    done
+  done;
+  { n; d }
+
+(* Greedy cover of ball B(c, r) by balls of radius r/2 centred at points of
+   the space: repeatedly pick an uncovered point of the ball as a new centre. *)
+let cover_count m c r =
+  let members = ref [] in
+  for i = m.n - 1 downto 0 do
+    if m.d.(c).(i) <= r then members := i :: !members
+  done;
+  let covered = Hashtbl.create 16 in
+  let count = ref 0 in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem covered p) then begin
+        incr count;
+        List.iter
+          (fun q -> if m.d.(p).(q) <= r /. 2. then Hashtbl.replace covered q ())
+          !members
+      end)
+    !members;
+  !count
+
+let doubling_constant m =
+  if m.n = 0 then 1
+  else begin
+    (* Candidate radii: all distinct pairwise distances. *)
+    let radii = Hashtbl.create 64 in
+    for i = 0 to m.n - 1 do
+      for j = 0 to m.n - 1 do
+        if i <> j then Hashtbl.replace radii m.d.(i).(j) ()
+      done
+    done;
+    let best = ref 1 in
+    Hashtbl.iter
+      (fun r () ->
+        for c = 0 to m.n - 1 do
+          let k = cover_count m c r in
+          if k > !best then best := k
+        done)
+      radii;
+    !best
+  end

@@ -1,0 +1,49 @@
+(** Finite metric (and quasi-metric) spaces as explicit distance matrices.
+
+    Decay spaces generalize metrics; this module provides the metric side:
+    constructions, axiom checking, and classical instances used throughout
+    the paper (Euclidean point sets, the uniform metric of independence
+    dimension 1, shortest-path metrics). *)
+
+type t = { n : int; d : float array array }
+(** A finite (quasi-)metric: [d.(i).(j)] is the distance from [i] to [j]. *)
+
+val of_matrix : float array array -> t
+(** Wrap a square matrix; validates shape, non-negativity and zero
+    diagonal. *)
+
+val of_points : Point.t list -> t
+(** Euclidean metric of a planar point set. *)
+
+val of_points3 : Point3.t list -> t
+(** Euclidean metric of a 3-D point set. *)
+
+val uniform : int -> t
+(** All distances 1: the uniform metric (independence dimension 1 but
+    unbounded doubling dimension — §4.1 of the paper). *)
+
+val line : float list -> t
+(** Points on the real line at the given coordinates. *)
+
+val scale : float -> t -> t
+(** Multiply all distances by a positive constant. *)
+
+val check_symmetry : t -> bool
+(** Whether [d(i,j) = d(j,i)] for all pairs. *)
+
+val check_triangle : ?eps:float -> t -> bool
+(** Whether the triangle inequality holds for all ordered triples (within a
+    relative tolerance). *)
+
+val is_metric : t -> bool
+(** Symmetry + triangle inequality + identity of indiscernibles. *)
+
+val shortest_paths : t -> t
+(** Metric closure via Floyd–Warshall: the largest metric dominated by the
+    input weights. *)
+
+val doubling_constant : t -> int
+(** Empirical doubling constant: the maximum over (centre, radius) drawn
+    from the pairwise distances of the minimum number of half-radius balls
+    needed to cover a ball (greedy cover, so an upper-bound estimate).
+    The doubling dimension is [log2] of this value. *)

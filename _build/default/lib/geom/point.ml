@@ -1,0 +1,33 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let origin = { x = 0.; y = 0. }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+let norm a = sqrt (dot a a)
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+let angle_between a b =
+  let na = norm a and nb = norm b in
+  if na = 0. || nb = 0. then invalid_arg "Point.angle_between: zero vector";
+  let c = dot a b /. (na *. nb) in
+  acos (Bg_prelude.Numerics.clamp ~lo:(-1.) ~hi:1. c)
+
+let rotate theta a =
+  let c = cos theta and s = sin theta in
+  { x = (c *. a.x) -. (s *. a.y); y = (s *. a.x) +. (c *. a.y) }
+
+let lerp a b t = add (scale (1. -. t) a) (scale t b)
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.x -. b.x) <= eps && Float.abs (a.y -. b.y) <= eps
+
+let pp fmt a = Format.fprintf fmt "(%g, %g)" a.x a.y

@@ -1,0 +1,43 @@
+(** Points and vectors in the plane.
+
+    The paper's baseline (GEO-SINR) lives in Euclidean space; we use 2-D
+    points both for planar instances and as the substrate the radio
+    simulator attenuates through walls. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val origin : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+(** Euclidean inner product. *)
+
+val cross : t -> t -> float
+(** 2-D cross product (signed area of the parallelogram). *)
+
+val norm : t -> float
+(** Euclidean length. *)
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist2 : t -> t -> float
+(** Squared Euclidean distance (no square root). *)
+
+val angle_between : t -> t -> float
+(** Unsigned angle in radians between two non-zero vectors, in [0, pi]. *)
+
+val rotate : float -> t -> t
+(** Rotate a vector by an angle (radians, counter-clockwise). *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is the affine interpolation [(1-t)a + t b]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise approximate equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(x, y)]. *)

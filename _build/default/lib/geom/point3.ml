@@ -1,0 +1,37 @@
+type t = { x : float; y : float; z : float }
+
+let make x y z = { x; y; z }
+let origin = { x = 0.; y = 0.; z = 0. }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let scale k a = { x = k *. a.x; y = k *. a.y; z = k *. a.z }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  {
+    x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x);
+  }
+
+let norm a = sqrt (dot a a)
+
+let dist2 a b =
+  let d = sub a b in
+  dot d d
+
+let dist a b = sqrt (dist2 a b)
+
+let lerp a b t = add (scale (1. -. t) a) (scale t b)
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.x -. b.x) <= eps
+  && Float.abs (a.y -. b.y) <= eps
+  && Float.abs (a.z -. b.z) <= eps
+
+let angle_between a b =
+  let na = norm a and nb = norm b in
+  if na = 0. || nb = 0. then invalid_arg "Point3.angle_between: zero vector";
+  acos (Bg_prelude.Numerics.clamp ~lo:(-1.) ~hi:1. (dot a b /. (na *. nb)))
+
+let pp fmt a = Format.fprintf fmt "(%g, %g, %g)" a.x a.y a.z

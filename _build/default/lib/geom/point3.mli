@@ -1,0 +1,29 @@
+(** Points in 3-space.  The paper's dimension story generalizes off the
+    plane — independence dimension is bounded by the ambient kissing number
+    (12 in R^3) and the Assouad dimension of [d^alpha] decay is
+    [3 / alpha] — so the library carries a 3-D substrate for multi-floor /
+    volumetric deployments. *)
+
+type t = { x : float; y : float; z : float }
+
+val make : float -> float -> float -> t
+val origin : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+
+val cross : t -> t -> t
+(** 3-D cross product. *)
+
+val norm : t -> float
+val dist : t -> t -> float
+val dist2 : t -> t -> float
+
+val lerp : t -> t -> float -> t
+val equal : ?eps:float -> t -> t -> bool
+
+val angle_between : t -> t -> float
+(** Unsigned angle in radians between non-zero vectors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type t = { a : Point.t; b : Point.t }
+
+let make a b = { a; b }
+let length s = Point.dist s.a s.b
+let midpoint s = Point.lerp s.a s.b 0.5
+
+(* Robust-enough orientation test for our synthetic floor plans. *)
+let orientation p q r =
+  let v = Point.cross (Point.sub q p) (Point.sub r p) in
+  if v > 1e-12 then 1 else if v < -1e-12 then -1 else 0
+
+let on_segment p q r =
+  (* Assuming p, q, r collinear: does q lie on [p, r]? *)
+  Float.min p.Point.x r.Point.x <= q.Point.x
+  && q.Point.x <= Float.max p.Point.x r.Point.x
+  && Float.min p.Point.y r.Point.y <= q.Point.y
+  && q.Point.y <= Float.max p.Point.y r.Point.y
+
+let intersects s1 s2 =
+  let p1 = s1.a and q1 = s1.b and p2 = s2.a and q2 = s2.b in
+  let o1 = orientation p1 q1 p2 in
+  let o2 = orientation p1 q1 q2 in
+  let o3 = orientation p2 q2 p1 in
+  let o4 = orientation p2 q2 q1 in
+  if o1 <> o2 && o3 <> o4 then true
+  else
+    (o1 = 0 && on_segment p1 p2 q1)
+    || (o2 = 0 && on_segment p1 q2 q1)
+    || (o3 = 0 && on_segment p2 p1 q2)
+    || (o4 = 0 && on_segment p2 q1 q2)
+
+let intersection s1 s2 =
+  let d1 = Point.sub s1.b s1.a and d2 = Point.sub s2.b s2.a in
+  let denom = Point.cross d1 d2 in
+  if Float.abs denom < 1e-12 then None
+  else begin
+    let diff = Point.sub s2.a s1.a in
+    let t = Point.cross diff d2 /. denom in
+    let u = Point.cross diff d1 /. denom in
+    if t >= 0. && t <= 1. && u >= 0. && u <= 1. then
+      Some (Point.add s1.a (Point.scale t d1))
+    else None
+  end
+
+let dist_point s p =
+  let d = Point.sub s.b s.a in
+  let len2 = Point.dot d d in
+  if len2 = 0. then Point.dist s.a p
+  else begin
+    let t =
+      Bg_prelude.Numerics.clamp ~lo:0. ~hi:1.
+        (Point.dot (Point.sub p s.a) d /. len2)
+    in
+    Point.dist p (Point.add s.a (Point.scale t d))
+  end
+
+let crossings path walls =
+  List.fold_left (fun acc w -> if intersects path w then acc + 1 else acc) 0 walls

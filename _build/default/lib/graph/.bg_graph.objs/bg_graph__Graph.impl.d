@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Bg_prelude List

@@ -1,0 +1,1 @@
+lib/graph/mis.ml: Array Graph List

@@ -1,0 +1,134 @@
+type t = { n : int; adj : bool array array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make_matrix n n false }
+
+let n g = g.n
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  g.adj.(u).(v) <- true;
+  g.adj.(v).(u) <- true
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  g.adj.(u).(v) <- false;
+  g.adj.(v).(u) <- false
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  g.adj.(u).(v)
+
+let degree g u =
+  check g u;
+  let d = ref 0 in
+  for v = 0 to g.n - 1 do
+    if g.adj.(u).(v) then incr d
+  done;
+  !d
+
+let neighbours g u =
+  check g u;
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    if g.adj.(u).(v) then acc := v :: !acc
+  done;
+  !acc
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    for v = g.n - 1 downto u + 1 do
+      if g.adj.(u).(v) then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let edge_count g = List.length (edges g)
+
+let complement g =
+  let c = create g.n in
+  for u = 0 to g.n - 1 do
+    for v = 0 to g.n - 1 do
+      if u <> v && not g.adj.(u).(v) then c.adj.(u).(v) <- true
+    done
+  done;
+  c
+
+let is_independent g vs =
+  let rec check_pairs = function
+    | [] -> true
+    | u :: rest -> List.for_all (fun v -> not (has_edge g u v)) rest && check_pairs rest
+  in
+  check_pairs vs
+
+let is_clique g vs =
+  let rec check_pairs = function
+    | [] -> true
+    | u :: rest -> List.for_all (fun v -> has_edge g u v) rest && check_pairs rest
+  in
+  check_pairs vs
+
+let random rng n p =
+  let g = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Bg_prelude.Rng.bernoulli rng p then add_edge g u v
+    done
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph.cycle: need n >= 3";
+  let g = create n in
+  for i = 0 to n - 1 do
+    add_edge g i ((i + 1) mod n)
+  done;
+  g
+
+let path n =
+  let g = create n in
+  for i = 0 to n - 2 do
+    add_edge g i (i + 1)
+  done;
+  g
+
+let complete n =
+  let g = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      add_edge g u v
+    done
+  done;
+  g
+
+let star n =
+  if n < 1 then invalid_arg "Graph.star: need n >= 1";
+  let g = create n in
+  for i = 1 to n - 1 do
+    add_edge g 0 i
+  done;
+  g
+
+let complete_bipartite a b =
+  let g = create (a + b) in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      add_edge g u v
+    done
+  done;
+  g
+
+let disjoint_union g1 g2 =
+  let g = create (g1.n + g2.n) in
+  List.iter (fun (u, v) -> add_edge g u v) (edges g1);
+  List.iter (fun (u, v) -> add_edge g (u + g1.n) (v + g1.n)) (edges g2);
+  g

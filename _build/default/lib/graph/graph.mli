@@ -1,0 +1,67 @@
+(** Simple undirected graphs on vertices [0 .. n-1].
+
+    Backed by an adjacency matrix (the graphs in this repository are small:
+    they parameterize the paper's hardness constructions, Theorems 3 and 6,
+    where a decay space is built from a graph so that feasible link sets
+    correspond to independent sets). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty graph on [n] vertices. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val add_edge : t -> int -> int -> unit
+(** Add an undirected edge; self-loops are rejected. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove an edge if present. *)
+
+val has_edge : t -> int -> int -> bool
+(** Adjacency test. *)
+
+val degree : t -> int -> int
+(** Number of neighbours. *)
+
+val neighbours : t -> int -> int list
+(** Sorted neighbour list. *)
+
+val edges : t -> (int * int) list
+(** All edges as [(u, v)] with [u < v]. *)
+
+val edge_count : t -> int
+(** Number of edges. *)
+
+val complement : t -> t
+(** Graph complement. *)
+
+val is_independent : t -> int list -> bool
+(** Whether a vertex set induces no edge. *)
+
+val is_clique : t -> int list -> bool
+(** Whether a vertex set induces all edges. *)
+
+(** {2 Generators} *)
+
+val random : Bg_prelude.Rng.t -> int -> float -> t
+(** [random rng n p] is an Erdős–Rényi G(n, p) sample. *)
+
+val cycle : int -> t
+(** The n-cycle (n >= 3). *)
+
+val path : int -> t
+(** The n-vertex path. *)
+
+val complete : int -> t
+(** The clique K_n. *)
+
+val star : int -> t
+(** Star with centre [0] and [n-1] leaves. *)
+
+val complete_bipartite : int -> int -> t
+(** [complete_bipartite a b] is K_{a,b}: vertices [0..a-1] on one side. *)
+
+val disjoint_union : t -> t -> t
+(** Disjoint union; the second graph's vertices are shifted by [n g1]. *)

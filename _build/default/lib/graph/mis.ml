@@ -1,0 +1,117 @@
+(* Vertex sets are represented as sorted int lists at the API boundary and as
+   boolean masks internally. *)
+
+let greedy g =
+  let n = Graph.n g in
+  let alive = Array.make n true in
+  let result = ref [] in
+  let remaining = ref n in
+  while !remaining > 0 do
+    (* Pick the alive vertex of minimum alive-degree. *)
+    let best = ref (-1) and best_deg = ref max_int in
+    for u = 0 to n - 1 do
+      if alive.(u) then begin
+        let d = ref 0 in
+        for v = 0 to n - 1 do
+          if alive.(v) && Graph.has_edge g u v then incr d
+        done;
+        if !d < !best_deg then begin
+          best := u;
+          best_deg := !d
+        end
+      end
+    done;
+    let u = !best in
+    result := u :: !result;
+    alive.(u) <- false;
+    decr remaining;
+    for v = 0 to n - 1 do
+      if alive.(v) && Graph.has_edge g u v then begin
+        alive.(v) <- false;
+        decr remaining
+      end
+    done
+  done;
+  List.sort compare !result
+
+(* Greedy clique cover of the alive vertices: the number of cliques is an
+   upper bound on the independence number of the induced subgraph. *)
+let clique_cover_bound g alive =
+  let n = Graph.n g in
+  let used = Array.make n false in
+  let cliques = ref 0 in
+  for u = 0 to n - 1 do
+    if alive.(u) && not used.(u) then begin
+      incr cliques;
+      used.(u) <- true;
+      let members = ref [ u ] in
+      for v = u + 1 to n - 1 do
+        if
+          alive.(v)
+          && (not used.(v))
+          && List.for_all (fun w -> Graph.has_edge g v w) !members
+        then begin
+          used.(v) <- true;
+          members := v :: !members
+        end
+      done
+    end
+  done;
+  !cliques
+
+let exact ?(limit = 64) g =
+  let n = Graph.n g in
+  if n > limit then invalid_arg "Mis.exact: graph exceeds size limit";
+  let best = ref (greedy g) in
+  let best_size = ref (List.length !best) in
+  let alive = Array.make n true in
+  let chosen = Array.make n false in
+  let rec go alive_count chosen_count =
+    if chosen_count > !best_size then begin
+      best_size := chosen_count;
+      let acc = ref [] in
+      for u = n - 1 downto 0 do
+        if chosen.(u) then acc := u :: !acc
+      done;
+      best := !acc
+    end;
+    if alive_count > 0 && chosen_count + clique_cover_bound g alive > !best_size
+    then begin
+      (* Branch on a maximum-degree alive vertex. *)
+      let pick = ref (-1) and pick_deg = ref (-1) in
+      for u = 0 to n - 1 do
+        if alive.(u) then begin
+          let d = ref 0 in
+          for v = 0 to n - 1 do
+            if alive.(v) && Graph.has_edge g u v then incr d
+          done;
+          if !d > !pick_deg then begin
+            pick := u;
+            pick_deg := !d
+          end
+        end
+      done;
+      let u = !pick in
+      (* Include u: kill u and its alive neighbourhood. *)
+      let killed = ref [ u ] in
+      alive.(u) <- false;
+      for v = 0 to n - 1 do
+        if alive.(v) && Graph.has_edge g u v then begin
+          alive.(v) <- false;
+          killed := v :: !killed
+        end
+      done;
+      chosen.(u) <- true;
+      go (alive_count - List.length !killed) (chosen_count + 1);
+      chosen.(u) <- false;
+      List.iter (fun v -> alive.(v) <- true) !killed;
+      (* Exclude u. *)
+      alive.(u) <- false;
+      go (alive_count - 1) chosen_count;
+      alive.(u) <- true
+    end
+  in
+  go n 0;
+  List.sort compare !best
+
+let independence_number g = List.length (exact g)

@@ -1,0 +1,19 @@
+(** Maximum independent set.
+
+    Theorems 3 and 6 of the paper reduce MAX INDEPENDENT SET to CAPACITY; we
+    need exact MIS on the small graphs that parameterize those constructions
+    to certify the one-to-one correspondence and to measure approximation
+    gaps against the true optimum. *)
+
+val greedy : Graph.t -> int list
+(** Minimum-degree greedy independent set (a standard approximation);
+    deterministic. *)
+
+val exact : ?limit:int -> Graph.t -> int list
+(** Exact maximum independent set by branch and bound (branch on a
+    maximum-degree vertex, prune with a greedy clique-cover upper bound).
+    [limit] caps the vertex count (default 64) to guard against accidental
+    exponential blowups; raises [Invalid_argument] beyond it. *)
+
+val independence_number : Graph.t -> int
+(** Size of a maximum independent set (via {!exact}). *)

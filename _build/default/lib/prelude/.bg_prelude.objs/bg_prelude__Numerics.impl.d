@@ -1,0 +1,1 @@
+lib/prelude/numerics.ml: Array Float

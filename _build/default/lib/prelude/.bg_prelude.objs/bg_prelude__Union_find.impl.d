@@ -1,0 +1,1 @@
+lib/prelude/union_find.ml: Array Fun

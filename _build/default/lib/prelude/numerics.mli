@@ -1,0 +1,40 @@
+(** Small numerical toolkit: special functions and root finding used by the
+    decay-space analysis (Riemann zeta for Theorem 2's bound, bisection for
+    the per-triple metricity solve). *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val riemann_zeta : float -> float
+(** [riemann_zeta s] evaluates the Riemann zeta function
+    [sum_{n>=1} n^-s] for [s > 1], via direct summation with an
+    Euler–Maclaurin tail correction.  Accurate to ~1e-10 for [s >= 1.05].
+    Raises [Invalid_argument] for [s <= 1] (the series diverges). *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> lo:float -> hi:float -> (float -> bool) -> float
+(** [bisect ~lo ~hi p] finds the threshold of a monotone predicate: [p] must
+    be false at [lo] and true at [hi] (or become true somewhere in between
+    and stay true).  Returns the smallest [x] with [p x], to within [tol]
+    (default [1e-9] relative).  Raises [Invalid_argument] if [p hi] is
+    false. *)
+
+val solve_increasing :
+  ?tol:float -> ?max_iter:int -> lo:float -> hi:float -> (float -> float) -> float
+(** [solve_increasing ~lo ~hi f] returns a root of the increasing function
+    [f] in [lo, hi] by bisection ([f lo <= 0 <= f hi]). *)
+
+val feq : ?eps:float -> float -> float -> bool
+(** Approximate float equality with combined absolute/relative tolerance
+    (default [eps = 1e-9]). *)
+
+val spectral_radius : ?iters:int -> ?tol:float -> float array array -> float
+(** [spectral_radius m] estimates the Perron (largest-magnitude) eigenvalue
+    of the non-negative square matrix [m] by power iteration.  Used for the
+    power-control feasibility test.  Returns [0.] for the zero matrix. *)
+
+val harmonic : int -> float
+(** [harmonic n] is the n-th harmonic number [sum_{i=1..n} 1/i]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp a float into a closed interval. *)

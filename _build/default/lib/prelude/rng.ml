@@ -1,0 +1,107 @@
+(* SplitMix64: a 64-bit state advanced by the golden-gamma constant, with a
+   finalizer borrowed from MurmurHash3.  See Steele, Lea & Flood,
+   "Fast splittable pseudorandom number generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = int64 g in
+  { state = mix s }
+
+let copy g = { state = g.state }
+
+(* Uniform float in [0,1): use the top 53 bits. *)
+let unit_float g =
+  let bits = Int64.shift_right_logical (int64 g) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for n < 2^24,
+     and all callers use small bounds; use multiply-shift reduction. *)
+  let bits = Int64.shift_right_logical (int64 g) 1 in
+  Int64.to_int (Int64.rem bits (Int64.of_int n))
+
+let float g x = unit_float g *. x
+
+let uniform g lo hi = lo +. (unit_float g *. (hi -. lo))
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let bernoulli g p = unit_float g < p
+
+let gaussian ?(mu = 0.) ?(sigma = 1.) g =
+  (* Box-Muller; draw u1 away from 0 to keep log finite. *)
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float g in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential g lambda =
+  if lambda <= 0. then invalid_arg "Rng.exponential: lambda must be positive";
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. lambda
+
+let rayleigh g sigma =
+  if sigma <= 0. then invalid_arg "Rng.rayleigh: sigma must be positive";
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  sigma *. sqrt (-2. *. log (nonzero ()))
+
+let lognormal ?(mu = 0.) ?(sigma = 1.) g = exp (gaussian ~mu ~sigma g)
+
+let pareto g ~alpha ~x_min =
+  if alpha <= 0. || x_min <= 0. then
+    invalid_arg "Rng.pareto: parameters must be positive";
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  x_min /. (nonzero () ** (1. /. alpha))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample g k arr =
+  let n = Array.length arr in
+  if k > n then invalid_arg "Rng.sample: k exceeds array length";
+  let idx = Array.init n Fun.id in
+  (* Partial Fisher-Yates: fix the first k positions. *)
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.init k (fun i -> arr.(idx.(i)))
+
+let choice g arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int g (Array.length arr))

@@ -1,0 +1,59 @@
+type cell = S of string | I of int | F of float | F2 of float | F4 of float
+
+type t = { title : string; headers : string list; mutable rows : cell list list }
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F x -> Printf.sprintf "%g" x
+  | F2 x -> Printf.sprintf "%.2f" x
+  | F4 x -> Printf.sprintf "%.4f" x
+
+let render t =
+  let rows = List.rev t.rows in
+  let string_rows = List.map (List.map cell_to_string) rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)) row
+  in
+  measure t.headers;
+  List.iter measure string_rows;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let fmt_row row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let sep =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (fmt_row t.headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (fmt_row r ^ "\n")) string_rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print t =
+  print_endline (render t);
+  print_newline ()
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let rows = List.rev t.rows in
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  let body = List.map (fun r -> line (List.map cell_to_string r)) rows in
+  String.concat "\n" (line t.headers :: body)

@@ -1,0 +1,30 @@
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n =
+  { parent = Array.init n Fun.id; rank = Array.make n 0; classes = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    t.classes <- t.classes - 1;
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end;
+    true
+  end
+
+let connected t x y = find t x = find t y
+let count t = t.classes

@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression.  Used for
+    connectivity experiments on decay graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of an element's class. *)
+
+val union : t -> int -> int -> bool
+(** Merge two classes; returns [true] iff they were distinct. *)
+
+val connected : t -> int -> int -> bool
+(** Whether two elements share a class. *)
+
+val count : t -> int
+(** Number of distinct classes. *)

@@ -1,0 +1,1 @@
+lib/radio/antenna.mli:

@@ -1,0 +1,1 @@
+lib/radio/diagram.ml: Array Bg_geom Bg_prelude Environment Float Hashtbl List Option Propagation

@@ -1,0 +1,1 @@
+lib/radio/diagram.mli: Bg_geom Environment Propagation

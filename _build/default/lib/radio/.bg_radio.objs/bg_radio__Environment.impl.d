@@ -1,0 +1,1 @@
+lib/radio/environment.ml: Array Bg_geom Bg_prelude Float List Material

@@ -1,0 +1,1 @@
+lib/radio/environment.mli: Bg_geom Bg_prelude Material

@@ -1,0 +1,1 @@
+lib/radio/measure.ml: Array Bg_decay Bg_geom Bg_prelude Float Node Propagation

@@ -1,0 +1,1 @@
+lib/radio/measure.mli: Bg_decay Bg_prelude Environment Node Propagation

@@ -1,0 +1,1 @@
+lib/radio/node.ml: Antenna Array Bg_geom Bg_prelude Float List

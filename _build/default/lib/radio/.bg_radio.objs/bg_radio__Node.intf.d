@@ -1,0 +1,1 @@
+lib/radio/node.mli: Antenna Bg_geom Bg_prelude

@@ -1,0 +1,1 @@
+lib/radio/propagation.ml: Bg_geom Bg_prelude Environment Float

@@ -1,0 +1,1 @@
+lib/radio/propagation.mli: Bg_geom Bg_prelude Environment

@@ -1,0 +1,1 @@
+lib/radio/sampling.ml: Array Bg_decay Bg_prelude Float Measure Propagation

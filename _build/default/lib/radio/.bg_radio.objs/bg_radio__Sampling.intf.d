@@ -1,0 +1,1 @@
+lib/radio/sampling.mli: Bg_decay Environment Node Propagation

@@ -1,0 +1,90 @@
+module P = Bg_geom.Point
+
+type cell = { transmitter : int; points : P.t list }
+
+(* Which transmitter (if any) does a probe point decode under the
+   deterministic large-scale model? *)
+let decoder ~beta ~noise ~power env config txs point =
+  let gains =
+    Array.map
+      (fun tx ->
+        let loss = Propagation.large_scale_loss_db config env tx point in
+        power /. Propagation.loss_to_decay loss)
+      txs
+  in
+  let total = Array.fold_left ( +. ) 0. gains in
+  let best = ref (-1) and best_gain = ref 0. in
+  Array.iteri
+    (fun i g ->
+      if g > !best_gain then begin
+        best := i;
+        best_gain := g
+      end)
+    gains;
+  if !best < 0 then None
+  else begin
+    let interference = noise +. (total -. !best_gain) in
+    if interference <= 0. || !best_gain /. interference >= beta then Some !best
+    else None
+  end
+
+let reception_cells ?(beta = 1.5) ?(noise = 1e-10) ?(power = 1.) ?(grid = 40)
+    env config txs =
+  if Array.length txs = 0 then invalid_arg "Diagram: no transmitters";
+  let side = Environment.side env in
+  let step = side /. float_of_int grid in
+  let buckets = Hashtbl.create 8 in
+  for gx = 0 to grid - 1 do
+    for gy = 0 to grid - 1 do
+      let p =
+        P.make ((float_of_int gx +. 0.5) *. step) ((float_of_int gy +. 0.5) *. step)
+      in
+      match decoder ~beta ~noise ~power env config txs p with
+      | Some i ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt buckets i) in
+          Hashtbl.replace buckets i (p :: existing)
+      | None -> ()
+    done
+  done;
+  Hashtbl.fold
+    (fun transmitter points acc -> { transmitter; points } :: acc)
+    buckets []
+  |> List.sort (fun a b -> compare a.transmitter b.transmitter)
+
+let convexity_defect cell ~loses_to =
+  let pts = Array.of_list cell.points in
+  let k = Array.length pts in
+  if k < 2 then 0.
+  else begin
+    let outside = ref 0 and total = ref 0 in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        incr total;
+        let mid = P.lerp pts.(i) pts.(j) 0.5 in
+        if loses_to mid then incr outside
+      done
+    done;
+    if !total = 0 then 0. else float_of_int !outside /. float_of_int !total
+  end
+
+let convexity_of_cells ?(beta = 1.5) ?(noise = 1e-10) ?(power = 1.)
+    ?(samples = 200) env config txs cells =
+  let rng = Bg_prelude.Rng.create 9 in
+  List.fold_left
+    (fun worst cell ->
+      let pts = Array.of_list cell.points in
+      let k = Array.length pts in
+      if k < 3 then worst
+      else begin
+        let outside = ref 0 in
+        for _ = 1 to samples do
+          let a = pts.(Bg_prelude.Rng.int rng k) in
+          let b = pts.(Bg_prelude.Rng.int rng k) in
+          let mid = P.lerp a b 0.5 in
+          match decoder ~beta ~noise ~power env config txs mid with
+          | Some i when i = cell.transmitter -> ()
+          | Some _ | None -> incr outside
+        done;
+        Float.max worst (float_of_int !outside /. float_of_int samples)
+      end)
+    0. cells

@@ -1,0 +1,32 @@
+(** SINR diagrams (Avin et al. [4]) — the paper's §2.3 names them as a
+    result that does **not** carry over to decay spaces, because reception
+    zones' convexity is an intrinsically Euclidean-topological property.
+    This module exists to demonstrate that negative claim: it computes
+    reception zones over a probe grid and tests their convexity, which
+    holds in free space (as [4] proves) and breaks behind walls. *)
+
+type cell = {
+  transmitter : int;  (** index into the transmitter array *)
+  points : Bg_geom.Point.t list;  (** probe points that decode it *)
+}
+
+val reception_cells :
+  ?beta:float -> ?noise:float -> ?power:float -> ?grid:int ->
+  Environment.t -> Propagation.config -> Bg_geom.Point.t array -> cell list
+(** Partition a [grid x grid] probe lattice over the environment among the
+    transmitters by thresholded SINR (using the deterministic large-scale
+    loss); probe points decoding nothing are dropped.  Default grid 40,
+    [beta] 1.5, [noise] 1e-10, [power] 1. *)
+
+val convexity_defect :
+  cell -> loses_to:(Bg_geom.Point.t -> bool) -> float
+(** Fraction of sampled midpoints of same-cell point pairs that fall
+    outside the cell (per the [loses_to] predicate): 0 for convex zones. *)
+
+val convexity_of_cells :
+  ?beta:float -> ?noise:float -> ?power:float -> ?samples:int ->
+  Environment.t -> Propagation.config -> Bg_geom.Point.t array -> cell list ->
+  float
+(** Worst convexity defect over all cells with at least 3 points:
+    midpoints are re-tested with the same SINR rule.  [samples] pairs per
+    cell (default 200). *)

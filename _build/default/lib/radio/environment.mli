@@ -1,0 +1,47 @@
+(** Static indoor environments: a floor plan of walls with materials.
+
+    The paper's case for decay spaces is that real environments — "walls,
+    ceilings and obstacles, as well as complex interactions" — break
+    geometric path loss.  This module builds such environments; the
+    propagation module charges a per-wall penetration loss for every wall a
+    link's line of sight crosses (the multi-wall model). *)
+
+type wall = { segment : Bg_geom.Segment.t; material : Material.t }
+
+type t
+(** An immutable environment. *)
+
+val empty : side:float -> t
+(** Free space over a [side x side] region (no walls). *)
+
+val create : side:float -> wall list -> t
+val walls : t -> wall list
+val side : t -> float
+val add_wall : t -> wall -> t
+
+val wall_loss_db : t -> Bg_geom.Point.t -> Bg_geom.Point.t -> float
+(** Total penetration loss (dB) of the straight path between two points:
+    the sum of the attenuations of every wall it crosses. *)
+
+val crossings : t -> Bg_geom.Point.t -> Bg_geom.Point.t -> int
+(** Number of walls crossed by the straight path. *)
+
+(** {2 Floor-plan builders} *)
+
+val office :
+  rooms_x:int -> rooms_y:int -> room_size:float -> ?door_width:float ->
+  Material.t -> t
+(** A grid of [rooms_x * rooms_y] square rooms of the given size, with a
+    centred door gap (default width [room_size/5]) in every interior wall,
+    enclosed by an outer wall of the same material. *)
+
+val corridor :
+  rooms:int -> room_size:float -> corridor_width:float -> Material.t -> t
+(** A row of offices along one side of a corridor — the canonical
+    "measurement campaign" topology. *)
+
+val random_clutter :
+  Bg_prelude.Rng.t -> side:float -> n_walls:int -> ?min_len:float ->
+  ?max_len:float -> Material.t list -> t
+(** [n_walls] randomly placed and oriented wall segments with materials
+    drawn uniformly from the list — models an irregular factory floor. *)

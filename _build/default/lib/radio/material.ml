@@ -1,0 +1,13 @@
+type t = { name : string; attenuation_db : float }
+
+let glass = { name = "glass"; attenuation_db = 2. }
+let drywall = { name = "drywall"; attenuation_db = 3. }
+let wood = { name = "wood"; attenuation_db = 4. }
+let brick = { name = "brick"; attenuation_db = 8. }
+let concrete = { name = "concrete"; attenuation_db = 12. }
+let metal = { name = "metal"; attenuation_db = 26. }
+
+let custom ~name ~attenuation_db =
+  if attenuation_db < 0. then
+    invalid_arg "Material.custom: attenuation must be non-negative";
+  { name; attenuation_db }

@@ -1,0 +1,28 @@
+(** Wall materials and their per-crossing attenuation.
+
+    Values are the customary single-wall penetration losses at 2.4 GHz from
+    the empirical multi-wall (COST-231-style) model family the paper points
+    to for populating decay spaces from environmental prediction. *)
+
+type t = { name : string; attenuation_db : float }
+
+val glass : t
+(** ~2 dB per crossing. *)
+
+val drywall : t
+(** ~3 dB per crossing. *)
+
+val wood : t
+(** ~4 dB per crossing. *)
+
+val brick : t
+(** ~8 dB per crossing. *)
+
+val concrete : t
+(** ~12 dB per crossing. *)
+
+val metal : t
+(** ~26 dB per crossing. *)
+
+val custom : name:string -> attenuation_db:float -> t
+(** Any other material; attenuation must be non-negative. *)

@@ -1,0 +1,79 @@
+module Rng = Bg_prelude.Rng
+
+(* Freeze per-pair randomness: derive a generator from the seed and the
+   pair.  Unordered keys give symmetric draws (shadowing); ordered keys give
+   direction-specific draws (fading). *)
+let pair_rng ~seed ~ordered i j =
+  let a, b = if ordered || i <= j then (i, j) else (j, i) in
+  Rng.create ((seed * 1_000_003) + (a * 7919) + b)
+
+let decay_space ?(seed = 0) ?(config = Propagation.default) ?(name = "radio")
+    env nodes =
+  let n = Array.length nodes in
+  Bg_decay.Decay_space.of_fn ~name n (fun i j ->
+      let ni = nodes.(i) and nj = nodes.(j) in
+      let loss =
+        Propagation.large_scale_loss_db config env ni.Node.pos nj.Node.pos
+      in
+      let loss =
+        if config.Propagation.shadowing_sigma_db > 0. then begin
+          let rng = pair_rng ~seed ~ordered:false i j in
+          loss +. Rng.gaussian ~sigma:config.Propagation.shadowing_sigma_db rng
+        end
+        else loss
+      in
+      let loss =
+        match config.Propagation.fading with
+        | Propagation.No_fading -> loss
+        | f ->
+            let rng = pair_rng ~seed:(seed + 17) ~ordered:true i j in
+            loss
+            -. (10.
+               *. log10 (Float.max 1e-12 (Propagation.fading_multiplier f rng)))
+      in
+      let loss =
+        loss
+        -. Node.gain_towards_db ni nj.Node.pos
+        -. Node.gain_towards_db nj ni.Node.pos
+      in
+      Propagation.loss_to_decay loss)
+
+let rssi_dbm ~tx_power_dbm ~loss_db = tx_power_dbm -. loss_db
+
+let measured_decay_space ?(quantization_db = 1.) ?(noise_floor_dbm = -95.)
+    ~tx_power_dbm space =
+  Bg_decay.Decay_space.map
+    (fun _ _ f ->
+      let loss = Propagation.decay_to_loss f in
+      let rssi = rssi_dbm ~tx_power_dbm ~loss_db:loss in
+      (* Censor below the noise floor, then quantize. *)
+      let rssi = Float.max rssi noise_floor_dbm in
+      let rssi = Float.round (rssi /. quantization_db) *. quantization_db in
+      Propagation.loss_to_decay (tx_power_dbm -. rssi))
+    space
+
+let prr ?(samples = 2000) rng ~beta ~mean_sinr ~fading =
+  if beta <= 0. then invalid_arg "Measure.prr: beta must be positive";
+  match fading with
+  | Propagation.No_fading -> if mean_sinr >= beta then 1. else 0.
+  | f ->
+      let ok = ref 0 in
+      for _ = 1 to samples do
+        let m = Propagation.fading_multiplier f rng in
+        if mean_sinr *. m >= beta then incr ok
+      done;
+      float_of_int !ok /. float_of_int samples
+
+let distance_decay_correlation _env nodes space =
+  let n = Array.length nodes in
+  let dists = ref [] and decays = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        dists :=
+          Bg_geom.Point.dist nodes.(i).Node.pos nodes.(j).Node.pos :: !dists;
+        decays := Bg_decay.Decay_space.decay space i j :: !decays
+      end
+    done
+  done;
+  Bg_prelude.Stats.spearman (Array.of_list !dists) (Array.of_list !decays)

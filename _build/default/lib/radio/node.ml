@@ -1,0 +1,25 @@
+module P = Bg_geom.Point
+
+type t = { pos : P.t; antenna : Antenna.t; orientation : float }
+
+let make ?(antenna = Antenna.isotropic) ?(orientation = 0.) pos =
+  { pos; antenna; orientation }
+
+let of_points points = Array.of_list (List.map (fun p -> make p) points)
+
+let random_oriented rng antenna points =
+  Array.of_list
+    (List.map
+       (fun p ->
+         make ~antenna
+           ~orientation:(Bg_prelude.Rng.float rng (2. *. Float.pi))
+           p)
+       points)
+
+let gain_towards_db t target =
+  let d = P.sub target t.pos in
+  if P.norm d = 0. then Antenna.gain_db t.antenna 0.
+  else begin
+    let bearing = atan2 d.P.y d.P.x in
+    Antenna.gain_db t.antenna (bearing -. t.orientation)
+  end

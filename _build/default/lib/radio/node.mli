@@ -1,0 +1,17 @@
+(** Radio nodes: a position, an antenna and its boresight orientation. *)
+
+type t = { pos : Bg_geom.Point.t; antenna : Antenna.t; orientation : float }
+
+val make : ?antenna:Antenna.t -> ?orientation:float -> Bg_geom.Point.t -> t
+(** Defaults: isotropic antenna, orientation 0. *)
+
+val of_points : Bg_geom.Point.t list -> t array
+(** Isotropic nodes at the given positions. *)
+
+val random_oriented :
+  Bg_prelude.Rng.t -> Antenna.t -> Bg_geom.Point.t list -> t array
+(** Nodes with the given antenna and uniformly random boresights — the
+    anisotropic deployments of the paper's motivation. *)
+
+val gain_towards_db : t -> Bg_geom.Point.t -> float
+(** Antenna gain of this node in the direction of a target point. *)

@@ -1,0 +1,95 @@
+module P = Bg_geom.Point
+
+type model =
+  | Free_space
+  | Log_distance of { exponent : float }
+  | Two_ray of { tx_height : float; rx_height : float }
+
+type fading = No_fading | Rayleigh | Rician of float
+
+type config = {
+  model : model;
+  wavelength : float;
+  ref_loss_db : float;
+  ref_distance : float;
+  walls : bool;
+  shadowing_sigma_db : float;
+  fading : fading;
+}
+
+let default =
+  {
+    model = Log_distance { exponent = 3.0 };
+    wavelength = 0.125;
+    ref_loss_db = 40.;
+    ref_distance = 1.;
+    walls = true;
+    shadowing_sigma_db = 6.;
+    fading = No_fading;
+  }
+
+let free_space_config =
+  {
+    model = Free_space;
+    wavelength = 0.125;
+    ref_loss_db = 40.;
+    ref_distance = 0.1;
+    walls = false;
+    shadowing_sigma_db = 0.;
+    fading = No_fading;
+  }
+
+let model_loss_db config d =
+  let d = Float.max d config.ref_distance in
+  match config.model with
+  | Free_space -> 20. *. log10 (4. *. Float.pi *. d /. config.wavelength)
+  | Log_distance { exponent } ->
+      config.ref_loss_db +. (10. *. exponent *. log10 (d /. config.ref_distance))
+  | Two_ray { tx_height; rx_height } ->
+      (* Exact two-ray: direct path plus ground reflection with
+         coefficient -1.  Amplitude gain relative to unit distance FSPL:
+         lambda/(4 pi) * | e^{-jk l1}/l1 - e^{-jk l2}/l2 |. *)
+      let l1 = sqrt ((d *. d) +. ((tx_height -. rx_height) ** 2.)) in
+      let l2 = sqrt ((d *. d) +. ((tx_height +. rx_height) ** 2.)) in
+      let k = 2. *. Float.pi /. config.wavelength in
+      let re = (cos (k *. l1) /. l1) -. (cos (k *. l2) /. l2) in
+      let im = (sin (k *. l1) /. l1) -. (sin (k *. l2) /. l2) in
+      let amp = config.wavelength /. (4. *. Float.pi) *. sqrt ((re *. re) +. (im *. im)) in
+      (* Clamp deep nulls at 60 dB below free space to keep decays finite. *)
+      let fspl_amp = config.wavelength /. (4. *. Float.pi *. l1) in
+      let amp = Float.max amp (fspl_amp *. 1e-3) in
+      -20. *. log10 amp
+
+let large_scale_loss_db config env a b =
+  let loss = model_loss_db config (P.dist a b) in
+  if config.walls then loss +. Environment.wall_loss_db env a b else loss
+
+let fading_multiplier fading rng =
+  match fading with
+  | No_fading -> 1.
+  | Rayleigh ->
+      (* Power of a unit-mean Rayleigh envelope is Exp(1). *)
+      Bg_prelude.Rng.exponential rng 1.
+  | Rician k ->
+      if k < 0. then invalid_arg "Propagation: Rician K must be >= 0";
+      (* Dominant component of power k/(k+1) plus complex Gaussian scatter
+         of power 1/(k+1). *)
+      let scatter = 1. /. (k +. 1.) in
+      let mean_re = sqrt (k /. (k +. 1.)) in
+      let re = mean_re +. Bg_prelude.Rng.gaussian ~sigma:(sqrt (scatter /. 2.)) rng in
+      let im = Bg_prelude.Rng.gaussian ~sigma:(sqrt (scatter /. 2.)) rng in
+      (re *. re) +. (im *. im)
+
+let sample_loss_db config env rng a b =
+  let loss = large_scale_loss_db config env a b in
+  let loss =
+    if config.shadowing_sigma_db > 0. then
+      loss +. Bg_prelude.Rng.gaussian ~sigma:config.shadowing_sigma_db rng
+    else loss
+  in
+  match config.fading with
+  | No_fading -> loss
+  | f -> loss -. (10. *. log10 (Float.max 1e-12 (fading_multiplier f rng)))
+
+let loss_to_decay loss_db = 10. ** (loss_db /. 10.)
+let decay_to_loss decay = 10. *. log10 decay

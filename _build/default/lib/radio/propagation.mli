@@ -1,0 +1,64 @@
+(** Radio propagation models.
+
+    Composes a deterministic large-scale model (free space, log-distance, or
+    two-ray ground reflection), per-wall penetration losses, log-normal
+    shadowing, and optional small-scale fading (Rayleigh / Rician) into a
+    link-budget loss in dB.  Together with {!Antenna} gains this is what
+    populates "realistic" decay spaces: [decay f = 10^(loss_db / 10)]. *)
+
+type model =
+  | Free_space
+      (** FSPL at the configured wavelength: exponent 2 plus the constant
+          [20 log10 (4 pi d / lambda)]. *)
+  | Log_distance of { exponent : float }
+      (** [ref_loss_db + 10 * exponent * log10 (d / ref_distance)] — the
+          standard empirical indoor model. *)
+  | Two_ray of { tx_height : float; rx_height : float }
+      (** Exact two-ray ground-reflection interference pattern (reflection
+          coefficient -1): oscillatory at short range, [d^4] beyond the
+          break distance. *)
+
+type fading =
+  | No_fading
+  | Rayleigh  (** power multiplier ~ Exp(1) *)
+  | Rician of float
+      (** [Rician k] with linear K-factor [k >= 0]: dominant path plus
+          scattered power [1/(k+1)]. *)
+
+type config = {
+  model : model;
+  wavelength : float;  (** metres; 0.125 m = 2.4 GHz *)
+  ref_loss_db : float;  (** loss at [ref_distance] for [Log_distance] *)
+  ref_distance : float;
+  walls : bool;  (** charge wall penetration losses *)
+  shadowing_sigma_db : float;  (** 0 disables shadowing *)
+  fading : fading;
+}
+
+val default : config
+(** Log-distance exponent 3.0, 40 dB at 1 m, walls on, 6 dB shadowing, no
+    fast fading — a typical indoor 2.4 GHz parameterization. *)
+
+val free_space_config : config
+(** Pure FSPL, no walls/shadowing/fading: recovers GEO-SINR with
+    [alpha = 2] exactly. *)
+
+val large_scale_loss_db : config -> Environment.t ->
+  Bg_geom.Point.t -> Bg_geom.Point.t -> float
+(** Deterministic part of the loss: model + walls.  Distance is floored at
+    [ref_distance] to keep the near field sane. *)
+
+val sample_loss_db :
+  config -> Environment.t -> Bg_prelude.Rng.t ->
+  Bg_geom.Point.t -> Bg_geom.Point.t -> float
+(** One random link-budget sample: large-scale loss plus shadowing and
+    fading drawn from [rng]. *)
+
+val fading_multiplier : fading -> Bg_prelude.Rng.t -> float
+(** One small-scale power multiplier sample (mean 1). *)
+
+val loss_to_decay : float -> float
+(** [10^(loss_db/10)] — the decay value a loss corresponds to. *)
+
+val decay_to_loss : float -> float
+(** Inverse of {!loss_to_decay}. *)

@@ -1,0 +1,72 @@
+module Rng = Bg_prelude.Rng
+
+let estimate_decay_space ?(seed = 0) ?config ?(samples = 16) env nodes =
+  if samples < 1 then invalid_arg "Sampling: need at least one sample";
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Propagation.default with Propagation.fading = Propagation.Rayleigh }
+  in
+  (* Ground truth without fading, then per-sample fading draws on top. *)
+  let base_config = { config with Propagation.fading = Propagation.No_fading } in
+  let truth = Measure.decay_space ~seed ~config:base_config ~name:"truth" env nodes in
+  let fading = config.Propagation.fading in
+  Bg_decay.Decay_space.rename "rssi-estimate"
+  @@ Bg_decay.Decay_space.map
+    (fun i j f ->
+      match fading with
+      | Propagation.No_fading -> f
+      | _ ->
+          let rng = Rng.create ((seed * 31) + (i * 1009) + j + 7) in
+          let acc = ref 0. in
+          for _ = 1 to samples do
+            (* Received linear power is gain * fading multiplier; averaging
+               in the power domain is the consistent estimator. *)
+            acc := !acc +. (Propagation.fading_multiplier fading rng /. f)
+          done;
+          let mean_gain = !acc /. float_of_int samples in
+          1. /. mean_gain)
+    truth
+
+let estimate_from_prr ?(seed = 0) ?(packets = 200) ?(power = 1.) ?(beta = 1.)
+    ?(noise = 1e-6) space =
+  if packets < 1 then invalid_arg "Sampling: need at least one packet";
+  if noise <= 0. then
+    invalid_arg "Sampling.estimate_from_prr: needs positive noise";
+  let k = float_of_int packets in
+  Bg_decay.Decay_space.rename "prr-estimate"
+  @@ Bg_decay.Decay_space.map
+       (fun i j f ->
+         (* True solo success probability under Rayleigh fading against
+            noise: P(X * power / f >= beta * noise), X ~ Exp(1). *)
+         let p_true = exp (-.beta *. noise *. f /. power) in
+         let rng = Rng.create ((seed * 97) + (i * 2011) + j + 13) in
+         let successes = ref 0 in
+         for _ = 1 to packets do
+           if Rng.bernoulli rng p_true then incr successes
+         done;
+         (* Invert p_hat = exp(-beta N f / P), censoring the boundaries. *)
+         let p_hat =
+           Bg_prelude.Numerics.clamp ~lo:(0.5 /. k)
+             ~hi:(1. -. (0.5 /. k))
+             (float_of_int !successes /. k)
+         in
+         -.power *. log p_hat /. (beta *. noise))
+       space
+
+let error_db ~truth ~estimate =
+  let n = Bg_decay.Decay_space.n truth in
+  if n <> Bg_decay.Decay_space.n estimate then
+    invalid_arg "Sampling.error_db: size mismatch";
+  let errs = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let t = Bg_decay.Decay_space.decay truth i j in
+        let e = Bg_decay.Decay_space.decay estimate i j in
+        errs := Float.abs (10. *. log10 (e /. t)) :: !errs
+      end
+    done
+  done;
+  let arr = Array.of_list !errs in
+  (Bg_prelude.Stats.median arr, Bg_prelude.Stats.percentile arr 95.)

@@ -1,0 +1,37 @@
+(** The measurement campaign: estimating a decay space from repeated RSSI
+    samples under small-scale fading.
+
+    The paper's practicality argument (§2.2) is that decay spaces "are
+    relatively easily obtained by measurements".  In a fading channel one
+    RSSI sample is a noisy draw; averaging [k] samples in the linear power
+    domain converges to the large-scale decay.  This module runs that
+    estimator and quantifies its error, closing the loop between the
+    simulator's ground truth and what a deployment would actually know. *)
+
+val estimate_decay_space :
+  ?seed:int -> ?config:Propagation.config -> ?samples:int ->
+  Environment.t -> Node.t array -> Bg_decay.Decay_space.t
+(** Per ordered pair, average [samples] (default 16) independent fading
+    draws of the received linear power and invert to a decay estimate.
+    The non-fading parts of [config] (default: log-distance with walls and
+    shadowing, plus Rayleigh fading for the per-sample draws) are frozen
+    per pair as in {!Measure.decay_space}.  With [samples -> infinity] the
+    estimate converges to the no-fading decay. *)
+
+val error_db :
+  truth:Bg_decay.Decay_space.t -> estimate:Bg_decay.Decay_space.t ->
+  float * float
+(** (median, 95th percentile) absolute estimation error in dB over all
+    ordered pairs. *)
+
+val estimate_from_prr :
+  ?seed:int -> ?packets:int -> ?power:float -> ?beta:float -> ?noise:float ->
+  Bg_decay.Decay_space.t -> Bg_decay.Decay_space.t
+(** The paper's second channel (§2.2): "They can also be inferred by
+    packet reception rates."  Simulate [packets] (default 200) solo probe
+    transmissions per ordered pair under Rayleigh fading — success
+    probability [exp (-beta * noise * f / power)] — and invert the observed
+    rate to a decay estimate.  Pairs with zero observed successes are
+    censored at the decay whose expected successes would be ~1 packet;
+    pairs that never fail are censored at the all-success boundary.
+    Needs [noise > 0] (the inversion is noise-referenced). *)

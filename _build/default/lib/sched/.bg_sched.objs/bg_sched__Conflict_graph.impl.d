@@ -1,0 +1,1 @@
+lib/sched/conflict_graph.ml: Array Bg_graph Bg_sinr Fun List

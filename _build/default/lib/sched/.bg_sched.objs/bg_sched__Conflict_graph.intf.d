@@ -1,0 +1,1 @@
+lib/sched/conflict_graph.mli: Bg_graph Bg_sinr

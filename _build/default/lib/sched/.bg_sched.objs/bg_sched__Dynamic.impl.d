@@ -1,0 +1,1 @@
+lib/sched/dynamic.ml: Array Bg_prelude Bg_sinr Float Fun List

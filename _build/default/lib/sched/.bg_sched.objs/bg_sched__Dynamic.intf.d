@@ -1,0 +1,1 @@
+lib/sched/dynamic.mli: Bg_prelude Bg_sinr

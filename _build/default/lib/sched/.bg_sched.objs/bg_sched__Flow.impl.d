@@ -1,0 +1,1 @@
+lib/sched/flow.ml: Array Bg_decay Bg_sinr Hashtbl List Queue Scheduler

@@ -1,0 +1,1 @@
+lib/sched/flow.mli: Bg_decay Bg_sinr

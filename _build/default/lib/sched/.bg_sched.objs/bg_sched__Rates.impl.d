@@ -1,0 +1,1 @@
+lib/sched/rates.ml: Array Bg_prelude Bg_sinr Float List

@@ -1,0 +1,1 @@
+lib/sched/rates.mli: Bg_sinr

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Bg_capacity Bg_sinr List

@@ -1,0 +1,1 @@
+lib/sched/scheduler.mli: Bg_sinr

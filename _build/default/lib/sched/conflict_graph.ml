@@ -1,0 +1,58 @@
+module I = Bg_sinr.Instance
+module F = Bg_sinr.Feasibility
+
+let build ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) =
+  let links = t.I.links in
+  let n = Array.length links in
+  let g = Bg_graph.Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (F.is_feasible t power [ links.(i); links.(j) ]) then
+        Bg_graph.Graph.add_edge g i j
+    done
+  done;
+  g
+
+let schedule ?power (t : I.t) =
+  let g = build ?power t in
+  let links = t.I.links in
+  let n = Array.length links in
+  let order =
+    List.sort
+      (fun i j -> Bg_sinr.Link.compare_by_decay t.I.space links.(i) links.(j))
+      (List.init n Fun.id)
+  in
+  let color = Array.make n (-1) in
+  let ncolors = ref 0 in
+  List.iter
+    (fun i ->
+      let used = Array.make (!ncolors + 1) false in
+      for j = 0 to n - 1 do
+        if color.(j) >= 0 && Bg_graph.Graph.has_edge g i j then
+          used.(color.(j)) <- true
+      done;
+      let c = ref 0 in
+      while !c < !ncolors && used.(!c) do
+        incr c
+      done;
+      color.(i) <- !c;
+      if !c = !ncolors then incr ncolors)
+    order;
+  List.init !ncolors (fun c ->
+      List.filteri (fun i _ -> color.(i) = c) (Array.to_list links))
+
+let graph_capacity ?power (t : I.t) =
+  List.length (Bg_graph.Mis.exact ~limit:64 (build ?power t))
+
+let fidelity ?power (t : I.t) =
+  let slots = schedule ?power t in
+  if slots = [] then 1.
+  else begin
+    let p =
+      match power with Some p -> p | None -> Bg_sinr.Power.uniform 1.
+    in
+    let good =
+      List.length (List.filter (fun s -> F.is_feasible t p s) slots)
+    in
+    float_of_int good /. float_of_int (List.length slots)
+  end

@@ -1,0 +1,27 @@
+(** Conflict-graph approximations of SINR feasibility (Tonoyan [61], [60];
+    §3.3 "bounds on the utility of conflict graphs").
+
+    A conflict graph declares two links in conflict when the *pair* is
+    SINR-infeasible; graph-based scheduling then treats any independent set
+    as a slot.  Because interference is additive, an independent set of the
+    conflict graph may still be infeasible — the fidelity gap the paper's
+    cited works bound in terms of the space's parameters.  This module
+    builds the graph, schedules through it, and measures that gap. *)
+
+val build : ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> Bg_graph.Graph.t
+(** Vertex [i] is the i-th link of the instance (array order); edge iff the
+    two links are not simultaneously feasible (exact pairwise SINR check). *)
+
+val schedule :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> Bg_sinr.Link.t list list
+(** First-fit colouring of {!build} in non-decreasing decay order; slots
+    are conflict-graph-independent but only *approximately* SINR-feasible. *)
+
+val graph_capacity : ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> int
+(** Maximum independent set of the conflict graph — the graph model's
+    (over-)estimate of one-shot capacity. *)
+
+val fidelity :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> float
+(** Fraction of {!schedule}'s slots that are genuinely SINR-feasible —
+    1.0 means the graph abstraction lost nothing on this instance. *)

@@ -1,0 +1,123 @@
+module I = Bg_sinr.Instance
+module F = Bg_sinr.Feasibility
+module Rng = Bg_prelude.Rng
+
+type policy = Longest_queue_first | Random_access of float
+
+type process =
+  | Bernoulli
+  | Batch of int
+  | On_off of { burst : float; idle : float }
+
+type result = {
+  slots : int;
+  delivered : int;
+  arrived : int;
+  mean_backlog : float;
+  final_backlog : int;
+  drift : float;
+  stable : bool;
+}
+
+let run ?(power = Bg_sinr.Power.uniform 1.) ?(slots = 2000)
+    ?(process = Bernoulli) ~policy ~arrival_rates rng (t : I.t) =
+  let links = t.I.links in
+  let n = Array.length links in
+  Array.iter
+    (fun l ->
+      let id = l.Bg_sinr.Link.id in
+      if id >= Array.length arrival_rates then
+        invalid_arg "Dynamic.run: arrival_rates too short";
+      let r = arrival_rates.(id) in
+      if r < 0. || r > 1. then invalid_arg "Dynamic.run: rate out of [0,1]")
+    links;
+  (match process with
+  | Batch k when k < 1 -> invalid_arg "Dynamic.run: batch size must be >= 1"
+  | On_off { burst; idle } when burst <= 0. || idle <= 0. ->
+      invalid_arg "Dynamic.run: burst/idle lengths must be positive"
+  | Bernoulli | Batch _ | On_off _ -> ());
+  let queue = Array.make n 0 in
+  (* queue is indexed by position in [links], not by link id. *)
+  (* On/off modulation state, one per link (all start in a burst). *)
+  let in_burst = Array.make n true in
+  let arrivals_for i rate =
+    match process with
+    | Bernoulli -> if Rng.bernoulli rng rate then 1 else 0
+    | Batch k -> if Rng.bernoulli rng (rate /. float_of_int k) then k else 0
+    | On_off { burst; idle } ->
+        (* Flip the modulation, then arrive only during bursts at a rate
+           scaled to preserve the long-run mean. *)
+        let flip_p = if in_burst.(i) then 1. /. burst else 1. /. idle in
+        if Rng.bernoulli rng flip_p then in_burst.(i) <- not in_burst.(i);
+        if in_burst.(i) then begin
+          let duty = burst /. (burst +. idle) in
+          if Rng.bernoulli rng (Float.min 1. (rate /. duty)) then 1 else 0
+        end
+        else 0
+  in
+  let delivered = ref 0 and arrived = ref 0 in
+  let backlog_sum = ref 0. in
+  let quarter = slots / 4 in
+  let q2_sum = ref 0. and q4_sum = ref 0. in
+  for slot = 1 to slots do
+    (* Arrivals. *)
+    Array.iteri
+      (fun i l ->
+        let k = arrivals_for i arrival_rates.(l.Bg_sinr.Link.id) in
+        if k > 0 then begin
+          queue.(i) <- queue.(i) + k;
+          arrived := !arrived + k
+        end)
+      links;
+    (* Pick the transmission set. *)
+    let backlogged =
+      List.filter (fun i -> queue.(i) > 0) (List.init n Fun.id)
+    in
+    let transmitting =
+      match policy with
+      | Longest_queue_first ->
+          let order =
+            List.sort (fun a b -> compare queue.(b) queue.(a)) backlogged
+          in
+          List.rev
+            (List.fold_left
+               (fun acc i ->
+                 let candidate =
+                   links.(i) :: List.map (fun j -> links.(j)) acc
+                 in
+                 if F.is_feasible t power candidate then i :: acc else acc)
+               [] order)
+      | Random_access p ->
+          List.filter (fun _ -> Rng.bernoulli rng p) backlogged
+    in
+    (* Outcomes: under LQF the set is feasible by construction, but we
+       evaluate SINR per link anyway so Random_access collisions fail
+       honestly. *)
+    let tx_links = List.map (fun i -> links.(i)) transmitting in
+    List.iter
+      (fun i ->
+        if F.sinr t power tx_links links.(i) >= t.I.beta then begin
+          queue.(i) <- queue.(i) - 1;
+          incr delivered
+        end)
+      transmitting;
+    let total = Array.fold_left ( + ) 0 queue in
+    backlog_sum := !backlog_sum +. float_of_int total;
+    if slot > quarter && slot <= 2 * quarter then
+      q2_sum := !q2_sum +. float_of_int total;
+    if slot > 3 * quarter then q4_sum := !q4_sum +. float_of_int total
+  done;
+  let final_backlog = Array.fold_left ( + ) 0 queue in
+  let drift =
+    (!q4_sum /. float_of_int (max 1 (slots - (3 * quarter))))
+    -. (!q2_sum /. float_of_int (max 1 quarter))
+  in
+  {
+    slots;
+    delivered = !delivered;
+    arrived = !arrived;
+    mean_backlog = !backlog_sum /. float_of_int slots;
+    final_backlog;
+    drift;
+    stable = drift < float_of_int n;
+  }

@@ -1,0 +1,44 @@
+(** Dynamic packet scheduling (the [2], [3], [44] family of §2.3): packets
+    arrive stochastically at each link; each slot a policy picks a feasible
+    transmission set; a success drains one packet.  The question is
+    stability — do queues stay bounded — and at which fraction of the
+    capacity region a policy stabilizes, which Proposition 1 transfers to
+    decay spaces with the usual zeta-dependence.
+
+    Policies:
+    - [Longest_queue_first]: sort backlogged links by queue length and
+      admit greedily under an exact SINR check (the classical max-weight
+      heuristic).
+    - [Random_access p]: each backlogged link transmits independently with
+      probability [p] (the decentralized baseline). *)
+
+type policy = Longest_queue_first | Random_access of float
+
+type process =
+  | Bernoulli  (** one packet with probability [rate] per slot *)
+  | Batch of int
+      (** [Batch k]: an arrival event with probability [rate / k] brings
+          [k] packets — same mean, burstier *)
+  | On_off of { burst : float; idle : float }
+      (** two-state Markov modulation with mean burst/idle lengths;
+          arrivals only during bursts, scaled to preserve the mean rate *)
+
+type result = {
+  slots : int;
+  delivered : int;  (** total packets drained *)
+  arrived : int;  (** total packets that arrived *)
+  mean_backlog : float;  (** time-average of the total queue length *)
+  final_backlog : int;
+  drift : float;
+      (** mean total backlog over the last quarter minus the second
+          quarter; near zero for stable systems, strongly positive for
+          unstable ones *)
+  stable : bool;  (** heuristic verdict: [drift] below one packet per link *)
+}
+
+val run :
+  ?power:Bg_sinr.Power.t -> ?slots:int -> ?process:process -> policy:policy ->
+  arrival_rates:float array -> Bg_prelude.Rng.t -> Bg_sinr.Instance.t ->
+  result
+(** Simulate [slots] slots (default 2000); [arrival_rates] indexed by link
+    id, each in [0, 1], interpreted by [process] (default {!Bernoulli}). *)

@@ -1,0 +1,91 @@
+module D = Bg_decay.Decay_space
+
+type session = { src : int; dst : int }
+
+type result = {
+  routed : int;
+  unroutable : session list;
+  hop_links : (int * int) list;
+  slots : int;
+  throughput : float;
+  schedule : Bg_sinr.Link.t list list;
+}
+
+let decodes_solo space ~power ~beta ~noise u v =
+  noise <= 0. || power >= beta *. noise *. D.decay space u v
+
+let route space ~power ~beta ~noise { src; dst } =
+  let n = D.n space in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Flow.route: endpoint out of range";
+  if src = dst then invalid_arg "Flow.route: src equals dst";
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for v = 0 to n - 1 do
+      if
+        (not seen.(v))
+        && v <> u
+        && decodes_solo space ~power ~beta ~noise u v
+      then begin
+        seen.(v) <- true;
+        parent.(v) <- u;
+        if v = dst then found := true else Queue.add v queue
+      end
+    done
+  done;
+  if not !found then None
+  else begin
+    let rec back acc v = if v = src then src :: acc else back (v :: acc) parent.(v) in
+    Some (back [] dst)
+  end
+
+let run ?(beta = 1.) ?(noise = 0.) ~power space ~sessions =
+  let routed = ref 0 in
+  let unroutable = ref [] in
+  let hops = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      match route space ~power ~beta ~noise s with
+      | None -> unroutable := s :: !unroutable
+      | Some path ->
+          incr routed;
+          let rec walk = function
+            | u :: (v :: _ as rest) ->
+                Hashtbl.replace hops (u, v) ();
+                walk rest
+            | _ -> ()
+          in
+          walk path)
+    sessions;
+  let hop_links = Hashtbl.fold (fun k () acc -> k :: acc) hops [] in
+  let hop_links = List.sort compare hop_links in
+  if hop_links = [] then
+    {
+      routed = !routed;
+      unroutable = List.rev !unroutable;
+      hop_links;
+      slots = 0;
+      throughput = 0.;
+      schedule = [];
+    }
+  else begin
+    let inst = Bg_sinr.Instance.make ~noise ~beta ~zeta:1. space hop_links in
+    let schedule =
+      Scheduler.first_fit ~power:(Bg_sinr.Power.uniform power) inst
+    in
+    let slots = List.length schedule in
+    {
+      routed = !routed;
+      unroutable = List.rev !unroutable;
+      hop_links;
+      slots;
+      throughput = (if slots = 0 then 0. else 1. /. float_of_int slots);
+      schedule;
+    }
+  end

@@ -1,0 +1,33 @@
+(** Multi-hop flow throughput (the [8], [62] family of Proposition 1's
+    list: "flow-based throughput", "throughput maximization (via flow)").
+
+    End-to-end sessions are routed over the solo-decodable communication
+    graph (minimum-hop paths), the resulting hop links are scheduled into
+    SINR-feasible slots, and the schedule is pipelined: the sustainable
+    per-session throughput is [1 / slots] packets per slot per session.
+    Everything is computed from the decay matrix alone. *)
+
+type session = { src : int; dst : int }
+
+type result = {
+  routed : int;  (** sessions with a route *)
+  unroutable : session list;
+  hop_links : (int * int) list;  (** de-duplicated directed hops used *)
+  slots : int;  (** feasible slots to serve every hop once *)
+  throughput : float;  (** 1 / slots, or 0 when nothing was routed *)
+  schedule : Bg_sinr.Link.t list list;
+}
+
+val route :
+  Bg_decay.Decay_space.t -> power:float -> beta:float -> noise:float ->
+  session -> int list option
+(** Minimum-hop path (node list, src first) in the directed solo-decodable
+    graph, or [None]. *)
+
+val run :
+  ?beta:float -> ?noise:float -> power:float -> Bg_decay.Decay_space.t ->
+  sessions:session list -> result
+(** Route every session, fuse the hop sets, schedule with first-fit under
+    uniform [power].  [beta] defaults to 1, [noise] to 0 (then every hop
+    of distinct nodes is routable in one hop — pass noise to make
+    multi-hop meaningful). *)

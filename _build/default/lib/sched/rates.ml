@@ -1,0 +1,91 @@
+module I = Bg_sinr.Instance
+module F = Bg_sinr.Feasibility
+
+let rate (t : I.t) power set lv =
+  let s = F.sinr t power set lv in
+  if s = infinity then 30. (* cap the solo-rate at ~30 bits/symbol *)
+  else Bg_prelude.Numerics.log2 (1. +. s)
+
+type result = {
+  slots : int;
+  completed : bool;
+  residual : float array;
+  transcript : Bg_sinr.Link.t list list;
+}
+
+let schedule ?(power = Bg_sinr.Power.uniform 1.) ?(max_slots = 10_000)
+    ~demands (t : I.t) =
+  let links = t.I.links in
+  Array.iter
+    (fun l ->
+      let id = l.Bg_sinr.Link.id in
+      if id >= Array.length demands then
+        invalid_arg "Rates.schedule: demands too short";
+      if demands.(id) <= 0. then
+        invalid_arg "Rates.schedule: demands must be positive")
+    links;
+  let residual = Array.copy demands in
+  let unsatisfied () =
+    Array.to_list links
+    |> List.filter (fun l -> residual.(l.Bg_sinr.Link.id) > 1e-9)
+  in
+  let slots = ref 0 in
+  let transcript = ref [] in
+  let progress = ref true in
+  while unsatisfied () <> [] && !slots < max_slots && !progress do
+    incr slots;
+    let pending =
+      List.sort (Bg_sinr.Link.compare_by_decay t.I.space) (unsatisfied ())
+    in
+    (* Build the slot: admit a link when it does not lower the total
+       *useful* rate — rate capped by each member's residual demand, so a
+       nearly-done link cannot hog a slot with surplus solo rate. *)
+    let useful set =
+      List.fold_left
+        (fun acc lv ->
+          acc
+          +. Float.min (rate t power set lv) residual.(lv.Bg_sinr.Link.id))
+        0. set
+    in
+    let slot =
+      List.fold_left
+        (fun acc l ->
+          let with_l = l :: acc in
+          if useful with_l >= useful acc then with_l else acc)
+        [] pending
+    in
+    let slot = match slot with [] -> [ List.hd pending ] | s -> s in
+    progress := false;
+    List.iter
+      (fun l ->
+        let r = rate t power slot l in
+        if r > 1e-12 then progress := true;
+        let id = l.Bg_sinr.Link.id in
+        residual.(id) <- Float.max 0. (residual.(id) -. r))
+      slot;
+    transcript := slot :: !transcript
+  done;
+  {
+    slots = !slots;
+    completed = unsatisfied () = [];
+    residual;
+    transcript = List.rev !transcript;
+  }
+
+let verify ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) ~demands result =
+  result.completed
+  && begin
+       let credit = Array.make (Array.length demands) 0. in
+       List.iter
+         (fun slot ->
+           List.iter
+             (fun l ->
+               credit.(l.Bg_sinr.Link.id) <-
+                 credit.(l.Bg_sinr.Link.id) +. rate t power slot l)
+             slot)
+         result.transcript;
+       Array.for_all
+         (fun l ->
+           credit.(l.Bg_sinr.Link.id) >= demands.(l.Bg_sinr.Link.id) -. 1e-6)
+         t.I.links
+     end

@@ -1,0 +1,35 @@
+(** Scheduling with flexible data rates (Kesselheim, ESA 2012 [43]) — named
+    explicitly in Proposition 1's transfer list.
+
+    Instead of the binary threshold, a transmission in a slot carries
+    Shannon-style rate [log2 (1 + SINR)]; each link has a demand (bits, in
+    the same normalized units) and the goal is a short slot sequence after
+    which every link has accumulated its demand.  Thresholded scheduling is
+    the special case of unit demands served only at [SINR >= beta]. *)
+
+val rate : Bg_sinr.Instance.t -> Bg_sinr.Power.t -> Bg_sinr.Link.t list ->
+  Bg_sinr.Link.t -> float
+(** Instantaneous rate [log2 (1 + SINR_v)] of a link when the given set
+    transmits. *)
+
+type result = {
+  slots : int;  (** slots used (or budget, if not completed) *)
+  completed : bool;
+  residual : float array;  (** remaining demand per link id *)
+  transcript : Bg_sinr.Link.t list list;  (** who transmitted each slot *)
+}
+
+val schedule :
+  ?power:Bg_sinr.Power.t -> ?max_slots:int -> demands:float array ->
+  Bg_sinr.Instance.t -> result
+(** Greedy rate scheduler: each slot, admit unsatisfied links in
+    non-decreasing decay order whenever admission does not lower the
+    slot's *total* rate; credit everyone's achieved rate against their
+    demand.  [demands] indexed by link id; [max_slots] default 10000. *)
+
+val verify :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> demands:float array ->
+  result -> bool
+(** Recompute every slot's rates (under the same power assignment the
+    schedule used) and check the accumulated credit covers each demand;
+    [false] for incomplete results. *)

@@ -1,0 +1,60 @@
+module I = Bg_sinr.Instance
+module F = Bg_sinr.Feasibility
+
+type schedule = Bg_sinr.Link.t list list
+
+let first_fit ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) =
+  let ordered =
+    List.sort (Bg_sinr.Link.compare_by_decay t.I.space)
+      (Array.to_list t.I.links)
+  in
+  let slots : Bg_sinr.Link.t list list ref = ref [] in
+  let place lv =
+    let rec try_slots acc = function
+      | [] -> slots := List.rev ([ lv ] :: acc)
+      | s :: rest ->
+          if F.is_feasible t power (lv :: s) then
+            slots := List.rev_append acc ((lv :: s) :: rest)
+          else try_slots (s :: acc) rest
+    in
+    try_slots [] !slots
+  in
+  List.iter place ordered;
+  !slots
+
+let via_capacity ?(algorithm = fun t -> Bg_capacity.Alg1.run t) (t : I.t) =
+  let rec go remaining acc =
+    if remaining = [] then List.rev acc
+    else begin
+      let sub = I.with_links t (Array.of_list remaining) in
+      let slot = algorithm sub in
+      match slot with
+      | [] ->
+          (* Degenerate fallback: schedule one link alone. *)
+          let l, rest =
+            match remaining with
+            | l :: rest -> (l, rest)
+            | [] -> assert false
+          in
+          go rest ([ l ] :: acc)
+      | _ ->
+          let in_slot l =
+            List.exists (fun l' -> l'.Bg_sinr.Link.id = l.Bg_sinr.Link.id) slot
+          in
+          let rest = List.filter (fun l -> not (in_slot l)) remaining in
+          go rest (slot :: acc)
+    end
+  in
+  go (Array.to_list t.I.links) []
+
+let length s = List.length s
+
+let verify ?(power = Bg_sinr.Power.uniform 1.) (t : I.t) schedule =
+  let all_feasible = List.for_all (F.is_feasible t power) schedule in
+  let scheduled = List.concat schedule in
+  let ids = List.sort compare (List.map (fun l -> l.Bg_sinr.Link.id) scheduled) in
+  let expected =
+    List.sort compare
+      (Array.to_list (Array.map (fun l -> l.Bg_sinr.Link.id) t.I.links))
+  in
+  all_feasible && ids = expected

@@ -1,0 +1,27 @@
+(** Link scheduling: partition all links into SINR-feasible slots, the
+    SCHEDULING problem whose GEO-SINR algorithms Proposition 1 transfers to
+    decay spaces (schedule lengths degrade with [zeta] the way the original
+    analyses degrade with [alpha]). *)
+
+type schedule = Bg_sinr.Link.t list list
+(** Slots in transmission order; every slot is feasible. *)
+
+val first_fit :
+  ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> schedule
+(** Process links in non-decreasing decay order; put each into the first
+    slot that remains feasible (exact SINR check), opening slots as
+    needed. *)
+
+val via_capacity :
+  ?algorithm:(Bg_sinr.Instance.t -> Bg_sinr.Link.t list) ->
+  Bg_sinr.Instance.t -> schedule
+(** Repeatedly extract a feasible set with a capacity algorithm (default
+    Algorithm 1) and schedule it as one slot; the classical
+    capacity-to-scheduling reduction.  Falls back to singleton slots if the
+    algorithm returns an empty set on a non-empty remainder. *)
+
+val length : schedule -> int
+(** Number of slots. *)
+
+val verify : ?power:Bg_sinr.Power.t -> Bg_sinr.Instance.t -> schedule -> bool
+(** Every slot feasible, and every link scheduled exactly once. *)

@@ -1,0 +1,1 @@
+lib/sinr/affectance.ml: Float Instance Link List Power

@@ -1,0 +1,1 @@
+lib/sinr/affectance.mli: Instance Link Power

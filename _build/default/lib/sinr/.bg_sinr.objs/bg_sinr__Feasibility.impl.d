@@ -1,0 +1,1 @@
+lib/sinr/feasibility.ml: Affectance Float Instance Link List Power

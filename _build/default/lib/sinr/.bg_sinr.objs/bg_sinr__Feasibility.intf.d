@@ -1,0 +1,1 @@
+lib/sinr/feasibility.mli: Instance Link Power

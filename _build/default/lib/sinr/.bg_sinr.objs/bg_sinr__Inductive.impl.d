@@ -1,0 +1,1 @@
+lib/sinr/inductive.ml: Affectance Array Bg_prelude Feasibility Instance Link List

@@ -1,0 +1,1 @@
+lib/sinr/inductive.mli: Bg_prelude Instance Link Power

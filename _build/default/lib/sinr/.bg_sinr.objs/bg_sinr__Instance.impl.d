@@ -1,0 +1,1 @@
+lib/sinr/instance.ml: Array Bg_decay Bg_geom Bg_prelude Float Link List

@@ -1,0 +1,1 @@
+lib/sinr/instance.mli: Bg_decay Bg_prelude Link

@@ -1,0 +1,1 @@
+lib/sinr/link.ml: Array Bg_decay Float List

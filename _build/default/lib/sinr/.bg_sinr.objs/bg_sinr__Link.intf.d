@@ -1,0 +1,1 @@
+lib/sinr/link.mli: Bg_decay

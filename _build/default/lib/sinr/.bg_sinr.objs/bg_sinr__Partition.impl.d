@@ -1,0 +1,1 @@
+lib/sinr/partition.ml: Affectance Float Instance Link List Separation

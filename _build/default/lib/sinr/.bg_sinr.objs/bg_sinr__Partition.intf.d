@@ -1,0 +1,1 @@
+lib/sinr/partition.mli: Instance Link Power

@@ -1,0 +1,1 @@
+lib/sinr/power.ml: Array Link

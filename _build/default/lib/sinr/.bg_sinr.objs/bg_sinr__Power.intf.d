@@ -1,0 +1,1 @@
+lib/sinr/power.mli: Bg_decay Link

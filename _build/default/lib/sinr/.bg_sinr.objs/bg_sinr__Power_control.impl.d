@@ -1,0 +1,1 @@
+lib/sinr/power_control.ml: Array Bg_prelude Float Instance Link

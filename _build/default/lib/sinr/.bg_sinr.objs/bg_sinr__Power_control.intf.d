@@ -1,0 +1,1 @@
+lib/sinr/power_control.mli: Instance Link

@@ -1,0 +1,1 @@
+lib/sinr/rayleigh.ml: Bg_prelude Instance Link List Power

@@ -1,0 +1,1 @@
+lib/sinr/rayleigh.mli: Bg_prelude Instance Link Power

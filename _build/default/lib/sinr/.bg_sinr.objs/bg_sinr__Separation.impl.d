@@ -1,0 +1,1 @@
+lib/sinr/separation.ml: Float Instance Link List

@@ -1,0 +1,1 @@
+lib/sinr/separation.mli: Instance Link

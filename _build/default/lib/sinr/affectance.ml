@@ -1,0 +1,30 @@
+let noise_constant (t : Instance.t) power lv =
+  let pv = Power.value power t.Instance.space lv in
+  let fvv = Link.self_decay t.Instance.space lv in
+  let denom = 1. -. (t.Instance.beta *. t.Instance.noise *. fvv /. pv) in
+  if denom <= 0. then infinity else t.Instance.beta /. denom
+
+let affectance_unclipped (t : Instance.t) power ~from_ ~to_ =
+  if from_.Link.id = to_.Link.id then 0.
+  else begin
+    let space = t.Instance.space in
+    let cv = noise_constant t power to_ in
+    let pw = Power.value power space from_ in
+    let pv = Power.value power space to_ in
+    let fvv = Link.self_decay space to_ in
+    let fwv = Link.cross_decay space ~from_ ~to_ in
+    cv *. pw *. fvv /. (pv *. fwv)
+  end
+
+let affectance t power ~from_ ~to_ =
+  Float.min 1. (affectance_unclipped t power ~from_ ~to_)
+
+let in_affectance t power set lv =
+  List.fold_left
+    (fun acc lw -> acc +. affectance t power ~from_:lw ~to_:lv)
+    0. set
+
+let out_affectance t power lv set =
+  List.fold_left
+    (fun acc lw -> acc +. affectance t power ~from_:lv ~to_:lw)
+    0. set

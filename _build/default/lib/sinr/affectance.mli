@@ -1,0 +1,25 @@
+(** Affectance (§2.4): interference normalized to received signal strength.
+
+    [a_w(v) = min(1, c_v * (P_w * f_vv) / (P_v * f_wv))] with the noise
+    constant [c_v = beta / (1 - beta * N * f_vv / P_v)], so that for a set
+    [S] (with no clipped terms) [a_S(v) <= 1  iff  SINR_v >= beta].
+    A link that cannot overcome noise alone ([P_v <= beta * N * f_vv]) gets
+    [c_v = infinity]; every affectance onto it clips to 1. *)
+
+val noise_constant : Instance.t -> Power.t -> Link.t -> float
+(** [c_v] as above; [infinity] if the link fails on noise alone. *)
+
+val affectance : Instance.t -> Power.t -> from_:Link.t -> to_:Link.t -> float
+(** [a_w(v)] — clipped to [0, 1]; [a_v(v) = 0] by convention. *)
+
+val affectance_unclipped :
+  Instance.t -> Power.t -> from_:Link.t -> to_:Link.t -> float
+(** The raw ratio before the [min(1, .)] clip — the quantity summed by the
+    SINR-equivalence identity; may exceed 1 or be [infinity]. *)
+
+val in_affectance : Instance.t -> Power.t -> Link.t list -> Link.t -> float
+(** [a_S(v)]: total (clipped) affectance of a set onto one link; the set
+    may contain [v] itself (contributing zero). *)
+
+val out_affectance : Instance.t -> Power.t -> Link.t -> Link.t list -> float
+(** [a_v(S)]: total (clipped) affectance of one link onto a set. *)

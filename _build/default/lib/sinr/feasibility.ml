@@ -1,0 +1,30 @@
+let sinr (t : Instance.t) power set lv =
+  let space = t.Instance.space in
+  let pv = Power.value power space lv in
+  let signal = pv /. Link.self_decay space lv in
+  let interference =
+    List.fold_left
+      (fun acc lw ->
+        if lw.Link.id = lv.Link.id then acc
+        else
+          acc
+          +. Power.value power space lw
+             /. Link.cross_decay space ~from_:lw ~to_:lv)
+      0. set
+  in
+  let denom = t.Instance.noise +. interference in
+  if denom = 0. then infinity else signal /. denom
+
+let is_feasible t power set =
+  List.for_all (fun lv -> sinr t power set lv >= t.Instance.beta) set
+
+let is_feasible_affectance ?(k = 1.) t power set =
+  List.for_all (fun lv -> Affectance.in_affectance t power set lv <= 1. /. k) set
+
+let worst_sinr t power set =
+  List.fold_left (fun acc lv -> Float.min acc (sinr t power set lv)) infinity set
+
+let max_in_affectance t power set =
+  List.fold_left
+    (fun acc lv -> Float.max acc (Affectance.in_affectance t power set lv))
+    0. set

@@ -1,0 +1,25 @@
+(** SINR feasibility of simultaneous transmissions (§2.1).
+
+    A set [S] transmits successfully iff every link's SINR clears the
+    threshold:  [SINR_v = (P_v / f_vv) / (N + sum_{w in S, w<>v} P_w / f_wv)
+    >= beta].  Feasibility under a fixed power assignment is downward
+    closed (removing links only removes interference), which the exact
+    capacity solver exploits. *)
+
+val sinr : Instance.t -> Power.t -> Link.t list -> Link.t -> float
+(** SINR of one link when the given set transmits ([infinity] with no noise
+    and no interferers).  The set may include the link itself. *)
+
+val is_feasible : Instance.t -> Power.t -> Link.t list -> bool
+(** Whether every link in the set clears [beta] (SINR form). *)
+
+val is_feasible_affectance : ?k:float -> Instance.t -> Power.t -> Link.t list -> bool
+(** Affectance form: [a_S(v) <= 1/k] for all [v] (default [k = 1.]).
+    Equivalent to {!is_feasible} when no term clips; used by the
+    K-feasibility arguments. *)
+
+val worst_sinr : Instance.t -> Power.t -> Link.t list -> float
+(** Minimum SINR over the set ([infinity] for the empty set). *)
+
+val max_in_affectance : Instance.t -> Power.t -> Link.t list -> float
+(** [max_v a_S(v)] over the set — the quantity the schedulers bound. *)

@@ -1,0 +1,35 @@
+let against_set (t : Instance.t) power lv s =
+  let space = t.Instance.space in
+  List.fold_left
+    (fun acc lw ->
+      if Link.compare_by_decay space lv lw < 0 then
+        acc
+        +. Affectance.affectance t power ~from_:lv ~to_:lw
+        +. Affectance.affectance t power ~from_:lw ~to_:lv
+      else acc)
+    0. s
+
+let estimate ?(samples = 20) rng (t : Instance.t) power =
+  let links = Array.to_list t.Instance.links in
+  let space = t.Instance.space in
+  let best = ref 0. in
+  List.iter
+    (fun lv ->
+      let suffix =
+        List.filter (fun lw -> Link.compare_by_decay space lv lw < 0) links
+      in
+      let arr = Array.of_list suffix in
+      for _ = 1 to samples do
+        Bg_prelude.Rng.shuffle rng arr;
+        let feasible_set =
+          Array.fold_left
+            (fun acc lw ->
+              if Feasibility.is_feasible t power (lw :: acc) then lw :: acc
+              else acc)
+            [] arr
+        in
+        let v = against_set t power lv feasible_set in
+        if v > !best then best := v
+      done)
+    links;
+  !best

@@ -1,0 +1,23 @@
+(** Inductive independence (Kesselheim–Vöcking [45], Hoefer et al. [38]) —
+    the paper singles it out (§2.2, §4.2) as a decay-space parameter in its
+    own right: the smallest [rho] such that for every feasible set [S] and
+    every link [l_v], the bidirectional affectance between [l_v] and the
+    members of [S] that come *after* it in the decay order is at most
+    [rho].  Bounded-growth spaces have small [rho]; the parameter drives
+    spectrum auctions, dynamic scheduling and distributed scheduling
+    results.
+
+    Computing [rho] exactly quantifies over all feasible sets; we report a
+    sampled lower-bound estimate from greedily generated feasible suffix
+    sets, which is how the parameter is used empirically. *)
+
+val against_set : Instance.t -> Power.t -> Link.t -> Link.t list -> float
+(** [against_set t p lv s] is [sum_{w in s} (a_v(w) + a_w(v))] restricted
+    to the members of [s] succeeding [lv] in the decay order. *)
+
+val estimate :
+  ?samples:int -> Bg_prelude.Rng.t -> Instance.t -> Power.t -> float
+(** Lower-bound estimate of the inductive independence number: for every
+    link, build [samples] (default 20) greedy feasible sets from random
+    orders of its decay-order suffix and take the largest
+    {!against_set} value observed. *)

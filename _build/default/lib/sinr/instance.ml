@@ -1,0 +1,96 @@
+module P = Bg_geom.Point
+
+type t = {
+  space : Bg_decay.Decay_space.t;
+  links : Link.t array;
+  noise : float;
+  beta : float;
+  zeta : float;
+}
+
+let make ?(noise = 0.) ?(beta = 1.) ?zeta space pairs =
+  if noise < 0. then invalid_arg "Instance.make: negative noise";
+  if beta < 1. then invalid_arg "Instance.make: beta must be >= 1";
+  let zeta =
+    match zeta with Some z -> z | None -> Bg_decay.Metricity.zeta space
+  in
+  { space; links = Link.of_pairs pairs; noise; beta; zeta }
+
+let with_links t links = { t with links }
+let n_links t = Array.length t.links
+
+let link t id =
+  match Array.find_opt (fun l -> l.Link.id = id) t.links with
+  | Some l -> l
+  | None -> invalid_arg "Instance.link: no such id"
+
+let quasi_dist t p q = Bg_decay.Quasi_metric.distance ~zeta:t.zeta t.space p q
+let link_length t l = quasi_dist t l.Link.sender l.Link.receiver
+
+let link_dist t a b =
+  let s1 = a.Link.sender and r1 = a.Link.receiver in
+  let s2 = b.Link.sender and r2 = b.Link.receiver in
+  Float.min
+    (Float.min (quasi_dist t s1 r2) (quasi_dist t s2 r1))
+    (Float.min (quasi_dist t s1 s2) (quasi_dist t r1 r2))
+
+let random_planar ?noise ?beta rng ~n_links ~side ~alpha ~lmin ~lmax =
+  if lmin <= 0. || lmax < lmin then
+    invalid_arg "Instance.random_planar: need 0 < lmin <= lmax";
+  let points = ref [] and pairs = ref [] in
+  for i = 0 to n_links - 1 do
+    let sx = Bg_prelude.Rng.float rng side
+    and sy = Bg_prelude.Rng.float rng side in
+    let len = Bg_prelude.Rng.uniform rng lmin lmax in
+    let theta = Bg_prelude.Rng.float rng (2. *. Float.pi) in
+    let s = P.make sx sy in
+    let r = P.make (sx +. (len *. cos theta)) (sy +. (len *. sin theta)) in
+    points := r :: s :: !points;
+    pairs := (2 * i, (2 * i) + 1) :: !pairs
+  done;
+  let space =
+    Bg_decay.Decay_space.of_points ~name:"planar-instance" ~alpha
+      (List.rev !points)
+  in
+  make ?noise ?beta ~zeta:alpha space (List.rev !pairs)
+
+let equi_decay_of_space ?noise ?beta ?zeta space pairs =
+  let t = make ?noise ?beta ?zeta space pairs in
+  if Array.length t.links > 0 then begin
+    let f0 = Link.self_decay space t.links.(0) in
+    Array.iter
+      (fun l ->
+        let f = Link.self_decay space l in
+        if Float.abs (f -. f0) > 1e-6 *. Float.max 1. f0 then
+          invalid_arg "Instance.equi_decay_of_space: unequal link decays")
+      t.links
+  end;
+  t
+
+let random_links_in_space ?noise ?beta ?zeta rng ~n_links ~max_decay space =
+  let n = Bg_decay.Decay_space.n space in
+  let used = Array.make n false in
+  let pairs = ref [] in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 1000 * n_links in
+  while !found < n_links && !attempts < max_attempts do
+    incr attempts;
+    let s = Bg_prelude.Rng.int rng n in
+    let r = Bg_prelude.Rng.int rng n in
+    if
+      s <> r
+      && (not used.(s))
+      && (not used.(r))
+      && Bg_decay.Decay_space.decay space s r <= max_decay
+    then begin
+      used.(s) <- true;
+      used.(r) <- true;
+      pairs := (s, r) :: !pairs;
+      incr found
+    end
+  done;
+  if !found < n_links then
+    invalid_arg
+      "Instance.random_links_in_space: could not place the requested links";
+  make ?noise ?beta ?zeta space (List.rev !pairs)

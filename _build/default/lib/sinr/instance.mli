@@ -1,0 +1,61 @@
+(** A CAPACITY/SCHEDULING problem instance: a decay space, a set of links
+    living in it, the ambient noise [N] and the SINR threshold [beta >= 1],
+    together with the space's metricity (computed once; every
+    quasi-distance-based algorithm needs it). *)
+
+type t = private {
+  space : Bg_decay.Decay_space.t;
+  links : Link.t array;
+  noise : float;
+  beta : float;
+  zeta : float;
+}
+
+val make :
+  ?noise:float -> ?beta:float -> ?zeta:float ->
+  Bg_decay.Decay_space.t -> (int * int) list -> t
+(** Build an instance from a decay space and link endpoint pairs.  Defaults:
+    [noise = 0.], [beta = 1.]; [zeta] is computed exactly from the space
+    when not supplied (O(n^3) — supply it for big spaces). *)
+
+val with_links : t -> Link.t array -> t
+(** Same space and parameters, different link subset. *)
+
+val n_links : t -> int
+
+val link : t -> int -> Link.t
+(** Link by id. *)
+
+val quasi_dist : t -> int -> int -> float
+(** Quasi-distance [f(p,q)^(1/zeta)] between two nodes. *)
+
+val link_length : t -> Link.t -> float
+(** [d_vv]: the quasi-length of a link. *)
+
+val link_dist : t -> Link.t -> Link.t -> float
+(** [d(l_v, l_w) = min] over the four endpoint quasi-distances (§2.4). *)
+
+(** {2 Generators} *)
+
+val random_planar :
+  ?noise:float -> ?beta:float -> Bg_prelude.Rng.t -> n_links:int ->
+  side:float -> alpha:float -> lmin:float -> lmax:float -> t
+(** GEO-SINR instance: [n_links] links with senders uniform in a square and
+    receivers at uniform angle and length in [lmin, lmax]; decay is
+    Euclidean [d^alpha] (so [zeta = alpha], set without recomputation). *)
+
+val equi_decay_of_space :
+  ?noise:float -> ?beta:float -> ?zeta:float ->
+  Bg_decay.Decay_space.t -> (int * int) list -> t
+(** Instance over an existing space whose links are checked to have equal
+    self-decays (the "equi-decay links" of Theorems 3 and 6).
+    @raise Invalid_argument if self-decays differ by more than 1e-6
+    relative. *)
+
+val random_links_in_space :
+  ?noise:float -> ?beta:float -> ?zeta:float -> Bg_prelude.Rng.t ->
+  n_links:int -> max_decay:float -> Bg_decay.Decay_space.t -> t
+(** Sample sender/receiver pairs (distinct nodes, without reuse of nodes)
+    whose self-decay is at most [max_decay] — how we extract a link workload
+    from a measured/simulated decay space.  Fails if the space cannot host
+    that many disjoint links under the decay cap. *)

@@ -1,0 +1,18 @@
+type t = { id : int; sender : int; receiver : int }
+
+let make ~id ~sender ~receiver =
+  if sender = receiver then invalid_arg "Link.make: sender equals receiver";
+  { id; sender; receiver }
+
+let of_pairs pairs =
+  Array.of_list
+    (List.mapi (fun id (sender, receiver) -> make ~id ~sender ~receiver) pairs)
+
+let self_decay space l = Bg_decay.Decay_space.decay space l.sender l.receiver
+
+let cross_decay space ~from_ ~to_ =
+  Bg_decay.Decay_space.decay space from_.sender to_.receiver
+
+let compare_by_decay space a b =
+  let c = Float.compare (self_decay space a) (self_decay space b) in
+  if c <> 0 then c else compare a.id b.id

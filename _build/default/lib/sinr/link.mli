@@ -1,0 +1,21 @@
+(** Communication links: ordered sender/receiver pairs of decay-space nodes
+    (§2.1).  A link [l_v = (s_v, r_v)] has signal decay
+    [f_vv = f(s_v, r_v)]; the interference-relevant decay from link [l_w]
+    onto [l_v] is [f_wv = f(s_w, r_v)]. *)
+
+type t = { id : int; sender : int; receiver : int }
+
+val make : id:int -> sender:int -> receiver:int -> t
+(** Sender and receiver must be distinct nodes. *)
+
+val of_pairs : (int * int) list -> t array
+(** Number a list of (sender, receiver) endpoint pairs with ids [0..]. *)
+
+val self_decay : Bg_decay.Decay_space.t -> t -> float
+(** [f_vv = f(s_v, r_v)], the decay of the link's own signal. *)
+
+val cross_decay : Bg_decay.Decay_space.t -> from_:t -> to_:t -> float
+(** [f_wv = f(s_w, r_v)], decay of [from_]'s signal at [to_]'s receiver. *)
+
+val compare_by_decay : Bg_decay.Decay_space.t -> t -> t -> int
+(** The total order of §2.4: non-decreasing [f_vv], ties by id. *)

@@ -1,0 +1,60 @@
+let by_decreasing_decay (t : Instance.t) links =
+  List.sort
+    (fun a b -> Link.compare_by_decay t.Instance.space b a)
+    links
+
+let strengthen t power ~q links =
+  if q <= 0. then invalid_arg "Partition.strengthen: q must be positive";
+  let budget = 1. /. (2. *. q) in
+  let classes : Link.t list list ref = ref [] in
+  let place lv =
+    let rec try_classes acc = function
+      | [] -> classes := List.rev ([ lv ] :: acc)
+      | c :: rest ->
+          let fits =
+            Affectance.in_affectance t power c lv <= budget
+            && List.for_all
+                 (fun lw ->
+                   Affectance.in_affectance t power (lv :: c) lw <= 1. /. q)
+                 c
+          in
+          if fits then classes := List.rev_append acc ((lv :: c) :: rest)
+          else try_classes (c :: acc) rest
+    in
+    try_classes [] !classes
+  in
+  List.iter place (by_decreasing_decay t links);
+  !classes
+
+let separate t ~eta links =
+  let classes : Link.t list list ref = ref [] in
+  let place lv =
+    let rec try_classes acc = function
+      | [] -> classes := List.rev ([ lv ] :: acc)
+      | c :: rest ->
+          if
+            Separation.is_separated_from t ~eta lv c
+            && List.for_all
+                 (fun lw -> Separation.is_separated_from t ~eta lw [ lv ])
+                 c
+          then classes := List.rev_append acc ((lv :: c) :: rest)
+          else try_classes (c :: acc) rest
+    in
+    try_classes [] !classes
+  in
+  List.iter place (by_decreasing_decay t links);
+  !classes
+
+let sparsify t power ?q ~eta links =
+  let q =
+    match q with
+    | Some q -> q
+    | None -> Float.exp 2. /. t.Instance.beta
+  in
+  let strengthened = strengthen t power ~q links in
+  List.concat_map (fun c -> separate t ~eta c) strengthened
+
+let largest classes =
+  List.fold_left
+    (fun best c -> if List.length c > List.length best then c else best)
+    [] classes

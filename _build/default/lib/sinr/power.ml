@@ -1,0 +1,37 @@
+type t =
+  | Uniform of float
+  | Scaled of { coeff : float; tau : float }
+  | Custom of float array
+
+let uniform p =
+  if p <= 0. then invalid_arg "Power.uniform: power must be positive";
+  Uniform p
+
+let linear ~coeff = Scaled { coeff; tau = 1. }
+let mean ~coeff = Scaled { coeff; tau = 0.5 }
+
+let value t space link =
+  match t with
+  | Uniform p -> p
+  | Scaled { coeff; tau } -> coeff *. (Link.self_decay space link ** tau)
+  | Custom arr ->
+      if link.Link.id < 0 || link.Link.id >= Array.length arr then
+        invalid_arg "Power.value: link id out of range of custom powers";
+      arr.(link.Link.id)
+
+let is_monotone t space links =
+  let ok = ref true in
+  Array.iter
+    (fun lv ->
+      Array.iter
+        (fun lw ->
+          let fv = Link.self_decay space lv and fw = Link.self_decay space lw in
+          if fv <= fw then begin
+            let pv = value t space lv and pw = value t space lw in
+            (* Powers non-decreasing, received strengths non-increasing. *)
+            if pv > pw *. (1. +. 1e-9) then ok := false;
+            if pw /. fw > pv /. fv *. (1. +. 1e-9) then ok := false
+          end)
+        links)
+    links;
+  !ok

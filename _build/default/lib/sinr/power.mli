@@ -1,0 +1,25 @@
+(** Power assignments (§2.4).
+
+    The paper's monotone power assignments require, for links ordered by
+    non-decreasing signal decay [f_vv]: powers non-decreasing
+    ([P_v <= P_w]) and received signal strengths non-increasing
+    ([P_w / f_ww <= P_v / f_vv]).  The one-parameter family
+    [P_v = coeff * f_vv^tau] with [tau in 0..1] spans the standard schemes:
+    [tau = 0] uniform, [tau = 1/2] mean (square-root) power, [tau = 1]
+    linear power. *)
+
+type t =
+  | Uniform of float  (** every sender uses this power *)
+  | Scaled of { coeff : float; tau : float }
+      (** [P_v = coeff * f_vv^tau]; monotone iff [0 <= tau <= 1] *)
+  | Custom of float array  (** explicit per-link powers, indexed by link id *)
+
+val uniform : float -> t
+val linear : coeff:float -> t
+val mean : coeff:float -> t
+
+val value : t -> Bg_decay.Decay_space.t -> Link.t -> float
+(** The transmission power a link uses under the assignment. *)
+
+val is_monotone : t -> Bg_decay.Decay_space.t -> Link.t array -> bool
+(** Check the two monotonicity conditions over all link pairs. *)

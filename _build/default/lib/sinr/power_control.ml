@@ -1,0 +1,68 @@
+let gain_matrix (t : Instance.t) set =
+  let links = Array.of_list set in
+  let k = Array.length links in
+  let space = t.Instance.space in
+  Array.init k (fun v ->
+      Array.init k (fun w ->
+          if v = w then 0.
+          else
+            t.Instance.beta
+            *. Link.self_decay space links.(v)
+            /. Link.cross_decay space ~from_:links.(w) ~to_:links.(v)))
+
+let spectral_radius t set =
+  Bg_prelude.Numerics.spectral_radius (gain_matrix t set)
+
+let is_feasible ?(margin = 1e-9) t set =
+  match set with
+  | [] -> true
+  | [ lv ] ->
+      (* A single link is feasible iff it overcomes noise with some finite
+         power, which is always possible when N = 0, or at any power above
+         beta * N * f_vv. *)
+      ignore lv;
+      true
+  | _ -> spectral_radius t set < 1. -. margin
+
+let min_powers (t : Instance.t) set =
+  if set = [] then Some [||]
+  else if not (is_feasible t set) then None
+  else begin
+    let b = gain_matrix t set in
+    let links = Array.of_list set in
+    let k = Array.length links in
+    let space = t.Instance.space in
+    (* With zero noise the problem is scale-free and the fixed point of
+       P = BP is 0; substitute a unit drive (u = 1) — the fixed point of
+       P = BP + 1 is strictly positive, clears beta with slack, and is
+       rescaled afterwards. *)
+    let zero_noise = t.Instance.noise = 0. in
+    let u =
+      if zero_noise then Array.make k 1.
+      else
+        Array.map
+          (fun lv ->
+            t.Instance.beta *. t.Instance.noise *. Link.self_decay space lv)
+          links
+    in
+    let p = Array.make k 1. in
+    let next = Array.make k 0. in
+    for _ = 1 to 1000 do
+      for v = 0 to k - 1 do
+        let acc = ref u.(v) in
+        for w = 0 to k - 1 do
+          acc := !acc +. (b.(v).(w) *. p.(w))
+        done;
+        next.(v) <- !acc
+      done;
+      Array.blit next 0 p 0 k
+    done;
+    if zero_noise then begin
+      let m = Array.fold_left Float.max 0. p in
+      if m > 0. then
+        for v = 0 to k - 1 do
+          p.(v) <- p.(v) /. m
+        done
+    end;
+    Some p
+  end

@@ -1,0 +1,24 @@
+(** Feasibility under optimal power control.
+
+    A link set admits *some* positive power vector making every SINR clear
+    [beta] iff the spectral radius of the normalized gain matrix
+    [B_{vw} = beta * f_vv / f_wv] (zero diagonal) is below 1; the minimal
+    power vector then solves [P = B P + u] with [u_v = beta * N * f_vv].
+    Theorems 3 and 6 claim their constructions are hard "even if the
+    algorithm is allowed arbitrary power control" — this module is what
+    verifies those claims on concrete instances. *)
+
+val gain_matrix : Instance.t -> Link.t list -> float array array
+(** The matrix [B] above, indexed in list order. *)
+
+val spectral_radius : Instance.t -> Link.t list -> float
+(** Perron eigenvalue of [B]. *)
+
+val is_feasible : ?margin:float -> Instance.t -> Link.t list -> bool
+(** Whether the set is feasible under some power assignment:
+    [spectral_radius < 1 - margin] (default margin [1e-9]). *)
+
+val min_powers : Instance.t -> Link.t list -> float array option
+(** The (componentwise minimal) feasible power vector via fixed-point
+    iteration, or [None] when infeasible.  With zero noise the problem is
+    scale-free; powers are then normalized to maximum 1. *)

@@ -1,0 +1,58 @@
+(* With Rayleigh fading, the desired received power is S = X_v * P_v/f_vv
+   and each interfering power is I_w = X_w * P_w/f_wv, all X i.i.d. Exp(1).
+   Success means S >= beta (N + sum I_w).  Conditioning on the X_w and
+   integrating X_v's exponential tail gives the product closed form. *)
+
+let success_probability (t : Instance.t) power ~interferers lv =
+  let space = t.Instance.space in
+  let pv = Power.value power space lv in
+  let fvv = Link.self_decay space lv in
+  let signal = pv /. fvv in
+  let noise_term = exp (-.t.Instance.beta *. t.Instance.noise /. signal) in
+  List.fold_left
+    (fun acc lw ->
+      if lw.Link.id = lv.Link.id then acc
+      else begin
+        let iw =
+          Power.value power space lw /. Link.cross_decay space ~from_:lw ~to_:lv
+        in
+        acc /. (1. +. (t.Instance.beta *. iw /. signal))
+      end)
+    noise_term interferers
+
+let expected_successes t power set =
+  List.fold_left
+    (fun acc lv -> acc +. success_probability t power ~interferers:set lv)
+    0. set
+
+let simulate_success_rate ?(samples = 10_000) rng (t : Instance.t) power
+    ~interferers lv =
+  let space = t.Instance.space in
+  let pv = Power.value power space lv in
+  let fvv = Link.self_decay space lv in
+  let others =
+    List.filter (fun lw -> lw.Link.id <> lv.Link.id) interferers
+  in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let s = Bg_prelude.Rng.exponential rng 1. *. pv /. fvv in
+    let interference =
+      List.fold_left
+        (fun acc lw ->
+          let iw =
+            Power.value power space lw
+            /. Link.cross_decay space ~from_:lw ~to_:lv
+          in
+          acc +. (Bg_prelude.Rng.exponential rng 1. *. iw))
+        t.Instance.noise others
+    in
+    if interference = 0. || s /. interference >= t.Instance.beta then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let feasible_with_probability t power ~p set =
+  if p < 0. || p > 1. then
+    invalid_arg "Rayleigh.feasible_with_probability: p out of range";
+  List.for_all
+    (fun lv -> success_probability t power ~interferers:set lv >= p)
+    set

@@ -1,0 +1,37 @@
+(** Rayleigh-fading reception (the Dams–Hoefer–Kesselheim reduction [10]
+    the paper cites in §2.1).
+
+    Under Rayleigh fading the received powers are independent exponential
+    random variables around the deterministic decay model, and the success
+    probability of a transmission has a closed form:
+
+    [P(success) = exp(-beta N f_vv / P_v)
+                  * prod_w 1 / (1 + beta (P_w f_vv) / (P_v f_wv))].
+
+    [10] shows SINR-threshold algorithms can simulate this model with an
+    O(log n) factor; here the closed form lets decay-space algorithms be
+    scored under fading directly, and the threshold model is recovered as
+    the no-fading limit. *)
+
+val success_probability :
+  Instance.t -> Power.t -> interferers:Link.t list -> Link.t -> float
+(** Closed-form probability that the link's receiver decodes it when the
+    interferers transmit simultaneously, with Rayleigh fading on the
+    desired signal and on each interfering signal. *)
+
+val expected_successes :
+  Instance.t -> Power.t -> Link.t list -> float
+(** Sum of per-link success probabilities when the whole set transmits —
+    the expected one-shot throughput under fading. *)
+
+val simulate_success_rate :
+  ?samples:int -> Bg_prelude.Rng.t -> Instance.t -> Power.t ->
+  interferers:Link.t list -> Link.t -> float
+(** Monte-Carlo estimate of {!success_probability} (independent Exp(1)
+    multipliers on every received power); used to validate the closed
+    form. *)
+
+val feasible_with_probability :
+  Instance.t -> Power.t -> p:float -> Link.t list -> bool
+(** Whether every link in the set succeeds with probability at least [p]
+    under fading — the fading analogue of feasibility. *)

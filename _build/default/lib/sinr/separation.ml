@@ -1,0 +1,24 @@
+let is_separated_from t ~eta lv set =
+  let dvv = Instance.link_length t lv in
+  List.for_all
+    (fun lw ->
+      lw.Link.id = lv.Link.id || Instance.link_dist t lv lw >= eta *. dvv)
+    set
+
+let is_separated_set t ~eta set =
+  List.for_all (fun lv -> is_separated_from t ~eta lv set) set
+
+let separation t a b =
+  let m = Float.max (Instance.link_length t a) (Instance.link_length t b) in
+  Instance.link_dist t a b /. m
+
+let min_separation t set =
+  let rec go acc = function
+    | [] -> acc
+    | lv :: rest ->
+        let acc =
+          List.fold_left (fun m lw -> Float.min m (separation t lv lw)) acc rest
+        in
+        go acc rest
+  in
+  go infinity set

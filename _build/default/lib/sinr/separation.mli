@@ -1,0 +1,20 @@
+(** Link separation in quasi-distance (§2.4): [l_v] is [eta]-separated from
+    a set [L] when [d(l_v, l_w) >= eta * d_vv] for every [l_w in L]; a set
+    is [eta]-separated when each member is separated from the rest.  This
+    is the structural notion behind the sparsification lemmas (B.2, B.3,
+    4.1) and Algorithm 1's admission test. *)
+
+val is_separated_from : Instance.t -> eta:float -> Link.t -> Link.t list -> bool
+(** Whether the link is [eta]-separated from every member of the list
+    (members equal to the link itself are skipped). *)
+
+val is_separated_set : Instance.t -> eta:float -> Link.t list -> bool
+(** Whether the whole set is [eta]-separated. *)
+
+val separation : Instance.t -> Link.t -> Link.t -> float
+(** The largest [eta] for which the unordered pair is mutually
+    [eta]-separated: [d(l_v,l_w) / max(d_vv, d_ww)]. *)
+
+val min_separation : Instance.t -> Link.t list -> float
+(** Smallest pairwise {!separation} of a set ([infinity] for sets of size
+    < 2). *)

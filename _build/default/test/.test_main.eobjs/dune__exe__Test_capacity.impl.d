@@ -1,0 +1,1 @@
+test/test_capacity.ml: Alcotest Array Core List QCheck Testutil

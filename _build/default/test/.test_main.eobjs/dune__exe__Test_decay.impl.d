@@ -1,0 +1,1 @@
+test/test_decay.ml: Alcotest Array Core Float Fun List Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_distrib.ml: Alcotest Array Core List QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_flow_diagram.ml: Alcotest Array Core List QCheck Testutil

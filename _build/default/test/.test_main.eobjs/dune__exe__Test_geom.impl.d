@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Core Float List QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Core Fun List QCheck Testutil

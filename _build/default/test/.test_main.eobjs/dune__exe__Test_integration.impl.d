@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Float Fun List String Testutil

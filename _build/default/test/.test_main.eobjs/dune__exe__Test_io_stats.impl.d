@@ -1,0 +1,1 @@
+test/test_io_stats.ml: Alcotest Array Core Filename Float Fun List QCheck Sys Testutil

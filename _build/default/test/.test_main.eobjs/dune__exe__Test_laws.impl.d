@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Array Core Float Fun List QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_point3.ml: Alcotest Array Core Float QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Core Float Fun Gen List QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Core Fun List QCheck Testutil

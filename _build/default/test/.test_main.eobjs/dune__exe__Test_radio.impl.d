@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest Array Core Float List QCheck Testutil

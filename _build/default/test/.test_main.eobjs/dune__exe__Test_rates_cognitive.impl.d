@@ -1,0 +1,1 @@
+test/test_rates_cognitive.ml: Alcotest Array Core List QCheck Testutil

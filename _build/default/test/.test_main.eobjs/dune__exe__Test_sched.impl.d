@@ -1,0 +1,1 @@
+test/test_sched.ml: Array Core List QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_sinr.ml: Alcotest Array Bool Core Float List QCheck Testutil

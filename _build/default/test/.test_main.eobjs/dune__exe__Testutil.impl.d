@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Core List QCheck QCheck_alcotest

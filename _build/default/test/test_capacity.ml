@@ -1,0 +1,265 @@
+open Testutil
+module I = Core.Sinr.Instance
+module F = Core.Sinr.Feasibility
+module Pw = Core.Sinr.Power
+module Alg1 = Core.Capacity.Alg1
+module Greedy = Core.Capacity.Greedy
+module Exact = Core.Capacity.Exact
+module Amic = Core.Capacity.Amicability
+
+(* ----------------------------------------------------------- Algorithm 1 *)
+
+let test_alg1_returns_feasible () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:15 seed in
+      let s = Alg1.run t in
+      check_true "feasible output" (F.is_feasible t (Pw.uniform 1.) s))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_alg1_nonempty_on_nonempty () =
+  let t = planar_instance ~n_links:10 7 in
+  check_true "selects something" (List.length (Alg1.run t) >= 1)
+
+let test_alg1_single_link () =
+  let t = planar_instance ~n_links:1 8 in
+  check_int "takes the only link" 1 (List.length (Alg1.run t))
+
+let test_alg1_separated_output () =
+  let t = planar_instance ~n_links:15 9 in
+  let s = Alg1.run t in
+  check_true "zeta/2-separated"
+    (Core.Sinr.Separation.is_separated_set t ~eta:(t.I.zeta /. 2.) s)
+
+let test_alg1_trace_verdicts () =
+  let t = planar_instance ~n_links:12 10 in
+  let s, verdicts = Alg1.run_with_trace t in
+  let accepted =
+    Array.to_list verdicts |> List.filter (fun v -> v = `Accepted) |> List.length
+  in
+  check_true "accepted >= |S|" (accepted >= List.length s)
+
+(* --------------------------------------------------------------- Greedy *)
+
+let test_affectance_greedy_feasible () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:15 seed in
+      let s = Greedy.affectance_greedy t in
+      check_true "feasible" (F.is_feasible t (Pw.uniform 1.) s))
+    [ 11; 12; 13 ]
+
+let test_strongest_first_feasible_maximal () =
+  let t = planar_instance ~n_links:12 14 in
+  let p = Pw.uniform 1. in
+  let s = Greedy.strongest_first t in
+  check_true "feasible" (F.is_feasible t p s);
+  (* Maximality: no rejected link can be added back. *)
+  let chosen = ids s in
+  Array.iter
+    (fun l ->
+      if not (List.mem l.Core.Sinr.Link.id chosen) then
+        check_false "maximal" (F.is_feasible t p (l :: s)))
+    t.I.links
+
+let test_random_order_feasible () =
+  let t = planar_instance ~n_links:12 15 in
+  let s = Greedy.random_order (rng 5) t in
+  check_true "feasible" (F.is_feasible t (Pw.uniform 1.) s)
+
+(* ---------------------------------------------------------------- Exact *)
+
+let test_exact_beats_heuristics () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:10 seed in
+      let opt = List.length (Exact.capacity t) in
+      check_true "was exact" (Exact.was_exact ());
+      check_true "opt >= alg1" (opt >= List.length (Alg1.run t));
+      check_true "opt >= greedy" (opt >= List.length (Greedy.strongest_first t)))
+    [ 21; 22; 23 ]
+
+let test_exact_output_feasible () =
+  let t = planar_instance ~n_links:10 24 in
+  check_true "feasible" (F.is_feasible t (Pw.uniform 1.) (Exact.capacity t))
+
+let test_exact_brute_force_small () =
+  (* Cross-check against full enumeration on 2^8 subsets. *)
+  let t = planar_instance ~n_links:8 ~side:6. 25 in
+  let p = Pw.uniform 1. in
+  let links = Array.to_list t.I.links in
+  let arr = Array.of_list links in
+  let best = ref 0 in
+  for mask = 0 to 255 do
+    let sub =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr)
+    in
+    if F.is_feasible t p sub && List.length sub > !best then
+      best := List.length sub
+  done;
+  check_int "matches brute force" !best (List.length (Exact.capacity t))
+
+let test_exact_limit () =
+  let t = planar_instance ~n_links:12 26 in
+  Alcotest.check_raises "limit"
+    (Invalid_argument "Exact.capacity: instance exceeds size limit") (fun () ->
+      ignore (Exact.capacity ~limit:10 t))
+
+let test_exact_power_control_thm3 () =
+  (* Theorem 3: feasible sets (even under power control) = independent
+     sets.  The exact power-control capacity must equal alpha(G). *)
+  let g = Core.Graph.Graph.cycle 7 in
+  let sp, pairs = Core.Decay.Spaces.mis_construction g in
+  let t = I.equi_decay_of_space sp pairs in
+  let cap = Exact.capacity_power_control t in
+  check_int "capacity = alpha(C7) = 3" 3 (List.length cap);
+  (* And uniform power achieves the same. *)
+  let cap_u = Exact.capacity t in
+  check_int "uniform capacity = 3" 3 (List.length cap_u)
+
+let test_exact_power_control_thm3_random () =
+  List.iter
+    (fun seed ->
+      let g = Core.Graph.Graph.random (rng seed) 8 0.4 in
+      let alpha = Core.Graph.Mis.independence_number g in
+      let sp, pairs = Core.Decay.Spaces.mis_construction g in
+      let t = I.equi_decay_of_space sp pairs in
+      check_int "pc capacity = alpha" alpha
+        (List.length (Exact.capacity_power_control t));
+      check_int "uniform capacity = alpha" alpha
+        (List.length (Exact.capacity t)))
+    [ 31; 32; 33 ]
+
+let test_exact_power_control_thm6 () =
+  List.iter
+    (fun seed ->
+      let g = Core.Graph.Graph.random (rng seed) 6 0.5 in
+      let alpha = Core.Graph.Mis.independence_number g in
+      let sp, pairs = Core.Decay.Spaces.two_line g ~alpha':2. () in
+      let t = I.equi_decay_of_space ~zeta:30. sp pairs in
+      check_int "thm6 pc capacity = alpha" alpha
+        (List.length (Exact.capacity_power_control t));
+      check_int "thm6 uniform capacity = alpha" alpha
+        (List.length (Exact.capacity t)))
+    [ 41; 42 ]
+
+(* ----------------------------------------------------------- Amicability *)
+
+let test_amicability_report () =
+  let t = planar_instance ~n_links:14 51 in
+  let feasible = Greedy.strongest_first t in
+  let r = Amic.extract t ~feasible in
+  check_true "subset nonempty" (List.length r.Amic.subset >= 1);
+  check_true "subset of feasible"
+    (List.for_all
+       (fun l -> List.exists (fun m -> m.Core.Sinr.Link.id = l.Core.Sinr.Link.id) feasible)
+       r.Amic.subset);
+  check_true "shrinkage >= 1" (r.Amic.shrinkage >= 1.);
+  check_true "out-affectance bounded"
+    (r.Amic.max_out_affectance < 50.)
+
+let test_amicability_empty () =
+  let t = planar_instance ~n_links:5 52 in
+  let r = Amic.extract t ~feasible:[] in
+  check_int "empty subset" 0 (List.length r.Amic.subset);
+  check_float "unit shrinkage" 1. r.Amic.shrinkage
+
+let test_amicability_subset_separated () =
+  let t = planar_instance ~n_links:12 53 in
+  let feasible = Greedy.strongest_first t in
+  let r = Amic.extract t ~feasible in
+  check_true "S' is zeta-separated"
+    (Core.Sinr.Separation.is_separated_set t ~eta:t.I.zeta r.Amic.subset)
+
+(* --------------------------------------------------------- Alg1 ablation *)
+
+let test_run_configured_defaults_match_run () =
+  let t = planar_instance ~n_links:12 61 in
+  Alcotest.(check (list int)) "defaults reproduce the paper variant"
+    (ids (Alg1.run t))
+    (ids (Alg1.run_configured t))
+
+let test_run_configured_disabling_separation_admits_more () =
+  let t = planar_instance ~n_links:14 ~side:10. 62 in
+  check_true "no separation admits at least as many"
+    (List.length (Alg1.run_configured ~eta:0. t)
+    >= List.length (Alg1.run_configured t))
+
+let test_run_configured_neither_test_admits_all () =
+  let t = planar_instance ~n_links:9 63 in
+  check_int "everything admitted" 9
+    (List.length
+       (Alg1.run_configured ~eta:0. ~headroom:infinity ~final_filter:false t))
+
+let test_run_configured_tight_separation_separated () =
+  let t = planar_instance ~n_links:12 64 in
+  let s = Alg1.run_configured ~eta:t.I.zeta t in
+  check_true "output eta-separated"
+    (Core.Sinr.Separation.is_separated_set t ~eta:t.I.zeta s)
+
+(* --------------------------------------------------------------- QCheck *)
+
+let prop_alg1_feasible =
+  qcheck ~count:40 "alg1 output always feasible" QCheck.small_int (fun seed ->
+      let t = planar_instance ~n_links:10 ~alpha:2.8 seed in
+      F.is_feasible t (Pw.uniform 1.) (Alg1.run t))
+
+let prop_exact_dominates =
+  qcheck ~count:25 "exact >= every heuristic" QCheck.small_int (fun seed ->
+      let t = planar_instance ~n_links:9 seed in
+      let opt = List.length (Exact.capacity t) in
+      opt >= List.length (Alg1.run t)
+      && opt >= List.length (Greedy.affectance_greedy t)
+      && opt >= List.length (Greedy.strongest_first t))
+
+let prop_alg1_ratio_bounded_on_plane =
+  qcheck ~count:15 "alg1 within factor 6 of optimum on small planar"
+    QCheck.small_int
+    (fun seed ->
+      (* Not a theorem (the guarantee is O(alpha^4)), but on these tiny
+         instances the measured gap stays small; a regression canary. *)
+      let t = planar_instance ~n_links:10 seed in
+      let opt = List.length (Exact.capacity t) in
+      let alg = max 1 (List.length (Alg1.run t)) in
+      float_of_int opt /. float_of_int alg <= 6.)
+
+let suite =
+  [
+    ( "capacity.alg1",
+      [
+        case "feasible" test_alg1_returns_feasible;
+        case "nonempty" test_alg1_nonempty_on_nonempty;
+        case "single link" test_alg1_single_link;
+        case "separated output" test_alg1_separated_output;
+        case "trace verdicts" test_alg1_trace_verdicts;
+        case "configured defaults" test_run_configured_defaults_match_run;
+        case "ablation: no separation" test_run_configured_disabling_separation_admits_more;
+        case "ablation: neither test" test_run_configured_neither_test_admits_all;
+        case "ablation: tight separation" test_run_configured_tight_separation_separated;
+        prop_alg1_feasible;
+      ] );
+    ( "capacity.greedy",
+      [
+        case "affectance greedy feasible" test_affectance_greedy_feasible;
+        case "strongest-first feasible+maximal" test_strongest_first_feasible_maximal;
+        case "random order feasible" test_random_order_feasible;
+      ] );
+    ( "capacity.exact",
+      [
+        case "dominates heuristics" test_exact_beats_heuristics;
+        case "output feasible" test_exact_output_feasible;
+        case "matches brute force" test_exact_brute_force_small;
+        case "size limit" test_exact_limit;
+        case "thm3 C7 correspondence" test_exact_power_control_thm3;
+        case "thm3 random graphs" test_exact_power_control_thm3_random;
+        case "thm6 random graphs" test_exact_power_control_thm6;
+        prop_exact_dominates;
+        prop_alg1_ratio_bounded_on_plane;
+      ] );
+    ( "capacity.amicability",
+      [
+        case "report" test_amicability_report;
+        case "empty input" test_amicability_empty;
+        case "subset separated" test_amicability_subset_separated;
+      ] );
+  ]

@@ -1,0 +1,229 @@
+open Testutil
+module D = Core.Decay.Decay_space
+module I = Core.Sinr.Instance
+module Pw = Core.Sinr.Power
+module Sim = Core.Distrib.Sim
+module Regret = Core.Distrib.Regret
+module LB = Core.Distrib.Local_broadcast
+module Agg = Core.Distrib.Aggregation
+
+(* ------------------------------------------------------------------ Sim *)
+
+let test_link_outcomes () =
+  let sp =
+    D.of_fn ~name:"pair" 4 (fun i j ->
+        match (i, j) with 0, 1 | 1, 0 | 2, 3 | 3, 2 -> 1. | _ -> 4.)
+  in
+  let t = I.make ~beta:2. ~zeta:1. sp [ (0, 1); (2, 3) ] in
+  let links = Array.to_list t.I.links in
+  let outcomes = Sim.link_outcomes t (Pw.uniform 1.) ~transmitting:links in
+  (* SINR = 4 >= 2 for both. *)
+  check_true "both succeed" (List.for_all snd outcomes);
+  let t5 = I.make ~beta:5. ~zeta:1. sp [ (0, 1); (2, 3) ] in
+  let links5 = Array.to_list t5.I.links in
+  let o5 = Sim.link_outcomes t5 (Pw.uniform 1.) ~transmitting:links5 in
+  check_true "both fail at beta 5" (List.for_all (fun (_, ok) -> not ok) o5)
+
+let test_decodes_capture () =
+  let sp =
+    D.of_matrix
+      [| [| 0.; 1.; 10. |]; [| 1.; 0.; 10. |]; [| 10.; 10.; 0. |] |]
+  in
+  (* Receiver 1: sender 0 at decay 1, sender 2 at decay 10: capture 0. *)
+  (match
+     Sim.decodes ~space:sp ~noise:0. ~beta:2. ~power:1. ~transmitters:[ 0; 2 ]
+       ~receiver:1
+   with
+  | Some s -> check_int "captures strongest" 0 s
+  | None -> Alcotest.fail "expected capture");
+  (* Equal strengths: SINR = 1 < beta, no capture. *)
+  (match
+     Sim.decodes ~space:(Core.Decay.Spaces.uniform 3) ~noise:0. ~beta:2.
+       ~power:1. ~transmitters:[ 0; 2 ] ~receiver:1
+   with
+  | Some _ -> Alcotest.fail "collision must not decode"
+  | None -> ())
+
+let test_decodes_half_duplex () =
+  let sp = Core.Decay.Spaces.uniform 3 in
+  check_true "transmitter cannot receive"
+    (Sim.decodes ~space:sp ~noise:0. ~beta:1. ~power:1. ~transmitters:[ 0; 1 ]
+       ~receiver:0
+    = None)
+
+let test_decodes_noise_limited () =
+  let sp = Core.Decay.Spaces.uniform 3 in
+  check_true "decodes over noise"
+    (Sim.decodes ~space:sp ~noise:0.4 ~beta:2. ~power:1. ~transmitters:[ 0 ]
+       ~receiver:1
+    <> None);
+  check_true "fails under noise"
+    (Sim.decodes ~space:sp ~noise:0.6 ~beta:2. ~power:1. ~transmitters:[ 0 ]
+       ~receiver:1
+    = None)
+
+let test_neighbourhood () =
+  let sp =
+    D.of_matrix
+      [| [| 0.; 1.; 5. |]; [| 1.; 0.; 5. |]; [| 5.; 5.; 0. |] |]
+  in
+  Alcotest.(check (list int)) "radius 2" [ 1 ] (Sim.neighbourhood sp ~radius:2. 0);
+  Alcotest.(check (list int)) "radius 6" [ 1; 2 ] (Sim.neighbourhood sp ~radius:6. 0)
+
+(* --------------------------------------------------------------- Regret *)
+
+let test_regret_two_compatible_links () =
+  (* Two far-apart links: the dynamics should keep both active. *)
+  let t = planar_instance ~n_links:2 ~side:100. 1 in
+  let r = Regret.run (rng 2) t in
+  check_true "both active" (List.length r.Regret.final_active = 2);
+  check_true "active set feasible" r.Regret.active_feasible;
+  check_true "throughput near 2" (r.Regret.avg_successes > 1.5)
+
+let test_regret_conflicting_links () =
+  (* Theorem 3 space on a single edge: the two links can never coexist;
+     no-regret dynamics must not stabilize with both on. *)
+  let g = Core.Graph.Graph.complete 2 in
+  let sp, pairs = Core.Decay.Spaces.mis_construction g in
+  let t = I.equi_decay_of_space sp pairs in
+  let r = Regret.run ~rounds:1500 (rng 3) t in
+  check_true "not both active" (List.length r.Regret.final_active <= 1);
+  check_true "some throughput" (r.Regret.avg_successes > 0.3)
+
+let test_regret_deterministic () =
+  let t = planar_instance ~n_links:5 4 in
+  let r1 = Regret.run (rng 9) t in
+  let r2 = Regret.run (rng 9) t in
+  check_float "reproducible" r1.Regret.avg_successes r2.Regret.avg_successes
+
+let test_regret_feasible_active_on_planar () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:8 ~side:40. seed in
+      let r = Regret.run ~rounds:1200 (rng (seed * 3)) t in
+      check_true "active set feasible" r.Regret.active_feasible)
+    [ 11; 12 ]
+
+(* ------------------------------------------------------ Local broadcast *)
+
+let test_local_broadcast_completes_small () =
+  let sp = Core.Decay.Spaces.uniform 6 in
+  let r = LB.run (rng 5) sp ~radius:1.5 in
+  check_true "completes" r.LB.completed;
+  check_int "all pairs" 30 r.LB.pairs;
+  check_int "all delivered" 30 r.LB.deliveries
+
+let test_local_broadcast_planar () =
+  let pts = Core.Decay.Spaces.grid_points ~rows:3 ~cols:3 ~spacing:1. in
+  let sp = D.of_points ~alpha:3. pts in
+  let r = LB.run (rng 6) sp ~radius:1.5 in
+  check_true "completes" r.LB.completed;
+  check_true "took more than one round" (r.LB.rounds > 1)
+
+let test_local_broadcast_radius_grows_pairs () =
+  let pts = Core.Decay.Spaces.grid_points ~rows:3 ~cols:3 ~spacing:1. in
+  let sp = D.of_points ~alpha:3. pts in
+  let small = LB.run (rng 7) sp ~radius:1.5 in
+  let large = LB.run (rng 7) sp ~radius:9. in
+  check_true "larger radius, more pairs" (large.LB.pairs > small.LB.pairs)
+
+let test_local_broadcast_max_rounds () =
+  let sp = Core.Decay.Spaces.uniform 8 in
+  let r = LB.run ~max_rounds:1 (rng 8) sp ~radius:1.5 in
+  check_true "respects budget" (r.LB.rounds <= 1)
+
+(* ---------------------------------------------------------- Aggregation *)
+
+let test_communication_graph () =
+  let sp =
+    D.of_matrix [| [| 0.; 1.; 9. |]; [| 1.; 0.; 9. |]; [| 9.; 9.; 0. |] |]
+  in
+  let edges = Agg.communication_graph sp ~power:1. ~beta:2. ~noise:0.2 in
+  (* Signal 1/1 = 1 vs noise 0.2: SINR 5 >= 2 for the near pair; 1/9/0.2
+     = 0.55 < 2 for far pairs. *)
+  check_true "near pair connected" (List.mem (0, 1) edges && List.mem (1, 0) edges);
+  check_false "far pair not" (List.mem (0, 2) edges)
+
+let test_aggregation_full_reach () =
+  let pts = Core.Decay.Spaces.grid_points ~rows:3 ~cols:3 ~spacing:1. in
+  let sp = D.of_points ~alpha:2. pts in
+  let r = Agg.run ~power:1. ~beta:1.5 ~noise:0.3 sp ~sink:0 in
+  check_int "all reached" 9 r.Agg.reached;
+  check_int "spanning tree edges" 8 (List.length r.Agg.tree_edges);
+  check_true "has slots" (r.Agg.slots >= 1);
+  (* Slot contents cover exactly the tree edges. *)
+  let scheduled = List.concat r.Agg.schedule in
+  check_int "all edges scheduled" 8 (List.length scheduled)
+
+let test_aggregation_disconnected () =
+  (* Two clusters too far apart under noise: sink's cluster only. *)
+  let sp =
+    D.of_matrix
+      [|
+        [| 0.; 1.; 1e9; 1e9 |];
+        [| 1.; 0.; 1e9; 1e9 |];
+        [| 1e9; 1e9; 0.; 1. |];
+        [| 1e9; 1e9; 1.; 0. |];
+      |]
+  in
+  let r = Agg.run ~power:1. ~beta:2. ~noise:0.2 sp ~sink:0 in
+  check_int "half reached" 2 r.Agg.reached
+
+let test_aggregation_sink_range () =
+  let sp = Core.Decay.Spaces.uniform 3 in
+  Alcotest.check_raises "sink range"
+    (Invalid_argument "Aggregation.run: sink out of range") (fun () ->
+      ignore (Agg.run sp ~sink:5))
+
+let prop_aggregation_schedule_feasible =
+  qcheck ~count:20 "aggregation slots are SINR-feasible" QCheck.small_int
+    (fun seed ->
+      let pts = Core.Decay.Spaces.random_points (rng seed) ~n:8 ~side:4. in
+      let sp = D.of_points ~alpha:2.5 pts in
+      let r = Agg.run ~power:1. ~beta:1.2 ~noise:0.01 sp ~sink:0 in
+      (* Re-check each slot's feasibility from scratch. *)
+      List.for_all
+        (fun slot ->
+          let pairs =
+            List.map
+              (fun l -> (l.Core.Sinr.Link.sender, l.Core.Sinr.Link.receiver))
+              slot
+          in
+          let sub = I.make ~noise:0.01 ~beta:1.2 ~zeta:2.5 sp pairs in
+          Core.Sinr.Feasibility.is_feasible sub (Pw.uniform 1.)
+            (Array.to_list sub.I.links))
+        r.Agg.schedule)
+
+let suite =
+  [
+    ( "distrib.sim",
+      [
+        case "link outcomes" test_link_outcomes;
+        case "capture" test_decodes_capture;
+        case "half duplex" test_decodes_half_duplex;
+        case "noise limited" test_decodes_noise_limited;
+        case "neighbourhood" test_neighbourhood;
+      ] );
+    ( "distrib.regret",
+      [
+        case "compatible links stay on" test_regret_two_compatible_links;
+        case "conflicting links back off" test_regret_conflicting_links;
+        case "deterministic" test_regret_deterministic;
+        case "planar active sets feasible" test_regret_feasible_active_on_planar;
+      ] );
+    ( "distrib.local_broadcast",
+      [
+        case "uniform completes" test_local_broadcast_completes_small;
+        case "planar grid completes" test_local_broadcast_planar;
+        case "radius grows pairs" test_local_broadcast_radius_grows_pairs;
+        case "round budget" test_local_broadcast_max_rounds;
+      ] );
+    ( "distrib.aggregation",
+      [
+        case "communication graph" test_communication_graph;
+        case "full reach" test_aggregation_full_reach;
+        case "disconnected" test_aggregation_disconnected;
+        case "sink range" test_aggregation_sink_range;
+        prop_aggregation_schedule_feasible;
+      ] );
+  ]

@@ -1,0 +1,41 @@
+(* Smoke-test the experiment registry: the sub-second experiments run
+   inside the unit-test suite so a regression in any claim check is caught
+   by `dune runtest`, not only by the bench harness.  (The full set runs in
+   bench/main.exe; see EXPERIMENTS.md.) *)
+
+open Testutil
+
+let run_quiet id =
+  (* The experiments print their tables; keep runtest output readable by
+     swallowing stdout around the call. *)
+  match Bg_experiments.Registry.find id with
+  | None -> Alcotest.fail ("unknown experiment " ^ id)
+  | Some e ->
+      let ok = e.Bg_experiments.Registry.run () in
+      check_true (id ^ " verdict") ok
+
+let case_for id = case id (fun () -> run_quiet id)
+
+let test_registry_complete () =
+  check_int "28 experiments registered" 28
+    (List.length Bg_experiments.Registry.all);
+  (* Ids are unique and well-formed. *)
+  let ids = List.map (fun e -> e.Bg_experiments.Registry.id) Bg_experiments.Registry.all in
+  check_int "unique ids" 28 (List.length (List.sort_uniq compare ids));
+  check_true "find is case-insensitive"
+    (Bg_experiments.Registry.find "e7" <> None);
+  check_true "unknown id" (Bg_experiments.Registry.find "E99" = None)
+
+let suite =
+  [
+    ( "experiments.registry",
+      [
+        case "registry metadata" test_registry_complete;
+        (* The fastest claim experiments, as regression canaries. *)
+        case_for "E1";
+        case_for "E3";
+        case_for "E9";
+        case_for "E10";
+        case_for "E26";
+      ] );
+  ]

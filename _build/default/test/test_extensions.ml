@@ -1,0 +1,393 @@
+(* Tests for the "carries over" extension modules: Rayleigh fading,
+   inductive independence, weighted capacity, connectivity, dynamic packet
+   scheduling and jamming-resistant learning. *)
+
+open Testutil
+module I = Core.Sinr.Instance
+module Pw = Core.Sinr.Power
+module Ray = Core.Sinr.Rayleigh
+module Ind = Core.Sinr.Inductive
+module W = Core.Capacity.Weighted
+module Conn = Core.Distrib.Connectivity
+module Dyn = Core.Sched.Dynamic
+module D = Core.Decay.Decay_space
+
+(* ---------------------------------------------------------------- Rayleigh *)
+
+let two_link_instance ?noise ?beta ~cross () =
+  let sp =
+    D.of_fn ~name:"two-links" 4 (fun i j ->
+        match (i, j) with 0, 1 | 1, 0 | 2, 3 | 3, 2 -> 1. | _ -> cross)
+  in
+  I.make ?noise ?beta ~zeta:1. sp [ (0, 1); (2, 3) ]
+
+let test_rayleigh_solo_no_noise () =
+  let t = two_link_instance ~cross:4. () in
+  let l = t.I.links.(0) in
+  check_float ~eps:1e-9 "always succeeds alone" 1.
+    (Ray.success_probability t (Pw.uniform 1.) ~interferers:[ l ] l)
+
+let test_rayleigh_noise_only () =
+  (* p = exp(-beta N f / P): beta=2, N=0.25, f=1, P=1 -> e^-0.5. *)
+  let t = two_link_instance ~noise:0.25 ~beta:2. ~cross:1e9 () in
+  let l = t.I.links.(0) in
+  check_float ~eps:1e-6 "noise factor" (exp (-0.5))
+    (Ray.success_probability t (Pw.uniform 1.) ~interferers:[ l ] l)
+
+let test_rayleigh_interference_factor () =
+  (* One interferer at relative strength I/S = 1/4, beta = 1:
+     p = 1 / (1 + 1/4) = 0.8. *)
+  let t = two_link_instance ~cross:4. () in
+  let set = Array.to_list t.I.links in
+  check_float ~eps:1e-9 "product factor" 0.8
+    (Ray.success_probability t (Pw.uniform 1.) ~interferers:set t.I.links.(0))
+
+let test_rayleigh_matches_monte_carlo () =
+  let t = planar_instance ~n_links:5 3 in
+  let set = Array.to_list t.I.links in
+  let p = Pw.uniform 1. in
+  List.iter
+    (fun lv ->
+      let closed = Ray.success_probability t p ~interferers:set lv in
+      let mc = Ray.simulate_success_rate ~samples:20000 (rng 4) t p ~interferers:set lv in
+      check_float ~eps:0.02 "closed form = MC" closed mc)
+    [ List.hd set ]
+
+let test_rayleigh_expected_successes () =
+  let t = two_link_instance ~cross:4. () in
+  let set = Array.to_list t.I.links in
+  check_float ~eps:1e-9 "sum of probabilities" 1.6
+    (Ray.expected_successes t (Pw.uniform 1.) set)
+
+let test_rayleigh_threshold_limit () =
+  (* Weak interference: fading success prob near 1 exactly when the
+     threshold model also succeeds comfortably. *)
+  let t = two_link_instance ~cross:1e6 () in
+  let set = Array.to_list t.I.links in
+  check_true "fading ~ threshold for strong links"
+    (Ray.feasible_with_probability t (Pw.uniform 1.) ~p:0.99 set)
+
+let test_rayleigh_probability_validation () =
+  let t = two_link_instance ~cross:4. () in
+  Alcotest.check_raises "p range"
+    (Invalid_argument "Rayleigh.feasible_with_probability: p out of range")
+    (fun () ->
+      ignore
+        (Ray.feasible_with_probability t (Pw.uniform 1.) ~p:1.5
+           (Array.to_list t.I.links)))
+
+(* ----------------------------------------------------------- Inductive *)
+
+let test_inductive_nonnegative_and_bounded () =
+  let t = planar_instance ~n_links:8 11 in
+  let rho = Ind.estimate ~samples:5 (rng 12) t (Pw.uniform 1.) in
+  check_true "rho >= 0" (rho >= 0.);
+  (* Bidirectional affectance against a feasible set of later links is at
+     most |S| * 2 trivially; sanity cap. *)
+  check_true "rho sane" (rho < 32.)
+
+let test_inductive_against_set_only_later () =
+  let t = two_link_instance ~cross:4. () in
+  let a = t.I.links.(0) and b = t.I.links.(1) in
+  (* Equal decay: tie broken by id, so b counts for a but not vice versa. *)
+  let p = Pw.uniform 1. in
+  check_float ~eps:1e-9 "a vs {b}" 0.5 (Ind.against_set t p a [ b ]);
+  check_float "b vs {a}" 0. (Ind.against_set t p b [ a ])
+
+let test_inductive_grows_with_density () =
+  let sparse = planar_instance ~n_links:8 ~side:80. 13 in
+  let dense = planar_instance ~n_links:8 ~side:8. 13 in
+  let p = Pw.uniform 1. in
+  check_true "denser instances have larger rho"
+    (Ind.estimate ~samples:8 (rng 14) dense p
+    >= Ind.estimate ~samples:8 (rng 14) sparse p)
+
+(* ------------------------------------------------------------- Weighted *)
+
+let unit_weights t = Array.make (Array.length t.I.links) 1.
+
+let test_weighted_exact_cardinality_case () =
+  let t = planar_instance ~n_links:9 21 in
+  let w = unit_weights t in
+  check_int "unit weights = unweighted capacity"
+    (List.length (Core.Capacity.Exact.capacity t))
+    (List.length (W.exact t w))
+
+let test_weighted_exact_dominates_greedy () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:9 seed in
+      let g = rng (seed + 50) in
+      let w =
+        Array.init (Array.length t.I.links) (fun _ ->
+            0.5 +. Core.Prelude.Rng.float g 10.)
+      in
+      check_true "exact >= greedy"
+        (W.total w (W.exact t w) >= W.total w (W.greedy t w) -. 1e-9))
+    [ 22; 23; 24 ]
+
+let test_weighted_output_feasible () =
+  let t = planar_instance ~n_links:9 25 in
+  let g = rng 26 in
+  let w =
+    Array.init (Array.length t.I.links) (fun _ ->
+        0.5 +. Core.Prelude.Rng.float g 5.)
+  in
+  check_true "exact feasible"
+    (Core.Sinr.Feasibility.is_feasible t (Pw.uniform 1.) (W.exact t w));
+  check_true "greedy feasible"
+    (Core.Sinr.Feasibility.is_feasible t (Pw.uniform 1.) (W.greedy t w))
+
+let test_weighted_prefers_heavy_link () =
+  (* Two mutually exclusive links, one heavy: exact must take the heavy
+     one. *)
+  let t = two_link_instance ~beta:3. ~cross:1.5 () in
+  (* At beta=3, cross 1.5: SINR = 1.5 < 3 together; solo fine. *)
+  let w = [| 1.; 10. |] in
+  let chosen = W.exact t w in
+  check_int "picks one" 1 (List.length chosen);
+  check_int "the heavy one" 1 (List.hd chosen).Core.Sinr.Link.id
+
+let test_weighted_rejects_bad_weights () =
+  let t = planar_instance ~n_links:3 27 in
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Weighted: weights must be positive") (fun () ->
+      ignore (W.greedy t [| 1.; 0.; 1. |]))
+
+let test_weighted_total () =
+  let t = planar_instance ~n_links:3 28 in
+  let w = [| 1.; 2.; 4. |] in
+  check_float "total" 7. (W.total w (Array.to_list t.I.links))
+
+(* --------------------------------------------------------- Connectivity *)
+
+let test_connectivity_uniform () =
+  let sp = Core.Decay.Spaces.uniform 6 in
+  check_true "connected at adequate power"
+    (Conn.is_connected sp ~power:2. ~beta:2. ~noise:1.);
+  check_false "disconnected below threshold"
+    (Conn.is_connected sp ~power:1.9 ~beta:2. ~noise:1.);
+  match Conn.min_uniform_power sp ~beta:2. ~noise:1. with
+  | Some p -> check_float ~eps:1e-9 "min power = beta*noise*f" 2. p
+  | None -> Alcotest.fail "expected a power"
+
+let test_connectivity_two_clusters () =
+  let sp =
+    D.of_matrix
+      [|
+        [| 0.; 1.; 100.; 100. |];
+        [| 1.; 0.; 100.; 100. |];
+        [| 100.; 100.; 0.; 1. |];
+        [| 100.; 100.; 1.; 0. |];
+      |]
+  in
+  let comps = Conn.components sp ~power:2. ~beta:1. ~noise:1. in
+  check_int "two components" 2 (List.length comps);
+  (match Conn.min_uniform_power sp ~beta:1. ~noise:1. with
+  | Some p -> check_float ~eps:1e-9 "bridging power" 100. p
+  | None -> Alcotest.fail "expected a power");
+  check_true "connected at bridging power"
+    (Conn.is_connected sp ~power:100. ~beta:1. ~noise:1.)
+
+let test_connectivity_zero_noise () =
+  let sp = Core.Decay.Spaces.uniform 4 in
+  check_true "always connected without noise"
+    (Conn.is_connected sp ~power:1e-9 ~beta:10. ~noise:0.);
+  check_true "min power undefined without noise"
+    (Conn.min_uniform_power sp ~beta:1. ~noise:0. = None)
+
+let test_connectivity_asymmetric_edges () =
+  (* Edge requires both directions: an asymmetric pair connects only at
+     the worse direction's power. *)
+  let sp = D.of_matrix [| [| 0.; 1. |]; [| 50.; 0. |] |] in
+  check_false "one-way is not an edge"
+    (Conn.is_connected sp ~power:2. ~beta:1. ~noise:1.);
+  match Conn.min_uniform_power sp ~beta:1. ~noise:1. with
+  | Some p -> check_float ~eps:1e-9 "worse direction" 50. p
+  | None -> Alcotest.fail "expected a power"
+
+let test_bidirectional_graph_normalized () =
+  let sp = Core.Decay.Spaces.uniform 4 in
+  let edges = Conn.bidirectional_graph sp ~power:2. ~beta:1. ~noise:1. in
+  check_int "complete graph" 6 (List.length edges);
+  check_true "u < v" (List.for_all (fun (u, v) -> u < v) edges)
+
+(* ------------------------------------------------------------- Dynamic *)
+
+let test_dynamic_stable_under_light_load () =
+  let t = planar_instance ~n_links:6 ~side:60. 31 in
+  let rates = Array.make 6 0.1 in
+  let r =
+    Dyn.run ~slots:1500 ~policy:Dyn.Longest_queue_first ~arrival_rates:rates
+      (rng 32) t
+  in
+  check_true "stable" r.Dyn.stable;
+  check_true "drains most arrivals"
+    (float_of_int r.Dyn.delivered >= 0.9 *. float_of_int r.Dyn.arrived)
+
+let test_dynamic_unstable_under_overload () =
+  (* Conflicting links loaded at rate ~1 each cannot all be served. *)
+  let g = Core.Graph.Graph.complete 3 in
+  let sp, pairs = Core.Decay.Spaces.mis_construction g in
+  let t = I.equi_decay_of_space sp pairs in
+  let rates = Array.make 3 0.95 in
+  let r =
+    Dyn.run ~slots:1500 ~policy:Dyn.Longest_queue_first ~arrival_rates:rates
+      (rng 33) t
+  in
+  check_false "unstable" r.Dyn.stable;
+  check_true "backlog grows" (r.Dyn.final_backlog > 100)
+
+let test_dynamic_lqf_beats_random_access () =
+  let t = planar_instance ~n_links:8 ~side:12. 34 in
+  let rates = Array.make 8 0.35 in
+  let lqf =
+    Dyn.run ~slots:1200 ~policy:Dyn.Longest_queue_first ~arrival_rates:rates
+      (rng 35) t
+  in
+  let ra =
+    Dyn.run ~slots:1200 ~policy:(Dyn.Random_access 0.3) ~arrival_rates:rates
+      (rng 35) t
+  in
+  check_true "LQF backlog no worse" (lqf.Dyn.mean_backlog <= ra.Dyn.mean_backlog +. 1.)
+
+let test_dynamic_validation () =
+  let t = planar_instance ~n_links:3 36 in
+  Alcotest.check_raises "rate range"
+    (Invalid_argument "Dynamic.run: rate out of [0,1]") (fun () ->
+      ignore
+        (Dyn.run ~policy:Dyn.Longest_queue_first ~arrival_rates:[| 0.5; 2.; 0.1 |]
+           (rng 37) t));
+  Alcotest.check_raises "rates length"
+    (Invalid_argument "Dynamic.run: arrival_rates too short") (fun () ->
+      ignore
+        (Dyn.run ~policy:Dyn.Longest_queue_first ~arrival_rates:[| 0.5 |]
+           (rng 38) t))
+
+let test_dynamic_accounting () =
+  let t = planar_instance ~n_links:4 ~side:50. 39 in
+  let rates = Array.make 4 0.2 in
+  let r =
+    Dyn.run ~slots:800 ~policy:Dyn.Longest_queue_first ~arrival_rates:rates
+      (rng 40) t
+  in
+  check_int "conservation" r.Dyn.final_backlog (r.Dyn.arrived - r.Dyn.delivered)
+
+(* -------------------------------------------------------------- Jamming *)
+
+let test_jamming_degrades_gracefully () =
+  let t = planar_instance ~n_links:4 ~side:60. 41 in
+  let clean = Core.Distrib.Regret.run ~rounds:600 (rng 42) t in
+  let jammed =
+    Core.Distrib.Regret.run ~rounds:600 ~jam_prob:0.3 (rng 42) t
+  in
+  check_true "jamming reduces throughput"
+    (jammed.Core.Distrib.Regret.avg_successes
+    <= clean.Core.Distrib.Regret.avg_successes +. 0.1);
+  check_true "but does not collapse it"
+    (jammed.Core.Distrib.Regret.avg_successes
+    >= 0.3 *. clean.Core.Distrib.Regret.avg_successes)
+
+let test_jamming_validation () =
+  let t = planar_instance ~n_links:2 43 in
+  Alcotest.check_raises "jam prob range"
+    (Invalid_argument "Regret.run: jam_prob out of [0,1]") (fun () ->
+      ignore (Core.Distrib.Regret.run ~jam_prob:1.5 (rng 44) t))
+
+(* --------------------------------------------------------------- QCheck *)
+
+let prop_rayleigh_probability_range =
+  qcheck ~count:40 "success probability in [0,1]" QCheck.small_int (fun seed ->
+      let t = planar_instance ~n_links:6 seed in
+      let set = Array.to_list t.I.links in
+      List.for_all
+        (fun lv ->
+          let p = Ray.success_probability t (Pw.uniform 1.) ~interferers:set lv in
+          p >= 0. && p <= 1.)
+        set)
+
+let prop_rayleigh_monotone_in_interferers =
+  qcheck ~count:40 "more interferers, lower probability" QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:6 seed in
+      let set = Array.to_list t.I.links in
+      match set with
+      | lv :: rest ->
+          Ray.success_probability t (Pw.uniform 1.) ~interferers:rest lv
+          >= Ray.success_probability t (Pw.uniform 1.) ~interferers:set lv -. 1e-12
+      | [] -> true)
+
+let prop_weighted_exact_at_least_heaviest_link =
+  qcheck ~count:30 "exact >= heaviest singleton" QCheck.small_int (fun seed ->
+      let t = planar_instance ~n_links:7 seed in
+      let g = rng (seed + 1) in
+      let w =
+        Array.init (Array.length t.I.links) (fun _ ->
+            0.5 +. Core.Prelude.Rng.float g 10.)
+      in
+      let best_single = Array.fold_left Float.max 0. w in
+      W.total w (W.exact t w) >= best_single -. 1e-9)
+
+let prop_min_power_is_minimal =
+  qcheck ~count:30 "min connectivity power is tight" QCheck.small_int
+    (fun seed ->
+      let sp = random_space ~n:8 seed in
+      match Conn.min_uniform_power sp ~beta:1.5 ~noise:0.5 with
+      | None -> false
+      | Some p ->
+          Conn.is_connected sp ~power:p ~beta:1.5 ~noise:0.5
+          && not (Conn.is_connected sp ~power:(p *. 0.999) ~beta:1.5 ~noise:0.5))
+
+let suite =
+  [
+    ( "ext.rayleigh",
+      [
+        case "solo no noise" test_rayleigh_solo_no_noise;
+        case "noise factor" test_rayleigh_noise_only;
+        case "interference factor" test_rayleigh_interference_factor;
+        case "matches monte carlo" test_rayleigh_matches_monte_carlo;
+        case "expected successes" test_rayleigh_expected_successes;
+        case "threshold limit" test_rayleigh_threshold_limit;
+        case "p validation" test_rayleigh_probability_validation;
+        prop_rayleigh_probability_range;
+        prop_rayleigh_monotone_in_interferers;
+      ] );
+    ( "ext.inductive",
+      [
+        case "bounded" test_inductive_nonnegative_and_bounded;
+        case "only later links" test_inductive_against_set_only_later;
+        case "density monotone" test_inductive_grows_with_density;
+      ] );
+    ( "ext.weighted",
+      [
+        case "unit weights" test_weighted_exact_cardinality_case;
+        case "exact dominates greedy" test_weighted_exact_dominates_greedy;
+        case "outputs feasible" test_weighted_output_feasible;
+        case "prefers heavy" test_weighted_prefers_heavy_link;
+        case "weight validation" test_weighted_rejects_bad_weights;
+        case "total" test_weighted_total;
+        prop_weighted_exact_at_least_heaviest_link;
+      ] );
+    ( "ext.connectivity",
+      [
+        case "uniform space" test_connectivity_uniform;
+        case "two clusters" test_connectivity_two_clusters;
+        case "zero noise" test_connectivity_zero_noise;
+        case "asymmetric edges" test_connectivity_asymmetric_edges;
+        case "bidirectional graph" test_bidirectional_graph_normalized;
+        prop_min_power_is_minimal;
+      ] );
+    ( "ext.dynamic",
+      [
+        case "stable under light load" test_dynamic_stable_under_light_load;
+        case "unstable under overload" test_dynamic_unstable_under_overload;
+        case "LQF vs random access" test_dynamic_lqf_beats_random_access;
+        case "validation" test_dynamic_validation;
+        case "packet conservation" test_dynamic_accounting;
+      ] );
+    ( "ext.jamming",
+      [
+        case "graceful degradation" test_jamming_degrades_gracefully;
+        case "validation" test_jamming_validation;
+      ] );
+  ]

@@ -1,0 +1,173 @@
+(* Tests for multi-hop flow scheduling and the SINR-diagram negative
+   control. *)
+
+open Testutil
+module D = Core.Decay.Decay_space
+module Flow = Core.Sched.Flow
+module Diag = Core.Radio.Diagram
+module P = Core.Geom.Point
+
+(* A 4-node chain: 0 - 1 - 2 - 3 with unit hop decays and huge skips. *)
+let chain_space =
+  D.of_fn ~name:"chain" 4 (fun i j ->
+      if abs (i - j) = 1 then 1. else 1000.)
+
+let test_route_chain () =
+  match
+    Flow.route chain_space ~power:2. ~beta:1. ~noise:1.
+      { Flow.src = 0; dst = 3 }
+  with
+  | Some path -> Alcotest.(check (list int)) "hop path" [ 0; 1; 2; 3 ] path
+  | None -> Alcotest.fail "expected a route"
+
+let test_route_direct_when_powerful () =
+  match
+    Flow.route chain_space ~power:2000. ~beta:1. ~noise:1.
+      { Flow.src = 0; dst = 3 }
+  with
+  | Some path -> check_int "one hop" 2 (List.length path)
+  | None -> Alcotest.fail "expected a route"
+
+let test_route_unreachable () =
+  check_true "no route at tiny power"
+    (Flow.route chain_space ~power:0.5 ~beta:1. ~noise:1.
+       { Flow.src = 0; dst = 3 }
+    = None)
+
+let test_route_validation () =
+  Alcotest.check_raises "src = dst" (Invalid_argument "Flow.route: src equals dst")
+    (fun () ->
+      ignore
+        (Flow.route chain_space ~power:1. ~beta:1. ~noise:0.
+           { Flow.src = 1; dst = 1 }))
+
+let test_flow_run_chain () =
+  let r =
+    Flow.run ~beta:1. ~noise:1. ~power:2. chain_space
+      ~sessions:[ { Flow.src = 0; dst = 3 } ]
+  in
+  check_int "routed" 1 r.Flow.routed;
+  check_int "three hops" 3 (List.length r.Flow.hop_links);
+  check_true "positive throughput" (r.Flow.throughput > 0.);
+  check_true "slots >= 2 (adjacent hops conflict)" (r.Flow.slots >= 2)
+
+let test_flow_dedup_hops () =
+  (* Two sessions sharing the 1-2 hop: the hop is scheduled once. *)
+  let r =
+    Flow.run ~beta:1. ~noise:1. ~power:2. chain_space
+      ~sessions:[ { Flow.src = 0; dst = 2 }; { Flow.src = 1; dst = 3 } ]
+  in
+  check_int "routed both" 2 r.Flow.routed;
+  check_int "three distinct hops" 3 (List.length r.Flow.hop_links)
+
+let test_flow_unroutable_reported () =
+  let r =
+    Flow.run ~beta:1. ~noise:1. ~power:0.5 chain_space
+      ~sessions:[ { Flow.src = 0; dst = 3 } ]
+  in
+  check_int "none routed" 0 r.Flow.routed;
+  check_int "reported" 1 (List.length r.Flow.unroutable);
+  check_float "zero throughput" 0. r.Flow.throughput
+
+let prop_flow_schedule_slots_feasible =
+  qcheck ~count:15 "flow slots are SINR-feasible" QCheck.small_int (fun seed ->
+      let pts = Core.Decay.Spaces.random_points (rng seed) ~n:12 ~side:12. in
+      let sp = D.of_points ~alpha:3. pts in
+      let beta = 1.5 and noise = 1. in
+      let power = beta *. noise *. 30. in
+      let r =
+        Flow.run ~beta ~noise ~power sp
+          ~sessions:[ { Flow.src = 0; dst = 11 }; { Flow.src = 5; dst = 2 } ]
+      in
+      List.for_all
+        (fun slot ->
+          let pairs =
+            List.map
+              (fun l -> (l.Core.Sinr.Link.sender, l.Core.Sinr.Link.receiver))
+              slot
+          in
+          let sub = Core.Sinr.Instance.make ~noise ~beta ~zeta:3. sp pairs in
+          Core.Sinr.Feasibility.is_feasible sub
+            (Core.Sinr.Power.uniform power)
+            (Array.to_list sub.Core.Sinr.Instance.links))
+        r.Flow.schedule)
+
+(* ---------------------------------------------------------------- Diagram *)
+
+let txs = [| P.make 5. 10.; P.make 15. 10. |]
+
+let test_cells_partition_probes () =
+  let env = Core.Radio.Environment.empty ~side:20. in
+  let cells =
+    Diag.reception_cells ~grid:10 env Core.Radio.Propagation.free_space_config txs
+  in
+  check_true "at most one cell per transmitter" (List.length cells <= 2);
+  (* Every probe point decodes at most one transmitter: total <= 100. *)
+  let total =
+    List.fold_left (fun a c -> a + List.length c.Diag.points) 0 cells
+  in
+  check_true "total points bounded" (total <= 100);
+  check_true "some points decode" (total > 0)
+
+let test_free_space_zones_convex () =
+  let env = Core.Radio.Environment.empty ~side:20. in
+  let cfg = Core.Radio.Propagation.free_space_config in
+  let cells = Diag.reception_cells ~grid:24 env cfg txs in
+  let defect = Diag.convexity_of_cells env cfg txs cells in
+  check_true "free-space zones convex" (defect < 0.02)
+
+let test_walled_zones_not_convex () =
+  (* A single full wall between the transmitters only yields two convex
+     half-zones; scattered partial walls create shadow pockets where the
+     far transmitter captures probes inside the near one's region. *)
+  let env =
+    Core.Radio.Environment.random_clutter (rng 91) ~side:20. ~n_walls:12
+      [ Core.Radio.Material.metal ]
+  in
+  let cfg =
+    { Core.Radio.Propagation.free_space_config with
+      Core.Radio.Propagation.walls = true }
+  in
+  let cells = Diag.reception_cells ~grid:24 env cfg txs in
+  let defect = Diag.convexity_of_cells env cfg txs cells in
+  check_true "walls break convexity" (defect > 0.01)
+
+let test_diagram_requires_transmitters () =
+  let env = Core.Radio.Environment.empty ~side:10. in
+  Alcotest.check_raises "no txs" (Invalid_argument "Diagram: no transmitters")
+    (fun () ->
+      ignore
+        (Diag.reception_cells env Core.Radio.Propagation.free_space_config [||]))
+
+let test_convexity_defect_direct () =
+  (* An L-shaped point set has midpoints outside it. *)
+  let cell =
+    { Diag.transmitter = 0;
+      points = [ P.make 0. 0.; P.make 2. 0.; P.make 0. 2. ] }
+  in
+  let inside p = List.exists (fun q -> P.dist p q < 0.1) cell.Diag.points in
+  let defect = Diag.convexity_defect cell ~loses_to:(fun p -> not (inside p)) in
+  check_true "L-shape has defect" (defect > 0.)
+
+let suite =
+  [
+    ( "sched.flow",
+      [
+        case "route chain" test_route_chain;
+        case "route direct" test_route_direct_when_powerful;
+        case "route unreachable" test_route_unreachable;
+        case "route validation" test_route_validation;
+        case "run chain" test_flow_run_chain;
+        case "dedup shared hops" test_flow_dedup_hops;
+        case "unroutable reported" test_flow_unroutable_reported;
+        prop_flow_schedule_slots_feasible;
+      ] );
+    ( "radio.diagram",
+      [
+        case "cells partition" test_cells_partition_probes;
+        case "free space convex" test_free_space_zones_convex;
+        case "walls break convexity" test_walled_zones_not_convex;
+        case "needs transmitters" test_diagram_requires_transmitters;
+        case "defect direct" test_convexity_defect_direct;
+      ] );
+  ]

@@ -1,0 +1,89 @@
+(* Tests for the 3-D geometry substrate and the volumetric decay spaces. *)
+
+open Testutil
+module P3 = Core.Geom.Point3
+module Sp = Core.Decay.Spaces
+
+let test_arithmetic () =
+  let a = P3.make 1. 2. 3. and b = P3.make 4. 5. 6. in
+  check_true "add" (P3.equal (P3.add a b) (P3.make 5. 7. 9.));
+  check_true "sub" (P3.equal (P3.sub b a) (P3.make 3. 3. 3.));
+  check_true "scale" (P3.equal (P3.scale 2. a) (P3.make 2. 4. 6.))
+
+let test_norm_dist () =
+  check_float "norm" 3. (P3.norm (P3.make 1. 2. 2.));
+  check_float "dist" 3. (P3.dist (P3.make 1. 1. 1.) (P3.make 2. 3. 3.));
+  check_float "dist2" 9. (P3.dist2 (P3.make 1. 1. 1.) (P3.make 2. 3. 3.))
+
+let test_cross_product () =
+  let x = P3.make 1. 0. 0. and y = P3.make 0. 1. 0. in
+  check_true "x cross y = z" (P3.equal (P3.cross x y) (P3.make 0. 0. 1.));
+  check_true "anticommutes"
+    (P3.equal (P3.cross y x) (P3.make 0. 0. (-1.)));
+  (* Cross product is orthogonal to both factors. *)
+  let a = P3.make 1. 2. 3. and b = P3.make (-2.) 0.5 4. in
+  let c = P3.cross a b in
+  check_float ~eps:1e-9 "orthogonal to a" 0. (P3.dot c a);
+  check_float ~eps:1e-9 "orthogonal to b" 0. (P3.dot c b)
+
+let test_angle () =
+  check_float ~eps:1e-9 "right angle" (Float.pi /. 2.)
+    (P3.angle_between (P3.make 1. 0. 0.) (P3.make 0. 0. 2.));
+  Alcotest.check_raises "zero vector"
+    (Invalid_argument "Point3.angle_between: zero vector") (fun () ->
+      ignore (P3.angle_between P3.origin (P3.make 1. 0. 0.)))
+
+let test_lerp () =
+  let m = P3.lerp (P3.make 0. 0. 0.) (P3.make 2. 4. 6.) 0.5 in
+  check_true "midpoint" (P3.equal m (P3.make 1. 2. 3.))
+
+let test_metric_of_points3 () =
+  let m =
+    Core.Geom.Metric.of_points3
+      [ P3.make 0. 0. 0.; P3.make 1. 0. 0.; P3.make 0. 1. 1. ]
+  in
+  check_true "is metric" (Core.Geom.Metric.is_metric m);
+  check_float ~eps:1e-9 "sqrt 2" (sqrt 2.) m.Core.Geom.Metric.d.(0).(2)
+
+let test_3d_decay_zeta () =
+  let pts = Sp.random_points_3d (rng 1) ~n:12 ~side:10. in
+  let d = Sp.of_points_3d ~alpha:3. pts in
+  check_float ~eps:5e-3 "zeta ~ alpha in 3d" 3. (Core.Decay.Metricity.zeta d)
+
+let test_3d_independence_exceeds_planar () =
+  (* An octahedron around the origin: 6 points, pairwise distance sqrt2 * r
+     > r — all independent w.r.t. the centre, impossible in the plane
+     (strict reading caps the plane at 5). *)
+  let r = 1. in
+  let pts =
+    [ P3.origin;
+      P3.make r 0. 0.; P3.make (-.r) 0. 0.;
+      P3.make 0. r 0.; P3.make 0. (-.r) 0.;
+      P3.make 0. 0. r; P3.make 0. 0. (-.r) ]
+  in
+  let d = Sp.of_points_3d ~alpha:1. pts in
+  check_true "octahedron independent wrt centre"
+    (Core.Decay.Dimension.is_independent_wrt d ~x:0 [ 1; 2; 3; 4; 5; 6 ])
+
+let prop_3d_triangle =
+  qcheck ~count:25 "3-D euclidean satisfies the triangle inequality"
+    QCheck.small_int
+    (fun seed ->
+      let pts = Sp.random_points_3d (rng seed) ~n:8 ~side:5. in
+      Core.Geom.Metric.check_triangle (Core.Geom.Metric.of_points3 pts))
+
+let suite =
+  [
+    ( "geom.point3",
+      [
+        case "arithmetic" test_arithmetic;
+        case "norm/dist" test_norm_dist;
+        case "cross product" test_cross_product;
+        case "angle" test_angle;
+        case "lerp" test_lerp;
+        case "metric of points" test_metric_of_points3;
+        case "3d zeta = alpha" test_3d_decay_zeta;
+        case "octahedron independence" test_3d_independence_exceeds_planar;
+        prop_3d_triangle;
+      ] );
+  ]

@@ -1,0 +1,375 @@
+(* Tests for the distributed-protocol and application extensions: global
+   broadcast, distributed coloring, dominating sets, spectrum auctions,
+   conflict graphs and the RSSI sampling estimator. *)
+
+open Testutil
+module D = Core.Decay.Decay_space
+module Bc = Core.Distrib.Broadcast
+module Col = Core.Distrib.Coloring
+module Dom = Core.Distrib.Dominating_set
+module Auc = Core.Capacity.Auction
+module Cg = Core.Sched.Conflict_graph
+module Samp = Core.Radio.Sampling
+module I = Core.Sinr.Instance
+
+let grid_space alpha =
+  D.of_points ~alpha (Core.Decay.Spaces.grid_points ~rows:4 ~cols:4 ~spacing:1.)
+
+(* ------------------------------------------------------------ Broadcast *)
+
+let test_broadcast_completes () =
+  let sp = grid_space 3. in
+  let r = Bc.run (rng 1) sp ~source:0 ~radius:1.5 in
+  check_true "completed" r.Bc.completed;
+  check_int "all informed" 16 r.Bc.informed;
+  check_true "history is monotone"
+    (let rec mono = function
+       | a :: (b :: _ as rest) -> a <= b && mono rest
+       | _ -> true
+     in
+     mono r.Bc.per_round_informed)
+
+let test_broadcast_respects_budget () =
+  let sp = grid_space 3. in
+  let r = Bc.run ~max_rounds:2 (rng 2) sp ~source:0 ~radius:1.5 in
+  check_true "round budget" (r.Bc.rounds <= 2)
+
+let test_broadcast_source_validation () =
+  let sp = grid_space 3. in
+  Alcotest.check_raises "source range"
+    (Invalid_argument "Broadcast.run: source range") (fun () ->
+      ignore (Bc.run (rng 3) sp ~source:99 ~radius:1.))
+
+let test_broadcast_rounds_at_least_eccentricity () =
+  (* With noise, solo reception is limited to decay <= power/(beta*noise);
+     information travels at most one such hop per round, so the hop
+     eccentricity in *that* graph lower-bounds the broadcast time. *)
+  let sp = grid_space 3. in
+  let beta = 1. and noise = 1. and power = 6. in
+  let reach = power /. (beta *. noise) in
+  match Bc.eccentricity sp ~radius:reach 0 with
+  | Some e ->
+      let r = Bc.run ~power ~beta ~noise (rng 4) sp ~source:0 ~radius:1.5 in
+      check_true "completes" r.Bc.completed;
+      check_true "rounds >= reception-hop eccentricity" (r.Bc.rounds >= e)
+  | None -> Alcotest.fail "grid should be connected at the reception radius"
+
+let test_eccentricity_disconnected () =
+  let sp =
+    D.of_matrix [| [| 0.; 1.; 9. |]; [| 1.; 0.; 9. |]; [| 9.; 9.; 0. |] |]
+  in
+  check_true "unreachable gives None" (Bc.eccentricity sp ~radius:2. 0 = None)
+
+let test_eccentricity_values () =
+  (* Path graph: 0 - 1 - 2 at unit decays, radius covering one hop. *)
+  let sp =
+    D.of_matrix [| [| 0.; 1.; 4. |]; [| 1.; 0.; 1. |]; [| 4.; 1.; 0. |] |]
+  in
+  (match Bc.eccentricity sp ~radius:2. 0 with
+  | Some e -> check_int "ecc of endpoint" 2 e
+  | None -> Alcotest.fail "connected");
+  match Bc.eccentricity sp ~radius:2. 1 with
+  | Some e -> check_int "ecc of middle" 1 e
+  | None -> Alcotest.fail "connected"
+
+(* ------------------------------------------------------------- Coloring *)
+
+let test_coloring_proper_on_grid () =
+  let sp = grid_space 3. in
+  let r = Col.run (rng 5) sp ~radius:1.5 in
+  check_true "completed" r.Col.completed;
+  check_true "proper" r.Col.proper;
+  check_true "palette within Delta+1"
+    (r.Col.palette <= Col.max_degree sp ~radius:1.5 + 1)
+
+let test_coloring_uniform_space () =
+  (* Uniform space at radius 1.5: complete conflict graph — all distinct
+     colors. *)
+  let sp = Core.Decay.Spaces.uniform 7 in
+  let r = Col.run (rng 6) sp ~radius:1.5 in
+  check_true "completed" r.Col.completed;
+  check_true "proper" r.Col.proper;
+  check_int "clique needs n colors" 7 r.Col.palette
+
+let test_coloring_isolated_nodes () =
+  (* Radius below all decays: no conflicts; any colors work, protocol ends
+     quickly. *)
+  let sp = Core.Decay.Spaces.uniform 6 in
+  let r = Col.run (rng 7) sp ~radius:0.5 in
+  check_true "completed" r.Col.completed;
+  check_true "proper" r.Col.proper
+
+let test_coloring_proper_across_seeds () =
+  let sp = grid_space 2.5 in
+  List.iter
+    (fun seed ->
+      let r = Col.run (rng seed) sp ~radius:1.5 in
+      check_true "proper" r.Col.proper)
+    [ 11; 12; 13; 14; 15 ]
+
+(* ------------------------------------------------------ Dominating set *)
+
+let test_dominating_set_grid () =
+  let sp = grid_space 3. in
+  let r = Dom.run (rng 21) sp ~radius:1.5 in
+  check_true "completed" r.Dom.completed;
+  check_true "dominating" r.Dom.dominating;
+  check_true "not everything is a leader" (List.length r.Dom.leaders < 16)
+
+let test_dominating_set_uniform () =
+  let sp = Core.Decay.Spaces.uniform 8 in
+  let r = Dom.run (rng 22) sp ~radius:1.5 in
+  check_true "dominating" r.Dom.dominating;
+  (* One leader dominates everyone in the uniform space; the protocol may
+     elect a couple before suppression kicks in. *)
+  check_true "few leaders" (List.length r.Dom.leaders <= 4)
+
+let test_greedy_dominating_baseline () =
+  let sp = Core.Decay.Spaces.uniform 9 in
+  check_int "uniform needs one centre" 1
+    (List.length (Dom.greedy_centralized sp ~radius:1.5));
+  let sp2 = grid_space 3. in
+  let ds = Dom.greedy_centralized sp2 ~radius:1.5 in
+  (* Greedy output must itself dominate. *)
+  let dominated v =
+    List.mem v ds
+    || List.exists
+         (fun u ->
+           List.mem v (Core.Distrib.Sim.neighbourhood sp2 ~radius:1.5 u)
+           || List.mem u (Core.Distrib.Sim.neighbourhood sp2 ~radius:1.5 v))
+         ds
+  in
+  check_true "greedy dominates" (List.for_all dominated (List.init 16 Fun.id))
+
+let test_dominating_ratio_reasonable () =
+  let sp = grid_space 3. in
+  let r = Dom.run (rng 23) sp ~radius:1.5 in
+  check_true "within small factor of greedy" (r.Dom.size_ratio <= 6.)
+
+(* -------------------------------------------------------------- Auction *)
+
+let test_auction_welfare_and_winners () =
+  let t = planar_instance ~n_links:8 31 in
+  let g = rng 32 in
+  let bids =
+    Array.init (Array.length t.I.links) (fun _ ->
+        1. +. Core.Prelude.Rng.float g 9.)
+  in
+  let o = Auc.run t ~bids in
+  check_true "winners feasible"
+    (Core.Sinr.Feasibility.is_feasible t (Core.Sinr.Power.uniform 1.) o.Auc.winners);
+  check_float ~eps:1e-9 "welfare = sum of winning bids"
+    (List.fold_left (fun a l -> a +. bids.(l.Core.Sinr.Link.id)) 0. o.Auc.winners)
+    o.Auc.welfare;
+  check_int "one payment per winner" (List.length o.Auc.winners)
+    (List.length o.Auc.payments)
+
+let test_auction_payments_below_bids () =
+  let t = planar_instance ~n_links:8 33 in
+  let g = rng 34 in
+  let bids =
+    Array.init (Array.length t.I.links) (fun _ ->
+        1. +. Core.Prelude.Rng.float g 9.)
+  in
+  let o = Auc.run t ~bids in
+  List.iter
+    (fun (id, pay) ->
+      check_true "payment <= bid" (pay <= bids.(id) +. 1e-6);
+      check_true "payment >= 0" (pay >= 0.))
+    o.Auc.payments
+
+let test_auction_monotone () =
+  let t = planar_instance ~n_links:8 35 in
+  let g = rng 36 in
+  let bids =
+    Array.init (Array.length t.I.links) (fun _ ->
+        1. +. Core.Prelude.Rng.float g 9.)
+  in
+  let o = Auc.run t ~bids in
+  List.iter
+    (fun l -> check_true "raising bid keeps winning" (Auc.is_winner_monotone t ~bids l))
+    o.Auc.winners
+
+let test_auction_payment_bid_independent () =
+  (* A winner bidding anything above its payment still wins and pays the
+     same — the heart of truthfulness. *)
+  let t = planar_instance ~n_links:6 37 in
+  let g = rng 38 in
+  let bids =
+    Array.init (Array.length t.I.links) (fun _ ->
+        1. +. Core.Prelude.Rng.float g 9.)
+  in
+  let o = Auc.run t ~bids in
+  match o.Auc.winners with
+  | [] -> Alcotest.fail "expected winners"
+  | w :: _ ->
+      let pay = List.assoc w.Core.Sinr.Link.id o.Auc.payments in
+      let bids' = Array.copy bids in
+      bids'.(w.Core.Sinr.Link.id) <- pay +. 0.5;
+      let o' = Auc.run t ~bids:bids' in
+      check_true "still wins just above payment"
+        (List.exists
+           (fun l -> l.Core.Sinr.Link.id = w.Core.Sinr.Link.id)
+           o'.Auc.winners);
+      let pay' = List.assoc w.Core.Sinr.Link.id o'.Auc.payments in
+      check_float ~eps:1e-5 "payment unchanged" pay pay'
+
+let test_auction_zero_bids_lose () =
+  let t = planar_instance ~n_links:4 39 in
+  let bids = Array.make 4 0. in
+  check_int "nobody wins with zero bids" 0
+    (List.length (Auc.greedy_allocation t ~bids))
+
+(* ------------------------------------------------------- Conflict graph *)
+
+let test_conflict_graph_structure () =
+  let t = planar_instance ~n_links:8 41 in
+  let g = Cg.build t in
+  check_int "one vertex per link" 8 (Core.Graph.Graph.n g);
+  (* Edges correspond exactly to infeasible pairs. *)
+  let links = t.I.links in
+  let p = Core.Sinr.Power.uniform 1. in
+  for i = 0 to 7 do
+    for j = i + 1 to 7 do
+      Alcotest.(check bool)
+        "edge iff pair infeasible"
+        (not (Core.Sinr.Feasibility.is_feasible t p [ links.(i); links.(j) ]))
+        (Core.Graph.Graph.has_edge g i j)
+    done
+  done
+
+let test_conflict_schedule_covers () =
+  let t = planar_instance ~n_links:10 42 in
+  let slots = Cg.schedule t in
+  let total = List.fold_left (fun a s -> a + List.length s) 0 slots in
+  check_int "covers all links" 10 total
+
+let test_conflict_graph_capacity_upper_bounds () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:10 seed in
+      let true_cap = List.length (Core.Capacity.Exact.capacity t) in
+      check_true "graph capacity >= true capacity"
+        (Cg.graph_capacity t >= true_cap))
+    [ 43; 44; 45 ]
+
+let test_conflict_fidelity_range () =
+  let t = planar_instance ~n_links:10 46 in
+  let f = Cg.fidelity t in
+  check_true "fidelity in [0,1]" (f >= 0. && f <= 1.)
+
+(* ------------------------------------------------------------- Sampling *)
+
+let test_sampling_converges () =
+  let env = Core.Radio.Environment.empty ~side:20. in
+  let nodes =
+    Core.Radio.Node.of_points
+      (Core.Decay.Spaces.random_points (rng 51) ~n:6 ~side:18.)
+  in
+  let cfg =
+    { Core.Radio.Propagation.default with
+      Core.Radio.Propagation.walls = false;
+      fading = Core.Radio.Propagation.Rayleigh }
+  in
+  let truth =
+    Core.Radio.Measure.decay_space ~seed:3
+      ~config:{ cfg with Core.Radio.Propagation.fading = Core.Radio.Propagation.No_fading }
+      env nodes
+  in
+  let est k = Samp.estimate_decay_space ~seed:3 ~config:cfg ~samples:k env nodes in
+  let med4, _ = Samp.error_db ~truth ~estimate:(est 4) in
+  let med256, _ = Samp.error_db ~truth ~estimate:(est 256) in
+  check_true "more samples, less error" (med256 < med4);
+  check_true "256 samples within 1 dB" (med256 < 1.)
+
+let test_sampling_no_fading_exact () =
+  let env = Core.Radio.Environment.empty ~side:20. in
+  let nodes =
+    Core.Radio.Node.of_points
+      (Core.Decay.Spaces.random_points (rng 52) ~n:5 ~side:18.)
+  in
+  let cfg =
+    { Core.Radio.Propagation.default with
+      Core.Radio.Propagation.walls = false;
+      fading = Core.Radio.Propagation.No_fading }
+  in
+  let truth = Core.Radio.Measure.decay_space ~seed:4 ~config:cfg env nodes in
+  let est = Samp.estimate_decay_space ~seed:4 ~config:cfg ~samples:2 env nodes in
+  let med, p95 = Samp.error_db ~truth ~estimate:est in
+  check_float ~eps:1e-9 "exact without fading (median)" 0. med;
+  check_float ~eps:1e-9 "exact without fading (p95)" 0. p95
+
+let test_sampling_validation () =
+  let env = Core.Radio.Environment.empty ~side:10. in
+  let nodes = Core.Radio.Node.of_points [ Core.Geom.Point.make 1. 1. ] in
+  Alcotest.check_raises "sample count"
+    (Invalid_argument "Sampling: need at least one sample") (fun () ->
+      ignore (Samp.estimate_decay_space ~samples:0 env nodes))
+
+let prop_broadcast_always_terminates_connected =
+  qcheck ~count:20 "broadcast completes on connected grids" QCheck.small_int
+    (fun seed ->
+      let sp = grid_space 3. in
+      (Bc.run (rng seed) sp ~source:(seed mod 16) ~radius:1.5).Bc.completed)
+
+let prop_auction_winners_feasible =
+  qcheck ~count:25 "auction winners always feasible" QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:7 seed in
+      let g = rng (seed + 9) in
+      let bids =
+        Array.init (Array.length t.I.links) (fun _ ->
+            Core.Prelude.Rng.float g 10.)
+      in
+      Core.Sinr.Feasibility.is_feasible t (Core.Sinr.Power.uniform 1.)
+        (Auc.greedy_allocation t ~bids))
+
+let suite =
+  [
+    ( "proto.broadcast",
+      [
+        case "completes" test_broadcast_completes;
+        case "round budget" test_broadcast_respects_budget;
+        case "source validation" test_broadcast_source_validation;
+        case "rounds >= eccentricity" test_broadcast_rounds_at_least_eccentricity;
+        case "eccentricity disconnected" test_eccentricity_disconnected;
+        case "eccentricity values" test_eccentricity_values;
+        prop_broadcast_always_terminates_connected;
+      ] );
+    ( "proto.coloring",
+      [
+        case "proper on grid" test_coloring_proper_on_grid;
+        case "uniform clique" test_coloring_uniform_space;
+        case "isolated nodes" test_coloring_isolated_nodes;
+        case "proper across seeds" test_coloring_proper_across_seeds;
+      ] );
+    ( "proto.dominating",
+      [
+        case "grid" test_dominating_set_grid;
+        case "uniform" test_dominating_set_uniform;
+        case "greedy baseline" test_greedy_dominating_baseline;
+        case "ratio" test_dominating_ratio_reasonable;
+      ] );
+    ( "proto.auction",
+      [
+        case "welfare and winners" test_auction_welfare_and_winners;
+        case "payments below bids" test_auction_payments_below_bids;
+        case "monotone" test_auction_monotone;
+        case "payment bid-independent" test_auction_payment_bid_independent;
+        case "zero bids lose" test_auction_zero_bids_lose;
+        prop_auction_winners_feasible;
+      ] );
+    ( "proto.conflict_graph",
+      [
+        case "structure" test_conflict_graph_structure;
+        case "schedule covers" test_conflict_schedule_covers;
+        case "capacity upper bound" test_conflict_graph_capacity_upper_bounds;
+        case "fidelity range" test_conflict_fidelity_range;
+      ] );
+    ( "proto.sampling",
+      [
+        case "converges" test_sampling_converges;
+        case "no fading exact" test_sampling_no_fading_exact;
+        case "validation" test_sampling_validation;
+      ] );
+  ]

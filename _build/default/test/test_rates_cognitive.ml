@@ -1,0 +1,257 @@
+(* Tests for flexible-data-rate scheduling, cognitive-radio admission, the
+   extra space generators, and a degenerate-input battery across every
+   algorithm entry point. *)
+
+open Testutil
+module D = Core.Decay.Decay_space
+module I = Core.Sinr.Instance
+module Pw = Core.Sinr.Power
+module R = Core.Sched.Rates
+module Cog = Core.Capacity.Cognitive
+module Sp = Core.Decay.Spaces
+
+(* ----------------------------------------------------------------- Rates *)
+
+let test_rate_values () =
+  let sp =
+    D.of_fn ~name:"pair" 4 (fun i j ->
+        match (i, j) with 0, 1 | 1, 0 | 2, 3 | 3, 2 -> 1. | _ -> 1. /. 0.25)
+  in
+  (* Cross decay 4 => SINR = 4 when both transmit... wait: f = 4. *)
+  ignore sp;
+  let sp =
+    D.of_fn ~name:"pair" 4 (fun i j ->
+        match (i, j) with 0, 1 | 1, 0 | 2, 3 | 3, 2 -> 1. | _ -> 4.)
+  in
+  let t = I.make ~zeta:1. sp [ (0, 1); (2, 3) ] in
+  let set = Array.to_list t.I.links in
+  (* SINR = 4 -> rate log2 5. *)
+  check_float ~eps:1e-9 "rate log2(1+4)"
+    (Core.Prelude.Numerics.log2 5.)
+    (R.rate t (Pw.uniform 1.) set (List.hd set));
+  (* Solo: capped. *)
+  check_float "solo cap" 30. (R.rate t (Pw.uniform 1.) [ List.hd set ] (List.hd set))
+
+let test_rates_schedule_completes () =
+  let t = planar_instance ~n_links:8 1 in
+  let demands = Array.make 8 5. in
+  let r = R.schedule ~demands t in
+  check_true "completed" r.R.completed;
+  check_true "verifies" (R.verify t ~demands r);
+  check_true "residuals zero"
+    (Array.for_all (fun x -> x <= 1e-9) r.R.residual)
+
+let test_rates_higher_demand_more_slots () =
+  (* Use a dense instance so per-slot rates are interference-limited and
+     demand actually shows up in the slot count. *)
+  let t = planar_instance ~n_links:8 ~side:6. 2 in
+  let low = R.schedule ~demands:(Array.make 8 2.) t in
+  let high = R.schedule ~demands:(Array.make 8 40.) t in
+  check_true "both complete" (low.R.completed && high.R.completed);
+  check_true "demand scales slots" (high.R.slots > low.R.slots)
+
+let test_rates_unequal_demands () =
+  let t = planar_instance ~n_links:6 3 in
+  let demands = Array.init 6 (fun i -> 1. +. (3. *. float_of_int i)) in
+  let r = R.schedule ~demands t in
+  check_true "completed" r.R.completed;
+  check_true "verifies" (R.verify t ~demands r)
+
+let test_rates_validation () =
+  let t = planar_instance ~n_links:4 4 in
+  Alcotest.check_raises "short demands"
+    (Invalid_argument "Rates.schedule: demands too short") (fun () ->
+      ignore (R.schedule ~demands:[| 1. |] t));
+  Alcotest.check_raises "nonpositive demand"
+    (Invalid_argument "Rates.schedule: demands must be positive") (fun () ->
+      ignore (R.schedule ~demands:[| 1.; 0.; 1.; 1. |] t))
+
+let test_rates_budget () =
+  let t = planar_instance ~n_links:4 5 in
+  let r = R.schedule ~max_slots:1 ~demands:(Array.make 4 100.) t in
+  check_false "not completed in one slot" r.R.completed;
+  check_int "one slot" 1 r.R.slots;
+  check_false "verify rejects incomplete" (R.verify t ~demands:(Array.make 4 100.) r)
+
+(* -------------------------------------------------------------- Cognitive *)
+
+let split_instance seed =
+  let t = planar_instance ~n_links:12 seed in
+  let all = Array.to_list t.I.links in
+  let rec take k = function
+    | l :: rest when k > 0 ->
+        let a, b = take (k - 1) rest in
+        (l :: a, b)
+    | rest -> ([], rest)
+  in
+  let primaries_all, secondaries = take 3 all in
+  (* Keep only a feasible primary subset. *)
+  let primaries =
+    List.filteri
+      (fun i _ -> i < 3)
+      (Core.Capacity.Greedy.strongest_first (I.with_links t (Array.of_list primaries_all)))
+  in
+  (t, primaries, secondaries)
+
+let test_cognitive_greedy_safe () =
+  let t, primaries, secondaries = split_instance 11 in
+  let admitted = Cog.greedy t ~primaries ~secondaries in
+  check_true "safe" (Cog.admission_is_safe t ~primaries ~admitted)
+
+let test_cognitive_exact_dominates () =
+  let t, primaries, secondaries = split_instance 12 in
+  let g = List.length (Cog.greedy t ~primaries ~secondaries) in
+  let e = List.length (Cog.exact t ~primaries ~secondaries) in
+  check_true "exact >= greedy" (e >= g)
+
+let test_cognitive_exact_safe () =
+  let t, primaries, secondaries = split_instance 13 in
+  let admitted = Cog.exact t ~primaries ~secondaries in
+  check_true "safe" (Cog.admission_is_safe t ~primaries ~admitted)
+
+let test_cognitive_protects_primaries () =
+  (* A secondary that would kill a primary must never be admitted. *)
+  let sp =
+    D.of_fn ~name:"protect" 4 (fun i j ->
+        match (i, j) with
+        | 0, 1 | 1, 0 -> 1.       (* primary link *)
+        | 2, 3 | 3, 2 -> 1.       (* secondary link *)
+        | 2, 1 | 1, 2 -> 0.5      (* secondary sender blasts primary rx *)
+        | _ -> 100.)
+  in
+  let t = I.make ~beta:1.5 ~zeta:3. sp [ (0, 1); (2, 3) ] in
+  let primaries = [ t.I.links.(0) ] and secondaries = [ t.I.links.(1) ] in
+  check_int "greedy admits nothing" 0
+    (List.length (Cog.greedy t ~primaries ~secondaries));
+  check_int "exact admits nothing" 0
+    (List.length (Cog.exact t ~primaries ~secondaries))
+
+let test_cognitive_rejects_infeasible_primaries () =
+  let g = Core.Graph.Graph.complete 2 in
+  let sp, pairs = Sp.mis_construction g in
+  let t = I.equi_decay_of_space sp pairs in
+  let all = Array.to_list t.I.links in
+  Alcotest.check_raises "primaries infeasible"
+    (Invalid_argument "Cognitive: primaries are not feasible by themselves")
+    (fun () -> ignore (Cog.greedy t ~primaries:all ~secondaries:[]))
+
+let prop_cognitive_never_hurts_primaries =
+  qcheck ~count:25 "admission always keeps primaries feasible" QCheck.small_int
+    (fun seed ->
+      let t, primaries, secondaries = split_instance seed in
+      let admitted = Cog.greedy t ~primaries ~secondaries in
+      Core.Sinr.Feasibility.is_feasible t (Pw.uniform 1.) (primaries @ admitted))
+
+(* ------------------------------------------------------------- Zoo extras *)
+
+let test_line_points () =
+  let pts = Sp.line_points ~n:5 ~spacing:2. in
+  check_int "count" 5 (List.length pts);
+  let d = D.of_points ~alpha:1. pts in
+  check_float "end to end" 8. (D.decay d 0 4)
+
+let test_clustered_points () =
+  let pts = Sp.clustered_points (rng 31) ~clusters:3 ~per_cluster:4 ~side:100. ~spread:0.5 in
+  check_int "count" 12 (List.length pts);
+  (* Cluster mates are much closer than cluster strangers (statistically). *)
+  let arr = Array.of_list pts in
+  let intra = Core.Geom.Point.dist arr.(0) arr.(1) in
+  check_true "intra-cluster small" (intra < 5.)
+
+let test_exponential_line () =
+  let d = Sp.exponential_line ~n:6 in
+  check_float "2^1 - 2^0" 1. (D.decay d 0 1);
+  check_float "2^2 - 2^0" 3. (D.decay d 0 2);
+  check_true "metric (zeta 1)" (Core.Decay.Metricity.zeta d <= 1. +. 1e-9);
+  (* Doubling chain: quasi-doubling stays small despite geometric spread. *)
+  check_true "small doubling"
+    (Core.Decay.Dimension.quasi_doubling ~zeta:1. d <= 2.)
+
+let test_exponential_line_validation () =
+  Alcotest.check_raises "n >= 2"
+    (Invalid_argument "Spaces.exponential_line: need n >= 2") (fun () ->
+      ignore (Sp.exponential_line ~n:1))
+
+(* --------------------------------------------------- Degenerate inputs *)
+
+let empty_instance () =
+  let t = planar_instance ~n_links:2 41 in
+  I.with_links t [||]
+
+let test_degenerate_capacity_algorithms () =
+  let t0 = empty_instance () in
+  check_int "alg1 empty" 0 (List.length (Core.Capacity.Alg1.run t0));
+  check_int "greedy empty" 0 (List.length (Core.Capacity.Greedy.affectance_greedy t0));
+  check_int "strongest empty" 0 (List.length (Core.Capacity.Greedy.strongest_first t0));
+  check_int "exact empty" 0 (List.length (Core.Capacity.Exact.capacity t0));
+  check_int "weighted empty" 0 (List.length (Core.Capacity.Weighted.exact t0 [||]))
+
+let test_degenerate_schedulers () =
+  let t0 = empty_instance () in
+  check_int "first-fit empty" 0
+    (Core.Sched.Scheduler.length (Core.Sched.Scheduler.first_fit t0));
+  check_int "via-capacity empty" 0
+    (Core.Sched.Scheduler.length (Core.Sched.Scheduler.via_capacity t0));
+  let r = Core.Sched.Dynamic.run ~slots:10 ~policy:Core.Sched.Dynamic.Longest_queue_first
+      ~arrival_rates:[||] (rng 42) t0 in
+  check_int "dynamic empty" 0 r.Core.Sched.Dynamic.final_backlog
+
+let test_degenerate_distributed () =
+  let t0 = empty_instance () in
+  let r = Core.Distrib.Regret.run ~rounds:5 (rng 43) t0 in
+  check_int "regret empty" 0 (List.length r.Core.Distrib.Regret.final_active);
+  let c = Core.Distrib.Contention.run ~policy:(Core.Distrib.Contention.Fixed 0.5) (rng 44) t0 in
+  check_true "contention empty completes" c.Core.Distrib.Contention.completed
+
+let test_degenerate_partitions () =
+  let t0 = empty_instance () in
+  check_int "strengthen empty" 0
+    (List.length (Core.Sinr.Partition.strengthen t0 (Pw.uniform 1.) ~q:2. []));
+  check_int "separate empty" 0
+    (List.length (Core.Sinr.Partition.separate t0 ~eta:1. []))
+
+let test_single_link_everything () =
+  let t = planar_instance ~n_links:1 45 in
+  check_int "alg1" 1 (List.length (Core.Capacity.Alg1.run t));
+  check_int "exact" 1 (List.length (Core.Capacity.Exact.capacity t));
+  check_int "schedule" 1
+    (Core.Sched.Scheduler.length (Core.Sched.Scheduler.first_fit t));
+  let r = R.schedule ~demands:[| 3. |] t in
+  check_true "rates" r.R.completed
+
+let suite =
+  [
+    ( "sched.rates",
+      [
+        case "rate values" test_rate_values;
+        case "schedule completes" test_rates_schedule_completes;
+        case "demand scales slots" test_rates_higher_demand_more_slots;
+        case "unequal demands" test_rates_unequal_demands;
+        case "validation" test_rates_validation;
+        case "slot budget" test_rates_budget;
+      ] );
+    ( "capacity.cognitive",
+      [
+        case "greedy safe" test_cognitive_greedy_safe;
+        case "exact dominates" test_cognitive_exact_dominates;
+        case "exact safe" test_cognitive_exact_safe;
+        case "protects primaries" test_cognitive_protects_primaries;
+        case "rejects bad primaries" test_cognitive_rejects_infeasible_primaries;
+        prop_cognitive_never_hurts_primaries;
+      ] );
+    ( "decay.spaces_extra",
+      [
+        case "line points" test_line_points;
+        case "clustered points" test_clustered_points;
+        case "exponential line" test_exponential_line;
+        case "exp line validation" test_exponential_line_validation;
+      ] );
+    ( "robustness.degenerate",
+      [
+        case "capacity algorithms" test_degenerate_capacity_algorithms;
+        case "schedulers" test_degenerate_schedulers;
+        case "distributed" test_degenerate_distributed;
+        case "partitions" test_degenerate_partitions;
+        case "single link" test_single_link_everything;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+open Testutil
+module I = Core.Sinr.Instance
+module Pw = Core.Sinr.Power
+module Sch = Core.Sched.Scheduler
+
+let test_first_fit_valid () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:14 seed in
+      let s = Sch.first_fit t in
+      check_true "valid schedule" (Sch.verify t s))
+    [ 1; 2; 3 ]
+
+let test_first_fit_dense_needs_more_slots () =
+  (* Cramming links into a smaller area forces longer schedules. *)
+  let sparse = planar_instance ~n_links:14 ~side:60. 4 in
+  let dense = planar_instance ~n_links:14 ~side:6. 4 in
+  check_true "denser => more slots"
+    (Sch.length (Sch.first_fit dense) >= Sch.length (Sch.first_fit sparse))
+
+let test_first_fit_singleton () =
+  let t = planar_instance ~n_links:1 5 in
+  check_int "one slot" 1 (Sch.length (Sch.first_fit t))
+
+let test_via_capacity_valid () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:14 seed in
+      let s = Sch.via_capacity t in
+      check_true "valid schedule" (Sch.verify t s))
+    [ 6; 7 ]
+
+let test_via_capacity_custom_algorithm () =
+  let t = planar_instance ~n_links:10 8 in
+  let s =
+    Sch.via_capacity ~algorithm:Core.Capacity.Greedy.strongest_first t
+  in
+  check_true "valid with greedy" (Sch.verify t s)
+
+let test_verify_rejects_bad_schedules () =
+  let t = planar_instance ~n_links:6 9 in
+  let links = Array.to_list t.I.links in
+  (* Missing a link. *)
+  check_false "missing link" (Sch.verify t [ List.tl links ]);
+  (* Duplicated link. *)
+  check_false "duplicate link"
+    (Sch.verify t [ links; [ List.hd links ] ])
+
+let test_schedule_length_bounded_by_n () =
+  let t = planar_instance ~n_links:12 10 in
+  check_true "at most one slot per link" (Sch.length (Sch.first_fit t) <= 12)
+
+let test_empty_instance () =
+  let t = planar_instance ~n_links:2 11 in
+  let t0 = I.with_links t [||] in
+  check_int "no slots" 0 (Sch.length (Sch.first_fit t0));
+  check_true "empty valid" (Sch.verify t0 (Sch.first_fit t0))
+
+let prop_first_fit_always_valid =
+  qcheck ~count:40 "first-fit schedules verify" QCheck.small_int (fun seed ->
+      let t = planar_instance ~n_links:10 ~alpha:2.5 seed in
+      Sch.verify t (Sch.first_fit t))
+
+let prop_via_capacity_always_valid =
+  qcheck ~count:25 "capacity-reduction schedules verify" QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:10 seed in
+      Sch.verify t (Sch.via_capacity t))
+
+let prop_schedules_on_random_decay_spaces =
+  qcheck ~count:25 "schedules work on arbitrary decay spaces" QCheck.small_int
+    (fun seed ->
+      let sp = random_space ~n:16 ~range:30. seed in
+      let t =
+        I.random_links_in_space ~zeta:(Core.Decay.Metricity.zeta sp) (rng (seed + 7))
+          ~n_links:5 ~max_decay:(Core.Decay.Decay_space.max_decay sp) sp
+      in
+      Sch.verify t (Sch.first_fit t))
+
+let suite =
+  [
+    ( "sched.scheduler",
+      [
+        case "first-fit valid" test_first_fit_valid;
+        case "density lengthens schedule" test_first_fit_dense_needs_more_slots;
+        case "singleton" test_first_fit_singleton;
+        case "via capacity valid" test_via_capacity_valid;
+        case "via custom algorithm" test_via_capacity_custom_algorithm;
+        case "verify rejects bad" test_verify_rejects_bad_schedules;
+        case "length bounded" test_schedule_length_bounded_by_n;
+        case "empty instance" test_empty_instance;
+        prop_first_fit_always_valid;
+        prop_via_capacity_always_valid;
+        prop_schedules_on_random_decay_spaces;
+      ] );
+  ]

@@ -1,0 +1,477 @@
+open Testutil
+module D = Core.Decay.Decay_space
+module L = Core.Sinr.Link
+module Pw = Core.Sinr.Power
+module I = Core.Sinr.Instance
+module Aff = Core.Sinr.Affectance
+module F = Core.Sinr.Feasibility
+module Sep = Core.Sinr.Separation
+module PC = Core.Sinr.Power_control
+module Part = Core.Sinr.Partition
+
+(* A simple fully-specified instance: two parallel unit links at controlled
+   cross decay. *)
+let two_link_space ~cross =
+  D.of_fn ~name:"two-links" 4 (fun i j ->
+      (* Nodes: s0=0, r0=1, s1=2, r1=3.  Link decays 1, cross decays
+         [cross]. *)
+      match (i, j) with
+      | 0, 1 | 1, 0 | 2, 3 | 3, 2 -> 1.
+      | _ -> cross)
+
+let two_link_instance ?noise ?beta ~cross () =
+  I.make ?noise ?beta ~zeta:1. (two_link_space ~cross) [ (0, 1); (2, 3) ]
+
+(* ----------------------------------------------------------------- Link *)
+
+let test_link_make_rejects_loop () =
+  Alcotest.check_raises "loop" (Invalid_argument "Link.make: sender equals receiver")
+    (fun () -> ignore (L.make ~id:0 ~sender:1 ~receiver:1))
+
+let test_link_decays () =
+  let sp = two_link_space ~cross:8. in
+  let links = L.of_pairs [ (0, 1); (2, 3) ] in
+  check_float "self decay" 1. (L.self_decay sp links.(0));
+  check_float "cross decay" 8. (L.cross_decay sp ~from_:links.(0) ~to_:links.(1))
+
+let test_link_ordering () =
+  let sp = D.of_matrix [| [| 0.; 5.; 2. |]; [| 5.; 0.; 9. |]; [| 2.; 9.; 0. |] |] in
+  let links = L.of_pairs [ (0, 1); (0, 2) ] in
+  check_true "shorter first" (L.compare_by_decay sp links.(1) links.(0) < 0)
+
+(* ---------------------------------------------------------------- Power *)
+
+let test_power_values () =
+  let sp = two_link_space ~cross:4. in
+  let l = (L.of_pairs [ (0, 1) ]).(0) in
+  check_float "uniform" 3. (Pw.value (Pw.uniform 3.) sp l);
+  check_float "linear" 2. (Pw.value (Pw.linear ~coeff:2.) sp l);
+  check_float "mean" 2. (Pw.value (Pw.mean ~coeff:2.) sp l);
+  check_float "custom" 7. (Pw.value (Pw.Custom [| 7. |]) sp l)
+
+let test_power_uniform_validation () =
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Power.uniform: power must be positive") (fun () ->
+      ignore (Pw.uniform 0.))
+
+let test_power_monotone_family () =
+  let t = planar_instance ~n_links:6 1 in
+  let links = t.I.links in
+  check_true "uniform monotone" (Pw.is_monotone (Pw.uniform 1.) t.I.space links);
+  check_true "linear monotone" (Pw.is_monotone (Pw.linear ~coeff:1.) t.I.space links);
+  check_true "mean monotone" (Pw.is_monotone (Pw.mean ~coeff:1.) t.I.space links)
+
+let test_power_nonmonotone_detected () =
+  let t = planar_instance ~n_links:4 2 in
+  (* Inverse assignment: shorter links get more power. *)
+  let sp = t.I.space in
+  let arr =
+    Array.map (fun l -> 1. /. L.self_decay sp l) t.I.links
+  in
+  check_false "inverse power not monotone" (Pw.is_monotone (Pw.Custom arr) sp t.I.links)
+
+(* ------------------------------------------------------------- Instance *)
+
+let test_instance_defaults () =
+  let t = two_link_instance ~cross:4. () in
+  check_float "noise" 0. t.I.noise;
+  check_float "beta" 1. t.I.beta;
+  check_int "links" 2 (I.n_links t)
+
+let test_instance_validation () =
+  Alcotest.check_raises "beta < 1" (Invalid_argument "Instance.make: beta must be >= 1")
+    (fun () -> ignore (I.make ~beta:0.5 (two_link_space ~cross:2.) [ (0, 1) ]));
+  Alcotest.check_raises "negative noise"
+    (Invalid_argument "Instance.make: negative noise") (fun () ->
+      ignore (I.make ~noise:(-1.) (two_link_space ~cross:2.) [ (0, 1) ]))
+
+let test_instance_link_lookup () =
+  let t = two_link_instance ~cross:4. () in
+  check_int "id 1" 1 (I.link t 1).L.id;
+  Alcotest.check_raises "missing" (Invalid_argument "Instance.link: no such id")
+    (fun () -> ignore (I.link t 5))
+
+let test_quasi_dist_and_link_dist () =
+  let t = two_link_instance ~cross:16. () in
+  (* zeta = 1 was forced, so quasi distance = decay. *)
+  check_float "quasi" 16. (I.quasi_dist t 0 2);
+  let a = t.I.links.(0) and b = t.I.links.(1) in
+  check_float "link length" 1. (I.link_length t a);
+  check_float "link dist = min endpoint pair" 16. (I.link_dist t a b)
+
+let test_random_planar_structure () =
+  let t = planar_instance ~n_links:10 3 in
+  check_int "10 links" 10 (I.n_links t);
+  check_float "zeta = alpha" 3. t.I.zeta;
+  Array.iter
+    (fun l ->
+      let len = I.link_length t l in
+      check_true "length within [1,2]" (len >= 1. -. 1e-9 && len <= 2. +. 1e-9))
+    t.I.links
+
+let test_equi_decay_accepts_thm3 () =
+  let g = Core.Graph.Graph.cycle 5 in
+  let sp, pairs = Core.Decay.Spaces.mis_construction g in
+  let t = I.equi_decay_of_space sp pairs in
+  check_int "5 links" 5 (I.n_links t)
+
+let test_equi_decay_rejects_unequal () =
+  let t = planar_instance ~n_links:4 4 in
+  let pairs =
+    Array.to_list (Array.map (fun l -> (l.L.sender, l.L.receiver)) t.I.links)
+  in
+  Alcotest.check_raises "unequal"
+    (Invalid_argument "Instance.equi_decay_of_space: unequal link decays")
+    (fun () -> ignore (I.equi_decay_of_space ~zeta:3. t.I.space pairs))
+
+let test_random_links_in_space () =
+  let sp = random_space ~n:20 5 in
+  let t =
+    I.random_links_in_space ~zeta:2. (rng 6) ~n_links:5
+      ~max_decay:(D.max_decay sp) sp
+  in
+  check_int "5 links" 5 (I.n_links t);
+  (* Node-disjoint by construction. *)
+  let nodes =
+    Array.to_list t.I.links
+    |> List.concat_map (fun l -> [ l.L.sender; l.L.receiver ])
+  in
+  check_int "disjoint endpoints" 10 (List.length (List.sort_uniq compare nodes))
+
+(* ----------------------------------------------------------- Affectance *)
+
+let test_noise_constant_no_noise () =
+  let t = two_link_instance ~cross:4. () in
+  let l = t.I.links.(0) in
+  check_float "c_v = beta when N = 0" 1. (Aff.noise_constant t (Pw.uniform 1.) l)
+
+let test_noise_constant_with_noise () =
+  let t = two_link_instance ~noise:0.5 ~cross:4. () in
+  let l = t.I.links.(0) in
+  (* c_v = beta / (1 - beta N f/P) = 1 / (1 - 0.5) = 2. *)
+  check_float ~eps:1e-9 "c_v" 2. (Aff.noise_constant t (Pw.uniform 1.) l)
+
+let test_noise_constant_infeasible_link () =
+  let t = two_link_instance ~noise:2. ~cross:4. () in
+  let l = t.I.links.(0) in
+  check_true "infinite c_v" (Aff.noise_constant t (Pw.uniform 1.) l = infinity)
+
+let test_affectance_values () =
+  let t = two_link_instance ~cross:4. () in
+  let p = Pw.uniform 1. in
+  let a = t.I.links.(0) and b = t.I.links.(1) in
+  (* a_w(v) = c * (P f_vv)/(P f_wv) = 1 * 1/4. *)
+  check_float "cross affectance" 0.25 (Aff.affectance t p ~from_:a ~to_:b);
+  check_float "self affectance 0" 0. (Aff.affectance t p ~from_:a ~to_:a)
+
+let test_affectance_clipping () =
+  let t = two_link_instance ~cross:0.5 () in
+  let p = Pw.uniform 1. in
+  let a = t.I.links.(0) and b = t.I.links.(1) in
+  check_float "clipped at 1" 1. (Aff.affectance t p ~from_:a ~to_:b);
+  check_float "unclipped is 2" 2. (Aff.affectance_unclipped t p ~from_:a ~to_:b)
+
+let test_in_out_affectance_sums () =
+  let t = two_link_instance ~cross:4. () in
+  let p = Pw.uniform 1. in
+  let set = Array.to_list t.I.links in
+  check_float "in" 0.25 (Aff.in_affectance t p set t.I.links.(0));
+  check_float "out" 0.25 (Aff.out_affectance t p t.I.links.(0) set)
+
+(* ---------------------------------------------------------- Feasibility *)
+
+let test_sinr_values () =
+  let t = two_link_instance ~cross:4. () in
+  let p = Pw.uniform 1. in
+  let set = Array.to_list t.I.links in
+  (* signal 1, interference 1/4. *)
+  check_float "sinr" 4. (F.sinr t p set t.I.links.(0));
+  check_float "solo infinite" infinity (F.sinr t p [ t.I.links.(0) ] t.I.links.(0))
+
+let test_feasibility_threshold () =
+  let feasible = two_link_instance ~beta:3. ~cross:4. () in
+  check_true "beta 3 feasible"
+    (F.is_feasible feasible (Pw.uniform 1.) (Array.to_list feasible.I.links));
+  let tight = two_link_instance ~beta:5. ~cross:4. () in
+  check_false "beta 5 infeasible"
+    (F.is_feasible tight (Pw.uniform 1.) (Array.to_list tight.I.links))
+
+let test_feasibility_affectance_equivalence () =
+  (* When nothing clips, SINR-form and affectance-form agree. *)
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:6 seed in
+      let p = Pw.uniform 1. in
+      let set = Array.to_list t.I.links in
+      let no_clip =
+        List.for_all
+          (fun v ->
+            List.for_all
+              (fun w -> Aff.affectance_unclipped t p ~from_:w ~to_:v <= 1.)
+              set)
+          set
+      in
+      if no_clip then
+        Alcotest.(check bool)
+          "forms agree" (F.is_feasible t p set)
+          (F.is_feasible_affectance t p set))
+    [ 11; 12; 13; 14 ]
+
+let test_feasibility_downward_closed () =
+  let t = planar_instance ~n_links:8 15 in
+  let p = Pw.uniform 1. in
+  let all = Array.to_list t.I.links in
+  if F.is_feasible t p all then
+    check_true "subset feasible" (F.is_feasible t p (List.tl all))
+
+let test_worst_sinr_and_max_affectance () =
+  let t = two_link_instance ~cross:4. () in
+  let p = Pw.uniform 1. in
+  let set = Array.to_list t.I.links in
+  check_float "worst sinr" 4. (F.worst_sinr t p set);
+  check_float "max in-affectance" 0.25 (F.max_in_affectance t p set);
+  check_float "empty set" infinity (F.worst_sinr t p [])
+
+let test_noise_only_feasibility () =
+  let t = two_link_instance ~noise:0.4 ~beta:2. ~cross:1e9 () in
+  (* SINR = 1 / 0.4 = 2.5 >= 2 even with (negligible) cross interference. *)
+  check_true "noise-limited feasible"
+    (F.is_feasible t (Pw.uniform 1.) (Array.to_list t.I.links))
+
+(* ----------------------------------------------------------- Separation *)
+
+let test_separation_values () =
+  let t = two_link_instance ~cross:16. () in
+  let a = t.I.links.(0) and b = t.I.links.(1) in
+  check_float "pair separation" 16. (Sep.separation t a b);
+  check_true "4-separated set" (Sep.is_separated_set t ~eta:4. [ a; b ]);
+  check_false "32-separated fails" (Sep.is_separated_set t ~eta:32. [ a; b ]);
+  check_float "min separation" 16. (Sep.min_separation t [ a; b ]);
+  check_float "singleton" infinity (Sep.min_separation t [ a ])
+
+let test_separated_from_skips_self () =
+  let t = two_link_instance ~cross:2. () in
+  let a = t.I.links.(0) in
+  check_true "self skipped" (Sep.is_separated_from t ~eta:100. a [ a ])
+
+(* -------------------------------------------------------- Power control *)
+
+let test_power_control_feasible_pair () =
+  let t = two_link_instance ~beta:2. ~cross:4. () in
+  let set = Array.to_list t.I.links in
+  check_true "rho < 1" (PC.is_feasible t set);
+  match PC.min_powers t set with
+  | None -> Alcotest.fail "expected powers"
+  | Some p ->
+      check_int "two powers" 2 (Array.length p);
+      Array.iter (fun x -> check_true "positive" (x > 0.)) p
+
+let test_power_control_infeasible_pair () =
+  (* Cross decay below link decay: product of normalized gains >= 1. *)
+  let t = two_link_instance ~beta:2. ~cross:1. () in
+  let set = Array.to_list t.I.links in
+  check_false "rho >= 1" (PC.is_feasible t set);
+  check_true "no powers" (PC.min_powers t set = None)
+
+let test_power_control_helps () =
+  (* A strongly asymmetric pair: infeasible under uniform power but
+     feasible with power control. *)
+  let sp =
+    D.of_fn ~name:"asym" 4 (fun i j ->
+        match (i, j) with
+        | 0, 1 | 1, 0 -> 1.
+        | 2, 3 | 3, 2 -> 100.
+        | 0, 3 | 3, 0 -> 120.      (* strong link's sender near weak receiver *)
+        | 2, 1 | 1, 2 -> 1000.
+        | _ -> 1000.)
+  in
+  let t = I.make ~beta:1.5 ~zeta:3. sp [ (0, 1); (2, 3) ] in
+  let set = Array.to_list t.I.links in
+  check_false "uniform infeasible" (F.is_feasible t (Pw.uniform 1.) set);
+  check_true "power control feasible" (PC.is_feasible t set);
+  (match PC.min_powers t set with
+  | Some p ->
+      let custom = Pw.Custom p in
+      check_true "returned powers work" (F.is_feasible t custom set)
+  | None -> Alcotest.fail "expected powers")
+
+let test_power_control_with_noise () =
+  let t = two_link_instance ~noise:0.1 ~beta:2. ~cross:8. () in
+  let set = Array.to_list t.I.links in
+  check_true "feasible" (PC.is_feasible t set);
+  match PC.min_powers t set with
+  | Some p ->
+      check_true "noise powers clear beta"
+        (F.is_feasible t (Pw.Custom p) set)
+  | None -> Alcotest.fail "expected powers"
+
+let test_spectral_radius_matches () =
+  let t = two_link_instance ~beta:1. ~cross:4. () in
+  (* B = [[0, 1/4],[1/4, 0]] -> rho = 1/4. *)
+  check_float ~eps:1e-6 "rho" 0.25 (PC.spectral_radius t (Array.to_list t.I.links))
+
+(* ------------------------------------------------------------ Partition *)
+
+let test_strengthen_outputs_q_feasible () =
+  let t = planar_instance ~n_links:12 21 in
+  let p = Pw.uniform 1. in
+  let classes = Part.strengthen t p ~q:2. (Array.to_list t.I.links) in
+  List.iter
+    (fun c -> check_true "class is 2-feasible" (F.is_feasible_affectance ~k:2. t p c))
+    classes;
+  let total = List.fold_left (fun a c -> a + List.length c) 0 classes in
+  check_int "partition covers all" 12 total
+
+let test_separate_outputs_eta_separated () =
+  let t = planar_instance ~n_links:12 22 in
+  let classes = Part.separate t ~eta:2. (Array.to_list t.I.links) in
+  List.iter
+    (fun c -> check_true "class is 2-separated" (Sep.is_separated_set t ~eta:2. c))
+    classes;
+  let total = List.fold_left (fun a c -> a + List.length c) 0 classes in
+  check_int "covers all" 12 total
+
+let test_sparsify_composition () =
+  let t = planar_instance ~n_links:10 23 in
+  let p = Pw.uniform 1. in
+  let feasible = Core.Capacity.Greedy.strongest_first t in
+  let classes = Part.sparsify t p ~eta:t.I.zeta feasible in
+  List.iter
+    (fun c ->
+      check_true "zeta-separated" (Sep.is_separated_set t ~eta:t.I.zeta c))
+    classes;
+  let total = List.fold_left (fun a c -> a + List.length c) 0 classes in
+  check_int "covers the feasible set" (List.length feasible) total
+
+let test_partition_largest () =
+  check_int "largest" 3 (List.length (Part.largest [ [ 1 ]; [ 2; 3; 4 ]; [ 5; 6 ] ]));
+  check_int "empty" 0 (List.length (Part.largest []))
+
+(* --------------------------------------------------------------- QCheck *)
+
+let prop_affectance_sinr_duality =
+  qcheck ~count:60 "a_S(v) <= 1 iff SINR >= beta (no clipping)"
+    QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:5 ~alpha:2.5 seed in
+      let p = Pw.uniform 1. in
+      let set = Array.to_list t.I.links in
+      List.for_all
+        (fun v ->
+          let unclipped =
+            List.fold_left
+              (fun acc w -> acc +. Aff.affectance_unclipped t p ~from_:w ~to_:v)
+              0. set
+          in
+          let clips =
+            List.exists
+              (fun w -> Aff.affectance_unclipped t p ~from_:w ~to_:v > 1.)
+              set
+          in
+          clips
+          || Bool.equal (unclipped <= 1. +. 1e-9)
+               (F.sinr t p set v >= t.I.beta -. 1e-9))
+        set)
+
+let prop_feasibility_downward_closed =
+  qcheck ~count:60 "feasibility downward closed" QCheck.small_int (fun seed ->
+      let t = planar_instance ~n_links:7 seed in
+      let p = Pw.uniform 1. in
+      let g = rng (seed + 1000) in
+      let all = Array.to_list t.I.links in
+      let sub =
+        List.filter (fun _ -> Core.Prelude.Rng.bool g) all
+      in
+      (not (F.is_feasible t p all)) || F.is_feasible t p sub)
+
+let prop_power_control_at_least_uniform =
+  qcheck ~count:60 "uniform-feasible implies power-control-feasible"
+    QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:5 seed in
+      let set = Array.to_list t.I.links in
+      (not (F.is_feasible t (Pw.uniform 1.) set)) || PC.is_feasible t set)
+
+let prop_strengthen_class_count =
+  qcheck ~count:30 "strengthening class count within lemma bound"
+    QCheck.small_int
+    (fun seed ->
+      (* Lemma B.1: a 1-feasible set splits into <= ceil(2q)^2 q-feasible
+         classes.  Our first-fit should respect this bound on feasible
+         inputs. *)
+      let t = planar_instance ~n_links:10 seed in
+      let p = Pw.uniform 1. in
+      let feasible = Core.Capacity.Greedy.strongest_first t in
+      let q = 2. in
+      let classes = Part.strengthen t p ~q feasible in
+      List.length classes <= int_of_float (Float.ceil (2. *. q)) * int_of_float (Float.ceil (2. *. q)))
+
+let suite =
+  [
+    ( "sinr.link",
+      [
+        case "rejects loop" test_link_make_rejects_loop;
+        case "decays" test_link_decays;
+        case "ordering" test_link_ordering;
+      ] );
+    ( "sinr.power",
+      [
+        case "values" test_power_values;
+        case "uniform validation" test_power_uniform_validation;
+        case "monotone family" test_power_monotone_family;
+        case "non-monotone detected" test_power_nonmonotone_detected;
+      ] );
+    ( "sinr.instance",
+      [
+        case "defaults" test_instance_defaults;
+        case "validation" test_instance_validation;
+        case "link lookup" test_instance_link_lookup;
+        case "quasi/link distances" test_quasi_dist_and_link_dist;
+        case "random planar" test_random_planar_structure;
+        case "equi-decay thm3" test_equi_decay_accepts_thm3;
+        case "equi-decay rejects" test_equi_decay_rejects_unequal;
+        case "random links in space" test_random_links_in_space;
+      ] );
+    ( "sinr.affectance",
+      [
+        case "noise constant (N=0)" test_noise_constant_no_noise;
+        case "noise constant (N>0)" test_noise_constant_with_noise;
+        case "noise-infeasible link" test_noise_constant_infeasible_link;
+        case "values" test_affectance_values;
+        case "clipping" test_affectance_clipping;
+        case "in/out sums" test_in_out_affectance_sums;
+        prop_affectance_sinr_duality;
+      ] );
+    ( "sinr.feasibility",
+      [
+        case "sinr values" test_sinr_values;
+        case "threshold" test_feasibility_threshold;
+        case "affectance equivalence" test_feasibility_affectance_equivalence;
+        case "downward closed" test_feasibility_downward_closed;
+        case "worst sinr / max affectance" test_worst_sinr_and_max_affectance;
+        case "noise-limited" test_noise_only_feasibility;
+        prop_feasibility_downward_closed;
+      ] );
+    ( "sinr.separation",
+      [
+        case "values" test_separation_values;
+        case "skips self" test_separated_from_skips_self;
+      ] );
+    ( "sinr.power_control",
+      [
+        case "feasible pair" test_power_control_feasible_pair;
+        case "infeasible pair" test_power_control_infeasible_pair;
+        case "control beats uniform" test_power_control_helps;
+        case "with noise" test_power_control_with_noise;
+        case "spectral radius" test_spectral_radius_matches;
+        prop_power_control_at_least_uniform;
+      ] );
+    ( "sinr.partition",
+      [
+        case "strengthen q-feasible" test_strengthen_outputs_q_feasible;
+        case "separate eta-separated" test_separate_outputs_eta_separated;
+        case "sparsify composition" test_sparsify_composition;
+        case "largest" test_partition_largest;
+        prop_strengthen_class_count;
+      ] );
+  ]

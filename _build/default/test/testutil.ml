@@ -1,0 +1,36 @@
+(* Shared helpers for the test suite. *)
+
+let rng seed = Core.Prelude.Rng.create seed
+
+let check_float ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+let check_int msg a b = Alcotest.(check int) msg a b
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let qcheck ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen law)
+
+(* A small random symmetric decay space with decays in [0.5, range]. *)
+let random_space ?(n = 8) ?(range = 50.) seed =
+  let g = rng seed in
+  Core.Decay.Decay_space.of_fn ~name:"random" n (fun i j ->
+      if i < j then 0.5 +. Core.Prelude.Rng.float g (range -. 0.5)
+      else 0.5 +. Core.Prelude.Rng.float g (range -. 0.5))
+  |> Core.Decay.Decay_space.symmetrize
+
+(* A small random asymmetric decay space. *)
+let random_asym_space ?(n = 8) ?(range = 50.) seed =
+  let g = rng seed in
+  Core.Decay.Decay_space.of_fn ~name:"random-asym" n (fun _ _ ->
+      0.5 +. Core.Prelude.Rng.float g (range -. 0.5))
+
+(* Random planar GEO-SINR instance. *)
+let planar_instance ?(n_links = 8) ?(alpha = 3.) ?(side = 20.) seed =
+  Core.Sinr.Instance.random_planar (rng seed) ~n_links ~side ~alpha ~lmin:1.
+    ~lmax:2.
+
+let ids links = List.sort compare (List.map (fun l -> l.Core.Sinr.Link.id) links)
