@@ -31,9 +31,10 @@ let () =
           ids
   in
   print_endline "=== experiment verdicts ===";
-  List.iter
-    (fun (id, ok) -> Printf.printf "  %-4s %s\n" id (if ok then "PASS" else "FAIL"))
-    verdicts;
+  Bg_experiments.Registry.print_verdicts verdicts;
   print_newline ();
-  if not no_micro then Micro.run ();
-  if List.exists (fun (_, ok) -> not ok) verdicts then exit 1
+  if not no_micro then begin
+    Micro.run ();
+    Micro.run_parallel ()
+  end;
+  if not (Bg_experiments.Registry.all_pass verdicts) then exit 1

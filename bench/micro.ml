@@ -113,3 +113,80 @@ let run () =
           Core.Prelude.Table.F2 r2 ])
     (List.sort compare rows);
   Core.Prelude.Table.print table
+
+(* ------------------------------------------------- parallel-engine bench *)
+
+(* Sequential vs parallel triple sweeps on GEO-SINR spaces of growing n,
+   reported as a table and as machine-readable BENCH_parallel.json so the
+   perf trajectory is tracked across PRs.  Wall-clock best-of-[reps];
+   results are asserted equal between job counts before timing counts. *)
+
+let time_best ~reps f =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    last := Some v;
+    if dt < !best then best := dt
+  done;
+  (Option.get !last, !best)
+
+let run_parallel ?(par_jobs = 4) ?(json_path = "BENCH_parallel.json") () =
+  let table =
+    Core.Prelude.Table.create
+      ~title:
+        (Printf.sprintf
+           "parallel engine: zeta triple sweep, jobs=1 vs jobs=%d" par_jobs)
+      [ "n"; "seq (ms)"; "par (ms)"; "speedup"; "identical" ]
+  in
+  let entries =
+    List.map
+      (fun n ->
+        let space =
+          Core.Decay.Decay_space.of_points ~alpha:3.
+            (Core.Decay.Spaces.random_points
+               (Core.Prelude.Rng.create 2024)
+               ~n ~side:30.)
+        in
+        let reps = if n >= 256 then 2 else 3 in
+        let w_seq, t_seq =
+          time_best ~reps (fun () ->
+              Core.Decay.Metricity.zeta_witness ~jobs:1 space)
+        in
+        let w_par, t_par =
+          time_best ~reps (fun () ->
+              Core.Decay.Metricity.zeta_witness ~jobs:par_jobs space)
+        in
+        let identical = w_seq = w_par in
+        let speedup = t_seq /. Float.max 1e-9 t_par in
+        Core.Prelude.Table.add_row table
+          [ Core.Prelude.Table.I n;
+            Core.Prelude.Table.F2 (t_seq *. 1e3);
+            Core.Prelude.Table.F2 (t_par *. 1e3);
+            Core.Prelude.Table.F2 speedup;
+            Core.Prelude.Table.S (string_of_bool identical) ];
+        (n, t_seq, t_par, speedup, identical))
+      [ 64; 128; 256 ]
+  in
+  Core.Prelude.Table.print table;
+  let oc = open_out json_path in
+  Printf.fprintf oc "{\n  \"benchmark\": \"zeta_triple_sweep\",\n";
+  Printf.fprintf oc "  \"jobs_parallel\": %d,\n" par_jobs;
+  Printf.fprintf oc "  \"domains_available\": %d,\n"
+    (Core.Prelude.Parallel.auto_jobs ());
+  Printf.fprintf oc "  \"pool_workers\": %d,\n"
+    (Core.Prelude.Parallel.num_domains (Core.Prelude.Parallel.get_default ()));
+  Printf.fprintf oc "  \"results\": [\n";
+  List.iteri
+    (fun i (n, t_seq, t_par, speedup, identical) ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"seq_s\": %.6f, \"par_s\": %.6f, \"speedup\": \
+         %.3f, \"identical\": %b}%s\n"
+        n t_seq t_par speedup identical
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "parallel bench written to %s\n%!" json_path

@@ -13,6 +13,26 @@ open Cmdliner
 
 let space_of_file path = Core.Decay.Decay_io.load path
 
+(* Shared --jobs flag: 0 (the default) means "use the whole machine"
+   (Domain.recommended_domain_count); any positive value is taken
+   literally.  The resolved count becomes the ambient default, so sweeps
+   buried inside experiments pick it up too.  Results never depend on it. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel sweeps (0 = one per available \
+           core). The output is identical at every job count.")
+
+let apply_jobs jobs =
+  let jobs =
+    if jobs <= 0 then Core.Prelude.Parallel.auto_jobs () else jobs
+  in
+  Core.Prelude.Parallel.set_default_jobs jobs;
+  jobs
+
 (* ------------------------------------------------------------- analyze *)
 
 let gamma_at =
@@ -26,14 +46,20 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Decay matrix CSV.")
 
 let analyze_cmd =
-  let run file gamma_at =
+  let run file gamma_at jobs =
+    let jobs = apply_jobs jobs in
     let space = space_of_file file in
-    let report = Core.Analysis.analyze ~gamma_at space in
+    let report =
+      Core.Analysis.run
+        ~config:
+          { Core.Analysis.gamma_at; exact_limit = None; jobs = Some jobs }
+        space
+    in
     Core.Prelude.Table.print (Core.Analysis.to_table report)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute every decay-space parameter of a matrix.")
-    Term.(const run $ file_arg $ gamma_at)
+    Term.(const run $ file_arg $ gamma_at $ jobs_arg)
 
 (* ------------------------------------------------------------ generate *)
 
@@ -148,33 +174,44 @@ let capacity_cmd =
 (* ---------------------------------------------------------- experiment *)
 
 let experiment_cmd =
+  (* Advertise the actual registered range rather than a hard-coded one. *)
+  let id_range =
+    match Bg_experiments.Registry.all with
+    | [] -> "none registered"
+    | first :: rest ->
+        let last = List.fold_left (fun _ e -> e) first rest in
+        Printf.sprintf "%s through %s" first.Bg_experiments.Registry.id
+          last.Bg_experiments.Registry.id
+  in
   let id =
     Arg.(
       required & pos 0 (some string) None
-      & info [] ~docv:"ID" ~doc:"Experiment id, E1 through E23 (or 'all').")
+      & info [] ~docv:"ID"
+          ~doc:(Printf.sprintf "Experiment id, %s (or 'all')." id_range))
   in
-  let run id =
+  let run id jobs =
+    ignore (apply_jobs jobs);
     if String.lowercase_ascii id = "all" then begin
-      let verdicts = Bg_experiments.Registry.run_all () in
-      List.iter
-        (fun (id, ok) ->
-          Printf.printf "  %-4s %s\n" id (if ok then "PASS" else "FAIL"))
-        verdicts;
-      if List.exists (fun (_, ok) -> not ok) verdicts then exit 1
+      let results = Bg_experiments.Registry.run_all () in
+      Bg_experiments.Registry.print_verdicts results;
+      if not (Bg_experiments.Registry.all_pass results) then exit 1
     end
     else
       match Bg_experiments.Registry.find id with
       | Some e ->
           Printf.printf "--- %s: %s ---\n%!" e.Bg_experiments.Registry.id
             e.Bg_experiments.Registry.claim;
-          if not (e.Bg_experiments.Registry.run ()) then exit 1
+          let o = e.Bg_experiments.Registry.run () in
+          Bg_experiments.Registry.print_verdicts
+            [ (e.Bg_experiments.Registry.id, o) ];
+          if not o.Bg_experiments.Registry.pass then exit 1
       | None ->
           prerr_endline ("unknown experiment: " ^ id);
           exit 2
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper-claim experiments.")
-    Term.(const run $ id)
+    Term.(const run $ id $ jobs_arg)
 
 (* ---------------------------------------------------------------- stats *)
 

@@ -69,7 +69,7 @@ let () =
     (100. *. fit.Core.Prelude.Stats.r2);
 
   (* Step 4: the parameters every algorithm needs. *)
-  let report = Core.Analysis.analyze measured in
+  let report = Core.Analysis.run measured in
   Core.Prelude.Table.print (Core.Analysis.to_table report);
 
   (* Step 5: hand off to the CLI. *)

@@ -22,7 +22,11 @@ let () =
   Format.printf "Measured decay space: %a@." D.pp space;
 
   (* Step 2: how far from geometry is this environment? *)
-  let report = Core.Analysis.analyze ~gamma_at:[ 1e5 ] space in
+  let report =
+    Core.Analysis.run
+      ~config:{ Core.Analysis.default with Core.Analysis.gamma_at = [ 1e5 ] }
+      space
+  in
   Core.Prelude.Table.print (Core.Analysis.to_table report);
 
   (* Step 3: a workload of six links, capacity via the paper's Algorithm 1.

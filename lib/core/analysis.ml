@@ -16,10 +16,19 @@ type report = {
   gamma : (float * float) list;
 }
 
-let analyze ?(gamma_at = []) ?exact_limit space =
-  let zeta_witness = D.Metricity.zeta_witness space in
+type config = {
+  gamma_at : float list;
+  exact_limit : int option;
+  jobs : int option;
+}
+
+let default = { gamma_at = []; exact_limit = None; jobs = None }
+
+let run ?(config = default) space =
+  let { gamma_at; exact_limit; jobs } = config in
+  let zeta_witness = D.Metricity.zeta_witness ?jobs space in
   let zeta = zeta_witness.D.Metricity.value in
-  let phi = D.Metricity.phi space in
+  let phi = D.Metricity.phi ?jobs space in
   let assouad = D.Dimension.assouad ?exact_limit space in
   {
     name = D.Decay_space.name space;
@@ -35,8 +44,13 @@ let analyze ?(gamma_at = []) ?exact_limit space =
     max_guards = D.Dimension.max_guard_count space;
     is_fading_space = assouad < 1.;
     gamma =
-      List.map (fun r -> (r, D.Fading.gamma ?exact_limit space ~r)) gamma_at;
+      List.map
+        (fun r -> (r, D.Fading.gamma ?exact_limit ?jobs space ~r))
+        gamma_at;
   }
+
+let analyze ?(gamma_at = []) ?exact_limit ?jobs space =
+  run ~config:{ gamma_at; exact_limit; jobs } space
 
 let to_table r =
   let open Bg_prelude.Table in

@@ -19,12 +19,35 @@ type report = {
       (** fading parameter [gamma(r)] at the requested separations *)
 }
 
+type config = {
+  gamma_at : float list;
+      (** separation values [r] at which to evaluate the fading parameter
+          (default: none — it is the costliest field) *)
+  exact_limit : int option;
+      (** forwarded to the packing / independence solvers *)
+  jobs : int option;
+      (** parallelism for the triple sweeps; [None] defers to
+          {!Bg_prelude.Parallel.default_jobs}.  Results are identical at
+          every job count. *)
+}
+(** Knobs for {!run}.  Build one with record update on {!default} so new
+    fields don't break call sites: [{ default with jobs = Some 4 }]. *)
+
+val default : config
+(** No gamma evaluations, solver defaults, ambient parallelism. *)
+
+val run : ?config:config -> Bg_decay.Decay_space.t -> report
+(** Compute the full report (defaults to {!default}). *)
+
 val analyze :
-  ?gamma_at:float list -> ?exact_limit:int -> Bg_decay.Decay_space.t -> report
-(** Compute the full report.  [gamma_at] lists separation values [r] at
-    which to evaluate the fading parameter (default: none — it is the
-    costliest field).  [exact_limit] is forwarded to the packing /
-    independence solvers. *)
+  ?gamma_at:float list ->
+  ?exact_limit:int ->
+  ?jobs:int ->
+  Bg_decay.Decay_space.t ->
+  report
+[@@ocaml.deprecated "Use Analysis.run ~config instead."]
+(** Thin wrapper over {!run} preserving the historical optional-argument
+    signature. *)
 
 val to_table : report -> Bg_prelude.Table.t
 (** Render as a two-column parameter table. *)

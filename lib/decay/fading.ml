@@ -96,14 +96,19 @@ let gamma_z ?(exact_limit = 24) d ~z ~r =
     (r *. value, List.map (fun i -> arr.(i)) set)
   end
 
-let gamma ?exact_limit d ~r =
-  let n = Decay_space.n d in
-  let best = ref 0. in
-  for z = 0 to n - 1 do
-    let v, _ = gamma_z ?exact_limit d ~z ~r in
-    if v > !best then best := v
-  done;
-  !best
+let gamma ?exact_limit ?jobs d ~r =
+  let module Par = Bg_prelude.Parallel in
+  Par.map_reduce_chunks
+    ~jobs:(Par.resolve_jobs jobs)
+    ~lo:0 ~hi:(Decay_space.n d) ~neutral:0.
+    ~map:(fun lo hi ->
+      let best = ref 0. in
+      for z = lo to hi - 1 do
+        let v, _ = gamma_z ?exact_limit d ~z ~r in
+        if v > !best then best := v
+      done;
+      !best)
+    ~combine:(fun a b -> if b > a then b else a)
 
 let theorem2_bound ~c ~a =
   if a >= 1. then invalid_arg "Fading.theorem2_bound: requires A < 1";

@@ -21,8 +21,11 @@ val gamma_z :
     small candidate sets (default limit 24), by greedy + swap local search
     otherwise (then a lower bound). *)
 
-val gamma : ?exact_limit:int -> Decay_space.t -> r:float -> float
-(** The fading parameter [max_z gamma_z(r)]. *)
+val gamma : ?exact_limit:int -> ?jobs:int -> Decay_space.t -> r:float -> float
+(** The fading parameter [max_z gamma_z(r)].  [jobs] chunks the sweep over
+    listener nodes across the domain pool (default
+    {!Bg_prelude.Parallel.default_jobs}); the result is identical at every
+    job count. *)
 
 val theorem2_bound : c:float -> a:float -> float
 (** Theorem 2's closed form [C * 2^(A+1) * (zetahat(2-A) - 1)]; requires

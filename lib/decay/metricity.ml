@@ -1,4 +1,5 @@
 module Num = Bg_prelude.Numerics
+module Par = Bg_prelude.Parallel
 
 type witness = { x : int; y : int; z : int; value : float }
 
@@ -14,15 +15,36 @@ let zeta_triple ?(tol = 1e-9) fxy fxz fzy =
     (* zeta >= lg (fxy / min side) always suffices: at that zeta the larger
        side alone is within a factor 2^(1/zeta) and the two sides add up. *)
     let m = Float.min fxz fzy in
-    let hi = Float.max 1.5 (Num.log2 (fxy /. m) +. 1e-6) in
-    Num.bisect ~tol ~lo:1. ~hi (triple_holds ~fxy ~fxz ~fzy)
+    let p = triple_holds ~fxy ~fxz ~fzy in
+    if p 1. then 1.
+    else begin
+      (* Bisect, returning the LOWER end of the final bracket.  Underestimating
+         the threshold (by < tol) keeps the witness sweep's holds-at-incumbent
+         fast path exactly consistent with value comparison: a triple that
+         holds at z can never bisect above z, so skipping it commutes with
+         taking maxima over any chunking of the sweep. *)
+      let lo = ref 1.
+      and hi = ref (Float.max 1.5 (Num.log2 (fxy /. m) +. 1e-6)) in
+      let iters = ref 0 in
+      while
+        !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) && !iters < 200
+      do
+        incr iters;
+        let mid = 0.5 *. (!lo +. !hi) in
+        if p mid then hi := mid else lo := mid
+      done;
+      !lo
+    end
   end
 
-let fold_triples d init step =
+(* Fold [step] over all ordered triples of distinct nodes whose first
+   coordinate lies in [x_lo, x_hi) — the chunkable unit of every triple
+   sweep below.  The full sweep is the [0, n) range. *)
+let fold_triples_range d ~x_lo ~x_hi init step =
   let n = Decay_space.n d in
   let f = Decay_space.matrix d in
   let acc = ref init in
-  for x = 0 to n - 1 do
+  for x = x_lo to x_hi - 1 do
     for y = 0 to n - 1 do
       if y <> x then
         for z = 0 to n - 1 do
@@ -33,22 +55,33 @@ let fold_triples d init step =
   done;
   !acc
 
-let zeta_witness ?(tol = 1e-9) d =
-  if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
-  else
-    fold_triples d
-      { x = 0; y = 1; z = 2; value = 1. }
-      (fun best ~x ~y ~z ~fxy ~fxz ~fzy ->
-        (* Fast path: if the inequality already holds at the incumbent zeta,
-           this triple cannot raise the maximum (validity is monotone). *)
-        if fxy <= fxz +. fzy then best
-        else if triple_holds ~fxy ~fxz ~fzy best.value then best
-        else begin
-          let v = zeta_triple ~tol fxy fxz fzy in
-          if v > best.value then { x; y; z; value = v } else best
-        end)
+(* Combine chunked best-witnesses: strict improvement only, so on ties the
+   left (earlier chunk, hence lexicographically smaller (x,y,z)) witness
+   survives — exactly the sequential sweep's tie-breaking. *)
+let better a b = if b.value > a.value then b else a
 
-let zeta ?tol d = (zeta_witness ?tol d).value
+let zeta_witness ?(tol = 1e-9) ?jobs d =
+  if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
+  else begin
+    let init = { x = 0; y = 1; z = 2; value = 1. } in
+    let step best ~x ~y ~z ~fxy ~fxz ~fzy =
+      (* Fast path: if the inequality already holds at the incumbent zeta,
+         this triple cannot raise the maximum (validity is monotone). *)
+      if fxy <= fxz +. fzy then best
+      else if triple_holds ~fxy ~fxz ~fzy best.value then best
+      else begin
+        let v = zeta_triple ~tol fxy fxz fzy in
+        if v > best.value then { x; y; z; value = v } else best
+      end
+    in
+    Par.map_reduce_chunks
+      ~jobs:(Par.resolve_jobs jobs)
+      ~lo:0 ~hi:(Decay_space.n d) ~neutral:init
+      ~map:(fun x_lo x_hi -> fold_triples_range d ~x_lo ~x_hi init step)
+      ~combine:better
+  end
+
+let zeta ?tol ?jobs d = (zeta_witness ?tol ?jobs d).value
 
 let zeta_sampled ?(tol = 1e-9) ~samples rng d =
   let n = Decay_space.n d in
@@ -88,30 +121,63 @@ let zeta_subsampled ?tol ?(rounds = 8) ~nodes rng d =
   done;
   !best
 
-let zeta_upper_bound d =
-  if Decay_space.n d < 2 then 1.
-  else Float.max 1. (Num.log2 (Decay_space.max_decay d /. Decay_space.min_decay d))
+let zeta_upper_bound ?jobs d =
+  let n = Decay_space.n d in
+  if n < 2 then 1.
+  else begin
+    let mn, mx =
+      Par.map_reduce_chunks
+        ~jobs:(Par.resolve_jobs jobs)
+        ~lo:0 ~hi:n ~neutral:(infinity, 0.)
+        ~map:(fun lo hi ->
+          let mn = ref infinity and mx = ref 0. in
+          for i = lo to hi - 1 do
+            for j = 0 to n - 1 do
+              if i <> j then begin
+                let v = Decay_space.decay d i j in
+                if v < !mn then mn := v;
+                if v > !mx then mx := v
+              end
+            done
+          done;
+          (!mn, !mx))
+        ~combine:(fun (mn1, mx1) (mn2, mx2) ->
+          (Float.min mn1 mn2, Float.max mx1 mx2))
+    in
+    Float.max 1. (Num.log2 (mx /. mn))
+  end
 
-let holds_at d z =
+let holds_at ?jobs d z =
   Decay_space.n d < 3
-  || fold_triples d true (fun ok ~x:_ ~y:_ ~z:_ ~fxy ~fxz ~fzy ->
-         ok
-         && (fxy <= fxz +. fzy
-            || triple_holds ~fxy ~fxz ~fzy (z +. 1e-7)))
+  || Par.map_reduce_chunks
+       ~jobs:(Par.resolve_jobs jobs)
+       ~lo:0 ~hi:(Decay_space.n d) ~neutral:true
+       ~map:(fun x_lo x_hi ->
+         fold_triples_range d ~x_lo ~x_hi true
+           (fun ok ~x:_ ~y:_ ~z:_ ~fxy ~fxz ~fzy ->
+             ok
+             && (fxy <= fxz +. fzy
+                || triple_holds ~fxy ~fxz ~fzy (z +. 1e-7))))
+       ~combine:( && )
 
-let phi_witness d =
+let phi_witness ?jobs d =
   if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
   else begin
     (* phi compares f(x,z) against f(x,y) + f(y,z): outer pair (x,z) with
        midpoint y.  The triple iterator hands us exactly that inequality's
        decays with its roles named (x, y, z) = (start, end, midpoint), so
        the witness stores the iterator's z as the midpoint field y. *)
-    fold_triples d
-      { x = 0; y = 2; z = 1; value = 1. }
-      (fun best ~x ~y ~z ~fxy ~fxz ~fzy ->
-        let v = fxy /. (fxz +. fzy) in
-        if v > best.value then { x; y = z; z = y; value = v } else best)
+    let init = { x = 0; y = 2; z = 1; value = 1. } in
+    let step best ~x ~y ~z ~fxy ~fxz ~fzy =
+      let v = fxy /. (fxz +. fzy) in
+      if v > best.value then { x; y = z; z = y; value = v } else best
+    in
+    Par.map_reduce_chunks
+      ~jobs:(Par.resolve_jobs jobs)
+      ~lo:0 ~hi:(Decay_space.n d) ~neutral:init
+      ~map:(fun x_lo x_hi -> fold_triples_range d ~x_lo ~x_hi init step)
+      ~combine:better
   end
 
-let phi d = (phi_witness d).value
-let phi_log d = Num.log2 (phi d)
+let phi ?jobs d = (phi_witness ?jobs d).value
+let phi_log ?jobs d = Num.log2 (phi ?jobs d)

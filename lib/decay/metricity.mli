@@ -24,14 +24,17 @@ val zeta_triple : ?tol:float -> float -> float -> float -> float
     decays (bisection; validity is monotone in [z]).  [tol] is the relative
     bisection tolerance, default [1e-9]. *)
 
-val zeta : ?tol:float -> Decay_space.t -> float
+val zeta : ?tol:float -> ?jobs:int -> Decay_space.t -> float
 (** Exact metricity: maximum of {!zeta_triple} over all ordered triples of
     distinct nodes.  O(n^3) with a constant-time fast path for triples that
     already satisfy the plain triangle inequality.  Returns [1.] for spaces
-    with fewer than three nodes. *)
+    with fewer than three nodes.  [jobs] chunks the outer loop over the
+    domain pool (default {!Bg_prelude.Parallel.default_jobs}); the result is
+    identical at every job count. *)
 
-val zeta_witness : ?tol:float -> Decay_space.t -> witness
-(** The metricity together with a triple attaining it. *)
+val zeta_witness : ?tol:float -> ?jobs:int -> Decay_space.t -> witness
+(** The metricity together with a triple attaining it.  On ties the
+    lexicographically smallest [(x, y, z)] wins, at every [jobs] count. *)
 
 val zeta_sampled : ?tol:float -> samples:int -> Bg_prelude.Rng.t -> Decay_space.t -> float
 (** Lower-bound estimate of the metricity from uniformly sampled triples;
@@ -46,21 +49,22 @@ val zeta_subsampled :
     under-shoots; it beats triple sampling when violations cluster in a
     small node subset.  Requires [3 <= nodes <= n]. *)
 
-val zeta_upper_bound : Decay_space.t -> float
+val zeta_upper_bound : ?jobs:int -> Decay_space.t -> float
 (** The paper's a-priori bound [zeta <= max(1, lg (f_max / f_min))]. *)
 
-val holds_at : Decay_space.t -> float -> bool
+val holds_at : ?jobs:int -> Decay_space.t -> float -> bool
 (** [holds_at d z] checks the relaxed triangle inequality at parameter [z]
     for all triples (within the bisection tolerance). *)
 
-val phi : Decay_space.t -> float
+val phi : ?jobs:int -> Decay_space.t -> float
 (** The relaxed-triangle-inequality constant
     [max(1, max_{x,y,z} f(x,z) / (f(x,y) + f(y,z)))] over distinct triples. *)
 
-val phi_witness : Decay_space.t -> witness
+val phi_witness : ?jobs:int -> Decay_space.t -> witness
 (** [phi] together with an attaining triple (fields [x], [z] are the outer
-    pair and [y] the midpoint). *)
+    pair and [y] the midpoint).  Deterministic across [jobs] like
+    {!zeta_witness}. *)
 
-val phi_log : Decay_space.t -> float
+val phi_log : ?jobs:int -> Decay_space.t -> float
 (** [lg phi], the exponent form used by Theorem 6 ([phi_log <= zeta] always,
     by the argument in §4.2). *)

@@ -19,27 +19,40 @@ let decays_db d =
   done;
   Array.of_list !acc
 
-let summarize d =
+let summarize ?jobs d =
+  let module Par = Bg_prelude.Parallel in
   let n = Decay_space.n d in
   if n < 2 then invalid_arg "Statistics.summarize: need at least 2 nodes";
   let xs = decays_db d in
   let lo, hi = Bg_prelude.Stats.min_max xs in
-  let asym = ref 0. in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let a =
-        Float.abs (db (Decay_space.decay d i j /. Decay_space.decay d j i))
-      in
-      if a > !asym then asym := a
-    done
-  done;
+  (* Chunk the row sweep; each chunk reports its largest asymmetry and the
+     strict [>] in combine keeps the earliest maximizer, matching the
+     sequential pass exactly. *)
+  let asym =
+    Par.map_reduce_chunks
+      ~jobs:(Par.resolve_jobs jobs)
+      ~lo:0 ~hi:n ~neutral:0.
+      ~map:(fun i_lo i_hi ->
+        let worst = ref 0. in
+        for i = i_lo to i_hi - 1 do
+          for j = i + 1 to n - 1 do
+            let a =
+              Float.abs
+                (db (Decay_space.decay d i j /. Decay_space.decay d j i))
+            in
+            if a > !worst then worst := a
+          done
+        done;
+        !worst)
+      ~combine:(fun a b -> if b > a then b else a)
+  in
   {
     n;
     min_db = lo;
     max_db = hi;
     median_db = Bg_prelude.Stats.median xs;
     dynamic_range_db = hi -. lo;
-    asymmetry_db = !asym;
+    asymmetry_db = asym;
   }
 
 let effective_alpha ~positions d =

@@ -13,8 +13,10 @@ type summary = {
           symmetric spaces *)
 }
 
-val summarize : Decay_space.t -> summary
-(** Requires at least 2 nodes. *)
+val summarize : ?jobs:int -> Decay_space.t -> summary
+(** Requires at least 2 nodes.  [jobs] chunks the pairwise sweep across the
+    domain pool (default {!Bg_prelude.Parallel.default_jobs}); the summary
+    is identical at every job count. *)
 
 val effective_alpha :
   positions:Bg_geom.Point.t array -> Decay_space.t -> Bg_prelude.Stats.fit

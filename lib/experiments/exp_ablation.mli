@@ -8,4 +8,4 @@
     headroom test buys feasibility; the final filter is a safety net the
     analysis needs but random instances rarely trigger). *)
 
-val e28_alg1_ablation : unit -> bool
+val e28_alg1_ablation : unit -> Outcome.t

@@ -4,14 +4,14 @@
     [13], coloring [67], dominating set [55]) together with the §2.2
     measurement story (sampling estimator). *)
 
-val e18_spectrum_auction : unit -> bool
+val e18_spectrum_auction : unit -> Outcome.t
 (** Truthful greedy auction: winners feasible, payments critical and
     bid-independent, welfare vs the exact optimum across an alpha sweep. *)
 
-val e19_conflict_graphs : unit -> bool
+val e19_conflict_graphs : unit -> Outcome.t
 (** Conflict-graph scheduling fidelity and capacity over-estimation as
     density and metricity grow. *)
 
-val e20_protocol_suite : unit -> bool
+val e20_protocol_suite : unit -> Outcome.t
 (** Broadcast, coloring and dominating set on planar vs adversarial vs
     measured spaces, plus RSSI-sampling estimator convergence. *)

@@ -22,6 +22,7 @@ let e4_thm3_hardness () =
         "greedy"; "OPT/greedy"; "correspondence" ]
   in
   let ok = ref true in
+  let worst_dev = ref 0 in
   List.iter
     (fun (n, seed) ->
       let g = Core.Graph.Graph.random (Rng.create seed) n 0.5 in
@@ -33,6 +34,8 @@ let e4_thm3_hardness () =
       let cap_pc = List.length (Core.Capacity.Exact.capacity_power_control inst) in
       let greedy = List.length (Core.Capacity.Greedy.strongest_first inst) in
       let corresponds = cap_u = alpha_g && cap_pc = alpha_g in
+      worst_dev :=
+        max !worst_dev (max (abs (cap_u - alpha_g)) (abs (cap_pc - alpha_g)));
       if not corresponds then ok := false;
       T.add_row t
         [ T.I n; T.F4 zeta; T.F4 (Num.log2 (2. *. float_of_int n)); T.I alpha_g;
@@ -41,7 +44,9 @@ let e4_thm3_hardness () =
           T.S (string_of_bool corresponds) ])
     [ (8, 301); (12, 302); (16, 303); (20, 304) ];
   T.print t;
-  !ok
+  Outcome.make ~measured:(float_of_int !worst_dev) ~bound:0.
+    ~detail:"max |capacity - alpha(G)| over sizes (uniform and power control)"
+    !ok
 
 (* E5 — the sparsification lemmas: class counts vs bounds, outputs
    verified. *)
@@ -51,6 +56,7 @@ let e5_sparsification () =
         "4.1 classes"; "outputs valid" ]
   in
   let ok = ref true in
+  let worst_fill = ref 0. in
   List.iter
     (fun alpha ->
       let inst =
@@ -70,6 +76,9 @@ let e5_sparsification () =
         && List.for_all (fun c -> Sep.is_separated_set inst ~eta:inst.I.zeta c) l41
         && List.length b1 <= b1_bound
       in
+      worst_fill :=
+        Float.max !worst_fill
+          (float_of_int (List.length b1) /. float_of_int b1_bound);
       if not valid then ok := false;
       T.add_row t
         [ T.F alpha; T.I (List.length feasible); T.I (List.length b1);
@@ -77,7 +86,9 @@ let e5_sparsification () =
           T.S (string_of_bool valid) ])
     [ 2.; 3.; 4.; 6. ];
   T.print t;
-  !ok
+  Outcome.make ~measured:!worst_fill ~bound:1.
+    ~detail:"worst B.1 class count / bound; all partition outputs verified"
+    !ok
 
 (* E6 — Theorem 4: amicability.  Measure the shrinkage h and constant c of
    the constructive proof across an alpha (= zeta) sweep; fit the log-log
@@ -126,7 +137,9 @@ let e6_amicability () =
   Printf.printf
     "E6 summary: poly fit h ~ zeta^%.2f (r2=%.2f); exponential rate at zeta=6: %.3f bits/unit (sub-exponential: %b)\n\n"
     fit.Stats.slope fit.Stats.r2 rate sub_exponential;
-  sub_exponential
+  Outcome.make ~measured:rate ~bound:0.5
+    ~detail:"exponential rate of shrinkage h at zeta = 6 (bits per unit zeta)"
+    sub_exponential
 
 (* E7 — Theorem 5: Algorithm 1 vs optimum across alpha, against the
    general-metric greedy, on the plane. *)
@@ -136,6 +149,7 @@ let e7_capacity_approximation () =
         "alg1 worst" ]
   in
   let ok = ref true in
+  let worst_overall = ref 0. in
   List.iter
     (fun alpha ->
       let r_alg1 = ref [] and r_gg = ref [] and r_sf = ref [] and opts = ref [] in
@@ -154,6 +168,7 @@ let e7_capacity_approximation () =
         [ 601; 602; 603; 604 ];
       let mean l = Stats.mean (Array.of_list l) in
       let worst = List.fold_left Float.max 0. !r_alg1 in
+      worst_overall := Float.max !worst_overall worst;
       (* Sub-exponential check: ratio far below 2^alpha for large alpha. *)
       if worst > Float.min 8. (2. ** alpha) then ok := false;
       T.add_row t
@@ -161,7 +176,9 @@ let e7_capacity_approximation () =
           T.F2 (mean !r_sf); T.F2 worst ])
     [ 2.; 3.; 4.; 6. ];
   T.print t;
-  !ok
+  Outcome.make ~measured:!worst_overall ~bound:8.
+    ~detail:"worst OPT / Alg1 ratio over the alpha sweep"
+    !ok
 
 (* E8 — Theorem 6: the two-line construction. *)
 let e8_thm6_hardness () =
@@ -170,6 +187,7 @@ let e8_thm6_hardness () =
         "cap uniform"; "cap power-ctl"; "correspondence" ]
   in
   let ok = ref true in
+  let worst_indep = ref 0 in
   List.iter
     (fun (n, alpha', seed) ->
       let g = Core.Graph.Graph.random (Rng.create seed) n 0.5 in
@@ -182,6 +200,7 @@ let e8_thm6_hardness () =
       let cap_pc = List.length (Core.Capacity.Exact.capacity_power_control inst) in
       let indep = Dim.independence_dimension ~exact_limit:24 space in
       let corresponds = cap_u = alpha_g && cap_pc = alpha_g in
+      worst_indep := max !worst_indep indep;
       if not (corresponds && indep <= 4) then ok := false;
       T.add_row t
         [ T.I n; T.F alpha'; T.F2 phi; T.F2 (phi /. float_of_int n); T.F2 zeta;
@@ -189,4 +208,6 @@ let e8_thm6_hardness () =
           T.S (string_of_bool corresponds) ])
     [ (6, 1., 701); (8, 1., 702); (10, 2., 703); (12, 2., 704) ];
   T.print t;
-  !ok
+  Outcome.make ~measured:(float_of_int !worst_indep) ~bound:4.
+    ~detail:"max independence dim of two-line spaces; capacity = alpha(G)"
+    !ok

@@ -1,24 +1,24 @@
 (** Experiments E4-E8: CAPACITY approximability as a function of the decay
     space's parameters (Theorems 3-6 and the sparsification lemmas).  Each
-    prints its tables and returns [true] iff every structural check held. *)
+    prints its tables and returns a structured {!Outcome.t} verdict. *)
 
-val e4_thm3_hardness : unit -> bool
+val e4_thm3_hardness : unit -> Outcome.t
 (** Theorem 3: on MIS-derived decay spaces, feasible sets = independent
     sets (uniform power and power control), [zeta ~ lg 2n], and greedy
     capacity degrades like the MIS greedy gap. *)
 
-val e5_sparsification : unit -> bool
+val e5_sparsification : unit -> Outcome.t
 (** Lemmas B.1/B.3/4.1: constructive partition sizes vs the lemmas' bounds;
     outputs re-verified against their defining predicates. *)
 
-val e6_amicability : unit -> bool
+val e6_amicability : unit -> Outcome.t
 (** Theorem 4: measured amicability parameters grow polynomially (not
     exponentially) with [zeta] on planar instances. *)
 
-val e7_capacity_approximation : unit -> bool
+val e7_capacity_approximation : unit -> Outcome.t
 (** Theorem 5: Algorithm 1 vs exact optimum across an alpha sweep on the
     plane (sub-exponential dependence) and vs the general-metric greedy. *)
 
-val e8_thm6_hardness : unit -> bool
+val e8_thm6_hardness : unit -> Outcome.t
 (** Theorem 6: the two-line construction — feasible = independent under
     both power regimes, [phi = Theta(n)], bounded growth. *)

@@ -9,10 +9,12 @@ let e27_ambient_dimension () =
         "dim/alpha"; "fading (A<1)" ]
   in
   let ok = ref true in
+  let worst_excess = ref min_int in
   let row name dim alpha space kissing =
     let indep = Dim.independence_dimension ~exact_limit:26 space in
     let a = Dim.assouad space in
     let fading = a < 1. in
+    worst_excess := max !worst_excess (indep - kissing);
     if indep > kissing then ok := false;
     (* The fading verdict must match alpha > dim, with slack for the
        estimator on small point sets. *)
@@ -54,4 +56,6 @@ let e27_ambient_dimension () =
      plane, 12 in space) and the fading boundary tracks alpha > dim, as Definition\n\
      3.3 and the Welzl bound predict in every ambient dimension.";
   print_newline ();
-  !ok
+  Outcome.make ~measured:(float_of_int !worst_excess) ~bound:0.
+    ~detail:"max (independence - kissing number); fading tracks alpha > dim"
+    !ok

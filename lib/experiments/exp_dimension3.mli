@@ -5,4 +5,4 @@
     estimate tracks [dim / alpha], and [alpha > dim] marks the fading
     boundary in each ambient dimension. *)
 
-val e27_ambient_dimension : unit -> bool
+val e27_ambient_dimension : unit -> Outcome.t

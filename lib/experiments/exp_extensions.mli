@@ -2,19 +2,19 @@
     beyond plain capacity — power-control regimes [58, 27], dynamic packet
     scheduling [2, 3, 44], and the Rayleigh-fading reduction [10].  These
     are ablations of the reproduction's extension modules; each prints its
-    tables and returns [true] iff the expected qualitative relationships
+    tables and returns an {!Outcome.t} recording whether the expected qualitative relationships
     held. *)
 
-val e15_power_regimes : unit -> bool
+val e15_power_regimes : unit -> Outcome.t
 (** Uniform vs mean (square-root) vs linear power vs full power control as
     link-length dispersion grows: oblivious non-uniform power wins exactly
     where theory says it should. *)
 
-val e16_dynamic_stability : unit -> bool
+val e16_dynamic_stability : unit -> Outcome.t
 (** Longest-queue-first dynamic scheduling: stable below the capacity
     region, diverging above, with random access strictly weaker. *)
 
-val e17_rayleigh : unit -> bool
+val e17_rayleigh : unit -> Outcome.t
 (** The closed-form Rayleigh success probability matches Monte-Carlo, and
     threshold-model capacity tracks expected fading throughput (the [10]
     simulation argument, empirically). *)

@@ -9,6 +9,7 @@ let e25_flow_throughput () =
       [ "environment"; "routed"; "hops"; "slots"; "throughput"; "verified" ]
   in
   let ok = ref true in
+  let min_routed = ref max_int in
   let pts = Core.Decay.Spaces.random_points (Rng.create 2101) ~n:24 ~side:30. in
   let nodes = Core.Radio.Node.of_points pts in
   let sessions =
@@ -42,6 +43,7 @@ let e25_flow_throughput () =
               (Array.to_list sub.Core.Sinr.Instance.links))
           r.Flow.schedule
       in
+      min_routed := min !min_routed r.Flow.routed;
       if r.Flow.routed = 0 then ok := false;
       T.add_row t
         [ T.S name; T.S (Printf.sprintf "%d/4" r.Flow.routed);
@@ -63,7 +65,9 @@ let e25_flow_throughput () =
          Core.Radio.Propagation.shadowing_sigma_db = 4. });
     ];
   T.print t;
-  !ok
+  Outcome.make ~measured:(float_of_int !min_routed) ~bound:1.
+    ~detail:"min sessions routed across environments (of 4); slots verify"
+    !ok
 
 (* E26 — the negative control: reception-zone convexity. *)
 let e26_sinr_diagram_negative () =
@@ -103,4 +107,7 @@ let e26_sinr_diagram_negative () =
      walls shatter them.  Convexity is a property of the geometry, not of the SINR\n\
      machinery — which is why the paper excludes SINR diagrams from the transfer.";
   print_newline ();
-  free < 0.02 && walls > 2. *. Float.max 0.005 free
+  Outcome.make ~measured:walls ~bound:(2. *. Float.max 0.005 free)
+    ~detail:"wall-environment convexity defect must exceed the bound; free \
+             space stays below 0.02"
+    (free < 0.02 && walls > 2. *. Float.max 0.005 free)

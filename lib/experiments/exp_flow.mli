@@ -2,11 +2,11 @@
     control the paper's §2.3 calls out — SINR diagrams [4] rely on
     Euclidean topology and do *not* transfer to realistic decay spaces. *)
 
-val e25_flow_throughput : unit -> bool
+val e25_flow_throughput : unit -> Outcome.t
 (** Multi-hop sessions over decay spaces: routing, hop scheduling and
     end-to-end throughput as the environment hardens. *)
 
-val e26_sinr_diagram_negative : unit -> bool
+val e26_sinr_diagram_negative : unit -> Outcome.t
 (** Reception-zone convexity holds in free space (Avin et al.) and breaks
     behind walls — evidence that the geometric result is genuinely tied to
     geometry, exactly as the paper claims. *)

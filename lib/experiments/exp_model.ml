@@ -19,6 +19,7 @@ let e1_theory_transfer () =
       [ "alpha"; "zeta(D)"; "|Alg1 direct|"; "|Alg1 via quasi-metric|"; "identical" ]
   in
   let ok = ref true in
+  let worst_dev = ref 0. in
   List.iter
     (fun alpha ->
       let inst =
@@ -37,13 +38,16 @@ let e1_theory_transfer () =
       in
       let via = Core.Capacity.Alg1.run (I.make ~zeta:z space' pairs) in
       let same = ids direct = ids via in
+      worst_dev := Float.max !worst_dev (Float.abs (zeta -. alpha));
       if not (same && Float.abs (zeta -. alpha) < 0.01) then ok := false;
       T.add_row t
         [ T.F alpha; T.F4 zeta; T.I (List.length direct); T.I (List.length via);
           T.S (string_of_bool same) ])
     [ 2.; 3.; 4. ];
   T.print t;
-  !ok
+  Outcome.make ~measured:!worst_dev ~bound:0.01
+    ~detail:"max |zeta - alpha| over alpha sweep; runs must also coincide"
+    !ok
 
 (* E2 — Theorem 2: gamma(r) <= C 2^(A+1) (zetahat(2-A) - 1) on fading
    spaces.  The constant C is calibrated from the measured packing growth
@@ -53,6 +57,7 @@ let e2_fading_bound () =
       [ "space"; "alpha"; "A (est)"; "C (est)"; "r"; "gamma(r)"; "bound"; "holds" ]
   in
   let ok = ref true in
+  let worst_ratio = ref 0. in
   let qs = [ 2.; 4.; 8. ] in
   List.iter
     (fun (name, alpha, space) ->
@@ -71,6 +76,7 @@ let e2_fading_bound () =
           let gamma = Fad.gamma ~exact_limit:18 space ~r in
           let bound = Fad.theorem2_bound ~c ~a in
           let holds = gamma <= bound +. 1e-9 in
+          worst_ratio := Float.max !worst_ratio (gamma /. bound);
           if not holds then ok := false;
           T.add_row t
             [ T.S name; T.F alpha; T.F4 a; T.F2 c; T.F r; T.F4 gamma;
@@ -83,7 +89,9 @@ let e2_fading_bound () =
       ("random 30", 4.5, D.of_points ~alpha:4.5 (Sp.random_points (Rng.create 7) ~n:30 ~side:6.));
     ];
   T.print t;
-  !ok
+  Outcome.make ~measured:!worst_ratio ~bound:1.
+    ~detail:"worst gamma(r) / theorem-2 bound over spaces and separations"
+    !ok
 
 (* E3 — the star example of section 3.4: doubling dimension grows with k
    while interference at the close leaf stays bounded (and the far-leaf
@@ -94,6 +102,7 @@ let e3_star_example () =
   in
   let ok = ref true in
   let r = 4. in
+  let last_g = ref 0. in
   let prev_share = ref infinity in
   List.iter
     (fun k ->
@@ -104,12 +113,15 @@ let e3_star_example () =
       let share = r *. Fad.interference_at space ~z:1 ~senders:leaves ~power:1. in
       let vanishing = share < !prev_share in
       prev_share := share;
+      last_g := g;
       if not (vanishing && g < 2.) then ok := false;
       T.add_row t
         [ T.I k; T.F4 a'; T.F4 g; T.F4 share; T.S (string_of_bool vanishing) ])
     [ 4; 8; 16; 32 ];
   T.print t;
-  !ok
+  Outcome.make ~measured:!last_g ~bound:2.
+    ~detail:"gamma_z at the close leaf for k = 32; far-leaf share must vanish"
+    !ok
 
 (* E9 — zeta vs phi across the zoo; the three-point family separates them. *)
 let e9_zeta_vs_phi () =
@@ -117,9 +129,11 @@ let e9_zeta_vs_phi () =
       [ "space"; "n"; "zeta"; "phi"; "lg phi"; "lg phi <= zeta" ]
   in
   let ok = ref true in
+  let worst_gap = ref neg_infinity in
   let row name space =
     let z = Met.zeta space and p = Met.phi space in
     let holds = Num.log2 p <= z +. 1e-6 in
+    worst_gap := Float.max !worst_gap (Num.log2 p -. z);
     if not holds then ok := false;
     T.add_row t
       [ T.S name; T.I (D.n space); T.F4 z; T.F4 p; T.F4 (Num.log2 p);
@@ -153,7 +167,9 @@ let e9_zeta_vs_phi () =
   if not (z_large > z_small +. 1. && Met.phi (Sp.three_point ~q:1e8) < 2.) then
     ok := false;
   T.print t;
-  !ok
+  Outcome.make ~measured:!worst_gap ~bound:0.
+    ~detail:"max (lg phi - zeta) over the zoo; three-point family separates"
+    !ok
 
 (* E10 — Welzl's construction: doubling dimension 1, independence n+1. *)
 let e10_welzl () =
@@ -161,18 +177,22 @@ let e10_welzl () =
       [ "n"; "quasi-doubling A'"; "independence dim"; "expected"; "match" ]
   in
   let ok = ref true in
+  let worst_a' = ref 0. in
   List.iter
     (fun n ->
       let space = Sp.welzl ~n ~eps:0.25 in
       let a' = Dim.quasi_doubling ~zeta:1. space in
       let indep = Dim.independence_dimension ~exact_limit:40 space in
       let good = indep = n + 1 && a' <= 1.01 in
+      worst_a' := Float.max !worst_a' a';
       if not good then ok := false;
       T.add_row t
         [ T.I n; T.F4 a'; T.I indep; T.I (n + 1); T.S (string_of_bool good) ])
     [ 4; 8; 12; 16 ];
   T.print t;
-  !ok
+  Outcome.make ~measured:!worst_a' ~bound:1.01
+    ~detail:"max quasi-doubling A' while independence dim = n + 1 exactly"
+    !ok
 
 (* E11 — guards on the plane: greedy guard sets of size <= 6; the explicit
    six-sector construction verifies as a guard set. *)
@@ -181,6 +201,7 @@ let e11_guards () =
       [ "seed"; "n"; "max greedy guards"; "independence dim"; "sectors verify" ]
   in
   let ok = ref true in
+  let worst_guards = ref 0 in
   List.iter
     (fun seed ->
       let pts = Sp.random_points (Rng.create seed) ~n:20 ~side:10. in
@@ -211,9 +232,12 @@ let e11_guards () =
       let sector_guards = List.filter_map sector_guard [ 0; 1; 2; 3; 4; 5 ] in
       let sectors_ok = Dim.is_guard_set space ~x sector_guards in
       let good = guards <= 6 && indep <= 6 && sectors_ok in
+      worst_guards := max !worst_guards guards;
       if not good then ok := false;
       T.add_row t
         [ T.I seed; T.I 20; T.I guards; T.I indep; T.S (string_of_bool sectors_ok) ])
     [ 201; 202; 203; 204 ];
   T.print t;
-  !ok
+  Outcome.make ~measured:(float_of_int !worst_guards) ~bound:6.
+    ~detail:"max greedy guard-set size over seeds; six-sector sets verify"
+    !ok

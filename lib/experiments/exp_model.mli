@@ -1,30 +1,30 @@
 (** Experiments E1-E3 and E9-E11: the model-side claims of the paper
     (theory transfer, the fading bound, the parameter relationships and the
     dimension constructions).  Each function prints one or more tables to
-    stdout and returns [true] iff every checked inequality/claim held.
+    stdout and returns a structured {!Outcome.t} (pass flag plus the headline measured-vs-bound comparison).
     See DESIGN.md section 5 for the experiment index and EXPERIMENTS.md for
     recorded results. *)
 
-val e1_theory_transfer : unit -> bool
+val e1_theory_transfer : unit -> Outcome.t
 (** Proposition 1: GEO-SINR embeds with [zeta = alpha]; running Algorithm 1
     through the induced quasi-metric reproduces the direct run. *)
 
-val e2_fading_bound : unit -> bool
+val e2_fading_bound : unit -> Outcome.t
 (** Theorem 2: measured [gamma(r)] on doubling decay spaces vs the
     closed-form bound [C 2^(A+1) (zetahat(2-A) - 1)]. *)
 
-val e3_star_example : unit -> bool
+val e3_star_example : unit -> Outcome.t
 (** Section 3.4: the star space has unbounded doubling dimension yet
     vanishing far-leaf interference. *)
 
-val e9_zeta_vs_phi : unit -> bool
+val e9_zeta_vs_phi : unit -> Outcome.t
 (** Section 4.2: [phi_log <= zeta] on every space; the three-point family
     separates the parameters ([zeta] unbounded, [phi < 2]). *)
 
-val e10_welzl : unit -> bool
+val e10_welzl : unit -> Outcome.t
 (** Welzl's construction: doubling dimension 1, independence dimension
     [n + 1]. *)
 
-val e11_guards : unit -> bool
+val e11_guards : unit -> Outcome.t
 (** Six 60-degree sectors guard any planar point; independence dimension of
     planar spaces is at most the kissing number 6. *)

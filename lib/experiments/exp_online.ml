@@ -12,6 +12,7 @@ let e21_online_capacity () =
         "guarded accepted"; "guarded ratio" ]
   in
   let ok = ref true in
+  let worst_guarded = ref 0. in
   List.iter
     (fun alpha ->
       List.iter
@@ -28,6 +29,7 @@ let e21_online_capacity () =
           (* Both rules must stay within a moderate factor on these small
              instances; the guarded rule must never be catastrophically
              worse than naive. *)
+          worst_guarded := Float.max !worst_guarded (ratio guarded);
           if ratio guarded > 8. then ok := false;
           T.add_row t
             [ T.S order_name; T.F alpha; T.I opt; T.I (List.length naive);
@@ -47,7 +49,9 @@ let e21_online_capacity () =
         ])
     [ 3.; 5. ];
   T.print t;
-  !ok
+  Outcome.make ~measured:!worst_guarded ~bound:8.
+    ~detail:"worst OPT / guarded-admission ratio over orders and alphas"
+    !ok
 
 (* E22 — contention resolution: drain time across density and spaces. *)
 let e22_contention_resolution () =
@@ -55,10 +59,12 @@ let e22_contention_resolution () =
       [ "instance"; "links"; "fixed p=0.25"; "backoff p0=0.8"; "all done" ]
   in
   let ok = ref true in
+  let max_rounds_seen = ref 0 in
   let run name (inst : I.t) =
     let f = Cont.run ~max_rounds:20000 ~policy:(Cont.Fixed 0.25) (Rng.create 1801) inst in
     let b = Cont.run ~max_rounds:20000 ~policy:(Cont.Backoff 0.8) (Rng.create 1802) inst in
     let done_ = f.Cont.completed && b.Cont.completed in
+    max_rounds_seen := max !max_rounds_seen (max f.Cont.rounds b.Cont.rounds);
     if not done_ then ok := false;
     T.add_row t
       [ T.S name; T.I (Array.length inst.I.links); T.I f.Cont.rounds;
@@ -85,4 +91,6 @@ let e22_contention_resolution () =
        (Rng.create 1806) ~n_links:10
        ~max_decay:(Core.Decay.Decay_space.max_decay space) space);
   T.print t;
-  !ok
+  Outcome.make ~measured:(float_of_int !max_rounds_seen) ~bound:20000.
+    ~detail:"max drain rounds over instances and policies (cap 20000)"
+    !ok

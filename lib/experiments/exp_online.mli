@@ -1,12 +1,12 @@
 (** Experiments E21-E22: the online and contention-resolution families of
     the paper's transfer list ([15]; [45]). *)
 
-val e21_online_capacity : unit -> bool
+val e21_online_capacity : unit -> Outcome.t
 (** Online admission under random and adversarial arrival orders: the
     separation-guarded rule holds its competitive ratio where the naive
     feasibility-only rule degrades. *)
 
-val e22_contention_resolution : unit -> bool
+val e22_contention_resolution : unit -> Outcome.t
 (** Distributed contention resolution: rounds to drain one packet per link
     under fixed-probability and exponential-backoff policies, across
     densities and decay spaces. *)

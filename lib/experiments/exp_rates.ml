@@ -60,4 +60,6 @@ let e23_rates_and_cognitive () =
           T.I (List.length g); T.I (List.length e); T.S (string_of_bool safe) ])
     [ 1902; 1903; 1904 ];
   T.print t2;
-  !ok
+  Outcome.make
+    ~detail:"rate schedules complete and verify; cognitive admission safe"
+    !ok

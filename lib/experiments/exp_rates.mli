@@ -1,6 +1,6 @@
 (** Experiment E23: flexible data rates [43] and cognitive-radio admission
     [33] — the last two named families of Proposition 1's transfer list. *)
 
-val e23_rates_and_cognitive : unit -> bool
+val e23_rates_and_cognitive : unit -> Outcome.t
 (** Rate-scheduling slot counts vs demand and density; secondary admission
     never harming primaries, greedy vs exact admitted counts. *)

@@ -3,6 +3,6 @@
     spaces, with wall-clock cost.  Not a paper claim; the due diligence a
     release needs so users know which estimator to reach for. *)
 
-val e24_metricity_scaling : unit -> bool
+val e24_metricity_scaling : unit -> Outcome.t
 (** Both estimators stay within the exact value (lower bounds) and recover
     most of it at a fraction of the cost. *)

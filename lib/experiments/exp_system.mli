@@ -1,20 +1,20 @@
 (** Experiments E12-E14: the systems-side claims — distributed algorithms
     parameterized by the fading value (§3.3), the retained thresholding /
     additivity assumptions (§2.1), and the measurability story for decay
-    spaces (§1, §2.2).  Each prints tables and returns [true] iff the
+    spaces (§1, §2.2).  Each prints tables and returns an {!Outcome.t} recording whether the
     claimed qualitative relationships held. *)
 
-val e12_distributed : unit -> bool
+val e12_distributed : unit -> Outcome.t
 (** Local broadcast and the no-regret capacity game across spaces of
     increasing fading parameter: rounds/throughput degrade with gamma, and
     the algorithms run unchanged on arbitrary decay spaces. *)
 
-val e13_thresholding : unit -> bool
+val e13_thresholding : unit -> Outcome.t
 (** Packet reception rate vs mean SINR: a hard step without fading and a
     steep S-curve under Rayleigh/Rician — the near-thresholding behaviour
     that justifies keeping the SINR capture assumption. *)
 
-val e14_measurability : unit -> bool
+val e14_measurability : unit -> Outcome.t
 (** Distance-decay rank correlation collapses as clutter and shadowing
     grow, while the metricity stays moderate — decay spaces remain
     well-behaved exactly when geometry stops being predictive. *)

@@ -1,0 +1,23 @@
+type t = {
+  pass : bool;
+  measured : float option;
+  bound : float option;
+  detail : string;
+}
+
+let make ?measured ?bound ~detail pass = { pass; measured; bound; detail }
+
+let of_bool ?measured ?bound ~detail pass = make ?measured ?bound ~detail pass
+
+let leq ?(detail = "") ~measured ~bound () =
+  { pass = measured <= bound; measured = Some measured; bound = Some bound; detail }
+
+let geq ?(detail = "") ~measured ~bound () =
+  { pass = measured >= bound; measured = Some measured; bound = Some bound; detail }
+
+let float_cell = function
+  | None -> "-"
+  | Some v ->
+      if Float.is_integer v && Float.abs v < 1e9 then
+        Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.4g" v

@@ -1,4 +1,11 @@
-type entry = { id : string; claim : string; run : unit -> bool }
+type outcome = Outcome.t = {
+  pass : bool;
+  measured : float option;
+  bound : float option;
+  detail : string;
+}
+
+type entry = { id : string; claim : string; run : unit -> outcome }
 
 let all =
   [
@@ -68,6 +75,26 @@ let run_all () =
   List.map
     (fun e ->
       Printf.printf "--- %s: %s ---\n%!" e.id e.claim;
-      let ok = e.run () in
-      (e.id, ok))
+      let o = e.run () in
+      (e.id, o))
     all
+
+let all_pass results = List.for_all (fun (_, o) -> o.pass) results
+
+let print_verdicts results =
+  let t =
+    Bg_prelude.Table.create ~title:"experiment verdicts"
+      [ "id"; "verdict"; "measured"; "bound"; "detail" ]
+  in
+  List.iter
+    (fun (id, o) ->
+      Bg_prelude.Table.add_row t
+        [
+          Bg_prelude.Table.S id;
+          Bg_prelude.Table.S (if o.pass then "PASS" else "FAIL");
+          Bg_prelude.Table.S (Outcome.float_cell o.measured);
+          Bg_prelude.Table.S (Outcome.float_cell o.bound);
+          Bg_prelude.Table.S o.detail;
+        ])
+    results;
+  Bg_prelude.Table.print t

@@ -1,16 +1,33 @@
 (** The experiment registry: every claim-reproduction experiment of
-    DESIGN.md section 5, addressable by id ("E1" .. "E17").  Used by
+    DESIGN.md section 5, addressable by id ("E1" .. "E28").  Used by
     [bench/main.exe] (runs everything) and by the [bg experiment] CLI
-    subcommand (runs one). *)
+    subcommand (runs one or all). *)
 
-type entry = { id : string; claim : string; run : unit -> bool }
+type outcome = Outcome.t = {
+  pass : bool;
+  measured : float option;
+  bound : float option;
+  detail : string;
+}
+(** Re-exported from {!Outcome} so consumers can pattern-match through
+    either path. *)
+
+type entry = { id : string; claim : string; run : unit -> outcome }
 
 val all : entry list
-(** E1 through E17 in order (E15+ are extension ablations). *)
+(** Every registered experiment in id order (E15+ are extension
+    ablations).  The first and last ids of this list are the source of
+    truth for the advertised range — never hard-code it. *)
 
 val find : string -> entry option
 (** Case-insensitive lookup by id. *)
 
-val run_all : unit -> (string * bool) list
+val run_all : unit -> (string * outcome) list
 (** Run every experiment in order (tables go to stdout); returns the
-    per-experiment verdicts. *)
+    per-experiment outcomes. *)
+
+val all_pass : (string * outcome) list -> bool
+(** Did every experiment pass? *)
+
+val print_verdicts : (string * outcome) list -> unit
+(** Print the measured-vs-bound verdict table to stdout. *)

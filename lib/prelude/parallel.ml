@@ -1,0 +1,162 @@
+(* A fixed-size domain pool.  Workers are spawned once and block on a
+   condition variable between bursts of work; tasks are plain closures
+   pulled from a shared queue.  The caller of [run] participates in the
+   work, so a pool with zero workers (single-core machines) degrades to a
+   sequential loop with no domain traffic at all. *)
+
+type t = {
+  mutable domains : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable closed : bool;
+}
+
+let worker pool =
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some task -> Some task
+    | None ->
+        if pool.closed then None
+        else begin
+          Condition.wait pool.work_ready pool.lock;
+          next ()
+        end
+  in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let task = next () in
+    Mutex.unlock pool.lock;
+    match task with
+    | None -> ()
+    | Some task ->
+        (* Tasks wrap their own exceptions; this is only a safety net so a
+           rogue task cannot kill a shared worker. *)
+        (try task () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n -> max 0 n
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      domains = [||];
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      closed = false;
+    }
+  in
+  pool.domains <- Array.init n (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let num_domains pool = Array.length pool.domains
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+let default_pool = ref None
+
+let get_default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create () in
+      default_pool := Some p;
+      p
+
+let auto_jobs () = Domain.recommended_domain_count ()
+
+let ambient_jobs = ref 1
+let default_jobs () = !ambient_jobs
+let set_default_jobs j = ambient_jobs := max 1 j
+let resolve_jobs = function Some j -> max 1 j | None -> default_jobs ()
+
+let run ?pool fns =
+  let n = Array.length fns in
+  if n = 0 then [||]
+  else begin
+    let pool = match pool with Some p -> p | None -> get_default () in
+    let results = Array.make n None in
+    let pending = ref n in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let task i () =
+      let r = try Ok (fns.(i) ()) with e -> Error e in
+      Mutex.lock done_lock;
+      results.(i) <- Some r;
+      decr pending;
+      if !pending = 0 then Condition.signal done_cond;
+      Mutex.unlock done_lock
+    in
+    (* Hand tasks 1..n-1 to the pool; the caller runs task 0 itself and
+       then helps drain the queue, so every task runs exactly once even
+       with zero workers. *)
+    if n > 1 then begin
+      Mutex.lock pool.lock;
+      for i = 1 to n - 1 do
+        Queue.add (task i) pool.queue
+      done;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.lock
+    end;
+    task 0 ();
+    let rec help () =
+      Mutex.lock pool.lock;
+      let t = Queue.take_opt pool.queue in
+      Mutex.unlock pool.lock;
+      match t with
+      | Some t ->
+          t ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock done_lock;
+    while !pending > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map_reduce_chunks ~jobs ~lo ~hi ~neutral ~map ~combine =
+  if hi <= lo then neutral
+  else begin
+    let len = hi - lo in
+    let jobs = max 1 (min jobs len) in
+    if jobs = 1 then map lo hi
+    else begin
+      let size = (len + jobs - 1) / jobs in
+      let chunks = (len + size - 1) / size in
+      let parts =
+        run
+          (Array.init chunks (fun k ->
+               let clo = lo + (k * size) in
+               let chi = min hi (clo + size) in
+               fun () -> map clo chi))
+      in
+      (* Fold in ascending chunk order: ties in [combine] resolve exactly
+         as they would in one left-to-right sequential pass. *)
+      let acc = ref parts.(0) in
+      for k = 1 to chunks - 1 do
+        acc := combine !acc parts.(k)
+      done;
+      !acc
+    end
+  end

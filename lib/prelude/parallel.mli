@@ -1,0 +1,78 @@
+(** A fixed-size domain pool and deterministic chunked map-reduce.
+
+    The O(n^3) parameter sweeps of the decay layer (metricity, the relaxed
+    triangle constant, the fading parameter) are embarrassingly parallel in
+    their outer loop.  This module provides the shared substrate: a pool of
+    worker domains spawned {e once} and reused across calls (domain spawn
+    costs milliseconds — far more than a typical chunk), plus
+    {!map_reduce_chunks}, which splits an index range into contiguous
+    chunks, maps them (in parallel when a pool has workers) and combines
+    the partial results {e in chunk order}.
+
+    {b Determinism.}  Chunks are contiguous, ordered sub-ranges of
+    [\[lo, hi)], and [combine] is folded left-to-right over the chunk
+    results.  A consumer whose [combine] is associative over its chunked
+    fold — e.g. "keep the maximum, ties broken by first occurrence", which
+    the metricity witnesses use — therefore returns bit-for-bit the same
+    value at every [jobs] count.  [jobs] controls work splitting only,
+    never the result. *)
+
+type t
+(** A pool of worker domains plus the calling domain. *)
+
+val create : ?num_domains:int -> unit -> t
+(** [create ()] spawns [num_domains] worker domains (default
+    [Domain.recommended_domain_count () - 1], clamped at 0).  With 0
+    workers the pool is still usable: all work runs on the caller. *)
+
+val num_domains : t -> int
+(** Worker domains owned by the pool (the caller is not counted). *)
+
+val shutdown : t -> unit
+(** Terminate and join the pool's workers.  Idempotent.  Pending tasks are
+    drained before workers exit. *)
+
+val get_default : unit -> t
+(** The global shared pool, created on first use with the default size.
+    Library entry points taking [?pool] fall back to this. *)
+
+val auto_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the natural [jobs] value for
+    "use the whole machine". *)
+
+val default_jobs : unit -> int
+(** The ambient job count used when an optional [?jobs] argument is
+    omitted.  Starts at 1 (fully sequential) so nothing parallelizes
+    behind a caller's back. *)
+
+val set_default_jobs : int -> unit
+(** Set the ambient job count (clamped to >= 1).  The [bg --jobs] flag
+    uses this so that deeply nested sweeps (e.g. inside experiments, which
+    take no [jobs] argument) pick up the requested parallelism.  Results
+    are unaffected by construction; only wall-clock time changes. *)
+
+val resolve_jobs : int option -> int
+(** [resolve_jobs (Some j)] is [max 1 j]; [resolve_jobs None] is
+    {!default_jobs}[ ()].  The idiom for [?jobs] parameters. *)
+
+val run : ?pool:t -> (unit -> 'a) array -> 'a array
+(** Execute the thunks, possibly in parallel, and return their results in
+    input order.  The caller participates in the work (so a 0-worker pool
+    degrades to a plain sequential loop).  If any thunk raises, the first
+    (lowest-index) exception is re-raised after all thunks finish. *)
+
+val map_reduce_chunks :
+  jobs:int ->
+  lo:int ->
+  hi:int ->
+  neutral:'a ->
+  map:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
+(** [map_reduce_chunks ~jobs ~lo ~hi ~neutral ~map ~combine] splits
+    [\[lo, hi)] into at most [jobs] contiguous chunks, evaluates
+    [map chunk_lo chunk_hi] for each (in parallel when [jobs > 1] and the
+    pool has workers) and folds [combine] over the results in ascending
+    chunk order.  [neutral] is returned for an empty range.  With
+    [jobs <= 1] this is exactly [map lo hi] — no combine, no overhead.
+    Parallel work always runs on the shared {!get_default} pool. *)

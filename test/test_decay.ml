@@ -519,6 +519,30 @@ let prop_ball_packing_disjointness =
       let p = Ball.max_packing d ~within:(List.init 8 Fun.id) ~radius:r in
       Ball.is_packing d ~radius:r p)
 
+let prop_parallel_equals_sequential =
+  qcheck ~count:25 "zeta/phi/gamma identical at jobs=1 and jobs=4"
+    QCheck.small_int (fun seed ->
+      (* Exact witness equality, not just value equality: chunked parallel
+         sweeps must reproduce the sequential tie-breaking bit-for-bit on
+         every space family. *)
+      let spaces =
+        [ random_space ~n:9 seed;
+          random_asym_space ~n:9 (seed + 1);
+          Sp.star ~k:(4 + (seed mod 5)) ~r:2.;
+          Sp.welzl ~n:(4 + (seed mod 4)) ~eps:0.25;
+          Sp.three_point ~q:(10. ** float_of_int (2 + (seed mod 6))) ]
+      in
+      List.for_all
+        (fun d ->
+          Met.zeta_witness ~jobs:1 d = Met.zeta_witness ~jobs:4 d
+          && Met.phi_witness ~jobs:1 d = Met.phi_witness ~jobs:4 d
+          && Met.zeta_upper_bound ~jobs:1 d = Met.zeta_upper_bound ~jobs:4 d
+          &&
+          let r = D.min_decay d *. 1.5 in
+          Fad.gamma ~exact_limit:12 ~jobs:1 d ~r
+          = Fad.gamma ~exact_limit:12 ~jobs:4 d ~r)
+        spaces)
+
 let suite =
   [
     ( "decay.space",
@@ -554,6 +578,7 @@ let suite =
         case "two-node space" test_zeta_small_spaces;
         prop_zeta_monotone_validity;
         prop_phi_log_leq_zeta;
+        prop_parallel_equals_sequential;
         prop_scale_preserves_zeta_within_bound;
       ] );
     ( "decay.quasi_metric",

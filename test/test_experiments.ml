@@ -11,8 +11,16 @@ let run_quiet id =
   match Bg_experiments.Registry.find id with
   | None -> Alcotest.fail ("unknown experiment " ^ id)
   | Some e ->
-      let ok = e.Bg_experiments.Registry.run () in
-      check_true (id ^ " verdict") ok
+      let o = e.Bg_experiments.Registry.run () in
+      check_true (id ^ " verdict") o.Bg_experiments.Registry.pass;
+      (* Structured outcomes: a recorded measured value must actually be on
+         the right side of a recorded bound when the experiment passes with
+         both present and a leq/geq reading; at minimum it must be finite. *)
+      (match o.Bg_experiments.Registry.measured with
+      | Some m -> check_true (id ^ " measured finite") (Float.is_finite m)
+      | None -> ());
+      check_true (id ^ " has detail")
+        (String.length o.Bg_experiments.Registry.detail > 0)
 
 let case_for id = case id (fun () -> run_quiet id)
 

@@ -9,7 +9,7 @@ module F = Core.Sinr.Feasibility
 let test_analysis_geo () =
   let pts = Core.Decay.Spaces.grid_points ~rows:4 ~cols:4 ~spacing:2. in
   let d = D.of_points ~alpha:3. pts in
-  let r = Core.Analysis.analyze d in
+  let r = Core.Analysis.run d in
   check_float ~eps:2e-3 "zeta = 3" 3. r.Core.Analysis.zeta;
   check_true "symmetric" r.Core.Analysis.symmetric;
   check_true "fading space" r.Core.Analysis.is_fading_space;
@@ -19,16 +19,37 @@ let test_analysis_geo () =
 
 let test_analysis_gamma_field () =
   let d = Core.Decay.Spaces.uniform 6 in
-  let r = Core.Analysis.analyze ~gamma_at:[ 0.5 ] d in
+  let r =
+    Core.Analysis.run
+      ~config:{ Core.Analysis.default with Core.Analysis.gamma_at = [ 0.5 ] }
+      d
+  in
   match r.Core.Analysis.gamma with
   | [ (sep, g) ] ->
       check_float "separation echoed" 0.5 sep;
       check_float "gamma" 2.5 g
   | _ -> Alcotest.fail "expected one gamma entry"
 
+let test_analysis_deprecated_wrapper () =
+  (* The historical optional-argument entry point must keep agreeing with
+     [run ~config] while it is still exported. *)
+  let d = Core.Decay.Spaces.uniform 6 in
+  let via_config =
+    Core.Analysis.run
+      ~config:{ Core.Analysis.default with Core.Analysis.gamma_at = [ 0.5 ] }
+      d
+  in
+  let via_wrapper =
+    (Core.Analysis.analyze [@alert "-deprecated"]) ~gamma_at:[ 0.5 ] d
+  in
+  check_float "same zeta" via_config.Core.Analysis.zeta
+    via_wrapper.Core.Analysis.zeta;
+  check_true "same gamma list"
+    (via_config.Core.Analysis.gamma = via_wrapper.Core.Analysis.gamma)
+
 let test_analysis_table_renders () =
   let d = Core.Decay.Spaces.uniform 5 in
-  let r = Core.Analysis.analyze d in
+  let r = Core.Analysis.run d in
   let s = Core.Prelude.Table.render (Core.Analysis.to_table r) in
   check_true "mentions metricity" (String.length s > 100)
 
@@ -71,7 +92,7 @@ let test_pipeline_indoor () =
       Core.Radio.Propagation.shadowing_sigma_db = 4. }
   in
   let space = Core.Radio.Measure.decay_space ~seed:7 ~config:cfg env nodes in
-  let report = Core.Analysis.analyze space in
+  let report = Core.Analysis.run space in
   check_true "indoor zeta above free-space alpha" (report.Core.Analysis.zeta > 2.);
   let t =
     I.random_links_in_space ~zeta:report.Core.Analysis.zeta (rng 8) ~n_links:6
@@ -185,6 +206,7 @@ let suite =
       [
         case "geo report" test_analysis_geo;
         case "gamma field" test_analysis_gamma_field;
+        case "deprecated wrapper" test_analysis_deprecated_wrapper;
         case "table renders" test_analysis_table_renders;
       ] );
     ( "core.solve",

@@ -323,6 +323,81 @@ let prop_shuffle_preserves_multiset =
       Rng.shuffle g arr;
       List.sort compare (Array.to_list arr) = before)
 
+(* ------------------------------------------------------------- Parallel *)
+
+module Par = Core.Prelude.Parallel
+
+let test_par_run_order () =
+  let results =
+    Par.run (Array.init 17 (fun i () -> i * i))
+  in
+  Array.iteri
+    (fun i v -> check_int (Printf.sprintf "slot %d" i) (i * i) v)
+    results
+
+let test_par_run_exn () =
+  Alcotest.check_raises "first exception re-raised" Exit (fun () ->
+      ignore
+        (Par.run
+           (Array.init 8 (fun i () -> if i = 3 then raise Exit else i))))
+
+let test_par_mrc_cover () =
+  (* Every index in [lo, hi) is mapped exactly once, whatever the job
+     count: summing chunk widths and chunk sums must match the range. *)
+  List.iter
+    (fun jobs ->
+      let total =
+        Par.map_reduce_chunks ~jobs ~lo:3 ~hi:40 ~neutral:0
+          ~map:(fun lo hi ->
+            let s = ref 0 in
+            for i = lo to hi - 1 do
+              s := !s + i
+            done;
+            !s)
+          ~combine:( + )
+      in
+      let expected = (39 * 40 / 2) - (2 * 3 / 2) in
+      check_int (Printf.sprintf "sum at jobs=%d" jobs) expected total)
+    [ 1; 2; 3; 4; 7; 64 ]
+
+let test_par_mrc_empty () =
+  check_int "empty range yields neutral" 42
+    (Par.map_reduce_chunks ~jobs:4 ~lo:5 ~hi:5 ~neutral:42
+       ~map:(fun _ _ -> 0)
+       ~combine:( + ))
+
+let test_par_mrc_deterministic () =
+  (* Chunk-order folding: a non-commutative combine (list append) gives the
+     same result at every jobs count. *)
+  let collect jobs =
+    Par.map_reduce_chunks ~jobs ~lo:0 ~hi:23 ~neutral:[]
+      ~map:(fun lo hi -> List.init (hi - lo) (fun k -> lo + k))
+      ~combine:( @ )
+  in
+  let seq = collect 1 in
+  List.iter
+    (fun jobs ->
+      check_true
+        (Printf.sprintf "order preserved at jobs=%d" jobs)
+        (collect jobs = seq))
+    [ 2; 4; 5; 23 ]
+
+let test_par_pool_lifecycle () =
+  let pool = Par.create ~num_domains:2 () in
+  check_int "two workers" 2 (Par.num_domains pool);
+  let r = Par.run ~pool (Array.init 5 (fun i () -> i + 1)) in
+  check_int "pool computes" 5 r.(4);
+  Par.shutdown pool;
+  check_int "workers joined" 0 (Par.num_domains pool)
+
+let test_par_resolve_jobs () =
+  check_int "explicit wins" 6 (Par.resolve_jobs (Some 6));
+  check_int "clamped to 1" 1 (Par.resolve_jobs (Some 0));
+  let saved = Par.default_jobs () in
+  Par.set_default_jobs 3;
+  check_int "ambient default" 3 (Par.resolve_jobs None);
+  Par.set_default_jobs saved
+
 let suite =
   [
     ( "prelude.rng",
@@ -384,6 +459,16 @@ let suite =
         case "summary" test_summary_nonempty;
         prop_percentile_bounds;
         prop_spearman_range;
+      ] );
+    ( "prelude.parallel",
+      [
+        case "run returns in order" test_par_run_order;
+        case "run propagates exceptions" test_par_run_exn;
+        case "map_reduce covers range once" test_par_mrc_cover;
+        case "map_reduce neutral on empty" test_par_mrc_empty;
+        case "map_reduce jobs-independent" test_par_mrc_deterministic;
+        case "dedicated pool lifecycle" test_par_pool_lifecycle;
+        case "resolve_jobs" test_par_resolve_jobs;
       ] );
     ( "prelude.union_find",
       [ case "basic" test_uf_basic; case "transitive" test_uf_transitive ] );
