@@ -1,0 +1,178 @@
+(* The flat/log-domain kernel benchmark: naive row-matrix sweep vs the
+   optimized flat-layout sweep (sequential and parallel) on GEO-SINR
+   spaces of growing n, plus the digest-keyed analysis cache.  Emits a
+   table and machine-readable BENCH_kernels.json so the speedup, pruning
+   hit-rate and cache behaviour are tracked across PRs.
+
+   The naive kernel below is the pre-optimization sweep kept verbatim
+   (same shape as test/naive_ref.ml): bounds-checked [Decay_space.matrix]
+   rows, inline [log]s in the bisection predicate, no pruning tables.  Its
+   witness must stay bit-for-bit equal to the optimized kernels' at every
+   size — the [identical] column asserts that on each run. *)
+
+module D = Core.Decay.Decay_space
+module Met = Core.Decay.Metricity
+module KS = Core.Decay.Kernel_stats
+module Num = Core.Prelude.Numerics
+module T = Core.Prelude.Table
+
+type witness = Met.witness = { x : int; y : int; z : int; value : float }
+
+let naive_triple_holds ~fxy ~fxz ~fzy z =
+  let t = 1. /. z in
+  exp (t *. log fxz) +. exp (t *. log fzy) >= exp (t *. log fxy)
+
+let naive_zeta_triple ?(tol = 1e-9) fxy fxz fzy =
+  if fxy <= fxz +. fzy then 1.
+  else begin
+    let m = Float.min fxz fzy in
+    let p = naive_triple_holds ~fxy ~fxz ~fzy in
+    if p 1. then 1.
+    else begin
+      let lo = ref 1.
+      and hi = ref (Float.max 1.5 (Num.log2 (fxy /. m) +. 1e-6)) in
+      let iters = ref 0 in
+      while
+        !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) && !iters < 200
+      do
+        incr iters;
+        let mid = 0.5 *. (!lo +. !hi) in
+        if p mid then hi := mid else lo := mid
+      done;
+      !lo
+    end
+  end
+
+let naive_zeta_witness d =
+  let n = D.n d in
+  let f = D.matrix d in
+  let best = ref { x = 0; y = 1; z = 2; value = 1. } in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if y <> x then
+        for z = 0 to n - 1 do
+          if z <> x && z <> y then begin
+            let fxy = f.(x).(y) and fxz = f.(x).(z) and fzy = f.(z).(y) in
+            if fxy <= fxz +. fzy then ()
+            else if naive_triple_holds ~fxy ~fxz ~fzy !best.value then ()
+            else begin
+              let v = naive_zeta_triple fxy fxz fzy in
+              if v > !best.value then best := { x; y; z; value = v }
+            end
+          end
+        done
+    done
+  done;
+  !best
+
+let geo_space n =
+  D.of_points ~alpha:3.
+    (Core.Decay.Spaces.random_points (Core.Prelude.Rng.create 2024) ~n
+       ~side:30.)
+
+type entry = {
+  n : int;
+  naive_s : float;
+  opt_seq_s : float;
+  opt_par_s : float;
+  seq_speedup : float;
+  par_speedup : float;
+  identical : bool;
+  pruned_fraction : float;
+  exp_evals : int;
+  bisections : int;
+  cached_s : float;
+}
+
+let run ?(par_jobs = 4) ?(max_n = 512) ?(json_path = "BENCH_kernels.json") ()
+    =
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "flat log-domain kernels: zeta sweep, naive vs optimized \
+            (par jobs=%d)"
+           par_jobs)
+      [ "n"; "naive (ms)"; "opt seq (ms)"; "opt par (ms)"; "seq speedup";
+        "par speedup"; "pruned"; "cached (us)"; "identical" ]
+  in
+  let sizes = List.filter (fun n -> n <= max_n) [ 64; 128; 256; 512 ] in
+  let entries =
+    List.map
+      (fun n ->
+        let space = geo_space n in
+        let reps = if n >= 256 then 2 else 3 in
+        let naive_reps = if n >= 256 then 1 else 2 in
+        let w_naive, naive_s =
+          Micro.time_best ~reps:naive_reps (fun () -> naive_zeta_witness space)
+        in
+        KS.reset ();
+        let w_seq, opt_seq_s =
+          Micro.time_best ~reps (fun () ->
+              Met.zeta_witness ~jobs:1 ~cache:false space)
+        in
+        let stats = KS.snapshot () in
+        let w_par, opt_par_s =
+          Micro.time_best ~reps (fun () ->
+              Met.zeta_witness ~jobs:par_jobs ~cache:false space)
+        in
+        (* Cached lookup: first call populates (a miss), second is the
+           digest-keyed hit we time. *)
+        Met.clear_caches ();
+        ignore (Met.zeta_witness space);
+        let w_cached, cached_s =
+          Micro.time_best ~reps:3 (fun () -> Met.zeta_witness space)
+        in
+        let identical = w_naive = w_seq && w_seq = w_par && w_par = w_cached in
+        let seq_speedup = naive_s /. Float.max 1e-9 opt_seq_s in
+        let par_speedup = naive_s /. Float.max 1e-9 opt_par_s in
+        let pruned_fraction = KS.pruned_fraction stats in
+        T.add_row table
+          [ T.I n; T.F2 (naive_s *. 1e3); T.F2 (opt_seq_s *. 1e3);
+            T.F2 (opt_par_s *. 1e3); T.F2 seq_speedup; T.F2 par_speedup;
+            T.F2 pruned_fraction; T.F2 (cached_s *. 1e6);
+            T.S (string_of_bool identical) ];
+        {
+          n;
+          naive_s;
+          opt_seq_s;
+          opt_par_s;
+          seq_speedup;
+          par_speedup;
+          identical;
+          pruned_fraction;
+          exp_evals = stats.KS.exp_evals;
+          bisections = stats.KS.bisections;
+          cached_s;
+        })
+      sizes
+  in
+  T.print table;
+  let mh, mm = Met.cache_stats () in
+  let oc = open_out json_path in
+  Printf.fprintf oc "{\n  \"benchmark\": \"flat_logdomain_kernels\",\n";
+  Printf.fprintf oc "  \"sweep\": \"zeta\",\n";
+  Printf.fprintf oc "  \"jobs_parallel\": %d,\n" par_jobs;
+  Printf.fprintf oc "  \"domains_available\": %d,\n"
+    (Core.Prelude.Parallel.auto_jobs ());
+  Printf.fprintf oc "  \"cache\": {\"hits\": %d, \"misses\": %d},\n" mh mm;
+  Printf.fprintf oc "  \"results\": [\n";
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"naive_s\": %.6f, \"opt_seq_s\": %.6f, \
+         \"opt_par_s\": %.6f, \"seq_speedup\": %.3f, \"par_speedup\": \
+         %.3f, \"pruned_fraction\": %.4f, \"exp_evals\": %d, \
+         \"bisections\": %d, \"cached_lookup_s\": %.9f, \"identical\": \
+         %b}%s\n"
+        e.n e.naive_s e.opt_seq_s e.opt_par_s e.seq_speedup e.par_speedup
+        e.pruned_fraction e.exp_evals e.bisections e.cached_s e.identical
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "kernel bench written to %s\n%!" json_path;
+  if not (List.for_all (fun e -> e.identical) entries) then begin
+    prerr_endline "FATAL: optimized kernel witness diverged from naive sweep";
+    exit 1
+  end

@@ -2,15 +2,39 @@
    section 5) and then the micro-benchmarks.
 
    Usage:
-     bench/main.exe                run everything
-     bench/main.exe E7 E8          run selected experiments only
-     bench/main.exe --no-micro     skip the bechamel micro-benchmarks *)
+     bench/main.exe                     run everything
+     bench/main.exe E7 E8               run selected experiments only
+     bench/main.exe --no-micro          skip the bechamel micro-benchmarks
+     bench/main.exe --no-kernels        skip the flat-kernel benchmark
+     bench/main.exe --kernels-only      run only the flat-kernel benchmark
+     bench/main.exe --kernels-max-n N   cap the kernel benchmark size *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_micro = List.mem "--no-micro" args in
+  let no_kernels = List.mem "--no-kernels" args in
+  let kernels_only = List.mem "--kernels-only" args in
+  let kernels_max_n =
+    let rec find = function
+      | "--kernels-max-n" :: v :: _ -> int_of_string v
+      | _ :: rest -> find rest
+      | [] -> 512
+    in
+    find args
+  in
+  if kernels_only then begin
+    Kernels.run ~max_n:kernels_max_n ();
+    exit 0
+  end;
   let selected =
-    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+    let rec drop_flags = function
+      | "--kernels-max-n" :: _ :: rest -> drop_flags rest
+      | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
+          drop_flags rest
+      | a :: rest -> a :: drop_flags rest
+      | [] -> []
+    in
+    drop_flags args
   in
   print_endline "Beyond Geometry (PODC 2014) — claim-reproduction harness";
   print_endline
@@ -37,4 +61,5 @@ let () =
     Micro.run ();
     Micro.run_parallel ()
   end;
+  if not no_kernels then Kernels.run ~max_n:kernels_max_n ();
   if not (Bg_experiments.Registry.all_pass verdicts) then exit 1

@@ -151,13 +151,16 @@ let run_parallel ?(par_jobs = 4) ?(json_path = "BENCH_parallel.json") () =
                ~n ~side:30.)
         in
         let reps = if n >= 256 then 2 else 3 in
+        (* [~cache:false]: timing must exercise the sweep, not the
+           digest-keyed analysis cache. *)
         let w_seq, t_seq =
           time_best ~reps (fun () ->
-              Core.Decay.Metricity.zeta_witness ~jobs:1 space)
+              Core.Decay.Metricity.zeta_witness ~jobs:1 ~cache:false space)
         in
         let w_par, t_par =
           time_best ~reps (fun () ->
-              Core.Decay.Metricity.zeta_witness ~jobs:par_jobs space)
+              Core.Decay.Metricity.zeta_witness ~jobs:par_jobs ~cache:false
+                space)
         in
         let identical = w_seq = w_par in
         let speedup = t_seq /. Float.max 1e-9 t_par in

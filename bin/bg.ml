@@ -45,21 +45,32 @@ let gamma_at =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Decay matrix CSV.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Recompute zeta/phi/gamma even when a digest-keyed cached result exists.")
+
 let analyze_cmd =
-  let run file gamma_at jobs =
+  let run file gamma_at jobs no_cache =
     let jobs = apply_jobs jobs in
     let space = space_of_file file in
     let report =
       Core.Analysis.run
         ~config:
-          { Core.Analysis.gamma_at; exact_limit = None; jobs = Some jobs }
+          {
+            Core.Analysis.gamma_at;
+            exact_limit = None;
+            jobs = Some jobs;
+            cache = not no_cache;
+          }
         space
     in
     Core.Prelude.Table.print (Core.Analysis.to_table report)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute every decay-space parameter of a matrix.")
-    Term.(const run $ file_arg $ gamma_at $ jobs_arg)
+    Term.(const run $ file_arg $ gamma_at $ jobs_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------ generate *)
 

@@ -20,15 +20,16 @@ type config = {
   gamma_at : float list;
   exact_limit : int option;
   jobs : int option;
+  cache : bool;
 }
 
-let default = { gamma_at = []; exact_limit = None; jobs = None }
+let default = { gamma_at = []; exact_limit = None; jobs = None; cache = true }
 
 let run ?(config = default) space =
-  let { gamma_at; exact_limit; jobs } = config in
-  let zeta_witness = D.Metricity.zeta_witness ?jobs space in
+  let { gamma_at; exact_limit; jobs; cache } = config in
+  let zeta_witness = D.Metricity.zeta_witness ?jobs ~cache space in
   let zeta = zeta_witness.D.Metricity.value in
-  let phi = D.Metricity.phi ?jobs space in
+  let phi = D.Metricity.phi ?jobs ~cache space in
   let assouad = D.Dimension.assouad ?exact_limit space in
   {
     name = D.Decay_space.name space;
@@ -45,12 +46,12 @@ let run ?(config = default) space =
     is_fading_space = assouad < 1.;
     gamma =
       List.map
-        (fun r -> (r, D.Fading.gamma ?exact_limit ?jobs space ~r))
+        (fun r -> (r, D.Fading.gamma ?exact_limit ?jobs ~cache space ~r))
         gamma_at;
   }
 
 let analyze ?(gamma_at = []) ?exact_limit ?jobs space =
-  run ~config:{ gamma_at; exact_limit; jobs } space
+  run ~config:{ gamma_at; exact_limit; jobs; cache = true } space
 
 let to_table r =
   let open Bg_prelude.Table in

@@ -29,6 +29,11 @@ type config = {
       (** parallelism for the triple sweeps; [None] defers to
           {!Bg_prelude.Parallel.default_jobs}.  Results are identical at
           every job count. *)
+  cache : bool;
+      (** reuse zeta/phi/gamma results memoized under the space's content
+          digest ({!Bg_decay.Decay_space.digest}); a second [run] on a
+          bit-identical matrix performs no triple-sweep work (default
+          [true]) *)
 }
 (** Knobs for {!run}.  Build one with record update on {!default} so new
     fields don't break call sites: [{ default with jobs = Some 4 }]. *)

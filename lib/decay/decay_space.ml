@@ -1,15 +1,39 @@
-type t = { n : int; f : float array array; name : string }
+(* A decay space stored as a flat row-major [float array] ([f(p,q)] at
+   index [p*n + q]), plus lazily built companion arrays that the O(n^3)
+   analysis kernels stream over:
 
-let validate name f =
-  let n = Array.length f in
-  Array.iter
-    (fun row ->
-      if Array.length row <> n then
-        invalid_arg (name ^ ": decay matrix is not square"))
-    f;
+   - [logs]:      natural log of every decay (diagonal: [neg_infinity]),
+                  so the metricity bisection never calls [log] per triple;
+   - [trans]:     the transpose, so the inner z-loop of a triple sweep
+                  reads [f(z,y)] as a sequential row instead of striding
+                  [n] floats per step;
+   - [log_trans]: the transpose of [logs];
+   - [key]:       a content digest (MD5 over the raw float bytes) keying
+                  the analysis cache: equal matrices — regardless of name —
+                  share cached zeta/phi/gamma results.
+
+   The companions are built at most once, on first request, by whichever
+   thread asks first; the kernels request them before fanning out over the
+   domain pool, so workers only ever read fully built arrays.  A benign
+   race between two top-level callers builds the same content twice and
+   keeps either copy.  The flat array itself is never mutated after
+   validation, which is what makes the digest stable and the views safe
+   to hand out without copying. *)
+
+type t = {
+  n : int;
+  flat : float array;
+  name : string;
+  mutable logs : float array;      (* [||] until built *)
+  mutable trans : float array;     (* [||] until built *)
+  mutable log_trans : float array; (* [||] until built *)
+  mutable key : string;            (* "" until built *)
+}
+
+let validate_flat name n flat =
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
-      let v = f.(i).(j) in
+      let v = flat.((i * n) + j) in
       if not (Float.is_finite v) then
         invalid_arg (name ^ ": non-finite decay");
       if i = j && v <> 0. then invalid_arg (name ^ ": nonzero diagonal decay");
@@ -18,16 +42,33 @@ let validate name f =
     done
   done
 
+let make name n flat =
+  validate_flat name n flat;
+  { n; flat; name; logs = [||]; trans = [||]; log_trans = [||]; key = "" }
+
 let of_matrix ?(name = "decay") m =
-  validate name m;
-  { n = Array.length m; f = Array.map Array.copy m; name }
+  let n = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg (name ^ ": decay matrix is not square"))
+    m;
+  let flat = Array.make (n * n) 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      flat.((i * n) + j) <- m.(i).(j)
+    done
+  done;
+  make name n flat
 
 let of_fn ?(name = "decay") n fn =
-  let f =
-    Array.init n (fun i -> Array.init n (fun j -> if i = j then 0. else fn i j))
-  in
-  validate name f;
-  { n; f; name }
+  let flat = Array.make (max 0 (n * n)) 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      flat.((i * n) + j) <- (if i = j then 0. else fn i j)
+    done
+  done;
+  make name n flat
 
 let of_metric ?(name = "geo") ~alpha (m : Bg_geom.Metric.t) =
   if alpha <= 0. then invalid_arg "Decay_space.of_metric: alpha must be positive";
@@ -43,20 +84,89 @@ let rename name d = { d with name }
 let decay d p q =
   if p < 0 || p >= d.n || q < 0 || q >= d.n then
     invalid_arg "Decay_space.decay: node out of range";
-  d.f.(p).(q)
+  d.flat.((p * d.n) + q)
+
+let unsafe_get d p q = Array.unsafe_get d.flat ((p * d.n) + q)
 
 let gain d p q =
   let f = decay d p q in
   if f = 0. then infinity else 1. /. f
 
-let matrix d = Array.map Array.copy d.f
+let matrix d =
+  Array.init d.n (fun i -> Array.sub d.flat (i * d.n) d.n)
+
+(* ------------------------------------------------------- internal views *)
+
+let flat_view d = d.flat
+
+let log_flat_view d =
+  if Array.length d.logs = 0 && d.n > 0 then begin
+    let m = Array.length d.flat in
+    let l = Array.make m neg_infinity in
+    for i = 0 to m - 1 do
+      let v = Array.unsafe_get d.flat i in
+      if v > 0. then Array.unsafe_set l i (log v)
+    done;
+    d.logs <- l
+  end;
+  d.logs
+
+(* Tiled transpose: process 32x32 blocks so both the source rows and the
+   destination rows of a block stay cache-resident while it is turned. *)
+let transpose_of n src =
+  let dst = Array.make (Array.length src) 0. in
+  let b = 32 in
+  let ib = ref 0 in
+  while !ib < n do
+    let i_hi = min n (!ib + b) in
+    let jb = ref 0 in
+    while !jb < n do
+      let j_hi = min n (!jb + b) in
+      for i = !ib to i_hi - 1 do
+        for j = !jb to j_hi - 1 do
+          Array.unsafe_set dst ((j * n) + i)
+            (Array.unsafe_get src ((i * n) + j))
+        done
+      done;
+      jb := !jb + b
+    done;
+    ib := !ib + b
+  done;
+  dst
+
+let transpose_view d =
+  if Array.length d.trans = 0 && d.n > 0 then
+    d.trans <- transpose_of d.n d.flat;
+  d.trans
+
+let log_transpose_view d =
+  if Array.length d.log_trans = 0 && d.n > 0 then
+    d.log_trans <- transpose_of d.n (log_flat_view d);
+  d.log_trans
+
+let digest d =
+  if d.key = "" then begin
+    let m = Array.length d.flat in
+    let b = Bytes.create (8 * m) in
+    for i = 0 to m - 1 do
+      Bytes.set_int64_le b (8 * i) (Int64.bits_of_float d.flat.(i))
+    done;
+    d.key <- Digest.bytes b
+  end;
+  d.key
+
+(* ----------------------------------------------------------- transforms *)
 
 let is_symmetric ?(eps = 1e-9) d =
   let ok = ref true in
   for i = 0 to d.n - 1 do
     for j = i + 1 to d.n - 1 do
-      if not (Bg_prelude.Numerics.feq ~eps d.f.(i).(j) d.f.(j).(i)) then
-        ok := false
+      if
+        not
+          (Bg_prelude.Numerics.feq ~eps
+             d.flat.((i * d.n) + j)
+             d.flat.((j * d.n) + i))
+      then ok := false
     done
   done;
   !ok
@@ -66,7 +176,7 @@ let off_diagonal_fold op init d =
   let acc = ref init in
   for i = 0 to d.n - 1 do
     for j = 0 to d.n - 1 do
-      if i <> j then acc := op !acc d.f.(i).(j)
+      if i <> j then acc := op !acc d.flat.((i * d.n) + j)
     done
   done;
   !acc
@@ -76,14 +186,25 @@ let max_decay d = off_diagonal_fold Float.max 0. d
 
 let scale k d =
   if k <= 0. then invalid_arg "Decay_space.scale: factor must be positive";
-  { d with f = Array.map (Array.map (fun x -> k *. x)) d.f }
+  {
+    n = d.n;
+    flat = Array.map (fun x -> k *. x) d.flat;
+    name = d.name;
+    logs = [||]; trans = [||]; log_trans = [||]; key = "";
+  }
 
 let pow e d =
   if e <= 0. then invalid_arg "Decay_space.pow: exponent must be positive";
-  { d with f = Array.map (Array.map (fun x -> if x = 0. then 0. else x ** e)) d.f }
+  {
+    n = d.n;
+    flat = Array.map (fun x -> if x = 0. then 0. else x ** e) d.flat;
+    name = d.name;
+    logs = [||]; trans = [||]; log_trans = [||]; key = "";
+  }
 
 let symmetrize d =
-  of_fn ~name:(d.name ^ "/sym") d.n (fun i j -> Float.max d.f.(i).(j) d.f.(j).(i))
+  of_fn ~name:(d.name ^ "/sym") d.n (fun i j ->
+      Float.max d.flat.((i * d.n) + j) d.flat.((j * d.n) + i))
 
 let sub_space d idx =
   Array.iter
@@ -91,10 +212,10 @@ let sub_space d idx =
       if i < 0 || i >= d.n then invalid_arg "Decay_space.sub_space: index range")
     idx;
   of_fn ~name:(d.name ^ "/sub") (Array.length idx) (fun i j ->
-      d.f.(idx.(i)).(idx.(j)))
+      d.flat.((idx.(i) * d.n) + idx.(j)))
 
 let map fn d =
-  of_fn ~name:d.name d.n (fun i j -> fn i j d.f.(i).(j))
+  of_fn ~name:d.name d.n (fun i j -> fn i j d.flat.((i * d.n) + j))
 
 let pp fmt d =
   if d.n < 2 then Format.fprintf fmt "%s: %d node(s)" d.name d.n

@@ -41,6 +41,10 @@ val rename : string -> t -> t
 val decay : t -> int -> int -> float
 (** [decay d p q] is [f(p,q)].  Bounds-checked. *)
 
+val unsafe_get : t -> int -> int -> float
+(** [unsafe_get d p q] is [f(p,q)] with no bounds check — for inner loops
+    whose indices are proven in range by construction. *)
+
 val gain : t -> int -> int -> float
 (** [gain d p q = 1 / f(p,q)]; [infinity] when [p = q]. *)
 
@@ -79,3 +83,35 @@ val map : (int -> int -> float -> float) -> t -> t
 
 val pp : Format.formatter -> t -> unit
 (** Short description: name, size, decay range. *)
+
+(** {1 Zero-copy kernel views}
+
+    The O(n^3) sweeps in {!Metricity} and the MIS loops in {!Fading} read
+    the decay matrix through these borrowed views instead of the
+    defensively copied {!matrix}.  All views are row-major [n*n] float
+    arrays owned by the space: {b never mutate them}.  The lazy companions
+    are built at most once, on first request; request them on the calling
+    thread before fanning work out over the domain pool. *)
+
+val flat_view : t -> float array
+(** The decay matrix itself, row-major: [f(p,q)] at index [p*n + q].
+    Borrowed, read-only, zero-copy. *)
+
+val log_flat_view : t -> float array
+(** Natural logs of the decays, row-major, built lazily on first use
+    (diagonal entries are [neg_infinity]).  Lets the metricity bisection
+    reuse [log f] instead of calling [log] per triple. *)
+
+val transpose_view : t -> float array
+(** The transposed decay matrix ([f(q,p)] at index [p*n + q]), built
+    lazily with a cache-blocked transpose.  Turns the column accesses of
+    the triple sweeps into sequential row streams. *)
+
+val log_transpose_view : t -> float array
+(** Transpose of {!log_flat_view}, built lazily. *)
+
+val digest : t -> string
+(** A content digest of the decay matrix (MD5 over the raw float bytes),
+    computed lazily and cached.  Two spaces with bit-identical matrices
+    share a digest regardless of {!name} — the key of the analysis
+    cache. *)

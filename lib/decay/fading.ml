@@ -1,3 +1,5 @@
+module Memo = Bg_prelude.Memo
+
 let is_separated d ~r nodes =
   let rec pairs = function
     | [] -> true
@@ -60,21 +62,34 @@ let weighted_mis ~weights ~compat =
 
 let gamma_z ?(exact_limit = 24) d ~z ~r =
   let n = Decay_space.n d in
+  (* Flat views: [zrow] is row z of the matrix (decay z -> x) and [zcol]
+     is row z of the transpose (decay x -> z).  Built lazily once per
+     space and shared by every listener. *)
+  let f = Decay_space.flat_view d in
+  let ft = Decay_space.transpose_view d in
+  let zrow = z * n in
+  (* The inverse-decay weight row 1/f(x,z), computed once per listener z:
+     the candidate weights below and any interference sums index into it
+     instead of re-dividing inside the MIS search. *)
+  let inv_w = Array.init n (fun x -> 1. /. Array.unsafe_get ft (zrow + x)) in
   (* Candidates: nodes r-separated from z itself (z is part of the
      separated configuration, as in Theorem 2's proof where the listener
      belongs to the r-separated set S). *)
   let candidates = ref [] in
   for x = n - 1 downto 0 do
-    if x <> z && Decay_space.decay d x z >= r && Decay_space.decay d z x >= r
+    if
+      x <> z
+      && Array.unsafe_get ft (zrow + x) >= r
+      && Array.unsafe_get f (zrow + x) >= r
     then candidates := x :: !candidates
   done;
   let arr = Array.of_list !candidates in
   let k = Array.length arr in
-  let weights = Array.map (fun x -> 1. /. Decay_space.decay d x z) arr in
+  let weights = Array.map (fun x -> Array.unsafe_get inv_w x) arr in
   let compat i j =
     i = j
-    || (Decay_space.decay d arr.(i) arr.(j) >= r
-       && Decay_space.decay d arr.(j) arr.(i) >= r)
+    || (Array.unsafe_get f ((arr.(i) * n) + arr.(j)) >= r
+       && Array.unsafe_get f ((arr.(j) * n) + arr.(i)) >= r)
   in
   if k = 0 then (0., [])
   else begin
@@ -96,11 +111,16 @@ let gamma_z ?(exact_limit = 24) d ~z ~r =
     (r *. value, List.map (fun i -> arr.(i)) set)
   end
 
-let gamma ?exact_limit ?jobs d ~r =
+let gamma_cache : (string * float * int, float) Memo.t =
+  Memo.create ~max_size:512 ()
+
+let gamma_sweep ?exact_limit ~jobs d ~r =
   let module Par = Bg_prelude.Parallel in
-  Par.map_reduce_chunks
-    ~jobs:(Par.resolve_jobs jobs)
-    ~lo:0 ~hi:(Decay_space.n d) ~neutral:0.
+  (* Force the lazy views on the caller's thread before fanning out. *)
+  ignore (Decay_space.flat_view d);
+  ignore (Decay_space.transpose_view d);
+  Kernel_stats.add Kernel_stats.sweeps 1;
+  Par.map_reduce_chunks ~jobs ~lo:0 ~hi:(Decay_space.n d) ~neutral:0.
     ~map:(fun lo hi ->
       let best = ref 0. in
       for z = lo to hi - 1 do
@@ -109,6 +129,20 @@ let gamma ?exact_limit ?jobs d ~r =
       done;
       !best)
     ~combine:(fun a b -> if b > a then b else a)
+
+let gamma ?exact_limit ?jobs ?(cache = true) d ~r =
+  let jobs = Bg_prelude.Parallel.resolve_jobs jobs in
+  let compute () = gamma_sweep ?exact_limit ~jobs d ~r in
+  if cache then
+    let el = match exact_limit with None -> min_int | Some k -> k in
+    Memo.find_or_add gamma_cache (Decay_space.digest d, r, el) compute
+  else compute ()
+
+let cache_stats () = (Memo.hits gamma_cache, Memo.misses gamma_cache)
+
+let clear_caches () =
+  Memo.clear gamma_cache;
+  Memo.reset_stats gamma_cache
 
 let theorem2_bound ~c ~a =
   if a >= 1. then invalid_arg "Fading.theorem2_bound: requires A < 1";

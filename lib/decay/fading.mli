@@ -21,11 +21,21 @@ val gamma_z :
     small candidate sets (default limit 24), by greedy + swap local search
     otherwise (then a lower bound). *)
 
-val gamma : ?exact_limit:int -> ?jobs:int -> Decay_space.t -> r:float -> float
+val gamma :
+  ?exact_limit:int -> ?jobs:int -> ?cache:bool -> Decay_space.t -> r:float ->
+  float
 (** The fading parameter [max_z gamma_z(r)].  [jobs] chunks the sweep over
     listener nodes across the domain pool (default
     {!Bg_prelude.Parallel.default_jobs}); the result is identical at every
-    job count. *)
+    job count.  [cache] (default [true]) memoizes the result under
+    [(digest, r, exact_limit)] — see {!Metricity.cache_stats} for the
+    zeta/phi side of the analysis cache. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the gamma cache. *)
+
+val clear_caches : unit -> unit
+(** Drop all cached gamma results and zero the hit/miss counters. *)
 
 val theorem2_bound : c:float -> a:float -> float
 (** Theorem 2's closed form [C * 2^(A+1) * (zetahat(2-A) - 1)]; requires

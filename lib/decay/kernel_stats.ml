@@ -1,0 +1,61 @@
+(* Global diagnostics for the optimized sweep kernels.
+
+   Counters are atomics so parallel chunks can flush without locks; each
+   chunk accumulates in plain locals and publishes once on exit, so the
+   per-triple cost of instrumentation is zero.  The numbers are
+   diagnostics (bench hit-rates, cache-effectiveness tests), never inputs
+   to any computation. *)
+
+type snapshot = {
+  sweeps : int;        (* full sweeps actually executed (cache misses) *)
+  triples : int;       (* ordered triples covered by executed zeta/phi sweeps *)
+  plain_skips : int;   (* dismissed by the plain triangle inequality *)
+  cheap_skips : int;   (* dismissed by the log-domain incumbent bound *)
+  deep : int;          (* reached the exp check / bisection stage *)
+  exp_evals : int;     (* ran the 3-exp holds test *)
+  bisections : int;    (* ran the full bisection *)
+  row_prunes : int;    (* whole rows skipped by the row bound *)
+  pair_prunes : int;   (* whole z-loops skipped by the pair bound *)
+  tile_prunes : int;   (* z-tiles skipped by the tile bound *)
+}
+
+let sweeps = Atomic.make 0
+let triples = Atomic.make 0
+let plain_skips = Atomic.make 0
+let cheap_skips = Atomic.make 0
+let deep = Atomic.make 0
+let exp_evals = Atomic.make 0
+let bisections = Atomic.make 0
+let row_prunes = Atomic.make 0
+let pair_prunes = Atomic.make 0
+let tile_prunes = Atomic.make 0
+
+let all =
+  [ sweeps; triples; plain_skips; cheap_skips; deep; exp_evals; bisections;
+    row_prunes; pair_prunes; tile_prunes ]
+
+let reset () = List.iter (fun a -> Atomic.set a 0) all
+
+let add a k = if k <> 0 then ignore (Atomic.fetch_and_add a k)
+
+let snapshot () =
+  {
+    sweeps = Atomic.get sweeps;
+    triples = Atomic.get triples;
+    plain_skips = Atomic.get plain_skips;
+    cheap_skips = Atomic.get cheap_skips;
+    deep = Atomic.get deep;
+    exp_evals = Atomic.get exp_evals;
+    bisections = Atomic.get bisections;
+    row_prunes = Atomic.get row_prunes;
+    pair_prunes = Atomic.get pair_prunes;
+    tile_prunes = Atomic.get tile_prunes;
+  }
+
+(* Fraction of covered triples never even loaded from memory: everything
+   the row/pair/tile bounds eliminated wholesale. *)
+let pruned_fraction s =
+  if s.triples = 0 then 0.
+  else
+    float_of_int (s.triples - s.plain_skips - s.cheap_skips - s.deep)
+    /. float_of_int s.triples

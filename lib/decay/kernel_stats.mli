@@ -1,0 +1,42 @@
+(** Diagnostics counters for the optimized sweep kernels.
+
+    Process-global, race-safe (atomics, flushed once per parallel chunk),
+    and purely observational: they feed the kernel bench's pruning
+    hit-rates and the analysis-cache tests, and never influence results.
+    [reset] before a measured region, [snapshot] after. *)
+
+type snapshot = {
+  sweeps : int;        (** full sweeps actually executed (cache misses) *)
+  triples : int;       (** ordered triples covered by executed ζ/ϕ sweeps *)
+  plain_skips : int;   (** dismissed by the plain triangle inequality *)
+  cheap_skips : int;   (** dismissed by the log-domain incumbent bound *)
+  deep : int;          (** reached the exp check / bisection stage *)
+  exp_evals : int;     (** ran the 3-exp holds test *)
+  bisections : int;    (** ran the full bisection *)
+  row_prunes : int;    (** whole rows skipped by the row bound *)
+  pair_prunes : int;   (** whole z-loops skipped by the pair bound *)
+  tile_prunes : int;   (** z-tiles skipped by the tile bound *)
+}
+
+val reset : unit -> unit
+val snapshot : unit -> snapshot
+
+val pruned_fraction : snapshot -> float
+(** Fraction of covered triples eliminated wholesale by the row/pair/tile
+    bounds (never touched by the inner loop). *)
+
+(**/**)
+
+(* Internal: used by the kernels to publish per-chunk tallies. *)
+
+val sweeps : int Atomic.t
+val triples : int Atomic.t
+val plain_skips : int Atomic.t
+val cheap_skips : int Atomic.t
+val deep : int Atomic.t
+val exp_evals : int Atomic.t
+val bisections : int Atomic.t
+val row_prunes : int Atomic.t
+val pair_prunes : int Atomic.t
+val tile_prunes : int Atomic.t
+val add : int Atomic.t -> int -> unit

@@ -1,5 +1,7 @@
 module Num = Bg_prelude.Numerics
 module Par = Bg_prelude.Parallel
+module Memo = Bg_prelude.Memo
+module K = Kernel_stats
 
 type witness = { x : int; y : int; z : int; value : float }
 
@@ -8,6 +10,14 @@ type witness = { x : int; y : int; z : int; value : float }
 let triple_holds ~fxy ~fxz ~fzy z =
   let t = 1. /. z in
   exp (t *. log fxz) +. exp (t *. log fzy) >= exp (t *. log fxy)
+
+(* The same predicate over precomputed logs.  Bit-identical to
+   [triple_holds] whenever [lxy = log fxy] etc., because [log] is
+   deterministic: the kernels below rely on this to reproduce the naive
+   sweep exactly while never calling [log] inside a loop. *)
+let holds_logs ~lxy ~lxz ~lzy z =
+  let t = 1. /. z in
+  exp (t *. lxz) +. exp (t *. lzy) >= exp (t *. lxy)
 
 let zeta_triple ?(tol = 1e-9) fxy fxz fzy =
   if fxy <= fxz +. fzy then 1.
@@ -37,51 +47,374 @@ let zeta_triple ?(tol = 1e-9) fxy fxz fzy =
     end
   end
 
-(* Fold [step] over all ordered triples of distinct nodes whose first
-   coordinate lies in [x_lo, x_hi) — the chunkable unit of every triple
-   sweep below.  The full sweep is the [0, n) range. *)
-let fold_triples_range d ~x_lo ~x_hi init step =
+(* [zeta_triple] for a triple already known to violate the plain triangle
+   inequality, with the logs precomputed: the bisection predicate reuses
+   them, so the loop runs exp-only.  Same control flow, same floats, same
+   result as the tail of [zeta_triple]. *)
+let zeta_triple_logs ~tol ~fxy ~fxz ~fzy ~lxy ~lxz ~lzy =
+  let p z = holds_logs ~lxy ~lxz ~lzy z in
+  if p 1. then 1.
+  else begin
+    let m = Float.min fxz fzy in
+    let lo = ref 1.
+    and hi = ref (Float.max 1.5 (Num.log2 (fxy /. m) +. 1e-6)) in
+    let iters = ref 0 in
+    while !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) && !iters < 200 do
+      incr iters;
+      let mid = 0.5 *. (!lo +. !hi) in
+      if p mid then hi := mid else lo := mid
+    done;
+    !lo
+  end
+
+(* ------------------------------------------------- pruning bound tables *)
+
+(* Per-row / per-column extrema of the off-diagonal decays, in both the
+   raw and the log domain, plus tile-granular minima when the space is
+   large enough for cache-blocked iteration.  O(n^2) to build — noise
+   against the O(n^3) sweeps they prune.
+
+   The pruning invariants (see doc page "flat kernels"):
+
+   - zeta: by AM-GM, [fxz^t + fzy^t >= 2 (fxz fzy)^(t/2)] for t = 1/z > 0,
+     so the threshold of a violating triple (x,y,z) is at most
+     lg2 (fxy / sqrt (fxz * fzy)) — in log domain
+     [lxy - (lxz + lzy)/2 <= ln2 * incumbent] proves the triple holds at
+     the incumbent and can be skipped.  (This geometric-mean bound strictly
+     dominates the min-side bound lg2 (fxy / min (fxz, fzy)): on geometric
+     spaces it dismisses every triple whose two legs are within a ~5.8x
+     ratio, which is nearly all of them.)  Substituting row/column/tile/
+     global minima for [lxz] and [lzy] only weakens (never falsifies) the
+     test, giving sound pair-, row- and tile-level skips.
+   - phi: [v = fxy /. (fxz +. fzy)] and float [+.], [/.] are monotone, so
+     [fxy /. (row_min + col_min)] computed in float arithmetic is an exact
+     upper bound for every v in the z-loop — bounds at every granularity
+     are safe without any epsilon margin.
+   - All skips are justified against the CURRENT incumbent, which only
+     grows along the naive visit order; a skipped triple is exactly one
+     the naive sweep would have visited and left the incumbent unchanged
+     on, so witnesses stay bit-for-bit identical. *)
+
+let ln2 = log 2.
+
+(* Margin covering float rounding of the log-domain bound vs the exp-based
+   predicate: triples within the margin fall through to the exact check. *)
+let prune_margin = 1e-9
+
+let tile_size = 256
+let tile_threshold = 512
+
+(* Strict lower bounds of [e^(-j/8)] for j = 0..512 (so down to w = -64):
+   libm's [exp] is within 1 ulp (~2.3e-16 relative), so scaling by
+   (1 - 1e-13) makes every entry a rigorous underestimate.  The sweep
+   combines [exp_lb.(j)] with a truncated alternating series for the
+   fractional part to lower-bound [e^w] without calling [exp]. *)
+let exp_lb =
+  Array.init 513 (fun j -> exp (-0.125 *. float_of_int j) *. (1. -. 1e-13))
+
+type bounds = {
+  row_lmin : float array;
+  row_lmax : float array;
+  col_lmin : float array;
+  gmin_l : float;
+  row_fmin : float array;
+  row_fmax : float array;
+  col_fmin : float array;
+  gmin_f : float;
+  ntiles : int; (* 0 = tiling disabled *)
+  row_tlmin : float array; (* x * ntiles + t *)
+  col_tlmin : float array;
+  row_tfmin : float array;
+  col_tfmin : float array;
+}
+
+let build_bounds d =
   let n = Decay_space.n d in
-  let f = Decay_space.matrix d in
-  let acc = ref init in
-  for x = x_lo to x_hi - 1 do
-    for y = 0 to n - 1 do
-      if y <> x then
-        for z = 0 to n - 1 do
-          if z <> x && z <> y then
-            acc := step !acc ~x ~y ~z ~fxy:f.(x).(y) ~fxz:f.(x).(z) ~fzy:f.(z).(y)
-        done
+  let f = Decay_space.flat_view d in
+  let lg = Decay_space.log_flat_view d in
+  let ft = Decay_space.transpose_view d in
+  let lt = Decay_space.log_transpose_view d in
+  let ntiles =
+    if n >= tile_threshold then (n + tile_size - 1) / tile_size else 0
+  in
+  let row_lmin = Array.make n infinity
+  and row_lmax = Array.make n neg_infinity
+  and col_lmin = Array.make n infinity
+  and row_fmin = Array.make n infinity
+  and row_fmax = Array.make n neg_infinity
+  and col_fmin = Array.make n infinity in
+  let row_tlmin = Array.make (max 1 (n * ntiles)) infinity
+  and col_tlmin = Array.make (max 1 (n * ntiles)) infinity
+  and row_tfmin = Array.make (max 1 (n * ntiles)) infinity
+  and col_tfmin = Array.make (max 1 (n * ntiles)) infinity in
+  for i = 0 to n - 1 do
+    let base = i * n in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let v = Array.unsafe_get f (base + j)
+        and l = Array.unsafe_get lg (base + j)
+        and vt = Array.unsafe_get ft (base + j)
+        and ltv = Array.unsafe_get lt (base + j) in
+        if v < row_fmin.(i) then row_fmin.(i) <- v;
+        if v > row_fmax.(i) then row_fmax.(i) <- v;
+        if l < row_lmin.(i) then row_lmin.(i) <- l;
+        if l > row_lmax.(i) then row_lmax.(i) <- l;
+        if vt < col_fmin.(i) then col_fmin.(i) <- vt;
+        if ltv < col_lmin.(i) then col_lmin.(i) <- ltv;
+        if ntiles > 0 then begin
+          let t = (i * ntiles) + (j / tile_size) in
+          if l < row_tlmin.(t) then row_tlmin.(t) <- l;
+          if ltv < col_tlmin.(t) then col_tlmin.(t) <- ltv;
+          if v < row_tfmin.(t) then row_tfmin.(t) <- v;
+          if vt < col_tfmin.(t) then col_tfmin.(t) <- vt
+        end
+      end
     done
   done;
-  !acc
+  let gmin_l = Array.fold_left Float.min infinity row_lmin
+  and gmin_f = Array.fold_left Float.min infinity row_fmin in
+  {
+    row_lmin; row_lmax; col_lmin; gmin_l;
+    row_fmin; row_fmax; col_fmin; gmin_f;
+    ntiles; row_tlmin; col_tlmin; row_tfmin; col_tfmin;
+  }
 
 (* Combine chunked best-witnesses: strict improvement only, so on ties the
    left (earlier chunk, hence lexicographically smaller (x,y,z)) witness
    survives — exactly the sequential sweep's tie-breaking. *)
 let better a b = if b.value > a.value then b else a
 
-let zeta_witness ?(tol = 1e-9) ?jobs d =
+(* ----------------------------------------------------------- zeta sweep *)
+
+let zeta_chunk ~tol d bb init x_lo x_hi =
+  let n = Decay_space.n d in
+  let f = Decay_space.flat_view d in
+  let lg = Decay_space.log_flat_view d in
+  let ft = Decay_space.transpose_view d in
+  let lt = Decay_space.log_transpose_view d in
+  let c_plain = ref 0 and c_scanned = ref 0 and c_deep = ref 0
+  and c_exp = ref 0 and c_bis = ref 0
+  and c_rows = ref 0 and c_pairs = ref 0 and c_tiles = ref 0
+  and c_phantom = ref 0 in
+  let best = ref init in
+  (* Mutable hot-loop scalars, kept in a float array so the loop reads
+     them unboxed (a [float ref] would box):
+       [state.(0)] — the geometric-mean skip threshold [cut],
+       [state.(1)] — [1 /. incumbent], the exponent used by the cubic
+                     sandwich test.
+     Both are refreshed at every (x, y) pair and whenever the incumbent
+     grows.  Using a reciprocal computed from an incumbent that was
+     current at refresh time is sound even if it could go stale: a
+     smaller incumbent only makes every test more conservative. *)
+  let state = Array.make 2 0. in
+  (* [tcount = 1] with [bb.ntiles = 0] degenerates the tile loop to a
+     single untruncated z-range, so small and large n share one kernel
+     body (the candidate logic below is deliberately inlined once — as a
+     local closure it cost an indirect call plus environment loads per
+     candidate, ~25 ns on 2.4M calls at n = 256). *)
+  let tcount = if bb.ntiles = 0 then 1 else bb.ntiles in
+  for x = x_lo to x_hi - 1 do
+    let row = x * n in
+    if
+      bb.row_lmax.(x) -. (0.5 *. (bb.row_lmin.(x) +. bb.gmin_l))
+      <= (ln2 *. (!best).value) -. prune_margin
+    then incr c_rows
+    else
+      for y = 0 to n - 1 do
+        if y <> x then begin
+          let fxy = Array.unsafe_get f (row + y) in
+          let lxy = Array.unsafe_get lg (row + y) in
+          let psum = 0.5 *. (bb.row_lmin.(x) +. bb.col_lmin.(y)) in
+          if lxy -. psum <= (ln2 *. (!best).value) -. prune_margin then
+            incr c_pairs
+          else begin
+            let yrow = y * n in
+            (* The z-loop's hot path touches only the two log streams: a
+               triple enters the candidate block iff [lxz + lzy < cut],
+               i.e. the geometric-mean bound cannot dismiss it at the
+               incumbent.  The loop runs over ALL z including x and y —
+               the diagonal zeros route those through the plain-triangle
+               branch ([fxz = 0], [fzy = fxy], so [fxy <= fxz +. fzy]
+               holds) and [c_phantom] backs them out of the counters.
+               The raw plain check lives inside the candidate block: a
+               sound skip needs no raw loads, and a margin-band
+               fall-through that bisects a plain triple is harmless
+               because [zeta_triple_logs] re-checks [fxy <= fxz +. fzy]
+               and returns 1. *)
+            Array.unsafe_set state 0
+              (2. *. (lxy -. ((ln2 *. (!best).value) -. prune_margin)));
+            Array.unsafe_set state 1 (1. /. (!best).value);
+            for t = 0 to tcount - 1 do
+              let lo = t * tile_size in
+              let hi = if bb.ntiles = 0 then n else min n (lo + tile_size) in
+              if
+                bb.ntiles > 0
+                && lxy
+                   -. (0.5
+                      *. (bb.row_tlmin.((x * bb.ntiles) + t)
+                         +. bb.col_tlmin.((y * bb.ntiles) + t)))
+                   <= (ln2 *. (!best).value) -. prune_margin
+              then incr c_tiles
+              else begin
+                for z = lo to hi - 1 do
+                  let lxz = Array.unsafe_get lg (row + z)
+                  and lzy = Array.unsafe_get lt (yrow + z) in
+                  if lxz +. lzy < Array.unsafe_get state 0 then begin
+                    (* Branchless leg split ([Float.abs] compiles to a
+                       sign-mask, no data-dependent branch):
+                         lmax = (lxz + lzy + |lxz - lzy|) / 2,
+                         lmin - lmax = -|lxz - lzy|. *)
+                    let dl = Float.abs (lxz -. lzy) in
+                    let lmax = 0.5 *. (lxz +. lzy +. dl) in
+                    if lxy <= lmax -. prune_margin then
+                      (* fxy < max leg with real-math margin, so the
+                         naive plain-triangle check passes too: a sound
+                         skip with no raw loads. *)
+                      incr c_plain
+                    else begin
+                      (* Normalized log-domain coordinates at the
+                         incumbent:  holds <=> u <= g (w),
+                         g (w) = ln (1 + e^w), with
+                         u = (lxy - lmax)/z >= 0 and
+                         w = (lmin - lmax)/z <= 0.  g''' (0) = 0 and
+                         g'''' >= -1/8 everywhere, so the order-3 Taylor
+                         expansion with its Lagrange remainder gives the
+                         arithmetic-only minorant
+                           ln2 + w/2 + w^2/8 - w^4/192 <= g (w)
+                         and the quartic test can prove 'holds' without
+                         transcendentals.  A diagonal z (z = x or z = y)
+                         has an infinite log and drifts through here as
+                         NaN — every comparison fails and it lands on
+                         the exact plain check in the deep block. *)
+                      let ti = Array.unsafe_get state 1 in
+                      let u = ti *. (lxy -. lmax) in
+                      let w = -. (ti *. dl) in
+                      let w2 = w *. w in
+                      if
+                        u
+                        <= ln2
+                           +. (0.5 *. w)
+                           +. (w2 *. (0.125 -. (w2 *. 0.005208333333333334)))
+                           -. prune_margin
+                      then ()
+                      else begin
+                        (* Second-chance arithmetic bound for the far
+                           tail (w << 0, where the cubic goes negative):
+                           split w = -j/8 - r with j integer and
+                           r in [0, 1/8); then
+                             e^w >= exp_lb.(j) * (1 - r + r^2/2 - r^3/6)
+                           (table entries underestimate e^(-j/8); the
+                           truncated alternating series underestimates
+                           e^(-r)), and with t = p/(p + 2) the artanh
+                           series gives
+                             g (w) = ln (1 + e^w) >= 2t + 2t^3/3
+                           (remaining terms all positive) — a table
+                           load, a short polynomial and one divide
+                           instead of exp + log1p, within ~1e-5 relative
+                           of exact. *)
+                        let p =
+                          if w >= -64. then begin
+                            let j = int_of_float (-8. *. w) in
+                            let r = -.w -. (0.125 *. float_of_int j) in
+                            Array.unsafe_get exp_lb j
+                            *. (1.
+                               -. (r
+                                  *. (1.
+                                     -. (r
+                                        *. (0.5
+                                           -. (r *. 0.16666666666666666))))))
+                          end
+                          else 0.
+                        in
+                        let t' = p /. (2. +. p) in
+                        if
+                          u
+                          <= (t' *. (2. +. (0.6666666666666666 *. t' *. t')))
+                             -. prune_margin
+                        then ()
+                        else begin
+                        (* Only now touch the raw streams: the exact
+                           plain-triangle test (bit-identical to the
+                           naive sweep's) and, past it, the one-exp
+                           sandwich against the margin. *)
+                        let fxz = Array.unsafe_get f (row + z)
+                        and fzy = Array.unsafe_get ft (yrow + z) in
+                        if fxy <= fxz +. fzy then incr c_plain
+                        else begin
+                        incr c_deep;
+                        incr c_exp;
+                        let g = Float.log1p (exp w) in
+                        let b = !best in
+                        let holds =
+                          if u <= g -. prune_margin then true
+                          else if u > g +. prune_margin then
+                            false (* provably fails at the incumbent *)
+                          else holds_logs ~lxy ~lxz ~lzy b.value
+                        in
+                        if not holds then begin
+                          incr c_bis;
+                          let v =
+                            zeta_triple_logs ~tol ~fxy ~fxz ~fzy ~lxy ~lxz
+                              ~lzy
+                          in
+                          if v > b.value then begin
+                            best := { x; y; z; value = v };
+                            Array.unsafe_set state 0
+                              (2. *. (lxy -. ((ln2 *. v) -. prune_margin)));
+                            Array.unsafe_set state 1 (1. /. v)
+                          end
+                        end
+                        end
+                      end
+                      end
+                    end
+                  end
+                done;
+                c_scanned := !c_scanned + (hi - lo);
+                if lo <= x && x < hi then incr c_phantom;
+                if lo <= y && y < hi then incr c_phantom
+              end
+            done
+          end
+        end
+      done
+  done;
+  K.add K.plain_skips (!c_plain - !c_phantom);
+  K.add K.cheap_skips (!c_scanned - !c_plain - !c_deep);
+  K.add K.deep !c_deep;
+  K.add K.exp_evals !c_exp;
+  K.add K.bisections !c_bis;
+  K.add K.row_prunes !c_rows;
+  K.add K.pair_prunes !c_pairs;
+  K.add K.tile_prunes !c_tiles;
+  !best
+
+let zeta_sweep ~tol ~jobs d =
+  let n = Decay_space.n d in
+  (* Build views and bound tables on the caller's thread before fanning
+     out, so pool workers only read fully constructed arrays. *)
+  let bb = build_bounds d in
+  K.add K.sweeps 1;
+  K.add K.triples (n * (n - 1) * (n - 2));
+  let init = { x = 0; y = 1; z = 2; value = 1. } in
+  Par.map_reduce_chunks ~jobs ~lo:0 ~hi:n ~neutral:init
+    ~map:(fun x_lo x_hi -> zeta_chunk ~tol d bb init x_lo x_hi)
+    ~combine:better
+
+let zeta_cache : (string * float, witness) Memo.t = Memo.create ~max_size:256 ()
+let phi_cache : (string, witness) Memo.t = Memo.create ~max_size:256 ()
+
+let zeta_witness ?(tol = 1e-9) ?jobs ?(cache = true) d =
   if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
   else begin
-    let init = { x = 0; y = 1; z = 2; value = 1. } in
-    let step best ~x ~y ~z ~fxy ~fxz ~fzy =
-      (* Fast path: if the inequality already holds at the incumbent zeta,
-         this triple cannot raise the maximum (validity is monotone). *)
-      if fxy <= fxz +. fzy then best
-      else if triple_holds ~fxy ~fxz ~fzy best.value then best
-      else begin
-        let v = zeta_triple ~tol fxy fxz fzy in
-        if v > best.value then { x; y; z; value = v } else best
-      end
-    in
-    Par.map_reduce_chunks
-      ~jobs:(Par.resolve_jobs jobs)
-      ~lo:0 ~hi:(Decay_space.n d) ~neutral:init
-      ~map:(fun x_lo x_hi -> fold_triples_range d ~x_lo ~x_hi init step)
-      ~combine:better
+    let jobs = Par.resolve_jobs jobs in
+    let compute () = zeta_sweep ~tol ~jobs d in
+    if cache then
+      Memo.find_or_add zeta_cache (Decay_space.digest d, tol) compute
+    else compute ()
   end
 
-let zeta ?tol ?jobs d = (zeta_witness ?tol ?jobs d).value
+let zeta ?tol ?jobs ?cache d = (zeta_witness ?tol ?jobs ?cache d).value
 
 let zeta_sampled ?(tol = 1e-9) ~samples rng d =
   let n = Decay_space.n d in
@@ -125,6 +458,7 @@ let zeta_upper_bound ?jobs d =
   let n = Decay_space.n d in
   if n < 2 then 1.
   else begin
+    let f = Decay_space.flat_view d in
     let mn, mx =
       Par.map_reduce_chunks
         ~jobs:(Par.resolve_jobs jobs)
@@ -132,9 +466,10 @@ let zeta_upper_bound ?jobs d =
         ~map:(fun lo hi ->
           let mn = ref infinity and mx = ref 0. in
           for i = lo to hi - 1 do
+            let base = i * n in
             for j = 0 to n - 1 do
               if i <> j then begin
-                let v = Decay_space.decay d i j in
+                let v = Array.unsafe_get f (base + j) in
                 if v < !mn then mn := v;
                 if v > !mx then mx := v
               end
@@ -148,36 +483,161 @@ let zeta_upper_bound ?jobs d =
   end
 
 let holds_at ?jobs d z =
-  Decay_space.n d < 3
-  || Par.map_reduce_chunks
-       ~jobs:(Par.resolve_jobs jobs)
-       ~lo:0 ~hi:(Decay_space.n d) ~neutral:true
-       ~map:(fun x_lo x_hi ->
-         fold_triples_range d ~x_lo ~x_hi true
-           (fun ok ~x:_ ~y:_ ~z:_ ~fxy ~fxz ~fzy ->
-             ok
-             && (fxy <= fxz +. fzy
-                || triple_holds ~fxy ~fxz ~fzy (z +. 1e-7))))
-       ~combine:( && )
+  let n = Decay_space.n d in
+  n < 3
+  ||
+  let z' = z +. 1e-7 in
+  let bb = build_bounds d in
+  let f = Decay_space.flat_view d in
+  let lg = Decay_space.log_flat_view d in
+  let ft = Decay_space.transpose_view d in
+  let lt = Decay_space.log_transpose_view d in
+  let chunk x_lo x_hi =
+    let ok = ref true in
+    let x = ref x_lo in
+    while !ok && !x < x_hi do
+      let x0 = !x in
+      let row = x0 * n in
+      if
+        not
+          (bb.row_lmax.(x0) -. (0.5 *. (bb.row_lmin.(x0) +. bb.gmin_l))
+          <= (ln2 *. z') -. prune_margin)
+      then begin
+        let y = ref 0 in
+        while !ok && !y < n do
+          let y0 = !y in
+          if y0 <> x0 then begin
+            let lxy = Array.unsafe_get lg (row + y0) in
+            let psum = 0.5 *. (bb.row_lmin.(x0) +. bb.col_lmin.(y0)) in
+            if not (lxy -. psum <= (ln2 *. z') -. prune_margin) then begin
+              let fxy = Array.unsafe_get f (row + y0) in
+              let yrow = y0 * n in
+              let zi = ref 0 in
+              while !ok && !zi < n do
+                let z0 = !zi in
+                if z0 <> x0 && z0 <> y0 then begin
+                  let fxz = Array.unsafe_get f (row + z0)
+                  and fzy = Array.unsafe_get ft (yrow + z0) in
+                  if fxy > fxz +. fzy then begin
+                    let lxz = Array.unsafe_get lg (row + z0)
+                    and lzy = Array.unsafe_get lt (yrow + z0) in
+                    if
+                      not
+                        (lxy -. (0.5 *. (lxz +. lzy))
+                        <= (ln2 *. z') -. prune_margin)
+                    then
+                      if
+                        lxy -. Float.max lxz lzy > (ln2 *. z') +. prune_margin
+                      then ok := false (* provably fails at z' *)
+                      else if not (holds_logs ~lxy ~lxz ~lzy z') then
+                        ok := false
+                  end
+                end;
+                incr zi
+              done
+            end
+          end;
+          incr y
+        done
+      end;
+      incr x
+    done;
+    !ok
+  in
+  Par.map_reduce_chunks
+    ~jobs:(Par.resolve_jobs jobs)
+    ~lo:0 ~hi:n ~neutral:true ~map:chunk ~combine:( && )
 
-let phi_witness ?jobs d =
+(* ------------------------------------------------------------ phi sweep *)
+
+let phi_chunk d bb init x_lo x_hi =
+  let n = Decay_space.n d in
+  let f = Decay_space.flat_view d in
+  let ft = Decay_space.transpose_view d in
+  let c_rows = ref 0 and c_pairs = ref 0 and c_tiles = ref 0
+  and c_deep = ref 0 in
+  let best = ref init in
+  for x = x_lo to x_hi - 1 do
+    let row = x * n in
+    (* Float [+.] and [/.] are monotone, so these bounds dominate every v
+       in their scope exactly — no epsilon needed (see the bounds note). *)
+    if bb.row_fmax.(x) /. (bb.row_fmin.(x) +. bb.gmin_f) <= (!best).value
+    then incr c_rows
+    else
+      for y = 0 to n - 1 do
+        if y <> x then begin
+          let fxy = Array.unsafe_get f (row + y) in
+          if fxy /. (bb.row_fmin.(x) +. bb.col_fmin.(y)) <= (!best).value
+          then incr c_pairs
+          else begin
+            let yrow = y * n in
+            let scan z_lo z_hi =
+              for z = z_lo to z_hi - 1 do
+                if z <> x && z <> y then begin
+                  let fxz = Array.unsafe_get f (row + z)
+                  and fzy = Array.unsafe_get ft (yrow + z) in
+                  incr c_deep;
+                  let v = fxy /. (fxz +. fzy) in
+                  let b = !best in
+                  (* phi compares f(x,z) against f(x,y) + f(y,z): outer
+                     pair (x,z) with midpoint y.  The iterator hands us
+                     exactly that inequality's decays with roles named
+                     (x, y, z) = (start, end, midpoint), so the witness
+                     stores the iterator's z as the midpoint field y. *)
+                  if v > b.value then best := { x; y = z; z = y; value = v }
+                end
+              done
+            in
+            if bb.ntiles = 0 then scan 0 n
+            else
+              for t = 0 to bb.ntiles - 1 do
+                let tmin =
+                  bb.row_tfmin.((x * bb.ntiles) + t)
+                  +. bb.col_tfmin.((y * bb.ntiles) + t)
+                in
+                if fxy /. tmin <= (!best).value then incr c_tiles
+                else scan (t * tile_size) (min n ((t + 1) * tile_size))
+              done
+          end
+        end
+      done
+  done;
+  K.add K.deep !c_deep;
+  K.add K.row_prunes !c_rows;
+  K.add K.pair_prunes !c_pairs;
+  K.add K.tile_prunes !c_tiles;
+  !best
+
+let phi_sweep ~jobs d =
+  let n = Decay_space.n d in
+  let bb = build_bounds d in
+  K.add K.sweeps 1;
+  K.add K.triples (n * (n - 1) * (n - 2));
+  let init = { x = 0; y = 2; z = 1; value = 1. } in
+  Par.map_reduce_chunks ~jobs ~lo:0 ~hi:n ~neutral:init
+    ~map:(fun x_lo x_hi -> phi_chunk d bb init x_lo x_hi)
+    ~combine:better
+
+let phi_witness ?jobs ?(cache = true) d =
   if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
   else begin
-    (* phi compares f(x,z) against f(x,y) + f(y,z): outer pair (x,z) with
-       midpoint y.  The triple iterator hands us exactly that inequality's
-       decays with its roles named (x, y, z) = (start, end, midpoint), so
-       the witness stores the iterator's z as the midpoint field y. *)
-    let init = { x = 0; y = 2; z = 1; value = 1. } in
-    let step best ~x ~y ~z ~fxy ~fxz ~fzy =
-      let v = fxy /. (fxz +. fzy) in
-      if v > best.value then { x; y = z; z = y; value = v } else best
-    in
-    Par.map_reduce_chunks
-      ~jobs:(Par.resolve_jobs jobs)
-      ~lo:0 ~hi:(Decay_space.n d) ~neutral:init
-      ~map:(fun x_lo x_hi -> fold_triples_range d ~x_lo ~x_hi init step)
-      ~combine:better
+    let jobs = Par.resolve_jobs jobs in
+    let compute () = phi_sweep ~jobs d in
+    if cache then Memo.find_or_add phi_cache (Decay_space.digest d) compute
+    else compute ()
   end
 
-let phi ?jobs d = (phi_witness ?jobs d).value
-let phi_log ?jobs d = Num.log2 (phi ?jobs d)
+let phi ?jobs ?cache d = (phi_witness ?jobs ?cache d).value
+let phi_log ?jobs ?cache d = Num.log2 (phi ?jobs ?cache d)
+
+(* ----------------------------------------------------- cache management *)
+
+let cache_stats () =
+  ( Memo.hits zeta_cache + Memo.hits phi_cache,
+    Memo.misses zeta_cache + Memo.misses phi_cache )
+
+let clear_caches () =
+  Memo.clear zeta_cache;
+  Memo.clear phi_cache;
+  Memo.reset_stats zeta_cache;
+  Memo.reset_stats phi_cache

@@ -24,15 +24,20 @@ val zeta_triple : ?tol:float -> float -> float -> float -> float
     decays (bisection; validity is monotone in [z]).  [tol] is the relative
     bisection tolerance, default [1e-9]. *)
 
-val zeta : ?tol:float -> ?jobs:int -> Decay_space.t -> float
+val zeta : ?tol:float -> ?jobs:int -> ?cache:bool -> Decay_space.t -> float
 (** Exact metricity: maximum of {!zeta_triple} over all ordered triples of
-    distinct nodes.  O(n^3) with a constant-time fast path for triples that
-    already satisfy the plain triangle inequality.  Returns [1.] for spaces
-    with fewer than three nodes.  [jobs] chunks the outer loop over the
-    domain pool (default {!Bg_prelude.Parallel.default_jobs}); the result is
-    identical at every job count. *)
+    distinct nodes.  O(n^3) with log-domain incumbent tests and row /
+    pair / tile bound pruning over the flat decay layout; triples the
+    bounds cannot dismiss fall back to exactly the naive evaluation, so
+    the result (and witness) is bit-for-bit the naive sweep's.  Returns
+    [1.] for spaces with fewer than three nodes.  [jobs] chunks the outer
+    loop over the domain pool (default
+    {!Bg_prelude.Parallel.default_jobs}); the result is identical at every
+    job count.  [cache] (default [true]) memoizes the result under the
+    space's content {!Decay_space.digest}. *)
 
-val zeta_witness : ?tol:float -> ?jobs:int -> Decay_space.t -> witness
+val zeta_witness :
+  ?tol:float -> ?jobs:int -> ?cache:bool -> Decay_space.t -> witness
 (** The metricity together with a triple attaining it.  On ties the
     lexicographically smallest [(x, y, z)] wins, at every [jobs] count. *)
 
@@ -56,15 +61,31 @@ val holds_at : ?jobs:int -> Decay_space.t -> float -> bool
 (** [holds_at d z] checks the relaxed triangle inequality at parameter [z]
     for all triples (within the bisection tolerance). *)
 
-val phi : ?jobs:int -> Decay_space.t -> float
+val phi : ?jobs:int -> ?cache:bool -> Decay_space.t -> float
 (** The relaxed-triangle-inequality constant
-    [max(1, max_{x,y,z} f(x,z) / (f(x,y) + f(y,z)))] over distinct triples. *)
+    [max(1, max_{x,y,z} f(x,z) / (f(x,y) + f(y,z)))] over distinct triples.
+    Pruned like {!zeta} (the phi bounds are exact in float arithmetic, by
+    monotonicity of [+.] and [/.]); cached like {!zeta}. *)
 
-val phi_witness : ?jobs:int -> Decay_space.t -> witness
+val phi_witness : ?jobs:int -> ?cache:bool -> Decay_space.t -> witness
 (** [phi] together with an attaining triple (fields [x], [z] are the outer
     pair and [y] the midpoint).  Deterministic across [jobs] like
     {!zeta_witness}. *)
 
-val phi_log : ?jobs:int -> Decay_space.t -> float
+val phi_log : ?jobs:int -> ?cache:bool -> Decay_space.t -> float
 (** [lg phi], the exponent form used by Theorem 6 ([phi_log <= zeta] always,
     by the argument in §4.2). *)
+
+(** {1 The analysis cache}
+
+    [zeta] and [phi] results are memoized in {!Bg_prelude.Memo} tables
+    keyed by {!Decay_space.digest} (plus [tol] for [zeta]): re-analyzing a
+    bit-identical decay matrix — whatever its name, at any job count —
+    costs a hash lookup instead of an O(n^3) sweep.  Disable per call with
+    [~cache:false]. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] summed over the zeta and phi caches. *)
+
+val clear_caches : unit -> unit
+(** Drop all cached zeta/phi results and zero the hit/miss counters. *)

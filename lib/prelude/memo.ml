@@ -1,0 +1,69 @@
+(* A bounded memo table with hit/miss accounting.
+
+   The table is a plain Hashtbl guarded by a mutex so that concurrent
+   lookups from domain-pool workers are safe.  The compute function runs
+   OUTSIDE the lock: two racing misses on the same key may both compute,
+   and the second insert wins — callers must therefore memoize pure
+   (idempotent) computations only, which is exactly the analysis-cache
+   use case (sweep results are deterministic functions of the key).
+
+   Eviction is wholesale: when the table reaches [max_size] entries it is
+   cleared before the new insert.  Entries are tiny (witness records,
+   floats) and the bound only exists to keep unbounded streams of distinct
+   decay spaces from leaking, so the crude policy is fine. *)
+
+type ('k, 'v) t = {
+  tbl : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  max_size : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(max_size = 512) () =
+  if max_size < 1 then invalid_arg "Memo.create: max_size must be positive";
+  { tbl = Hashtbl.create 64; lock = Mutex.create (); max_size;
+    hits = 0; misses = 0 }
+
+let find_or_add t key compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.tbl key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      let v = compute () in
+      Mutex.lock t.lock;
+      if Hashtbl.length t.tbl >= t.max_size then Hashtbl.reset t.tbl;
+      Hashtbl.replace t.tbl key v;
+      Mutex.unlock t.lock;
+      v
+
+let mem t key =
+  Mutex.lock t.lock;
+  let r = Hashtbl.mem t.tbl key in
+  Mutex.unlock t.lock;
+  r
+
+let length t =
+  Mutex.lock t.lock;
+  let r = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  r
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.lock
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  Mutex.lock t.lock;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock

@@ -1,0 +1,38 @@
+(** Bounded memo tables with hit/miss accounting.
+
+    Backs the content-keyed analysis cache: expensive sweep results
+    ([zeta], [phi], [gamma(r)]) are memoized under a digest of the decay
+    matrix, so re-analyzing an identical space costs a hash lookup instead
+    of an O(n^3) sweep.  Only memoize pure computations: racing misses may
+    compute the value twice and keep either copy. *)
+
+type ('k, 'v) t
+(** A mutex-guarded memo table from ['k] to ['v]. *)
+
+val create : ?max_size:int -> unit -> ('k, 'v) t
+(** A fresh table.  When it reaches [max_size] entries (default 512) it is
+    cleared wholesale before the next insert — a crude bound that only
+    exists to cap memory under unbounded streams of distinct keys.
+    @raise Invalid_argument if [max_size < 1]. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t key compute] returns the cached value for [key], or runs
+    [compute ()] (outside the table lock), stores and returns it. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Whether a key is currently cached. *)
+
+val length : ('k, 'v) t -> int
+(** Number of cached entries. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry (stats are kept; see {!reset_stats}). *)
+
+val hits : ('k, 'v) t -> int
+(** Lookups answered from the table since creation or {!reset_stats}. *)
+
+val misses : ('k, 'v) t -> int
+(** Lookups that had to compute. *)
+
+val reset_stats : ('k, 'v) t -> unit
+(** Zero the hit/miss counters (the cached entries stay). *)

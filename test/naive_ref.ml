@@ -1,0 +1,198 @@
+(* Verbatim pre-optimization kernels, kept as the reference implementation
+   the optimized flat/log-domain kernels in [Bg_decay.Metricity] and
+   [Bg_decay.Fading] are tested against.  Everything here works off
+   [Decay_space.matrix] / [Decay_space.decay] (bounds-checked, row-copied)
+   exactly as the shipped code did before the flat-layout rewrite; do not
+   "improve" this module — its value is that it stays naive. *)
+
+module Decay_space = Core.Decay.Decay_space
+module Num = Core.Prelude.Numerics
+module Par = Core.Prelude.Parallel
+
+type witness = Core.Decay.Metricity.witness = {
+  x : int;
+  y : int;
+  z : int;
+  value : float;
+}
+
+let triple_holds ~fxy ~fxz ~fzy z =
+  let t = 1. /. z in
+  exp (t *. log fxz) +. exp (t *. log fzy) >= exp (t *. log fxy)
+
+let zeta_triple ?(tol = 1e-9) fxy fxz fzy =
+  if fxy <= fxz +. fzy then 1.
+  else begin
+    let m = Float.min fxz fzy in
+    let p = triple_holds ~fxy ~fxz ~fzy in
+    if p 1. then 1.
+    else begin
+      let lo = ref 1.
+      and hi = ref (Float.max 1.5 (Num.log2 (fxy /. m) +. 1e-6)) in
+      let iters = ref 0 in
+      while
+        !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) && !iters < 200
+      do
+        incr iters;
+        let mid = 0.5 *. (!lo +. !hi) in
+        if p mid then hi := mid else lo := mid
+      done;
+      !lo
+    end
+  end
+
+let fold_triples_range d ~x_lo ~x_hi init step =
+  let n = Decay_space.n d in
+  let f = Decay_space.matrix d in
+  let acc = ref init in
+  for x = x_lo to x_hi - 1 do
+    for y = 0 to n - 1 do
+      if y <> x then
+        for z = 0 to n - 1 do
+          if z <> x && z <> y then
+            acc := step !acc ~x ~y ~z ~fxy:f.(x).(y) ~fxz:f.(x).(z) ~fzy:f.(z).(y)
+        done
+    done
+  done;
+  !acc
+
+let better a b = if b.value > a.value then b else a
+
+let zeta_witness ?(tol = 1e-9) ?jobs d =
+  if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
+  else begin
+    let init = { x = 0; y = 1; z = 2; value = 1. } in
+    let step best ~x ~y ~z ~fxy ~fxz ~fzy =
+      if fxy <= fxz +. fzy then best
+      else if triple_holds ~fxy ~fxz ~fzy best.value then best
+      else begin
+        let v = zeta_triple ~tol fxy fxz fzy in
+        if v > best.value then { x; y; z; value = v } else best
+      end
+    in
+    Par.map_reduce_chunks
+      ~jobs:(Par.resolve_jobs jobs)
+      ~lo:0 ~hi:(Decay_space.n d) ~neutral:init
+      ~map:(fun x_lo x_hi -> fold_triples_range d ~x_lo ~x_hi init step)
+      ~combine:better
+  end
+
+let zeta ?tol ?jobs d = (zeta_witness ?tol ?jobs d).value
+
+let holds_at ?jobs d z =
+  Decay_space.n d < 3
+  || Par.map_reduce_chunks
+       ~jobs:(Par.resolve_jobs jobs)
+       ~lo:0 ~hi:(Decay_space.n d) ~neutral:true
+       ~map:(fun x_lo x_hi ->
+         fold_triples_range d ~x_lo ~x_hi true
+           (fun ok ~x:_ ~y:_ ~z:_ ~fxy ~fxz ~fzy ->
+             ok
+             && (fxy <= fxz +. fzy
+                || triple_holds ~fxy ~fxz ~fzy (z +. 1e-7))))
+       ~combine:( && )
+
+let phi_witness ?jobs d =
+  if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
+  else begin
+    let init = { x = 0; y = 2; z = 1; value = 1. } in
+    let step best ~x ~y ~z ~fxy ~fxz ~fzy =
+      let v = fxy /. (fxz +. fzy) in
+      if v > best.value then { x; y = z; z = y; value = v } else best
+    in
+    Par.map_reduce_chunks
+      ~jobs:(Par.resolve_jobs jobs)
+      ~lo:0 ~hi:(Decay_space.n d) ~neutral:init
+      ~map:(fun x_lo x_hi -> fold_triples_range d ~x_lo ~x_hi init step)
+      ~combine:better
+  end
+
+let phi ?jobs d = (phi_witness ?jobs d).value
+
+(* ------------------------------------------------------------- fading *)
+
+let weighted_mis ~weights ~compat =
+  let k = Array.length weights in
+  let order = Array.init k Fun.id in
+  Array.sort (fun i j -> Float.compare weights.(j) weights.(i)) order;
+  let greedy_pick = ref [] in
+  Array.iter
+    (fun i ->
+      if List.for_all (fun j -> compat i j) !greedy_pick then
+        greedy_pick := i :: !greedy_pick)
+    order;
+  let best_set = ref !greedy_pick in
+  let best_val =
+    ref (List.fold_left (fun a i -> a +. weights.(i)) 0. !greedy_pick)
+  in
+  let suffix_weight = Array.make (k + 1) 0. in
+  for idx = k - 1 downto 0 do
+    suffix_weight.(idx) <- suffix_weight.(idx + 1) +. weights.(order.(idx))
+  done;
+  let budget = ref 2_000_000 in
+  let rec go idx current current_val =
+    decr budget;
+    if !budget > 0 && idx < k then begin
+      if current_val +. suffix_weight.(idx) > !best_val then begin
+        let i = order.(idx) in
+        if List.for_all (fun j -> compat i j) current then begin
+          let v = current_val +. weights.(i) in
+          if v > !best_val then begin
+            best_val := v;
+            best_set := i :: current
+          end;
+          go (idx + 1) (i :: current) v
+        end;
+        go (idx + 1) current current_val
+      end
+    end
+  in
+  go 0 [] 0.;
+  (!best_val, !best_set)
+
+let gamma_z ?(exact_limit = 24) d ~z ~r =
+  let n = Decay_space.n d in
+  let candidates = ref [] in
+  for x = n - 1 downto 0 do
+    if x <> z && Decay_space.decay d x z >= r && Decay_space.decay d z x >= r
+    then candidates := x :: !candidates
+  done;
+  let arr = Array.of_list !candidates in
+  let k = Array.length arr in
+  let weights = Array.map (fun x -> 1. /. Decay_space.decay d x z) arr in
+  let compat i j =
+    i = j
+    || (Decay_space.decay d arr.(i) arr.(j) >= r
+       && Decay_space.decay d arr.(j) arr.(i) >= r)
+  in
+  if k = 0 then (0., [])
+  else begin
+    let value, set =
+      if k <= exact_limit then weighted_mis ~weights ~compat
+      else begin
+        let order = Array.init k Fun.id in
+        Array.sort (fun i j -> Float.compare weights.(j) weights.(i)) order;
+        let pick = ref [] in
+        Array.iter
+          (fun i ->
+            if List.for_all (fun j -> compat i j) !pick then pick := i :: !pick)
+          order;
+        let v = List.fold_left (fun a i -> a +. weights.(i)) 0. !pick in
+        (v, !pick)
+      end
+    in
+    (r *. value, List.map (fun i -> arr.(i)) set)
+  end
+
+let gamma ?exact_limit ?jobs d ~r =
+  Par.map_reduce_chunks
+    ~jobs:(Par.resolve_jobs jobs)
+    ~lo:0 ~hi:(Decay_space.n d) ~neutral:0.
+    ~map:(fun lo hi ->
+      let best = ref 0. in
+      for z = lo to hi - 1 do
+        let v, _ = gamma_z ?exact_limit d ~z ~r in
+        if v > !best then best := v
+      done;
+      !best)
+    ~combine:(fun a b -> if b > a then b else a)

@@ -534,13 +534,15 @@ let prop_parallel_equals_sequential =
       in
       List.for_all
         (fun d ->
-          Met.zeta_witness ~jobs:1 d = Met.zeta_witness ~jobs:4 d
-          && Met.phi_witness ~jobs:1 d = Met.phi_witness ~jobs:4 d
+          Met.zeta_witness ~jobs:1 ~cache:false d
+          = Met.zeta_witness ~jobs:4 ~cache:false d
+          && Met.phi_witness ~jobs:1 ~cache:false d
+             = Met.phi_witness ~jobs:4 ~cache:false d
           && Met.zeta_upper_bound ~jobs:1 d = Met.zeta_upper_bound ~jobs:4 d
           &&
           let r = D.min_decay d *. 1.5 in
-          Fad.gamma ~exact_limit:12 ~jobs:1 d ~r
-          = Fad.gamma ~exact_limit:12 ~jobs:4 d ~r)
+          Fad.gamma ~exact_limit:12 ~jobs:1 ~cache:false d ~r
+          = Fad.gamma ~exact_limit:12 ~jobs:4 ~cache:false d ~r)
         spaces)
 
 let suite =

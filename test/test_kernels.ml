@@ -1,0 +1,259 @@
+(* The optimized flat/log-domain kernels must be bit-for-bit the naive
+   sweeps in [Naive_ref]: same witness triple, same value, at every job
+   count, on every space family.  Plus: the digest-keyed analysis cache
+   (second run = zero sweeps), Memo unit behaviour, and pruning-counter
+   sanity. *)
+
+module D = Core.Decay.Decay_space
+module Met = Core.Decay.Metricity
+module Fad = Core.Decay.Fading
+module Sp = Core.Decay.Spaces
+module KS = Core.Decay.Kernel_stats
+module Memo = Core.Prelude.Memo
+module Rng = Core.Prelude.Rng
+open Testutil
+
+let witness : Met.witness Alcotest.testable =
+  let pp fmt (w : Met.witness) =
+    Format.fprintf fmt "{x=%d; y=%d; z=%d; value=%h}" w.x w.y w.z w.value
+  in
+  Alcotest.testable pp (fun (a : Met.witness) b ->
+      a.x = b.x && a.y = b.y && a.z = b.z && Float.equal a.value b.value)
+
+let check_witness = Alcotest.check witness
+let check_exact_float msg a b = check_true msg (Float.equal a b)
+
+(* Every named construction the paper uses, including the tie-heavy ones
+   (uniform, grid, star) where strict-improvement combine ordering is the
+   only thing keeping the witness deterministic. *)
+let families () =
+  [
+    ("random-sym", random_space ~n:11 3);
+    ("random-asym", random_asym_space ~n:11 5);
+    ("star", Sp.star ~k:8 ~r:4.);
+    ("welzl", Sp.welzl ~n:8 ~eps:0.25);
+    ("three-point", Sp.three_point ~q:5.);
+    ("uniform", Sp.uniform 8);
+    ("exp-line", Sp.exponential_line ~n:10);
+    ( "geo-plane",
+      D.of_points ~alpha:3. (Sp.random_points (Rng.create 7) ~n:12 ~side:30.)
+    );
+    ( "grid",
+      D.of_points ~alpha:2.5 (Sp.grid_points ~rows:3 ~cols:4 ~spacing:2.) );
+  ]
+
+let test_zeta_matches_naive () =
+  List.iter
+    (fun (name, d) ->
+      let reference = Naive_ref.zeta_witness ~jobs:1 d in
+      List.iter
+        (fun jobs ->
+          check_witness
+            (Printf.sprintf "zeta witness %s jobs=%d" name jobs)
+            reference
+            (Met.zeta_witness ~jobs ~cache:false d))
+        [ 1; 4 ])
+    (families ())
+
+let test_phi_matches_naive () =
+  List.iter
+    (fun (name, d) ->
+      let reference = Naive_ref.phi_witness ~jobs:1 d in
+      List.iter
+        (fun jobs ->
+          check_witness
+            (Printf.sprintf "phi witness %s jobs=%d" name jobs)
+            reference
+            (Met.phi_witness ~jobs ~cache:false d))
+        [ 1; 4 ])
+    (families ())
+
+let test_gamma_matches_naive () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun r ->
+          let reference = Naive_ref.gamma ~jobs:1 d ~r in
+          List.iter
+            (fun jobs ->
+              check_exact_float
+                (Printf.sprintf "gamma %s r=%g jobs=%d" name r jobs)
+                reference
+                (Fad.gamma ~jobs ~cache:false d ~r))
+            [ 1; 4 ])
+        [ 0.5; 2.; 10. ])
+    (families ())
+
+let test_holds_at_matches_naive () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun z ->
+          check_true
+            (Printf.sprintf "holds_at %s z=%g" name z)
+            (Bool.equal (Naive_ref.holds_at ~jobs:1 d z)
+               (Met.holds_at ~jobs:2 d z)))
+        [ 1.; 2.; 3.; 8. ])
+    (families ())
+
+let prop_random_witness_identity =
+  qcheck ~count:40 "optimized zeta/phi witnesses = naive on random spaces"
+    QCheck.(pair (int_range 0 10_000) bool)
+    (fun (seed, sym) ->
+      let d =
+        if sym then random_space ~n:9 seed else random_asym_space ~n:9 seed
+      in
+      let zw = Naive_ref.zeta_witness ~jobs:1 d in
+      let pw = Naive_ref.phi_witness ~jobs:1 d in
+      List.for_all
+        (fun jobs ->
+          Met.zeta_witness ~jobs ~cache:false d = zw
+          && Met.phi_witness ~jobs ~cache:false d = pw)
+        [ 1; 4 ])
+
+let prop_random_gamma_identity =
+  qcheck ~count:25 "optimized gamma = naive on random spaces"
+    QCheck.(pair (int_range 0 10_000) (float_range 0.5 20.))
+    (fun (seed, r) ->
+      let d = random_asym_space ~n:10 seed in
+      let reference = Naive_ref.gamma ~jobs:1 d ~r in
+      List.for_all
+        (fun jobs -> Float.equal (Fad.gamma ~jobs ~cache:false d ~r) reference)
+        [ 1; 4 ])
+
+(* ---------------------------------------------------- the analysis cache *)
+
+let reset_all () =
+  Met.clear_caches ();
+  Fad.clear_caches ();
+  KS.reset ()
+
+let test_second_run_sweeps_nothing () =
+  reset_all ();
+  let d = random_space ~n:10 42 in
+  let config =
+    { Core.Analysis.default with gamma_at = [ 2. ]; jobs = Some 2 }
+  in
+  let r1 = Core.Analysis.run ~config d in
+  let sweeps_after_first = (KS.snapshot ()).KS.sweeps in
+  check_true "first run sweeps" (sweeps_after_first >= 3);
+  let r2 = Core.Analysis.run ~config d in
+  check_int "second run performs zero sweep work" sweeps_after_first
+    (KS.snapshot ()).KS.sweeps;
+  let mh, _ = Met.cache_stats () in
+  let fh, _ = Fad.cache_stats () in
+  check_true "zeta/phi/gamma all served from cache" (mh >= 2 && fh >= 1);
+  check_witness "cached zeta witness identical" r1.zeta_witness
+    r2.zeta_witness;
+  check_exact_float "cached phi identical" r1.phi r2.phi;
+  check_exact_float "cached gamma identical"
+    (List.assoc 2. r1.gamma)
+    (List.assoc 2. r2.gamma)
+
+let test_cache_keys_on_content_not_name () =
+  reset_all ();
+  let d = random_space ~n:8 9 in
+  let z1 = Met.zeta d in
+  let z2 = Met.zeta (D.rename "same-bytes-other-name" d) in
+  check_exact_float "renamed space hits the cache" z1 z2;
+  let hits, misses = Met.cache_stats () in
+  check_int "one miss" 1 misses;
+  check_int "rename is a hit" 1 hits;
+  ignore (Met.zeta (D.scale 2. d));
+  let _, misses = Met.cache_stats () in
+  check_int "different bytes miss" 2 misses
+
+let test_jobs_excluded_from_cache_key () =
+  reset_all ();
+  let d = random_asym_space ~n:8 17 in
+  let a = Met.zeta_witness ~jobs:1 d in
+  let b = Met.zeta_witness ~jobs:4 d in
+  check_witness "jobs=4 reuses jobs=1 result" a b;
+  let hits, misses = Met.cache_stats () in
+  check_int "second job count is a hit" 1 hits;
+  check_int "single compute" 1 misses
+
+(* -------------------------------------------------------------- Memo *)
+
+let test_memo_basics () =
+  let m : (int, int) Memo.t = Memo.create ~max_size:4 () in
+  let computes = ref 0 in
+  let f k =
+    Memo.find_or_add m k (fun () ->
+        incr computes;
+        k * k)
+  in
+  check_int "computes" 9 (f 3);
+  check_int "cached" 9 (f 3);
+  check_int "computed once" 1 !computes;
+  check_int "hits" 1 (Memo.hits m);
+  check_int "misses" 1 (Memo.misses m);
+  check_true "mem" (Memo.mem m 3);
+  Memo.clear m;
+  check_false "cleared" (Memo.mem m 3);
+  check_int "recomputes after clear" 9 (f 3);
+  check_int "computed twice total" 2 !computes
+
+let test_memo_eviction_bounds_size () =
+  let m : (int, int) Memo.t = Memo.create ~max_size:3 () in
+  for k = 0 to 9 do
+    ignore (Memo.find_or_add m k (fun () -> k))
+  done;
+  check_true "size stays bounded" (Memo.length m <= 3);
+  (* Whatever survived eviction still answers correctly. *)
+  check_int "values survive" 5 (Memo.find_or_add m 5 (fun () -> 5))
+
+let test_memo_concurrent () =
+  let m : (int, int) Memo.t = Memo.create () in
+  let domains =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let acc = ref 0 in
+            for k = 0 to 99 do
+              acc := !acc + Memo.find_or_add m (k mod 10) (fun () -> (k mod 10) * 7)
+            done;
+            ignore i;
+            !acc))
+  in
+  let sums = Array.map Domain.join domains in
+  Array.iter (fun s -> check_int "each domain sums identically" sums.(0) s)
+    sums;
+  check_int "ten distinct keys" 10 (Memo.length m)
+
+(* ----------------------------------------------------- counter sanity *)
+
+let test_pruning_counters () =
+  reset_all ();
+  let d = random_space ~n:10 123 in
+  ignore (Met.zeta_witness ~jobs:1 ~cache:false d);
+  let s = KS.snapshot () in
+  let n = 10 in
+  check_int "one sweep" 1 s.KS.sweeps;
+  check_int "triple count" (n * (n - 1) * (n - 2)) s.KS.triples;
+  check_true "visited <= triples"
+    (s.KS.plain_skips + s.KS.cheap_skips + s.KS.deep <= s.KS.triples);
+  check_true "bisections only on deep triples" (s.KS.bisections <= s.KS.deep);
+  let fr = KS.pruned_fraction s in
+  check_true "pruned fraction in [0,1]" (fr >= 0. && fr <= 1.)
+
+let suite =
+  [
+    ( "kernels",
+      [
+        case "zeta witness = naive, all families" test_zeta_matches_naive;
+        case "phi witness = naive, all families" test_phi_matches_naive;
+        case "gamma = naive, all families" test_gamma_matches_naive;
+        case "holds_at = naive" test_holds_at_matches_naive;
+        prop_random_witness_identity;
+        prop_random_gamma_identity;
+        case "second Analysis.run sweeps nothing"
+          test_second_run_sweeps_nothing;
+        case "cache keyed on bytes, not name"
+          test_cache_keys_on_content_not_name;
+        case "jobs excluded from cache key" test_jobs_excluded_from_cache_key;
+        case "memo basics" test_memo_basics;
+        case "memo eviction" test_memo_eviction_bounds_size;
+        case "memo concurrent" test_memo_concurrent;
+        case "pruning counters" test_pruning_counters;
+      ] );
+  ]
