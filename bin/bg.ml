@@ -11,7 +11,41 @@
 
 open Cmdliner
 
-let space_of_file path = Core.Decay.Decay_io.load path
+(* Every user-facing failure — missing file, unreadable CSV, a validation
+   reject — prints one clear line on stderr and exits 2, the same code
+   Cmdliner's own CLI parse errors are mapped to below.  Backtraces are
+   for bugs, not for bad input. *)
+let user_error fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("bg: " ^ s);
+      exit 2)
+    fmt
+
+let or_user_error f =
+  try f () with
+  | Invalid_argument msg | Failure msg -> user_error "%s" msg
+  | Sys_error msg -> user_error "%s" msg
+  | Core.Prelude.Parallel.Timeout -> user_error "wall-clock budget exceeded"
+
+let space_of_file path = or_user_error (fun () -> Core.Decay.Decay_io.load path)
+
+(* Shared --timeout flag: cooperative wall-clock budget in seconds for the
+   analysis sweeps; 0 (the default) means unlimited. *)
+let timeout_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the parameter sweeps (0 = unlimited). An \
+           exceeded budget reports a clean error (exit 2) for analysis runs \
+           and a TIMEOUT verdict for experiments.")
+
+let with_optional_timeout timeout f =
+  if timeout > 0. then
+    Core.Prelude.Parallel.with_deadline ~seconds:timeout f
+  else f ()
 
 (* Shared --jobs flag: 0 (the default) means "use the whole machine"
    (Domain.recommended_domain_count); any positive value is taken
@@ -51,26 +85,74 @@ let no_cache_arg =
     & info [ "no-cache" ]
         ~doc:"Recompute zeta/phi/gamma even when a digest-keyed cached result exists.")
 
+let repair_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("reject", `Reject); ("clamp", `Clamp);
+                ("symmetrize", `Symmetrize); ("drop", `Drop) ]))
+        None
+    & info [ "repair" ] ~docv:"POLICY"
+        ~doc:
+          "Validate-and-repair the matrix before analysis. One of: reject \
+           (diagnose only, fail on any defect), clamp (replace bad cells \
+           with the worst observed decay), symmetrize (patch bad cells from \
+           their mirror), drop (remove nodes with bad links). The repair \
+           summary is printed to stderr; an unrepairable matrix is a clean \
+           error (exit 2).")
+
+let space_of_file_repaired file repair =
+  match repair with
+  | None -> space_of_file file
+  | Some kind ->
+      or_user_error (fun () ->
+          let module V = Core.Decay.Validate in
+          let module Io = Core.Decay.Decay_io in
+          let text = In_channel.with_open_text file In_channel.input_all in
+          let name = Filename.remove_extension (Filename.basename file) in
+          (* The clamp value is data-driven: the worst decay actually
+             observed in this file (see Validate.suggested_clamp). *)
+          let policy =
+            match kind with
+            | `Reject -> V.Reject
+            | `Clamp ->
+                let _, raw = Io.parse ~name text in
+                V.Clamp (V.suggested_clamp raw)
+            | `Symmetrize -> V.Symmetrize
+            | `Drop -> V.Drop_nodes
+          in
+          match Io.of_csv_repaired ~name ~policy text with
+          | Ok (space, report) ->
+              Printf.eprintf "bg: %s: %s\n%!" file (V.repair_to_string report);
+              space
+          | Error diag -> user_error "%s: %s" file (V.describe diag))
+
 let analyze_cmd =
-  let run file gamma_at jobs no_cache =
+  let run file gamma_at jobs no_cache repair timeout =
     let jobs = apply_jobs jobs in
-    let space = space_of_file file in
+    let space = space_of_file_repaired file repair in
     let report =
-      Core.Analysis.run
-        ~config:
-          {
-            Core.Analysis.gamma_at;
-            exact_limit = None;
-            jobs = Some jobs;
-            cache = not no_cache;
-          }
-        space
+      or_user_error (fun () ->
+          with_optional_timeout timeout (fun () ->
+              Core.Analysis.run
+                ~config:
+                  {
+                    Core.Analysis.gamma_at;
+                    exact_limit = None;
+                    jobs = Some jobs;
+                    cache = not no_cache;
+                  }
+                space))
     in
     Core.Prelude.Table.print (Core.Analysis.to_table report)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute every decay-space parameter of a matrix.")
-    Term.(const run $ file_arg $ gamma_at $ jobs_arg $ no_cache_arg)
+    Term.(
+      const run $ file_arg $ gamma_at $ jobs_arg $ no_cache_arg $ repair_arg
+      $ timeout_arg)
 
 (* ------------------------------------------------------------ generate *)
 
@@ -194,35 +276,50 @@ let experiment_cmd =
         Printf.sprintf "%s through %s" first.Bg_experiments.Registry.id
           last.Bg_experiments.Registry.id
   in
-  let id =
+  let ids =
     Arg.(
-      required & pos 0 (some string) None
+      non_empty & pos_all string []
       & info [] ~docv:"ID"
-          ~doc:(Printf.sprintf "Experiment id, %s (or 'all')." id_range))
+          ~doc:(Printf.sprintf "Experiment ids, %s (or 'all')." id_range))
   in
-  let run id jobs =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Retry a crashing experiment up to K times with exponential \
+             backoff before recording it as CRASH.")
+  in
+  let run ids jobs timeout retries =
     ignore (apply_jobs jobs);
-    if String.lowercase_ascii id = "all" then begin
-      let results = Bg_experiments.Registry.run_all () in
-      Bg_experiments.Registry.print_verdicts results;
-      if not (Bg_experiments.Registry.all_pass results) then exit 1
-    end
-    else
-      match Bg_experiments.Registry.find id with
-      | Some e ->
-          Printf.printf "--- %s: %s ---\n%!" e.Bg_experiments.Registry.id
-            e.Bg_experiments.Registry.claim;
-          let o = e.Bg_experiments.Registry.run () in
-          Bg_experiments.Registry.print_verdicts
-            [ (e.Bg_experiments.Registry.id, o) ];
-          if not o.Bg_experiments.Registry.pass then exit 1
-      | None ->
-          prerr_endline ("unknown experiment: " ^ id);
-          exit 2
+    let entries =
+      if List.exists (fun s -> String.lowercase_ascii s = "all") ids then
+        Bg_experiments.Registry.all
+      else
+        List.map
+          (fun id ->
+            match Bg_experiments.Registry.find id with
+            | Some e -> e
+            | None -> user_error "unknown experiment: %s" id)
+          ids
+    in
+    (* Each experiment runs isolated: a crash or an exceeded budget becomes
+       a CRASH/TIMEOUT row, the rest of the list still runs, and the exit
+       code reflects every outcome. *)
+    let timeout_s = if timeout > 0. then Some timeout else None in
+    let results =
+      Bg_experiments.Isolate.run_entries ?timeout_s ~retries entries
+    in
+    Bg_experiments.Isolate.print_results results;
+    let code = Bg_experiments.Isolate.exit_code results in
+    if code <> 0 then exit code
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Run one of the paper-claim experiments.")
-    Term.(const run $ id $ jobs_arg)
+    (Cmd.info "experiment"
+       ~doc:
+         "Run paper-claim experiments, each isolated so one crash or \
+          timeout cannot lose the rest of the run.")
+    Term.(const run $ ids $ jobs_arg $ timeout_arg $ retries_arg)
 
 (* ---------------------------------------------------------------- stats *)
 
@@ -332,4 +429,9 @@ let main =
     [ analyze_cmd; generate_cmd; capacity_cmd; experiment_cmd; stats_cmd;
       protocols_cmd; zoo_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Cmdliner reports its own parse errors with Exit.cli_error (124);
+     fold those into the same exit code 2 that user_error uses so every
+     "you gave me bad input" path looks alike to scripts. *)
+  let code = Cmd.eval main in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,0 +1,82 @@
+(* Seeded, realistic measurement-fault injection.  Produces *raw* matrices
+   (possibly invalid on purpose) so the validation/repair pipeline — not
+   the injector — decides what survives. *)
+
+module Rng = Bg_prelude.Rng
+
+type mode =
+  | Dropout of float
+  | Censor of float
+  | Spikes of { prob : float; factor : float }
+  | Nan_holes of float
+
+let label = function
+  | Dropout p -> Printf.sprintf "dropout(p=%g)" p
+  | Censor pct -> Printf.sprintf "censor(p%g)" pct
+  | Spikes { prob; factor } -> Printf.sprintf "spikes(p=%g,x%g)" prob factor
+  | Nan_holes p -> Printf.sprintf "nan-holes(p=%g)" p
+
+let default_suite =
+  [
+    Dropout 0.1;
+    Censor 80.;
+    Spikes { prob = 0.05; factor = 100. };
+    Nan_holes 0.08;
+  ]
+
+let check_prob ~what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Corrupt.apply: %s probability out of [0,1]" what)
+
+let apply ~seed mode space =
+  let n = Decay_space.n space in
+  let m = Decay_space.matrix space in
+  let g = Rng.create seed in
+  (* Iterate cells in row-major order with one fixed-seed stream, so a
+     given (seed, mode, space size) corrupts exactly the same cells on
+     every run — faults are reproducible test vectors, not noise. *)
+  let each_off_diag f =
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then m.(i).(j) <- f g m.(i).(j)
+      done
+    done
+  in
+  (match mode with
+  | Dropout p ->
+      check_prob ~what:"dropout" p;
+      (* A link with no usable measurement: infinite decay (no signal). *)
+      each_off_diag (fun g v -> if Rng.bernoulli g p then infinity else v)
+  | Nan_holes p ->
+      check_prob ~what:"nan-holes" p;
+      (* A logging hole: the cell exists but holds NaN. *)
+      each_off_diag (fun g v -> if Rng.bernoulli g p then Float.nan else v)
+  | Censor pct ->
+      if not (pct >= 0. && pct <= 100.) then
+        invalid_arg "Corrupt.apply: censor percentile out of [0,100]";
+      (* Noise-floor censoring: every decay above the floor (the pct-th
+         percentile of the off-diagonal decays) is reported as the floor
+         itself.  The result is a *valid* matrix with a saturated plateau —
+         exactly what Validate's censoring profile is built to flag. *)
+      let values = ref [] in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then values := m.(i).(j) :: !values
+        done
+      done;
+      let values = Array.of_list !values in
+      if Array.length values > 0 then begin
+        let floor_v = Bg_prelude.Stats.percentile values pct in
+        each_off_diag (fun _ v -> Float.min v floor_v)
+      end
+  | Spikes { prob; factor } ->
+      check_prob ~what:"spike" prob;
+      if not (Float.is_finite factor && factor > 0.) then
+        invalid_arg "Corrupt.apply: spike factor must be finite positive";
+      (* A multipath outlier: the measured decay is off by a large
+         multiplicative factor (alternating up/down per draw). *)
+      each_off_diag (fun g v ->
+          if Rng.bernoulli g prob then
+            if Rng.bernoulli g 0.5 then v *. factor else v /. factor
+          else v));
+  m

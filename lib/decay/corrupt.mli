@@ -1,0 +1,38 @@
+(** Seeded injection of realistic measurement faults.
+
+    The paper's companion testbed data is noisy, censored at the noise
+    floor, and missing links; this module reproduces those defects on
+    demand so the fault-tolerance pipeline ({!Validate}, the isolated
+    experiment runner) can be exercised deterministically.  [apply]
+    returns a {e raw} matrix — possibly invalid on purpose — to be pushed
+    through {!Decay_space.of_matrix_repaired}; it never mutates the input
+    space. *)
+
+(** A corruption model.  [Dropout]/[Nan_holes] produce invalid matrices
+    (infinite / NaN cells); [Censor]/[Spikes] produce valid but degenerate
+    ones (saturated plateaus, outliers). *)
+type mode =
+  | Dropout of float
+      (** each directed link is lost (decay [infinity]) with this
+          probability — a link with no successful measurement *)
+  | Censor of float
+      (** noise-floor censoring: decays above the given percentile
+          (0..100) of the off-diagonal decays are reported as that floor *)
+  | Spikes of { prob : float; factor : float }
+      (** multipath outliers: with probability [prob] a decay is
+          multiplied or divided by [factor] *)
+  | Nan_holes of float  (** each cell becomes NaN with this probability *)
+
+val label : mode -> string
+(** Short human-readable tag, e.g. ["dropout(p=0.1)"]. *)
+
+val default_suite : mode list
+(** One representative instance of each mode — the fault set experiment
+    E29 sweeps. *)
+
+val apply : seed:int -> mode -> Decay_space.t -> float array array
+(** Corrupt a copy of the space's matrix.  Deterministic: one fixed-seed
+    stream drawn over cells in row-major order, so equal
+    [(seed, mode, space)] produce bit-equal corrupted matrices.
+    @raise Invalid_argument on probabilities outside [0,1], a censor
+    percentile outside [0,100], or a non-positive spike factor. *)

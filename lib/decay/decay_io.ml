@@ -11,12 +11,16 @@ let to_csv d =
   done;
   Buffer.contents buf
 
-let of_csv ?(name = "csv") text =
+(* Raw CSV -> (name, matrix).  Cells must be numbers (NaN/Inf parse fine —
+   they are data-quality issues for [Validate], not parse errors) but no
+   shape or cell validation happens here: [of_csv] adds the strict shape
+   check, [of_csv_repaired] hands the raw matrix to the repair pipeline. *)
+let parse ?(name = "csv") text =
   let lines = String.split_on_char '\n' text in
   let name = ref name in
   let rows =
     List.filter_map
-      (fun line ->
+      (fun (lineno, line) ->
         let line = String.trim line in
         if line = "" then None
         else if String.length line > 0 && line.[0] = '#' then begin
@@ -33,22 +37,61 @@ let of_csv ?(name = "csv") text =
         else
           Some
             (String.split_on_char ',' line
-            |> List.map (fun cell ->
+            |> List.mapi (fun col cell ->
                    match float_of_string_opt (String.trim cell) with
                    | Some v -> v
                    | None ->
                        invalid_arg
-                         ("Decay_io.of_csv: not a number: " ^ String.trim cell))))
-      lines
+                         (Printf.sprintf
+                            "Decay_io.of_csv: not a number: %s (line %d, \
+                             column %d)"
+                            (String.trim cell) lineno (col + 1)))
+            |> Array.of_list))
+      (List.mapi (fun i l -> (i + 1, l)) lines)
   in
-  let matrix = Array.of_list (List.map Array.of_list rows) in
-  Decay_space.of_matrix ~name:!name matrix
+  (!name, Array.of_list rows)
+
+let check_shape matrix =
+  let rows = Array.length matrix in
+  if rows = 0 then
+    invalid_arg "Decay_io.of_csv: empty matrix (no data rows)";
+  Array.iteri
+    (fun row r ->
+      let got = Array.length r in
+      if got <> rows then
+        invalid_arg
+          (Printf.sprintf
+             "Decay_io.of_csv: data row %d has %d cells, expected %d (the \
+              matrix has %d data rows and must be square)"
+             (row + 1) got rows rows))
+    matrix
+
+let of_csv ?name text =
+  let name, matrix = parse ?name text in
+  check_shape matrix;
+  Decay_space.of_matrix ~name matrix
+
+let of_csv_repaired ?name ~policy text =
+  let name, matrix = parse ?name text in
+  Decay_space.of_matrix_repaired ~name ~policy matrix
 
 let save d path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_csv d))
+  (* Atomic: write a temp file in the target directory, then rename over
+     the destination, so a crash mid-write can never leave a truncated
+     matrix where a valid one used to be. *)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".decay_io" ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_csv d));
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let load path =
   let ic = open_in path in
@@ -58,3 +101,12 @@ let load path =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   of_csv ~name:(Filename.basename path) text
+
+let load_repaired ~policy path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_csv_repaired ~name:(Filename.basename path) ~policy text

@@ -4,18 +4,54 @@
     to every node (diagonal entries must be 0).  Lines starting with [#]
     are comments; the optional header comment carries the space's name.
     This is the interchange point with real measurement campaigns: dump
-    RSSI-derived decays from any tool and analyze them with [bg analyze]. *)
+    RSSI-derived decays from any tool and analyze them with [bg analyze].
+
+    Real campaign files are messy, so two doors in: the strict one
+    ({!of_csv}/{!load}) rejects any defect with a cell-addressed
+    [Invalid_argument], and the repairing one
+    ({!of_csv_repaired}/{!load_repaired}) routes the raw matrix through
+    {!Validate.repair} and reports exactly what it fixed.  {!save} is
+    atomic (temp file + rename). *)
 
 val to_csv : Decay_space.t -> string
 (** Render as CSV with a [# name: ...] header comment. *)
 
+val parse : ?name:string -> string -> string * float array array
+(** Parse CSV text to [(name, raw_matrix)] with {e no} shape or cell
+    validation: rows may be ragged and cells may be NaN/Inf/nonpositive
+    (those are data-quality issues for {!Validate}).  A [# name:] header
+    overrides [name].
+    @raise Invalid_argument only for a cell that is not a number at all,
+    with its line and column. *)
+
 val of_csv : ?name:string -> string -> Decay_space.t
-(** Parse CSV text (comments and blank lines ignored; a [# name:] header
-    overrides [name]).
+(** Parse CSV text strictly (comments and blank lines ignored; a
+    [# name:] header overrides [name]).  Empty and ragged matrices are
+    rejected with a row/cell-addressed message, invalid cells with the
+    cell-addressed messages of {!Decay_space.of_matrix}.
     @raise Invalid_argument on malformed input or an invalid matrix. *)
 
+val of_csv_repaired :
+  ?name:string ->
+  policy:Validate.policy ->
+  string ->
+  (Decay_space.t * Validate.repair, Validate.diagnosis) result
+(** Parse CSV text and build the space through {!Validate.repair} under
+    the given policy.  [Ok] carries the repair report; [Error] the full
+    diagnosis (including [Ragged]/[Empty], which no policy can repair).
+    @raise Invalid_argument only for cells that are not numbers. *)
+
 val save : Decay_space.t -> string -> unit
-(** Write to a file path. *)
+(** Write to a file path atomically: the CSV is written to a fresh temp
+    file in the destination directory and renamed into place, so readers
+    never observe a torn file and a crash cannot clobber an existing
+    matrix with a truncated one. *)
 
 val load : string -> Decay_space.t
-(** Read from a file path; the name defaults to the basename. *)
+(** Read from a file path strictly; the name defaults to the basename. *)
+
+val load_repaired :
+  policy:Validate.policy ->
+  string ->
+  (Decay_space.t * Validate.repair, Validate.diagnosis) result
+(** Read from a file path through {!Validate.repair}. *)

@@ -30,15 +30,20 @@ type t = {
   mutable key : string;            (* "" until built *)
 }
 
+(* Cell-level validation shares its diagnosis vocabulary (and exact
+   messages) with [Validate], so an [of_matrix] failure and a
+   [Validate.diagnose] report always agree down to the cell address. *)
 let validate_flat name n flat =
+  let fail issue = invalid_arg (name ^ ": " ^ Validate.issue_to_string issue) in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       let v = flat.((i * n) + j) in
-      if not (Float.is_finite v) then
-        invalid_arg (name ^ ": non-finite decay");
-      if i = j && v <> 0. then invalid_arg (name ^ ": nonzero diagonal decay");
-      if i <> j && v <= 0. then
-        invalid_arg (name ^ ": nonpositive decay between distinct nodes")
+      if i = j then begin
+        if v <> 0. then fail (Validate.Nonzero_diagonal { i; value = v })
+      end
+      else if not (Float.is_finite v) then
+        fail (Validate.Not_finite { i; j; value = v })
+      else if v <= 0. then fail (Validate.Non_positive { i; j; value = v })
     done
   done
 
@@ -48,10 +53,14 @@ let make name n flat =
 
 let of_matrix ?(name = "decay") m =
   let n = Array.length m in
-  Array.iter
-    (fun row ->
-      if Array.length row <> n then
-        invalid_arg (name ^ ": decay matrix is not square"))
+  Array.iteri
+    (fun row r ->
+      let got = Array.length r in
+      if got <> n then
+        invalid_arg
+          (name ^ ": "
+          ^ Validate.issue_to_string (Validate.Ragged { row; expected = n; got })
+          ))
     m;
   let flat = Array.make (n * n) 0. in
   for i = 0 to n - 1 do
@@ -60,6 +69,11 @@ let of_matrix ?(name = "decay") m =
     done
   done;
   make name n flat
+
+let of_matrix_repaired ?(name = "decay") ~policy m =
+  match Validate.repair ~policy m with
+  | Error _ as e -> e
+  | Ok (m', report) -> Ok (of_matrix ~name m', report)
 
 let of_fn ?(name = "decay") n fn =
   let flat = Array.make (max 0 (n * n)) 0. in

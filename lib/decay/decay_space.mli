@@ -14,8 +14,20 @@ type t
 
 val of_matrix : ?name:string -> float array array -> t
 (** Wrap a square matrix of decays.  Validates: square shape, zero diagonal,
-    strictly positive off-diagonal entries, all finite.
+    strictly positive off-diagonal entries, all finite — with the same
+    cell-addressed messages as {!Validate.diagnose}.
     @raise Invalid_argument on any violation. *)
+
+val of_matrix_repaired :
+  ?name:string ->
+  policy:Validate.policy ->
+  float array array ->
+  (t * Validate.repair, Validate.diagnosis) result
+(** Route a possibly-dirty matrix through {!Validate.repair} and build the
+    space from the repaired cells.  [Ok] carries the repair report (so no
+    fix-up is silent); [Error] carries the full cell-addressed diagnosis.
+    With [policy = Reject] and a valid matrix this is exactly
+    {!of_matrix} — same cells, bit for bit. *)
 
 val of_fn : ?name:string -> int -> (int -> int -> float) -> t
 (** [of_fn n f] tabulates [f] over all ordered pairs ([f i i] is ignored and

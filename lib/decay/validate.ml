@@ -1,0 +1,365 @@
+(* Structured validation and repair of raw decay matrices.
+
+   This module works on plain [float array array] so that it sits *below*
+   [Decay_space] in the dependency order: [Decay_space.of_matrix] routes
+   its checks through here, and the repair entry points that return a
+   built space live in [Decay_space] ([of_matrix_repaired]) and
+   [Decay_io] ([of_csv_repaired]) where the constructor is in scope. *)
+
+type issue =
+  | Empty
+  | Ragged of { row : int; expected : int; got : int }
+  | Not_finite of { i : int; j : int; value : float }
+  | Non_positive of { i : int; j : int; value : float }
+  | Nonzero_diagonal of { i : int; value : float }
+
+type profile = {
+  n : int;
+  bad_cells : int;
+  asymmetric_pairs : int;
+  worst_asymmetry : float;
+  censored_cells : int;
+  censor_floor : float;
+}
+
+type diagnosis = { issues : issue list; truncated : int; profile : profile option }
+
+type policy = Reject | Clamp of float | Symmetrize | Drop_nodes
+
+type repair = {
+  applied : policy;
+  cells_clamped : int;
+  cells_mirrored : int;
+  diagonal_zeroed : int;
+  dropped : int list;
+}
+
+let no_repair policy =
+  { applied = policy; cells_clamped = 0; cells_mirrored = 0;
+    diagonal_zeroed = 0; dropped = [] }
+
+let issue_to_string = function
+  | Empty -> "empty matrix (no rows)"
+  | Ragged { row; expected; got } ->
+      Printf.sprintf "row %d has %d cells, expected %d (the square matrix has %d rows)"
+        row got expected expected
+  | Not_finite { i; j; value } ->
+      Printf.sprintf "non-finite decay %g at (%d,%d)" value i j
+  | Non_positive { i; j; value } ->
+      Printf.sprintf "nonpositive decay %g at (%d,%d) between distinct nodes"
+        value i j
+  | Nonzero_diagonal { i; value } ->
+      Printf.sprintf "nonzero diagonal decay %g at (%d,%d)" value i i
+
+let pp_issue fmt i = Format.pp_print_string fmt (issue_to_string i)
+
+let describe d =
+  match d.issues with
+  | [] -> "valid"
+  | first :: rest ->
+      let shown = List.length rest + 1 in
+      let more = d.truncated in
+      if shown = 1 && more = 0 then issue_to_string first
+      else
+        Printf.sprintf "%s (and %d more issue%s)" (issue_to_string first)
+          (shown - 1 + more)
+          (if shown - 1 + more = 1 then "" else "s")
+
+let policy_to_string = function
+  | Reject -> "reject"
+  | Clamp v -> Printf.sprintf "clamp=%g" v
+  | Symmetrize -> "symmetrize"
+  | Drop_nodes -> "drop-nodes"
+
+let repair_to_string r =
+  let parts = [] in
+  let parts =
+    if r.cells_clamped > 0 then
+      Printf.sprintf "%d cell(s) clamped" r.cells_clamped :: parts
+    else parts
+  in
+  let parts =
+    if r.cells_mirrored > 0 then
+      Printf.sprintf "%d cell(s) mirrored" r.cells_mirrored :: parts
+    else parts
+  in
+  let parts =
+    if r.diagonal_zeroed > 0 then
+      Printf.sprintf "%d diagonal cell(s) zeroed" r.diagonal_zeroed :: parts
+    else parts
+  in
+  let parts =
+    if r.dropped <> [] then
+      Printf.sprintf "node(s) %s dropped"
+        (String.concat "," (List.map string_of_int r.dropped))
+      :: parts
+    else parts
+  in
+  match parts with
+  | [] -> Printf.sprintf "policy %s: no repairs needed" (policy_to_string r.applied)
+  | ps ->
+      Printf.sprintf "policy %s: %s" (policy_to_string r.applied)
+        (String.concat ", " (List.rev ps))
+
+(* ------------------------------------------------------------- scanning *)
+
+let cell_ok ~diagonal v =
+  if diagonal then v = 0. else Float.is_finite v && v > 0.
+
+let shape_issues m =
+  let n = Array.length m in
+  if n = 0 then [ Empty ]
+  else
+    let bad = ref [] in
+    for row = n - 1 downto 0 do
+      let got = Array.length m.(row) in
+      if got <> n then bad := Ragged { row; expected = n; got } :: !bad
+    done;
+    !bad
+
+(* How many issues [diagnose] keeps verbatim; the rest are only counted
+   ([truncated]) so an all-NaN 512-node matrix does not allocate a
+   260k-element issue list. *)
+let max_reported = 64
+
+let diagnose m =
+  match shape_issues m with
+  | _ :: _ as issues ->
+      { issues; truncated = 0; profile = None }
+  | [] ->
+      let n = Array.length m in
+      let issues = ref [] and kept = ref 0 and dropped = ref 0 in
+      let bad_cells = ref 0 in
+      let note i =
+        incr bad_cells;
+        if !kept < max_reported then begin
+          issues := i :: !issues;
+          incr kept
+        end
+        else incr dropped
+      in
+      let max_finite = ref 0. in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let v = m.(i).(j) in
+          if i = j then begin
+            if v <> 0. then note (Nonzero_diagonal { i; value = v })
+          end
+          else if not (Float.is_finite v) then
+            note (Not_finite { i; j; value = v })
+          else if v <= 0. then note (Non_positive { i; j; value = v })
+          else if v > !max_finite then max_finite := v
+        done
+      done;
+      (* Measurement profile over the valid off-diagonal cells: worst
+         directional asymmetry ratio, and entries sitting exactly at the
+         largest observed decay — the signature of a noise-floor-censored
+         campaign (the receiver reports "no signal above the floor" as one
+         saturated value). *)
+      let asymmetric_pairs = ref 0 and worst = ref 1. in
+      let censored = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i < j then begin
+            let a = m.(i).(j) and b = m.(j).(i) in
+            if cell_ok ~diagonal:false a && cell_ok ~diagonal:false b then begin
+              let ratio = Float.max (a /. b) (b /. a) in
+              if ratio > 1. +. 1e-9 then begin
+                incr asymmetric_pairs;
+                if ratio > !worst then worst := ratio
+              end
+            end
+          end;
+          if i <> j && m.(i).(j) = !max_finite && !max_finite > 0. then
+            incr censored
+        done
+      done;
+      {
+        issues = List.rev !issues;
+        truncated = !dropped;
+        profile =
+          Some
+            {
+              n;
+              bad_cells = !bad_cells;
+              asymmetric_pairs = !asymmetric_pairs;
+              worst_asymmetry = !worst;
+              censored_cells = (if !censored >= 2 then !censored else 0);
+              censor_floor = !max_finite;
+            };
+      }
+
+let first_issue m =
+  match shape_issues m with
+  | i :: _ -> Some i
+  | [] ->
+      let n = Array.length m in
+      let found = ref None in
+      (try
+         for i = 0 to n - 1 do
+           for j = 0 to n - 1 do
+             let v = m.(i).(j) in
+             if i = j then begin
+               if v <> 0. then begin
+                 found := Some (Nonzero_diagonal { i; value = v });
+                 raise Exit
+               end
+             end
+             else if not (Float.is_finite v) then begin
+               found := Some (Not_finite { i; j; value = v });
+               raise Exit
+             end
+             else if v <= 0. then begin
+               found := Some (Non_positive { i; j; value = v });
+               raise Exit
+             end
+           done
+         done
+       with Exit -> ());
+      !found
+
+let is_valid m = first_issue m = None
+
+let validate_exn ~name m =
+  match first_issue m with
+  | None -> ()
+  | Some issue -> invalid_arg (name ^ ": " ^ issue_to_string issue)
+
+let suggested_clamp m =
+  let best = ref 0. in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if i <> j && Float.is_finite v && v > !best then best := v)
+        row)
+    m;
+  if !best > 0. then !best else 1.
+
+(* --------------------------------------------------------------- repair *)
+
+let copy_matrix m = Array.map Array.copy m
+
+let repair ?(policy = Reject) m =
+  let fail () = Error (diagnose m) in
+  match shape_issues m with
+  | _ :: _ ->
+      (* No cell-level policy can reconstruct missing cells of a ragged or
+         empty matrix: the column structure itself is undefined. *)
+      fail ()
+  | [] -> (
+      let n = Array.length m in
+      match policy with
+      | Reject -> if is_valid m then Ok (m, no_repair Reject) else fail ()
+      | Clamp v ->
+          if not (Float.is_finite v && v > 0.) then
+            invalid_arg "Validate.repair: clamp value must be finite and positive";
+          let out = copy_matrix m in
+          let clamped = ref 0 and zeroed = ref 0 in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              let x = out.(i).(j) in
+              if i = j then begin
+                if x <> 0. then begin
+                  out.(i).(j) <- 0.;
+                  incr zeroed
+                end
+              end
+              else if not (cell_ok ~diagonal:false x) then begin
+                out.(i).(j) <- v;
+                incr clamped
+              end
+            done
+          done;
+          Ok
+            ( out,
+              { (no_repair policy) with
+                cells_clamped = !clamped;
+                diagonal_zeroed = !zeroed } )
+      | Symmetrize ->
+          (* Patch an invalid cell from its mirror: a measurement hole in
+             one direction borrows the (valid) reverse-direction decay.
+             If both directions are holes the pair is unrepairable. *)
+          let out = copy_matrix m in
+          let mirrored = ref 0 and zeroed = ref 0 in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              let x = m.(i).(j) in
+              if i = j then begin
+                if x <> 0. then begin
+                  out.(i).(j) <- 0.;
+                  incr zeroed
+                end
+              end
+              else if not (cell_ok ~diagonal:false x) then begin
+                let mirror = m.(j).(i) in
+                if cell_ok ~diagonal:false mirror then begin
+                  out.(i).(j) <- mirror;
+                  incr mirrored
+                end
+                else ok := false
+              end
+            done
+          done;
+          if not !ok then fail ()
+          else
+            Ok
+              ( out,
+                { (no_repair policy) with
+                  cells_mirrored = !mirrored;
+                  diagonal_zeroed = !zeroed } )
+      | Drop_nodes ->
+          (* Greedily remove the node incident to the most invalid cells
+             until the induced sub-matrix is clean — the usual treatment of
+             a dead or misbehaving transceiver in a campaign. *)
+          let alive = Array.make n true in
+          let bad_between i j =
+            let v = m.(i).(j) in
+            if i = j then v <> 0. else not (cell_ok ~diagonal:false v)
+          in
+          let incidence i =
+            let c = ref 0 in
+            for j = 0 to n - 1 do
+              if alive.(j) then begin
+                if bad_between i j then incr c;
+                if i <> j && bad_between j i then incr c
+              end
+            done;
+            !c
+          in
+          let rec prune () =
+            let worst = ref (-1) and worst_count = ref 0 in
+            for i = 0 to n - 1 do
+              if alive.(i) then begin
+                let c = incidence i in
+                if c > !worst_count then begin
+                  worst_count := c;
+                  worst := i
+                end
+              end
+            done;
+            if !worst >= 0 then begin
+              alive.(!worst) <- false;
+              prune ()
+            end
+          in
+          prune ();
+          let keep =
+            Array.to_list (Array.init n Fun.id)
+            |> List.filter (fun i -> alive.(i))
+          in
+          let dropped =
+            Array.to_list (Array.init n Fun.id)
+            |> List.filter (fun i -> not alive.(i))
+          in
+          if List.length keep < 2 then fail ()
+          else begin
+            let keep = Array.of_list keep in
+            let k = Array.length keep in
+            let out =
+              Array.init k (fun i ->
+                  Array.init k (fun j -> m.(keep.(i)).(keep.(j))))
+            in
+            Ok (out, { (no_repair policy) with dropped })
+          end)

@@ -1,0 +1,121 @@
+(** Structured validation and repair of raw decay matrices.
+
+    Real measurement campaigns — the kind of data the paper argues should
+    drive the model — are noisy: links drop out, receivers censor at the
+    noise floor, logging produces NaN holes and ragged rows.  This module
+    turns "the matrix is bad" into a {e diagnosis} (which cells, why) and
+    a {e repair} under an explicit {!policy}, so the analysis pipeline can
+    degrade gracefully instead of crashing or silently computing on
+    garbage.
+
+    It operates on plain [float array array] so it sits below
+    {!Decay_space} in the dependency order; [Decay_space.of_matrix] routes
+    its validation through {!validate_exn}, and the repairing constructors
+    live where the space constructor is in scope:
+    [Decay_space.of_matrix_repaired] and [Decay_io.of_csv_repaired]. *)
+
+(** One defect of a raw matrix, addressed down to the cell. *)
+type issue =
+  | Empty  (** no rows at all *)
+  | Ragged of { row : int; expected : int; got : int }
+      (** row length disagrees with the row count (matrix not square) *)
+  | Not_finite of { i : int; j : int; value : float }  (** NaN or infinite *)
+  | Non_positive of { i : int; j : int; value : float }
+      (** zero or negative decay between distinct nodes *)
+  | Nonzero_diagonal of { i : int; value : float }
+
+(** Measurement-quality report over the {e valid} cells (informational —
+    none of these are errors; all are common in real campaigns). *)
+type profile = {
+  n : int;  (** node count *)
+  bad_cells : int;  (** total invalid cells (issue list may be truncated) *)
+  asymmetric_pairs : int;
+      (** unordered pairs whose two directions differ beyond 1e-9 relative *)
+  worst_asymmetry : float;
+      (** max over pairs of [max (f_ij/f_ji) (f_ji/f_ij)]; [1.] if symmetric *)
+  censored_cells : int;
+      (** off-diagonal cells sitting exactly at the largest finite decay —
+          the signature of noise-floor censoring; [0] unless at least two
+          cells saturate *)
+  censor_floor : float;  (** that largest finite decay (the suspected floor) *)
+}
+
+type diagnosis = {
+  issues : issue list;  (** first {!val-max_reported} defects, in row order *)
+  truncated : int;  (** defects beyond the reported prefix (count only) *)
+  profile : profile option;  (** [None] when the shape itself is broken *)
+}
+
+(** What to do with an invalid matrix. *)
+type policy =
+  | Reject  (** no repairs: any issue fails the build *)
+  | Clamp of float
+      (** replace each invalid off-diagonal cell with the given finite
+          positive value (a noise-floor stand-in) and zero the diagonal *)
+  | Symmetrize
+      (** patch each invalid cell from its mirror [f(j,i)]; fails if both
+          directions of a pair are invalid *)
+  | Drop_nodes
+      (** greedily remove the nodes incident to invalid cells (a dead
+          transceiver) until the induced sub-matrix is clean; fails if
+          fewer than two nodes survive *)
+
+(** What a repair actually did — returned alongside the repaired matrix so
+    no fix-up is ever silent. *)
+type repair = {
+  applied : policy;
+  cells_clamped : int;
+  cells_mirrored : int;
+  diagonal_zeroed : int;
+  dropped : int list;  (** original node indices removed by [Drop_nodes] *)
+}
+
+val max_reported : int
+(** Cap on the number of issues kept verbatim in a {!diagnosis}; the
+    remainder is counted in [truncated]. *)
+
+val diagnose : float array array -> diagnosis
+(** Full scan: every defect (up to {!val-max_reported}, the rest counted)
+    plus the measurement {!profile} when the shape is sound. *)
+
+val first_issue : float array array -> issue option
+(** Early-exit scan: the first defect in row-major order, or [None] for a
+    valid matrix.  The cheap check used on the construction hot path. *)
+
+val is_valid : float array array -> bool
+(** [first_issue m = None]. *)
+
+val validate_exn : name:string -> float array array -> unit
+(** @raise Invalid_argument with a cell-addressed message on the first
+    defect; returns unit on a valid matrix. *)
+
+val repair :
+  ?policy:policy ->
+  float array array ->
+  (float array array * repair, diagnosis) result
+(** Apply [policy] (default {!Reject}).  [Ok (m', report)] guarantees [m']
+    is a valid decay matrix ([m] is never mutated; with [Reject] and a
+    valid input it is returned as-is with an all-zero report).  [Error d]
+    carries the full diagnosis of the input.  Shape defects
+    ([Empty]/[Ragged]) are unrepairable under every policy.
+    @raise Invalid_argument if the [Clamp] value is not finite positive. *)
+
+val suggested_clamp : float array array -> float
+(** The largest finite off-diagonal value — the natural noise-floor
+    stand-in for {!Clamp} (missing data is read as "decay at least as bad
+    as the worst observed"); [1.] when no cell is usable. *)
+
+val issue_to_string : issue -> string
+(** Cell-addressed one-line rendering. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val describe : diagnosis -> string
+(** One line: the first issue plus a count of the rest; ["valid"] for a
+    clean diagnosis. *)
+
+val policy_to_string : policy -> string
+
+val repair_to_string : repair -> string
+(** One line summarizing the repairs performed, e.g.
+    ["policy clamp=37: 3 cell(s) clamped"]. *)

@@ -1,0 +1,10 @@
+(** E29 — fault-injection robustness.
+
+    Sweeps every {!Core.Decay.Corrupt} fault mode (link dropout,
+    noise-floor censoring, outlier spikes, NaN holes) across every
+    {!Core.Decay.Validate.policy} on two base spaces, and asserts the
+    pipeline's fault-tolerance contract: each scenario either
+    repairs-and-reports or rejects with a cell-addressed diagnosis —
+    never crashes, never emits NaN parameters. *)
+
+val e29_fault_injection : unit -> Outcome.t

@@ -1,0 +1,119 @@
+(* Run experiments inside an isolation wrapper so one crashing or hanging
+   claim can never take down a whole [bg experiment] run: every entry
+   produces a structured status, the runner always reaches the end of its
+   list, and the aggregate exit code stays faithful. *)
+
+module Par = Core.Prelude.Parallel
+
+type exn_info = { exn : string; backtrace : string }
+
+type status =
+  | Finished of Outcome.t
+  | Crashed of exn_info
+  | Timed_out of float
+
+type result = {
+  id : string;
+  claim : string;
+  status : status;
+  attempts : int;
+}
+
+let run_entry ?timeout_s ?(retries = 0) ?(backoff_s = 0.05)
+    (e : Registry.entry) =
+  let attempt () =
+    (* The deadline is cooperative: the O(n^3) sweeps poll it at chunk
+       boundaries (see Parallel.with_deadline), so a hung sweep surfaces
+       as Timed_out instead of wedging the runner. *)
+    match timeout_s with
+    | None -> Finished (e.Registry.run ())
+    | Some s -> (
+        try Par.with_deadline ~seconds:s (fun () -> Finished (e.Registry.run ()))
+        with Par.Timeout -> Timed_out s)
+  in
+  let rec go k =
+    match attempt () with
+    | status -> { id = e.Registry.id; claim = e.Registry.claim; status; attempts = k }
+    | exception Par.Timeout ->
+        (* A Timeout escaping [attempt] means an enclosing (ambient)
+           deadline fired, not ours: let the owner see it. *)
+        raise Par.Timeout
+    | exception ex ->
+        let info =
+          {
+            exn = Printexc.to_string ex;
+            backtrace = Printexc.get_backtrace ();
+          }
+        in
+        if k <= retries then begin
+          (* Exponential backoff between retries: transient resource
+             failures (fd exhaustion, a busy pool) get room to clear. *)
+          Unix.sleepf (backoff_s *. float_of_int (1 lsl (k - 1)));
+          go (k + 1)
+        end
+        else
+          {
+            id = e.Registry.id;
+            claim = e.Registry.claim;
+            status = Crashed info;
+            attempts = k;
+          }
+  in
+  go 1
+
+let run_entries ?timeout_s ?retries ?backoff_s entries =
+  List.map
+    (fun (e : Registry.entry) ->
+      Printf.printf "--- %s: %s ---\n%!" e.Registry.id e.Registry.claim;
+      let r = run_entry ?timeout_s ?retries ?backoff_s e in
+      (match r.status with
+      | Finished _ -> ()
+      | Crashed info ->
+          Printf.printf "*** %s crashed (%d attempt%s): %s\n%!" r.id
+            r.attempts
+            (if r.attempts = 1 then "" else "s")
+            info.exn
+      | Timed_out s ->
+          Printf.printf "*** %s timed out after %gs\n%!" r.id s);
+      r)
+    entries
+
+let passed r = match r.status with Finished o -> o.Outcome.pass | _ -> false
+let all_ok results = List.for_all passed results
+let exit_code results = if all_ok results then 0 else 1
+
+let verdict r =
+  match r.status with
+  | Finished o -> if o.Outcome.pass then "PASS" else "FAIL"
+  | Crashed _ -> "CRASH"
+  | Timed_out _ -> "TIMEOUT"
+
+let print_results results =
+  let t =
+    Bg_prelude.Table.create ~title:"experiment outcomes"
+      [ "id"; "verdict"; "measured"; "bound"; "detail" ]
+  in
+  List.iter
+    (fun r ->
+      let measured, bound, detail =
+        match r.status with
+        | Finished o ->
+            ( Outcome.float_cell o.Outcome.measured,
+              Outcome.float_cell o.Outcome.bound,
+              o.Outcome.detail )
+        | Crashed info ->
+            ( "-", "-",
+              Printf.sprintf "%s (after %d attempt%s)" info.exn r.attempts
+                (if r.attempts = 1 then "" else "s") )
+        | Timed_out s -> ("-", "-", Printf.sprintf "exceeded %gs budget" s)
+      in
+      Bg_prelude.Table.add_row t
+        [
+          Bg_prelude.Table.S r.id;
+          Bg_prelude.Table.S (verdict r);
+          Bg_prelude.Table.S measured;
+          Bg_prelude.Table.S bound;
+          Bg_prelude.Table.S detail;
+        ])
+    results;
+  Bg_prelude.Table.print t

@@ -1,0 +1,60 @@
+(** Isolated execution of registry experiments.
+
+    [bg experiment E1 E2 ...] must always complete: one raising or hung
+    claim is a data point ([Crashed]/[Timed_out]), not a reason to lose
+    the rest of the run.  Each entry executes inside a wrapper that
+    captures exceptions (with optional retry-and-backoff) and enforces a
+    cooperative wall-clock budget via
+    {!Core.Prelude.Parallel.with_deadline}; the aggregate exit code
+    reflects every outcome faithfully. *)
+
+type exn_info = { exn : string; backtrace : string }
+
+type status =
+  | Finished of Outcome.t  (** ran to completion (pass or fail) *)
+  | Crashed of exn_info  (** raised on every attempt *)
+  | Timed_out of float  (** exceeded the wall-clock budget (seconds) *)
+
+type result = {
+  id : string;
+  claim : string;
+  status : status;
+  attempts : int;  (** 1 + retries actually consumed *)
+}
+
+val run_entry :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  Registry.entry ->
+  result
+(** Run one experiment isolated.  [timeout_s] bounds wall-clock time
+    cooperatively (the triple sweeps poll the deadline at chunk
+    boundaries); a crash is retried up to [retries] times with
+    exponential backoff starting at [backoff_s] (default 0.05s).
+    Never raises for an experiment failure of any kind. *)
+
+val run_entries :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  Registry.entry list ->
+  result list
+(** Run each entry in order (headers and crash/timeout notices to
+    stdout), always reaching the end of the list. *)
+
+val passed : result -> bool
+(** [Finished] with a passing outcome. *)
+
+val all_ok : result list -> bool
+
+val exit_code : result list -> int
+(** [0] iff every result passed, else [1] — crashes and timeouts count as
+    failures. *)
+
+val verdict : result -> string
+(** ["PASS" | "FAIL" | "CRASH" | "TIMEOUT"]. *)
+
+val print_results : result list -> unit
+(** The measured-vs-bound verdict table, extended with crash/timeout
+    rows. *)

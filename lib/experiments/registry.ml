@@ -65,6 +65,8 @@ let all =
       run = Exp_dimension3.e27_ambient_dimension };
     { id = "E28"; claim = "ablation: Algorithm 1's design choices";
       run = Exp_ablation.e28_alg1_ablation };
+    { id = "E29"; claim = "robustness: corrupted measurements repair-or-reject, never crash";
+      run = Exp_robustness.e29_fault_injection };
   ]
 
 let find id =

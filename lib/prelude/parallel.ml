@@ -1,18 +1,35 @@
-(* A fixed-size domain pool.  Workers are spawned once and block on a
-   condition variable between bursts of work; tasks are plain closures
+(* A fixed-size supervised domain pool.  Workers are spawned once and block
+   on a condition variable between bursts of work; tasks are plain closures
    pulled from a shared queue.  The caller of [run] participates in the
    work, so a pool with zero workers (single-core machines) degrades to a
-   sequential loop with no domain traffic at all. *)
+   sequential loop with no domain traffic at all.
+
+   Fault tolerance: [run] captures the first exception a task raises
+   (with its backtrace), flips a cancellation flag so queued-but-unstarted
+   tasks of the same batch are skipped, and re-raises in the caller once
+   the batch has drained.  A task exception never reaches a worker's own
+   loop, but if one somehow does (a rogue direct [Queue] user, an
+   asynchronous exception), the worker records it and restarts its loop
+   instead of dying; as a second line of defence, [heal] — called on
+   every [run] — respawns any worker domain that has actually exited
+   while the pool is open.  Sweeps can also be bounded in wall-clock time:
+   an ambient (or explicit) absolute deadline is checked at task and chunk
+   boundaries and surfaces as the typed {!Timeout} exception. *)
+
+exception Timeout
 
 type t = {
   mutable domains : unit Domain.t array;
+  mutable target : int; (* intended worker count while open *)
+  alive : int Atomic.t; (* spawned workers that have not exited *)
+  trapped : int Atomic.t; (* exceptions that escaped a task into a worker *)
   queue : (unit -> unit) Queue.t;
   lock : Mutex.t;
   work_ready : Condition.t;
   mutable closed : bool;
 }
 
-let worker pool =
+let worker_loop pool =
   let rec next () =
     match Queue.take_opt pool.queue with
     | Some task -> Some task
@@ -30,12 +47,32 @@ let worker pool =
     match task with
     | None -> ()
     | Some task ->
-        (* Tasks wrap their own exceptions; this is only a safety net so a
-           rogue task cannot kill a shared worker. *)
-        (try task () with _ -> ());
+        (* Tasks wrap their own exceptions; this safety net records a rogue
+           task's escape instead of silently swallowing it, and the worker
+           lives on. *)
+        (try task () with _ -> Atomic.incr pool.trapped);
         loop ()
   in
   loop ()
+
+let spawn_worker pool =
+  (* Count the worker alive from the moment it is requested so [heal]
+     cannot over-spawn while a fresh domain is still starting up. *)
+  Atomic.incr pool.alive;
+  Domain.spawn (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr pool.alive)
+        (fun () ->
+          (* Self-healing in place: if anything escapes the loop machinery
+             itself, restart the loop rather than losing the domain. *)
+          let rec go () =
+            match worker_loop pool with
+            | () -> ()
+            | exception _ ->
+                Atomic.incr pool.trapped;
+                if not pool.closed then go ()
+          in
+          go ()))
 
 let create ?num_domains () =
   let n =
@@ -46,23 +83,43 @@ let create ?num_domains () =
   let pool =
     {
       domains = [||];
+      target = n;
+      alive = Atomic.make 0;
+      trapped = Atomic.make 0;
       queue = Queue.create ();
       lock = Mutex.create ();
       work_ready = Condition.create ();
       closed = false;
     }
   in
-  pool.domains <- Array.init n (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool.domains <- Array.init n (fun _ -> spawn_worker pool);
   pool
 
-let num_domains pool = Array.length pool.domains
+let num_domains pool = pool.target
+let num_live pool = Atomic.get pool.alive
+let trapped_exceptions pool = Atomic.get pool.trapped
+
+let heal pool =
+  if (not pool.closed) && Atomic.get pool.alive < pool.target then begin
+    Mutex.lock pool.lock;
+    let missing = pool.target - Atomic.get pool.alive in
+    if (not pool.closed) && missing > 0 then
+      pool.domains <-
+        Array.append pool.domains
+          (Array.init missing (fun _ -> spawn_worker pool));
+    Mutex.unlock pool.lock
+  end
 
 let shutdown pool =
   Mutex.lock pool.lock;
   pool.closed <- true;
+  pool.target <- 0;
   Condition.broadcast pool.work_ready;
   Mutex.unlock pool.lock;
-  Array.iter Domain.join pool.domains;
+  (* A worker that died of a trapped asynchronous exception re-raises it
+     on join; the failure is already recorded, so don't let it poison the
+     shutdown path. *)
+  Array.iter (fun d -> try Domain.join d with _ -> ()) pool.domains;
   pool.domains <- [||]
 
 let default_pool = ref None
@@ -82,19 +139,68 @@ let default_jobs () = !ambient_jobs
 let set_default_jobs j = ambient_jobs := max 1 j
 let resolve_jobs = function Some j -> max 1 j | None -> default_jobs ()
 
-let run ?pool fns =
+(* ------------------------------------------------------------ deadlines *)
+
+let now () = Unix.gettimeofday ()
+
+(* The ambient deadline is global (not domain-local) on purpose: sweeps
+   fan work out over worker domains, and every participant must observe
+   the caller's budget.  Batches of deadline-bounded work run one at a
+   time (the CLI, the experiment runner), so a single slot suffices. *)
+let ambient_deadline : float option Atomic.t = Atomic.make None
+
+let effective_deadline explicit =
+  match (explicit, Atomic.get ambient_deadline) with
+  | None, d | d, None -> d
+  | Some a, Some b -> Some (Float.min a b)
+
+let deadline_passed = function Some t -> now () > t | None -> false
+
+let check_deadline ?deadline () =
+  if deadline_passed (effective_deadline deadline) then raise Timeout
+
+let with_deadline ~seconds f =
+  let saved = Atomic.get ambient_deadline in
+  let t = now () +. Float.max 0. seconds in
+  let t = match saved with Some s -> Float.min s t | None -> t in
+  Atomic.set ambient_deadline (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_deadline saved) f
+
+(* ----------------------------------------------------------------- run *)
+
+let run ?pool ?deadline fns =
   let n = Array.length fns in
   if n = 0 then [||]
   else begin
+    let deadline = effective_deadline deadline in
     let pool = match pool with Some p -> p | None -> get_default () in
+    heal pool;
     let results = Array.make n None in
     let pending = ref n in
     let done_lock = Mutex.create () in
     let done_cond = Condition.create () in
-    let task i () =
-      let r = try Ok (fns.(i) ()) with e -> Error e in
+    (* First error wins: it cancels every not-yet-started task of this
+       batch and is re-raised (with its backtrace) in the caller. *)
+    let cancelled = Atomic.make false in
+    let first_error = ref None in
+    let record_error e bt =
       Mutex.lock done_lock;
-      results.(i) <- Some r;
+      if !first_error = None then begin
+        first_error := Some (e, bt);
+        Atomic.set cancelled true
+      end;
+      Mutex.unlock done_lock
+    in
+    let task i () =
+      if not (Atomic.get cancelled) then
+        if deadline_passed deadline then
+          record_error Timeout (Printexc.get_callstack 0)
+        else begin
+          match fns.(i) () with
+          | v -> results.(i) <- Some v
+          | exception e -> record_error e (Printexc.get_raw_backtrace ())
+        end;
+      Mutex.lock done_lock;
       decr pending;
       if !pending = 0 then Condition.signal done_cond;
       Mutex.unlock done_lock
@@ -127,21 +233,49 @@ let run ?pool fns =
       Condition.wait done_cond done_lock
     done;
     Mutex.unlock done_lock;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false)
-      results
+    match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false)
+          results
   end
 
 let map_reduce_chunks ~jobs ~lo ~hi ~neutral ~map ~combine =
   if hi <= lo then neutral
   else begin
+    (* The wall-clock bound is ambient ([with_deadline]): a [?deadline]
+       argument here could never be erased (every parameter is labeled),
+       so the budget travels out-of-band instead. *)
+    let deadline = effective_deadline None in
+    let check () = if deadline_passed deadline then raise Timeout in
     let len = hi - lo in
     let jobs = max 1 (min jobs len) in
-    if jobs = 1 then map lo hi
+    if jobs = 1 then
+      match deadline with
+      | None -> map lo hi
+      | Some _ ->
+          (* Sequential but deadline-bounded: slice the range so the
+             deadline is polled between slices.  The slices are contiguous
+             and combined left-to-right, so the result is bit-for-bit the
+             one chunked consumers already guarantee at any jobs count. *)
+          let slices = min len 16 in
+          let size = (len + slices - 1) / slices in
+          let acc = ref None in
+          let clo = ref lo in
+          while !clo < hi do
+            check ();
+            let chi = min hi (!clo + size) in
+            let part = map !clo chi in
+            (acc :=
+               match !acc with
+               | None -> Some part
+               | Some a -> Some (combine a part));
+            clo := chi
+          done;
+          (match !acc with Some a -> a | None -> neutral)
     else begin
+      check ();
       let size = (len + jobs - 1) / jobs in
       let chunks = (len + size - 1) / size in
       let parts =

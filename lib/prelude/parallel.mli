@@ -1,4 +1,5 @@
-(** A fixed-size domain pool and deterministic chunked map-reduce.
+(** A supervised fixed-size domain pool and deterministic chunked
+    map-reduce.
 
     The O(n^3) parameter sweeps of the decay layer (metricity, the relaxed
     triangle constant, the fading parameter) are embarrassingly parallel in
@@ -15,7 +16,22 @@
     fold — e.g. "keep the maximum, ties broken by first occurrence", which
     the metricity witnesses use — therefore returns bit-for-bit the same
     value at every [jobs] count.  [jobs] controls work splitting only,
-    never the result. *)
+    never the result.
+
+    {b Fault tolerance.}  A raising task cancels the rest of its batch
+    (queued-but-unstarted tasks are skipped) and the first recorded
+    exception re-raises in the caller with its original backtrace — a
+    crash is never swallowed and never hangs the sweep.  Worker domains
+    survive rogue task exceptions (recorded, loop restarted) and any
+    worker that does exit while the pool is open is respawned by {!heal},
+    which every {!run} performs first.  Wall-clock budgets are cooperative:
+    an ambient ({!with_deadline}) or explicit [?deadline] bound is checked
+    at task and chunk boundaries and raises the typed {!Timeout}. *)
+
+exception Timeout
+(** Raised (in the caller) when a deadline-bounded batch exceeds its
+    wall-clock budget.  See {!with_deadline} and the [?deadline]
+    arguments. *)
 
 type t
 (** A pool of worker domains plus the calling domain. *)
@@ -26,7 +42,25 @@ val create : ?num_domains:int -> unit -> t
     workers the pool is still usable: all work runs on the caller. *)
 
 val num_domains : t -> int
-(** Worker domains owned by the pool (the caller is not counted). *)
+(** Worker domains the pool is meant to keep alive (the caller is not
+    counted); [0] after {!shutdown}. *)
+
+val num_live : t -> int
+(** Worker domains currently alive.  Equals {!num_domains} unless a worker
+    died and {!heal} has not yet run. *)
+
+val trapped_exceptions : t -> int
+(** Exceptions that escaped a task into a worker's own loop (a rogue
+    direct queue user, an asynchronous exception) since the pool was
+    created.  Tasks submitted through {!run} capture their exceptions, so
+    this stays [0] in normal operation; a nonzero value means a worker
+    self-healed. *)
+
+val heal : t -> unit
+(** Respawn any worker domains that have exited while the pool is open,
+    restoring {!num_live} to {!num_domains}.  Called automatically at the
+    start of every {!run}; exposed for tests and long-lived servers.
+    No-op on a closed or fully healthy pool. *)
 
 val shutdown : t -> unit
 (** Terminate and join the pool's workers.  Idempotent.  Pending tasks are
@@ -55,11 +89,31 @@ val resolve_jobs : int option -> int
 (** [resolve_jobs (Some j)] is [max 1 j]; [resolve_jobs None] is
     {!default_jobs}[ ()].  The idiom for [?jobs] parameters. *)
 
-val run : ?pool:t -> (unit -> 'a) array -> 'a array
+val with_deadline : seconds:float -> (unit -> 'a) -> 'a
+(** [with_deadline ~seconds f] runs [f] under an ambient wall-clock budget
+    of [seconds]: every {!run} / {!map_reduce_chunks} reached from [f]
+    (on any domain) polls the deadline at task/chunk boundaries and raises
+    {!Timeout} once it has passed.  Nested budgets take the minimum (an
+    inner call can only tighten).  The bound is cooperative — code that
+    never reaches a checkpoint is not interrupted; long-running loops can
+    poll explicitly with {!check_deadline}.  The previous ambient deadline
+    is restored on exit, normal or exceptional. *)
+
+val check_deadline : ?deadline:float -> unit -> unit
+(** Raise {!Timeout} if the ambient deadline (tightened by [?deadline],
+    an absolute [Unix.gettimeofday]-based time) has passed.  The explicit
+    polling point for long sequential loops. *)
+
+val run : ?pool:t -> ?deadline:float -> (unit -> 'a) array -> 'a array
 (** Execute the thunks, possibly in parallel, and return their results in
     input order.  The caller participates in the work (so a 0-worker pool
     degrades to a plain sequential loop).  If any thunk raises, the first
-    (lowest-index) exception is re-raised after all thunks finish. *)
+    recorded exception cancels the batch's not-yet-started thunks and is
+    re-raised in the caller with its original backtrace (with a
+    sequential/1-job pool "first recorded" is exactly "lowest index").
+    [?deadline] is an absolute wall-clock bound checked before each thunk
+    starts; it combines (min) with the ambient {!with_deadline} bound and
+    surfaces as {!Timeout}. *)
 
 val map_reduce_chunks :
   jobs:int ->
@@ -74,5 +128,10 @@ val map_reduce_chunks :
     [map chunk_lo chunk_hi] for each (in parallel when [jobs > 1] and the
     pool has workers) and folds [combine] over the results in ascending
     chunk order.  [neutral] is returned for an empty range.  With
-    [jobs <= 1] this is exactly [map lo hi] — no combine, no overhead.
-    Parallel work always runs on the shared {!get_default} pool. *)
+    [jobs <= 1] and no active {!with_deadline} budget this is exactly
+    [map lo hi] — no combine, no overhead; under a budget the sequential
+    pass is sliced so the deadline is polled between slices (the
+    combine-in-chunk-order contract keeps the result bit-identical).  A
+    [map] that raises cancels the remaining chunks and re-raises in the
+    caller; an exceeded budget raises {!Timeout}.  Parallel work always
+    runs on the shared {!get_default} pool. *)

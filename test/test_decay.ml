@@ -18,24 +18,27 @@ let test_of_matrix_valid () =
   check_float "f(1,0)" 3. (D.decay d 1 0);
   check_float "gain" 0.5 (D.gain d 0 1)
 
+(* Validation failures carry the offending cell's address and value. *)
 let test_of_matrix_rejects_nonsquare () =
   Alcotest.check_raises "not square"
-    (Invalid_argument "decay: decay matrix is not square") (fun () ->
-      ignore (D.of_matrix [| [| 0.; 1. |] |]))
+    (Invalid_argument
+       "decay: row 0 has 2 cells, expected 1 (the square matrix has 1 rows)")
+    (fun () -> ignore (D.of_matrix [| [| 0.; 1. |] |]))
 
 let test_of_matrix_rejects_diagonal () =
   Alcotest.check_raises "diagonal"
-    (Invalid_argument "decay: nonzero diagonal decay") (fun () ->
+    (Invalid_argument "decay: nonzero diagonal decay 1 at (0,0)") (fun () ->
       ignore (D.of_matrix [| [| 1. |] |]))
 
 let test_of_matrix_rejects_zero_offdiag () =
   Alcotest.check_raises "zero off-diagonal"
-    (Invalid_argument "decay: nonpositive decay between distinct nodes")
+    (Invalid_argument
+       "decay: nonpositive decay 0 at (0,1) between distinct nodes")
     (fun () -> ignore (D.of_matrix [| [| 0.; 0. |]; [| 1.; 0. |] |]))
 
 let test_of_matrix_rejects_nonfinite () =
   Alcotest.check_raises "inf"
-    (Invalid_argument "decay: non-finite decay") (fun () ->
+    (Invalid_argument "decay: non-finite decay inf at (0,1)") (fun () ->
       ignore (D.of_matrix [| [| 0.; infinity |]; [| 1.; 0. |] |]))
 
 let test_matrix_defensive_copy () =

@@ -36,8 +36,8 @@ let test_io_name_header () =
 
 let test_io_rejects_garbage () =
   Alcotest.check_raises "not a number"
-    (Invalid_argument "Decay_io.of_csv: not a number: abc") (fun () ->
-      ignore (Io.of_csv "0,abc\n1,0\n"))
+    (Invalid_argument "Decay_io.of_csv: not a number: abc (line 1, column 2)")
+    (fun () -> ignore (Io.of_csv "0,abc\n1,0\n"))
 
 let test_io_rejects_invalid_matrix () =
   (* Valid CSV but invalid decay space (nonzero diagonal). *)
