@@ -14,6 +14,7 @@ module D = Core.Decay.Decay_space
 module Met = Core.Decay.Metricity
 module KS = Core.Decay.Kernel_stats
 module Num = Core.Prelude.Numerics
+module Obs = Core.Prelude.Obs
 module T = Core.Prelude.Table
 
 type witness = Met.witness = { x : int; y : int; z : int; value : float }
@@ -65,6 +66,23 @@ let naive_zeta_witness d =
   done;
   !best
 
+(* Per-call cost of [Obs.with_span] with no trace sink installed: the
+   price every instrumented hot path pays when observability is off.
+   The budget below is three orders of magnitude above the expected cost
+   (a few ns: one atomic load and a branch) — it exists to catch an
+   accidental allocation or lock on the fast path, not to measure the
+   machine.  Meaningless (and skipped) when a sink is installed. *)
+let span_off_budget_ns = 1000.
+
+let span_off_overhead_ns () =
+  let sink = ref 0 in
+  let cost =
+    Timing.per_call_ns ~iters:200_000 (fun () ->
+        Obs.with_span "noop" (fun () -> incr sink))
+  in
+  ignore !sink;
+  cost
+
 let geo_space n =
   D.of_points ~alpha:3.
     (Core.Decay.Spaces.random_points (Core.Prelude.Rng.create 2024) ~n
@@ -104,16 +122,16 @@ let run ?(par_jobs = 4) ?(max_n = 512) ?(json_path = "BENCH_kernels.json") ()
         let reps = if n >= 256 then 2 else 3 in
         let naive_reps = if n >= 256 then 1 else 2 in
         let w_naive, naive_s =
-          Micro.time_best ~reps:naive_reps (fun () -> naive_zeta_witness space)
+          Timing.time_best ~reps:naive_reps (fun () -> naive_zeta_witness space)
         in
         KS.reset ();
         let w_seq, opt_seq_s =
-          Micro.time_best ~reps (fun () ->
+          Timing.time_best ~reps (fun () ->
               Met.zeta_witness ~jobs:1 ~cache:false space)
         in
         let stats = KS.snapshot () in
         let w_par, opt_par_s =
-          Micro.time_best ~reps (fun () ->
+          Timing.time_best ~reps (fun () ->
               Met.zeta_witness ~jobs:par_jobs ~cache:false space)
         in
         (* Cached lookup: first call populates (a miss), second is the
@@ -121,7 +139,7 @@ let run ?(par_jobs = 4) ?(max_n = 512) ?(json_path = "BENCH_kernels.json") ()
         Met.clear_caches ();
         ignore (Met.zeta_witness space);
         let w_cached, cached_s =
-          Micro.time_best ~reps:3 (fun () -> Met.zeta_witness space)
+          Timing.time_best ~reps:3 (fun () -> Met.zeta_witness space)
         in
         let identical = w_naive = w_seq && w_seq = w_par && w_par = w_cached in
         let seq_speedup = naive_s /. Float.max 1e-9 opt_seq_s in
@@ -148,6 +166,14 @@ let run ?(par_jobs = 4) ?(max_n = 512) ?(json_path = "BENCH_kernels.json") ()
       sizes
   in
   T.print table;
+  let span_off_ns = if Obs.tracing () then None else Some (span_off_overhead_ns ()) in
+  (match span_off_ns with
+  | Some c ->
+      Printf.printf "disabled-span overhead: %.1f ns/call (budget %g)\n%!" c
+        span_off_budget_ns
+  | None ->
+      print_endline
+        "disabled-span overhead: skipped (a trace sink is installed)");
   let mh, mm = Met.cache_stats () in
   let oc = open_out json_path in
   Printf.fprintf oc "{\n  \"benchmark\": \"flat_logdomain_kernels\",\n";
@@ -155,6 +181,10 @@ let run ?(par_jobs = 4) ?(max_n = 512) ?(json_path = "BENCH_kernels.json") ()
   Printf.fprintf oc "  \"jobs_parallel\": %d,\n" par_jobs;
   Printf.fprintf oc "  \"domains_available\": %d,\n"
     (Core.Prelude.Parallel.auto_jobs ());
+  Printf.fprintf oc "  \"span_off_overhead_ns\": %s,\n"
+    (match span_off_ns with
+    | Some c -> Printf.sprintf "%.1f" c
+    | None -> "null");
   Printf.fprintf oc "  \"cache\": {\"hits\": %d, \"misses\": %d},\n" mh mm;
   Printf.fprintf oc "  \"results\": [\n";
   List.iteri
@@ -175,4 +205,11 @@ let run ?(par_jobs = 4) ?(max_n = 512) ?(json_path = "BENCH_kernels.json") ()
   if not (List.for_all (fun e -> e.identical) entries) then begin
     prerr_endline "FATAL: optimized kernel witness diverged from naive sweep";
     exit 1
-  end
+  end;
+  match span_off_ns with
+  | Some c when c > span_off_budget_ns ->
+      Printf.eprintf
+        "FATAL: disabled-span overhead %.1f ns/call exceeds %g ns budget\n"
+        c span_off_budget_ns;
+      exit 1
+  | _ -> ()

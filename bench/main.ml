@@ -7,28 +7,40 @@
      bench/main.exe --no-micro          skip the bechamel micro-benchmarks
      bench/main.exe --no-kernels        skip the flat-kernel benchmark
      bench/main.exe --kernels-only      run only the flat-kernel benchmark
-     bench/main.exe --kernels-max-n N   cap the kernel benchmark size *)
+     bench/main.exe --kernels-max-n N   cap the kernel benchmark size
+     bench/main.exe --trace FILE        write a JSONL observability trace
+     bench/main.exe --metrics           print the metrics registry at exit *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_micro = List.mem "--no-micro" args in
   let no_kernels = List.mem "--no-kernels" args in
   let kernels_only = List.mem "--kernels-only" args in
-  let kernels_max_n =
+  let metrics = List.mem "--metrics" args in
+  let find_val flag default parse =
     let rec find = function
-      | "--kernels-max-n" :: v :: _ -> int_of_string v
+      | f :: v :: _ when f = flag -> parse v
       | _ :: rest -> find rest
-      | [] -> 512
+      | [] -> default
     in
     find args
   in
+  let kernels_max_n = find_val "--kernels-max-n" 512 int_of_string in
+  (match find_val "--trace" None (fun v -> Some v) with
+  | Some path -> Core.Prelude.Obs.set_trace_file path
+  | None -> ());
+  let finish code =
+    Core.Prelude.Obs.flush_metrics ();
+    if metrics then Core.Prelude.Obs.print_summary ();
+    exit code
+  in
   if kernels_only then begin
-    Kernels.run ~max_n:kernels_max_n ();
-    exit 0
+    Benchkit.Kernels.run ~max_n:kernels_max_n ();
+    finish 0
   end;
   let selected =
     let rec drop_flags = function
-      | "--kernels-max-n" :: _ :: rest -> drop_flags rest
+      | ("--kernels-max-n" | "--trace") :: _ :: rest -> drop_flags rest
       | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
           drop_flags rest
       | a :: rest -> a :: drop_flags rest
@@ -61,5 +73,5 @@ let () =
     Micro.run ();
     Micro.run_parallel ()
   end;
-  if not no_kernels then Kernels.run ~max_n:kernels_max_n ();
-  if not (Bg_experiments.Registry.all_pass verdicts) then exit 1
+  if not no_kernels then Benchkit.Kernels.run ~max_n:kernels_max_n ();
+  finish (if Bg_experiments.Registry.all_pass verdicts then 0 else 1)

@@ -121,17 +121,7 @@ let run () =
    perf trajectory is tracked across PRs.  Wall-clock best-of-[reps];
    results are asserted equal between job counts before timing counts. *)
 
-let time_best ~reps f =
-  let best = ref infinity in
-  let last = ref None in
-  for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
-    let v = f () in
-    let dt = Unix.gettimeofday () -. t0 in
-    last := Some v;
-    if dt < !best then best := dt
-  done;
-  (Option.get !last, !best)
+let time_best = Benchkit.Timing.time_best
 
 let run_parallel ?(par_jobs = 4) ?(json_path = "BENCH_parallel.json") () =
   let table =

@@ -67,6 +67,36 @@ let apply_jobs jobs =
   Core.Prelude.Parallel.set_default_jobs jobs;
   jobs
 
+(* Shared observability flags (analyze / experiment / bench): --trace FILE
+   installs the JSONL sink for the whole run, --metrics prints the
+   metrics registry at the end.  [finish_obs] runs on every exit path of
+   an observed subcommand, including the nonzero-exit ones. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL observability trace to $(docv): one event per \
+           completed span (sweeps, cache lookups, experiments) plus a \
+           final flush of the metrics registry. Off by default; the \
+           instrumentation costs ~nothing when off.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the metrics registry (kernel pruning counters, cache \
+           hits/misses, pool and repair statistics) as a table when the \
+           command finishes.")
+
+let apply_obs trace = Option.iter Core.Prelude.Obs.set_trace_file trace
+
+let finish_obs metrics =
+  Core.Prelude.Obs.flush_metrics ();
+  if metrics then Core.Prelude.Obs.print_summary ()
+
 (* ------------------------------------------------------------- analyze *)
 
 let gamma_at =
@@ -130,8 +160,9 @@ let space_of_file_repaired file repair =
           | Error diag -> user_error "%s: %s" file (V.describe diag))
 
 let analyze_cmd =
-  let run file gamma_at jobs no_cache repair timeout =
+  let run file gamma_at jobs no_cache repair timeout trace metrics =
     let jobs = apply_jobs jobs in
+    apply_obs trace;
     let space = space_of_file_repaired file repair in
     let report =
       or_user_error (fun () ->
@@ -146,13 +177,14 @@ let analyze_cmd =
                   }
                 space))
     in
-    Core.Prelude.Table.print (Core.Analysis.to_table report)
+    Core.Prelude.Table.print (Core.Analysis.to_table report);
+    finish_obs metrics
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute every decay-space parameter of a matrix.")
     Term.(
       const run $ file_arg $ gamma_at $ jobs_arg $ no_cache_arg $ repair_arg
-      $ timeout_arg)
+      $ timeout_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------ generate *)
 
@@ -290,8 +322,9 @@ let experiment_cmd =
             "Retry a crashing experiment up to K times with exponential \
              backoff before recording it as CRASH.")
   in
-  let run ids jobs timeout retries =
+  let run ids jobs timeout retries trace metrics =
     ignore (apply_jobs jobs);
+    apply_obs trace;
     let entries =
       if List.exists (fun s -> String.lowercase_ascii s = "all") ids then
         Bg_experiments.Registry.all
@@ -311,6 +344,7 @@ let experiment_cmd =
       Bg_experiments.Isolate.run_entries ?timeout_s ~retries entries
     in
     Bg_experiments.Isolate.print_results results;
+    finish_obs metrics;
     let code = Bg_experiments.Isolate.exit_code results in
     if code <> 0 then exit code
   in
@@ -319,7 +353,9 @@ let experiment_cmd =
        ~doc:
          "Run paper-claim experiments, each isolated so one crash or \
           timeout cannot lose the rest of the run.")
-    Term.(const run $ ids $ jobs_arg $ timeout_arg $ retries_arg)
+    Term.(
+      const run $ ids $ jobs_arg $ timeout_arg $ retries_arg $ trace_arg
+      $ metrics_arg)
 
 (* ---------------------------------------------------------------- stats *)
 
@@ -402,6 +438,49 @@ let protocols_cmd =
        ~doc:"Run the distributed protocol suite on a decay matrix.")
     Term.(const run $ file_arg $ radius_pct $ seed_arg)
 
+(* ---------------------------------------------------------------- bench *)
+
+let bench_cmd =
+  let kernels_only_arg =
+    Arg.(
+      value & flag
+      & info [ "kernels-only" ]
+          ~doc:
+            "Run only the kernel benchmark (currently the default and only \
+             suite of this subcommand; the flag exists so the invocation \
+             documented in EXPERIMENTS.md stays stable if more suites are \
+             added).")
+  in
+  let max_n_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "kernels-max-n" ] ~docv:"N"
+          ~doc:"Largest decay-space size the kernel benchmark sweeps.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_kernels.json"
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Where to write the machine-readable results.")
+  in
+  let run kernels_only max_n json jobs trace metrics =
+    ignore kernels_only;
+    ignore (apply_jobs jobs);
+    apply_obs trace;
+    or_user_error (fun () -> Benchkit.Kernels.run ~max_n ~json_path:json ());
+    finish_obs metrics
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the flat log-domain kernel benchmark (naive vs optimized \
+          zeta sweep, pruning hit-rates, cache behaviour, disabled-span \
+          overhead) and record BENCH_kernels.json.")
+    Term.(
+      const run $ kernels_only_arg $ max_n_arg $ json_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
+
 (* ------------------------------------------------------------------ zoo *)
 
 let zoo_cmd =
@@ -427,7 +506,7 @@ let main =
     (Cmd.info "bg" ~version:"1.0.0"
        ~doc:"Decay-space wireless models (Beyond Geometry, PODC 2014).")
     [ analyze_cmd; generate_cmd; capacity_cmd; experiment_cmd; stats_cmd;
-      protocols_cmd; zoo_cmd ]
+      protocols_cmd; bench_cmd; zoo_cmd ]
 
 let () =
   (* Cmdliner reports its own parse errors with Exit.cli_error (124);

@@ -26,7 +26,17 @@ type config = {
 let default = { gamma_at = []; exact_limit = None; jobs = None; cache = true }
 
 let run ?(config = default) space =
+  let module Obs = Bg_prelude.Obs in
   let { gamma_at; exact_limit; jobs; cache } = config in
+  Obs.with_span
+    ~attrs:
+      [
+        ("space", Obs.S (D.Decay_space.name space));
+        ("n", Obs.I (D.Decay_space.n space));
+        ("cache", Obs.B cache);
+      ]
+    "analyze"
+  @@ fun () ->
   let zeta_witness = D.Metricity.zeta_witness ?jobs ~cache space in
   let zeta = zeta_witness.D.Metricity.value in
   let phi = D.Metricity.phi ?jobs ~cache space in

@@ -3,6 +3,10 @@
    the injector — decides what survives. *)
 
 module Rng = Bg_prelude.Rng
+module Obs = Bg_prelude.Obs
+
+let m_applications = Obs.counter "corrupt.applications"
+let m_cells = Obs.counter "corrupt.cells_corrupted"
 
 type mode =
   | Dropout of float
@@ -35,10 +39,18 @@ let apply ~seed mode space =
   (* Iterate cells in row-major order with one fixed-seed stream, so a
      given (seed, mode, space size) corrupts exactly the same cells on
      every run — faults are reproducible test vectors, not noise. *)
+  let changed = ref 0 in
   let each_off_diag f =
     for i = 0 to n - 1 do
       for j = 0 to n - 1 do
-        if i <> j then m.(i).(j) <- f g m.(i).(j)
+        if i <> j then begin
+          let v = m.(i).(j) in
+          let v' = f g v in
+          (* Float.equal is total (NaN = NaN), so a NaN hole punched into
+             an already-NaN cell is correctly not counted as a change. *)
+          if not (Float.equal v v') then incr changed;
+          m.(i).(j) <- v'
+        end
       done
     done
   in
@@ -79,4 +91,6 @@ let apply ~seed mode space =
           if Rng.bernoulli g prob then
             if Rng.bernoulli g 0.5 then v *. factor else v /. factor
           else v));
+  Obs.incr m_applications;
+  Obs.add m_cells !changed;
   m

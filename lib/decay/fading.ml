@@ -112,14 +112,19 @@ let gamma_z ?(exact_limit = 24) d ~z ~r =
   end
 
 let gamma_cache : (string * float * int, float) Memo.t =
-  Memo.create ~max_size:512 ()
+  Memo.create ~max_size:512 ~name:"gamma" ()
 
 let gamma_sweep ?exact_limit ~jobs d ~r =
   let module Par = Bg_prelude.Parallel in
+  let module Obs = Bg_prelude.Obs in
   (* Force the lazy views on the caller's thread before fanning out. *)
   ignore (Decay_space.flat_view d);
   ignore (Decay_space.transpose_view d);
-  Kernel_stats.add Kernel_stats.sweeps 1;
+  Obs.with_span
+    ~attrs:[ ("n", Obs.I (Decay_space.n d)); ("jobs", Obs.I jobs) ]
+    "gamma_sweep"
+  @@ fun () ->
+  Kernel_stats.record_sweep ~triples:0;
   Par.map_reduce_chunks ~jobs ~lo:0 ~hi:(Decay_space.n d) ~neutral:0.
     ~map:(fun lo hi ->
       let best = ref 0. in

@@ -1,55 +1,62 @@
-(* Global diagnostics for the optimized sweep kernels.
+(* Diagnostics for the optimized sweep kernels, backed by the
+   process-wide [Bg_prelude.Obs] metrics registry.
 
-   Counters are atomics so parallel chunks can flush without locks; each
-   chunk accumulates in plain locals and publishes once on exit, so the
-   per-triple cost of instrumentation is zero.  The numbers are
-   diagnostics (bench hit-rates, cache-effectiveness tests), never inputs
-   to any computation. *)
+   Parallel chunks do NOT touch shared state from inside worker domains:
+   each chunk accumulates a private [tally] in plain locals, the chunks'
+   tallies are summed in the deterministic left-to-right [combine] of
+   [Parallel.map_reduce_chunks], and the caller publishes the merged
+   total into the registry exactly once per sweep.  That keeps the
+   per-triple instrumentation cost at zero, makes the published numbers
+   independent of worker interleaving, and attributes each sweep's
+   counts as one batch (so a trace can carry them as span attributes).
 
-type snapshot = {
-  sweeps : int;        (* full sweeps actually executed (cache misses) *)
-  triples : int;       (* ordered triples covered by executed zeta/phi sweeps *)
-  plain_skips : int;   (* dismissed by the plain triangle inequality *)
-  cheap_skips : int;   (* dismissed by the log-domain incumbent bound *)
-  deep : int;          (* reached the exp check / bisection stage *)
-  exp_evals : int;     (* ran the 3-exp holds test *)
-  bisections : int;    (* ran the full bisection *)
-  row_prunes : int;    (* whole rows skipped by the row bound *)
-  pair_prunes : int;   (* whole z-loops skipped by the pair bound *)
-  tile_prunes : int;   (* z-tiles skipped by the tile bound *)
-}
+   The numbers are diagnostics (bench hit-rates, cache-effectiveness
+   tests), never inputs to any computation. *)
 
-let sweeps = Atomic.make 0
-let triples = Atomic.make 0
-let plain_skips = Atomic.make 0
-let cheap_skips = Atomic.make 0
-let deep = Atomic.make 0
-let exp_evals = Atomic.make 0
-let bisections = Atomic.make 0
-let row_prunes = Atomic.make 0
-let pair_prunes = Atomic.make 0
-let tile_prunes = Atomic.make 0
+module Obs = Bg_prelude.Obs
+
+let sweeps = Obs.counter "kernel.sweeps"
+let triples = Obs.counter "kernel.triples"
+let plain_skips = Obs.counter "kernel.plain_skips"
+let cheap_skips = Obs.counter "kernel.cheap_skips"
+let deep = Obs.counter "kernel.deep"
+let exp_evals = Obs.counter "kernel.exp_evals"
+let bisections = Obs.counter "kernel.bisections"
+let row_prunes = Obs.counter "kernel.row_prunes"
+let pair_prunes = Obs.counter "kernel.pair_prunes"
+let tile_prunes = Obs.counter "kernel.tile_prunes"
 
 let all =
   [ sweeps; triples; plain_skips; cheap_skips; deep; exp_evals; bisections;
     row_prunes; pair_prunes; tile_prunes ]
 
-let reset () = List.iter (fun a -> Atomic.set a 0) all
+let reset () = List.iter Obs.reset_counter all
 
-let add a k = if k <> 0 then ignore (Atomic.fetch_and_add a k)
+type snapshot = {
+  sweeps : int;
+  triples : int;
+  plain_skips : int;
+  cheap_skips : int;
+  deep : int;
+  exp_evals : int;
+  bisections : int;
+  row_prunes : int;
+  pair_prunes : int;
+  tile_prunes : int;
+}
 
 let snapshot () =
   {
-    sweeps = Atomic.get sweeps;
-    triples = Atomic.get triples;
-    plain_skips = Atomic.get plain_skips;
-    cheap_skips = Atomic.get cheap_skips;
-    deep = Atomic.get deep;
-    exp_evals = Atomic.get exp_evals;
-    bisections = Atomic.get bisections;
-    row_prunes = Atomic.get row_prunes;
-    pair_prunes = Atomic.get pair_prunes;
-    tile_prunes = Atomic.get tile_prunes;
+    sweeps = Obs.counter_value sweeps;
+    triples = Obs.counter_value triples;
+    plain_skips = Obs.counter_value plain_skips;
+    cheap_skips = Obs.counter_value cheap_skips;
+    deep = Obs.counter_value deep;
+    exp_evals = Obs.counter_value exp_evals;
+    bisections = Obs.counter_value bisections;
+    row_prunes = Obs.counter_value row_prunes;
+    pair_prunes = Obs.counter_value pair_prunes;
+    tile_prunes = Obs.counter_value tile_prunes;
   }
 
 (* Fraction of covered triples never even loaded from memory: everything
@@ -59,3 +66,53 @@ let pruned_fraction s =
   else
     float_of_int (s.triples - s.plain_skips - s.cheap_skips - s.deep)
     /. float_of_int s.triples
+
+(* ----------------------------------------------- per-chunk tallies *)
+
+type tally = {
+  t_plain : int;
+  t_cheap : int;
+  t_deep : int;
+  t_exp : int;
+  t_bis : int;
+  t_rows : int;
+  t_pairs : int;
+  t_tiles : int;
+}
+
+let empty_tally =
+  { t_plain = 0; t_cheap = 0; t_deep = 0; t_exp = 0; t_bis = 0; t_rows = 0;
+    t_pairs = 0; t_tiles = 0 }
+
+let merge a b =
+  {
+    t_plain = a.t_plain + b.t_plain;
+    t_cheap = a.t_cheap + b.t_cheap;
+    t_deep = a.t_deep + b.t_deep;
+    t_exp = a.t_exp + b.t_exp;
+    t_bis = a.t_bis + b.t_bis;
+    t_rows = a.t_rows + b.t_rows;
+    t_pairs = a.t_pairs + b.t_pairs;
+    t_tiles = a.t_tiles + b.t_tiles;
+  }
+
+let record_sweep ~triples:tr =
+  Obs.incr sweeps;
+  Obs.add triples tr
+
+let publish t =
+  Obs.add plain_skips t.t_plain;
+  Obs.add cheap_skips t.t_cheap;
+  Obs.add deep t.t_deep;
+  Obs.add exp_evals t.t_exp;
+  Obs.add bisections t.t_bis;
+  Obs.add row_prunes t.t_rows;
+  Obs.add pair_prunes t.t_pairs;
+  Obs.add tile_prunes t.t_tiles;
+  (* When tracing, pin the sweep's pruning story to its span. *)
+  if Obs.tracing () then begin
+    Obs.add_span_attr "plain_skips" (Obs.I t.t_plain);
+    Obs.add_span_attr "cheap_skips" (Obs.I t.t_cheap);
+    Obs.add_span_attr "deep" (Obs.I t.t_deep);
+    Obs.add_span_attr "bisections" (Obs.I t.t_bis)
+  end

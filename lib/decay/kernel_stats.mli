@@ -1,9 +1,16 @@
 (** Diagnostics counters for the optimized sweep kernels.
 
-    Process-global, race-safe (atomics, flushed once per parallel chunk),
-    and purely observational: they feed the kernel bench's pruning
-    hit-rates and the analysis-cache tests, and never influence results.
-    [reset] before a measured region, [snapshot] after. *)
+    Backed by the process-wide {!Bg_prelude.Obs} registry under the
+    [kernel.*] names, and purely observational: they feed the kernel
+    bench's pruning hit-rates and the analysis-cache tests, and never
+    influence results.  [reset] before a measured region, [snapshot]
+    after.
+
+    Domain-safety: parallel chunks never write shared counters from
+    worker domains.  Each chunk fills a private {!tally}, tallies are
+    {!merge}d in the deterministic combine of
+    {!Bg_prelude.Parallel.map_reduce_chunks}, and the caller
+    {!publish}es the total once per sweep. *)
 
 type snapshot = {
   sweeps : int;        (** full sweeps actually executed (cache misses) *)
@@ -27,16 +34,26 @@ val pruned_fraction : snapshot -> float
 
 (**/**)
 
-(* Internal: used by the kernels to publish per-chunk tallies. *)
+(* Internal: used by the kernels to accumulate and publish per-chunk
+   tallies. *)
 
-val sweeps : int Atomic.t
-val triples : int Atomic.t
-val plain_skips : int Atomic.t
-val cheap_skips : int Atomic.t
-val deep : int Atomic.t
-val exp_evals : int Atomic.t
-val bisections : int Atomic.t
-val row_prunes : int Atomic.t
-val pair_prunes : int Atomic.t
-val tile_prunes : int Atomic.t
-val add : int Atomic.t -> int -> unit
+type tally = {
+  t_plain : int;
+  t_cheap : int;
+  t_deep : int;
+  t_exp : int;
+  t_bis : int;
+  t_rows : int;
+  t_pairs : int;
+  t_tiles : int;
+}
+
+val empty_tally : tally
+val merge : tally -> tally -> tally
+
+val record_sweep : triples:int -> unit
+(* Count one executed sweep covering [triples] ordered triples. *)
+
+val publish : tally -> unit
+(* Add a merged tally into the registry; when tracing, also attach the
+   headline counts to the innermost open span. *)

@@ -1,6 +1,7 @@
 module Num = Bg_prelude.Numerics
 module Par = Bg_prelude.Parallel
 module Memo = Bg_prelude.Memo
+module Obs = Bg_prelude.Obs
 module K = Kernel_stats
 
 type witness = { x : int; y : int; z : int; value : float }
@@ -379,30 +380,40 @@ let zeta_chunk ~tol d bb init x_lo x_hi =
         end
       done
   done;
-  K.add K.plain_skips (!c_plain - !c_phantom);
-  K.add K.cheap_skips (!c_scanned - !c_plain - !c_deep);
-  K.add K.deep !c_deep;
-  K.add K.exp_evals !c_exp;
-  K.add K.bisections !c_bis;
-  K.add K.row_prunes !c_rows;
-  K.add K.pair_prunes !c_pairs;
-  K.add K.tile_prunes !c_tiles;
-  !best
+  ( !best,
+    {
+      K.t_plain = !c_plain - !c_phantom;
+      t_cheap = !c_scanned - !c_plain - !c_deep;
+      t_deep = !c_deep;
+      t_exp = !c_exp;
+      t_bis = !c_bis;
+      t_rows = !c_rows;
+      t_pairs = !c_pairs;
+      t_tiles = !c_tiles;
+    } )
 
 let zeta_sweep ~tol ~jobs d =
   let n = Decay_space.n d in
   (* Build views and bound tables on the caller's thread before fanning
      out, so pool workers only read fully constructed arrays. *)
   let bb = build_bounds d in
-  K.add K.sweeps 1;
-  K.add K.triples (n * (n - 1) * (n - 2));
+  Obs.with_span ~attrs:[ ("n", Obs.I n); ("jobs", Obs.I jobs) ] "zeta_sweep"
+  @@ fun () ->
+  K.record_sweep ~triples:(n * (n - 1) * (n - 2));
   let init = { x = 0; y = 1; z = 2; value = 1. } in
-  Par.map_reduce_chunks ~jobs ~lo:0 ~hi:n ~neutral:init
-    ~map:(fun x_lo x_hi -> zeta_chunk ~tol d bb init x_lo x_hi)
-    ~combine:better
+  let witness, tally =
+    Par.map_reduce_chunks ~jobs ~lo:0 ~hi:n ~neutral:(init, K.empty_tally)
+      ~map:(fun x_lo x_hi -> zeta_chunk ~tol d bb init x_lo x_hi)
+      ~combine:(fun (w1, t1) (w2, t2) -> (better w1 w2, K.merge t1 t2))
+  in
+  K.publish tally;
+  witness
 
-let zeta_cache : (string * float, witness) Memo.t = Memo.create ~max_size:256 ()
-let phi_cache : (string, witness) Memo.t = Memo.create ~max_size:256 ()
+let zeta_cache : (string * float, witness) Memo.t =
+  Memo.create ~max_size:256 ~name:"zeta" ()
+
+let phi_cache : (string, witness) Memo.t =
+  Memo.create ~max_size:256 ~name:"phi" ()
 
 let zeta_witness ?(tol = 1e-9) ?jobs ?(cache = true) d =
   if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
@@ -602,21 +613,29 @@ let phi_chunk d bb init x_lo x_hi =
         end
       done
   done;
-  K.add K.deep !c_deep;
-  K.add K.row_prunes !c_rows;
-  K.add K.pair_prunes !c_pairs;
-  K.add K.tile_prunes !c_tiles;
-  !best
+  ( !best,
+    {
+      K.empty_tally with
+      K.t_deep = !c_deep;
+      t_rows = !c_rows;
+      t_pairs = !c_pairs;
+      t_tiles = !c_tiles;
+    } )
 
 let phi_sweep ~jobs d =
   let n = Decay_space.n d in
   let bb = build_bounds d in
-  K.add K.sweeps 1;
-  K.add K.triples (n * (n - 1) * (n - 2));
+  Obs.with_span ~attrs:[ ("n", Obs.I n); ("jobs", Obs.I jobs) ] "phi_sweep"
+  @@ fun () ->
+  K.record_sweep ~triples:(n * (n - 1) * (n - 2));
   let init = { x = 0; y = 2; z = 1; value = 1. } in
-  Par.map_reduce_chunks ~jobs ~lo:0 ~hi:n ~neutral:init
-    ~map:(fun x_lo x_hi -> phi_chunk d bb init x_lo x_hi)
-    ~combine:better
+  let witness, tally =
+    Par.map_reduce_chunks ~jobs ~lo:0 ~hi:n ~neutral:(init, K.empty_tally)
+      ~map:(fun x_lo x_hi -> phi_chunk d bb init x_lo x_hi)
+      ~combine:(fun (w1, t1) (w2, t2) -> (better w1 w2, K.merge t1 t2))
+  in
+  K.publish tally;
+  witness
 
 let phi_witness ?jobs ?(cache = true) d =
   if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }

@@ -240,7 +240,18 @@ let suggested_clamp m =
 
 let copy_matrix m = Array.map Array.copy m
 
-let repair ?(policy = Reject) m =
+(* Repair accounting in the process-wide registry: one batch update per
+   [repair] call, taken straight from the report it already produces. *)
+module Obs = Bg_prelude.Obs
+
+let m_clamped = Obs.counter "validate.cells_clamped"
+let m_mirrored = Obs.counter "validate.cells_mirrored"
+let m_diag_zeroed = Obs.counter "validate.diagonal_zeroed"
+let m_nodes_dropped = Obs.counter "validate.nodes_dropped"
+let m_repairs = Obs.counter "validate.repairs"
+let m_rejects = Obs.counter "validate.rejects"
+
+let repair_impl ?(policy = Reject) m =
   let fail () = Error (diagnose m) in
   match shape_issues m with
   | _ :: _ ->
@@ -363,3 +374,15 @@ let repair ?(policy = Reject) m =
             in
             Ok (out, { (no_repair policy) with dropped })
           end)
+
+let repair ?policy m =
+  let r = repair_impl ?policy m in
+  (match r with
+  | Ok (_, rep) ->
+      Obs.incr m_repairs;
+      Obs.add m_clamped rep.cells_clamped;
+      Obs.add m_mirrored rep.cells_mirrored;
+      Obs.add m_diag_zeroed rep.diagonal_zeroed;
+      Obs.add m_nodes_dropped (List.length rep.dropped)
+  | Error _ -> Obs.incr m_rejects);
+  r

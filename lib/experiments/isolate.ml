@@ -4,6 +4,11 @@
    list, and the aggregate exit code stays faithful. *)
 
 module Par = Core.Prelude.Parallel
+module Obs = Core.Prelude.Obs
+
+let m_retries = Obs.counter "isolate.retries"
+let m_timeouts = Obs.counter "isolate.timeouts"
+let m_crashes = Obs.counter "isolate.crashes"
 
 type exn_info = { exn : string; backtrace : string }
 
@@ -19,8 +24,20 @@ type result = {
   attempts : int;
 }
 
+let status_verdict = function
+  | Finished o -> if o.Outcome.pass then "PASS" else "FAIL"
+  | Crashed _ -> "CRASH"
+  | Timed_out _ -> "TIMEOUT"
+
+let status_passed = function Finished o -> o.Outcome.pass | _ -> false
+
 let run_entry ?timeout_s ?(retries = 0) ?(backoff_s = 0.05)
     (e : Registry.entry) =
+  (* One span per experiment, carrying the verdict: this is the unit the
+     golden-trace test counts, so every exit path below must still close
+     through [with_span]. *)
+  Obs.with_span ~attrs:[ ("id", Obs.S e.Registry.id) ] "experiment"
+  @@ fun () ->
   let attempt () =
     (* The deadline is cooperative: the O(n^3) sweeps poll it at chunk
        boundaries (see Parallel.with_deadline), so a hung sweep surfaces
@@ -29,7 +46,9 @@ let run_entry ?timeout_s ?(retries = 0) ?(backoff_s = 0.05)
     | None -> Finished (e.Registry.run ())
     | Some s -> (
         try Par.with_deadline ~seconds:s (fun () -> Finished (e.Registry.run ()))
-        with Par.Timeout -> Timed_out s)
+        with Par.Timeout ->
+          Obs.incr m_timeouts;
+          Timed_out s)
   in
   let rec go k =
     match attempt () with
@@ -46,20 +65,27 @@ let run_entry ?timeout_s ?(retries = 0) ?(backoff_s = 0.05)
           }
         in
         if k <= retries then begin
+          Obs.incr m_retries;
           (* Exponential backoff between retries: transient resource
              failures (fd exhaustion, a busy pool) get room to clear. *)
           Unix.sleepf (backoff_s *. float_of_int (1 lsl (k - 1)));
           go (k + 1)
         end
-        else
+        else begin
+          Obs.incr m_crashes;
           {
             id = e.Registry.id;
             claim = e.Registry.claim;
             status = Crashed info;
             attempts = k;
           }
+        end
   in
-  go 1
+  let r = go 1 in
+  Obs.add_span_attr "verdict" (Obs.S (status_verdict r.status));
+  Obs.add_span_attr "pass" (Obs.B (status_passed r.status));
+  Obs.add_span_attr "attempts" (Obs.I r.attempts);
+  r
 
 let run_entries ?timeout_s ?retries ?backoff_s entries =
   List.map
@@ -78,15 +104,10 @@ let run_entries ?timeout_s ?retries ?backoff_s entries =
       r)
     entries
 
-let passed r = match r.status with Finished o -> o.Outcome.pass | _ -> false
+let passed r = status_passed r.status
 let all_ok results = List.for_all passed results
 let exit_code results = if all_ok results then 0 else 1
-
-let verdict r =
-  match r.status with
-  | Finished o -> if o.Outcome.pass then "PASS" else "FAIL"
-  | Crashed _ -> "CRASH"
-  | Timed_out _ -> "TIMEOUT"
+let verdict r = status_verdict r.status
 
 let print_results results =
   let t =

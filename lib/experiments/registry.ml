@@ -74,10 +74,20 @@ let find id =
   List.find_opt (fun e -> e.id = id) all
 
 let run_all () =
+  let module Obs = Core.Prelude.Obs in
   List.map
     (fun e ->
       Printf.printf "--- %s: %s ---\n%!" e.id e.claim;
-      let o = e.run () in
+      let o =
+        (* Same span shape as Isolate.run_entry, so a trace of the bench
+           harness (which runs entries directly) tells the same story. *)
+        Obs.with_span ~attrs:[ ("id", Obs.S e.id) ] "experiment" (fun () ->
+            let o = e.run () in
+            Obs.add_span_attr "verdict"
+              (Obs.S (if o.pass then "PASS" else "FAIL"));
+            Obs.add_span_attr "pass" (Obs.B o.pass);
+            o)
+      in
       (e.id, o))
     all
 

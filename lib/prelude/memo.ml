@@ -1,4 +1,4 @@
-(* A bounded memo table with hit/miss accounting.
+(* A bounded memo table with hit/miss/eviction accounting.
 
    The table is a plain Hashtbl guarded by a mutex so that concurrent
    lookups from domain-pool workers are safe.  The compute function runs
@@ -10,20 +10,43 @@
    Eviction is wholesale: when the table reaches [max_size] entries it is
    cleared before the new insert.  Entries are tiny (witness records,
    floats) and the bound only exists to keep unbounded streams of distinct
-   decay spaces from leaking, so the crude policy is fine. *)
+   decay spaces from leaking, so the crude policy is fine.
+
+   A named table additionally mirrors its accounting into the Obs
+   registry (memo.<name>.hits / .misses / .evictions); those registry
+   counters are cumulative across [reset_stats], which only zeroes the
+   per-table fields. *)
+
+type obs_counters = {
+  c_hits : Obs.counter;
+  c_misses : Obs.counter;
+  c_evictions : Obs.counter;
+}
 
 type ('k, 'v) t = {
   tbl : ('k, 'v) Hashtbl.t;
   lock : Mutex.t;
   max_size : int;
+  obs : obs_counters option;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-let create ?(max_size = 512) () =
+let create ?(max_size = 512) ?name () =
   if max_size < 1 then invalid_arg "Memo.create: max_size must be positive";
-  { tbl = Hashtbl.create 64; lock = Mutex.create (); max_size;
-    hits = 0; misses = 0 }
+  let obs =
+    Option.map
+      (fun n ->
+        {
+          c_hits = Obs.counter (Printf.sprintf "memo.%s.hits" n);
+          c_misses = Obs.counter (Printf.sprintf "memo.%s.misses" n);
+          c_evictions = Obs.counter (Printf.sprintf "memo.%s.evictions" n);
+        })
+      name
+  in
+  { tbl = Hashtbl.create 64; lock = Mutex.create (); max_size; obs;
+    hits = 0; misses = 0; evictions = 0 }
 
 let find_or_add t key compute =
   Mutex.lock t.lock;
@@ -31,15 +54,22 @@ let find_or_add t key compute =
   | Some v ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.lock;
+      Option.iter (fun o -> Obs.incr o.c_hits) t.obs;
       v
   | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.lock;
+      Option.iter (fun o -> Obs.incr o.c_misses) t.obs;
       let v = compute () in
       Mutex.lock t.lock;
-      if Hashtbl.length t.tbl >= t.max_size then Hashtbl.reset t.tbl;
+      let evicted = Hashtbl.length t.tbl >= t.max_size in
+      if evicted then begin
+        Hashtbl.reset t.tbl;
+        t.evictions <- t.evictions + 1
+      end;
       Hashtbl.replace t.tbl key v;
       Mutex.unlock t.lock;
+      if evicted then Option.iter (fun o -> Obs.incr o.c_evictions) t.obs;
       v
 
 let mem t key =
@@ -61,9 +91,11 @@ let clear t =
 
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 
 let reset_stats t =
   Mutex.lock t.lock;
   t.hits <- 0;
   t.misses <- 0;
+  t.evictions <- 0;
   Mutex.unlock t.lock

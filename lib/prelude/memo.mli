@@ -9,10 +9,15 @@
 type ('k, 'v) t
 (** A mutex-guarded memo table from ['k] to ['v]. *)
 
-val create : ?max_size:int -> unit -> ('k, 'v) t
+val create : ?max_size:int -> ?name:string -> unit -> ('k, 'v) t
 (** A fresh table.  When it reaches [max_size] entries (default 512) it is
     cleared wholesale before the next insert — a crude bound that only
     exists to cap memory under unbounded streams of distinct keys.
+
+    With [?name], the table mirrors its accounting into the {!Obs}
+    registry as [memo.<name>.hits], [memo.<name>.misses] and
+    [memo.<name>.evictions]; the registry counters are cumulative across
+    {!reset_stats} (use {!Obs.reset_metrics} to zero them).
     @raise Invalid_argument if [max_size < 1]. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
@@ -34,5 +39,8 @@ val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 (** Lookups that had to compute. *)
 
+val evictions : ('k, 'v) t -> int
+(** Wholesale clears forced by the [max_size] bound. *)
+
 val reset_stats : ('k, 'v) t -> unit
-(** Zero the hit/miss counters (the cached entries stay). *)
+(** Zero the hit/miss/eviction counters (the cached entries stay). *)

@@ -1,0 +1,420 @@
+(* Zero-dependency observability: tracing spans and a process-wide
+   metrics registry.
+
+   Two design rules govern everything here:
+
+   1. Disabled-by-default tracing with a no-op fast path.  [with_span]
+      costs one atomic load and a branch when no trace sink is installed
+      (the kernel bench asserts this stays under a microsecond per call),
+      so the hot paths can stay instrumented permanently.
+
+   2. Metrics are always collected but only at *batch* granularity.
+      Counters are atomics that the instrumented subsystems publish into
+      once per sweep / task / repair — never per triple — so the registry
+      costs nothing measurable even when nobody reads it.  Snapshots
+      (summary table, JSONL flush) are produced on demand.
+
+   Spans nest per domain: each domain keeps its own span stack in
+   domain-local storage, so parallel workers trace their chunks as root
+   spans of their domain while the caller's enclosing span is unaffected.
+   A span is emitted as one JSONL line when it closes (children therefore
+   appear before their parents in the file; the [parent] id links them).
+
+   The clock is [Unix.gettimeofday]: the only portable sub-microsecond
+   clock available without C stubs.  Span durations are differences of
+   closely spaced readings, where its non-monotonicity is limited to NTP
+   steps — acceptable for diagnostics, never used for results. *)
+
+type value = S of string | I of int | F of float | B of bool
+
+let now_s = Unix.gettimeofday
+
+(* ------------------------------------------------------------- JSON out *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* JSON has no inf/nan literals; map them to strings so every line stays
+   parseable by any reader. *)
+let buf_add_json_float b f =
+  (* %.17g round-trips every double: epoch timestamps need the full
+     mantissa or sub-second precision is lost. *)
+  if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+  else buf_add_json_string b (Printf.sprintf "%h" f)
+
+let buf_add_value b = function
+  | S s -> buf_add_json_string b s
+  | I i -> Buffer.add_string b (string_of_int i)
+  | F f -> buf_add_json_float b f
+  | B x -> Buffer.add_string b (if x then "true" else "false")
+
+let buf_add_attrs b attrs =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      buf_add_value b v)
+    attrs;
+  Buffer.add_char b '}'
+
+let value_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%g" f
+  | B b -> string_of_bool b
+
+(* ---------------------------------------------------------- trace sink *)
+
+type sink = { oc : out_channel; lock : Mutex.t; mutable closed : bool }
+
+let sink : sink option Atomic.t = Atomic.make None
+
+let emit_line s line =
+  Mutex.lock s.lock;
+  if not s.closed then begin
+    output_string s.oc line;
+    output_char s.oc '\n'
+  end;
+  Mutex.unlock s.lock
+
+let tracing () = Atomic.get sink <> None
+
+let close_trace () =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      Atomic.set sink None;
+      Mutex.lock s.lock;
+      if not s.closed then begin
+        s.closed <- true;
+        flush s.oc;
+        close_out_noerr s.oc
+      end;
+      Mutex.unlock s.lock
+
+let at_exit_registered = ref false
+
+let set_trace_file path =
+  close_trace ();
+  let oc = open_out path in
+  Atomic.set sink (Some { oc; lock = Mutex.create (); closed = false });
+  (* The CLI exits through [exit] on experiment failures; close (and so
+     flush) the sink from at_exit so a failing run still leaves a
+     complete trace on disk. *)
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    Stdlib.at_exit close_trace
+  end
+
+(* --------------------------------------------------------------- spans *)
+
+type frame = {
+  id : int;
+  sname : string;
+  start : float;
+  mutable fattrs : (string * value) list; (* reverse order of addition *)
+}
+
+let next_span_id = Atomic.make 1
+
+(* Per-domain stack of open frames; workers get fresh empty stacks. *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let emit_span s ~parent ~ok fr =
+  let dur = now_s () -. fr.start in
+  let b = Buffer.create 160 in
+  Buffer.add_string b "{\"type\":\"span\",\"id\":";
+  Buffer.add_string b (string_of_int fr.id);
+  Buffer.add_string b ",\"parent\":";
+  Buffer.add_string b (string_of_int parent);
+  Buffer.add_string b ",\"domain\":";
+  Buffer.add_string b (string_of_int (Domain.self () :> int));
+  Buffer.add_string b ",\"name\":";
+  buf_add_json_string b fr.sname;
+  Buffer.add_string b ",\"start_s\":";
+  buf_add_json_float b fr.start;
+  Buffer.add_string b ",\"dur_s\":";
+  buf_add_json_float b dur;
+  Buffer.add_string b ",\"ok\":";
+  Buffer.add_string b (if ok then "true" else "false");
+  Buffer.add_string b ",\"attrs\":";
+  buf_add_attrs b (List.rev fr.fattrs);
+  Buffer.add_char b '}';
+  emit_line s (Buffer.contents b)
+
+let with_span ?(attrs = []) name f =
+  match Atomic.get sink with
+  | None -> f () (* the fast path: one atomic load, no allocation *)
+  | Some s ->
+      let stack = Domain.DLS.get stack_key in
+      let parent = match !stack with [] -> 0 | fr :: _ -> fr.id in
+      let fr =
+        {
+          id = Atomic.fetch_and_add next_span_id 1;
+          sname = name;
+          start = now_s ();
+          fattrs = List.rev attrs;
+        }
+      in
+      stack := fr :: !stack;
+      let finish ok =
+        (match !stack with
+        | top :: rest when top == fr -> stack := rest
+        | _ ->
+            (* A child span escaped (e.g. an effect-based jump): drop
+               frames down to ours so the stack cannot grow unbounded. *)
+            let rec pop = function
+              | top :: rest when top != fr -> pop rest
+              | _ :: rest -> rest
+              | [] -> []
+            in
+            stack := pop !stack);
+        emit_span s ~parent ~ok fr
+      in
+      (match f () with
+      | v ->
+          finish true;
+          v
+      | exception e ->
+          fr.fattrs <- ("error", S (Printexc.to_string e)) :: fr.fattrs;
+          finish false;
+          raise e)
+
+let add_span_attr key v =
+  if tracing () then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | fr :: _ -> fr.fattrs <- (key, v) :: fr.fattrs
+
+(* -------------------------------------------------------------- metrics *)
+
+type counter = { cname : string; c : int Atomic.t }
+type gauge = { gname : string; glock : Mutex.t; mutable g : float }
+
+(* Histograms use fixed log2-scale buckets: bucket [i] (1 <= i <= 62)
+   holds observations in [2^(i-31), 2^(i-30)); bucket 0 holds everything
+   non-positive (and NaN), bucket 63 everything >= 2^32.  For durations
+   in seconds that resolves ~0.5 ns to ~4 x 10^9 s — far beyond anything
+   observed — with exact integer bucket counts under concurrency. *)
+let num_buckets = 64
+
+let bucket_of v =
+  if not (v > 0.) then 0 (* non-positive and NaN *)
+  else if v >= 4294967296. (* 2^32 = lower edge of the overflow bucket;
+                              also keeps int_of_float off infinity *) then
+    num_buckets - 1
+  else begin
+    let e = int_of_float (Float.floor (Numerics.log2 v)) in
+    let i = e + 31 in
+    if i < 1 then 1 else if i > num_buckets - 2 then num_buckets - 2 else i
+  end
+
+let bucket_lower_bound i =
+  if i <= 0 then neg_infinity else Float.pow 2. (float_of_int (i - 31))
+
+type histogram = {
+  hname : string;
+  buckets : int Atomic.t array;
+  hcount : int Atomic.t;
+  hlock : Mutex.t; (* guards the float accumulators only *)
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let register name build describe =
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = build () in
+        Hashtbl.replace registry name m;
+        m
+  in
+  Mutex.unlock registry_lock;
+  match describe m with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs: metric %S already registered with another type"
+           name)
+
+let counter name =
+  register name
+    (fun () -> C { cname = name; c = Atomic.make 0 })
+    (function C c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> G { gname = name; glock = Mutex.create (); g = 0. })
+    (function G g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+      H
+        {
+          hname = name;
+          buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+          hcount = Atomic.make 0;
+          hlock = Mutex.create ();
+          hsum = 0.;
+          hmin = infinity;
+          hmax = neg_infinity;
+        })
+    (function H h -> Some h | _ -> None)
+
+let add c k = if k <> 0 then ignore (Atomic.fetch_and_add c.c k)
+let incr c = ignore (Atomic.fetch_and_add c.c 1)
+let counter_value c = Atomic.get c.c
+let counter_name c = c.cname
+let reset_counter c = Atomic.set c.c 0
+
+let set_gauge g v =
+  Mutex.lock g.glock;
+  g.g <- v;
+  Mutex.unlock g.glock
+
+let gauge_value g = g.g
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.hcount 1);
+  Mutex.lock h.hlock;
+  (* NaN observations are counted (bucket 0) but excluded from the sum:
+     one bad sample must not poison the mean of thousands. *)
+  if not (Float.is_nan v) then h.hsum <- h.hsum +. v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v;
+  Mutex.unlock h.hlock
+
+let histogram_count h = Atomic.get h.hcount
+let histogram_sum h = h.hsum
+let histogram_bucket h i = Atomic.get h.buckets.(i)
+
+let time_histogram h f =
+  let t0 = now_s () in
+  Fun.protect ~finally:(fun () -> observe h (now_s () -. t0)) f
+
+let sorted_metrics () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let metric_names () = List.map fst (sorted_metrics ())
+
+let reset_metrics () =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | C c -> Atomic.set c.c 0
+      | G g -> set_gauge g 0.
+      | H h ->
+          Mutex.lock h.hlock;
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.hcount 0;
+          h.hsum <- 0.;
+          h.hmin <- infinity;
+          h.hmax <- neg_infinity;
+          Mutex.unlock h.hlock)
+    (sorted_metrics ())
+
+let flush_metrics () =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (name, m) ->
+          let b = Buffer.create 96 in
+          (match m with
+          | C c ->
+              Buffer.add_string b "{\"type\":\"counter\",\"name\":";
+              buf_add_json_string b name;
+              Buffer.add_string b ",\"value\":";
+              Buffer.add_string b (string_of_int (Atomic.get c.c));
+              Buffer.add_char b '}'
+          | G g ->
+              Buffer.add_string b "{\"type\":\"gauge\",\"name\":";
+              buf_add_json_string b name;
+              Buffer.add_string b ",\"value\":";
+              buf_add_json_float b g.g;
+              Buffer.add_char b '}'
+          | H h ->
+              Buffer.add_string b "{\"type\":\"histogram\",\"name\":";
+              buf_add_json_string b name;
+              Buffer.add_string b ",\"count\":";
+              Buffer.add_string b (string_of_int (Atomic.get h.hcount));
+              Buffer.add_string b ",\"sum\":";
+              buf_add_json_float b h.hsum;
+              Buffer.add_string b ",\"buckets\":{";
+              let first = ref true in
+              Array.iteri
+                (fun i bk ->
+                  let v = Atomic.get bk in
+                  if v > 0 then begin
+                    if not !first then Buffer.add_char b ',';
+                    first := false;
+                    buf_add_json_string b (string_of_int i);
+                    Buffer.add_char b ':';
+                    Buffer.add_string b (string_of_int v)
+                  end)
+                h.buckets;
+              Buffer.add_string b "}}");
+          emit_line s (Buffer.contents b))
+        (sorted_metrics ())
+
+(* ------------------------------------------------------------- summary *)
+
+let summary_table () =
+  let t =
+    Table.create ~title:"observability: metrics registry"
+      [ "metric"; "kind"; "value"; "detail" ]
+  in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c ->
+          Table.add_row t
+            [ Table.S name; Table.S "counter"; Table.I (Atomic.get c.c);
+              Table.S "" ]
+      | G g ->
+          Table.add_row t
+            [ Table.S name; Table.S "gauge"; Table.F g.g; Table.S "" ]
+      | H h ->
+          let n = Atomic.get h.hcount in
+          let detail =
+            if n = 0 then "empty"
+            else
+              Printf.sprintf "mean %.3g, min %.3g, max %.3g"
+                (h.hsum /. float_of_int n)
+                h.hmin h.hmax
+          in
+          Table.add_row t
+            [ Table.S name; Table.S "histogram"; Table.I n; Table.S detail ])
+    (sorted_metrics ());
+  t
+
+let print_summary () = Table.print (summary_table ())

@@ -1,0 +1,135 @@
+(** Zero-dependency tracing spans and process-wide metrics registry.
+
+    Two instruments, two rules:
+
+    - {b Spans} ({!with_span}) record wall-clock timing of nested regions
+      and are written as JSONL to a trace sink.  They are {e disabled by
+      default}: with no sink installed, {!with_span} costs one atomic
+      load and a branch, so hot paths stay instrumented permanently (the
+      kernel bench asserts the disabled-path overhead).
+    - {b Metrics} (counters, gauges, log-bucket histograms) are {e always
+      collected}, but only at batch granularity — once per sweep, task or
+      repair — so the registry costs nothing measurable when unread.
+      Snapshots are produced on demand as a {!Table.t} or flushed to the
+      trace sink as JSONL.
+
+    Spans nest per domain (domain-local stacks), so {!Parallel} workers
+    trace their chunks independently of the caller's open span.  Each
+    span becomes one JSONL line when it {e closes}; children therefore
+    appear before their parents in the file, linked by [parent] id.
+
+    Trace event shapes:
+    {v
+{"type":"span","id":N,"parent":N,"domain":N,"name":"...",
+ "start_s":F,"dur_s":F,"ok":true,"attrs":{...}}
+{"type":"counter","name":"...","value":N}
+{"type":"gauge","name":"...","value":F}
+{"type":"histogram","name":"...","count":N,"sum":F,"buckets":{"I":N,...}}
+    v} *)
+
+type value = S of string | I of int | F of float | B of bool
+(** Span attribute values: string, int, float, bool. *)
+
+val value_to_string : value -> string
+(** Human rendering (no JSON quoting). *)
+
+val now_s : unit -> float
+(** Wall clock in seconds ([Unix.gettimeofday]); the clock used for all
+    span timestamps and histogram timing helpers. *)
+
+(** {1 Tracing} *)
+
+val set_trace_file : string -> unit
+(** Open (truncating) [path] as the JSONL trace sink, replacing any
+    previous sink.  Registers an [at_exit] hook so the sink is flushed
+    and closed even when the process exits through [exit]. *)
+
+val close_trace : unit -> unit
+(** Flush and close the current sink, if any.  Idempotent. *)
+
+val tracing : unit -> bool
+(** [true] iff a trace sink is installed. *)
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ~attrs name f] runs [f ()].  When tracing, the call is
+    recorded as a span: nested under the innermost open span of the
+    current domain, timed with {!now_s}, and emitted as one JSONL line
+    when [f] returns.  If [f] raises, the span is emitted with
+    [ok:false] and an ["error"] attribute, and the exception is
+    re-raised.  When not tracing this is a single atomic load. *)
+
+val add_span_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span of the current
+    domain.  No-op when not tracing or when no span is open. *)
+
+(** {1 Metrics}
+
+    Metrics live in a process-wide registry keyed by name; constructors
+    are idempotent (the same name returns the same metric) and raise
+    [Invalid_argument] if the name is already registered with a
+    different metric kind.  All updates are domain-safe. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val reset_counter : counter -> unit
+(** Zero one counter (e.g. per-sweep statistics between runs). *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+(** Fixed log2-scale bucketing, see {!bucket_of}. *)
+
+val observe : histogram -> float -> unit
+
+val time_histogram : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and {!observe} its wall-clock duration in seconds,
+    also on exceptional exit. *)
+
+val histogram_count : histogram -> int
+
+val histogram_sum : histogram -> float
+(** Sum of all observed values except NaN (which is counted, in bucket 0,
+    but excluded from the sum so it cannot poison the mean). *)
+
+val histogram_bucket : histogram -> int -> int
+(** Count in bucket [i], [0 <= i < num_buckets]. *)
+
+val num_buckets : int
+(** 64. *)
+
+val bucket_of : float -> int
+(** Bucket index for a value: bucket [i] (for [1 <= i <= 62]) holds
+    values in [[2^(i-31), 2^(i-30))]; bucket 0 holds non-positive values
+    (and NaN); bucket 63 is overflow.  For durations in seconds the
+    range spans ~0.5ns to ~4e9 s. *)
+
+val bucket_lower_bound : int -> float
+(** Lower edge of bucket [i]: [2^(i-31)], or [neg_infinity] for bucket
+    0. *)
+
+val metric_names : unit -> string list
+(** All registered metric names, sorted. *)
+
+val reset_metrics : unit -> unit
+(** Zero every registered metric (counters to 0, gauges to 0, histograms
+    emptied).  Registration survives. *)
+
+val flush_metrics : unit -> unit
+(** Write one JSONL event per registered metric to the trace sink, in
+    name order.  No-op without a sink. *)
+
+val summary_table : unit -> Table.t
+(** Snapshot of every registered metric as a table sorted by name. *)
+
+val print_summary : unit -> unit
+(** [Table.print (summary_table ())]. *)

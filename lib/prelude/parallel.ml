@@ -18,6 +18,16 @@
 
 exception Timeout
 
+(* Pool metrics (process-wide, batch-granularity: a "task" here is a
+   whole chunk of a sweep, so a couple of clock reads per task cost
+   nothing against the chunk itself). *)
+let m_worker_tasks = Obs.counter "parallel.worker_tasks"
+let m_caller_tasks = Obs.counter "parallel.caller_tasks"
+let m_heal_events = Obs.counter "parallel.heal_events"
+let m_trapped = Obs.counter "parallel.trapped_exceptions"
+let m_timeouts = Obs.counter "parallel.timeouts"
+let m_queue_wait = Obs.histogram "parallel.queue_wait_s"
+
 type t = {
   mutable domains : unit Domain.t array;
   mutable target : int; (* intended worker count while open *)
@@ -26,8 +36,16 @@ type t = {
   queue : (unit -> unit) Queue.t;
   lock : Mutex.t;
   work_ready : Condition.t;
+  task_tally : (int, int ref) Hashtbl.t; (* domain id -> tasks run; under lock *)
   mutable closed : bool;
 }
+
+(* Caller must hold [pool.lock]. *)
+let bump_tally pool =
+  let id = (Domain.self () :> int) in
+  match Hashtbl.find_opt pool.task_tally id with
+  | Some r -> incr r
+  | None -> Hashtbl.replace pool.task_tally id (ref 1)
 
 let worker_loop pool =
   let rec next () =
@@ -43,14 +61,19 @@ let worker_loop pool =
   let rec loop () =
     Mutex.lock pool.lock;
     let task = next () in
+    if task <> None then bump_tally pool;
     Mutex.unlock pool.lock;
     match task with
     | None -> ()
     | Some task ->
+        Obs.incr m_worker_tasks;
         (* Tasks wrap their own exceptions; this safety net records a rogue
            task's escape instead of silently swallowing it, and the worker
            lives on. *)
-        (try task () with _ -> Atomic.incr pool.trapped);
+        (try task () with
+        | _ ->
+            Atomic.incr pool.trapped;
+            Obs.incr m_trapped);
         loop ()
   in
   loop ()
@@ -70,6 +93,7 @@ let spawn_worker pool =
             | () -> ()
             | exception _ ->
                 Atomic.incr pool.trapped;
+                Obs.incr m_trapped;
                 if not pool.closed then go ()
           in
           go ()))
@@ -89,6 +113,7 @@ let create ?num_domains () =
       queue = Queue.create ();
       lock = Mutex.create ();
       work_ready = Condition.create ();
+      task_tally = Hashtbl.create 16;
       closed = false;
     }
   in
@@ -103,12 +128,20 @@ let heal pool =
   if (not pool.closed) && Atomic.get pool.alive < pool.target then begin
     Mutex.lock pool.lock;
     let missing = pool.target - Atomic.get pool.alive in
-    if (not pool.closed) && missing > 0 then
+    if (not pool.closed) && missing > 0 then begin
       pool.domains <-
         Array.append pool.domains
           (Array.init missing (fun _ -> spawn_worker pool));
+      Obs.add m_heal_events missing
+    end;
     Mutex.unlock pool.lock
   end
+
+let worker_task_counts pool =
+  Mutex.lock pool.lock;
+  let l = Hashtbl.fold (fun id r acc -> (id, !r) :: acc) pool.task_tally [] in
+  Mutex.unlock pool.lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
 
 let shutdown pool =
   Mutex.lock pool.lock;
@@ -157,7 +190,10 @@ let effective_deadline explicit =
 let deadline_passed = function Some t -> now () > t | None -> false
 
 let check_deadline ?deadline () =
-  if deadline_passed (effective_deadline deadline) then raise Timeout
+  if deadline_passed (effective_deadline deadline) then begin
+    Obs.incr m_timeouts;
+    raise Timeout
+  end
 
 let with_deadline ~seconds f =
   let saved = Atomic.get ambient_deadline in
@@ -187,7 +223,8 @@ let run ?pool ?deadline fns =
       Mutex.lock done_lock;
       if !first_error = None then begin
         first_error := Some (e, bt);
-        Atomic.set cancelled true
+        Atomic.set cancelled true;
+        if e = Timeout then Obs.incr m_timeouts
       end;
       Mutex.unlock done_lock
     in
@@ -210,19 +247,27 @@ let run ?pool ?deadline fns =
        with zero workers. *)
     if n > 1 then begin
       Mutex.lock pool.lock;
+      let enqueued_at = now () in
       for i = 1 to n - 1 do
-        Queue.add (task i) pool.queue
+        Queue.add
+          (fun () ->
+            Obs.observe m_queue_wait (now () -. enqueued_at);
+            task i ())
+          pool.queue
       done;
       Condition.broadcast pool.work_ready;
       Mutex.unlock pool.lock
     end;
+    Obs.incr m_caller_tasks;
     task 0 ();
     let rec help () =
       Mutex.lock pool.lock;
       let t = Queue.take_opt pool.queue in
+      if t <> None then bump_tally pool;
       Mutex.unlock pool.lock;
       match t with
       | Some t ->
+          Obs.incr m_caller_tasks;
           t ();
           help ()
       | None -> ()

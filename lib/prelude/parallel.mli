@@ -62,6 +62,17 @@ val heal : t -> unit
     start of every {!run}; exposed for tests and long-lived servers.
     No-op on a closed or fully healthy pool. *)
 
+val worker_task_counts : t -> (int * int) list
+(** Per-domain task execution counts for this pool, as
+    [(domain_id, tasks_run)] pairs sorted by domain id.  The calling
+    domain appears too when it drained queued tasks itself.
+
+    The pool also publishes process-wide metrics into the {!Obs}
+    registry: [parallel.worker_tasks], [parallel.caller_tasks],
+    [parallel.heal_events], [parallel.trapped_exceptions],
+    [parallel.timeouts] (counters) and [parallel.queue_wait_s]
+    (histogram of enqueue-to-start latency). *)
+
 val shutdown : t -> unit
 (** Terminate and join the pool's workers.  Idempotent.  Pending tasks are
     drained before workers exit. *)

@@ -6,6 +6,9 @@ module Alg1 = Core.Capacity.Alg1
 module Greedy = Core.Capacity.Greedy
 module Exact = Core.Capacity.Exact
 module Amic = Core.Capacity.Amicability
+module Auction = Core.Capacity.Auction
+module Online = Core.Capacity.Online
+module Weighted = Core.Capacity.Weighted
 
 (* ----------------------------------------------------------- Algorithm 1 *)
 
@@ -197,6 +200,189 @@ let test_run_configured_tight_separation_separated () =
   check_true "output eta-separated"
     (Core.Sinr.Separation.is_separated_set t ~eta:t.I.zeta s)
 
+(* --------------------------------------------------------------- Auction *)
+
+let random_bids ?(lo = 0.5) ?(hi = 10.) seed n =
+  let g = rng seed in
+  Array.init n (fun _ -> lo +. Core.Prelude.Rng.float g (hi -. lo))
+
+let link_id l = l.Core.Sinr.Link.id
+
+let test_auction_outcome_consistent () =
+  let t = planar_instance ~n_links:10 71 in
+  let bids = random_bids 72 10 in
+  let o = Auction.run t ~bids in
+  check_true "winners feasible"
+    (F.is_feasible t (Pw.uniform 1.) o.Auction.winners);
+  check_true "winners match the allocation rule"
+    (ids o.Auction.winners = ids (Auction.greedy_allocation t ~bids));
+  check_true "one payment per winner"
+    (List.sort compare (List.map fst o.Auction.payments)
+    = ids o.Auction.winners);
+  check_float ~eps:1e-9 "welfare = sum of winning bids"
+    (List.fold_left (fun acc l -> acc +. bids.(link_id l)) 0. o.Auction.winners)
+    o.Auction.welfare
+
+let test_auction_payment_le_bid () =
+  (* Individual rationality of the critical-payment rule: a winner never
+     pays more than it bid (and never a negative amount). *)
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:10 seed in
+      let bids = random_bids (seed + 100) 10 in
+      let o = Auction.run t ~bids in
+      List.iter
+        (fun (id, pay) ->
+          check_true
+            (Printf.sprintf "payment %g <= bid %g (link %d)" pay bids.(id) id)
+            (pay <= bids.(id) +. 1e-9);
+          check_true "payment non-negative" (pay >= 0.))
+        o.Auction.payments)
+    [ 73; 74; 75 ]
+
+let test_auction_payment_bid_invariant () =
+  (* Truthfulness backbone: a winner's critical payment depends only on
+     the other bids — tripling its own bid changes neither the win nor
+     the price. *)
+  let t = planar_instance ~n_links:10 76 in
+  let bids = random_bids 77 10 in
+  let o = Auction.run t ~bids in
+  check_true "auction has winners" (o.Auction.winners <> []);
+  List.iter
+    (fun w ->
+      let id = link_id w in
+      let pay = List.assoc id o.Auction.payments in
+      let bids' = Array.copy bids in
+      bids'.(id) <- bids.(id) *. 3.;
+      let o' = Auction.run t ~bids:bids' in
+      check_true "still wins after raising own bid"
+        (List.exists (fun l -> link_id l = id) o'.Auction.winners);
+      check_float ~eps:1e-9
+        (Printf.sprintf "payment of link %d invariant in own bid" id)
+        pay
+        (List.assoc id o'.Auction.payments))
+    o.Auction.winners
+
+let test_auction_monotone () =
+  let t = planar_instance ~n_links:12 78 in
+  let bids = random_bids 79 12 in
+  List.iter
+    (fun w ->
+      check_true "Myerson monotonicity spot check"
+        (Auction.is_winner_monotone t ~bids w))
+    (Auction.greedy_allocation t ~bids)
+
+let prop_auction_rational =
+  qcheck ~count:20 "auction: feasible winners, payments <= bids"
+    QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:8 seed in
+      let bids = random_bids (seed + 1000) 8 in
+      let o = Auction.run t ~bids in
+      F.is_feasible t (Pw.uniform 1.) o.Auction.winners
+      && List.for_all
+           (fun (id, pay) -> pay >= 0. && pay <= bids.(id) +. 1e-9)
+           o.Auction.payments)
+
+(* --------------------------------------------------------------- Online *)
+
+let prefixes_feasible t accepted =
+  let p = Pw.uniform 1. in
+  let rec go prefix = function
+    | [] -> true
+    | l :: rest ->
+        let prefix = prefix @ [ l ] in
+        F.is_feasible t p prefix && go prefix rest
+  in
+  go [] accepted
+
+let test_online_prefixes_feasible () =
+  (* Irrevocable admission: the accepted set must be feasible after every
+     single arrival, not only at the end. *)
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:12 seed in
+      let arrival = Array.to_list t.I.links in
+      check_true "feasibility_only prefixes feasible"
+        (prefixes_feasible t (Online.feasibility_only t ~arrival));
+      check_true "guarded prefixes feasible"
+        (prefixes_feasible t (Online.guarded t ~arrival)))
+    [ 81; 82; 83 ]
+
+let test_online_guarded_separated () =
+  let t = planar_instance ~n_links:12 84 in
+  let accepted = Online.guarded t ~arrival:(Array.to_list t.I.links) in
+  check_true "guarded set is eta-separated (default eta = zeta/2)"
+    (Core.Sinr.Separation.is_separated_set t ~eta:(t.I.zeta /. 2.) accepted)
+
+let test_online_competitive_ratio () =
+  let t = planar_instance ~n_links:9 85 in
+  let arrival = Array.to_list t.I.links in
+  List.iter
+    (fun accepted ->
+      if accepted <> [] then begin
+        let r = Online.competitive_ratio t ~accepted in
+        (* The offline optimum dominates any feasible accepted set. *)
+        check_true "ratio >= 1" (r >= 1. -. 1e-9);
+        check_true "ratio finite" (Float.is_finite r)
+      end)
+    [ Online.feasibility_only t ~arrival; Online.guarded t ~arrival ]
+
+let prop_online_prefix_feasible =
+  qcheck ~count:20 "online acceptance keeps every prefix feasible"
+    QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:9 seed in
+      let arrival = Array.to_list t.I.links in
+      prefixes_feasible t (Online.feasibility_only t ~arrival)
+      && prefixes_feasible t (Online.guarded t ~arrival))
+
+(* -------------------------------------------------------------- Weighted *)
+
+let test_weighted_exact_dominates_greedy () =
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:9 seed in
+      let w = random_bids (seed + 2000) 9 in
+      let g = Weighted.greedy t w in
+      let e = Weighted.exact t w in
+      check_true "exact weight >= greedy weight"
+        (Weighted.total w e >= Weighted.total w g -. 1e-9))
+    [ 91; 92; 93 ]
+
+let test_weighted_exact_feasible () =
+  let t = planar_instance ~n_links:9 94 in
+  let w = random_bids 95 9 in
+  check_true "exact output feasible"
+    (F.is_feasible t (Pw.uniform 1.) (Weighted.exact t w))
+
+let test_weighted_unit_weights_match_capacity () =
+  (* With unit weights the weighted optimum is exactly CAPACITY. *)
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:8 seed in
+      let w = Array.make 8 1. in
+      check_int "unit-weight optimum = capacity"
+        (List.length (Exact.capacity t))
+        (List.length (Weighted.exact t w)))
+    [ 96; 97 ]
+
+let test_weighted_total () =
+  let t = planar_instance ~n_links:5 98 in
+  let w = [| 1.; 2.; 3.; 4.; 5. |] in
+  let all = Array.to_list t.I.links in
+  check_float ~eps:1e-9 "total sums selected weights" 15.
+    (Weighted.total w all);
+  check_float "total of empty set" 0. (Weighted.total w [])
+
+let prop_weighted_exact_dominates =
+  qcheck ~count:15 "weighted exact dominates greedy" QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:8 seed in
+      let w = random_bids (seed + 3000) 8 in
+      Weighted.total w (Weighted.exact t w)
+      >= Weighted.total w (Weighted.greedy t w) -. 1e-9)
+
 (* --------------------------------------------------------------- QCheck *)
 
 let prop_alg1_feasible =
@@ -261,5 +447,28 @@ let suite =
         case "report" test_amicability_report;
         case "empty input" test_amicability_empty;
         case "subset separated" test_amicability_subset_separated;
+      ] );
+    ( "capacity.auction",
+      [
+        case "outcome consistent" test_auction_outcome_consistent;
+        case "payments <= bids" test_auction_payment_le_bid;
+        case "payment invariant in own bid" test_auction_payment_bid_invariant;
+        case "winner monotone" test_auction_monotone;
+        prop_auction_rational;
+      ] );
+    ( "capacity.online_invariants",
+      [
+        case "prefixes feasible" test_online_prefixes_feasible;
+        case "guarded output separated" test_online_guarded_separated;
+        case "competitive ratio >= 1" test_online_competitive_ratio;
+        prop_online_prefix_feasible;
+      ] );
+    ( "capacity.weighted",
+      [
+        case "exact dominates greedy" test_weighted_exact_dominates_greedy;
+        case "exact output feasible" test_weighted_exact_feasible;
+        case "unit weights = capacity" test_weighted_unit_weights_match_capacity;
+        case "total" test_weighted_total;
+        prop_weighted_exact_dominates;
       ] );
   ]

@@ -1,0 +1,528 @@
+(* The observability layer itself is load-bearing (the kernels, the pool
+   and the CLI all report through it), so it gets the same treatment as
+   any subsystem: unit tests for the registry semantics, QCheck laws for
+   the histogram bucketing and span nesting, determinism checks for the
+   metrics that must not depend on the job count, and a committed golden
+   file for the E1 trace shape. *)
+
+module Obs = Core.Prelude.Obs
+module Par = Core.Prelude.Parallel
+module Met = Core.Decay.Metricity
+module Fad = Core.Decay.Fading
+module KS = Core.Decay.Kernel_stats
+open Testutil
+
+(* Run [f] with a fresh temp-file trace sink installed and return the
+   parsed JSONL events it produced.  The sink is always closed and the
+   file removed, also on exceptional exit. *)
+let trace_to_events f =
+  let path = Filename.temp_file "bg_obs_test" ".jsonl" in
+  Obs.set_trace_file path;
+  let cleanup () =
+    Obs.close_trace ();
+    if Sys.file_exists path then Sys.remove path
+  in
+  match f () with
+  | () ->
+      Obs.close_trace ();
+      let text = Jsonl.read_file path in
+      Sys.remove path;
+      Jsonl.parse_lines text
+  | exception e ->
+      cleanup ();
+      raise e
+
+let spans_of events =
+  List.filter (fun e -> Jsonl.mem_str "type" e = Some "span") events
+
+let req what = function
+  | Some v -> v
+  | None -> Alcotest.failf "missing %s in trace event" what
+
+let span_id s = int_of_float (req "id" (Jsonl.mem_num "id" s))
+let span_parent s = int_of_float (req "parent" (Jsonl.mem_num "parent" s))
+let span_name s = req "name" (Jsonl.mem_str "name" s)
+let span_attrs s =
+  match Jsonl.member "attrs" s with Some (Jsonl.Obj kvs) -> kvs | _ -> []
+
+(* --------------------------------------------------- metrics registry *)
+
+let test_counter_basics () =
+  let c = Obs.counter "test.obs.counter_basics" in
+  let v0 = Obs.counter_value c in
+  Obs.incr c;
+  Obs.add c 41;
+  check_int "incr + add" (v0 + 42) (Obs.counter_value c);
+  check_true "name round-trips"
+    (Obs.counter_name c = "test.obs.counter_basics");
+  Obs.reset_counter c;
+  check_int "reset_counter zeroes" 0 (Obs.counter_value c)
+
+let test_registry_idempotent () =
+  let a = Obs.counter "test.obs.idem" in
+  Obs.incr a;
+  let b = Obs.counter "test.obs.idem" in
+  (* Same name -> same underlying metric. *)
+  Obs.incr b;
+  check_int "one shared counter" (Obs.counter_value a) (Obs.counter_value b);
+  check_true "registered name listed"
+    (List.mem "test.obs.idem" (Obs.metric_names ()));
+  (* Re-registering under a different kind is a programming error. *)
+  check_true "kind mismatch raises"
+    (match Obs.gauge "test.obs.idem" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_true "histogram kind mismatch raises"
+    (match Obs.histogram "test.obs.idem" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_gauge () =
+  let g = Obs.gauge "test.obs.gauge" in
+  Obs.set_gauge g 2.5;
+  check_float "gauge holds last value" 2.5 (Obs.gauge_value g);
+  Obs.set_gauge g (-7.);
+  check_float "gauge overwritten" (-7.) (Obs.gauge_value g)
+
+let test_histogram_basics () =
+  let h = Obs.histogram "test.obs.hist_basics" in
+  List.iter (Obs.observe h) [ 1.0; 2.0; 0.5; 1e-9; 0.; -3.; Float.nan ];
+  check_int "count = observations" 7 (Obs.histogram_count h);
+  (* NaN contributes nothing to the sum; sum over the finite values. *)
+  check_float ~eps:1e-9 "sum over finite non-NaN values" 0.5
+    (Obs.histogram_sum h -. (1.0 +. 2.0 +. 1e-9 +. 0. +. -3.));
+  (* Non-positive and NaN all land in bucket 0. *)
+  check_int "bucket 0 holds non-positive + NaN" 3 (Obs.histogram_bucket h 0)
+
+let test_bucket_of_specials () =
+  check_int "zero -> bucket 0" 0 (Obs.bucket_of 0.);
+  check_int "negative -> bucket 0" 0 (Obs.bucket_of (-1.));
+  check_int "NaN -> bucket 0" 0 (Obs.bucket_of Float.nan);
+  check_int "-inf -> bucket 0" 0 (Obs.bucket_of Float.neg_infinity);
+  check_int "+inf -> overflow bucket" (Obs.num_buckets - 1)
+    (Obs.bucket_of Float.infinity);
+  check_int "huge -> overflow bucket" (Obs.num_buckets - 1)
+    (Obs.bucket_of 1e300);
+  check_int "denormal -> lowest positive bucket" 1 (Obs.bucket_of 5e-324);
+  check_int "1.0 -> bucket 31" 31 (Obs.bucket_of 1.0);
+  check_float "bucket 31 lower bound is 1" 1. (Obs.bucket_lower_bound 31)
+
+let fuzz_bucket_bounds =
+  qcheck ~count:500 "bucket_of agrees with bucket_lower_bound edges"
+    QCheck.(float)
+    (fun v ->
+      let b = Obs.bucket_of v in
+      if b < 0 || b >= Obs.num_buckets then false
+      else if not (v > 0.) then b = 0
+      else if b = Obs.num_buckets - 1 then v >= Obs.bucket_lower_bound b
+      else
+        v >= Obs.bucket_lower_bound b && v < Obs.bucket_lower_bound (b + 1))
+
+let fuzz_histogram_conservation =
+  qcheck ~count:200 "histogram bucket counts sum to observation count"
+    QCheck.(pair small_nat (list float))
+    (fun (tag, vs) ->
+      (* A per-case metric name keeps cases independent despite the
+         process-global registry. *)
+      let h =
+        Obs.histogram (Printf.sprintf "test.obs.fuzz_conserv_%d" (tag mod 8))
+      in
+      let before = Obs.histogram_count h in
+      List.iter (Obs.observe h) vs;
+      let bucket_total = ref 0 in
+      for i = 0 to Obs.num_buckets - 1 do
+        bucket_total := !bucket_total + Obs.histogram_bucket h i
+      done;
+      Obs.histogram_count h = before + List.length vs
+      && !bucket_total = Obs.histogram_count h)
+
+let test_summary_table_covers_registry () =
+  ignore (Obs.counter "test.obs.summary");
+  let names = Obs.metric_names () in
+  check_true "metric_names sorted"
+    (names = List.sort compare names);
+  (* The summary table renders without raising and is non-trivial; its
+     exact formatting is covered by the Table tests. *)
+  let t = Obs.summary_table () in
+  check_true "summary table renders"
+    (String.length (Core.Prelude.Table.render t) > 0)
+
+(* ------------------------------------------------------------- spans *)
+
+let test_disabled_fast_path () =
+  (* No sink installed: with_span is transparent for values and
+     exceptions, and attributes are no-ops. *)
+  check_true "not tracing by default" (not (Obs.tracing ()));
+  check_int "value passes through" 42
+    (Obs.with_span "off" (fun () ->
+         Obs.add_span_attr "k" (Obs.I 1);
+         42));
+  Alcotest.check_raises "exception passes through" (Failure "boom")
+    (fun () -> Obs.with_span "off" (fun () -> failwith "boom"))
+
+let test_span_structure () =
+  let events =
+    trace_to_events (fun () ->
+        check_true "tracing while sink installed" (Obs.tracing ());
+        Obs.with_span ~attrs:[ ("root", Obs.B true) ] "outer" (fun () ->
+            Obs.with_span "inner1" (fun () ->
+                Obs.add_span_attr "k" (Obs.S "v\"with\nescapes"));
+            Obs.with_span "inner2" (fun () ->
+                Obs.with_span "leaf" (fun () -> ()));
+            try Obs.with_span "boom" (fun () -> failwith "expected")
+            with Failure _ -> ()))
+  in
+  let spans = spans_of events in
+  check_int "five spans emitted" 5 (List.length spans);
+  let by_name n = List.find (fun s -> span_name s = n) spans in
+  let ids = List.map span_id spans in
+  check_int "ids unique" 5 (List.length (List.sort_uniq compare ids));
+  (* Children close (and are emitted) before their parents. *)
+  let pos s =
+    let rec go i = function
+      | [] -> Alcotest.fail "span not found"
+      | x :: rest -> if x == s then i else go (i + 1) rest
+    in
+    go 0 spans
+  in
+  List.iter
+    (fun s ->
+      let p = span_parent s in
+      if p <> 0 then begin
+        let parent =
+          try List.find (fun x -> span_id x = p) spans
+          with Not_found -> Alcotest.failf "parent %d missing" p
+        in
+        check_true
+          (Printf.sprintf "%s emitted before its parent %s" (span_name s)
+             (span_name parent))
+          (pos s < pos parent);
+        (* Wall-clock containment with a loose epsilon. *)
+        let start x = req "start_s" (Jsonl.mem_num "start_s" x) in
+        let dur x = req "dur_s" (Jsonl.mem_num "dur_s" x) in
+        let eps = 1e-3 in
+        check_true "child starts after parent"
+          (start s +. eps >= start parent);
+        check_true "child ends before parent"
+          (start s +. dur s <= start parent +. dur parent +. eps)
+      end)
+    spans;
+  check_int "outer is a root span" 0 (span_parent (by_name "outer"));
+  check_int "inner1 nests under outer" (span_id (by_name "outer"))
+    (span_parent (by_name "inner1"));
+  check_int "leaf nests under inner2" (span_id (by_name "inner2"))
+    (span_parent (by_name "leaf"));
+  (* Attribute round-trip, including the escaped string. *)
+  check_true "outer keeps its attrs"
+    (List.assoc_opt "root" (span_attrs (by_name "outer"))
+    = Some (Jsonl.Bool true));
+  check_true "add_span_attr lands on innermost span"
+    (List.assoc_opt "k" (span_attrs (by_name "inner1"))
+    = Some (Jsonl.Str "v\"with\nescapes"));
+  (* The raising span reports the failure; the others succeed. *)
+  let boom = by_name "boom" in
+  check_true "raising span has ok:false"
+    (Jsonl.mem_bool "ok" boom = Some false);
+  check_true "raising span records the error"
+    (match List.assoc_opt "error" (span_attrs boom) with
+    | Some (Jsonl.Str e) ->
+        (* The exception is rendered via Printexc. *)
+        String.length e > 0
+    | _ -> false);
+  List.iter
+    (fun s ->
+      if span_name s <> "boom" then
+        check_true (span_name s ^ " has ok:true")
+          (Jsonl.mem_bool "ok" s = Some true))
+    spans
+
+let fuzz_span_nesting =
+  (* Random nesting shapes: every emitted span's parent chain must reach
+     a root, and every child must appear in the file strictly before its
+     parent (spans are emitted on close).  That is exactly
+     well-parenthesizedness of the span intervals. *)
+  qcheck ~count:30 "span nesting is well-parenthesized in JSONL output"
+    QCheck.(list_of_size Gen.(int_range 0 12) (int_bound 2))
+    (fun shape ->
+      let events =
+        trace_to_events (fun () ->
+            let rec emit = function
+              | [] -> ()
+              | 0 :: rest ->
+                  Obs.with_span "leaf" (fun () -> ());
+                  emit rest
+              | _ :: rest -> Obs.with_span "node" (fun () -> emit rest)
+            in
+            emit shape)
+      in
+      let spans = spans_of events in
+      let arr = Array.of_list spans in
+      let index_of_id id =
+        let found = ref (-1) in
+        Array.iteri (fun i s -> if span_id s = id then found := i) arr;
+        !found
+      in
+      List.length spans = List.length shape
+      && Array.for_all
+           (fun s ->
+             let p = span_parent s in
+             p = 0
+             ||
+             let pi = index_of_id p in
+             pi >= 0 && index_of_id (span_id s) < pi)
+           arr)
+
+let test_flush_metrics_round_trip () =
+  let c = Obs.counter "test.obs.flush.counter" in
+  let g = Obs.gauge "test.obs.flush.gauge" in
+  let h = Obs.histogram "test.obs.flush.hist" in
+  Obs.reset_counter c;
+  Obs.add c 7;
+  Obs.set_gauge g 1.5;
+  List.iter (Obs.observe h) [ 0.25; 4.0; -1.0 ];
+  let h_count0 = Obs.histogram_count h in
+  let events = trace_to_events (fun () -> Obs.flush_metrics ()) in
+  let find_metric ty name =
+    List.find_opt
+      (fun e ->
+        Jsonl.mem_str "type" e = Some ty && Jsonl.mem_str "name" e = Some name)
+      events
+  in
+  (match find_metric "counter" "test.obs.flush.counter" with
+  | Some e -> check_float "counter value flushed" 7. (req "value" (Jsonl.mem_num "value" e))
+  | None -> Alcotest.fail "counter event missing");
+  (match find_metric "gauge" "test.obs.flush.gauge" with
+  | Some e -> check_float "gauge value flushed" 1.5 (req "value" (Jsonl.mem_num "value" e))
+  | None -> Alcotest.fail "gauge event missing");
+  (match find_metric "histogram" "test.obs.flush.hist" with
+  | Some e ->
+      check_float "histogram count flushed" (float_of_int h_count0)
+        (req "count" (Jsonl.mem_num "count" e));
+      let buckets =
+        match Jsonl.member "buckets" e with
+        | Some (Jsonl.Obj kvs) -> kvs
+        | _ -> Alcotest.fail "histogram buckets missing"
+      in
+      let total =
+        List.fold_left
+          (fun acc (_, v) -> acc + int_of_float (req "bucket" (Jsonl.num v)))
+          0 buckets
+      in
+      check_int "sparse buckets sum to count" h_count0 total;
+      (* Sparse encoding: empty buckets are not written. *)
+      check_true "no zero buckets emitted"
+        (List.for_all (fun (_, v) -> Jsonl.num v <> Some 0.) buckets)
+  | None -> Alcotest.fail "histogram event missing");
+  (* Every registered metric appears exactly once in a flush. *)
+  let flushed =
+    List.filter_map
+      (fun e ->
+        match Jsonl.mem_str "type" e with
+        | Some ("counter" | "gauge" | "histogram") -> Jsonl.mem_str "name" e
+        | _ -> None)
+      events
+  in
+  check_true "flush covers the registry, once per metric"
+    (List.sort compare flushed = Obs.metric_names ())
+
+(* ------------------------------------ determinism across job counts *)
+
+let memo_counters_for ~jobs =
+  Met.clear_caches ();
+  let hits = Obs.counter "memo.zeta.hits" in
+  let misses = Obs.counter "memo.zeta.misses" in
+  let h0 = Obs.counter_value hits and m0 = Obs.counter_value misses in
+  KS.reset ();
+  let sp = random_space ~n:16 77 in
+  let w1 = Met.zeta_witness ~jobs ~cache:true sp in
+  let w2 = Met.zeta_witness ~jobs ~cache:true sp in
+  check_true "cached witness identical"
+    (w1.Met.x = w2.Met.x && w1.Met.y = w2.Met.y && w1.Met.z = w2.Met.z
+    && Float.equal w1.Met.value w2.Met.value);
+  let s = KS.snapshot () in
+  ( Obs.counter_value hits - h0,
+    Obs.counter_value misses - m0,
+    s.KS.sweeps,
+    s.KS.triples )
+
+let test_cache_metrics_job_invariant () =
+  (* Cache hits/misses and executed-sweep accounting are deterministic
+     and must not depend on the parallelism degree. *)
+  let a = memo_counters_for ~jobs:1 in
+  let b = memo_counters_for ~jobs:4 in
+  let (h, m, sweeps, triples) = a in
+  check_int "one miss on a cold cache" 1 m;
+  check_int "one hit on the warm rerun" 1 h;
+  check_int "exactly one executed sweep" 1 sweeps;
+  check_int "triples = n(n-1)(n-2)" (16 * 15 * 14) triples;
+  check_true "identical metrics at jobs=1 and jobs=4" (a = b)
+
+let test_kernel_stats_deterministic_at_jobs4 () =
+  (* Regression for the per-chunk tally merge: before it, the pruning
+     counters raced under Parallel and two identical jobs=4 sweeps could
+     disagree.  Now a sweep's tally is a pure function of (space, jobs). *)
+  let sp = random_space ~n:20 912 in
+  let snap jobs =
+    KS.reset ();
+    ignore (Met.zeta_witness ~jobs ~cache:false sp);
+    KS.snapshot ()
+  in
+  let a = snap 4 and b = snap 4 in
+  check_true "jobs=4 tallies reproducible" (a = b);
+  check_int "one sweep per run" 1 a.KS.sweeps;
+  check_int "triple coverage recorded" (20 * 19 * 18) a.KS.triples;
+  check_true "counters non-negative"
+    (a.KS.plain_skips >= 0 && a.KS.cheap_skips >= 0 && a.KS.deep >= 0
+    && a.KS.exp_evals >= 0 && a.KS.bisections >= 0 && a.KS.row_prunes >= 0
+    && a.KS.pair_prunes >= 0 && a.KS.tile_prunes >= 0);
+  check_true "bisections only on deep triples" (a.KS.bisections <= a.KS.deep);
+  check_true "deep triples are covered triples" (a.KS.deep <= a.KS.triples);
+  let f = KS.pruned_fraction a in
+  check_true "pruned fraction in [0,1]" (f >= 0. && f <= 1.);
+  (* phi sweeps merge tallies through the same path. *)
+  let psnap jobs =
+    KS.reset ();
+    ignore (Met.phi_witness ~jobs ~cache:false sp);
+    KS.snapshot ()
+  in
+  check_true "phi jobs=4 tallies reproducible" (psnap 4 = psnap 4)
+
+let test_worker_tally_merge () =
+  (* Per-worker task counts are kept per pool and merged on read; the
+     process-global counters see every task exactly once. *)
+  let m_worker = Obs.counter "parallel.worker_tasks" in
+  let m_caller = Obs.counter "parallel.caller_tasks" in
+  let pool = Par.create ~num_domains:3 () in
+  let n = 16 in
+  let w0 = Obs.counter_value m_worker and c0 = Obs.counter_value m_caller in
+  let out = Par.run ~pool (Array.init n (fun k () -> k * k)) in
+  check_true "results in order" (out = Array.init n (fun k -> k * k));
+  let dequeued =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 (Par.worker_task_counts pool)
+  in
+  (* Task 0 runs in the caller without queueing; the other n-1 are
+     dequeued by workers or by the helping caller and land in the pool
+     tally either way. *)
+  check_int "pool tally sees every queued task" (n - 1) dequeued;
+  check_int "global counters see every task once" n
+    (Obs.counter_value m_worker - w0 + (Obs.counter_value m_caller - c0));
+  (* A second batch accumulates. *)
+  ignore (Par.run ~pool (Array.init n (fun k () -> k)));
+  let dequeued2 =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 (Par.worker_task_counts pool)
+  in
+  check_int "tally accumulates across batches" (2 * (n - 1)) dequeued2;
+  check_true "tally keys are sorted domain ids"
+    (let ks = List.map fst (Par.worker_task_counts pool) in
+     ks = List.sort_uniq compare ks);
+  Par.shutdown pool;
+  (* Queue-wait histogram observed one sample per queued task (among
+     whatever other tests contributed). *)
+  check_true "queue wait histogram populated"
+    (Obs.histogram_count (Obs.histogram "parallel.queue_wait_s") >= n - 1)
+
+(* ------------------------------------------------------ golden trace *)
+
+(* Normalize a trace to its shape: span names in emission order, each
+   with only its string/bool attributes (ids, timings and sizes vary run
+   to run; the shape must not). *)
+let normalize_spans spans =
+  List.map
+    (fun s ->
+      let keep =
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Jsonl.Str x -> Some (Printf.sprintf "%s=%s" k x)
+            | Jsonl.Bool b -> Some (Printf.sprintf "%s=%b" k b)
+            | _ -> None)
+          (span_attrs s)
+      in
+      match keep with
+      | [] -> span_name s
+      | ks -> span_name s ^ " " ^ String.concat " " ks)
+    spans
+
+let test_golden_e1_trace () =
+  (* A cold-cache isolated E1 run produces a stable trace shape: its
+     analysis sweeps, then exactly one experiment span carrying the
+     verdict.  Committed as test/golden_e1_trace.txt; regenerate with
+     `dune runtest` after an intentional trace-shape change and copy the
+     diff. *)
+  Met.clear_caches ();
+  Fad.clear_caches ();
+  let entry =
+    match Bg_experiments.Registry.find "E1" with
+    | Some e -> e
+    | None -> Alcotest.fail "E1 not registered"
+  in
+  let events =
+    trace_to_events (fun () ->
+        let r = Bg_experiments.Isolate.run_entry entry in
+        check_true "E1 passes" (Bg_experiments.Isolate.passed r))
+  in
+  (* Every line parsed (Jsonl.parse_lines already raised otherwise); the
+     trace contains exactly one experiment span, and it carries E1's
+     verdict. *)
+  let spans = spans_of events in
+  let exps = List.filter (fun s -> span_name s = "experiment") spans in
+  check_int "exactly one span per experiment run" 1 (List.length exps);
+  let e = List.hd exps in
+  check_true "experiment span names its id"
+    (List.assoc_opt "id" (span_attrs e) = Some (Jsonl.Str "E1"));
+  check_true "experiment span records pass"
+    (List.assoc_opt "pass" (span_attrs e) = Some (Jsonl.Bool true));
+  check_true "experiment span records the verdict"
+    (List.assoc_opt "verdict" (span_attrs e) = Some (Jsonl.Str "PASS"));
+  check_int "experiment span is the trace root" 0 (span_parent e);
+  (* All other spans hang off the experiment span (directly or not). *)
+  let ids = List.map span_id spans in
+  List.iter
+    (fun s ->
+      let p = span_parent s in
+      check_true (span_name s ^ " linked into the trace")
+        (p = 0 || List.mem p ids))
+    spans;
+  let golden_path =
+    (* cwd is _build/default/test under `dune runtest`, but the project
+       root under `dune exec test/test_main.exe`. *)
+    if Sys.file_exists "golden_e1_trace.txt" then "golden_e1_trace.txt"
+    else "test/golden_e1_trace.txt"
+  in
+  let golden =
+    Jsonl.read_file golden_path
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check (list string))
+    "trace shape matches the committed golden" golden (normalize_spans spans)
+
+let suite =
+  [
+    ( "obs.metrics",
+      [
+        case "counter basics" test_counter_basics;
+        case "registry idempotent, kind-checked" test_registry_idempotent;
+        case "gauge" test_gauge;
+        case "histogram basics" test_histogram_basics;
+        case "bucket_of specials" test_bucket_of_specials;
+        fuzz_bucket_bounds;
+        fuzz_histogram_conservation;
+        case "summary covers registry" test_summary_table_covers_registry;
+      ] );
+    ( "obs.spans",
+      [
+        case "disabled fast path is transparent" test_disabled_fast_path;
+        case "span structure, attrs, errors" test_span_structure;
+        fuzz_span_nesting;
+        case "flush_metrics round-trips" test_flush_metrics_round_trip;
+      ] );
+    ( "obs.determinism",
+      [
+        case "cache metrics jobs-invariant" test_cache_metrics_job_invariant;
+        case "kernel tallies deterministic at jobs=4"
+          test_kernel_stats_deterministic_at_jobs4;
+        case "per-worker tallies merge" test_worker_tally_merge;
+      ] );
+    ("obs.golden", [ case "E1 trace shape" test_golden_e1_trace ]);
+  ]

@@ -77,6 +77,105 @@ let prop_schedules_on_random_decay_spaces =
       in
       Sch.verify t (Sch.first_fit t))
 
+(* ------------------------------------------------- slot re-verification *)
+
+let test_first_fit_slots_individually_feasible () =
+  (* [verify] checks the partition property and per-slot feasibility
+     together; re-verify each slot independently against the raw SINR
+     test so a verify bug cannot mask an infeasible slot. *)
+  List.iter
+    (fun seed ->
+      let t = planar_instance ~n_links:14 seed in
+      let p = Pw.uniform 1. in
+      List.iteri
+        (fun i slot ->
+          check_true
+            (Printf.sprintf "slot %d feasible (seed %d)" i seed)
+            (Core.Sinr.Feasibility.is_feasible t p slot))
+        (Sch.first_fit t))
+    [ 21; 22; 23 ]
+
+let prop_all_slots_feasible =
+  qcheck ~count:25 "every slot of every schedule is SINR-feasible"
+    QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:10 seed in
+      let p = Pw.uniform 1. in
+      List.for_all
+        (fun sched ->
+          List.for_all (Core.Sinr.Feasibility.is_feasible t p) sched)
+        [ Sch.first_fit t; Sch.via_capacity t ])
+
+(* ------------------------------------------------------- flexible rates *)
+
+module R = Core.Sched.Rates
+
+let test_rates_schedule_completes_and_verifies () =
+  let t = planar_instance ~n_links:8 31 in
+  let demands = Array.make 8 0.5 in
+  let r = R.schedule ~demands t in
+  check_true "completed" r.R.completed;
+  check_true "verifies" (R.verify t ~demands r);
+  check_int "one transcript entry per slot" r.R.slots
+    (List.length r.R.transcript);
+  Array.iteri
+    (fun id res ->
+      check_true
+        (Printf.sprintf "demand of link %d served" id)
+        (res <= 1e-9))
+    r.R.residual
+
+let test_rates_rejects_nonpositive_demands () =
+  let t = planar_instance ~n_links:6 32 in
+  Alcotest.check_raises "zero demand rejected"
+    (Invalid_argument "Rates.schedule: demands must be positive") (fun () ->
+      ignore (R.schedule ~demands:(Array.make 6 0.) t))
+
+let test_rates_monotone_in_demands () =
+  (* Serving more bits can never take fewer slots. *)
+  let t = planar_instance ~n_links:8 33 in
+  let slots_for d =
+    let r = R.schedule ~demands:(Array.make 8 d) t in
+    check_true "completed" r.R.completed;
+    r.R.slots
+  in
+  let s1 = slots_for 0.25 in
+  let s2 = slots_for 0.5 in
+  let s4 = slots_for 1.0 in
+  check_true "demand 2x => slots >=" (s2 >= s1);
+  check_true "demand 4x => slots >=" (s4 >= s2)
+
+let test_rates_budget_cuts_off () =
+  (* An absurd demand cannot complete in one slot; the budget is honored
+     and the incomplete result fails verification. *)
+  let t = planar_instance ~n_links:8 34 in
+  let demands = Array.make 8 1e6 in
+  let r = R.schedule ~max_slots:1 ~demands t in
+  check_false "not completed" r.R.completed;
+  check_int "budget honored" 1 r.R.slots;
+  check_false "incomplete result does not verify" (R.verify t ~demands r)
+
+let test_rate_decreases_with_interference () =
+  let t = planar_instance ~n_links:6 35 in
+  let p = Pw.uniform 1. in
+  let links = Array.to_list t.I.links in
+  match links with
+  | v :: u :: _ ->
+      let alone = R.rate t p [ v ] v in
+      let crowded = R.rate t p [ v; u ] v in
+      check_true "positive rate alone" (alone > 0.);
+      check_true "interference cannot raise the rate"
+        (crowded <= alone +. 1e-12)
+  | _ -> Alcotest.fail "instance too small"
+
+let prop_rates_verify =
+  qcheck ~count:15 "completed rate schedules verify" QCheck.small_int
+    (fun seed ->
+      let t = planar_instance ~n_links:7 seed in
+      let demands = Array.make 7 (0.1 +. float_of_int (seed mod 5) *. 0.1) in
+      let r = R.schedule ~demands t in
+      (not r.R.completed) || R.verify t ~demands r)
+
 let suite =
   [
     ( "sched.scheduler",
@@ -92,5 +191,17 @@ let suite =
         prop_first_fit_always_valid;
         prop_via_capacity_always_valid;
         prop_schedules_on_random_decay_spaces;
+        case "slots individually feasible"
+          test_first_fit_slots_individually_feasible;
+        prop_all_slots_feasible;
+      ] );
+    ( "sched.rates_invariants",
+      [
+        case "completes and verifies" test_rates_schedule_completes_and_verifies;
+        case "rejects non-positive demands" test_rates_rejects_nonpositive_demands;
+        case "monotone in demands" test_rates_monotone_in_demands;
+        case "slot budget" test_rates_budget_cuts_off;
+        case "interference lowers rate" test_rate_decreases_with_interference;
+        prop_rates_verify;
       ] );
   ]
