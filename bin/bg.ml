@@ -7,6 +7,8 @@
      bg experiment <id>            run one claim experiment (E1..E28)
      bg protocols <file.csv>       run the distributed protocol suite
      bg stats <file.csv>           measurement-style statistics
+     bg trace report|flame|diff    analyze a --trace JSONL file offline
+     bg bench [--record|--check]   kernel bench / perf-regression gate
      bg zoo                        list the built-in constructions *)
 
 open Cmdliner
@@ -26,6 +28,7 @@ let or_user_error f =
   try f () with
   | Invalid_argument msg | Failure msg -> user_error "%s" msg
   | Sys_error msg -> user_error "%s" msg
+  | Obs_tools.Jsonl.Bad msg -> user_error "malformed JSON: %s" msg
   | Core.Prelude.Parallel.Timeout -> user_error "wall-clock budget exceeded"
 
 let space_of_file path = or_user_error (fun () -> Core.Decay.Decay_io.load path)
@@ -91,7 +94,26 @@ let metrics_arg =
            hits/misses, pool and repair statistics) as a table when the \
            command finishes.")
 
-let apply_obs trace = Option.iter Core.Prelude.Obs.set_trace_file trace
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "With --trace: also capture GC and CPU deltas on every span \
+           (minor/major/promoted words, allocated bytes, collections, \
+           CPU seconds) and give each parallel pool task its own span, \
+           so `bg trace report` can attribute allocation per span kind \
+           and per worker domain. No effect without --trace.")
+
+(* An unwritable trace path must be a clean exit-2 error at startup, not
+   a Sys_error escaping at first flush mid-run. *)
+let apply_obs ?(profile = false) trace =
+  Option.iter
+    (fun path ->
+      (try Core.Prelude.Obs.set_trace_file path
+       with Sys_error msg -> user_error "cannot open trace file: %s" msg);
+      Core.Prelude.Obs.set_profile profile)
+    trace
 
 let finish_obs metrics =
   Core.Prelude.Obs.flush_metrics ();
@@ -160,9 +182,9 @@ let space_of_file_repaired file repair =
           | Error diag -> user_error "%s: %s" file (V.describe diag))
 
 let analyze_cmd =
-  let run file gamma_at jobs no_cache repair timeout trace metrics =
+  let run file gamma_at jobs no_cache repair timeout trace profile metrics =
     let jobs = apply_jobs jobs in
-    apply_obs trace;
+    apply_obs ~profile trace;
     let space = space_of_file_repaired file repair in
     let report =
       or_user_error (fun () ->
@@ -184,7 +206,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Compute every decay-space parameter of a matrix.")
     Term.(
       const run $ file_arg $ gamma_at $ jobs_arg $ no_cache_arg $ repair_arg
-      $ timeout_arg $ trace_arg $ metrics_arg)
+      $ timeout_arg $ trace_arg $ profile_arg $ metrics_arg)
 
 (* ------------------------------------------------------------ generate *)
 
@@ -322,9 +344,9 @@ let experiment_cmd =
             "Retry a crashing experiment up to K times with exponential \
              backoff before recording it as CRASH.")
   in
-  let run ids jobs timeout retries trace metrics =
+  let run ids jobs timeout retries trace profile metrics =
     ignore (apply_jobs jobs);
-    apply_obs trace;
+    apply_obs ~profile trace;
     let entries =
       if List.exists (fun s -> String.lowercase_ascii s = "all") ids then
         Bg_experiments.Registry.all
@@ -355,7 +377,7 @@ let experiment_cmd =
           timeout cannot lose the rest of the run.")
     Term.(
       const run $ ids $ jobs_arg $ timeout_arg $ retries_arg $ trace_arg
-      $ metrics_arg)
+      $ profile_arg $ metrics_arg)
 
 (* ---------------------------------------------------------------- stats *)
 
@@ -464,22 +486,215 @@ let bench_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Where to write the machine-readable results.")
   in
-  let run kernels_only max_n json jobs trace metrics =
+  let record_arg =
+    Arg.(
+      value & flag
+      & info [ "record" ]
+          ~doc:
+            "Run the perf-regression suite (mean/stddev over --reps \
+             repetitions) and append one sample line — git sha, jobs, \
+             per-benchmark mean/stddev — to the history file (see \
+             --history).")
+  in
+  let history_arg =
+    Arg.(
+      value
+      & opt string "BENCH_history.jsonl"
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"Where --record appends its JSONL history line.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:
+            "Run the perf-regression suite and compare against the \
+             baselines in $(docv) (e.g. bench/baselines.json). \
+             Noise-aware: a benchmark regresses only beyond \
+             max(3 sigma, 15%) of its baseline mean (soft, exit 3); \
+             beyond max(3 sigma, 50%) it is a hard regression (exit 4).")
+  in
+  let write_baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Run the perf-regression suite and write its samples as a \
+             fresh baselines file for later --check runs.")
+  in
+  let reps_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Repetitions per benchmark for the regression suite.")
+  in
+  let run kernels_only max_n json jobs record history check write_baseline
+      reps trace profile metrics =
     ignore kernels_only;
     ignore (apply_jobs jobs);
-    apply_obs trace;
-    or_user_error (fun () -> Benchkit.Kernels.run ~max_n ~json_path:json ());
-    finish_obs metrics
+    apply_obs ~profile trace;
+    if record || check <> None || write_baseline <> None then begin
+      (* The regression gate: one suite run serves --record, --check and
+         --write-baseline in any combination. *)
+      let samples =
+        or_user_error (fun () -> Benchkit.Regress.run_suite ~reps ())
+      in
+      Core.Prelude.Table.print
+        (Benchkit.Regress.samples_table ~title:"perf-regression suite"
+           samples);
+      if record then begin
+        or_user_error (fun () ->
+            Benchkit.Regress.append_history ~path:history samples);
+        Printf.printf "bench history appended to %s\n%!" history
+      end;
+      Option.iter
+        (fun path ->
+          or_user_error (fun () ->
+              Benchkit.Regress.write_baselines path samples);
+          Printf.printf "baselines written to %s\n%!" path)
+        write_baseline;
+      match check with
+      | None -> finish_obs metrics
+      | Some baseline_path ->
+          let rows =
+            or_user_error (fun () ->
+                Benchkit.Regress.compare_samples
+                  ~baseline:(Benchkit.Regress.load_baselines baseline_path)
+                  ~current:samples)
+          in
+          Core.Prelude.Table.print (Benchkit.Regress.check_table rows);
+          finish_obs metrics;
+          let v = Benchkit.Regress.overall rows in
+          (match v with
+          | Benchkit.Regress.Pass -> ()
+          | v ->
+              Printf.eprintf "bg bench --check: %s against %s\n%!"
+                (Benchkit.Regress.verdict_name v)
+                baseline_path);
+          exit (Benchkit.Regress.exit_code v)
+    end
+    else begin
+      or_user_error (fun () -> Benchkit.Kernels.run ~max_n ~json_path:json ());
+      finish_obs metrics
+    end
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run the flat log-domain kernel benchmark (naive vs optimized \
           zeta sweep, pruning hit-rates, cache behaviour, disabled-span \
-          overhead) and record BENCH_kernels.json.")
+          overhead) and record BENCH_kernels.json; or, with \
+          --record/--check/--write-baseline, run the perf-regression \
+          suite against committed baselines.")
     Term.(
       const run $ kernels_only_arg $ max_n_arg $ json_arg $ jobs_arg
-      $ trace_arg $ metrics_arg)
+      $ record_arg $ history_arg $ check_arg $ write_baseline_arg $ reps_arg
+      $ trace_arg $ profile_arg $ metrics_arg)
+
+(* ---------------------------------------------------------------- trace *)
+
+(* Offline consumers of --trace files: aggregate report, flame output,
+   regression diff.  All parse/IO failures are clean exit-2 errors. *)
+
+let trace_pos_arg ~at ~docv =
+  Arg.(
+    required
+    & pos at (some file) None
+    & info [] ~docv ~doc:"JSONL trace file (written by --trace FILE).")
+
+let load_spans path =
+  or_user_error (fun () ->
+      let spans = Obs_tools.Trace.load path in
+      if spans = [] then
+        user_error "%s: no span events (is this a --trace file?)" path;
+      spans)
+
+let trace_report_cmd =
+  let run path =
+    let spans = load_spans path in
+    Core.Prelude.Table.print
+      (Obs_tools.Trace.report_table
+         ~title:(Printf.sprintf "trace report: %s" path)
+         spans);
+    Core.Prelude.Table.print (Obs_tools.Trace.critical_path_table spans)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a JSONL trace into a per-span-kind table (count, \
+          total/self/child wall time, allocation when recorded with \
+          --profile, p50/p99 from log2 buckets) plus the critical path \
+          of the slowest experiment.")
+    Term.(const run $ trace_pos_arg ~at:0 ~docv:"TRACE")
+
+let trace_flame_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("folded", `Folded); ("speedscope", `Speedscope) ]) `Folded
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: folded (flamegraph.pl-compatible folded \
+             stacks, self time in microseconds) or speedscope (evented \
+             JSON profile, one per domain, for speedscope.app).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run path format out =
+    let spans = load_spans path in
+    let text =
+      match format with
+      | `Folded -> Obs_tools.Trace.folded_to_string spans
+      | `Speedscope ->
+          Obs_tools.Trace.speedscope ~name:(Filename.basename path) spans
+          ^ "\n"
+    in
+    match out with
+    | None -> print_string text
+    | Some f ->
+        or_user_error (fun () ->
+            Out_channel.with_open_text f (fun oc ->
+                Out_channel.output_string oc text))
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "Render a JSONL trace as folded stacks (flamegraph.pl) or a \
+          speedscope profile.")
+    Term.(const run $ trace_pos_arg ~at:0 ~docv:"TRACE" $ format_arg $ out_arg)
+
+let trace_diff_cmd =
+  let run old_path new_path =
+    let old_spans = load_spans old_path and new_spans = load_spans new_path in
+    Core.Prelude.Table.print
+      (Obs_tools.Trace.diff_table ~old_spans ~new_spans)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Per-span-kind regression table between two traces of the same \
+          workload: count and total-time deltas, worst regressions \
+          first.")
+    Term.(
+      const run
+      $ trace_pos_arg ~at:0 ~docv:"OLD"
+      $ trace_pos_arg ~at:1 ~docv:"NEW")
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Analyze observability traces offline: aggregate report, flame \
+          output (folded stacks / speedscope), and trace-vs-trace \
+          regression diff.")
+    [ trace_report_cmd; trace_flame_cmd; trace_diff_cmd ]
 
 (* ------------------------------------------------------------------ zoo *)
 
@@ -506,7 +721,7 @@ let main =
     (Cmd.info "bg" ~version:"1.0.0"
        ~doc:"Decay-space wireless models (Beyond Geometry, PODC 2014).")
     [ analyze_cmd; generate_cmd; capacity_cmd; experiment_cmd; stats_cmd;
-      protocols_cmd; bench_cmd; zoo_cmd ]
+      protocols_cmd; bench_cmd; trace_cmd; zoo_cmd ]
 
 let () =
   (* Cmdliner reports its own parse errors with Exit.cli_error (124);

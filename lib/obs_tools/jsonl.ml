@@ -1,11 +1,13 @@
-(* A minimal JSON / JSONL reader for the observability tests.
+(* A minimal dependency-free JSON / JSONL reader and writer.
 
-   The container ships no JSON library, and the trace format written by
-   [Bg_prelude.Obs] is deliberately small (objects of scalars plus one
-   nested attrs/buckets object), so a ~100-line recursive-descent parser
-   keeps the test suite dependency-free.  It still parses full JSON —
-   arrays, nesting, escapes — so the round-trip test exercises a real
-   parser, not a regexp. *)
+   The toolchain ships no JSON library, and the formats this repo deals
+   in are deliberately small — the [Bg_prelude.Obs] trace lines, the
+   bench baselines, speedscope profiles — so a ~100-line
+   recursive-descent parser plus a direct serializer keep the trace
+   tooling (and the test suite, which uses this same module)
+   dependency-free.  It still parses full JSON — arrays, nesting,
+   escapes — so round-trip tests exercise a real parser, not a
+   regexp. *)
 
 type t =
   | Null
@@ -175,6 +177,66 @@ let parse_lines text =
   |> List.map parse
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* ----------------------------------------------------------- emission *)
+
+let buf_add_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_add_num b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* Integral values print as integers: ids, counts, bucket indices
+       must not grow a ".000000" suffix on the way out. *)
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else if Float.is_finite f then
+    (* %.17g round-trips every double. *)
+    Buffer.add_string b (Printf.sprintf "%.17g" f)
+  else
+    (* JSON has no inf/nan literals; mirror Obs's convention of emitting
+       them as strings so the output always reparses. *)
+    buf_add_string b (Printf.sprintf "%h" f)
+
+let rec buf_add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Num f -> buf_add_num b f
+  | Str s -> buf_add_string b s
+  | Arr vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_add b v)
+        vs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_add_string b k;
+          Buffer.add_char b ':';
+          buf_add b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  buf_add b v;
+  Buffer.contents b
 
 (* --------------------------------------------------------- accessors *)
 

@@ -1,0 +1,111 @@
+(** Offline analysis of {!Bg_prelude.Obs} JSONL traces.
+
+    Backs the [bg trace report|flame|diff] subcommands: a trace file is
+    read back into a span forest (spans opened inside parallel workers
+    are roots of their own domain) and aggregated per span {e kind}
+    (name), rendered as folded stacks / speedscope JSON, or diffed
+    against another trace.
+
+    Self time is [dur - min(dur, sum of children dur)], so
+    [self + child = total] holds {e exactly} per span and per kind.
+    Quantiles are estimated from the same log2 bucketing the live
+    metrics registry uses ({!Bg_prelude.Obs.bucket_of}), at the
+    geometric midpoint of the selected bucket, so offline p50/p99 are
+    comparable with online histogram flushes. *)
+
+type span = {
+  id : int;
+  parent : int; (* 0 for roots *)
+  domain : int;
+  name : string;
+  start_s : float;
+  dur_s : float; (* clamped non-negative on load *)
+  ok : bool;
+  attrs : (string * Jsonl.t) list;
+}
+
+(** {1 Loading} *)
+
+val load : string -> span list
+(** Parse a JSONL trace file and keep its span events, in file order
+    (children precede parents — spans are emitted on close).  Raises
+    {!Jsonl.Bad} on malformed JSON and [Sys_error] on an unreadable
+    file. *)
+
+val load_events : string -> Jsonl.t list
+(** Every event of the file (spans, counters, gauges, histograms). *)
+
+val spans : Jsonl.t list -> span list
+(** The span events among [events]; non-span lines are ignored. *)
+
+val attr_num : span -> string -> float option
+(** Numeric attribute by name. *)
+
+val alloc_bytes : span -> float option
+(** The ["gc.alloc_bytes"] profiling attribute, when the trace was
+    recorded under [--profile]. *)
+
+(** {1 Per-kind aggregation} *)
+
+type kind_stats = {
+  kind : string;
+  count : int;
+  errors : int; (* spans with ok:false *)
+  total_s : float;
+  kself_s : float; (* total minus time inside linked children *)
+  kchild_s : float; (* kself_s + kchild_s = total_s exactly *)
+  alloc_b : float; (* summed gc.alloc_bytes; 0 without profiling *)
+  p50_s : float; (* log2-bucket estimates of the duration quantiles *)
+  p99_s : float;
+  max_s : float;
+}
+
+val aggregate : span list -> kind_stats list
+(** One row per span name, sorted by total time descending. *)
+
+val report_table : ?title:string -> span list -> Bg_prelude.Table.t
+(** {!aggregate} rendered with human-scale units. *)
+
+val critical_path : span list -> span list
+(** The chain of heaviest children under the slowest [experiment] span
+    (or the slowest root when the trace has no experiment spans), from
+    that top span down to a leaf.  Empty only for an empty trace. *)
+
+val critical_path_table : span list -> Bg_prelude.Table.t
+
+(** {1 Flame output} *)
+
+val folded : span list -> (string * int) list
+(** flamegraph.pl folded stacks: [("root;child;leaf", self_us)] with
+    one entry per distinct name path, self time in integer microseconds,
+    sorted by stack.  Spans sharing a name path merge (flamegraph
+    semantics). *)
+
+val folded_to_string : span list -> string
+(** One ["stack value\n"] line per entry of {!folded}. *)
+
+val speedscope : ?name:string -> span list -> string
+(** The trace as a speedscope evented-profile JSON document (one
+    profile per domain, frames shared).  Event timestamps are clamped
+    into their parent's window and ordered after elder siblings, so the
+    output satisfies speedscope's schema even on a clock-jittery
+    trace. *)
+
+(** {1 Trace diff} *)
+
+type diff_row = {
+  d_kind : string;
+  old_count : int;
+  new_count : int;
+  old_total_s : float;
+  new_total_s : float;
+  delta_s : float; (* new - old *)
+  delta_pct : float; (* infinity when the kind only exists in [new] *)
+}
+
+val diff_rows : old_spans:span list -> new_spans:span list -> diff_row list
+(** Per-kind deltas over the union of kinds, worst regressions first.
+    Diffing a trace against itself yields all-zero deltas. *)
+
+val diff_table :
+  old_spans:span list -> new_spans:span list -> Bg_prelude.Table.t

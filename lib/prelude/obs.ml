@@ -123,10 +123,66 @@ let set_trace_file path =
 
 (* --------------------------------------------------------------- spans *)
 
+(* Optional per-span profiling: when enabled (and a sink is installed),
+   each span captures [Gc.quick_stat] and CPU-time readings at open and
+   close and records the deltas as attributes.  [Gc.quick_stat] is a
+   cheap per-domain read (no collection is triggered), and both readings
+   happen on the domain that runs the span, so parallel workers report
+   their own allocation — per-worker skew is visible through the span's
+   [domain] field.  Off by default; the cost sits behind the same
+   sink-installed branch as tracing itself, so the disabled fast path is
+   still one atomic load. *)
+let profile_flag = Atomic.make false
+
+let set_profile b = Atomic.set profile_flag b
+let profiling () = Atomic.get profile_flag
+
+type prof_start = {
+  p_cpu : float; (* Sys.time: process CPU seconds *)
+  p_minor : float; (* words *)
+  p_promoted : float;
+  p_major : float;
+  p_minor_col : int;
+  p_major_col : int;
+}
+
+let prof_now () =
+  let q = Gc.quick_stat () in
+  {
+    p_cpu = Sys.time ();
+    p_minor = q.Gc.minor_words;
+    p_promoted = q.Gc.promoted_words;
+    p_major = q.Gc.major_words;
+    p_minor_col = q.Gc.minor_collections;
+    p_major_col = q.Gc.major_collections;
+  }
+
+(* Allocated words = minor + major - promoted (promoted words would
+   otherwise be counted in both heaps). *)
+let alloc_attrs p0 =
+  let q = Gc.quick_stat () in
+  let bytes_per_word = Sys.word_size / 8 in
+  let alloc_w =
+    q.Gc.minor_words -. p0.p_minor
+    +. (q.Gc.major_words -. p0.p_major)
+    -. (q.Gc.promoted_words -. p0.p_promoted)
+  in
+  [
+    ("cpu_s", F (Sys.time () -. p0.p_cpu));
+    ("gc.minor_words", F (q.Gc.minor_words -. p0.p_minor));
+    ("gc.major_words", F (q.Gc.major_words -. p0.p_major));
+    ("gc.promoted_words", F (q.Gc.promoted_words -. p0.p_promoted));
+    ("gc.alloc_bytes", F (alloc_w *. float_of_int bytes_per_word));
+    ("gc.minor_collections", I (q.Gc.minor_collections - p0.p_minor_col));
+    ("gc.major_collections", I (q.Gc.major_collections - p0.p_major_col));
+    ("gc.heap_words", I q.Gc.heap_words);
+  ]
+
 type frame = {
   id : int;
   sname : string;
   start : float;
+  prof : prof_start option;
   mutable fattrs : (string * value) list; (* reverse order of addition *)
 }
 
@@ -138,6 +194,11 @@ let stack_key : frame list ref Domain.DLS.key =
 
 let emit_span s ~parent ~ok fr =
   let dur = now_s () -. fr.start in
+  (* Profiling deltas are closed out before serialization so they appear
+     with the user attributes; reversal below restores addition order. *)
+  (match fr.prof with
+  | None -> ()
+  | Some p0 -> fr.fattrs <- List.rev_append (alloc_attrs p0) fr.fattrs);
   let b = Buffer.create 160 in
   Buffer.add_string b "{\"type\":\"span\",\"id\":";
   Buffer.add_string b (string_of_int fr.id);
@@ -164,11 +225,19 @@ let with_span ?(attrs = []) name f =
   | Some s ->
       let stack = Domain.DLS.get stack_key in
       let parent = match !stack with [] -> 0 | fr :: _ -> fr.id in
+      (* GC counters are read before the start timestamp so the (small)
+         cost of the reading itself lands outside the span's wall time;
+         record-field evaluation order is unspecified, so sequence
+         explicitly. *)
+      let prof =
+        if Atomic.get profile_flag then Some (prof_now ()) else None
+      in
       let fr =
         {
           id = Atomic.fetch_and_add next_span_id 1;
           sname = name;
           start = now_s ();
+          prof;
           fattrs = List.rev attrs;
         }
       in

@@ -62,6 +62,37 @@ val add_span_attr : string -> value -> unit
 (** Attach an attribute to the innermost open span of the current
     domain.  No-op when not tracing or when no span is open. *)
 
+(** {1 Per-span profiling}
+
+    When enabled {e and} a trace sink is installed, every span also
+    captures [Gc.quick_stat] and CPU-time readings at open and close and
+    records the deltas as attributes:
+
+    {v
+cpu_s                 process CPU seconds (Sys.time delta)
+gc.minor_words        words allocated in the minor heap
+gc.major_words        words allocated directly in the major heap
+gc.promoted_words     words surviving a minor collection
+gc.alloc_bytes        (minor + major - promoted) * word size
+gc.minor_collections  minor collections during the span
+gc.major_collections  major collection slices during the span
+gc.heap_words         major heap size at span close (absolute)
+    v}
+
+    Both readings happen on the domain running the span, so parallel
+    workers report their own allocation (the span's [domain] field
+    attributes the skew).  [Gc.quick_stat] triggers no collection; the
+    whole capture is a few dozen nanoseconds and sits behind the
+    sink-installed branch, so the disabled fast path of {!with_span} is
+    unchanged.  Off by default. *)
+
+val set_profile : bool -> unit
+(** Enable/disable GC + CPU capture on spans.  Takes effect for spans
+    opened after the call; has no effect while no sink is installed. *)
+
+val profiling : unit -> bool
+(** [true] iff profiling capture is enabled. *)
+
 (** {1 Metrics}
 
     Metrics live in a process-wide registry keyed by name; constructors

@@ -228,6 +228,16 @@ let run ?pool ?deadline fns =
       end;
       Mutex.unlock done_lock
     in
+    (* Under profiling, each pool task gets its own span: tasks running
+       in worker domains become root spans of that domain (the span's
+       [domain] field plus its GC deltas expose per-worker allocation
+       skew), while caller-run tasks nest under the sweep's span.  Gated
+       on profiling — plain tracing keeps the established trace shape. *)
+    let in_task_span i body =
+      if Obs.tracing () && Obs.profiling () then
+        Obs.with_span ~attrs:[ ("index", Obs.I i) ] "parallel.task" body
+      else body ()
+    in
     let task i () =
       if not (Atomic.get cancelled) then
         if deadline_passed deadline then
@@ -252,14 +262,14 @@ let run ?pool ?deadline fns =
         Queue.add
           (fun () ->
             Obs.observe m_queue_wait (now () -. enqueued_at);
-            task i ())
+            in_task_span i (task i))
           pool.queue
       done;
       Condition.broadcast pool.work_ready;
       Mutex.unlock pool.lock
     end;
     Obs.incr m_caller_tasks;
-    task 0 ();
+    in_task_span 0 (task 0);
     let rec help () =
       Mutex.lock pool.lock;
       let t = Queue.take_opt pool.queue in

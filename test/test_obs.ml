@@ -10,6 +10,7 @@ module Par = Core.Prelude.Parallel
 module Met = Core.Decay.Metricity
 module Fad = Core.Decay.Fading
 module KS = Core.Decay.Kernel_stats
+module Jsonl = Obs_tools.Jsonl
 open Testutil
 
 (* Run [f] with a fresh temp-file trace sink installed and return the
@@ -325,6 +326,85 @@ let test_flush_metrics_round_trip () =
   check_true "flush covers the registry, once per metric"
     (List.sort compare flushed = Obs.metric_names ())
 
+(* -------------------------------------------------- per-span profiling *)
+
+(* List.init n (fun i -> (i, i)) allocates ~6 words per element (a
+   3-word tuple block plus a 3-word cons cell).  Under OCaml 5 part of
+   that shows up as promoted/major words once the minor heap cycles, so
+   only require the minor-words delta to be >= 1 word per element —
+   still four orders of magnitude above what a non-capturing span would
+   report. *)
+let alloc_elems = 100_000
+let min_expected_words = float_of_int alloc_elems
+
+let with_profile f =
+  Obs.set_profile true;
+  Fun.protect ~finally:(fun () -> Obs.set_profile false) f
+
+let test_profile_captures_gc_deltas () =
+  check_false "profiling off by default" (Obs.profiling ());
+  let events =
+    with_profile (fun () ->
+        check_true "profiling on" (Obs.profiling ());
+        trace_to_events (fun () ->
+            Obs.with_span "alloc" (fun () ->
+                let l = List.init alloc_elems (fun i -> (i, i)) in
+                ignore (Sys.opaque_identity l))))
+  in
+  let span = List.hd (spans_of events) in
+  let attr k =
+    match List.assoc_opt k (span_attrs span) with
+    | Some (Jsonl.Num v) -> v
+    | _ -> Alcotest.failf "profiled span missing numeric attr %s" k
+  in
+  let minor = attr "gc.minor_words" in
+  check_true "minor_words covers the known allocation"
+    (minor >= min_expected_words);
+  (* Generous ceiling: the span allocated ~0.6M words; two orders of
+     magnitude of slack absorbs List.init internals and GC bookkeeping. *)
+  check_true "minor_words not absurdly large"
+    (minor <= 100. *. min_expected_words);
+  check_true "cpu time sane"
+    (attr "cpu_s" >= 0. && attr "cpu_s" < 60.);
+  List.iter
+    (fun k -> check_true (k ^ " non-negative") (attr k >= 0.))
+    [ "gc.major_words"; "gc.promoted_words"; "gc.minor_collections";
+      "gc.major_collections"; "gc.heap_words" ];
+  (* alloc_bytes is derived from the word deltas. *)
+  let words =
+    attr "gc.minor_words" +. attr "gc.major_words"
+    -. attr "gc.promoted_words"
+  in
+  check_float ~eps:1.
+    "alloc_bytes = (minor + major - promoted) words in bytes"
+    (words *. float_of_int (Sys.word_size / 8))
+    (attr "gc.alloc_bytes")
+
+let test_no_gc_attrs_without_profile () =
+  (* Tracing alone must not change span payloads: no gc.* or cpu_s
+     attrs unless profiling was requested. *)
+  let events =
+    trace_to_events (fun () ->
+        Obs.with_span "plain" (fun () ->
+            ignore (Sys.opaque_identity (List.init 10_000 Fun.id))))
+  in
+  let span = List.hd (spans_of events) in
+  List.iter
+    (fun (k, _) ->
+      check_false ("unexpected profiling attr " ^ k)
+        (k = "cpu_s" || String.length k >= 3 && String.sub k 0 3 = "gc."))
+    (span_attrs span)
+
+let test_unwritable_trace_path () =
+  (* The CLI maps this Sys_error to a usage error (exit 2); the library
+     contract is that the raise happens eagerly at install time and
+     leaves tracing disabled. *)
+  check_true "set_trace_file raises on unwritable path"
+    (match Obs.set_trace_file "/nonexistent_bg_dir/trace.jsonl" with
+    | () -> false
+    | exception Sys_error _ -> true);
+  check_false "sink not installed after failure" (Obs.tracing ())
+
 (* ------------------------------------ determinism across job counts *)
 
 let memo_counters_for ~jobs =
@@ -516,6 +596,12 @@ let suite =
         case "span structure, attrs, errors" test_span_structure;
         fuzz_span_nesting;
         case "flush_metrics round-trips" test_flush_metrics_round_trip;
+      ] );
+    ( "obs.profiling",
+      [
+        case "profiled spans carry GC deltas" test_profile_captures_gc_deltas;
+        case "no GC attrs without --profile" test_no_gc_attrs_without_profile;
+        case "unwritable trace path raises eagerly" test_unwritable_trace_path;
       ] );
     ( "obs.determinism",
       [
