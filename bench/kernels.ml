@@ -12,6 +12,7 @@
 
 module D = Core.Decay.Decay_space
 module Met = Core.Decay.Metricity
+module Ctx = Core.Decay.Ctx
 module KS = Core.Decay.Kernel_stats
 module Num = Core.Prelude.Numerics
 module Obs = Core.Prelude.Obs
@@ -127,12 +128,12 @@ let run ?(par_jobs = 4) ?(max_n = 512) ?(json_path = "BENCH_kernels.json") ()
         KS.reset ();
         let w_seq, opt_seq_s =
           Timing.time_best ~reps (fun () ->
-              Met.zeta_witness ~jobs:1 ~cache:false space)
+              Met.zeta_witness ~ctx:(Ctx.make ~jobs:1 ~cache:false ()) space)
         in
         let stats = KS.snapshot () in
         let w_par, opt_par_s =
           Timing.time_best ~reps (fun () ->
-              Met.zeta_witness ~jobs:par_jobs ~cache:false space)
+              Met.zeta_witness ~ctx:(Ctx.make ~jobs:par_jobs ~cache:false ()) space)
         in
         (* Cached lookup: first call populates (a miss), second is the
            digest-keyed hit we time. *)

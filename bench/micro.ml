@@ -33,7 +33,8 @@ let tests () =
         (Staged.stage (fun () -> Core.Decay.Metricity.zeta space30));
       Test.make ~name:"zeta sampled (2k triples, n=30)"
         (Staged.stage (fun () ->
-             Core.Decay.Metricity.zeta_sampled ~samples:2000 rng space30));
+             Core.Decay.Estimators.zeta_triples ~samples:2000 rng
+               (Core.Decay.Estimators.of_space space30)));
       Test.make ~name:"phi (n=30)"
         (Staged.stage (fun () -> Core.Decay.Metricity.phi space30));
       Test.make ~name:"alg1 (40 links)"
@@ -47,7 +48,9 @@ let tests () =
              Core.Sinr.Feasibility.is_feasible inst40 power links40));
       Test.make ~name:"gamma(r=1) greedy (n=30)"
         (Staged.stage (fun () ->
-             Core.Decay.Fading.gamma ~exact_limit:0 space30 ~r:1.));
+             Core.Decay.Fading.gamma
+               ~ctx:(Core.Decay.Ctx.make ~exact_limit:0 ())
+               space30 ~r:1.));
       Test.make ~name:"radio decay matrix (20 nodes)"
         (Staged.stage (fun () -> Core.Radio.Measure.decay_space env nodes));
       Test.make ~name:"first-fit schedule (40 links)"
@@ -70,8 +73,8 @@ let tests () =
                ~interferers:links40 (List.hd links40)));
       Test.make ~name:"zeta subsampled (8 x 12 of 30)"
         (Staged.stage (fun () ->
-             Core.Decay.Metricity.zeta_subsampled ~rounds:8 ~nodes:12 rng
-               space30));
+             Core.Decay.Estimators.zeta ~replicates:8 ~nodes:12 rng
+               (Core.Decay.Estimators.of_space space30)));
       Test.make ~name:"min connectivity power (n=30)"
         (Staged.stage (fun () ->
              Core.Distrib.Connectivity.min_uniform_power space30 ~beta:1.5
@@ -145,11 +148,14 @@ let run_parallel ?(par_jobs = 4) ?(json_path = "BENCH_parallel.json") () =
            digest-keyed analysis cache. *)
         let w_seq, t_seq =
           time_best ~reps (fun () ->
-              Core.Decay.Metricity.zeta_witness ~jobs:1 ~cache:false space)
+              Core.Decay.Metricity.zeta_witness
+                ~ctx:(Core.Decay.Ctx.make ~jobs:1 ~cache:false ())
+                space)
         in
         let w_par, t_par =
           time_best ~reps (fun () ->
-              Core.Decay.Metricity.zeta_witness ~jobs:par_jobs ~cache:false
+              Core.Decay.Metricity.zeta_witness
+                ~ctx:(Core.Decay.Ctx.make ~jobs:par_jobs ~cache:false ())
                 space)
         in
         let identical = w_seq = w_par in

@@ -79,28 +79,31 @@ let synthetic_trace =
               (1e9 +. (0.001 *. float_of_int i))
               0.0005 (64 + i))))
 
-let run_suite ?(reps = 5) () =
+let seq_uncached = Core.Decay.Ctx.make ~jobs:1 ~cache:false ()
+let seq_cached = Core.Decay.Ctx.make ~jobs:1 ()
+
+let run_suite ?(reps = 5) ?(large = false) () =
   let s96 = geo_space 96 and s64 = geo_space 64 in
   let zeta_seq =
     measure ~name:"zeta_seq_n96" ~reps (fun () ->
-        Met.zeta_witness ~jobs:1 ~cache:false s96)
+        Met.zeta_witness ~ctx:seq_uncached s96)
   in
   let phi_seq =
     measure ~name:"phi_seq_n64" ~reps (fun () ->
-        Met.phi ~jobs:1 ~cache:false s64)
+        Met.phi ~ctx:seq_uncached s64)
   in
   let gamma =
     measure ~name:"gamma_n64_r4" ~reps (fun () ->
-        Fad.gamma ~jobs:1 ~cache:false s64 ~r:4.)
+        Fad.gamma ~ctx:seq_uncached s64 ~r:4.)
   in
   let cached =
     (* A single digest-keyed hit is sub-microsecond — below clock
        granularity — so each rep times a 1k-lookup loop. *)
     Met.clear_caches ();
-    ignore (Met.zeta_witness ~jobs:1 ~cache:true s96);
+    ignore (Met.zeta_witness ~ctx:seq_cached s96);
     measure ~name:"zeta_cached_1k_n96" ~reps (fun () ->
         for _ = 1 to 1_000 do
-          ignore (Met.zeta_witness ~jobs:1 ~cache:true s96)
+          ignore (Met.zeta_witness ~ctx:seq_cached s96)
         done)
   in
   let parse =
@@ -116,7 +119,27 @@ let run_suite ?(reps = 5) () =
           Obs.with_span "noop" (fun () -> incr k)
         done)
   in
-  [ zeta_seq; phi_seq; gamma; cached; parse; span_off ]
+  let base = [ zeta_seq; phi_seq; gamma; cached; parse; span_off ] in
+  if not large then base
+  else begin
+    (* Large-n smoke entries (`bg bench --large`): the tiled exact kernels
+       at n = 2048 under the same noise-aware gate.  Parallel over the
+       ambient pool and uncached — these time the sweep, not the memo
+       table.  Fewer reps: each sweep is seconds, so clock quantization is
+       irrelevant and the gate's 3-sigma band stays meaningful. *)
+    let uncached = Core.Decay.Ctx.uncached in
+    let s2048 = geo_space 2048 in
+    let large_reps = max 1 (min reps 3) in
+    let zeta_large =
+      measure ~name:"zeta_par_n2048" ~reps:large_reps (fun () ->
+          Met.zeta_witness ~ctx:uncached s2048)
+    in
+    let phi_large =
+      measure ~name:"phi_par_n2048" ~reps:large_reps (fun () ->
+          Met.phi ~ctx:uncached s2048)
+    in
+    base @ [ zeta_large; phi_large ]
+  end
 
 let samples_table ~title samples =
   let t =

@@ -193,9 +193,8 @@ let analyze_cmd =
                 ~config:
                   {
                     Core.Analysis.gamma_at;
-                    exact_limit = None;
-                    jobs = Some jobs;
-                    cache = not no_cache;
+                    ctx =
+                      Core.Decay.Ctx.make ~jobs ~cache:(not no_cache) ();
                   }
                 space))
     in
@@ -235,38 +234,63 @@ let generate_cmd =
     Arg.(value & opt float 3. & info [ "alpha" ] ~docv:"A" ~doc:"Path-loss exponent (plane).")
   in
   let q = Arg.(value & opt float 1e4 & info [ "q" ] ~docv:"Q" ~doc:"three-point q.") in
-  let run kind n seed alpha q =
+  let raw_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"FILE"
+          ~doc:
+            "Write the matrix to $(docv) in the raw binary format \
+             (Decay_io.save_raw) instead of CSV on stdout.  The plane \
+             kind streams cells row by row without materializing the \
+             matrix, so sizes far beyond RAM work; pair with bg estimate, \
+             which memory-maps raw files.")
+  in
+  let run kind n seed alpha q raw =
     let rng = Core.Prelude.Rng.create seed in
-    let space =
-      match kind with
-      | `Uniform -> Core.Decay.Spaces.uniform n
-      | `Star -> Core.Decay.Spaces.star ~k:(max 1 (n - 2)) ~r:2.
-      | `Welzl -> Core.Decay.Spaces.welzl ~n:(max 1 (n - 2)) ~eps:0.25
-      | `Three_point -> Core.Decay.Spaces.three_point ~q
-      | `Plane ->
-          Core.Decay.Decay_space.of_points ~alpha
-            (Core.Decay.Spaces.random_points rng ~n ~side:25.)
-      | `Office ->
-          let env =
-            Core.Radio.Environment.office ~rooms_x:3 ~rooms_y:3 ~room_size:6.
-              Core.Radio.Material.drywall
-          in
-          let pts = Core.Decay.Spaces.random_points rng ~n ~side:17. in
-          Core.Radio.Measure.decay_space ~seed env (Core.Radio.Node.of_points pts)
-      | `Clutter ->
-          let env =
-            Core.Radio.Environment.random_clutter rng ~side:25. ~n_walls:30
-              [ Core.Radio.Material.concrete; Core.Radio.Material.metal ]
-          in
-          let pts = Core.Decay.Spaces.random_points rng ~n ~side:24. in
-          Core.Radio.Measure.decay_space ~seed env (Core.Radio.Node.of_points pts)
-    in
-    print_string (Core.Decay.Decay_io.to_csv space)
+    match (raw, kind) with
+    | Some path, `Plane ->
+        (* Out-of-core path: 2 floats per node in memory, one row at a
+           time on the way out.  n = 50k (a 20 GB file) is fine. *)
+        let pts =
+          Array.of_list (Core.Decay.Spaces.random_points rng ~n ~side:25.)
+        in
+        Core.Decay.Decay_io.save_raw_fn ~n:(Array.length pts)
+          (fun i j -> Core.Geom.Point.dist pts.(i) pts.(j) ** alpha)
+          path
+    | _ ->
+        let space =
+          match kind with
+          | `Uniform -> Core.Decay.Spaces.uniform n
+          | `Star -> Core.Decay.Spaces.star ~k:(max 1 (n - 2)) ~r:2.
+          | `Welzl -> Core.Decay.Spaces.welzl ~n:(max 1 (n - 2)) ~eps:0.25
+          | `Three_point -> Core.Decay.Spaces.three_point ~q
+          | `Plane ->
+              Core.Decay.Decay_space.of_points ~alpha
+                (Core.Decay.Spaces.random_points rng ~n ~side:25.)
+          | `Office ->
+              let env =
+                Core.Radio.Environment.office ~rooms_x:3 ~rooms_y:3 ~room_size:6.
+                  Core.Radio.Material.drywall
+              in
+              let pts = Core.Decay.Spaces.random_points rng ~n ~side:17. in
+              Core.Radio.Measure.decay_space ~seed env (Core.Radio.Node.of_points pts)
+          | `Clutter ->
+              let env =
+                Core.Radio.Environment.random_clutter rng ~side:25. ~n_walls:30
+                  [ Core.Radio.Material.concrete; Core.Radio.Material.metal ]
+              in
+              let pts = Core.Decay.Spaces.random_points rng ~n ~side:24. in
+              Core.Radio.Measure.decay_space ~seed env (Core.Radio.Node.of_points pts)
+        in
+        (match raw with
+        | Some path -> Core.Decay.Decay_io.save_raw space path
+        | None -> print_string (Core.Decay.Decay_io.to_csv space))
   in
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Emit a decay matrix from the construction zoo or the radio simulator.")
-    Term.(const run $ kind $ nodes_arg $ seed_arg $ alpha $ q)
+    Term.(const run $ kind $ nodes_arg $ seed_arg $ alpha $ q $ raw_out)
 
 (* ------------------------------------------------------------ capacity *)
 
@@ -530,8 +554,15 @@ let bench_cmd =
       & info [ "reps" ] ~docv:"N"
           ~doc:"Repetitions per benchmark for the regression suite.")
   in
+  let large_arg =
+    Arg.(
+      value & flag
+      & info [ "large" ]
+          ~doc:
+            "Include the large-n smoke entries in the regression suite:              exact zeta and phi sweeps at n = 2048 over the ambient pool.              Each sweep takes seconds, so this is opt-in; the gate treats              the extra entries like any other benchmark (a baseline              without them simply passes them).")
+  in
   let run kernels_only max_n json jobs record history check write_baseline
-      reps trace profile metrics =
+      reps large trace profile metrics =
     ignore kernels_only;
     ignore (apply_jobs jobs);
     apply_obs ~profile trace;
@@ -539,7 +570,7 @@ let bench_cmd =
       (* The regression gate: one suite run serves --record, --check and
          --write-baseline in any combination. *)
       let samples =
-        or_user_error (fun () -> Benchkit.Regress.run_suite ~reps ())
+        or_user_error (fun () -> Benchkit.Regress.run_suite ~reps ~large ())
       in
       Core.Prelude.Table.print
         (Benchkit.Regress.samples_table ~title:"perf-regression suite"
@@ -591,6 +622,126 @@ let bench_cmd =
     Term.(
       const run $ kernels_only_arg $ max_n_arg $ json_arg $ jobs_arg
       $ record_arg $ history_arg $ check_arg $ write_baseline_arg $ reps_arg
+      $ large_arg $ trace_arg $ profile_arg $ metrics_arg)
+
+(* ------------------------------------------------------------- estimate *)
+
+let estimate_cmd =
+  let module Est = Core.Decay.Estimators in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Decay matrix: CSV, or the raw binary format written by \
+             Decay_io.save_raw (detected by its magic tag and \
+             memory-mapped, so matrices far larger than RAM work).")
+  in
+  let kernel_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("zeta", `Zeta); ("phi", `Phi); ("gamma", `Gamma);
+               ("zeta-triples", `Triples) ])
+          `Zeta
+      & info [ "kernel" ] ~docv:"K"
+          ~doc:
+            "Quantity to estimate: zeta / phi (sub-space replicates), \
+             gamma (listener sampling; needs --r), or zeta-triples \
+             (triple sampling).")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "nodes" ] ~docv:"K"
+          ~doc:
+            "Sub-space size per replicate (zeta/phi) or listeners per \
+             replicate (gamma).")
+  in
+  let replicates_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "replicates" ] ~docv:"N" ~doc:"Replicates per estimate.")
+  in
+  let confidence_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "confidence" ] ~docv:"C"
+          ~doc:"Nominal coverage of the reported interval, in (0, 1).")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Total sampled triples (zeta-triples only).")
+  in
+  let r_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "r" ] ~docv:"R" ~doc:"Separation for gamma.")
+  in
+  let est_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Random seed; equal seeds reproduce the estimate bit-for-bit \
+             at every job count.")
+  in
+  (* Sniff the 8-byte magic: raw matrices are mmapped (out-of-core), CSV
+     goes through the strict parser. *)
+  let is_raw path =
+    match In_channel.with_open_bin path (fun ic -> really_input_string ic 8) with
+    | magic -> magic = "BGDECAY1"
+    | exception End_of_file -> false
+  in
+  let load path =
+    or_user_error (fun () ->
+        if is_raw path then Core.Decay.Decay_io.load_raw_mmap path
+        else Core.Decay.Decay_io.load path)
+  in
+  let run file kernel nodes replicates confidence samples r seed jobs trace
+      profile metrics =
+    let jobs = apply_jobs jobs in
+    apply_obs ~profile trace;
+    let space = load file in
+    let o = Est.of_space space in
+    let ctx = Core.Decay.Ctx.make ~jobs () in
+    let rng = Core.Prelude.Rng.create seed in
+    let name, e =
+      or_user_error (fun () ->
+          match kernel with
+          | `Zeta -> ("zeta", Est.zeta ~ctx ~replicates ~confidence ~nodes rng o)
+          | `Phi -> ("phi", Est.phi ~ctx ~replicates ~confidence ~nodes rng o)
+          | `Triples ->
+              ( "zeta",
+                Est.zeta_triples ~replicates ~confidence ~samples rng o )
+          | `Gamma -> (
+              match r with
+              | None -> user_error "--kernel gamma requires --r R"
+              | Some r ->
+                  ( Printf.sprintf "gamma(r = %g)" r,
+                    Est.gamma ~ctx ~replicates ~confidence
+                      ~listeners:nodes rng o ~r )))
+    in
+    Format.printf "%s >= %a  (n = %d, seed %d)@."
+      name Est.pp_estimate e (Core.Decay.Decay_space.n space) seed;
+    finish_obs metrics
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Estimate zeta, phi or gamma of a large decay matrix by \
+          stratified sampling, with a certified lower bound and a \
+          confidence interval — for sizes where the exact cubic kernels \
+          of `bg analyze` are out of reach.  Raw binary matrices are \
+          memory-mapped, so memory stays bounded regardless of n.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ nodes_arg $ replicates_arg
+      $ confidence_arg $ samples_arg $ r_arg $ est_seed_arg $ jobs_arg
       $ trace_arg $ profile_arg $ metrics_arg)
 
 (* ---------------------------------------------------------------- trace *)
@@ -721,7 +872,7 @@ let main =
     (Cmd.info "bg" ~version:"1.0.0"
        ~doc:"Decay-space wireless models (Beyond Geometry, PODC 2014).")
     [ analyze_cmd; generate_cmd; capacity_cmd; experiment_cmd; stats_cmd;
-      protocols_cmd; bench_cmd; trace_cmd; zoo_cmd ]
+      protocols_cmd; bench_cmd; estimate_cmd; trace_cmd; zoo_cmd ]
 
 let () =
   (* Cmdliner reports its own parse errors with Exit.cli_error (124);

@@ -27,7 +27,11 @@ let percentile_decay space p =
 
 let run_site name space table =
   let radius = percentile_decay space 25. in
-  let gamma = Core.Decay.Fading.gamma ~exact_limit:14 space ~r:radius in
+  let gamma =
+    Core.Decay.Fading.gamma
+      ~ctx:(Core.Decay.Ctx.make ~exact_limit:14 ())
+      space ~r:radius
+  in
   let lb =
     Core.Distrib.Local_broadcast.run ~max_rounds:6000
       (Core.Prelude.Rng.create 21) space ~radius

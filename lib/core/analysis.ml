@@ -16,30 +16,26 @@ type report = {
   gamma : (float * float) list;
 }
 
-type config = {
-  gamma_at : float list;
-  exact_limit : int option;
-  jobs : int option;
-  cache : bool;
-}
+type config = { ctx : D.Ctx.t; gamma_at : float list }
 
-let default = { gamma_at = []; exact_limit = None; jobs = None; cache = true }
+let default = { ctx = D.Ctx.default; gamma_at = [] }
 
 let run ?(config = default) space =
   let module Obs = Bg_prelude.Obs in
-  let { gamma_at; exact_limit; jobs; cache } = config in
+  let { ctx; gamma_at } = config in
+  let exact_limit = ctx.D.Ctx.exact_limit in
   Obs.with_span
     ~attrs:
       [
         ("space", Obs.S (D.Decay_space.name space));
         ("n", Obs.I (D.Decay_space.n space));
-        ("cache", Obs.B cache);
+        ("cache", Obs.B ctx.D.Ctx.cache);
       ]
     "analyze"
   @@ fun () ->
-  let zeta_witness = D.Metricity.zeta_witness ?jobs ~cache space in
+  let zeta_witness = D.Metricity.zeta_witness ~ctx space in
   let zeta = zeta_witness.D.Metricity.value in
-  let phi = D.Metricity.phi ?jobs ~cache space in
+  let phi = D.Metricity.phi ~ctx space in
   let assouad = D.Dimension.assouad ?exact_limit space in
   {
     name = D.Decay_space.name space;
@@ -54,14 +50,8 @@ let run ?(config = default) space =
     independence = D.Dimension.independence_dimension ?exact_limit space;
     max_guards = D.Dimension.max_guard_count space;
     is_fading_space = assouad < 1.;
-    gamma =
-      List.map
-        (fun r -> (r, D.Fading.gamma ?exact_limit ?jobs ~cache space ~r))
-        gamma_at;
+    gamma = List.map (fun r -> (r, D.Fading.gamma ~ctx space ~r)) gamma_at;
   }
-
-let analyze ?(gamma_at = []) ?exact_limit ?jobs space =
-  run ~config:{ gamma_at; exact_limit; jobs; cache = true } space
 
 let to_table r =
   let open Bg_prelude.Table in

@@ -20,39 +20,23 @@ type report = {
 }
 
 type config = {
+  ctx : Bg_decay.Ctx.t;
+      (** shared kernel configuration: tolerance, parallelism, memoization
+          and the exact-solver size limit ({!Bg_decay.Ctx}).  Results are
+          identical at every job count. *)
   gamma_at : float list;
       (** separation values [r] at which to evaluate the fading parameter
           (default: none — it is the costliest field) *)
-  exact_limit : int option;
-      (** forwarded to the packing / independence solvers *)
-  jobs : int option;
-      (** parallelism for the triple sweeps; [None] defers to
-          {!Bg_prelude.Parallel.default_jobs}.  Results are identical at
-          every job count. *)
-  cache : bool;
-      (** reuse zeta/phi/gamma results memoized under the space's content
-          digest ({!Bg_decay.Decay_space.digest}); a second [run] on a
-          bit-identical matrix performs no triple-sweep work (default
-          [true]) *)
 }
 (** Knobs for {!run}.  Build one with record update on {!default} so new
-    fields don't break call sites: [{ default with jobs = Some 4 }]. *)
+    fields don't break call sites:
+    [{ default with ctx = Bg_decay.Ctx.make ~jobs:4 () }]. *)
 
 val default : config
-(** No gamma evaluations, solver defaults, ambient parallelism. *)
+(** No gamma evaluations, {!Bg_decay.Ctx.default} kernel settings. *)
 
 val run : ?config:config -> Bg_decay.Decay_space.t -> report
 (** Compute the full report (defaults to {!default}). *)
-
-val analyze :
-  ?gamma_at:float list ->
-  ?exact_limit:int ->
-  ?jobs:int ->
-  Bg_decay.Decay_space.t ->
-  report
-[@@ocaml.deprecated "Use Analysis.run ~config instead."]
-(** Thin wrapper over {!run} preserving the historical optional-argument
-    signature. *)
 
 val to_table : report -> Bg_prelude.Table.t
 (** Render as a two-column parameter table. *)

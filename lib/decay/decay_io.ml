@@ -102,6 +102,117 @@ let load path =
   in
   of_csv ~name:(Filename.basename path) text
 
+(* ------------------------------------------------- raw binary matrices *)
+
+(* Fixed 16-byte header: an 8-byte magic tag and the node count as a
+   little-endian int64, followed by the n*n float64 cells row-major in
+   IEEE-754 little-endian bit patterns — exactly the in-memory layout of
+   the space's Bigarray on every supported platform, which is what makes
+   {!load_raw_mmap} a zero-copy adoption of the file pages. *)
+let raw_magic = "BGDECAY1"
+let raw_header_len = 16
+
+let save_raw_fn ~n f path =
+  if n < 1 then invalid_arg "Decay_io.save_raw_fn: need n >= 1";
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".decay_io" ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc raw_magic;
+        let hdr = Bytes.create 8 in
+        Bytes.set_int64_le hdr 0 (Int64.of_int n);
+        output_bytes oc hdr;
+        (* One row per write: memory stays O(n) however large the matrix,
+           which is what lets [bg generate --raw] emit files far beyond
+           RAM for the pay-per-probe geometric constructions. *)
+        let row = Bytes.create (8 * n) in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            Bytes.set_int64_le row (8 * j) (Int64.bits_of_float (f i j))
+          done;
+          output_bytes oc row
+        done);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let save_raw d path =
+  let f = Decay_space.Flat.data d in
+  let n = Decay_space.n d in
+  save_raw_fn ~n
+    (fun i j -> Decay_space.Flat.unsafe_get f ((i * n) + j))
+    path
+
+let read_raw_header path fd =
+  let hdr = Bytes.create raw_header_len in
+  let got = Unix.read fd hdr 0 raw_header_len in
+  if got <> raw_header_len || Bytes.sub_string hdr 0 8 <> raw_magic then
+    invalid_arg
+      (Printf.sprintf "Decay_io.load_raw: %s is not a raw decay matrix" path);
+  let n64 = Bytes.get_int64_le hdr 8 in
+  let n = Int64.to_int n64 in
+  if n < 0 || Int64.of_int n <> n64 then
+    invalid_arg
+      (Printf.sprintf "Decay_io.load_raw: %s: invalid node count" path);
+  let expected = Int64.add (Int64.of_int raw_header_len)
+      (Int64.mul 8L (Int64.of_int (n * n))) in
+  let size = (Unix.LargeFile.fstat fd).Unix.LargeFile.st_size in
+  if size <> expected then
+    invalid_arg
+      (Printf.sprintf
+         "Decay_io.load_raw: %s: truncated or oversized payload (%Ld bytes, \
+          expected %Ld for n = %d)"
+         path size expected n);
+  n
+
+let load_raw ?(validate = true) path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = read_raw_header path fd in
+      let buf = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (n * n) in
+      let cells = n * n in
+      let block = 4096 in
+      let chunk = Bytes.create (8 * block) in
+      let i = ref 0 in
+      while !i < cells do
+        let count = min block (cells - !i) in
+        let want = 8 * count in
+        let got = ref 0 in
+        while !got < want do
+          let r = Unix.read fd chunk !got (want - !got) in
+          if r = 0 then
+            invalid_arg
+              (Printf.sprintf "Decay_io.load_raw: %s: unexpected EOF" path);
+          got := !got + r
+        done;
+        for j = 0 to count - 1 do
+          buf.{!i + j} <- Int64.float_of_bits (Bytes.get_int64_le chunk (8 * j))
+        done;
+        i := !i + count
+      done;
+      Decay_space.of_bigarray ~name:(Filename.basename path) ~validate n buf)
+
+let load_raw_mmap ?(validate = false) path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = read_raw_header path fd in
+      let ga =
+        Unix.map_file fd ~pos:(Int64.of_int raw_header_len) Bigarray.Float64
+          Bigarray.C_layout false [| n * n |]
+      in
+      Decay_space.of_bigarray ~name:(Filename.basename path) ~validate n
+        (Bigarray.array1_of_genarray ga))
+
 let load_repaired ~policy path =
   let ic = open_in path in
   let text =

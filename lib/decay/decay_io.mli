@@ -55,3 +55,39 @@ val load_repaired :
   string ->
   (Decay_space.t * Validate.repair, Validate.diagnosis) result
 (** Read from a file path through {!Validate.repair}. *)
+
+(** {1 Raw binary matrices (out-of-core)}
+
+    A second on-disk format for large matrices: a 16-byte header (magic
+    tag + node count) followed by the [n*n] float64 cells, row-major,
+    little-endian — bit-identical to the space's in-memory Bigarray on
+    every supported platform.  {!load_raw_mmap} adopts the file pages by
+    [mmap] without copying, so a multi-GB matrix can be analyzed
+    out-of-core; the OS pages cells in as the kernels stream over them. *)
+
+val save_raw : Decay_space.t -> string -> unit
+(** Write the raw binary format atomically (temp file + rename), like
+    {!save}. *)
+
+val save_raw_fn : n:int -> (int -> int -> float) -> string -> unit
+(** Write the raw binary format from a cell oracle [f i j] without ever
+    materializing the matrix: cells are streamed one row at a time, so
+    memory stays O(n) for matrices far beyond RAM.  Atomic like
+    {!save_raw}.  No cell validation is performed — pair with
+    [load_raw ~validate:true] when the oracle is untrusted.
+    @raise Invalid_argument if [n < 1]. *)
+
+val load_raw : ?validate:bool -> string -> Decay_space.t
+(** Read a raw binary matrix into fresh memory.  [validate] (default
+    [true]) runs the standard cell checks.
+    @raise Invalid_argument on a bad header, a size mismatch, or (when
+    validating) any invalid cell. *)
+
+val load_raw_mmap : ?validate:bool -> string -> Decay_space.t
+(** Memory-map a raw binary matrix read-only, zero-copy
+    ({!Decay_space.of_bigarray}).  [validate] defaults to [false]: the
+    point of mapping is out-of-core sizes where an eager O(n^2) touch of
+    every page defeats it — enable it for untrusted files you could
+    afford to {!load_raw} anyway.  The file must outlive the returned
+    space unmodified.
+    @raise Invalid_argument on a bad header or a size mismatch. *)

@@ -7,7 +7,12 @@
     [G(p,q) = 1 / f(p,q)]: larger decay, weaker signal.  Decay spaces need
     not be symmetric and need not obey the triangle inequality — they are
     premetrics, and the whole point of the paper is to parameterize how far
-    from a metric they are. *)
+    from a metric they are.
+
+    Storage is an unboxed row-major [Bigarray.Array1] of float64, so a
+    matrix can also be memory-mapped from disk ({!of_bigarray} together
+    with [Decay_io.load_raw_mmap]) for out-of-core spaces.  Kernels read
+    it zero-copy through the abstract {!Flat} views. *)
 
 type t
 (** An immutable decay space. *)
@@ -28,6 +33,22 @@ val of_matrix_repaired :
     fix-up is silent); [Error] carries the full cell-addressed diagnosis.
     With [policy = Reject] and a valid matrix this is exactly
     {!of_matrix} — same cells, bit for bit. *)
+
+val of_bigarray :
+  ?name:string ->
+  ?validate:bool ->
+  int ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  t
+(** [of_bigarray n buf] adopts a row-major [n*n] float64 buffer as a decay
+    space {e without copying} — the door for memory-mapped out-of-core
+    matrices.  The buffer must never be mutated afterwards (the content
+    digest, the analysis cache and the lazy views all assume immutability).
+    [validate] (default [true]) runs the same cell checks as {!of_matrix};
+    pass [~validate:false] only for huge mapped matrices already validated
+    at generation time.
+    @raise Invalid_argument on a dimension mismatch or (when validating)
+    any invalid cell. *)
 
 val of_fn : ?name:string -> int -> (int -> int -> float) -> t
 (** [of_fn n f] tabulates [f] over all ordered pairs ([f i i] is ignored and
@@ -100,30 +121,66 @@ val pp : Format.formatter -> t -> unit
 
     The O(n^3) sweeps in {!Metricity} and the MIS loops in {!Fading} read
     the decay matrix through these borrowed views instead of the
-    defensively copied {!matrix}.  All views are row-major [n*n] float
-    arrays owned by the space: {b never mutate them}.  The lazy companions
-    are built at most once, on first request; request them on the calling
-    thread before fanning work out over the domain pool. *)
+    defensively copied {!matrix}.  All views are row-major [n*n] float64
+    buffers owned by the space: {b never mutate them}.  The view type is
+    abstract (a private [Bigarray.Array1] abbreviation), so callers index
+    it through {!Flat.get} / {!Flat.unsafe_get} and can never re-grow a
+    dependence on a concrete [float array] layout.
 
-val flat_view : t -> float array
-(** The decay matrix itself, row-major: [f(p,q)] at index [p*n + q].
-    Borrowed, read-only, zero-copy. *)
+    Lazy companions ({!Flat.logs}, {!Flat.transpose},
+    {!Flat.log_transpose}) are built at most once, race-free by
+    construction: an atomic slot plus a per-space build mutex means pool
+    workers may request any view at any time — whoever arrives first
+    builds, everyone else waits or takes the published buffer.  There is
+    no force-before-fanout contract anymore; {!Flat.force} remains as a
+    warm-up hint only. *)
 
-val log_flat_view : t -> float array
-(** Natural logs of the decays, row-major, built lazily on first use
-    (diagonal entries are [neg_infinity]).  Lets the metricity bisection
-    reuse [log f] instead of calling [log] per triple. *)
+module Flat : sig
+  type buf = private
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** A borrowed, read-only, row-major [n*n] view.  The private
+      abbreviation keeps the float64 layout statically known (so
+      {!unsafe_get} compiles to a direct unboxed load) while preventing
+      callers from obtaining a writable [Array1.t] without an explicit —
+      and greppable — coercion. *)
 
-val transpose_view : t -> float array
-(** The transposed decay matrix ([f(q,p)] at index [p*n + q]), built
-    lazily with a cache-blocked transpose.  Turns the column accesses of
-    the triple sweeps into sequential row streams. *)
+  val data : t -> buf
+  (** The decay matrix itself: [f(p,q)] at index [p*n + q].  Zero-copy. *)
 
-val log_transpose_view : t -> float array
-(** Transpose of {!log_flat_view}, built lazily. *)
+  val logs : t -> buf
+  (** Natural logs of the decays (diagonal: [neg_infinity]), built lazily
+      on first use.  Lets the metricity bisection reuse [log f] instead of
+      calling [log] per triple. *)
+
+  val transpose : t -> buf
+  (** The transposed decay matrix ([f(q,p)] at index [p*n + q]), built
+      lazily with a cache-blocked transpose.  Turns the column accesses of
+      the triple sweeps into sequential row streams. *)
+
+  val log_transpose : t -> buf
+  (** Transpose of {!logs}, built lazily. *)
+
+  val force : t -> unit
+  (** Build all lazy companions now.  Purely a warm-up/pre-touch hint —
+      concurrent first use is safe without it. *)
+
+  val length : buf -> int
+  (** Number of cells ([n*n]). *)
+
+  val get : buf -> int -> float
+  (** Bounds-checked read. *)
+
+  external unsafe_get : buf -> int -> float = "%caml_ba_unsafe_ref_1"
+  (** Unchecked read — for inner loops whose indices are in range by
+      construction.  A compiler primitive, so it compiles to a single
+      unboxed float load. *)
+
+  val to_array : buf -> float array
+  (** Defensive copy, for callers that genuinely need a [float array]. *)
+end
 
 val digest : t -> string
 (** A content digest of the decay matrix (MD5 over the raw float bytes),
-    computed lazily and cached.  Two spaces with bit-identical matrices
-    share a digest regardless of {!name} — the key of the analysis
-    cache. *)
+    computed lazily (race-free, like the views) and cached.  Two spaces
+    with bit-identical matrices share a digest regardless of {!name} — the
+    key of the analysis cache. *)

@@ -1,4 +1,5 @@
 module Memo = Bg_prelude.Memo
+module F = Decay_space.Flat
 
 let is_separated d ~r nodes =
   let rec pairs = function
@@ -64,14 +65,15 @@ let gamma_z ?(exact_limit = 24) d ~z ~r =
   let n = Decay_space.n d in
   (* Flat views: [zrow] is row z of the matrix (decay z -> x) and [zcol]
      is row z of the transpose (decay x -> z).  Built lazily once per
-     space and shared by every listener. *)
-  let f = Decay_space.flat_view d in
-  let ft = Decay_space.transpose_view d in
+     space (race-free — see {!Decay_space.Flat}) and shared by every
+     listener. *)
+  let f = F.data d in
+  let ft = F.transpose d in
   let zrow = z * n in
   (* The inverse-decay weight row 1/f(x,z), computed once per listener z:
      the candidate weights below and any interference sums index into it
      instead of re-dividing inside the MIS search. *)
-  let inv_w = Array.init n (fun x -> 1. /. Array.unsafe_get ft (zrow + x)) in
+  let inv_w = Array.init n (fun x -> 1. /. F.unsafe_get ft (zrow + x)) in
   (* Candidates: nodes r-separated from z itself (z is part of the
      separated configuration, as in Theorem 2's proof where the listener
      belongs to the r-separated set S). *)
@@ -79,23 +81,46 @@ let gamma_z ?(exact_limit = 24) d ~z ~r =
   for x = n - 1 downto 0 do
     if
       x <> z
-      && Array.unsafe_get ft (zrow + x) >= r
-      && Array.unsafe_get f (zrow + x) >= r
+      && F.unsafe_get ft (zrow + x) >= r
+      && F.unsafe_get f (zrow + x) >= r
     then candidates := x :: !candidates
   done;
   let arr = Array.of_list !candidates in
   let k = Array.length arr in
   let weights = Array.map (fun x -> Array.unsafe_get inv_w x) arr in
-  let compat i j =
-    i = j
-    || (Array.unsafe_get f ((arr.(i) * n) + arr.(j)) >= r
-       && Array.unsafe_get f ((arr.(j) * n) + arr.(i)) >= r)
-  in
   if k = 0 then (0., [])
   else begin
     let value, set =
-      if k <= exact_limit then weighted_mis ~weights ~compat
+      if k <= exact_limit then begin
+        (* Tabulate the k x k compatibility relation once, walking the
+           candidate rows of the flat views in blocks: the branch-and-
+           bound search probes [compat] out of order and many times per
+           pair, so it reads a dense byte table instead of striding the
+           n-wide matrix rows. *)
+        let adj = Bytes.make (k * k) '\000' in
+        for i = 0 to k - 1 do
+          let ri = arr.(i) * n in
+          for j = i + 1 to k - 1 do
+            if
+              F.unsafe_get f (ri + arr.(j)) >= r
+              && F.unsafe_get ft (ri + arr.(j)) >= r
+            then begin
+              Bytes.unsafe_set adj ((i * k) + j) '\001';
+              Bytes.unsafe_set adj ((j * k) + i) '\001'
+            end
+          done
+        done;
+        let compat i j =
+          i = j || Bytes.unsafe_get adj ((i * k) + j) = '\001'
+        in
+        weighted_mis ~weights ~compat
+      end
       else begin
+        let compat i j =
+          i = j
+          || (F.unsafe_get f ((arr.(i) * n) + arr.(j)) >= r
+             && F.unsafe_get f ((arr.(j) * n) + arr.(i)) >= r)
+        in
         (* Greedy by weight with one pass of single-swap improvement. *)
         let order = Array.init k Fun.id in
         Array.sort (fun i j -> Float.compare weights.(j) weights.(i)) order;
@@ -117,9 +142,10 @@ let gamma_cache : (string * float * int, float) Memo.t =
 let gamma_sweep ?exact_limit ~jobs d ~r =
   let module Par = Bg_prelude.Parallel in
   let module Obs = Bg_prelude.Obs in
-  (* Force the lazy views on the caller's thread before fanning out. *)
-  ignore (Decay_space.flat_view d);
-  ignore (Decay_space.transpose_view d);
+  (* Warm the views on the caller's thread (construction is race-free
+     either way; this keeps the build out of the parallel region). *)
+  ignore (F.data d);
+  ignore (F.transpose d);
   Obs.with_span
     ~attrs:[ ("n", Obs.I (Decay_space.n d)); ("jobs", Obs.I jobs) ]
     "gamma_sweep"
@@ -135,13 +161,18 @@ let gamma_sweep ?exact_limit ~jobs d ~r =
       !best)
     ~combine:(fun a b -> if b > a then b else a)
 
-let gamma ?exact_limit ?jobs ?(cache = true) d ~r =
-  let jobs = Bg_prelude.Parallel.resolve_jobs jobs in
+let gamma ?(ctx = Ctx.default) d ~r =
+  let jobs = Ctx.jobs ctx in
+  let exact_limit = ctx.Ctx.exact_limit in
   let compute () = gamma_sweep ?exact_limit ~jobs d ~r in
-  if cache then
+  if ctx.Ctx.cache then
     let el = match exact_limit with None -> min_int | Some k -> k in
     Memo.find_or_add gamma_cache (Decay_space.digest d, r, el) compute
   else compute ()
+
+(* Deprecated optional-argument compat wrapper (see the mli). *)
+let gamma_with ?exact_limit ?jobs ?cache d ~r =
+  gamma ~ctx:(Ctx.make ?jobs ?cache ?exact_limit ()) d ~r
 
 let cache_stats () = (Memo.hits gamma_cache, Memo.misses gamma_cache)
 

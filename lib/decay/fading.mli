@@ -13,23 +13,36 @@ val is_separated : Decay_space.t -> r:float -> int list -> bool
 (** Whether all pairwise decays (both directions) of the given nodes are at
     least [r]. *)
 
+val weighted_mis :
+  weights:float array -> compat:(int -> int -> bool) -> float * int list
+(** Maximum-weight independent set of the compatibility graph: exact
+    branch and bound with a remaining-weight bound and a 2M-node budget
+    falling back to the greedy incumbent.  Exposed for the estimator tier
+    ({!Estimators.gamma}), which runs the same search over oracle-backed
+    candidate sets. *)
+
 val gamma_z :
   ?exact_limit:int -> Decay_space.t -> z:int -> r:float -> float * int list
 (** The fading value of node [z] at separation [r], together with the
     witnessing separated sender set.  Maximizing over separated subsets is a
     weighted independent-set problem; solved exactly by branch and bound for
-    small candidate sets (default limit 24), by greedy + swap local search
+    small candidate sets (default limit 24, with the compatibility relation
+    tabulated into a dense byte table first), by greedy + swap local search
     otherwise (then a lower bound). *)
 
-val gamma :
+val gamma : ?ctx:Ctx.t -> Decay_space.t -> r:float -> float
+(** The fading parameter [max_z gamma_z(r)].  [ctx] (default
+    {!Ctx.default}) carries the job count for the listener sweep (the
+    result is identical at every job count), the cache flag (memoized
+    under [(digest, r, exact_limit)]) and the branch-and-bound
+    [exact_limit] forwarded to {!gamma_z}. *)
+
+val gamma_with :
   ?exact_limit:int -> ?jobs:int -> ?cache:bool -> Decay_space.t -> r:float ->
   float
-(** The fading parameter [max_z gamma_z(r)].  [jobs] chunks the sweep over
-    listener nodes across the domain pool (default
-    {!Bg_prelude.Parallel.default_jobs}); the result is identical at every
-    job count.  [cache] (default [true]) memoizes the result under
-    [(digest, r, exact_limit)] — see {!Metricity.cache_stats} for the
-    zeta/phi side of the analysis cache. *)
+[@@ocaml.deprecated "Use Fading.gamma ?ctx instead."]
+(** Deprecated compat wrapper over {!gamma} preserving the historical
+    optional-argument signature. *)
 
 val cache_stats : unit -> int * int
 (** [(hits, misses)] of the gamma cache. *)

@@ -3,6 +3,7 @@ module Par = Bg_prelude.Parallel
 module Memo = Bg_prelude.Memo
 module Obs = Bg_prelude.Obs
 module K = Kernel_stats
+module F = Decay_space.Flat
 
 type witness = { x : int; y : int; z : int; value : float }
 
@@ -90,11 +91,18 @@ let zeta_triple_logs ~tol ~fxy ~fxz ~fzy ~lxy ~lxz ~lzy =
    - phi: [v = fxy /. (fxz +. fzy)] and float [+.], [/.] are monotone, so
      [fxy /. (row_min + col_min)] computed in float arithmetic is an exact
      upper bound for every v in the z-loop — bounds at every granularity
-     are safe without any epsilon margin.
-   - All skips are justified against the CURRENT incumbent, which only
-     grows along the naive visit order; a skipped triple is exactly one
-     the naive sweep would have visited and left the incumbent unchanged
-     on, so witnesses stay bit-for-bit identical. *)
+     are safe without any epsilon margin (the skip is on strict [<] so a
+     scope that could tie the incumbent is still scanned).
+   - Witness determinism is visit-order independent: a skip is only ever
+     justified against the CURRENT incumbent, which never decreases, and
+     every skip proves its scope strictly below (zeta: margin; phi:
+     strict [<]) the incumbent — so no skipped triple can be the final
+     maximum or tie it.  Ties among visited triples are resolved
+     lexicographically (smallest [(x, y, z)] in iteration coordinates
+     wins), which is exactly the naive lexicographic sweep's first-seen
+     tie-break.  That frees the kernels to tile and reorder the loops —
+     panels over x, blocks over z — while staying bit-identical to
+     [test/naive_ref.ml] at every job count. *)
 
 let ln2 = log 2.
 
@@ -104,6 +112,14 @@ let prune_margin = 1e-9
 
 let tile_size = 256
 let tile_threshold = 512
+
+(* Width of the x-panels the sweeps block over when [n >= tile_threshold]:
+   for each y, the transpose rows [ft]/[lt] of y are reused by every x in
+   the panel while the panel's own rows stay cache-resident, dividing the
+   dominant memory stream by the panel width.  Below the threshold the
+   panel degenerates to a single row and the loop nest is the classic
+   x-outer sweep. *)
+let panel_width = 16
 
 (* Strict lower bounds of [e^(-j/8)] for j = 0..512 (so down to w = -64):
    libm's [exp] is within 1 ulp (~2.3e-16 relative), so scaling by
@@ -131,10 +147,10 @@ type bounds = {
 
 let build_bounds d =
   let n = Decay_space.n d in
-  let f = Decay_space.flat_view d in
-  let lg = Decay_space.log_flat_view d in
-  let ft = Decay_space.transpose_view d in
-  let lt = Decay_space.log_transpose_view d in
+  let f = F.data d in
+  let lg = F.logs d in
+  let ft = F.transpose d in
+  let lt = F.log_transpose d in
   let ntiles =
     if n >= tile_threshold then (n + tile_size - 1) / tile_size else 0
   in
@@ -152,10 +168,10 @@ let build_bounds d =
     let base = i * n in
     for j = 0 to n - 1 do
       if j <> i then begin
-        let v = Array.unsafe_get f (base + j)
-        and l = Array.unsafe_get lg (base + j)
-        and vt = Array.unsafe_get ft (base + j)
-        and ltv = Array.unsafe_get lt (base + j) in
+        let v = F.unsafe_get f (base + j)
+        and l = F.unsafe_get lg (base + j)
+        and vt = F.unsafe_get ft (base + j)
+        and ltv = F.unsafe_get lt (base + j) in
         if v < row_fmin.(i) then row_fmin.(i) <- v;
         if v > row_fmax.(i) then row_fmax.(i) <- v;
         if l < row_lmin.(i) then row_lmin.(i) <- l;
@@ -180,19 +196,35 @@ let build_bounds d =
     ntiles; row_tlmin; col_tlmin; row_tfmin; col_tfmin;
   }
 
-(* Combine chunked best-witnesses: strict improvement only, so on ties the
-   left (earlier chunk, hence lexicographically smaller (x,y,z)) witness
-   survives — exactly the sequential sweep's tie-breaking. *)
-let better a b = if b.value > a.value then b else a
+(* Lexicographic order on iteration coordinates — the naive sweep's
+   first-seen tie-break, made explicit so any visit order agrees with it. *)
+let lex_before x y z x' y' z' =
+  x < x' || (x = x' && (y < y' || (y = y' && z < z')))
+
+(* Combine chunked best-witnesses: strict value improvement, ties broken
+   towards the lexicographically smaller triple.  Associative-enough for
+   the chunked fold at any chunking, and exactly the sequential sweep's
+   result. *)
+let better a b =
+  if b.value > a.value then b
+  else if b.value = a.value && lex_before b.x b.y b.z a.x a.y a.z then b
+  else a
+
+(* phi stores its witness with the y/z roles swapped (see [phi_chunk]);
+   its iteration coordinates are [(w.x, w.z, w.y)]. *)
+let better_phi a b =
+  if b.value > a.value then b
+  else if b.value = a.value && lex_before b.x b.z b.y a.x a.z a.y then b
+  else a
 
 (* ----------------------------------------------------------- zeta sweep *)
 
 let zeta_chunk ~tol d bb init x_lo x_hi =
   let n = Decay_space.n d in
-  let f = Decay_space.flat_view d in
-  let lg = Decay_space.log_flat_view d in
-  let ft = Decay_space.transpose_view d in
-  let lt = Decay_space.log_transpose_view d in
+  let f = F.data d in
+  let lg = F.logs d in
+  let ft = F.transpose d in
+  let lt = F.log_transpose d in
   let c_plain = ref 0 and c_scanned = ref 0 and c_deep = ref 0
   and c_exp = ref 0 and c_bis = ref 0
   and c_rows = ref 0 and c_pairs = ref 0 and c_tiles = ref 0
@@ -214,17 +246,30 @@ let zeta_chunk ~tol d bb init x_lo x_hi =
      local closure it cost an indirect call plus environment loads per
      candidate, ~25 ns on 2.4M calls at n = 256). *)
   let tcount = if bb.ntiles = 0 then 1 else bb.ntiles in
-  for x = x_lo to x_hi - 1 do
-    let row = x * n in
-    if
-      bb.row_lmax.(x) -. (0.5 *. (bb.row_lmin.(x) +. bb.gmin_l))
-      <= (ln2 *. (!best).value) -. prune_margin
-    then incr c_rows
-    else
-      for y = 0 to n - 1 do
-        if y <> x then begin
-          let fxy = Array.unsafe_get f (row + y) in
-          let lxy = Array.unsafe_get lg (row + y) in
+  let pw = if n >= tile_threshold then panel_width else 1 in
+  let row_done = Array.make pw false in
+  let p_lo = ref x_lo in
+  while !p_lo < x_hi do
+    let p0 = !p_lo in
+    let p_hi = min x_hi (p0 + pw) in
+    (* Row-skip prepass against the incumbent at panel entry.  The row
+       bound is monotone in the incumbent, so a row dismissed here stays
+       dismissed; a row it cannot dismiss yet is still covered pair by
+       pair below (the pair bound dominates the row bound). *)
+    for x = p0 to p_hi - 1 do
+      let skip =
+        bb.row_lmax.(x) -. (0.5 *. (bb.row_lmin.(x) +. bb.gmin_l))
+        <= (ln2 *. (!best).value) -. prune_margin
+      in
+      row_done.(x - p0) <- skip;
+      if skip then incr c_rows
+    done;
+    for y = 0 to n - 1 do
+      for x = p0 to p_hi - 1 do
+        if (not row_done.(x - p0)) && y <> x then begin
+          let row = x * n in
+          let fxy = F.unsafe_get f (row + y) in
+          let lxy = F.unsafe_get lg (row + y) in
           let psum = 0.5 *. (bb.row_lmin.(x) +. bb.col_lmin.(y)) in
           if lxy -. psum <= (ln2 *. (!best).value) -. prune_margin then
             incr c_pairs
@@ -258,8 +303,8 @@ let zeta_chunk ~tol d bb init x_lo x_hi =
               then incr c_tiles
               else begin
                 for z = lo to hi - 1 do
-                  let lxz = Array.unsafe_get lg (row + z)
-                  and lzy = Array.unsafe_get lt (yrow + z) in
+                  let lxz = F.unsafe_get lg (row + z)
+                  and lzy = F.unsafe_get lt (yrow + z) in
                   if lxz +. lzy < Array.unsafe_get state 0 then begin
                     (* Branchless leg split ([Float.abs] compiles to a
                        sign-mask, no data-dependent branch):
@@ -338,8 +383,8 @@ let zeta_chunk ~tol d bb init x_lo x_hi =
                            plain-triangle test (bit-identical to the
                            naive sweep's) and, past it, the one-exp
                            sandwich against the margin. *)
-                        let fxz = Array.unsafe_get f (row + z)
-                        and fzy = Array.unsafe_get ft (yrow + z) in
+                        let fxz = F.unsafe_get f (row + z)
+                        and fzy = F.unsafe_get ft (yrow + z) in
                         if fxy <= fxz +. fzy then incr c_plain
                         else begin
                         incr c_deep;
@@ -358,7 +403,11 @@ let zeta_chunk ~tol d bb init x_lo x_hi =
                             zeta_triple_logs ~tol ~fxy ~fxz ~fzy ~lxy ~lxz
                               ~lzy
                           in
-                          if v > b.value then begin
+                          if
+                            v > b.value
+                            || (v = b.value
+                               && lex_before x y z b.x b.y b.z)
+                          then begin
                             best := { x; y; z; value = v };
                             Array.unsafe_set state 0
                               (2. *. (lxy -. ((ln2 *. v) -. prune_margin)));
@@ -379,6 +428,8 @@ let zeta_chunk ~tol d bb init x_lo x_hi =
           end
         end
       done
+    done;
+    p_lo := p_hi
   done;
   ( !best,
     {
@@ -394,8 +445,9 @@ let zeta_chunk ~tol d bb init x_lo x_hi =
 
 let zeta_sweep ~tol ~jobs d =
   let n = Decay_space.n d in
-  (* Build views and bound tables on the caller's thread before fanning
-     out, so pool workers only read fully constructed arrays. *)
+  (* Warm the views and bound tables on the caller's thread: construction
+     is race-free either way, this just keeps the build cost out of the
+     parallel region. *)
   let bb = build_bounds d in
   Obs.with_span ~attrs:[ ("n", Obs.I n); ("jobs", Obs.I jobs) ] "zeta_sweep"
   @@ fun () ->
@@ -415,17 +467,24 @@ let zeta_cache : (string * float, witness) Memo.t =
 let phi_cache : (string, witness) Memo.t =
   Memo.create ~max_size:256 ~name:"phi" ()
 
-let zeta_witness ?(tol = 1e-9) ?jobs ?(cache = true) d =
+let zeta_witness ?(ctx = Ctx.default) d =
   if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
   else begin
-    let jobs = Par.resolve_jobs jobs in
-    let compute () = zeta_sweep ~tol ~jobs d in
-    if cache then
-      Memo.find_or_add zeta_cache (Decay_space.digest d, tol) compute
+    let jobs = Ctx.jobs ctx in
+    let compute () = zeta_sweep ~tol:ctx.Ctx.tol ~jobs d in
+    if ctx.Ctx.cache then
+      Memo.find_or_add zeta_cache (Decay_space.digest d, ctx.Ctx.tol) compute
     else compute ()
   end
 
-let zeta ?tol ?jobs ?cache d = (zeta_witness ?tol ?jobs ?cache d).value
+let zeta ?ctx d = (zeta_witness ?ctx d).value
+
+(* Deprecated optional-argument compat wrappers (see the mli). *)
+let zeta_witness_with ?tol ?jobs ?cache d =
+  zeta_witness ~ctx:(Ctx.make ?tol ?jobs ?cache ()) d
+
+let zeta_with ?tol ?jobs ?cache d =
+  zeta ~ctx:(Ctx.make ?tol ?jobs ?cache ()) d
 
 let zeta_sampled ?(tol = 1e-9) ~samples rng d =
   let n = Decay_space.n d in
@@ -460,7 +519,7 @@ let zeta_subsampled ?tol ?(rounds = 8) ~nodes rng d =
   for _ = 1 to rounds do
     let idx = Bg_prelude.Rng.sample rng nodes all in
     let sub = Decay_space.sub_space d idx in
-    let w = zeta_witness ?tol sub in
+    let w = zeta_witness ~ctx:(Ctx.make ?tol ()) sub in
     if w.value > !best then best := w.value
   done;
   !best
@@ -469,7 +528,7 @@ let zeta_upper_bound ?jobs d =
   let n = Decay_space.n d in
   if n < 2 then 1.
   else begin
-    let f = Decay_space.flat_view d in
+    let f = F.data d in
     let mn, mx =
       Par.map_reduce_chunks
         ~jobs:(Par.resolve_jobs jobs)
@@ -480,7 +539,7 @@ let zeta_upper_bound ?jobs d =
             let base = i * n in
             for j = 0 to n - 1 do
               if i <> j then begin
-                let v = Array.unsafe_get f (base + j) in
+                let v = F.unsafe_get f (base + j) in
                 if v < !mn then mn := v;
                 if v > !mx then mx := v
               end
@@ -499,10 +558,10 @@ let holds_at ?jobs d z =
   ||
   let z' = z +. 1e-7 in
   let bb = build_bounds d in
-  let f = Decay_space.flat_view d in
-  let lg = Decay_space.log_flat_view d in
-  let ft = Decay_space.transpose_view d in
-  let lt = Decay_space.log_transpose_view d in
+  let f = F.data d in
+  let lg = F.logs d in
+  let ft = F.transpose d in
+  let lt = F.log_transpose d in
   let chunk x_lo x_hi =
     let ok = ref true in
     let x = ref x_lo in
@@ -518,20 +577,20 @@ let holds_at ?jobs d z =
         while !ok && !y < n do
           let y0 = !y in
           if y0 <> x0 then begin
-            let lxy = Array.unsafe_get lg (row + y0) in
+            let lxy = F.unsafe_get lg (row + y0) in
             let psum = 0.5 *. (bb.row_lmin.(x0) +. bb.col_lmin.(y0)) in
             if not (lxy -. psum <= (ln2 *. z') -. prune_margin) then begin
-              let fxy = Array.unsafe_get f (row + y0) in
+              let fxy = F.unsafe_get f (row + y0) in
               let yrow = y0 * n in
               let zi = ref 0 in
               while !ok && !zi < n do
                 let z0 = !zi in
                 if z0 <> x0 && z0 <> y0 then begin
-                  let fxz = Array.unsafe_get f (row + z0)
-                  and fzy = Array.unsafe_get ft (yrow + z0) in
+                  let fxz = F.unsafe_get f (row + z0)
+                  and fzy = F.unsafe_get ft (yrow + z0) in
                   if fxy > fxz +. fzy then begin
-                    let lxz = Array.unsafe_get lg (row + z0)
-                    and lzy = Array.unsafe_get lt (yrow + z0) in
+                    let lxz = F.unsafe_get lg (row + z0)
+                    and lzy = F.unsafe_get lt (yrow + z0) in
                     if
                       not
                         (lxy -. (0.5 *. (lxz +. lzy))
@@ -563,30 +622,43 @@ let holds_at ?jobs d z =
 
 let phi_chunk d bb init x_lo x_hi =
   let n = Decay_space.n d in
-  let f = Decay_space.flat_view d in
-  let ft = Decay_space.transpose_view d in
+  let f = F.data d in
+  let ft = F.transpose d in
   let c_rows = ref 0 and c_pairs = ref 0 and c_tiles = ref 0
   and c_deep = ref 0 in
   let best = ref init in
-  for x = x_lo to x_hi - 1 do
-    let row = x * n in
+  let pw = if n >= tile_threshold then panel_width else 1 in
+  let row_done = Array.make pw false in
+  let p_lo = ref x_lo in
+  while !p_lo < x_hi do
+    let p0 = !p_lo in
+    let p_hi = min x_hi (p0 + pw) in
     (* Float [+.] and [/.] are monotone, so these bounds dominate every v
-       in their scope exactly — no epsilon needed (see the bounds note). *)
-    if bb.row_fmax.(x) /. (bb.row_fmin.(x) +. bb.gmin_f) <= (!best).value
-    then incr c_rows
-    else
-      for y = 0 to n - 1 do
-        if y <> x then begin
-          let fxy = Array.unsafe_get f (row + y) in
-          if fxy /. (bb.row_fmin.(x) +. bb.col_fmin.(y)) <= (!best).value
+       in their scope exactly.  Skips are on strict [<]: a scope whose
+       bound ties the incumbent is still scanned, so the lex tie-break
+       below sees every potential tying triple whatever the visit
+       order. *)
+    for x = p0 to p_hi - 1 do
+      let skip =
+        bb.row_fmax.(x) /. (bb.row_fmin.(x) +. bb.gmin_f) < (!best).value
+      in
+      row_done.(x - p0) <- skip;
+      if skip then incr c_rows
+    done;
+    for y = 0 to n - 1 do
+      for x = p0 to p_hi - 1 do
+        if (not row_done.(x - p0)) && y <> x then begin
+          let row = x * n in
+          let fxy = F.unsafe_get f (row + y) in
+          if fxy /. (bb.row_fmin.(x) +. bb.col_fmin.(y)) < (!best).value
           then incr c_pairs
           else begin
             let yrow = y * n in
             let scan z_lo z_hi =
               for z = z_lo to z_hi - 1 do
                 if z <> x && z <> y then begin
-                  let fxz = Array.unsafe_get f (row + z)
-                  and fzy = Array.unsafe_get ft (yrow + z) in
+                  let fxz = F.unsafe_get f (row + z)
+                  and fzy = F.unsafe_get ft (yrow + z) in
                   incr c_deep;
                   let v = fxy /. (fxz +. fzy) in
                   let b = !best in
@@ -595,7 +667,10 @@ let phi_chunk d bb init x_lo x_hi =
                      exactly that inequality's decays with roles named
                      (x, y, z) = (start, end, midpoint), so the witness
                      stores the iterator's z as the midpoint field y. *)
-                  if v > b.value then best := { x; y = z; z = y; value = v }
+                  if
+                    v > b.value
+                    || (v = b.value && lex_before x y z b.x b.z b.y)
+                  then best := { x; y = z; z = y; value = v }
                 end
               done
             in
@@ -606,12 +681,14 @@ let phi_chunk d bb init x_lo x_hi =
                   bb.row_tfmin.((x * bb.ntiles) + t)
                   +. bb.col_tfmin.((y * bb.ntiles) + t)
                 in
-                if fxy /. tmin <= (!best).value then incr c_tiles
+                if fxy /. tmin < (!best).value then incr c_tiles
                 else scan (t * tile_size) (min n ((t + 1) * tile_size))
               done
           end
         end
       done
+    done;
+    p_lo := p_hi
   done;
   ( !best,
     {
@@ -632,22 +709,30 @@ let phi_sweep ~jobs d =
   let witness, tally =
     Par.map_reduce_chunks ~jobs ~lo:0 ~hi:n ~neutral:(init, K.empty_tally)
       ~map:(fun x_lo x_hi -> phi_chunk d bb init x_lo x_hi)
-      ~combine:(fun (w1, t1) (w2, t2) -> (better w1 w2, K.merge t1 t2))
+      ~combine:(fun (w1, t1) (w2, t2) -> (better_phi w1 w2, K.merge t1 t2))
   in
   K.publish tally;
   witness
 
-let phi_witness ?jobs ?(cache = true) d =
+let phi_witness ?(ctx = Ctx.default) d =
   if Decay_space.n d < 3 then { x = 0; y = 0; z = 0; value = 1. }
   else begin
-    let jobs = Par.resolve_jobs jobs in
+    let jobs = Ctx.jobs ctx in
     let compute () = phi_sweep ~jobs d in
-    if cache then Memo.find_or_add phi_cache (Decay_space.digest d) compute
+    if ctx.Ctx.cache then
+      Memo.find_or_add phi_cache (Decay_space.digest d) compute
     else compute ()
   end
 
-let phi ?jobs ?cache d = (phi_witness ?jobs ?cache d).value
-let phi_log ?jobs ?cache d = Num.log2 (phi ?jobs ?cache d)
+let phi ?ctx d = (phi_witness ?ctx d).value
+let phi_log ?ctx d = Num.log2 (phi ?ctx d)
+
+(* Deprecated optional-argument compat wrappers (see the mli). *)
+let phi_witness_with ?jobs ?cache d =
+  phi_witness ~ctx:(Ctx.make ?jobs ?cache ()) d
+
+let phi_with ?jobs ?cache d = phi ~ctx:(Ctx.make ?jobs ?cache ()) d
+let phi_log_with ?jobs ?cache d = phi_log ~ctx:(Ctx.make ?jobs ?cache ()) d
 
 (* ----------------------------------------------------- cache management *)
 

@@ -13,7 +13,12 @@
     paper's Theorem 6 lower bound is stated in.  Note the paper's displayed
     formula for [phi] is the reciprocal of its prose definition; we
     implement the prose version, under which the paper's own examples check
-    out (see DESIGN.md §3 and experiment E9). *)
+    out (see DESIGN.md §3 and experiment E9).
+
+    All sweep entry points take one optional {!Ctx.t} carrying tolerance,
+    parallelism, caching and solver limits; the historical per-function
+    [?tol ?jobs ?cache] signatures survive as deprecated [_with]
+    wrappers. *)
 
 type witness = { x : int; y : int; z : int; value : float }
 (** The triple achieving an extremal parameter, and the value there. *)
@@ -24,35 +29,22 @@ val zeta_triple : ?tol:float -> float -> float -> float -> float
     decays (bisection; validity is monotone in [z]).  [tol] is the relative
     bisection tolerance, default [1e-9]. *)
 
-val zeta : ?tol:float -> ?jobs:int -> ?cache:bool -> Decay_space.t -> float
+val zeta : ?ctx:Ctx.t -> Decay_space.t -> float
 (** Exact metricity: maximum of {!zeta_triple} over all ordered triples of
-    distinct nodes.  O(n^3) with log-domain incumbent tests and row /
-    pair / tile bound pruning over the flat decay layout; triples the
-    bounds cannot dismiss fall back to exactly the naive evaluation, so
-    the result (and witness) is bit-for-bit the naive sweep's.  Returns
-    [1.] for spaces with fewer than three nodes.  [jobs] chunks the outer
-    loop over the domain pool (default
-    {!Bg_prelude.Parallel.default_jobs}); the result is identical at every
-    job count.  [cache] (default [true]) memoizes the result under the
-    space's content {!Decay_space.digest}. *)
+    distinct nodes.  O(n^3) with log-domain incumbent tests, row / pair /
+    tile bound pruning and x-panel cache blocking over the flat
+    {!Decay_space.Flat} views; triples the bounds cannot dismiss fall back
+    to exactly the naive evaluation, so the result (and witness) is
+    bit-for-bit the naive sweep's.  Returns [1.] for spaces with fewer
+    than three nodes.  [ctx] (default {!Ctx.default}) carries the
+    bisection tolerance, the job count (the result is identical at every
+    job count) and whether to memoize under the space's content
+    {!Decay_space.digest}. *)
 
-val zeta_witness :
-  ?tol:float -> ?jobs:int -> ?cache:bool -> Decay_space.t -> witness
+val zeta_witness : ?ctx:Ctx.t -> Decay_space.t -> witness
 (** The metricity together with a triple attaining it.  On ties the
-    lexicographically smallest [(x, y, z)] wins, at every [jobs] count. *)
-
-val zeta_sampled : ?tol:float -> samples:int -> Bg_prelude.Rng.t -> Decay_space.t -> float
-(** Lower-bound estimate of the metricity from uniformly sampled triples;
-    useful when [n^3] is prohibitive.  Requires [n >= 3]. *)
-
-val zeta_subsampled :
-  ?tol:float -> ?rounds:int -> nodes:int -> Bg_prelude.Rng.t ->
-  Decay_space.t -> float
-(** Lower-bound estimate from exact metricity of random induced
-    sub-spaces of [nodes] nodes ([rounds] of them, default 8).  Metricity
-    is monotone under taking sub-spaces, so the estimate only ever
-    under-shoots; it beats triple sampling when violations cluster in a
-    small node subset.  Requires [3 <= nodes <= n]. *)
+    lexicographically smallest [(x, y, z)] wins, at every [jobs] count
+    and under every internal loop order. *)
 
 val zeta_upper_bound : ?jobs:int -> Decay_space.t -> float
 (** The paper's a-priori bound [zeta <= max(1, lg (f_max / f_min))]. *)
@@ -61,20 +53,63 @@ val holds_at : ?jobs:int -> Decay_space.t -> float -> bool
 (** [holds_at d z] checks the relaxed triangle inequality at parameter [z]
     for all triples (within the bisection tolerance). *)
 
-val phi : ?jobs:int -> ?cache:bool -> Decay_space.t -> float
+val phi : ?ctx:Ctx.t -> Decay_space.t -> float
 (** The relaxed-triangle-inequality constant
     [max(1, max_{x,y,z} f(x,z) / (f(x,y) + f(y,z)))] over distinct triples.
     Pruned like {!zeta} (the phi bounds are exact in float arithmetic, by
     monotonicity of [+.] and [/.]); cached like {!zeta}. *)
 
-val phi_witness : ?jobs:int -> ?cache:bool -> Decay_space.t -> witness
+val phi_witness : ?ctx:Ctx.t -> Decay_space.t -> witness
 (** [phi] together with an attaining triple (fields [x], [z] are the outer
     pair and [y] the midpoint).  Deterministic across [jobs] like
     {!zeta_witness}. *)
 
-val phi_log : ?jobs:int -> ?cache:bool -> Decay_space.t -> float
+val phi_log : ?ctx:Ctx.t -> Decay_space.t -> float
 (** [lg phi], the exponent form used by Theorem 6 ([phi_log <= zeta] always,
     by the argument in §4.2). *)
+
+(** {1 Deprecated compatibility wrappers}
+
+    One-line shims preserving the historical optional-argument signatures.
+    New code should pass a {!Ctx.t}; these alert as [deprecated] (an error
+    under this project's build flags — suppress locally with
+    [[@alert "-deprecated"]] while migrating). *)
+
+val zeta_with :
+  ?tol:float -> ?jobs:int -> ?cache:bool -> Decay_space.t -> float
+[@@ocaml.deprecated "Use Metricity.zeta ?ctx instead."]
+
+val zeta_witness_with :
+  ?tol:float -> ?jobs:int -> ?cache:bool -> Decay_space.t -> witness
+[@@ocaml.deprecated "Use Metricity.zeta_witness ?ctx instead."]
+
+val phi_with : ?jobs:int -> ?cache:bool -> Decay_space.t -> float
+[@@ocaml.deprecated "Use Metricity.phi ?ctx instead."]
+
+val phi_witness_with : ?jobs:int -> ?cache:bool -> Decay_space.t -> witness
+[@@ocaml.deprecated "Use Metricity.phi_witness ?ctx instead."]
+
+val phi_log_with : ?jobs:int -> ?cache:bool -> Decay_space.t -> float
+[@@ocaml.deprecated "Use Metricity.phi_log ?ctx instead."]
+
+val zeta_sampled :
+  ?tol:float -> samples:int -> Bg_prelude.Rng.t -> Decay_space.t -> float
+[@@ocaml.deprecated
+  "Use Estimators.zeta_triples (stratified, with confidence bounds) \
+   instead."]
+(** Lower-bound estimate of the metricity from uniformly sampled triples.
+    Superseded by {!Estimators.zeta_triples}, which stratifies the sample
+    and reports a confidence interval.  Requires [n >= 3]. *)
+
+val zeta_subsampled :
+  ?tol:float -> ?rounds:int -> nodes:int -> Bg_prelude.Rng.t ->
+  Decay_space.t -> float
+[@@ocaml.deprecated
+  "Use Estimators.zeta (stratified node subsampling, with confidence \
+   bounds) instead."]
+(** Lower-bound estimate from exact metricity of random induced
+    sub-spaces.  Superseded by {!Estimators.zeta}.  Requires
+    [3 <= nodes <= n]. *)
 
 (** {1 The analysis cache}
 
@@ -82,7 +117,7 @@ val phi_log : ?jobs:int -> ?cache:bool -> Decay_space.t -> float
     keyed by {!Decay_space.digest} (plus [tol] for [zeta]): re-analyzing a
     bit-identical decay matrix — whatever its name, at any job count —
     costs a hash lookup instead of an O(n^3) sweep.  Disable per call with
-    [~cache:false]. *)
+    a [ctx] whose [cache] is [false] (e.g. {!Ctx.uncached}). *)
 
 val cache_stats : unit -> int * int
 (** [(hits, misses)] summed over the zeta and phi caches. *)

@@ -19,7 +19,7 @@ let decays_db d =
   done;
   Array.of_list !acc
 
-let summarize ?jobs d =
+let summarize ?(ctx = Ctx.default) d =
   let module Par = Bg_prelude.Parallel in
   let n = Decay_space.n d in
   if n < 2 then invalid_arg "Statistics.summarize: need at least 2 nodes";
@@ -29,9 +29,7 @@ let summarize ?jobs d =
      strict [>] in combine keeps the earliest maximizer, matching the
      sequential pass exactly. *)
   let asym =
-    Par.map_reduce_chunks
-      ~jobs:(Par.resolve_jobs jobs)
-      ~lo:0 ~hi:n ~neutral:0.
+    Par.map_reduce_chunks ~jobs:(Ctx.jobs ctx) ~lo:0 ~hi:n ~neutral:0.
       ~map:(fun i_lo i_hi ->
         let worst = ref 0. in
         for i = i_lo to i_hi - 1 do
@@ -54,6 +52,9 @@ let summarize ?jobs d =
     dynamic_range_db = hi -. lo;
     asymmetry_db = asym;
   }
+
+(* Deprecated optional-argument compat wrapper (see the mli). *)
+let summarize_with ?jobs d = summarize ~ctx:(Ctx.make ?jobs ()) d
 
 let effective_alpha ~positions d =
   let n = Decay_space.n d in

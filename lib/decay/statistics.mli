@@ -13,10 +13,14 @@ type summary = {
           symmetric spaces *)
 }
 
-val summarize : ?jobs:int -> Decay_space.t -> summary
-(** Requires at least 2 nodes.  [jobs] chunks the pairwise sweep across the
-    domain pool (default {!Bg_prelude.Parallel.default_jobs}); the summary
-    is identical at every job count. *)
+val summarize : ?ctx:Ctx.t -> Decay_space.t -> summary
+(** Requires at least 2 nodes.  [ctx.jobs] chunks the pairwise sweep across
+    the domain pool (default {!Bg_prelude.Parallel.default_jobs}); the
+    summary is identical at every job count. *)
+
+val summarize_with : ?jobs:int -> Decay_space.t -> summary
+[@@ocaml.deprecated "Use Statistics.summarize ?ctx instead."]
+(** Deprecated compat wrapper over {!summarize}. *)
 
 val effective_alpha :
   positions:Bg_geom.Point.t array -> Decay_space.t -> Bg_prelude.Stats.fit

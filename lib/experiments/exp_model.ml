@@ -1,4 +1,5 @@
 module D = Core.Decay.Decay_space
+module Ctx = Core.Decay.Ctx
 module Met = Core.Decay.Metricity
 module Dim = Core.Decay.Dimension
 module Fad = Core.Decay.Fading
@@ -73,7 +74,7 @@ let e2_fading_bound () =
       in
       List.iter
         (fun r ->
-          let gamma = Fad.gamma ~exact_limit:18 space ~r in
+          let gamma = Fad.gamma ~ctx:(Ctx.make ~exact_limit:18 ()) space ~r in
           let bound = Fad.theorem2_bound ~c ~a in
           let holds = gamma <= bound +. 1e-9 in
           worst_ratio := Float.max !worst_ratio (gamma /. bound);

@@ -1,4 +1,5 @@
 module D = Core.Decay.Decay_space
+module Ctx = Core.Decay.Ctx
 module Met = Core.Decay.Metricity
 module Fad = Core.Decay.Fading
 module Sp = Core.Decay.Spaces
@@ -23,7 +24,7 @@ let e12_distributed () =
   let rows = ref [] in
   let run name space ~radius =
     let n = D.n space in
-    let gamma = Fad.gamma ~exact_limit:16 space ~r:radius in
+    let gamma = Fad.gamma ~ctx:(Ctx.make ~exact_limit:16 ()) space ~r:radius in
     let lb = LB.run ~max_rounds:4000 (Rng.create 801) space ~radius in
     let zeta = Met.zeta space in
     let inst =

@@ -9,6 +9,11 @@ module Sp = Core.Decay.Spaces
 module M = Core.Geom.Metric
 module P = Core.Geom.Point
 module Rng = Core.Prelude.Rng
+module Ctx = Core.Decay.Ctx
+module Est = Core.Decay.Estimators
+
+let seq_of jobs = Ctx.make ~jobs ~cache:false ()
+let el12 jobs = Ctx.make ~jobs ~cache:false ~exact_limit:12 ()
 
 (* ---------------------------------------------------------- Decay_space *)
 
@@ -138,8 +143,8 @@ let test_zeta_witness_attains () =
 
 let test_zeta_sampled_lower_bound () =
   let d = random_space ~n:10 11 in
-  let s = Met.zeta_sampled ~samples:2000 (rng 1) d in
-  check_true "sampled <= exact" (s <= Met.zeta d +. 1e-9)
+  let e = Est.zeta_triples ~samples:2000 (rng 1) (Est.of_space d) in
+  check_true "sampled <= exact" (e.Est.point <= Met.zeta d +. 1e-9)
 
 let test_holds_at () =
   let d = random_space ~n:8 13 in
@@ -372,7 +377,7 @@ let test_theorem2_bound_on_grid () =
      empirical constant should dominate the measured gamma. *)
   let pts = Sp.grid_points ~rows:5 ~cols:5 ~spacing:1. in
   let d = D.of_points ~alpha:4. pts in
-  let measured = Fad.gamma ~exact_limit:20 d ~r:1. in
+  let measured = Fad.gamma ~ctx:(Ctx.make ~exact_limit:20 ()) d ~r:1. in
   let bound = Fad.theorem2_bound ~c:6. ~a:0.5 in
   check_true "bound dominates" (measured <= bound)
 
@@ -537,15 +542,14 @@ let prop_parallel_equals_sequential =
       in
       List.for_all
         (fun d ->
-          Met.zeta_witness ~jobs:1 ~cache:false d
-          = Met.zeta_witness ~jobs:4 ~cache:false d
-          && Met.phi_witness ~jobs:1 ~cache:false d
-             = Met.phi_witness ~jobs:4 ~cache:false d
+          Met.zeta_witness ~ctx:(seq_of 1) d
+          = Met.zeta_witness ~ctx:(seq_of 4) d
+          && Met.phi_witness ~ctx:(seq_of 1) d
+             = Met.phi_witness ~ctx:(seq_of 4) d
           && Met.zeta_upper_bound ~jobs:1 d = Met.zeta_upper_bound ~jobs:4 d
           &&
           let r = D.min_decay d *. 1.5 in
-          Fad.gamma ~exact_limit:12 ~jobs:1 ~cache:false d ~r
-          = Fad.gamma ~exact_limit:12 ~jobs:4 ~cache:false d ~r)
+          Fad.gamma ~ctx:(el12 1) d ~r = Fad.gamma ~ctx:(el12 4) d ~r)
         spaces)
 
 let suite =

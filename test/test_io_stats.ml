@@ -3,6 +3,7 @@
 
 open Testutil
 module D = Core.Decay.Decay_space
+module Met = Core.Decay.Metricity
 module Io = Core.Decay.Decay_io
 module St = Core.Decay.Statistics
 module On = Core.Capacity.Online
@@ -255,6 +256,84 @@ let test_prr_estimation_more_packets_better () =
   in
   check_true "convergence" (err 4000 < err 40 +. 1e-9)
 
+(* ------------------------------------------------------ raw binary IO *)
+
+let test_raw_roundtrip () =
+  let d = random_asym_space ~n:13 77 in
+  let path = Filename.temp_file "bgtest" ".bgd" in
+  Io.save_raw d path;
+  let d' = Io.load_raw path in
+  check_int "n preserved" (D.n d) (D.n d');
+  let ok = ref true in
+  for i = 0 to D.n d - 1 do
+    for j = 0 to D.n d - 1 do
+      if not (Float.equal (D.decay d i j) (D.decay d' i j)) then ok := false
+    done
+  done;
+  check_true "cells bit-identical" !ok;
+  Sys.remove path
+
+let test_raw_mmap_matches_load () =
+  let d = random_space ~n:11 78 in
+  let path = Filename.temp_file "bgtest" ".bgd" in
+  Io.save_raw d path;
+  let a = Io.load_raw path and b = Io.load_raw_mmap path in
+  check_true "same digest through both doors"
+    (D.digest a = D.digest b && D.digest a = D.digest d);
+  (* The mapped space runs the full kernel stack unchanged. *)
+  check_float ~eps:0. "zeta identical on mapped space"
+    (Met.zeta ~ctx:Core.Decay.Ctx.uncached a)
+    (Met.zeta ~ctx:Core.Decay.Ctx.uncached b);
+  Sys.remove path
+
+let test_raw_rejects_bad_magic () =
+  let path = Filename.temp_file "bgtest" ".bgd" in
+  let oc = open_out_bin path in
+  output_string oc "NOTADECAYMATRIX.....................";
+  close_out oc;
+  check_true "bad magic rejected"
+    (match Io.load_raw path with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Sys.remove path
+
+let test_raw_rejects_truncation () =
+  let d = random_space ~n:6 79 in
+  let path = Filename.temp_file "bgtest" ".bgd" in
+  Io.save_raw d path;
+  let len = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (len - 8);
+  check_true "truncated payload rejected (load)"
+    (match Io.load_raw path with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_true "truncated payload rejected (mmap)"
+    (match Io.load_raw_mmap path with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Sys.remove path
+
+let test_raw_validate_catches_bad_cells () =
+  (* Corrupt one off-diagonal cell to a negative value: the validating
+     loader must reject it, the mmap door (validate:false) must not. *)
+  let d = random_space ~n:5 80 in
+  let path = Filename.temp_file "bgtest" ".bgd" in
+  Io.save_raw d path;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int (16 + (8 * 1))) Unix.SEEK_SET);
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float (-3.5));
+  ignore (Unix.write fd b 0 8);
+  Unix.close fd;
+  check_true "validating load rejects the bad cell"
+    (match Io.load_raw path with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let lazy_space = Io.load_raw_mmap path in
+  check_float ~eps:0. "unvalidated mmap serves the raw bytes" (-3.5)
+    (D.decay lazy_space 0 1);
+  Sys.remove path
+
 let suite =
   [
     ( "io.csv",
@@ -267,6 +346,14 @@ let suite =
         case "rejects invalid matrix" test_io_rejects_invalid_matrix;
         case "file roundtrip" test_io_file_roundtrip;
         prop_io_roundtrip;
+      ] );
+    ( "io.raw",
+      [
+        case "raw roundtrip" test_raw_roundtrip;
+        case "mmap = load" test_raw_mmap_matches_load;
+        case "bad magic" test_raw_rejects_bad_magic;
+        case "truncation" test_raw_rejects_truncation;
+        case "cell validation" test_raw_validate_catches_bad_cells;
       ] );
     ( "radio.prr_estimation",
       [

@@ -11,7 +11,12 @@ module Sp = Core.Decay.Spaces
 module KS = Core.Decay.Kernel_stats
 module Memo = Core.Prelude.Memo
 module Rng = Core.Prelude.Rng
+module Ctx = Core.Decay.Ctx
 open Testutil
+
+(* Uncached kernel context at a given job count — what almost every
+   identity check below wants. *)
+let ctx_j jobs = Ctx.make ~jobs ~cache:false ()
 
 let witness : Met.witness Alcotest.testable =
   let pp fmt (w : Met.witness) =
@@ -51,7 +56,7 @@ let test_zeta_matches_naive () =
           check_witness
             (Printf.sprintf "zeta witness %s jobs=%d" name jobs)
             reference
-            (Met.zeta_witness ~jobs ~cache:false d))
+            (Met.zeta_witness ~ctx:(ctx_j jobs) d))
         [ 1; 4 ])
     (families ())
 
@@ -64,7 +69,7 @@ let test_phi_matches_naive () =
           check_witness
             (Printf.sprintf "phi witness %s jobs=%d" name jobs)
             reference
-            (Met.phi_witness ~jobs ~cache:false d))
+            (Met.phi_witness ~ctx:(ctx_j jobs) d))
         [ 1; 4 ])
     (families ())
 
@@ -79,7 +84,7 @@ let test_gamma_matches_naive () =
               check_exact_float
                 (Printf.sprintf "gamma %s r=%g jobs=%d" name r jobs)
                 reference
-                (Fad.gamma ~jobs ~cache:false d ~r))
+                (Fad.gamma ~ctx:(ctx_j jobs) d ~r))
             [ 1; 4 ])
         [ 0.5; 2.; 10. ])
     (families ())
@@ -107,8 +112,8 @@ let prop_random_witness_identity =
       let pw = Naive_ref.phi_witness ~jobs:1 d in
       List.for_all
         (fun jobs ->
-          Met.zeta_witness ~jobs ~cache:false d = zw
-          && Met.phi_witness ~jobs ~cache:false d = pw)
+          Met.zeta_witness ~ctx:(ctx_j jobs) d = zw
+          && Met.phi_witness ~ctx:(ctx_j jobs) d = pw)
         [ 1; 4 ])
 
 let prop_random_gamma_identity =
@@ -118,7 +123,7 @@ let prop_random_gamma_identity =
       let d = random_asym_space ~n:10 seed in
       let reference = Naive_ref.gamma ~jobs:1 d ~r in
       List.for_all
-        (fun jobs -> Float.equal (Fad.gamma ~jobs ~cache:false d ~r) reference)
+        (fun jobs -> Float.equal (Fad.gamma ~ctx:(ctx_j jobs) d ~r) reference)
         [ 1; 4 ])
 
 (* ---------------------------------------------------- the analysis cache *)
@@ -132,7 +137,7 @@ let test_second_run_sweeps_nothing () =
   reset_all ();
   let d = random_space ~n:10 42 in
   let config =
-    { Core.Analysis.default with gamma_at = [ 2. ]; jobs = Some 2 }
+    { Core.Analysis.gamma_at = [ 2. ]; ctx = Ctx.make ~jobs:2 () }
   in
   let r1 = Core.Analysis.run ~config d in
   let sweeps_after_first = (KS.snapshot ()).KS.sweeps in
@@ -166,8 +171,8 @@ let test_cache_keys_on_content_not_name () =
 let test_jobs_excluded_from_cache_key () =
   reset_all ();
   let d = random_asym_space ~n:8 17 in
-  let a = Met.zeta_witness ~jobs:1 d in
-  let b = Met.zeta_witness ~jobs:4 d in
+  let a = Met.zeta_witness ~ctx:(Ctx.make ~jobs:1 ()) d in
+  let b = Met.zeta_witness ~ctx:(Ctx.make ~jobs:4 ()) d in
   check_witness "jobs=4 reuses jobs=1 result" a b;
   let hits, misses = Met.cache_stats () in
   check_int "second job count is a hit" 1 hits;
@@ -220,12 +225,63 @@ let test_memo_concurrent () =
     sums;
   check_int "ten distinct keys" 10 (Memo.length m)
 
+(* ------------------------------------------- lazy views under the pool *)
+
+let test_views_race_free_under_pool () =
+  (* The derived views (logs, transpose, log-transpose) are built lazily
+     behind an atomic-once guard, so kernels no longer pre-force them
+     before fanning out — the first touch may happen concurrently inside
+     pool tasks.  Each trial builds a fresh space and forces all four
+     views from four workers at once; values must match the definition
+     and repeated forcing must return the same buffer. *)
+  let module F = D.Flat in
+  let module Par = Core.Prelude.Parallel in
+  for trial = 0 to 19 do
+    let n = 40 in
+    let f i j = float_of_int ((((i * 7) + (j * 3) + trial) mod 19) + 1) in
+    let d = D.of_fn ~name:"race" n f in
+    let got =
+      Par.map_reduce_chunks ~jobs:4 ~lo:0 ~hi:n ~neutral:0.
+        ~map:(fun lo hi ->
+          let fl = F.data d and lg = F.logs d in
+          let tr = F.transpose d and lt = F.log_transpose d in
+          let acc = ref 0. in
+          for i = lo to hi - 1 do
+            for j = 0 to n - 1 do
+              if j <> i then begin
+                let k = (i * n) + j in
+                acc :=
+                  !acc +. F.get fl k +. F.get lg k +. F.get tr k +. F.get lt k
+              end
+            done
+          done;
+          !acc)
+        ~combine:( +. )
+    in
+    let expected = ref 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if j <> i then
+          expected :=
+            !expected +. f i j +. log (f i j) +. f j i +. log (f j i)
+      done
+    done;
+    check_float ~eps:1e-9
+      (Printf.sprintf "views correct under concurrent first touch (t%d)"
+         trial)
+      !expected got;
+    check_true "repeated force returns the same buffer"
+      (F.data d == F.data d && F.logs d == F.logs d
+      && F.transpose d == F.transpose d
+      && F.log_transpose d == F.log_transpose d)
+  done
+
 (* ----------------------------------------------------- counter sanity *)
 
 let test_pruning_counters () =
   reset_all ();
   let d = random_space ~n:10 123 in
-  ignore (Met.zeta_witness ~jobs:1 ~cache:false d);
+  ignore (Met.zeta_witness ~ctx:(ctx_j 1) d);
   let s = KS.snapshot () in
   let n = 10 in
   check_int "one sweep" 1 s.KS.sweeps;
@@ -255,5 +311,7 @@ let suite =
         case "memo eviction" test_memo_eviction_bounds_size;
         case "memo concurrent" test_memo_concurrent;
         case "pruning counters" test_pruning_counters;
+        case "lazy views race-free under pool"
+          test_views_race_free_under_pool;
       ] );
   ]

@@ -6,6 +6,7 @@
 open Testutil
 module D = Core.Decay.Decay_space
 module Met = Core.Decay.Metricity
+module Est = Core.Decay.Estimators
 module I = Core.Sinr.Instance
 module Pw = Core.Sinr.Power
 module Aff = Core.Sinr.Affectance
@@ -33,8 +34,10 @@ let prop_zeta_subsampled_lower_bound =
   qcheck ~count:25 "subsampled zeta never exceeds exact" QCheck.small_int
     (fun seed ->
       let d = random_space ~n:10 seed in
-      Met.zeta_subsampled ~rounds:4 ~nodes:6 (rng (seed + 3)) d
-      <= Met.zeta d +. 1e-9)
+      let e =
+        Est.zeta ~replicates:4 ~nodes:6 (rng (seed + 3)) (Est.of_space d)
+      in
+      e.Est.point <= Met.zeta d +. 1e-9)
 
 let prop_zeta_invariant_under_symmetrize_of_symmetric =
   qcheck ~count:25 "symmetrize is identity on symmetric spaces"
@@ -235,14 +238,14 @@ let test_zeta_subsampled_finds_concentrated_violation () =
     D.of_fn ~name:"hidden" n (fun i j ->
         if i < 3 && j < 3 then D.decay base i j else 1e6)
   in
-  let est = Met.zeta_subsampled ~rounds:60 ~nodes:5 (rng 71) d in
-  check_true "finds the planted triple" (est > 5.)
+  let est = Est.zeta ~replicates:60 ~nodes:5 (rng 71) (Est.of_space d) in
+  check_true "finds the planted triple" (est.Est.point > 5.)
 
 let test_zeta_subsampled_validation () =
   let d = random_space ~n:5 72 in
   Alcotest.check_raises "nodes range"
-    (Invalid_argument "Metricity.zeta_subsampled: need 3 <= nodes <= n")
-    (fun () -> ignore (Met.zeta_subsampled ~nodes:2 (rng 73) d))
+    (Invalid_argument "zeta_sub: need 3 <= nodes <= n")
+    (fun () -> ignore (Est.zeta ~nodes:2 (rng 73) (Est.of_space d)))
 
 let suite =
   [

@@ -8,6 +8,7 @@
 module Obs = Core.Prelude.Obs
 module Par = Core.Prelude.Parallel
 module Met = Core.Decay.Metricity
+module Ctx = Core.Decay.Ctx
 module Fad = Core.Decay.Fading
 module KS = Core.Decay.Kernel_stats
 module Jsonl = Obs_tools.Jsonl
@@ -414,8 +415,8 @@ let memo_counters_for ~jobs =
   let h0 = Obs.counter_value hits and m0 = Obs.counter_value misses in
   KS.reset ();
   let sp = random_space ~n:16 77 in
-  let w1 = Met.zeta_witness ~jobs ~cache:true sp in
-  let w2 = Met.zeta_witness ~jobs ~cache:true sp in
+  let w1 = Met.zeta_witness ~ctx:(Ctx.make ~jobs ()) sp in
+  let w2 = Met.zeta_witness ~ctx:(Ctx.make ~jobs ()) sp in
   check_true "cached witness identical"
     (w1.Met.x = w2.Met.x && w1.Met.y = w2.Met.y && w1.Met.z = w2.Met.z
     && Float.equal w1.Met.value w2.Met.value);
@@ -444,7 +445,7 @@ let test_kernel_stats_deterministic_at_jobs4 () =
   let sp = random_space ~n:20 912 in
   let snap jobs =
     KS.reset ();
-    ignore (Met.zeta_witness ~jobs ~cache:false sp);
+    ignore (Met.zeta_witness ~ctx:(Ctx.make ~jobs ~cache:false ()) sp);
     KS.snapshot ()
   in
   let a = snap 4 and b = snap 4 in
@@ -462,7 +463,7 @@ let test_kernel_stats_deterministic_at_jobs4 () =
   (* phi sweeps merge tallies through the same path. *)
   let psnap jobs =
     KS.reset ();
-    ignore (Met.phi_witness ~jobs ~cache:false sp);
+    ignore (Met.phi_witness ~ctx:(Ctx.make ~jobs ~cache:false ()) sp);
     KS.snapshot ()
   in
   check_true "phi jobs=4 tallies reproducible" (psnap 4 = psnap 4)
