@@ -119,7 +119,31 @@ let run_suite ?(reps = 5) ?(large = false) () =
           Obs.with_span "noop" (fun () -> incr k)
         done)
   in
-  let base = [ zeta_seq; phi_seq; gamma; cached; parse; span_off ] in
+  let serve =
+    (* The serving path end to end, in process: parse + admission +
+       digest-coalescing batches + store lookups over a zipf trace.  A
+       fresh engine and store per rep keeps every rep cold. *)
+    let reqs =
+      Bg_serve.Loadgen.generate
+        { Bg_serve.Loadgen.seed = 17; requests = 400; spaces = 60;
+          nodes = 10; zipf_s = 1.1 }
+    in
+    measure ~name:"serve_inproc_400" ~reps (fun () ->
+        let t =
+          Bg_serve.Server.create
+            {
+              Bg_serve.Server.ctx = seq_uncached;
+              batch_size = 32;
+              max_queue = 256;
+              request_timeout_s = None;
+              store = Some (Bg_serve.Store.open_ ());
+            }
+        in
+        let r = Bg_serve.Loadgen.drive_inproc ~window:32 t reqs in
+        if r.Bg_serve.Loadgen.answered <> r.Bg_serve.Loadgen.sent then
+          failwith "serve_inproc_400: dropped requests")
+  in
+  let base = [ zeta_seq; phi_seq; gamma; cached; parse; span_off; serve ] in
   if not large then base
   else begin
     (* Large-n smoke entries (`bg bench --large`): the tiled exact kernels

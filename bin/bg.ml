@@ -9,6 +9,8 @@
      bg stats <file.csv>           measurement-style statistics
      bg trace report|flame|diff    analyze a --trace JSONL file offline
      bg bench [--record|--check]   kernel bench / perf-regression gate
+     bg serve                      batched JSONL analysis daemon
+     bg loadgen                    workload replayer / benchmark for serve
      bg zoo                        list the built-in constructions *)
 
 open Cmdliner
@@ -45,27 +47,45 @@ let timeout_arg =
            exceeded budget reports a clean error (exit 2) for analysis runs \
            and a TIMEOUT verdict for experiments.")
 
+(* All resource flags are validated up front, before any file is opened
+   or domain spawned: a nonsense value is a one-line exit-2 answer, not
+   a crash (or silent misbehaviour) minutes into a run. *)
+let validate_timeout timeout =
+  if Float.is_nan timeout || timeout < 0. then
+    user_error "--timeout must be a non-negative number of seconds (got %g)"
+      timeout;
+  timeout
+
+let validate_retries retries =
+  if retries < 0 then user_error "--retries must be non-negative (got %d)" retries;
+  retries
+
 let with_optional_timeout timeout f =
   if timeout > 0. then
     Core.Prelude.Parallel.with_deadline ~seconds:timeout f
   else f ()
 
-(* Shared --jobs flag: 0 (the default) means "use the whole machine"
-   (Domain.recommended_domain_count); any positive value is taken
-   literally.  The resolved count becomes the ambient default, so sweeps
-   buried inside experiments pick it up too.  Results never depend on it. *)
+(* Shared --jobs flag: omitted means "use the whole machine"
+   (Domain.recommended_domain_count); any value below 1 — including the
+   0 that used to be a hidden alias for auto — is rejected up front.
+   The resolved count becomes the ambient default, so sweeps buried
+   inside experiments pick it up too.  Results never depend on it. *)
 let jobs_arg =
   Arg.(
     value
-    & opt int 0
+    & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for the parallel sweeps (0 = one per available \
-           core). The output is identical at every job count.")
+          "Worker domains for the parallel sweeps (default: one per \
+           available core). Must be at least 1; the output is identical \
+           at every job count.")
 
 let apply_jobs jobs =
   let jobs =
-    if jobs <= 0 then Core.Prelude.Parallel.auto_jobs () else jobs
+    match jobs with
+    | None -> Core.Prelude.Parallel.auto_jobs ()
+    | Some j when j < 1 -> user_error "--jobs must be at least 1 (got %d)" j
+    | Some j -> j
   in
   Core.Prelude.Parallel.set_default_jobs jobs;
   jobs
@@ -184,6 +204,7 @@ let space_of_file_repaired file repair =
 let analyze_cmd =
   let run file gamma_at jobs no_cache repair timeout trace profile metrics =
     let jobs = apply_jobs jobs in
+    let timeout = validate_timeout timeout in
     apply_obs ~profile trace;
     let space = space_of_file_repaired file repair in
     let report =
@@ -370,6 +391,8 @@ let experiment_cmd =
   in
   let run ids jobs timeout retries trace profile metrics =
     ignore (apply_jobs jobs);
+    let timeout = validate_timeout timeout in
+    let retries = validate_retries retries in
     apply_obs ~profile trace;
     let entries =
       if List.exists (fun s -> String.lowercase_ascii s = "all") ids then
@@ -847,6 +870,274 @@ let trace_cmd =
           regression diff.")
     [ trace_report_cmd; trace_flame_cmd; trace_diff_cmd ]
 
+(* ---------------------------------------------------------------- serve *)
+
+let batch_size_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:"Requests taken per batch; duplicates within a batch coalesce.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission bound: requests arriving at a full queue are answered \
+           immediately with a typed 'rejected' response.")
+
+let cache_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:
+          "Persist the result cache to $(docv) (a JSONL snapshot, written \
+           atomically). Loaded on startup, so a restarted daemon answers \
+           repeated requests from disk instead of recomputing.")
+
+let cache_entries_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "cache-entries" ] ~docv:"N"
+        ~doc:"Result-cache capacity; least recently used entries evict.")
+
+let request_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "request-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per computed request; an overrun answers a \
+           typed error instead of stalling the batch pipeline.")
+
+let serve_config ~jobs ~batch_size ~max_queue ~cache ~cache_entries
+    ~request_timeout =
+  if batch_size < 1 then
+    user_error "--batch-size must be at least 1 (got %d)" batch_size;
+  if max_queue < 1 then
+    user_error "--max-queue must be at least 1 (got %d)" max_queue;
+  if cache_entries < 1 then
+    user_error "--cache-entries must be at least 1 (got %d)" cache_entries;
+  (match request_timeout with
+  | Some t when not (t > 0.) ->
+      user_error "--request-timeout must be positive (got %g)" t
+  | _ -> ());
+  let store =
+    Bg_serve.Store.open_ ~max_entries:cache_entries ?path:cache ()
+  in
+  {
+    Bg_serve.Server.ctx = Core.Decay.Ctx.make ~jobs ();
+    batch_size;
+    max_queue;
+    request_timeout_s = request_timeout;
+    store = Some store;
+  }
+
+(* The stats summary goes to stderr: in stdio mode stdout carries the
+   response stream and must stay clean JSONL. *)
+let print_serve_summary (st : Bg_serve.Server.stats) =
+  let module Obs = Core.Prelude.Obs in
+  let h = Obs.histogram "serve.latency_s" in
+  Printf.eprintf
+    "bg serve: %d accepted, %d rejected, %d errors | %d computed, %d \
+     cache hits, %d coalesced | %d batches, peak queue %d | latency p50 \
+     %.4gs p99 %.4gs\n\
+     %!"
+    st.accepted st.rejected st.failed st.computed st.store_hits st.coalesced
+    st.batches st.peak_queue
+    (Obs.histogram_quantile h 0.50)
+    (Obs.histogram_quantile h 0.99)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (any number of \
+             concurrent clients) instead of stdin/stdout.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Socket mode: stop after answering $(docv) requests (smoke \
+             tests and bounded sessions).")
+  in
+  let run socket max_requests batch_size max_queue cache cache_entries
+      request_timeout jobs trace profile metrics =
+    let jobs = apply_jobs jobs in
+    apply_obs ~profile trace;
+    (match max_requests with
+    | Some n when n < 1 ->
+        user_error "--max-requests must be at least 1 (got %d)" n
+    | _ -> ());
+    let config =
+      serve_config ~jobs ~batch_size ~max_queue ~cache ~cache_entries
+        ~request_timeout
+    in
+    let stats =
+      or_user_error (fun () ->
+          match socket with
+          | None -> Bg_serve.Server.serve_stdio config
+          | Some path ->
+              Bg_serve.Server.serve_socket ?max_requests config path)
+    in
+    print_serve_summary stats;
+    finish_obs metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batched analysis daemon: JSONL requests (zeta, phi, \
+          gamma, summarize, estimate) on stdin or a Unix socket, JSONL \
+          responses out. Requests pass a bounded admission queue \
+          (overload gets a typed rejection), batch-mates with the same \
+          space digest coalesce onto one computation, and results land \
+          in a shared cache that persists across restarts with --cache.")
+    Term.(
+      const run $ socket_arg $ max_requests_arg $ batch_size_arg
+      $ max_queue_arg $ cache_file_arg $ cache_entries_arg
+      $ request_timeout_arg $ jobs_arg $ trace_arg $ profile_arg
+      $ metrics_arg)
+
+(* -------------------------------------------------------------- loadgen *)
+
+let loadgen_cmd =
+  let module L = Bg_serve.Loadgen in
+  let requests_arg =
+    Arg.(
+      value & opt int L.default_workload.requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Total requests in the trace.")
+  in
+  let spaces_arg =
+    Arg.(
+      value & opt int L.default_workload.spaces
+      & info [ "spaces" ] ~docv:"N" ~doc:"Distinct decay spaces in the pool.")
+  in
+  let lg_nodes_arg =
+    Arg.(
+      value & opt int L.default_workload.nodes
+      & info [ "nodes" ] ~docv:"N" ~doc:"Nodes per generated space.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float L.default_workload.zipf_s
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:
+            "Skew of the space-popularity law (0 = uniform; larger \
+             values concentrate the trace on a few hot spaces).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Closed-loop concurrency: requests in flight at once.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop cap: issue requests no faster than $(docv) per \
+             second, even when the window has room.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable report (workload + results).")
+  in
+  let run requests spaces nodes zipf seed window rate json batch_size
+      max_queue cache cache_entries request_timeout jobs trace profile
+      metrics =
+    apply_obs ~profile trace;
+    if window < 1 then user_error "--window must be at least 1 (got %d)" window;
+    (match rate with
+    | Some r when not (r > 0.) -> user_error "--rate must be positive (got %g)" r
+    | _ -> ());
+    (match jobs with
+    | Some j when j < 1 -> user_error "--jobs must be at least 1 (got %d)" j
+    | _ -> ());
+    let workload = { L.seed; requests; spaces; nodes; zipf_s = zipf } in
+    let trace_reqs = or_user_error (fun () -> L.generate workload) in
+    (* The daemon under test is this very binary: loadgen spawns
+       `bg serve` over pipes, so the benchmark measures the real wire
+       path (parse, admission, batching, store) end to end. *)
+    let argv =
+      Array.of_list
+        ([ Sys.executable_name; "serve"; "--batch-size";
+           string_of_int batch_size; "--max-queue"; string_of_int max_queue;
+           "--cache-entries"; string_of_int cache_entries ]
+        @ (match cache with Some f -> [ "--cache"; f ] | None -> [])
+        @ (match request_timeout with
+          | Some t -> [ "--request-timeout"; string_of_float t ]
+          | None -> [])
+        @ (match jobs with
+          | Some j -> [ "--jobs"; string_of_int j ]
+          | None -> []))
+    in
+    let report =
+      or_user_error (fun () ->
+          L.drive_subprocess ~window ?rate argv trace_reqs)
+    in
+    Format.printf "%a@." L.pp_report report;
+    Option.iter
+      (fun path ->
+        or_user_error (fun () ->
+            Core.Decay.Decay_io.with_atomic_out path (fun oc ->
+                let j =
+                  Obs_tools.Jsonl.Obj
+                    [ ("suite", Obs_tools.Jsonl.Str "serve");
+                      ( "workload",
+                        Obs_tools.Jsonl.Obj
+                          [ ("seed", Obs_tools.Jsonl.Num (float_of_int seed));
+                            ( "requests",
+                              Obs_tools.Jsonl.Num (float_of_int requests) );
+                            ( "spaces",
+                              Obs_tools.Jsonl.Num (float_of_int spaces) );
+                            ("nodes", Obs_tools.Jsonl.Num (float_of_int nodes));
+                            ("zipf", Obs_tools.Jsonl.Num zipf);
+                            ( "window",
+                              Obs_tools.Jsonl.Num (float_of_int window) ) ] );
+                      ("report", L.report_to_json report) ]
+                in
+                output_string oc (Obs_tools.Jsonl.to_string j);
+                output_char oc '\n'));
+        Printf.printf "report written to %s\n%!" path)
+      json;
+    finish_obs metrics;
+    (* Every request must be answered — computed, rejected or failed.
+       A silently dropped request is a daemon bug and a benchmark lie. *)
+    if report.L.answered < report.L.sent then begin
+      Printf.eprintf "bg loadgen: %d of %d requests never answered\n%!"
+        (report.L.sent - report.L.answered)
+        report.L.sent;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Generate a reproducible production-shaped workload (zipf-skewed \
+          repeats over a pool of decay spaces) and replay it against a \
+          spawned `bg serve` daemon, closed-loop at --window concurrency \
+          (optionally rate-capped). Reports throughput, p50/p99 latency \
+          and cache outcomes; exits nonzero if any request goes \
+          unanswered.")
+    Term.(
+      const run $ requests_arg $ spaces_arg $ lg_nodes_arg $ zipf_arg
+      $ seed_arg $ window_arg $ rate_arg $ json_out_arg $ batch_size_arg
+      $ max_queue_arg $ cache_file_arg $ cache_entries_arg
+      $ request_timeout_arg $ jobs_arg $ trace_arg $ profile_arg
+      $ metrics_arg)
+
 (* ------------------------------------------------------------------ zoo *)
 
 let zoo_cmd =
@@ -872,7 +1163,8 @@ let main =
     (Cmd.info "bg" ~version:"1.0.0"
        ~doc:"Decay-space wireless models (Beyond Geometry, PODC 2014).")
     [ analyze_cmd; generate_cmd; capacity_cmd; experiment_cmd; stats_cmd;
-      protocols_cmd; bench_cmd; estimate_cmd; trace_cmd; zoo_cmd ]
+      protocols_cmd; bench_cmd; estimate_cmd; trace_cmd; serve_cmd;
+      loadgen_cmd; zoo_cmd ]
 
 let () =
   (* Cmdliner reports its own parse errors with Exit.cli_error (124);

@@ -75,23 +75,24 @@ let of_csv_repaired ?name ~policy text =
   let name, matrix = parse ?name text in
   Decay_space.of_matrix_repaired ~name ~policy matrix
 
-let save d path =
-  (* Atomic: write a temp file in the target directory, then rename over
-     the destination, so a crash mid-write can never leave a truncated
-     matrix where a valid one used to be. *)
+(* Atomic: write a temp file in the target directory, then rename over
+   the destination, so a crash mid-write can never leave a truncated
+   file where a valid one used to be.  Every writer in this module (and
+   the persistent serve store) goes through here. *)
+let with_atomic_out ?(binary = false) path write =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir ".decay_io" ".tmp" in
   match
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_csv d));
+    let oc = (if binary then open_out_bin else open_out) tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
     Sys.rename tmp path
   with
   | () -> ()
   | exception e ->
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
+
+let save d path = with_atomic_out path (fun oc -> output_string oc (to_csv d))
 
 let load path =
   let ic = open_in path in
@@ -114,33 +115,21 @@ let raw_header_len = 16
 
 let save_raw_fn ~n f path =
   if n < 1 then invalid_arg "Decay_io.save_raw_fn: need n >= 1";
-  let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir ".decay_io" ".tmp" in
-  match
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc raw_magic;
-        let hdr = Bytes.create 8 in
-        Bytes.set_int64_le hdr 0 (Int64.of_int n);
-        output_bytes oc hdr;
-        (* One row per write: memory stays O(n) however large the matrix,
-           which is what lets [bg generate --raw] emit files far beyond
-           RAM for the pay-per-probe geometric constructions. *)
-        let row = Bytes.create (8 * n) in
-        for i = 0 to n - 1 do
-          for j = 0 to n - 1 do
-            Bytes.set_int64_le row (8 * j) (Int64.bits_of_float (f i j))
-          done;
-          output_bytes oc row
-        done);
-    Sys.rename tmp path
-  with
-  | () -> ()
-  | exception e ->
-      (try Sys.remove tmp with Sys_error _ -> ());
-      raise e
+  with_atomic_out ~binary:true path (fun oc ->
+      output_string oc raw_magic;
+      let hdr = Bytes.create 8 in
+      Bytes.set_int64_le hdr 0 (Int64.of_int n);
+      output_bytes oc hdr;
+      (* One row per write: memory stays O(n) however large the matrix,
+         which is what lets [bg generate --raw] emit files far beyond
+         RAM for the pay-per-probe geometric constructions. *)
+      let row = Bytes.create (8 * n) in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Bytes.set_int64_le row (8 * j) (Int64.bits_of_float (f i j))
+        done;
+        output_bytes oc row
+      done)
 
 let save_raw d path =
   let f = Decay_space.Flat.data d in

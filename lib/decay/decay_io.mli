@@ -41,11 +41,17 @@ val of_csv_repaired :
     diagnosis (including [Ragged]/[Empty], which no policy can repair).
     @raise Invalid_argument only for cells that are not numbers. *)
 
+val with_atomic_out : ?binary:bool -> string -> (out_channel -> unit) -> unit
+(** [with_atomic_out path write] runs [write] on a fresh temp file in
+    [path]'s directory and renames it into place, so readers never
+    observe a torn file and a crash cannot clobber an existing one with
+    a truncated one.  On any exception the temp file is removed and the
+    destination is untouched.  Every writer in this module uses it; the
+    persistent serve store ({!Bg_serve.Store}) reuses it for its
+    snapshots.  [binary] (default [false]) selects [open_out_bin]. *)
+
 val save : Decay_space.t -> string -> unit
-(** Write to a file path atomically: the CSV is written to a fresh temp
-    file in the destination directory and renamed into place, so readers
-    never observe a torn file and a crash cannot clobber an existing
-    matrix with a truncated one. *)
+(** Write to a file path atomically ({!with_atomic_out}). *)
 
 val load : string -> Decay_space.t
 (** Read from a file path strictly; the name defaults to the basename. *)

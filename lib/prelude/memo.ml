@@ -1,4 +1,5 @@
-(* A bounded memo table with hit/miss/eviction accounting.
+(* A bounded memo table with per-entry LRU eviction and hit/miss/eviction
+   accounting.
 
    The table is a plain Hashtbl guarded by a mutex so that concurrent
    lookups from domain-pool workers are safe.  The compute function runs
@@ -7,10 +8,15 @@
    (idempotent) computations only, which is exactly the analysis-cache
    use case (sweep results are deterministic functions of the key).
 
-   Eviction is wholesale: when the table reaches [max_size] entries it is
-   cleared before the new insert.  Entries are tiny (witness records,
-   floats) and the bound only exists to keep unbounded streams of distinct
-   decay spaces from leaking, so the crude policy is fine.
+   Eviction is LRU, one entry at a time: every entry carries a recency
+   stamp (a table-wide tick, bumped under the lock on every touch), and
+   when an insert would push the table past [max_size] the stalest entry
+   is dropped first.  The stamp scan is O(table size) but only runs on an
+   overflowing insert, never on a hit, so the hot path stays a hash
+   lookup; the tables this backs (analysis results keyed by content
+   digest, the persistent serve store) cap out in the hundreds-to-
+   thousands, where a scan is nanoseconds against the O(n^3) sweep a
+   hit saves.
 
    A named table additionally mirrors its accounting into the Obs
    registry (memo.<name>.hits / .misses / .evictions); those registry
@@ -23,11 +29,14 @@ type obs_counters = {
   c_evictions : Obs.counter;
 }
 
+type 'v entry = { value : 'v; mutable stamp : int }
+
 type ('k, 'v) t = {
-  tbl : ('k, 'v) Hashtbl.t;
+  tbl : ('k, 'v entry) Hashtbl.t;
   lock : Mutex.t;
   max_size : int;
   obs : obs_counters option;
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -46,31 +55,91 @@ let create ?(max_size = 512) ?name () =
       name
   in
   { tbl = Hashtbl.create 64; lock = Mutex.create (); max_size; obs;
-    hits = 0; misses = 0; evictions = 0 }
+    tick = 0; hits = 0; misses = 0; evictions = 0 }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+(* Drop least-recently-used entries until an insert fits under
+   [max_size].  Caller holds the lock. *)
+let evict_for_insert t =
+  let dropped = ref 0 in
+  while Hashtbl.length t.tbl >= t.max_size do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, s) when s <= e.stamp -> ()
+        | _ -> victim := Some (k, e.stamp))
+      t.tbl;
+    match !victim with
+    | None -> raise Exit (* unreachable: length >= max_size >= 1 *)
+    | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        t.evictions <- t.evictions + 1;
+        incr dropped
+  done;
+  !dropped
+
+(* Insert under the lock, evicting first when the key is new and the
+   table is full.  Returns how many entries were evicted. *)
+let insert t key v =
+  let evicted =
+    if Hashtbl.mem t.tbl key then 0 else evict_for_insert t
+  in
+  let e = { value = v; stamp = 0 } in
+  touch t e;
+  Hashtbl.replace t.tbl key e;
+  evicted
+
+let note_evictions t n =
+  if n > 0 then
+    Option.iter (fun o -> Obs.add o.c_evictions n) t.obs
 
 let find_or_add t key compute =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.tbl key with
-  | Some v ->
+  | Some e ->
       t.hits <- t.hits + 1;
+      touch t e;
       Mutex.unlock t.lock;
       Option.iter (fun o -> Obs.incr o.c_hits) t.obs;
-      v
+      e.value
   | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.lock;
       Option.iter (fun o -> Obs.incr o.c_misses) t.obs;
       let v = compute () in
       Mutex.lock t.lock;
-      let evicted = Hashtbl.length t.tbl >= t.max_size in
-      if evicted then begin
-        Hashtbl.reset t.tbl;
-        t.evictions <- t.evictions + 1
-      end;
-      Hashtbl.replace t.tbl key v;
+      let evicted = insert t key v in
       Mutex.unlock t.lock;
-      if evicted then Option.iter (fun o -> Obs.incr o.c_evictions) t.obs;
+      note_evictions t evicted;
       v
+
+let find_opt t key =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        touch t e;
+        Some e.value
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+  in
+  Mutex.unlock t.lock;
+  Option.iter
+    (fun o -> Obs.incr (if r = None then o.c_misses else o.c_hits))
+    t.obs;
+  r
+
+let set t key v =
+  Mutex.lock t.lock;
+  let evicted = insert t key v in
+  Mutex.unlock t.lock;
+  note_evictions t evicted
 
 let mem t key =
   Mutex.lock t.lock;
@@ -83,6 +152,16 @@ let length t =
   let r = Hashtbl.length t.tbl in
   Mutex.unlock t.lock;
   r
+
+let to_alist t =
+  Mutex.lock t.lock;
+  let entries =
+    Hashtbl.fold (fun k e acc -> (k, e.value, e.stamp) :: acc) t.tbl []
+  in
+  Mutex.unlock t.lock;
+  entries
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  |> List.map (fun (k, v, _) -> (k, v))
 
 let clear t =
   Mutex.lock t.lock;

@@ -383,6 +383,32 @@ let histogram_count h = Atomic.get h.hcount
 let histogram_sum h = h.hsum
 let histogram_bucket h i = Atomic.get h.buckets.(i)
 
+(* Quantiles from the log2 buckets: the smallest bucket whose cumulative
+   count reaches the rank, estimated at the bucket's geometric midpoint
+   (sqrt 2 times its lower edge) — the same estimator Obs_tools.Trace
+   applies to recorded traces, so online and offline p50/p99 agree. *)
+let histogram_quantile h q =
+  let count = Atomic.get h.hcount in
+  if count = 0 then 0.
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = int_of_float (Float.round (q *. float_of_int (count - 1))) in
+    let result = ref 0. and seen = ref 0 in
+    (try
+       for b = 0 to num_buckets - 1 do
+         seen := !seen + Atomic.get h.buckets.(b);
+         if !seen > rank then begin
+           result :=
+             (if b <= 0 then 0.
+              else if b >= num_buckets - 1 then bucket_lower_bound b
+              else bucket_lower_bound b *. Float.sqrt 2.);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
 let time_histogram h f =
   let t0 = now_s () in
   Fun.protect ~finally:(fun () -> observe h (now_s () -. t0)) f

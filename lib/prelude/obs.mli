@@ -135,6 +135,13 @@ val histogram_sum : histogram -> float
 val histogram_bucket : histogram -> int -> int
 (** Count in bucket [i], [0 <= i < num_buckets]. *)
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile ([0 <= q <= 1],
+    clamped) of the observed values from the log2 buckets, at the
+    geometric midpoint of the selected bucket — the same estimator
+    {!Obs_tools.Trace} uses offline, so a live [p99] and a trace-derived
+    one are comparable.  [0.] on an empty histogram. *)
+
 val num_buckets : int
 (** 64. *)
 

@@ -1,0 +1,367 @@
+(* `bg loadgen` — the production-shaped workload replayer for bg serve.
+
+   A workload is generated, not recorded: from one integer seed it
+   expands to a pool of distinct decay spaces and a request trace over
+   them with zipf-skewed repetition (a few hot spaces dominate, a long
+   tail appears once or twice — the shape that makes a shared cache
+   earn its keep).  Generation is a pure function of the workload
+   record: the same seed yields byte-identical request lines, and
+   therefore identical space digests server-side, on every run — which
+   is exactly what lets a second run against a restarted daemon hit the
+   persistent store.
+
+   Two drivers replay a trace:
+   - in-process, against a Server.t, for tests and the perf gate;
+   - over pipes against a spawned `bg serve` daemon, closed-loop with a
+     bounded in-flight window (and an optional open-loop target rate),
+     for the end-to-end benchmark.  The pipe driver multiplexes reads
+     and writes with select and keeps writes nonblocking, so a busy
+     daemon can never deadlock the generator.
+
+   Both report answered/ok/rejected/error counts, cache-outcome tallies,
+   throughput and exact (sorted-sample) p50/p99 latencies. *)
+
+module P = Protocol
+module J = Obs_tools.Jsonl
+module D = Core.Decay.Decay_space
+module Spaces = Core.Decay.Spaces
+module Rng = Core.Prelude.Rng
+module Obs = Core.Prelude.Obs
+
+(* ---------------------------------------------------------------- zipf *)
+
+(* Cumulative distribution of the zipf(s) law on ranks 1..n:
+   P(rank = k) proportional to k^-s. *)
+let zipf_cdf ~s ~n =
+  if n < 1 then invalid_arg "zipf_cdf: n must be positive";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    total := !total +. (float_of_int (k + 1) ** -.s);
+    cdf.(k) <- !total
+  done;
+  Array.map (fun c -> c /. !total) cdf
+
+(* Draw a rank (0-based) by binary search over the cdf. *)
+let zipf_pick rng cdf =
+  let u = Rng.float rng 1. in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* ------------------------------------------------------------ workload *)
+
+type workload = {
+  seed : int;
+  requests : int;
+  spaces : int;  (** distinct decay spaces in the pool *)
+  nodes : int;  (** nodes per space *)
+  zipf_s : float;  (** skew: 0 = uniform, larger = hotter head *)
+}
+
+let default_workload =
+  { seed = 1; requests = 2000; spaces = 200; nodes = 24; zipf_s = 1.1 }
+
+let space_matrix space =
+  let n = D.n space in
+  Array.init n (fun i -> Array.init n (fun j -> D.decay space i j))
+
+(* The op mix: mostly the headline sweep (zeta), the rest spread over
+   the other analyses.  Estimate's design is derived from the space
+   rank, not drawn, so repeats of a hot space repeat the whole cache
+   key. *)
+let pick_op rng ~rank ~nodes =
+  let u = Rng.float rng 1. in
+  if u < 0.60 then P.Zeta
+  else if u < 0.80 then P.Phi
+  else if u < 0.90 then P.Gamma 4.
+  else if u < 0.95 then P.Summarize
+  else
+    P.Estimate
+      { nodes = max 3 (min 16 nodes); replicates = 4; seed = rank }
+
+let generate w =
+  if w.requests < 1 then invalid_arg "Loadgen.generate: requests < 1";
+  if w.spaces < 1 then invalid_arg "Loadgen.generate: spaces < 1";
+  if w.nodes < 3 then invalid_arg "Loadgen.generate: nodes < 3";
+  if not (Float.is_finite w.zipf_s) || w.zipf_s < 0. then
+    invalid_arg "Loadgen.generate: zipf_s must be finite and >= 0";
+  let rng = Rng.create w.seed in
+  let space_rng = Rng.split rng in
+  (* One split per space decouples draw counts: space k is the same
+     bytes whatever the trace around it does. *)
+  let pool =
+    Array.init w.spaces (fun _k ->
+        let r = Rng.split space_rng in
+        let pts = Spaces.random_points r ~n:w.nodes ~side:100. in
+        space_matrix (Spaces.perturbed r ~alpha:3. ~sigma:0.8 pts))
+  in
+  let cdf = zipf_cdf ~s:w.zipf_s ~n:w.spaces in
+  let trace_rng = Rng.split rng in
+  List.init w.requests (fun i ->
+      let rank = zipf_pick trace_rng cdf in
+      let op = pick_op trace_rng ~rank ~nodes:w.nodes in
+      {
+        P.id = Printf.sprintf "r%06d" i;
+        op;
+        space =
+          P.Inline (Printf.sprintf "lg-%d-%d" w.seed rank, pool.(rank));
+      })
+
+(* -------------------------------------------------------------- report *)
+
+type report = {
+  sent : int;
+  answered : int;
+  ok : int;
+  rejected : int;
+  errors : int;
+  hits : int;
+  misses : int;
+  coalesced : int;
+  wall_s : float;
+  throughput_rps : float;
+  mean_s : float;
+  p50_s : float;
+  p99_s : float;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    sorted.(min (n - 1)
+              (int_of_float (Float.round (q *. float_of_int (n - 1)))))
+
+(* Fold a list of (response, latency) into a report. *)
+let build_report ~sent ~wall_s answers =
+  let ok = ref 0 and rejected = ref 0 and errors = ref 0 in
+  let hits = ref 0 and misses = ref 0 and coalesced = ref 0 in
+  let lat = ref [] in
+  List.iter
+    (fun (resp, latency) ->
+      lat := latency :: !lat;
+      match resp with
+      | P.Done { cache; _ } ->
+          incr ok;
+          (match cache with
+          | P.Hit -> incr hits
+          | P.Miss -> incr misses
+          | P.Coalesced -> incr coalesced)
+      | P.Rejected _ -> incr rejected
+      | P.Failed _ -> incr errors)
+    answers;
+  let lats = Array.of_list !lat in
+  Array.sort compare lats;
+  let answered = Array.length lats in
+  let mean_s =
+    if answered = 0 then 0.
+    else Array.fold_left ( +. ) 0. lats /. float_of_int answered
+  in
+  {
+    sent;
+    answered;
+    ok = !ok;
+    rejected = !rejected;
+    errors = !errors;
+    hits = !hits;
+    misses = !misses;
+    coalesced = !coalesced;
+    wall_s;
+    throughput_rps =
+      (if wall_s > 0. then float_of_int answered /. wall_s else 0.);
+    mean_s;
+    p50_s = quantile lats 0.50;
+    p99_s = quantile lats 0.99;
+  }
+
+let hit_rate r = if r.ok = 0 then 0. else float_of_int r.hits /. float_of_int r.ok
+
+let report_to_json r =
+  J.Obj
+    [ ("sent", J.Num (float_of_int r.sent));
+      ("answered", J.Num (float_of_int r.answered));
+      ("ok", J.Num (float_of_int r.ok));
+      ("rejected", J.Num (float_of_int r.rejected));
+      ("errors", J.Num (float_of_int r.errors));
+      ("hits", J.Num (float_of_int r.hits));
+      ("misses", J.Num (float_of_int r.misses));
+      ("coalesced", J.Num (float_of_int r.coalesced));
+      ("hit_rate", J.Num (hit_rate r));
+      ("wall_s", J.Num r.wall_s);
+      ("throughput_rps", J.Num r.throughput_rps);
+      ("mean_s", J.Num r.mean_s);
+      ("p50_s", J.Num r.p50_s);
+      ("p99_s", J.Num r.p99_s) ]
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "sent %d  answered %d  ok %d  rejected %d  errors %d@\n\
+     cache: %d hit / %d miss / %d coalesced  (hit rate %.3f)@\n\
+     wall %.3fs  throughput %.1f req/s  latency mean %.2gs  p50 %.2gs  \
+     p99 %.2gs"
+    r.sent r.answered r.ok r.rejected r.errors r.hits r.misses r.coalesced
+    (hit_rate r) r.wall_s r.throughput_rps r.mean_s r.p50_s r.p99_s
+
+(* ---------------------------------------------------- in-process driver *)
+
+let drive_inproc ?(window = 32) server requests =
+  if window < 1 then invalid_arg "drive_inproc: window < 1";
+  let lines = List.map P.request_to_string requests in
+  let remaining = ref lines in
+  let sent = ref 0 in
+  let inflight = ref 0 in
+  let answers = ref [] in
+  let started = Obs.now_s () in
+  let read ~block:_ =
+    match !remaining with
+    | [] -> `Eof
+    | line :: rest ->
+        if !inflight >= window then `Nothing
+        else begin
+          remaining := rest;
+          incr sent;
+          incr inflight;
+          let t0 = Obs.now_s () in
+          `Req
+            ( line,
+              fun resp_line ->
+                decr inflight;
+                match P.response_of_string resp_line with
+                | Ok resp ->
+                    answers := (resp, Obs.now_s () -. t0) :: !answers
+                | Error _ -> () )
+        end
+  in
+  let _stats =
+    Server.run_loop server { Server.read; flush = (fun () -> ()) }
+  in
+  build_report ~sent:!sent ~wall_s:(Obs.now_s () -. started) !answers
+
+(* ------------------------------------------------------- pipe driver *)
+
+let write_nonblock fd buf =
+  (* Push as much of [buf] down the pipe as it will take right now. *)
+  let s = Buffer.contents buf in
+  let len = String.length s in
+  if len > 0 then begin
+    match Unix.write_substring fd s 0 len with
+    | n ->
+        Buffer.clear buf;
+        if n < len then Buffer.add_substring buf s n (len - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end
+
+(* Drive an external daemon speaking the protocol on [req_w]/[resp_r]
+   (both pipe fds; [req_w] is closed when the trace is exhausted so the
+   daemon sees EOF and drains).  Closed-loop: at most [window] requests
+   in flight; [rate] adds an open-loop cap (requests issued no faster
+   than [rate]/s even when the window has room). *)
+let drive_fds ?(window = 32) ?rate ~req_w ~resp_r requests =
+  if window < 1 then invalid_arg "drive: window < 1";
+  (match rate with
+  | Some r when r <= 0. -> invalid_arg "drive: rate must be positive"
+  | _ -> ());
+  Unix.set_nonblock req_w;
+  let reader = Server.Line_reader.create resp_r in
+  let pending = ref (List.map (fun r -> (r.P.id, P.request_to_string r)) requests) in
+  let out = Buffer.create 65536 in
+  let sent_at : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let sent = ref 0 in
+  let answers = ref [] in
+  let closed_req = ref false in
+  let started = Obs.now_s () in
+  let issue_allowed now =
+    match rate with
+    | None -> true
+    | Some r -> float_of_int !sent <= (now -. started) *. r
+  in
+  let issue_some () =
+    let now = Obs.now_s () in
+    let inflight () = Hashtbl.length sent_at in
+    let continue = ref true in
+    while
+      !continue && !pending <> [] && inflight () < window
+      && Buffer.length out < 1 lsl 20
+      && issue_allowed now
+    do
+      match !pending with
+      | [] -> continue := false
+      | (id, line) :: rest ->
+          pending := rest;
+          incr sent;
+          Hashtbl.replace sent_at id now;
+          Buffer.add_string out line;
+          Buffer.add_char out '\n'
+    done
+  in
+  let handle_line line =
+    match P.response_of_string line with
+    | Error _ -> ()
+    | Ok resp ->
+        let id = P.response_id resp in
+        let latency =
+          match Hashtbl.find_opt sent_at id with
+          | Some t0 ->
+              Hashtbl.remove sent_at id;
+              Obs.now_s () -. t0
+          | None -> 0.
+        in
+        answers := (resp, latency) :: !answers
+  in
+  let eof = ref false in
+  while not !eof do
+    issue_some ();
+    if (not !closed_req) && !pending = [] && Buffer.length out = 0 then begin
+      closed_req := true;
+      (try Unix.close req_w with Unix.Unix_error _ -> ())
+    end;
+    let want_write = (not !closed_req) && Buffer.length out > 0 in
+    let writes = if want_write then [ req_w ] else [] in
+    (match Unix.select [ resp_r ] writes [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        if writable <> [] then write_nonblock req_w out;
+        if readable <> [] then begin
+          Server.Line_reader.read_chunk reader;
+          let continue = ref true in
+          while !continue do
+            match Server.Line_reader.next ~block:false reader with
+            | `Line l -> handle_line l
+            | `Nothing -> continue := false
+            | `Eof ->
+                continue := false;
+                eof := true
+          done
+        end)
+  done;
+  if not !closed_req then (try Unix.close req_w with Unix.Unix_error _ -> ());
+  build_report ~sent:!sent ~wall_s:(Obs.now_s () -. started) !answers
+
+(* Spawn [argv] (a `bg serve` command line), drive the trace through its
+   stdin/stdout, reap it, and report.  The child's stderr passes
+   through. *)
+let drive_subprocess ?window ?rate argv requests =
+  (* cloexec on every pipe end: the child must NOT inherit our copies of
+     req_w / resp_r, or closing req_w here would never deliver its EOF
+     (the daemon itself would hold the write end open).  create_process
+     dup2s req_r / resp_w onto the child's stdin / stdout, which clears
+     cloexec on those. *)
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let pid = Unix.create_process argv.(0) argv req_r resp_w Unix.stderr in
+  Unix.close req_r;
+  Unix.close resp_w;
+  let report =
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close resp_r with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid))
+      (fun () -> drive_fds ?window ?rate ~req_w ~resp_r requests)
+  in
+  report

@@ -1,0 +1,95 @@
+(** [bg loadgen] — the production-shaped workload replayer for
+    {!Server}.
+
+    A workload expands from one integer seed into a pool of distinct
+    decay spaces and a request trace over them with zipf-skewed
+    repetition — a few hot spaces dominate, a long tail appears once or
+    twice, which is the access pattern that makes a shared cache earn
+    its keep.  {!generate} is a pure function of the {!workload} record:
+    the same seed yields byte-identical request lines (and therefore
+    identical space digests server-side) on every run, at any driver
+    concurrency — the property behind the warm-restart cache-hit
+    acceptance test. *)
+
+val zipf_cdf : s:float -> n:int -> float array
+(** Cumulative distribution of the zipf([s]) law on ranks [1..n]
+    ([P(rank=k)] proportional to [k^-s]; [s = 0] is uniform).
+    @raise Invalid_argument if [n < 1]. *)
+
+val zipf_pick : Bg_prelude.Rng.t -> float array -> int
+(** Draw a 0-based rank by binary search over a {!zipf_cdf}. *)
+
+type workload = {
+  seed : int;
+  requests : int;
+  spaces : int;  (** distinct decay spaces in the pool *)
+  nodes : int;  (** nodes per space *)
+  zipf_s : float;  (** skew: 0 = uniform, larger = hotter head *)
+}
+
+val default_workload : workload
+(** [{seed = 1; requests = 2000; spaces = 200; nodes = 24;
+    zipf_s = 1.1}]. *)
+
+val generate : workload -> Protocol.request list
+(** Expand a workload into its request trace (ids [r000000], …).  Ops
+    mix roughly 60% zeta / 20% phi / 10% gamma / 5% summarize / 5%
+    estimate; estimate designs derive from the space rank so repeats of
+    a hot space repeat the full cache key.
+    @raise Invalid_argument on a non-positive size or a bad skew. *)
+
+type report = {
+  sent : int;
+  answered : int;  (** responses received (of any status) *)
+  ok : int;
+  rejected : int;  (** typed admission-control rejections *)
+  errors : int;
+  hits : int;
+  misses : int;
+  coalesced : int;
+  wall_s : float;
+  throughput_rps : float;  (** answered / wall *)
+  mean_s : float;  (** latency statistics over answered requests *)
+  p50_s : float;
+  p99_s : float;  (** exact sorted-sample quantiles, not bucketed *)
+}
+
+val hit_rate : report -> float
+(** [hits / ok] ([0.] when nothing succeeded). *)
+
+val build_report :
+  sent:int -> wall_s:float -> (Protocol.response * float) list -> report
+(** Fold [(response, latency_s)] observations into a report. *)
+
+val report_to_json : report -> Obs_tools.Jsonl.t
+val pp_report : Format.formatter -> report -> unit
+
+val drive_inproc :
+  ?window:int -> Server.t -> Protocol.request list -> report
+(** Replay a trace against an in-process engine, closed-loop with at
+    most [window] (default 32) requests in flight — tests and the perf
+    gate drive this. *)
+
+val drive_fds :
+  ?window:int ->
+  ?rate:float ->
+  req_w:Unix.file_descr ->
+  resp_r:Unix.file_descr ->
+  Protocol.request list ->
+  report
+(** Replay a trace against a daemon speaking the protocol over a pipe
+    pair: requests down [req_w] (closed at end-of-trace so the daemon
+    sees EOF), responses up [resp_r].  Closed-loop with a bounded
+    in-flight [window]; [rate] adds an open-loop cap (requests issued no
+    faster than [rate]/s).  Reads and writes are multiplexed with
+    [select] and writes are nonblocking, so a busy daemon cannot
+    deadlock the generator. *)
+
+val drive_subprocess :
+  ?window:int ->
+  ?rate:float ->
+  string array ->
+  Protocol.request list ->
+  report
+(** Spawn [argv] (a [bg serve] command line), {!drive_fds} the trace
+    through its stdin/stdout, reap it, and report. *)

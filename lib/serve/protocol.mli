@@ -1,0 +1,91 @@
+(** The JSONL wire schema of [bg serve] — typed requests and responses.
+
+    One request per line in, one response per line out.  A request names
+    an analysis [op], carries its decay space inline (matrix rows or CSV
+    text) or by file path, and is answered by exactly one response:
+    [ok] with the result, [rejected] under admission control (overload
+    is a first-class, immediate answer — never a hung connection), or
+    [error] for malformed or invalid input.
+
+    Request line shapes:
+    {v
+{"id":"r1","op":"zeta","space":{"name":"s","matrix":[[0,1.5],[1.2,0]]}}
+{"id":"r2","op":"gamma","r":4,"space":{"csv":"# name: s\n0,2\n2,0"}}
+{"id":"r3","op":"estimate","nodes":32,"replicates":6,"seed":7,
+ "space":{"file":"big.bgd"}}
+    v}
+
+    Response line shapes:
+    {v
+{"id":"r1","status":"ok","op":"zeta","cache":"hit|miss|coalesced",
+ "queue_wait_s":F,"batch":N,"elapsed_s":F,"result":{...}}
+{"id":"r9","status":"rejected","reason":"queue full (256 pending)"}
+{"id":"rX","status":"error","reason":"space: need one of matrix/csv/file"}
+    v}
+
+    Floats are serialized with [%.17g] ({!Obs_tools.Jsonl}), so a
+    workload generated from a seed produces bit-identical request lines
+    — and therefore identical space digests — on every run, which is
+    what makes the persistent cache hit across daemon restarts. *)
+
+type op =
+  | Zeta
+  | Phi
+  | Gamma of float  (** the separation [r > 0] *)
+  | Summarize
+  | Estimate of { nodes : int; replicates : int; seed : int }
+      (** stratified {!Bg_decay.Estimators.zeta} — for spaces too large
+          for the exact sweep *)
+
+type space_spec =
+  | Inline of string * float array array  (** name, decay rows *)
+  | Csv of string  (** CSV text, as accepted by {!Bg_decay.Decay_io.of_csv} *)
+  | File of string  (** path to a CSV or raw-binary matrix on the server *)
+
+type request = { id : string; op : op; space : space_spec }
+
+type cache_outcome =
+  | Hit  (** answered from the shared store (memory or disk) *)
+  | Miss  (** computed by this request *)
+  | Coalesced
+      (** computed once by a concurrent duplicate in the same batch *)
+
+type response =
+  | Done of {
+      id : string;
+      op_name : string;
+      result : Obs_tools.Jsonl.t;
+      cache : cache_outcome;
+      queue_wait_s : float;  (** admission to batch start *)
+      batch : int;  (** id of the batch that served it *)
+      elapsed_s : float;  (** admission to response *)
+    }
+  | Rejected of { id : string; reason : string }
+      (** shed by admission control; resubmit later *)
+  | Failed of { id : string; reason : string }
+
+val op_name : op -> string
+(** ["zeta"], ["phi"], ["gamma"], ["summarize"], ["estimate"]. *)
+
+val op_key : op -> string
+(** The op's contribution to the cache key: includes every parameter
+    that changes the result (gamma's [r], the estimator design), so
+    distinct questions about one space never collide in the store. *)
+
+val cache_outcome_name : cache_outcome -> string
+val response_id : response -> string
+
+val request_to_string : request -> string
+(** One JSONL line (no trailing newline). *)
+
+val request_of_string : string -> (request, string) result
+(** Parse one request line; [Error] carries a one-line reason suitable
+    for a [Failed] response. *)
+
+val request_to_json : request -> Obs_tools.Jsonl.t
+val request_of_json : Obs_tools.Jsonl.t -> (request, string) result
+
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result
+val response_to_json : response -> Obs_tools.Jsonl.t
+val response_of_json : Obs_tools.Jsonl.t -> (response, string) result

@@ -1,0 +1,606 @@
+(* The batched analysis engine behind `bg serve`.
+
+   Requests flow through three stages:
+
+     admission  a bounded queue (max_queue).  A request arriving at a
+                full queue is answered immediately with a typed
+                "rejected" response — overload sheds load instead of
+                collapsing latency, and the queue can never grow without
+                bound.
+     batching   up to batch_size queued requests are taken per cycle.
+                Within a batch, requests are keyed by space digest + op
+                parameters; concurrent duplicates coalesce onto a single
+                computation, and the shared store answers keys any
+                earlier batch (or an earlier daemon life, via the
+                persistent snapshot) already computed.
+     compute    the unique missing keys of a batch run in parallel on
+                the shared domain pool — one task per key with the
+                inner sweeps pinned sequential, so parallelism comes
+                from request-level fan-out; a batch with a single
+                missing key instead runs it on the caller with the full
+                configured job count, so large lone requests still use
+                the whole machine.  Either way results are bit-identical
+                (job counts never change results).  A compute exception
+                is caught inside its task and becomes a typed "error"
+                response: one poisoned request cannot cancel its batch
+                or crash the daemon.
+
+   Observability: one serve.request span per request (attrs: id, op,
+   batch, cache outcome, queue-wait and total latency), one serve.batch
+   span per cycle, serve.latency_s / serve.queue_wait_s histograms and
+   serve.{accepted,rejected,computed,...} counters — all through the
+   existing Obs registry, so `--metrics` and `--trace` just work. *)
+
+module P = Protocol
+module J = Obs_tools.Jsonl
+module D = Core.Decay.Decay_space
+module Io = Core.Decay.Decay_io
+module Met = Core.Decay.Metricity
+module Fad = Core.Decay.Fading
+module Stat = Core.Decay.Statistics
+module Est = Core.Decay.Estimators
+module Ctx = Core.Decay.Ctx
+module Par = Core.Prelude.Parallel
+module Obs = Core.Prelude.Obs
+module Rng = Core.Prelude.Rng
+
+type config = {
+  ctx : Ctx.t;
+  batch_size : int;
+  max_queue : int;
+  request_timeout_s : float option;
+  store : Store.t option;
+}
+
+let default_config =
+  {
+    ctx = Ctx.default;
+    batch_size = 32;
+    max_queue = 256;
+    request_timeout_s = None;
+    store = None;
+  }
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable failed : int;
+  mutable served : int;
+  mutable computed : int;
+  mutable store_hits : int;
+  mutable coalesced : int;
+  mutable batches : int;
+  mutable peak_queue : int;
+}
+
+type t = { config : config; stats : stats }
+
+let create config =
+  if config.batch_size < 1 then
+    invalid_arg "Server.create: batch_size must be positive";
+  if config.max_queue < 1 then
+    invalid_arg "Server.create: max_queue must be positive";
+  {
+    config;
+    stats =
+      {
+        accepted = 0; rejected = 0; failed = 0; served = 0; computed = 0;
+        store_hits = 0; coalesced = 0; batches = 0; peak_queue = 0;
+      };
+  }
+
+let stats t = t.stats
+
+let c_accepted = Obs.counter "serve.accepted"
+let c_rejected = Obs.counter "serve.rejected"
+let c_failed = Obs.counter "serve.failed"
+let c_computed = Obs.counter "serve.computed"
+let c_store_hits = Obs.counter "serve.store_hits"
+let c_coalesced = Obs.counter "serve.coalesced"
+let c_batches = Obs.counter "serve.batches"
+let h_latency = Obs.histogram "serve.latency_s"
+let h_queue_wait = Obs.histogram "serve.queue_wait_s"
+let h_batch_fill = Obs.histogram "serve.batch_fill"
+let batch_counter = Atomic.make 0
+
+(* ------------------------------------------------------------- compute *)
+
+let is_raw_file path =
+  match
+    In_channel.with_open_bin path (fun ic -> really_input_string ic 8)
+  with
+  | magic -> magic = "BGDECAY1"
+  | exception End_of_file -> false
+
+let resolve_space = function
+  | P.Inline (name, rows) -> D.of_matrix ~name rows
+  | P.Csv text -> Io.of_csv text
+  | P.File path ->
+      if is_raw_file path then Io.load_raw_mmap path else Io.load path
+
+let witness_json (w : Met.witness) =
+  J.Obj
+    [ ("x", J.Num (float_of_int w.x)); ("y", J.Num (float_of_int w.y));
+      ("z", J.Num (float_of_int w.z)) ]
+
+let compute ~ctx op space =
+  match op with
+  | P.Zeta ->
+      let w = Met.zeta_witness ~ctx space in
+      J.Obj [ ("zeta", J.Num w.value); ("witness", witness_json w) ]
+  | P.Phi ->
+      let w = Met.phi_witness ~ctx space in
+      J.Obj [ ("phi", J.Num w.value); ("witness", witness_json w) ]
+  | P.Gamma r ->
+      J.Obj [ ("gamma", J.Num (Fad.gamma ~ctx space ~r)); ("r", J.Num r) ]
+  | P.Summarize ->
+      let s = Stat.summarize ~ctx space in
+      J.Obj
+        [ ("n", J.Num (float_of_int s.n)); ("min_db", J.Num s.min_db);
+          ("max_db", J.Num s.max_db); ("median_db", J.Num s.median_db);
+          ("dynamic_range_db", J.Num s.dynamic_range_db);
+          ("asymmetry_db", J.Num s.asymmetry_db) ]
+  | P.Estimate { nodes; replicates; seed } ->
+      let e =
+        Est.zeta ~ctx ~replicates ~nodes (Rng.create seed)
+          (Est.of_space space)
+      in
+      J.Obj
+        [ ("zeta_lower", J.Num e.point); ("hi", J.Num e.hi);
+          ("confidence", J.Num e.confidence) ]
+
+let compute_guarded ~ctx ~timeout op space =
+  let body () =
+    match timeout with
+    | None -> compute ~ctx op space
+    | Some seconds -> Par.with_deadline ~seconds (fun () -> compute ~ctx op space)
+  in
+  match body () with
+  | v -> Ok v
+  | exception Par.Timeout -> Error "wall-clock budget exceeded"
+  | exception (Invalid_argument m | Failure m | Sys_error m) -> Error m
+
+(* ------------------------------------------------------------- batches *)
+
+(* What admission knows about a request once its space is resolved. *)
+type resolved =
+  | Bad of string (* unresolvable space: typed error *)
+  | Keyed of D.t * string (* space + full cache key *)
+
+let resolve req =
+  match resolve_space req.P.space with
+  | space ->
+      (* Hex, not the raw 16 MD5 bytes: the key must survive a JSONL
+         snapshot round-trip as printable text. *)
+      Keyed (space, Digest.to_hex (D.digest space) ^ "/" ^ P.op_key req.P.op)
+  | exception (Invalid_argument m | Failure m | Sys_error m) -> Bad m
+
+(* Process one batch of admitted requests (with their admission
+   timestamps).  Returns one response per request, in input order. *)
+let process_batch t reqs =
+  let cfg = t.config and st = t.stats in
+  let batch = 1 + Atomic.fetch_and_add batch_counter 1 in
+  let n = List.length reqs in
+  Obs.with_span "serve.batch"
+    ~attrs:[ ("batch", Obs.I batch); ("n", Obs.I n) ]
+    (fun () ->
+      Obs.observe h_batch_fill (float_of_int n);
+      let started_s = Obs.now_s () in
+      let resolved = List.map (fun (req, t0) -> (req, t0, resolve req)) reqs in
+      (* One compute per distinct key: the first requester owns it, later
+         duplicates coalesce.  Store hits skip compute entirely. *)
+      let owners = Hashtbl.create 16 in
+      let from_store = Hashtbl.create 16 in
+      List.iter
+        (fun (req, _, r) ->
+          match r with
+          | Bad _ -> ()
+          | Keyed (space, key) ->
+              if not (Hashtbl.mem owners key || Hashtbl.mem from_store key)
+              then begin
+                match Option.bind cfg.store (fun s -> Store.find s key) with
+                | Some v -> Hashtbl.add from_store key v
+                | None -> Hashtbl.add owners key (req.P.op, space)
+              end)
+        resolved;
+      let to_compute =
+        Hashtbl.fold (fun key (op, space) acc -> (key, op, space) :: acc)
+          owners []
+        (* Deterministic task order regardless of hashing. *)
+        |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+      in
+      let timeout = cfg.request_timeout_s in
+      let computed =
+        match to_compute with
+        | [] -> []
+        | [ (key, op, space) ] ->
+            (* A lone compute keeps the configured within-request
+               parallelism: nothing else to overlap it with. *)
+            [ (key, compute_guarded ~ctx:cfg.ctx ~timeout op space) ]
+        | _ ->
+            (* Several distinct keys: fan out across the pool, one task
+               per key, inner sweeps sequential.  Results are identical
+               either way; only the parallelism axis moves. *)
+            let seq_ctx = { cfg.ctx with Ctx.jobs = Some 1 } in
+            let tasks =
+              to_compute
+              |> List.map (fun (key, op, space) () ->
+                     Obs.with_span "serve.compute"
+                       ~attrs:
+                         [ ("op", Obs.S (P.op_name op));
+                           ("batch", Obs.I batch) ]
+                       (fun () ->
+                         (key, compute_guarded ~ctx:seq_ctx ~timeout op space)))
+              |> Array.of_list
+            in
+            Array.to_list (Par.run tasks)
+      in
+      let results = Hashtbl.create 16 in
+      List.iter
+        (fun (key, r) ->
+          Hashtbl.replace results key r;
+          match (r, cfg.store) with
+          | Ok v, Some store -> Store.add store key v
+          | _ -> ())
+        computed;
+      (* Assemble responses in input order; the first requester of a
+         computed key reports "miss", later duplicates "coalesced". *)
+      let miss_seen = Hashtbl.create 16 in
+      List.map
+        (fun (req, t0, r) ->
+          let finished_s = Obs.now_s () in
+          let queue_wait_s = Float.max 0. (started_s -. t0) in
+          let elapsed_s = Float.max 0. (finished_s -. t0) in
+          let outcome_of key =
+            if Hashtbl.mem from_store key then P.Hit
+            else if Hashtbl.mem miss_seen key then P.Coalesced
+            else begin
+              Hashtbl.add miss_seen key ();
+              P.Miss
+            end
+          in
+          let response =
+            match r with
+            | Bad reason -> P.Failed { id = req.P.id; reason }
+            | Keyed (_, key) -> (
+                let result =
+                  match Hashtbl.find_opt from_store key with
+                  | Some v -> Ok v
+                  | None -> (
+                      match Hashtbl.find_opt results key with
+                      | Some r -> r
+                      | None -> Error "internal: result missing")
+                in
+                match result with
+                | Error reason -> P.Failed { id = req.P.id; reason }
+                | Ok v ->
+                    P.Done
+                      {
+                        id = req.P.id;
+                        op_name = P.op_name req.P.op;
+                        result = v;
+                        cache = outcome_of key;
+                        queue_wait_s;
+                        batch;
+                        elapsed_s;
+                      })
+          in
+          (* The per-request span: wall time of the request itself lives
+             in the queue_wait_s / elapsed_s attrs (the span closes at
+             response assembly). *)
+          Obs.with_span "serve.request"
+            ~attrs:
+              [ ("id", Obs.S req.P.id);
+                ("op", Obs.S (P.op_name req.P.op));
+                ("batch", Obs.I batch);
+                ( "cache",
+                  Obs.S
+                    (match response with
+                    | P.Done { cache; _ } -> P.cache_outcome_name cache
+                    | P.Rejected _ -> "rejected"
+                    | P.Failed _ -> "error") );
+                ("queue_wait_s", Obs.F queue_wait_s);
+                ("elapsed_s", Obs.F elapsed_s) ]
+            (fun () ->
+              Obs.observe h_latency elapsed_s;
+              Obs.observe h_queue_wait queue_wait_s;
+              (match response with
+              | P.Done { cache; _ } ->
+                  st.served <- st.served + 1;
+                  (match cache with
+                  | P.Hit ->
+                      st.store_hits <- st.store_hits + 1;
+                      Obs.incr c_store_hits
+                  | P.Miss ->
+                      st.computed <- st.computed + 1;
+                      Obs.incr c_computed
+                  | P.Coalesced ->
+                      st.coalesced <- st.coalesced + 1;
+                      Obs.incr c_coalesced)
+              | P.Failed _ ->
+                  st.failed <- st.failed + 1;
+                  Obs.incr c_failed
+              | P.Rejected _ -> ());
+              response))
+        resolved)
+
+(* ---------------------------------------------------------------- loop *)
+
+type input =
+  [ `Req of string * (string -> unit) | `Nothing | `Eof ]
+
+type io = { read : block:bool -> input; flush : unit -> unit }
+
+let error_id line =
+  match J.parse line with
+  | exception J.Bad _ -> "?"
+  | j -> Option.value (J.mem_str "id" j) ~default:"?"
+
+let run_loop t io =
+  let cfg = t.config and st = t.stats in
+  let queue : (P.request * float * (string -> unit)) Queue.t =
+    Queue.create ()
+  in
+  let eof = ref false in
+  let admit line reply =
+    if Queue.length queue >= cfg.max_queue then begin
+      (* Shed load with a typed answer: the queue is bounded by
+         construction, and accepted requests keep a bounded wait. *)
+      st.rejected <- st.rejected + 1;
+      Obs.incr c_rejected;
+      reply
+        (P.response_to_string
+           (P.Rejected
+              {
+                id = error_id line;
+                reason =
+                  Printf.sprintf "queue full (%d pending)" cfg.max_queue;
+              }))
+    end
+    else
+      match P.request_of_string line with
+      | Error reason ->
+          st.failed <- st.failed + 1;
+          Obs.incr c_failed;
+          reply
+            (P.response_to_string (P.Failed { id = error_id line; reason }))
+      | Ok req ->
+          st.accepted <- st.accepted + 1;
+          Obs.incr c_accepted;
+          Queue.add (req, Obs.now_s (), reply) queue
+  in
+  let rec drain ~block =
+    if not !eof then
+      match io.read ~block with
+      | `Req (line, reply) ->
+          admit line reply;
+          drain ~block:false
+      | `Nothing -> ()
+      | `Eof -> eof := true
+  in
+  while not (!eof && Queue.is_empty queue) do
+    (* Block only when idle; once work is queued, take whatever input is
+       already waiting and get on with the batch. *)
+    drain ~block:(Queue.is_empty queue);
+    st.peak_queue <- max st.peak_queue (Queue.length queue);
+    if not (Queue.is_empty queue) then begin
+      let batch = ref [] in
+      let replies = ref [] in
+      while not (Queue.is_empty queue) && List.length !batch < cfg.batch_size
+      do
+        let req, t0, reply = Queue.take queue in
+        batch := (req, t0) :: !batch;
+        replies := reply :: !replies
+      done;
+      let responses = process_batch t (List.rev !batch) in
+      st.batches <- st.batches + 1;
+      Obs.incr c_batches;
+      List.iter2
+        (fun reply resp -> reply (P.response_to_string resp))
+        (List.rev !replies) responses;
+      io.flush ()
+    end
+  done;
+  io.flush ();
+  Option.iter Store.flush cfg.store;
+  st
+
+(* ------------------------------------------------- line-buffered reads *)
+
+(* A nonblocking-capable line reader over a raw fd: select decides
+   whether bytes are waiting, an internal buffer splits them into lines.
+   (Mixing select with OCaml's buffered channels would lose the bytes
+   already sitting in the channel buffer, hence the raw-fd version.) *)
+module Line_reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    buf : Buffer.t;
+    mutable lines : string list; (* complete lines, oldest first *)
+    mutable closed : bool;
+  }
+
+  let create fd = { fd; buf = Buffer.create 4096; lines = []; closed = false }
+
+  let split_buffer t =
+    let s = Buffer.contents t.buf in
+    match String.rindex_opt s '\n' with
+    | None -> ()
+    | Some last ->
+        let complete = String.sub s 0 last in
+        let rest = String.sub s (last + 1) (String.length s - last - 1) in
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf rest;
+        t.lines <-
+          t.lines
+          @ (String.split_on_char '\n' complete
+            |> List.filter (fun l -> String.trim l <> ""))
+
+  let read_chunk t =
+    let bytes = Bytes.create 65536 in
+    match Unix.read t.fd bytes 0 (Bytes.length bytes) with
+    | 0 -> t.closed <- true
+    | n ->
+        Buffer.add_subbytes t.buf bytes 0 n;
+        split_buffer t
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+  let readable ~timeout t =
+    match Unix.select [ t.fd ] [] [] timeout with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+  (* [`Line l | `Nothing | `Eof], never blocking longer than [block]'s
+     semantics: block=false polls, block=true waits for input or EOF. *)
+  let rec next ~block t =
+    match t.lines with
+    | l :: rest ->
+        t.lines <- rest;
+        `Line l
+    | [] ->
+        if t.closed then `Eof
+        else if readable ~timeout:(if block then -1. else 0.) t then begin
+          read_chunk t;
+          if t.lines = [] && not t.closed then
+            if block then next ~block t else `Nothing
+          else next ~block:false t
+        end
+        else `Nothing
+end
+
+(* --------------------------------------------------------- stdio daemon *)
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd bytes !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let serve_stdio config =
+  let t = create config in
+  let reader = Line_reader.create Unix.stdin in
+  let out = Buffer.create 65536 in
+  let reply line =
+    Buffer.add_string out line;
+    Buffer.add_char out '\n'
+  in
+  let io =
+    {
+      read =
+        (fun ~block ->
+          match Line_reader.next ~block reader with
+          | `Line l -> `Req (l, reply)
+          | `Nothing -> `Nothing
+          | `Eof -> `Eof);
+      flush =
+        (fun () ->
+          if Buffer.length out > 0 then begin
+            write_all Unix.stdout (Buffer.contents out);
+            Buffer.clear out
+          end);
+    }
+  in
+  run_loop t io
+
+(* -------------------------------------------------------- socket daemon *)
+
+(* A Unix-domain-socket front end: accept any number of clients, select
+   across them, answer each request on the connection it arrived on.
+   Responses are written synchronously (requests and responses are a few
+   KB; a client that stops reading only stalls its own connection's
+   replies).  The daemon stops on SIGINT/SIGTERM or, with [?max_requests],
+   after answering that many requests — the hook the smoke tests use. *)
+let serve_socket ?max_requests config path =
+  (match Sys.file_exists path with
+  | true -> Sys.remove path
+  | false -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 64;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let stop = ref false in
+  let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  let clients : (Unix.file_descr, Line_reader.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let answered = ref 0 in
+  let t = create config in
+  let drop fd =
+    Hashtbl.remove clients fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let reply_to fd line =
+    (try write_all fd (line ^ "\n")
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+     -> drop fd);
+    incr answered;
+    match max_requests with
+    | Some n when !answered >= n -> stop := true
+    | _ -> ()
+  in
+  (* Round-robin over client readers so one chatty client cannot starve
+     the rest: take at most one buffered line per client per call. *)
+  let read ~block =
+    let take_buffered () =
+      Hashtbl.fold
+        (fun fd r acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match Line_reader.next ~block:false r with
+              | `Line l -> Some (`Req (l, reply_to fd))
+              | `Eof ->
+                  drop fd;
+                  None
+              | `Nothing -> None))
+        clients None
+    in
+    let rec go block =
+      if !stop then `Eof
+      else
+        match take_buffered () with
+        | Some req -> req
+        | None -> (
+            let fds = listener :: Hashtbl.fold (fun fd _ a -> fd :: a) clients [] in
+            (* A finite timeout even when blocking, so signals and
+               max_requests are noticed promptly. *)
+            match Unix.select fds [] [] (if block then 0.25 else 0.) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Nothing
+            | [], _, _ -> if block then go block else `Nothing
+            | ready, _, _ ->
+                List.iter
+                  (fun fd ->
+                    if fd = listener then begin
+                      let client, _ = Unix.accept listener in
+                      Hashtbl.replace clients client
+                        (Line_reader.create client)
+                    end
+                    else
+                      match Hashtbl.find_opt clients fd with
+                      | None -> ()
+                      | Some r -> (
+                          Line_reader.read_chunk r;
+                          if r.Line_reader.closed && r.Line_reader.lines = []
+                          then drop fd))
+                  ready;
+                go block)
+    in
+    go block
+  in
+  let io = { read; flush = (fun () -> ()) } in
+  let finish () =
+    Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (try Sys.remove path with Sys_error _ -> ());
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term
+  in
+  Fun.protect ~finally:finish (fun () -> run_loop t io)

@@ -1,0 +1,97 @@
+(** The batched analysis engine behind [bg serve].
+
+    Requests pass through a bounded admission queue (overload is
+    answered immediately with a typed [rejected] response — the queue
+    never grows without bound), are taken in batches, keyed by space
+    digest + op parameters so concurrent duplicates coalesce onto one
+    computation, checked against the shared {!Store}, and the remaining
+    unique keys computed in parallel on the shared domain pool.  A
+    compute exception becomes a typed [error] response for that request
+    alone — one poisoned request cannot take down its batch or the
+    daemon.
+
+    Every request gets one [serve.request] span (queue-wait, batch id
+    and cache outcome as attrs) and lands in the [serve.latency_s] /
+    [serve.queue_wait_s] histograms; admission and batch counters are
+    [serve.*] in the {!Bg_prelude.Obs} registry. *)
+
+type config = {
+  ctx : Core.Decay.Ctx.t;  (** analysis context shared by all requests *)
+  batch_size : int;  (** max requests taken per batch (default 32) *)
+  max_queue : int;
+      (** admission bound; arrivals beyond it are rejected (default 256) *)
+  request_timeout_s : float option;
+      (** per-compute wall-clock budget; overruns answer [error] *)
+  store : Store.t option;  (** shared (optionally persistent) result cache *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected : int;  (** shed by admission control *)
+  mutable failed : int;  (** parse errors + compute errors *)
+  mutable served : int;  (** [ok] responses *)
+  mutable computed : int;  (** cache misses actually computed *)
+  mutable store_hits : int;
+  mutable coalesced : int;  (** duplicates folded into a batch-mate *)
+  mutable batches : int;
+  mutable peak_queue : int;  (** high-water mark; [<= max_queue] always *)
+}
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument if [batch_size < 1] or [max_queue < 1]. *)
+
+val stats : t -> stats
+
+val process_batch :
+  t -> (Protocol.request * float) list -> Protocol.response list
+(** Serve one batch of [(request, admission_time)] pairs (admission
+    times from {!Bg_prelude.Obs.now_s}); responses come back in input
+    order.  Exposed for tests and in-process drivers — the daemon loops
+    call it internally. *)
+
+type input =
+  [ `Req of string * (string -> unit)
+    (** a request line plus the reply function for its response line *)
+  | `Nothing  (** nothing available right now (only when not blocking) *)
+  | `Eof ]
+
+type io = {
+  read : block:bool -> input;
+      (** [block:true] may wait for input; [block:false] must poll *)
+  flush : unit -> unit;  (** called after each batch's replies *)
+}
+
+(** A nonblocking-capable line reader over a raw fd (select + internal
+    buffer) — the daemons' input stage, reused by {!Loadgen}'s pipe
+    driver for the response stream. *)
+module Line_reader : sig
+  type t
+
+  val create : Unix.file_descr -> t
+
+  val read_chunk : t -> unit
+  (** Pull whatever bytes are ready (never blocks a nonblocking fd). *)
+
+  val next : block:bool -> t -> [ `Line of string | `Nothing | `Eof ]
+  (** Next complete line; with [block:false] this only polls. *)
+end
+
+val run_loop : t -> io -> stats
+(** The generic serve loop over any transport: drain available input
+    (blocking only when idle), take a batch, reply in order, flush;
+    finish when [`Eof] and the queue is empty.  Flushes the store on
+    exit. *)
+
+val serve_stdio : config -> stats
+(** The [bg serve] stdin/stdout daemon: JSONL requests on stdin, JSONL
+    responses on stdout, until EOF. *)
+
+val serve_socket : ?max_requests:int -> config -> string -> stats
+(** The Unix-domain-socket daemon: listen at [path] (an existing file
+    there is replaced), serve any number of concurrent clients, answer
+    each request on the connection it arrived on.  Stops on SIGINT /
+    SIGTERM, or after [max_requests] answers when given. *)

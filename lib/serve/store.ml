@@ -1,0 +1,118 @@
+(* The persistent cross-restart result store.
+
+   In memory this is exactly one Bg_prelude.Memo table (so the serve
+   store and the in-process analysis caches share a single bound-and-
+   evict policy: max-entries cap, per-entry LRU eviction, hit/miss/
+   eviction counters mirrored into the Obs registry under memo.store).
+   On disk it is a JSONL snapshot — one {"key":K,"result":V} line per
+   entry, least recently used first — written atomically through
+   Decay_io.with_atomic_out, so a crash mid-flush can never clobber the
+   previous snapshot with a torn one.
+
+   Loading is corruption-tolerant by construction: the snapshot is
+   advisory cache state, so a line that fails to parse, or parses to
+   something without the expected fields, is counted and skipped — a
+   damaged entry costs one recompute, never a crashed daemon.  Entries
+   are replayed through Memo.set in file order, which reproduces the
+   LRU recency the snapshot was written in. *)
+
+module J = Obs_tools.Jsonl
+module Memo = Core.Prelude.Memo
+module Obs = Core.Prelude.Obs
+
+type t = {
+  memo : (string, J.t) Memo.t;
+  path : string option;
+  flush_every : int;
+  lock : Mutex.t; (* guards [dirty] and serializes flushes *)
+  mutable dirty : int;
+  loaded : int;
+  corrupt : int;
+}
+
+let c_corrupt = Obs.counter "store.corrupt_dropped"
+let c_loaded = Obs.counter "store.loaded"
+let c_flushes = Obs.counter "store.flushes"
+
+let header = J.Obj [ ("type", J.Str "bg-serve-store"); ("version", J.Num 1.) ]
+
+(* Read a snapshot leniently: unreadable file -> empty store; bad line ->
+   skip and count.  Returns entries in file order (LRU order). *)
+let read_snapshot path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> ([], 0)
+  | text ->
+      let entries = ref [] and corrupt = ref 0 in
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             let line = String.trim line in
+             if line <> "" then
+               match J.parse line with
+               | exception J.Bad _ -> incr corrupt
+               | j -> (
+                   match (J.mem_str "type" j, J.mem_str "key" j,
+                          J.member "result" j) with
+                   | Some "bg-serve-store", _, _ -> () (* header line *)
+                   | _, Some key, Some result ->
+                       entries := (key, result) :: !entries
+                   | _ -> incr corrupt));
+      (List.rev !entries, !corrupt)
+
+let open_ ?(max_entries = 4096) ?(flush_every = 256) ?path () =
+  if flush_every < 1 then
+    invalid_arg "Store.open_: flush_every must be positive";
+  let memo = Memo.create ~max_size:max_entries ~name:"store" () in
+  let loaded, corrupt =
+    match path with
+    | None -> (0, 0)
+    | Some p ->
+        let entries, corrupt = read_snapshot p in
+        List.iter (fun (k, v) -> Memo.set memo k v) entries;
+        (List.length entries, corrupt)
+  in
+  Obs.add c_loaded loaded;
+  Obs.add c_corrupt corrupt;
+  { memo; path; flush_every; lock = Mutex.create (); dirty = 0; loaded;
+    corrupt }
+
+let find t key = Memo.find_opt t.memo key
+
+let flush t =
+  match t.path with
+  | None -> ()
+  | Some path ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          Core.Decay.Decay_io.with_atomic_out path (fun oc ->
+              output_string oc (J.to_string header);
+              output_char oc '\n';
+              List.iter
+                (fun (key, result) ->
+                  output_string oc
+                    (J.to_string
+                       (J.Obj [ ("key", J.Str key); ("result", result) ]));
+                  output_char oc '\n')
+                (Memo.to_alist t.memo));
+          t.dirty <- 0;
+          Obs.incr c_flushes)
+
+let add t key v =
+  Memo.set t.memo key v;
+  let need_flush =
+    Mutex.lock t.lock;
+    t.dirty <- t.dirty + 1;
+    let f = t.dirty >= t.flush_every && t.path <> None in
+    Mutex.unlock t.lock;
+    f
+  in
+  if need_flush then flush t
+
+let length t = Memo.length t.memo
+let hits t = Memo.hits t.memo
+let misses t = Memo.misses t.memo
+let evictions t = Memo.evictions t.memo
+let loaded t = t.loaded
+let corrupt_dropped t = t.corrupt
+let path t = t.path

@@ -1,0 +1,50 @@
+(** The digest-keyed result store shared across requests {e and} daemon
+    restarts.
+
+    In memory this is one {!Bg_prelude.Memo} table — the same
+    max-entries cap and per-entry LRU eviction policy as the in-process
+    analysis caches, with hit/miss/eviction counters mirrored into the
+    {!Bg_prelude.Obs} registry as [memo.store.*].  On disk it is a JSONL
+    snapshot (one [{"key":K,"result":V}] line per entry, least recently
+    used first) written atomically through
+    {!Bg_decay.Decay_io.with_atomic_out}: a crash mid-flush can never
+    clobber the previous snapshot with a torn one.
+
+    Loading is corruption-tolerant: a line that fails to parse — or
+    parses to something without the expected fields — is counted
+    ([store.corrupt_dropped]) and skipped.  A damaged entry costs one
+    recompute, never a crashed daemon. *)
+
+type t
+
+val open_ : ?max_entries:int -> ?flush_every:int -> ?path:string -> unit -> t
+(** Open a store capped at [max_entries] (default 4096, LRU-evicted).
+    With [?path], the snapshot at [path] is loaded (leniently; a missing
+    file is an empty store) and {!add} re-snapshots every [flush_every]
+    (default 256) inserts.  Without [?path] the store is memory-only.
+    @raise Invalid_argument if [flush_every < 1]. *)
+
+val find : t -> string -> Obs_tools.Jsonl.t option
+(** Cached result under a key ([<digest>/<op_key>]); refreshes LRU
+    recency and counts a hit or miss. *)
+
+val add : t -> string -> Obs_tools.Jsonl.t -> unit
+(** Insert a computed result, evicting LRU entries beyond the cap, and
+    snapshot to disk when the flush threshold is reached. *)
+
+val flush : t -> unit
+(** Snapshot to disk now (atomic temp-file + rename).  No-op for a
+    memory-only store.  Call on daemon shutdown. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val loaded : t -> int
+(** Entries restored from the snapshot at {!open_}. *)
+
+val corrupt_dropped : t -> int
+(** Damaged snapshot lines skipped at {!open_}. *)
+
+val path : t -> string option

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "beyond-geometry"
-    (Test_prelude.suite @ Test_geom.suite @ Test_graph.suite @ Test_decay.suite @ Test_radio.suite @ Test_sinr.suite @ Test_capacity.suite @ Test_sched.suite @ Test_distrib.suite @ Test_integration.suite @ Test_extensions.suite @ Test_protocols.suite @ Test_io_stats.suite @ Test_rates_cognitive.suite @ Test_laws.suite @ Test_flow_diagram.suite @ Test_experiments.suite @ Test_point3.suite @ Test_kernels.suite @ Test_estimators.suite @ Test_robustness.suite @ Test_obs.suite @ Test_trace_tools.suite)
+    (Test_prelude.suite @ Test_geom.suite @ Test_graph.suite @ Test_decay.suite @ Test_radio.suite @ Test_sinr.suite @ Test_capacity.suite @ Test_sched.suite @ Test_distrib.suite @ Test_integration.suite @ Test_extensions.suite @ Test_protocols.suite @ Test_io_stats.suite @ Test_rates_cognitive.suite @ Test_laws.suite @ Test_flow_diagram.suite @ Test_experiments.suite @ Test_point3.suite @ Test_kernels.suite @ Test_estimators.suite @ Test_robustness.suite @ Test_obs.suite @ Test_trace_tools.suite @ Test_serve.suite)

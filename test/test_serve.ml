@@ -1,0 +1,636 @@
+(* The serving layer: wire protocol round-trips, the zipf workload
+   generator (skew, bit-reproducibility, analytic cache floor), the
+   batching engine (coalescing, overload shedding, error isolation,
+   serve-vs-direct result identity), the persistent store (LRU cap,
+   corruption tolerance, warm-restart hit rate) and the end-to-end pipe
+   driver against a real spawned daemon. *)
+
+module P = Bg_serve.Protocol
+module Server = Bg_serve.Server
+module Store = Bg_serve.Store
+module L = Bg_serve.Loadgen
+module J = Obs_tools.Jsonl
+module D = Core.Decay.Decay_space
+module Met = Core.Decay.Metricity
+module Fad = Core.Decay.Fading
+module Ctx = Core.Decay.Ctx
+module Memo = Core.Prelude.Memo
+module Rng = Core.Prelude.Rng
+module Obs = Core.Prelude.Obs
+open Testutil
+
+let check_exact_float msg a b = check_true msg (Float.equal a b)
+
+let tiny_matrix = [| [| 0.; 1.5; 2. |]; [| 1.2; 0.; 3. |]; [| 2.; 1.; 0. |] |]
+
+let req ?(id = "r1") op =
+  { P.id; op; space = P.Inline ("tiny", tiny_matrix) }
+
+let engine ?(batch_size = 32) ?(max_queue = 256) ?request_timeout_s ?store ()
+    =
+  Server.create
+    {
+      Server.ctx = Ctx.make ~jobs:1 ~cache:false ();
+      batch_size;
+      max_queue;
+      request_timeout_s;
+      store;
+    }
+
+(* Feed requests through the engine one batch at a time (no windowing);
+   returns responses in order. *)
+let serve_all ?store reqs =
+  let t = engine ?store () in
+  let now = Obs.now_s () in
+  List.concat_map
+    (fun batch -> Server.process_batch t (List.map (fun r -> (r, now)) batch))
+    [ reqs ]
+
+(* ------------------------------------------------------------ protocol *)
+
+let test_request_round_trip () =
+  let reqs =
+    [
+      req P.Zeta;
+      req ~id:"p" P.Phi;
+      req ~id:"g" (P.Gamma 4.);
+      req ~id:"s" P.Summarize;
+      req ~id:"e" (P.Estimate { nodes = 8; replicates = 3; seed = 9 });
+      { P.id = "c"; op = P.Zeta; space = P.Csv "0,2\n2,0" };
+      { P.id = "f"; op = P.Phi; space = P.File "/tmp/x.csv" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.request_of_string (P.request_to_string r) with
+      | Error e -> Alcotest.failf "round-trip failed: %s" e
+      | Ok r' ->
+          check_true "round-trip preserves the request" (r = r'))
+    reqs
+
+let test_request_rejects_garbage () =
+  let bad line =
+    match P.request_of_string line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  bad "not json";
+  bad {|{"op":"zeta","space":{"csv":"0"}}|};
+  (* no id *)
+  bad {|{"id":"x","space":{"csv":"0"}}|};
+  (* no op *)
+  bad {|{"id":"x","op":"zeta"}|};
+  (* no space *)
+  bad {|{"id":"x","op":"warp","space":{"csv":"0"}}|};
+  bad {|{"id":"x","op":"gamma","space":{"csv":"0"}}|};
+  (* gamma needs r *)
+  bad {|{"id":"x","op":"gamma","r":-1,"space":{"csv":"0"}}|};
+  bad {|{"id":"x","op":"zeta","space":{}}|}
+
+let test_response_round_trip () =
+  let resps =
+    [
+      P.Done
+        {
+          id = "a";
+          op_name = "zeta";
+          result = J.Obj [ ("zeta", J.Num 1.5) ];
+          cache = P.Coalesced;
+          queue_wait_s = 0.25;
+          batch = 7;
+          elapsed_s = 0.5;
+        };
+      P.Rejected { id = "b"; reason = "queue full (8 pending)" };
+      P.Failed { id = "c"; reason = "boom" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.response_of_string (P.response_to_string r) with
+      | Error e -> Alcotest.failf "round-trip failed: %s" e
+      | Ok r' -> check_true "round-trip preserves the response" (r = r'))
+    resps
+
+(* The op key must separate different questions about the same space. *)
+let test_op_key_separates_params () =
+  check_true "gamma keys differ by r" (P.op_key (P.Gamma 2.) <> P.op_key (P.Gamma 4.));
+  check_true "estimate keys differ by design"
+    (P.op_key (P.Estimate { nodes = 8; replicates = 3; seed = 0 })
+    <> P.op_key (P.Estimate { nodes = 8; replicates = 4; seed = 0 }));
+  check_true "ops key apart" (P.op_key P.Zeta <> P.op_key P.Phi)
+
+(* ---------------------------------------------------------------- zipf *)
+
+let test_zipf_cdf_shape () =
+  let cdf = L.zipf_cdf ~s:1.1 ~n:50 in
+  check_int "cdf length" 50 (Array.length cdf);
+  check_float ~eps:1e-12 "cdf ends at 1" 1. cdf.(49);
+  for i = 1 to 49 do
+    check_true "cdf is increasing" (cdf.(i) > cdf.(i - 1))
+  done;
+  (* Uniform special case: s = 0 gives equal mass. *)
+  let u = L.zipf_cdf ~s:0. ~n:4 in
+  check_float ~eps:1e-12 "s=0 is uniform" 0.25 u.(0)
+
+(* Empirical skew matches the nominal exponent: regress log(count) on
+   log(rank) over the well-populated head and compare the slope. *)
+let test_zipf_skew_matches_exponent () =
+  let s = 1.2 and n = 50 and draws = 200_000 in
+  let cdf = L.zipf_cdf ~s ~n in
+  let g = rng 42 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = L.zipf_pick g cdf in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let head = 15 in
+  let xs = Array.init head (fun k -> log (float_of_int (k + 1))) in
+  let ys = Array.init head (fun k -> log (float_of_int counts.(k))) in
+  let mean a = Array.fold_left ( +. ) 0. a /. float_of_int head in
+  let mx = mean xs and my = mean ys in
+  let num = ref 0. and den = ref 0. in
+  for i = 0 to head - 1 do
+    num := !num +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    den := !den +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  let slope = !num /. !den in
+  check_true
+    (Printf.sprintf "fitted slope %.3f within 0.1 of -%.1f" slope s)
+    (Float.abs (slope +. s) < 0.1)
+
+let test_zipf_pick_is_deterministic () =
+  let cdf = L.zipf_cdf ~s:1.1 ~n:20 in
+  let draw seed = List.init 100 (fun _ -> L.zipf_pick (rng seed) cdf) in
+  check_true "same seed, same picks" (draw 5 = draw 5);
+  check_true "picks in range"
+    (List.for_all (fun k -> k >= 0 && k < 20) (draw 5))
+
+(* ------------------------------------------------------------ workload *)
+
+let small_workload =
+  { L.seed = 3; requests = 120; spaces = 15; nodes = 8; zipf_s = 1.1 }
+
+let test_generate_is_bit_reproducible () =
+  let lines w = List.map P.request_to_string (L.generate w) in
+  let a = lines small_workload and b = lines small_workload in
+  check_true "identical request lines from one seed" (a = b);
+  let c = lines { small_workload with seed = 4 } in
+  check_true "different seed, different trace" (a <> c)
+
+let test_generate_validates () =
+  let bad w =
+    match L.generate w with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "accepted a bad workload"
+  in
+  bad { small_workload with requests = 0 };
+  bad { small_workload with spaces = 0 };
+  bad { small_workload with nodes = 2 };
+  bad { small_workload with zipf_s = -1. }
+
+(* Replay is reproducible at any concurrency: the same trace driven at
+   window 1 and window 16 yields the same id -> result mapping. *)
+let test_replay_reproducible_at_any_concurrency () =
+  let reqs = L.generate small_workload in
+  let results window =
+    let t = engine ~store:(Store.open_ ()) () in
+    ignore (L.drive_inproc ~window t reqs : L.report);
+    ()
+  in
+  ignore results;
+  let run window =
+    let t = engine ~store:(Store.open_ ()) () in
+    let tbl = Hashtbl.create 64 in
+    let lines = List.map P.request_to_string reqs in
+    let remaining = ref lines in
+    let inflight = ref 0 in
+    let read ~block:_ =
+      match !remaining with
+      | [] -> `Eof
+      | line :: rest ->
+          if !inflight >= window then `Nothing
+          else begin
+            remaining := rest;
+            incr inflight;
+            `Req
+              ( line,
+                fun resp ->
+                  decr inflight;
+                  match P.response_of_string resp with
+                  | Ok (P.Done { id; result; _ }) ->
+                      Hashtbl.replace tbl id (J.to_string result)
+                  | _ -> () )
+          end
+    in
+    ignore (Server.run_loop t { Server.read; flush = (fun () -> ()) });
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  check_true "window 1 and window 16 give identical results"
+    (run 1 = run 16)
+
+(* Duplicate-heavy trace: misses = distinct cache keys, everything else
+   answered from the store or coalesced — so the hit floor is exactly
+   1 - distinct/requests, minus what coalescing absorbed. *)
+let test_hit_rate_meets_analytic_floor () =
+  let w = { small_workload with requests = 200 } in
+  let reqs = L.generate w in
+  let distinct =
+    List.sort_uniq compare
+      (List.map
+         (fun r ->
+           match r.P.space with
+           | P.Inline (name, _) -> name ^ "/" ^ P.op_key r.P.op
+           | _ -> assert false)
+         reqs)
+    |> List.length
+  in
+  let t = engine ~store:(Store.open_ ()) () in
+  let report = L.drive_inproc ~window:16 t reqs in
+  check_int "all answered" report.L.sent report.L.answered;
+  check_int "all ok" report.L.sent report.L.ok;
+  check_int "misses = distinct keys" distinct report.L.misses;
+  check_int "hits + coalesced cover every repeat"
+    (report.L.sent - distinct)
+    (report.L.hits + report.L.coalesced);
+  let floor =
+    float_of_int (report.L.sent - distinct - report.L.coalesced)
+    /. float_of_int report.L.sent
+  in
+  check_true
+    (Printf.sprintf "hit rate %.3f >= analytic floor %.3f"
+       (L.hit_rate report) floor)
+    (L.hit_rate report >= floor -. 1e-9)
+
+(* -------------------------------------------------------------- engine *)
+
+let test_serve_matches_direct_computation () =
+  let space = D.of_matrix ~name:"tiny" tiny_matrix in
+  let ctx = Ctx.make ~jobs:1 ~cache:false () in
+  let get_num field = function
+    | P.Done { result; _ } -> Option.get (J.mem_num field result)
+    | _ -> Alcotest.fail "expected an ok response"
+  in
+  match serve_all [ req P.Zeta; req ~id:"g" (P.Gamma 4.) ] with
+  | [ zeta_resp; gamma_resp ] ->
+      check_exact_float "zeta equals the direct sweep"
+        (Met.zeta_witness ~ctx space).value
+        (get_num "zeta" zeta_resp);
+      check_exact_float "gamma equals the direct kernel"
+        (Fad.gamma ~ctx space ~r:4.)
+        (get_num "gamma" gamma_resp)
+  | other -> Alcotest.failf "expected 2 responses, got %d" (List.length other)
+
+let test_batch_coalesces_duplicates () =
+  let reqs = List.init 5 (fun i -> req ~id:(Printf.sprintf "d%d" i) P.Zeta) in
+  let responses = serve_all reqs in
+  let outcomes =
+    List.filter_map
+      (function P.Done { cache; _ } -> Some cache | _ -> None)
+      responses
+  in
+  check_int "five answers" 5 (List.length outcomes);
+  check_int "exactly one miss" 1
+    (List.length (List.filter (( = ) P.Miss) outcomes));
+  check_int "four coalesced" 4
+    (List.length (List.filter (( = ) P.Coalesced) outcomes))
+
+(* One poisoned request (estimate on a space smaller than its design)
+   answers a typed error; its batch-mates are unaffected. *)
+let test_error_isolated_to_its_request () =
+  let poisoned =
+    req ~id:"bad" (P.Estimate { nodes = 64; replicates = 2; seed = 0 })
+  in
+  match serve_all [ req P.Zeta; poisoned; req ~id:"z2" P.Phi ] with
+  | [ P.Done _; P.Failed { id = "bad"; _ }; P.Done _ ] -> ()
+  | other ->
+      Alcotest.failf "unexpected shapes: %s"
+        (String.concat " | " (List.map P.response_to_string other))
+
+(* Unresolvable spaces (bad matrix, missing file) answer errors too. *)
+let test_bad_space_answers_error () =
+  let bad_matrix =
+    { P.id = "m"; op = P.Zeta;
+      space = P.Inline ("bad", [| [| 0.; -1. |]; [| 1.; 0. |] |]) }
+  in
+  let bad_file =
+    { P.id = "f"; op = P.Zeta; space = P.File "/nonexistent/nope.csv" }
+  in
+  match serve_all [ bad_matrix; bad_file; req P.Zeta ] with
+  | [ P.Failed { id = "m"; _ }; P.Failed { id = "f"; _ }; P.Done _ ] -> ()
+  | other ->
+      Alcotest.failf "unexpected shapes: %s"
+        (String.concat " | " (List.map P.response_to_string other))
+
+(* Overload: with a tiny queue and an eager client, surplus requests are
+   shed with typed rejections, every id is answered exactly once, and
+   the queue never exceeds its bound. *)
+let test_overload_sheds_with_typed_rejections () =
+  let max_queue = 8 in
+  let t = engine ~batch_size:4 ~max_queue () in
+  let total = 100 in
+  let lines =
+    List.init total (fun i ->
+        P.request_to_string (req ~id:(Printf.sprintf "o%d" i) P.Zeta))
+  in
+  let remaining = ref lines in
+  let answered : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let read ~block:_ =
+    match !remaining with
+    | [] -> `Eof
+    | line :: rest ->
+        remaining := rest;
+        `Req
+          ( line,
+            fun resp ->
+              match P.response_of_string resp with
+              | Ok r ->
+                  let id = P.response_id r in
+                  if Hashtbl.mem answered id then
+                    Alcotest.failf "id %s answered twice" id;
+                  Hashtbl.replace answered id
+                    (match r with
+                    | P.Done _ -> "ok"
+                    | P.Rejected _ -> "rejected"
+                    | P.Failed _ -> "error")
+              | Error e -> Alcotest.failf "bad response line: %s" e )
+  in
+  let stats = Server.run_loop t { Server.read; flush = (fun () -> ()) } in
+  check_int "every id answered exactly once" total (Hashtbl.length answered);
+  check_true "some requests were shed" (stats.Server.rejected > 0);
+  check_int "accepted + rejected = sent" total
+    (stats.Server.accepted + stats.Server.rejected);
+  check_true
+    (Printf.sprintf "peak queue %d within bound %d" stats.Server.peak_queue
+       max_queue)
+    (stats.Server.peak_queue <= max_queue);
+  check_int "rejections are typed"
+    stats.Server.rejected
+    (Hashtbl.fold
+       (fun _ v acc -> if v = "rejected" then acc + 1 else acc)
+       answered 0)
+
+(* Malformed lines answer an error and the stream keeps flowing. *)
+let test_malformed_line_does_not_stop_the_stream () =
+  let t = engine () in
+  let inputs =
+    [ "this is not json"; P.request_to_string (req P.Zeta);
+      {|{"id":"q","op":"warp","space":{"csv":"0"}}|} ]
+  in
+  let remaining = ref inputs in
+  let got = ref [] in
+  let read ~block:_ =
+    match !remaining with
+    | [] -> `Eof
+    | line :: rest ->
+        remaining := rest;
+        `Req (line, fun resp -> got := resp :: !got)
+  in
+  ignore (Server.run_loop t { Server.read; flush = (fun () -> ()) });
+  (* Parse errors are answered at admission, before batch-mates compute,
+     so only the multiset of outcomes is specified — not their order. *)
+  let statuses =
+    List.rev_map
+      (fun line ->
+        match P.response_of_string line with
+        | Ok (P.Done _) -> "ok"
+        | Ok (P.Failed _) -> "error"
+        | Ok (P.Rejected _) -> "rejected"
+        | Error _ -> "unparseable")
+      !got
+    |> List.sort compare
+  in
+  check_true "two errors and one ok" (statuses = [ "error"; "error"; "ok" ])
+
+(* A request that overruns the per-request budget answers a typed error
+   while the rest of its batch completes. *)
+let test_request_timeout_answers_error () =
+  let t = engine ~request_timeout_s:1e-9 () in
+  let big =
+    let g = rng 11 in
+    Array.init 48 (fun i ->
+        Array.init 48 (fun j ->
+            if i = j then 0. else 0.5 +. Rng.float g 10.))
+  in
+  let reqs = [ { P.id = "slow"; op = P.Zeta; space = P.Inline ("big", big) } ] in
+  let now = Obs.now_s () in
+  match Server.process_batch t (List.map (fun r -> (r, now)) reqs) with
+  | [ P.Failed { id = "slow"; reason } ] ->
+      check_true "reason mentions the budget"
+        (String.length reason > 0)
+  | other ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat " | " (List.map P.response_to_string other))
+
+(* --------------------------------------------------------------- store *)
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bg_serve_test_%d_%s" (Unix.getpid ()) name)
+
+let with_tmp name f =
+  let path = tmp_path name in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_store_persists_across_reopen () =
+  with_tmp "persist.jsonl" (fun path ->
+      let s = Store.open_ ~path () in
+      Store.add s "k1" (J.Num 1.);
+      Store.add s "k2" (J.Obj [ ("v", J.Str "two") ]);
+      Store.flush s;
+      let s' = Store.open_ ~path () in
+      check_int "both entries restored" 2 (Store.loaded s');
+      check_true "k1 round-trips" (Store.find s' "k1" = Some (J.Num 1.));
+      check_true "k2 round-trips"
+        (Store.find s' "k2" = Some (J.Obj [ ("v", J.Str "two") ])))
+
+let test_store_tolerates_corruption () =
+  with_tmp "corrupt.jsonl" (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            ("{\"type\":\"bg-serve-store\",\"version\":1}\n"
+           ^ "{\"key\":\"good\",\"result\":{\"zeta\":2}}\n"
+           ^ "this line is garbage\n" ^ "{\"key\":\"truncated\"\n"
+           ^ "{\"no_key\":true}\n"
+           ^ "{\"key\":\"also-good\",\"result\":3}\n"));
+      let s = Store.open_ ~path () in
+      check_int "good entries loaded" 2 (Store.loaded s);
+      check_int "damaged lines counted" 3 (Store.corrupt_dropped s);
+      check_true "good entry readable"
+        (Store.find s "good" = Some (J.Obj [ ("zeta", J.Num 2.) ]));
+      (* Missing file is an empty store, not a crash. *)
+      let s2 = Store.open_ ~path:(tmp_path "never-written.jsonl") () in
+      check_int "missing file loads empty" 0 (Store.loaded s2))
+
+let test_store_lru_cap_and_snapshot_order () =
+  with_tmp "lru.jsonl" (fun path ->
+      let s = Store.open_ ~max_entries:3 ~path () in
+      List.iter
+        (fun k -> Store.add s k (J.Str k))
+        [ "a"; "b"; "c" ];
+      (* Touch a so b is now the least recently used. *)
+      ignore (Store.find s "a");
+      Store.add s "d" (J.Str "d");
+      check_int "capped at 3" 3 (Store.length s);
+      check_true "b was evicted (LRU)" (Store.find s "b" = None);
+      check_true "a survived (recently used)" (Store.find s "a" <> None);
+      check_true "evictions counted" (Store.evictions s >= 1);
+      Store.flush s;
+      (* The snapshot reproduces both content and LRU order. *)
+      let s' = Store.open_ ~max_entries:3 ~path () in
+      check_int "reloaded the capped set" 3 (Store.loaded s');
+      check_true "d present after reload" (Store.find s' "d" <> None))
+
+(* Per-entry LRU in the underlying Memo: recently used entries survive
+   an overflowing insert; only the stalest is dropped. *)
+let test_memo_per_entry_lru () =
+  let m = Memo.create ~max_size:3 () in
+  Memo.set m "a" 1;
+  Memo.set m "b" 2;
+  Memo.set m "c" 3;
+  ignore (Memo.find_opt m "a");
+  Memo.set m "d" 4;
+  check_int "still 3 entries" 3 (Memo.length m);
+  check_true "b (least recently used) evicted" (Memo.find_opt m "b" = None);
+  check_true "a survived" (Memo.find_opt m "a" = Some 1);
+  check_true "d inserted" (Memo.find_opt m "d" = Some 4);
+  check_int "one eviction" 1 (Memo.evictions m);
+  (* to_alist is LRU-first: the next victim leads. *)
+  let order = List.map fst (Memo.to_alist m) in
+  check_int "alist covers the table" 3 (List.length order)
+
+(* -------------------------------------------------------- warm restart *)
+
+let test_warm_restart_hits_persisted_cache () =
+  with_tmp "warm.jsonl" (fun path ->
+      let reqs = L.generate small_workload in
+      let cold =
+        L.drive_inproc ~window:8 (engine ~store:(Store.open_ ~path ()) ()) reqs
+      in
+      check_int "cold run all ok" cold.L.sent cold.L.ok;
+      check_true "cold run computed something" (cold.L.misses > 0);
+      (* "Restart": a fresh engine + store loaded from the snapshot. *)
+      let warm =
+        L.drive_inproc ~window:8 (engine ~store:(Store.open_ ~path ()) ()) reqs
+      in
+      check_int "warm run all ok" warm.L.sent warm.L.ok;
+      check_int "warm run recomputes nothing" 0 warm.L.misses;
+      check_true
+        (Printf.sprintf "warm hit rate %.3f >= 0.9" (L.hit_rate warm))
+        (L.hit_rate warm >= 0.9))
+
+(* ------------------------------------------------- end-to-end daemon *)
+
+(* Under `dune runtest` the cwd is _build/default/test (the dep puts the
+   binary one level up); under `dune exec` from the root it is the
+   project root. *)
+let bg_exe =
+  List.find_opt Sys.file_exists
+    [ "../bin/bg.exe"; "_build/default/bin/bg.exe" ]
+  |> Option.value ~default:"../bin/bg.exe"
+
+let test_pipe_driver_against_real_daemon () =
+  if not (Sys.file_exists bg_exe) then
+    Alcotest.skip ()
+  else begin
+    let w = { L.seed = 5; requests = 60; spaces = 10; nodes = 8; zipf_s = 1.1 } in
+    let reqs = L.generate w in
+    let report =
+      L.drive_subprocess ~window:8
+        [| bg_exe; "serve"; "--batch-size"; "8"; "--jobs"; "2" |]
+        reqs
+    in
+    check_int "every request answered" report.L.sent report.L.answered;
+    check_int "all ok" report.L.sent report.L.ok;
+    check_true "throughput measured" (report.L.throughput_rps > 0.);
+    check_true "p99 covers p50" (report.L.p99_s >= report.L.p50_s)
+  end
+
+(* CLI validation (satellite): nonsense resource flags are one-line
+   exit-2 answers, before any work starts. *)
+let test_cli_rejects_bad_resource_flags () =
+  if not (Sys.file_exists bg_exe) then Alcotest.skip ()
+  else begin
+    let exit_of args =
+      match
+        Unix.system
+          (Filename.quote_command bg_exe args ~stdin:"/dev/null"
+             ~stdout:"/dev/null" ~stderr:"/dev/null")
+      with
+      | Unix.WEXITED c -> c
+      | _ -> -1
+    in
+    check_int "--jobs 0 rejected" 2 (exit_of [ "bench"; "--jobs"; "0" ]);
+    check_int "--jobs -3 rejected" 2 (exit_of [ "bench"; "--jobs=-3" ]);
+    check_int "negative timeout rejected" 2
+      (exit_of [ "experiment"; "E1"; "--timeout=-1" ]);
+    check_int "negative retries rejected" 2
+      (exit_of [ "experiment"; "E1"; "--retries=-2" ]);
+    check_int "serve --batch-size 0 rejected" 2
+      (exit_of [ "serve"; "--batch-size"; "0" ]);
+    check_int "serve --max-queue 0 rejected" 2
+      (exit_of [ "serve"; "--max-queue"; "0" ]);
+    check_int "loadgen --window 0 rejected" 2
+      (exit_of [ "loadgen"; "--window"; "0" ])
+  end
+
+let suite =
+  [
+    ( "serve.protocol",
+      [
+        case "request round-trip" test_request_round_trip;
+        case "garbage rejected with reasons" test_request_rejects_garbage;
+        case "response round-trip" test_response_round_trip;
+        case "op keys separate parameters" test_op_key_separates_params;
+      ] );
+    ( "serve.zipf",
+      [
+        case "cdf shape" test_zipf_cdf_shape;
+        case "empirical skew matches exponent" test_zipf_skew_matches_exponent;
+        case "picks deterministic and in range" test_zipf_pick_is_deterministic;
+      ] );
+    ( "serve.workload",
+      [
+        case "bit-reproducible from seed" test_generate_is_bit_reproducible;
+        case "bad workloads rejected" test_generate_validates;
+        case "replay identical at any concurrency"
+          test_replay_reproducible_at_any_concurrency;
+        case "hit rate meets the analytic floor"
+          test_hit_rate_meets_analytic_floor;
+      ] );
+    ( "serve.engine",
+      [
+        case "results equal direct computation"
+          test_serve_matches_direct_computation;
+        case "duplicates coalesce in a batch" test_batch_coalesces_duplicates;
+        case "compute error isolated to its request"
+          test_error_isolated_to_its_request;
+        case "bad spaces answer typed errors" test_bad_space_answers_error;
+        case "overload sheds with typed rejections"
+          test_overload_sheds_with_typed_rejections;
+        case "malformed line does not stop the stream"
+          test_malformed_line_does_not_stop_the_stream;
+        case "request timeout answers typed error"
+          test_request_timeout_answers_error;
+      ] );
+    ( "serve.store",
+      [
+        case "persists across reopen" test_store_persists_across_reopen;
+        case "tolerates snapshot corruption" test_store_tolerates_corruption;
+        case "LRU cap and snapshot order" test_store_lru_cap_and_snapshot_order;
+        case "memo evicts per entry, LRU first" test_memo_per_entry_lru;
+      ] );
+    ( "serve.restart",
+      [
+        case "warm restart hits the persisted cache"
+          test_warm_restart_hits_persisted_cache;
+      ] );
+    ( "serve.e2e",
+      [
+        case "pipe driver against a spawned daemon"
+          test_pipe_driver_against_real_daemon;
+        case "CLI rejects bad resource flags"
+          test_cli_rejects_bad_resource_flags;
+      ] );
+  ]
