@@ -121,27 +121,44 @@ let run_suite ?(reps = 5) ?(large = false) () =
   in
   let serve =
     (* The serving path end to end, in process: parse + admission +
-       digest-coalescing batches + store lookups over a zipf trace.  A
-       fresh engine and store per rep keeps every rep cold. *)
+       digest-coalescing batches + store lookups + WAL journaling over a
+       zipf trace.  A fresh engine and store (with a real on-disk WAL —
+       the gate must price the journal's write path) per rep keeps every
+       rep cold. *)
     let reqs =
       Bg_serve.Loadgen.generate
         { Bg_serve.Loadgen.seed = 17; requests = 400; spaces = 60;
           nodes = 10; zipf_s = 1.1 }
     in
     measure ~name:"serve_inproc_400" ~reps (fun () ->
-        let t =
-          Bg_serve.Server.create
-            {
-              Bg_serve.Server.ctx = seq_uncached;
-              batch_size = 32;
-              max_queue = 256;
-              request_timeout_s = None;
-              store = Some (Bg_serve.Store.open_ ());
-            }
-        in
-        let r = Bg_serve.Loadgen.drive_inproc ~window:32 t reqs in
-        if r.Bg_serve.Loadgen.answered <> r.Bg_serve.Loadgen.sent then
-          failwith "serve_inproc_400: dropped requests")
+        let dir = Filename.temp_file "bg-bench-store" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        let path = Filename.concat dir "store.jsonl" in
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+              (Sys.readdir dir);
+            try Unix.rmdir dir with _ -> ())
+          (fun () ->
+            let store = Bg_serve.Store.open_ ~path () in
+            let t =
+              Bg_serve.Server.create
+                {
+                  Bg_serve.Server.ctx = seq_uncached;
+                  batch_size = 32;
+                  max_queue = 256;
+                  request_timeout_s = None;
+                  store = Some store;
+                  degrade = None;
+                  chaos = None;
+                }
+            in
+            let r = Bg_serve.Loadgen.drive_inproc ~window:32 t reqs in
+            Bg_serve.Store.close store;
+            if r.Bg_serve.Loadgen.answered <> r.Bg_serve.Loadgen.sent then
+              failwith "serve_inproc_400: dropped requests"))
   in
   let base = [ zeta_seq; phi_seq; gamma; cached; parse; span_off; serve ] in
   if not large then base

@@ -911,8 +911,50 @@ let request_timeout_arg =
           "Wall-clock budget per computed request; an overrun answers a \
            typed error instead of stalling the batch pipeline.")
 
-let serve_config ~jobs ~batch_size ~max_queue ~cache ~cache_entries
-    ~request_timeout =
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Seeded fault injection (testing only): a comma-separated spec \
+           of torn=P, drop=P, corrupt=P, stall=P:SECONDS and \
+           crash=POINT:N clauses (POINT one of mid-batch, pre-snapshot, \
+           mid-snapshot). Equal spec and --chaos-seed replay identical \
+           fault schedules.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-seed" ] ~docv:"N"
+        ~doc:"Seed for the --chaos fault schedule.")
+
+let degrade_watermark_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "degrade-watermark" ] ~docv:"N"
+        ~doc:
+          "Enable degraded mode: when the backlog behind a batch reaches \
+           $(docv), cache-missing zeta/phi/gamma requests are answered \
+           from the estimator tier (tagged degraded:true, with a \
+           confidence interval) instead of waiting for exact sweeps.")
+
+let degrade_above_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "degrade-above" ] ~docv:"N"
+        ~doc:
+          "Enable degraded mode for big spaces: requests on spaces with \
+           at least $(docv) nodes always answer from the estimator tier.")
+
+(* Validate the serve flag set up front (exit 2, before any daemon or
+   store side effects) and return the builders the two modes share:
+   [make_chaos] and [make_config] — --supervise must validate without
+   opening the store in the parent. *)
+let serve_settings ~batch_size ~max_queue ~cache ~cache_entries
+    ~request_timeout ~chaos ~chaos_seed ~degrade_watermark ~degrade_above =
   if batch_size < 1 then
     user_error "--batch-size must be at least 1 (got %d)" batch_size;
   if max_queue < 1 then
@@ -923,16 +965,55 @@ let serve_config ~jobs ~batch_size ~max_queue ~cache ~cache_entries
   | Some t when not (t > 0.) ->
       user_error "--request-timeout must be positive (got %g)" t
   | _ -> ());
-  let store =
-    Bg_serve.Store.open_ ~max_entries:cache_entries ?path:cache ()
+  let chaos_spec =
+    match chaos with
+    | None -> None
+    | Some text -> (
+        match Bg_serve.Chaos.parse text with
+        | Ok spec -> Some spec
+        | Error msg -> user_error "--chaos: %s" msg)
   in
-  {
-    Bg_serve.Server.ctx = Core.Decay.Ctx.make ~jobs ();
-    batch_size;
-    max_queue;
-    request_timeout_s = request_timeout;
-    store = Some store;
-  }
+  (match degrade_watermark with
+  | Some w when w < 1 ->
+      user_error "--degrade-watermark must be at least 1 (got %d)" w
+  | _ -> ());
+  (match degrade_above with
+  | Some n when n < 3 -> user_error "--degrade-above must be at least 3 (got %d)" n
+  | _ -> ());
+  let degrade =
+    match (degrade_watermark, degrade_above) with
+    | None, None -> None
+    | w, a ->
+        let d = Bg_serve.Server.default_degrade in
+        Some
+          {
+            d with
+            Bg_serve.Server.queue_watermark =
+              Option.value w ~default:d.Bg_serve.Server.queue_watermark;
+            big_n = Option.value a ~default:d.Bg_serve.Server.big_n;
+          }
+  in
+  let make_chaos () =
+    Option.map
+      (fun spec -> Bg_serve.Chaos.create ~seed:chaos_seed spec)
+      chaos_spec
+  in
+  let make_config ~jobs () =
+    let chaos = make_chaos () in
+    let store =
+      Bg_serve.Store.open_ ~max_entries:cache_entries ?path:cache ?chaos ()
+    in
+    {
+      Bg_serve.Server.ctx = Core.Decay.Ctx.make ~jobs ();
+      batch_size;
+      max_queue;
+      request_timeout_s = request_timeout;
+      store = Some store;
+      degrade;
+      chaos;
+    }
+  in
+  make_config
 
 (* The stats summary goes to stderr: in stdio mode stdout carries the
    response stream and must stay clean JSONL. *)
@@ -941,13 +1022,24 @@ let print_serve_summary (st : Bg_serve.Server.stats) =
   let h = Obs.histogram "serve.latency_s" in
   Printf.eprintf
     "bg serve: %d accepted, %d rejected, %d errors | %d computed, %d \
-     cache hits, %d coalesced | %d batches, peak queue %d | latency p50 \
-     %.4gs p99 %.4gs\n\
+     cache hits, %d coalesced, %d degraded | %d batches, peak queue %d | \
+     latency p50 %.4gs p99 %.4gs\n\
      %!"
     st.accepted st.rejected st.failed st.computed st.store_hits st.coalesced
-    st.batches st.peak_queue
+    st.degraded st.batches st.peak_queue
     (Obs.histogram_quantile h 0.50)
     (Obs.histogram_quantile h 0.99)
+
+let supervise_arg =
+  Arg.(
+    value & flag
+    & info [ "supervise" ]
+        ~doc:
+          "Run the daemon under a supervisor that respawns it after a \
+           crash (capped exponential backoff). The worker inherits the \
+           supervisor's stdio, so clients keep their pipes across \
+           restarts; the WAL-backed --cache preserves every journaled \
+           answer. Supervision ends on a clean exit or a usage error.")
 
 let serve_cmd =
   let socket_arg =
@@ -969,41 +1061,87 @@ let serve_cmd =
              tests and bounded sessions).")
   in
   let run socket max_requests batch_size max_queue cache cache_entries
-      request_timeout jobs trace profile metrics =
+      request_timeout chaos chaos_seed degrade_watermark degrade_above
+      supervise jobs trace profile metrics =
     let jobs = apply_jobs jobs in
     apply_obs ~profile trace;
     (match max_requests with
     | Some n when n < 1 ->
         user_error "--max-requests must be at least 1 (got %d)" n
     | _ -> ());
-    let config =
-      serve_config ~jobs ~batch_size ~max_queue ~cache ~cache_entries
-        ~request_timeout
+    let make_config =
+      serve_settings ~batch_size ~max_queue ~cache ~cache_entries
+        ~request_timeout ~chaos ~chaos_seed ~degrade_watermark ~degrade_above
     in
-    let stats =
-      or_user_error (fun () ->
-          match socket with
-          | None -> Bg_serve.Server.serve_stdio config
-          | Some path ->
-              Bg_serve.Server.serve_socket ?max_requests config path)
-    in
-    print_serve_summary stats;
-    finish_obs metrics
+    if supervise then begin
+      (* Validation already ran above; the worker re-runs it cheaply.
+         The store opens in the worker only, so each incarnation replays
+         the WAL itself. *)
+      let argv =
+        Array.of_list
+          ([ Sys.executable_name; "serve"; "--batch-size";
+             string_of_int batch_size; "--max-queue";
+             string_of_int max_queue; "--cache-entries";
+             string_of_int cache_entries; "--jobs"; string_of_int jobs ]
+          @ (match cache with Some f -> [ "--cache"; f ] | None -> [])
+          @ (match request_timeout with
+            | Some t -> [ "--request-timeout"; string_of_float t ]
+            | None -> [])
+          @ (match chaos with
+            | Some s ->
+                [ "--chaos"; s; "--chaos-seed"; string_of_int chaos_seed ]
+            | None -> [])
+          @ (match degrade_watermark with
+            | Some w -> [ "--degrade-watermark"; string_of_int w ]
+            | None -> [])
+          @ (match degrade_above with
+            | Some n -> [ "--degrade-above"; string_of_int n ]
+            | None -> [])
+          @ (match socket with Some p -> [ "--socket"; p ] | None -> [])
+          @ (match max_requests with
+            | Some n -> [ "--max-requests"; string_of_int n ]
+            | None -> []))
+      in
+      let outcome = or_user_error (fun () -> Bg_serve.Supervisor.run argv) in
+      Printf.eprintf "bg serve: supervisor exiting after %d restart(s)\n%!"
+        outcome.Bg_serve.Supervisor.restarts;
+      match outcome.Bg_serve.Supervisor.final_status with
+      | Unix.WEXITED 0 -> finish_obs metrics
+      | Unix.WEXITED c -> exit c
+      | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> exit 1
+    end
+    else begin
+      let config = make_config ~jobs () in
+      let stats =
+        or_user_error (fun () ->
+            match socket with
+            | None -> Bg_serve.Server.serve_stdio config
+            | Some path ->
+                Bg_serve.Server.serve_socket ?max_requests config path)
+      in
+      print_serve_summary stats;
+      finish_obs metrics
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the batched analysis daemon: JSONL requests (zeta, phi, \
-          gamma, summarize, estimate) on stdin or a Unix socket, JSONL \
-          responses out. Requests pass a bounded admission queue \
+          gamma, summarize, estimate, ping) on stdin or a Unix socket, \
+          JSONL responses out. Requests pass a bounded admission queue \
           (overload gets a typed rejection), batch-mates with the same \
           space digest coalesce onto one computation, and results land \
-          in a shared cache that persists across restarts with --cache.")
+          in a crash-safe cache (WAL + snapshot) that persists across \
+          restarts with --cache. Under load or on huge spaces, \
+          --degrade-watermark/--degrade-above answer from the estimator \
+          tier instead of shedding; --chaos injects seeded faults for \
+          resilience testing; --supervise restarts a crashed daemon.")
     Term.(
       const run $ socket_arg $ max_requests_arg $ batch_size_arg
       $ max_queue_arg $ cache_file_arg $ cache_entries_arg
-      $ request_timeout_arg $ jobs_arg $ trace_arg $ profile_arg
-      $ metrics_arg)
+      $ request_timeout_arg $ chaos_arg $ chaos_seed_arg
+      $ degrade_watermark_arg $ degrade_above_arg $ supervise_arg $ jobs_arg
+      $ trace_arg $ profile_arg $ metrics_arg)
 
 (* -------------------------------------------------------------- loadgen *)
 
@@ -1054,10 +1192,33 @@ let loadgen_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable report (workload + results).")
   in
-  let run requests spaces nodes zipf seed window rate json batch_size
-      max_queue cache cache_entries request_timeout jobs trace profile
-      metrics =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request deadline: attempts unanswered after $(docv) \
+             seconds are re-sent with jittered exponential backoff \
+             (requests are idempotent by cache key, so retries are safe).")
+  in
+  let client_retries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "client-retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget per request beyond the first attempt; \
+             exhausted requests are reported as given up.")
+  in
+  let run requests spaces nodes zipf seed window rate json deadline
+      client_retries chaos chaos_seed supervise batch_size max_queue cache
+      cache_entries request_timeout jobs trace profile metrics =
     apply_obs ~profile trace;
+    if requests < 1 then
+      user_error "--requests must be at least 1 (got %d)" requests;
+    if spaces < 1 then user_error "--spaces must be at least 1 (got %d)" spaces;
+    if nodes < 1 then user_error "--nodes must be at least 1 (got %d)" nodes;
     if window < 1 then user_error "--window must be at least 1 (got %d)" window;
     (match rate with
     | Some r when not (r > 0.) -> user_error "--rate must be positive (got %g)" r
@@ -1065,6 +1226,39 @@ let loadgen_cmd =
     (match jobs with
     | Some j when j < 1 -> user_error "--jobs must be at least 1 (got %d)" j
     | _ -> ());
+    (match deadline with
+    | Some d when not (d > 0.) ->
+        user_error "--deadline must be positive (got %g)" d
+    | _ -> ());
+    (match client_retries with
+    | Some n when n < 0 ->
+        user_error "--client-retries must be nonnegative (got %d)" n
+    | _ -> ());
+    (* Parse the chaos spec here too: a bad spec should be this
+       command's exit-2, not a cryptic child death mid-run. *)
+    (match chaos with
+    | Some text -> (
+        match Bg_serve.Chaos.parse text with
+        | Ok _ -> ()
+        | Error msg -> user_error "--chaos: %s" msg)
+    | None -> ());
+    let client =
+      match (deadline, client_retries) with
+      | None, None -> None
+      | d, r ->
+          let c = Bg_serve.Client.default_config in
+          let config =
+            {
+              c with
+              Bg_serve.Client.deadline_s =
+                (match d with
+                | Some _ -> d
+                | None -> c.Bg_serve.Client.deadline_s);
+              max_retries = Option.value r ~default:c.Bg_serve.Client.max_retries;
+            }
+          in
+          Some (Bg_serve.Client.create ~config ~seed ())
+    in
     let workload = { L.seed; requests; spaces; nodes; zipf_s = zipf } in
     let trace_reqs = or_user_error (fun () -> L.generate workload) in
     (* The daemon under test is this very binary: loadgen spawns
@@ -1081,11 +1275,15 @@ let loadgen_cmd =
           | None -> [])
         @ (match jobs with
           | Some j -> [ "--jobs"; string_of_int j ]
-          | None -> []))
+          | None -> [])
+        @ (match chaos with
+          | Some s -> [ "--chaos"; s; "--chaos-seed"; string_of_int chaos_seed ]
+          | None -> [])
+        @ (if supervise then [ "--supervise" ] else []))
     in
     let report =
       or_user_error (fun () ->
-          L.drive_subprocess ~window ?rate argv trace_reqs)
+          L.drive_subprocess ~window ?rate ?client argv trace_reqs)
     in
     Format.printf "%a@." L.pp_report report;
     Option.iter
@@ -1106,6 +1304,26 @@ let loadgen_cmd =
                             ("zipf", Obs_tools.Jsonl.Num zipf);
                             ( "window",
                               Obs_tools.Jsonl.Num (float_of_int window) ) ] );
+                      ( "resilience",
+                        Obs_tools.Jsonl.Obj
+                          ((match chaos with
+                           | Some s ->
+                               [ ("chaos", Obs_tools.Jsonl.Str s);
+                                 ( "chaos_seed",
+                                   Obs_tools.Jsonl.Num
+                                     (float_of_int chaos_seed) ) ]
+                           | None -> [])
+                          @ (match deadline with
+                            | Some d ->
+                                [ ("deadline_s", Obs_tools.Jsonl.Num d) ]
+                            | None -> [])
+                          @ (match client_retries with
+                            | Some n ->
+                                [ ( "client_retries",
+                                    Obs_tools.Jsonl.Num (float_of_int n) ) ]
+                            | None -> [])
+                          @ [ ("supervise", Obs_tools.Jsonl.Bool supervise) ])
+                      );
                       ("report", L.report_to_json report) ]
                 in
                 output_string oc (Obs_tools.Jsonl.to_string j);
@@ -1128,13 +1346,17 @@ let loadgen_cmd =
          "Generate a reproducible production-shaped workload (zipf-skewed \
           repeats over a pool of decay spaces) and replay it against a \
           spawned `bg serve` daemon, closed-loop at --window concurrency \
-          (optionally rate-capped). Reports throughput, p50/p99 latency \
-          and cache outcomes; exits nonzero if any request goes \
-          unanswered.")
+          (optionally rate-capped). With --deadline/--client-retries the \
+          driver retries lost or late answers under seeded backoff; \
+          --chaos/--supervise pass fault injection and supervision \
+          through to the daemon. Reports throughput, p50/p99 latency, \
+          cache outcomes and resilience counters; exits nonzero if any \
+          request goes unanswered.")
     Term.(
       const run $ requests_arg $ spaces_arg $ lg_nodes_arg $ zipf_arg
-      $ seed_arg $ window_arg $ rate_arg $ json_out_arg $ batch_size_arg
-      $ max_queue_arg $ cache_file_arg $ cache_entries_arg
+      $ seed_arg $ window_arg $ rate_arg $ json_out_arg $ deadline_arg
+      $ client_retries_arg $ chaos_arg $ chaos_seed_arg $ supervise_arg
+      $ batch_size_arg $ max_queue_arg $ cache_file_arg $ cache_entries_arg
       $ request_timeout_arg $ jobs_arg $ trace_arg $ profile_arg
       $ metrics_arg)
 

@@ -1,0 +1,13 @@
+(** E30 — resilient serving under injected faults.
+
+    Drives a seeded zipf workload through the {!Bg_serve} chaos harness:
+    dropped, torn and corrupted response lines plus a mid-batch crash,
+    against a WAL-backed {!Bg_serve.Store} and a retrying
+    {!Bg_serve.Client} policy.  Asserts exactly one answer per request
+    id, journal recovery across the crash (warm re-drive recomputes
+    nothing, hit rate at least 0.5), and that every durable answer
+    equals the direct computation — chaos never corrupts results, only
+    wires.  The whole run replays from two integers (workload seed,
+    chaos seed). *)
+
+val e30_resilient_serving : unit -> Outcome.t

@@ -67,6 +67,8 @@ let all =
       run = Exp_ablation.e28_alg1_ablation };
     { id = "E29"; claim = "robustness: corrupted measurements repair-or-reject, never crash";
       run = Exp_robustness.e29_fault_injection };
+    { id = "E30"; claim = "resilience: chaos-injected serving answers exactly once, recovers the journal";
+      run = Exp_serving.e30_resilient_serving };
   ]
 
 let find id =

@@ -105,3 +105,19 @@ let sample g k arr =
 let choice g arr =
   if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
   arr.(int g (Array.length arr))
+
+(* Exponential backoff with "equal jitter": half the nominal delay is
+   deterministic, the other half uniform — retries spread out instead of
+   synchronizing, yet the delay never collapses to zero.  The schedule is
+   a pure function of (generator state, attempt), so a seeded client
+   replays the same retry timing on every run. *)
+let backoff g ~attempt ~base ~cap =
+  if attempt < 0 then invalid_arg "Rng.backoff: attempt must be >= 0";
+  if not (base > 0.) then invalid_arg "Rng.backoff: base must be positive";
+  if not (cap >= base) then invalid_arg "Rng.backoff: cap must be >= base";
+  let nominal =
+    (* 2^attempt without overflow: saturate at the cap early. *)
+    let rec grow d k = if k = 0 || d >= cap then d else grow (d *. 2.) (k - 1) in
+    Float.min cap (grow base attempt)
+  in
+  (nominal /. 2.) +. float g (nominal /. 2.)

@@ -64,3 +64,13 @@ val sample : t -> int -> 'a array -> 'a array
 
 val choice : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)
+
+val backoff : t -> attempt:int -> base:float -> cap:float -> float
+(** [backoff g ~attempt ~base ~cap] is the delay (seconds) before retry
+    number [attempt] (0-based): exponential growth [base * 2^attempt]
+    capped at [cap], with "equal jitter" — half deterministic, half drawn
+    uniformly from [g] — so concurrent retries de-synchronize without
+    ever collapsing to zero.  Always in [[nominal/2, nominal)].  Seeded
+    clients replay identical schedules.
+    @raise Invalid_argument if [attempt < 0], [base <= 0] or
+    [cap < base]. *)

@@ -1,0 +1,262 @@
+(* The typed retrying client for `bg serve`.
+
+   Retries are safe by construction: requests are idempotent (a repeat
+   of the same line resolves to the same cache key, and at worst costs
+   one extra cache hit), so the client may re-send on any failure —
+   deadline overrun, torn line, corrupt payload, dead connection —
+   without risk of double effects.  The policy half of this module is
+   transport-free and drives Loadgen's pipe driver too; the conn half
+   speaks the Unix-socket transport directly.
+
+   Backoff is exponential with seeded "equal jitter" (Rng.backoff): a
+   fleet of clients created from distinct seeds de-synchronizes its
+   retry storms, while one client replays an identical schedule from its
+   seed — determinism survives the failure path.
+
+   The circuit breaker trips after breaker_threshold consecutive
+   failures: further requests fail fast (no network, no wait) until
+   breaker_cooldown_s has passed, then exactly one probe is let through
+   (half-open); its outcome closes or re-opens the breaker.  This keeps
+   a dead daemon from absorbing max_retries * backoff of latency per
+   request — and gives a supervised restart a quiet window to come
+   back. *)
+
+module P = Protocol
+module Obs = Core.Prelude.Obs
+module Rng = Core.Prelude.Rng
+
+type config = {
+  deadline_s : float option;
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+}
+
+let default_config =
+  {
+    deadline_s = Some 5.;
+    max_retries = 4;
+    backoff_base_s = 0.02;
+    backoff_cap_s = 1.;
+    breaker_threshold = 8;
+    breaker_cooldown_s = 0.5;
+  }
+
+type breaker_state = Closed | Open | Half_open
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  mutable consecutive_failures : int;
+  mutable state : breaker_state;
+  mutable opened_at : float;
+  mutable retries : int;
+  mutable breaker_opens : int;
+}
+
+let c_retries = Obs.counter "client.retries"
+let c_breaker_opens = Obs.counter "client.breaker_opens"
+let c_corrupt = Obs.counter "client.corrupt_lines"
+let c_deadline = Obs.counter "client.deadline_misses"
+
+let create ?(config = default_config) ~seed () =
+  if config.max_retries < 0 then
+    invalid_arg "Client.create: max_retries must be >= 0";
+  if not (config.backoff_base_s > 0.) then
+    invalid_arg "Client.create: backoff_base_s must be positive";
+  if config.backoff_cap_s < config.backoff_base_s then
+    invalid_arg "Client.create: backoff_cap_s must be >= backoff_base_s";
+  if config.breaker_threshold < 1 then
+    invalid_arg "Client.create: breaker_threshold must be positive";
+  (match config.deadline_s with
+  | Some d when not (d > 0.) ->
+      invalid_arg "Client.create: deadline_s must be positive"
+  | _ -> ());
+  {
+    config;
+    rng = Rng.create seed;
+    consecutive_failures = 0;
+    state = Closed;
+    opened_at = neg_infinity;
+    retries = 0;
+    breaker_opens = 0;
+  }
+
+let config t = t.config
+let retries t = t.retries
+let breaker_opens t = t.breaker_opens
+let breaker_state t = t.state
+
+let backoff_s t ~attempt =
+  Rng.backoff t.rng ~attempt ~base:t.config.backoff_base_s
+    ~cap:t.config.backoff_cap_s
+
+let count_retry t =
+  t.retries <- t.retries + 1;
+  Obs.incr c_retries
+
+let record_success t =
+  t.consecutive_failures <- 0;
+  t.state <- Closed
+
+let record_failure t ~now =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  match t.state with
+  | Half_open ->
+      (* The probe failed: back to fully open, cooldown restarts. *)
+      t.state <- Open;
+      t.opened_at <- now
+  | Closed when t.consecutive_failures >= t.config.breaker_threshold ->
+      t.state <- Open;
+      t.opened_at <- now;
+      t.breaker_opens <- t.breaker_opens + 1;
+      Obs.incr c_breaker_opens
+  | Closed | Open -> ()
+
+(* May a request go out right now?  Closed: yes.  Open: only once the
+   cooldown has elapsed, and that admission moves to half-open — exactly
+   one probe carries the breaker's fate. *)
+let admit t ~now =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+      if now -. t.opened_at >= t.config.breaker_cooldown_s then begin
+        t.state <- Half_open;
+        true
+      end
+      else false
+
+(* ------------------------------------------------------ the connection *)
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd bytes !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+type conn = {
+  policy : t;
+  path : string;
+  mutable fd : Unix.file_descr option;
+  mutable reader : Server.Line_reader.t option;
+  mutable corrupt_seen : int;
+}
+
+let connect policy path =
+  { policy; path; fd = None; reader = None; corrupt_seen = 0 }
+
+let disconnect conn =
+  (match conn.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  conn.fd <- None;
+  conn.reader <- None
+
+let close = disconnect
+let corrupt_seen conn = conn.corrupt_seen
+
+let ensure_connected conn =
+  match (conn.fd, conn.reader) with
+  | Some fd, Some r -> Ok (fd, r)
+  | _ -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX conn.path) with
+      | () ->
+          let r = Server.Line_reader.create fd in
+          conn.fd <- Some fd;
+          conn.reader <- Some r;
+          Ok (fd, r)
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Printf.sprintf "connect %s: %s" conn.path
+                   (Unix.error_message e)))
+
+(* One wire attempt: send the line, read until a well-formed response
+   with the request's id arrives or the deadline passes.  Corrupt lines
+   (chaos-mangled JSON, checksum-garbled payloads) are counted and
+   skipped — the caller never sees them — and responses for other ids
+   (stale answers from an earlier timed-out attempt) are ignored. *)
+let attempt conn req =
+  match ensure_connected conn with
+  | Error e -> Error e
+  | Ok (fd, reader) -> (
+      let line = P.request_to_string req ^ "\n" in
+      match write_all fd line with
+      | exception Unix.Unix_error (e, _, _) ->
+          disconnect conn;
+          Error ("write: " ^ Unix.error_message e)
+      | () ->
+          let deadline =
+            Option.map (fun d -> Obs.now_s () +. d) conn.policy.config.deadline_s
+          in
+          let rec await () =
+            match Server.Line_reader.next ~block:false reader with
+            | `Line l -> (
+                match P.response_of_string l with
+                | Ok resp when P.response_id resp = req.P.id -> Ok resp
+                | Ok _ -> await () (* stale id from a prior attempt *)
+                | Error _ ->
+                    conn.corrupt_seen <- conn.corrupt_seen + 1;
+                    Obs.incr c_corrupt;
+                    await ())
+            | `Eof ->
+                disconnect conn;
+                Error "connection closed by server"
+            | `Nothing -> (
+                let timeout =
+                  match deadline with
+                  | None -> 0.25
+                  | Some d -> Float.max 0. (d -. Obs.now_s ())
+                in
+                if timeout <= 0. && deadline <> None then begin
+                  Obs.incr c_deadline;
+                  (* The socket may still deliver this answer later; a
+                     fresh attempt must not read it as its own (ids
+                     match).  Reconnecting discards the stale stream. *)
+                  disconnect conn;
+                  Error "deadline exceeded"
+                end
+                else
+                  match Unix.select [ fd ] [] [] timeout with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+                  | [], _, _ -> await ()
+                  | _ ->
+                      Server.Line_reader.read_chunk reader;
+                      await ())
+          in
+          await ())
+
+(* The full policy loop: breaker gate, attempt, backoff, bounded
+   retries.  Every outcome is typed; a request never hangs. *)
+let request conn req =
+  let policy = conn.policy in
+  let rec go attempt_no =
+    let now = Obs.now_s () in
+    if not (admit policy ~now) then Error "circuit breaker open"
+    else
+      match attempt conn req with
+      | Ok resp ->
+          record_success policy;
+          Ok resp
+      | Error e ->
+          record_failure policy ~now:(Obs.now_s ());
+          if attempt_no >= policy.config.max_retries then
+            Error
+              (Printf.sprintf "%s (gave up after %d attempts)" e
+                 (attempt_no + 1))
+          else begin
+            count_retry policy;
+            Unix.sleepf (backoff_s policy ~attempt:attempt_no);
+            go (attempt_no + 1)
+          end
+  in
+  go 0
+
+let ping conn =
+  request conn { P.id = "ping"; op = P.Ping; space = None }

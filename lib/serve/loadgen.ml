@@ -18,8 +18,17 @@
      and writes with select and keeps writes nonblocking, so a busy
      daemon can never deadlock the generator.
 
+   Both drivers take an optional Client policy and then exercise the
+   full retry path: per-request deadlines, seeded backoff, bounded
+   re-sends (safe — requests are idempotent by cache key), breaker
+   pauses, and first-answer-wins dedup (a late answer to a timed-out
+   attempt counts as a duplicate, never a second result).  Responses
+   that fail to parse — chaos-torn or corrupted lines — are counted and
+   retried, so no corrupt payload ever reaches the report as an answer.
+
    Both report answered/ok/rejected/error counts, cache-outcome tallies,
-   throughput and exact (sorted-sample) p50/p99 latencies. *)
+   retry/duplicate/corrupt/gave-up tallies, throughput and exact
+   (sorted-sample) p50/p99 latencies. *)
 
 module P = Protocol
 module J = Obs_tools.Jsonl
@@ -108,7 +117,7 @@ let generate w =
         P.id = Printf.sprintf "r%06d" i;
         op;
         space =
-          P.Inline (Printf.sprintf "lg-%d-%d" w.seed rank, pool.(rank));
+          Some (P.Inline (Printf.sprintf "lg-%d-%d" w.seed rank, pool.(rank)));
       })
 
 (* -------------------------------------------------------------- report *)
@@ -122,6 +131,11 @@ type report = {
   hits : int;
   misses : int;
   coalesced : int;
+  degraded : int;
+  retries : int;
+  duplicates : int;
+  corrupt_lines : int;
+  gave_up : int;
   wall_s : float;
   throughput_rps : float;
   mean_s : float;
@@ -137,16 +151,19 @@ let quantile sorted q =
               (int_of_float (Float.round (q *. float_of_int (n - 1)))))
 
 (* Fold a list of (response, latency) into a report. *)
-let build_report ~sent ~wall_s answers =
+let build_report ?(retries = 0) ?(duplicates = 0) ?(corrupt_lines = 0)
+    ?(gave_up = 0) ~sent ~wall_s answers =
   let ok = ref 0 and rejected = ref 0 and errors = ref 0 in
   let hits = ref 0 and misses = ref 0 and coalesced = ref 0 in
+  let degraded = ref 0 in
   let lat = ref [] in
   List.iter
     (fun (resp, latency) ->
       lat := latency :: !lat;
       match resp with
-      | P.Done { cache; _ } ->
+      | P.Done { cache; degraded = d; _ } ->
           incr ok;
+          if d then incr degraded;
           (match cache with
           | P.Hit -> incr hits
           | P.Miss -> incr misses
@@ -170,6 +187,11 @@ let build_report ~sent ~wall_s answers =
     hits = !hits;
     misses = !misses;
     coalesced = !coalesced;
+    degraded = !degraded;
+    retries;
+    duplicates;
+    corrupt_lines;
+    gave_up;
     wall_s;
     throughput_rps =
       (if wall_s > 0. then float_of_int answered /. wall_s else 0.);
@@ -190,6 +212,11 @@ let report_to_json r =
       ("hits", J.Num (float_of_int r.hits));
       ("misses", J.Num (float_of_int r.misses));
       ("coalesced", J.Num (float_of_int r.coalesced));
+      ("degraded", J.Num (float_of_int r.degraded));
+      ("retries", J.Num (float_of_int r.retries));
+      ("duplicates", J.Num (float_of_int r.duplicates));
+      ("corrupt_lines", J.Num (float_of_int r.corrupt_lines));
+      ("gave_up", J.Num (float_of_int r.gave_up));
       ("hit_rate", J.Num (hit_rate r));
       ("wall_s", J.Num r.wall_s);
       ("throughput_rps", J.Num r.throughput_rps);
@@ -201,45 +228,103 @@ let pp_report fmt r =
   Format.fprintf fmt
     "sent %d  answered %d  ok %d  rejected %d  errors %d@\n\
      cache: %d hit / %d miss / %d coalesced  (hit rate %.3f)@\n\
+     resilience: %d degraded  %d retries  %d duplicates  %d corrupt  %d \
+     gave up@\n\
      wall %.3fs  throughput %.1f req/s  latency mean %.2gs  p50 %.2gs  \
      p99 %.2gs"
     r.sent r.answered r.ok r.rejected r.errors r.hits r.misses r.coalesced
-    (hit_rate r) r.wall_s r.throughput_rps r.mean_s r.p50_s r.p99_s
+    (hit_rate r) r.degraded r.retries r.duplicates r.corrupt_lines r.gave_up
+    r.wall_s r.throughput_rps r.mean_s r.p50_s r.p99_s
 
 (* ---------------------------------------------------- in-process driver *)
 
-let drive_inproc ?(window = 32) server requests =
+(* The in-process driver feeds run_loop through the io record and
+   recovers chaos-dropped/-corrupted replies at batch boundaries: the
+   flush callback fires after every batch's replies, and provided the
+   in-flight window never exceeds the engine's batch_size, every request
+   sent before a flush was answered by it — so an id still unanswered at
+   flush lost its reply to chaos, and is re-sent (bounded by the client
+   policy) or given up.  First answer wins; merged torn lines fail to
+   parse and count as corrupt. *)
+let drive_inproc ?(window = 32) ?client server requests =
   if window < 1 then invalid_arg "drive_inproc: window < 1";
-  let lines = List.map P.request_to_string requests in
-  let remaining = ref lines in
+  let max_retries =
+    match client with None -> 0 | Some c -> (Client.config c).Client.max_retries
+  in
+  let remaining =
+    ref (List.map (fun r -> (r.P.id, P.request_to_string r)) requests)
+  in
+  let lines : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (id, line) -> Hashtbl.replace lines id line) !remaining;
+  let inflight : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let answered : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let sent = ref 0 in
-  let inflight = ref 0 in
+  let retries = ref 0 and duplicates = ref 0 in
+  let corrupt = ref 0 and gave_up = ref 0 in
   let answers = ref [] in
   let started = Obs.now_s () in
+  let handle_line resp_line =
+    match P.response_of_string resp_line with
+    | Error _ -> incr corrupt
+    | Ok resp -> (
+        let id = P.response_id resp in
+        if Hashtbl.mem answered id then incr duplicates
+        else
+          match Hashtbl.find_opt inflight id with
+          | None ->
+              (* Not in flight: either a late answer to an id we gave up
+                 on, or a corrupted payload whose mangled id still
+                 parses.  Never an answer either way. *)
+              if Hashtbl.mem lines id then incr duplicates else incr corrupt
+          | Some t0 ->
+              Hashtbl.remove inflight id;
+              Hashtbl.add answered id ();
+              Option.iter Client.record_success client;
+              answers := (resp, Obs.now_s () -. t0) :: !answers)
+  in
   let read ~block:_ =
     match !remaining with
-    | [] -> `Eof
-    | line :: rest ->
-        if !inflight >= window then `Nothing
+    | [] -> if Hashtbl.length inflight = 0 then `Eof else `Nothing
+    | (id, line) :: rest ->
+        if Hashtbl.length inflight >= window then `Nothing
         else begin
           remaining := rest;
-          incr sent;
-          incr inflight;
-          let t0 = Obs.now_s () in
-          `Req
-            ( line,
-              fun resp_line ->
-                decr inflight;
-                match P.response_of_string resp_line with
-                | Ok resp ->
-                    answers := (resp, Obs.now_s () -. t0) :: !answers
-                | Error _ -> () )
+          let n = (try Hashtbl.find attempts id with Not_found -> 0) + 1 in
+          Hashtbl.replace attempts id n;
+          if n = 1 then begin
+            incr sent;
+            Hashtbl.replace inflight id (Obs.now_s ())
+          end
+          (* a retry keeps its first-send timestamp for latency *)
+          else if not (Hashtbl.mem inflight id) then
+            Hashtbl.replace inflight id (Obs.now_s ());
+          `Req (line, handle_line)
         end
   in
-  let _stats =
-    Server.run_loop server { Server.read; flush = (fun () -> ()) }
+  (* Batch boundary: every in-flight id predates the batch just replied
+     to (window <= batch_size), so survivors lost their reply line. *)
+  let flush () =
+    let lost = Hashtbl.fold (fun id _ acc -> id :: acc) inflight [] in
+    List.iter
+      (fun id ->
+        let n = try Hashtbl.find attempts id with Not_found -> 1 in
+        Option.iter (fun c -> Client.record_failure c ~now:(Obs.now_s ())) client;
+        if n > max_retries then begin
+          Hashtbl.remove inflight id;
+          incr gave_up
+        end
+        else begin
+          incr retries;
+          Option.iter Client.count_retry client;
+          remaining := (id, Hashtbl.find lines id) :: !remaining
+        end)
+      lost
   in
-  build_report ~sent:!sent ~wall_s:(Obs.now_s () -. started) !answers
+  let _stats = Server.run_loop server { Server.read; flush } in
+  build_report ~retries:!retries ~duplicates:!duplicates
+    ~corrupt_lines:!corrupt ~gave_up:!gave_up ~sent:!sent
+    ~wall_s:(Obs.now_s () -. started) !answers
 
 (* ------------------------------------------------------- pipe driver *)
 
@@ -258,72 +343,166 @@ let write_nonblock fd buf =
   end
 
 (* Drive an external daemon speaking the protocol on [req_w]/[resp_r]
-   (both pipe fds; [req_w] is closed when the trace is exhausted so the
-   daemon sees EOF and drains).  Closed-loop: at most [window] requests
-   in flight; [rate] adds an open-loop cap (requests issued no faster
-   than [rate]/s even when the window has room). *)
-let drive_fds ?(window = 32) ?rate ~req_w ~resp_r requests =
+   (both pipe fds; [req_w] is closed when nothing more will ever be sent,
+   so the daemon sees EOF and drains).  Closed-loop: at most [window]
+   requests in flight; [rate] adds an open-loop cap (requests issued no
+   faster than [rate]/s even when the window has room).  With [client],
+   attempts that outlive the policy deadline are re-sent after jittered
+   backoff (up to max_retries), the breaker pauses issuing after
+   consecutive failures, and late answers to timed-out attempts are
+   deduplicated — each request contributes at most one answer. *)
+let drive_fds ?(window = 32) ?rate ?client ~req_w ~resp_r requests =
   if window < 1 then invalid_arg "drive: window < 1";
   (match rate with
   | Some r when r <= 0. -> invalid_arg "drive: rate must be positive"
   | _ -> ());
   Unix.set_nonblock req_w;
   let reader = Server.Line_reader.create resp_r in
-  let pending = ref (List.map (fun r -> (r.P.id, P.request_to_string r)) requests) in
+  let deadline = Option.bind client (fun c -> (Client.config c).Client.deadline_s) in
+  let max_retries =
+    match client with None -> 0 | Some c -> (Client.config c).Client.max_retries
+  in
+  let pending =
+    ref (List.map (fun r -> (r.P.id, P.request_to_string r)) requests)
+  in
+  let lines : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun (id, line) -> Hashtbl.replace lines id line) !pending;
   let out = Buffer.create 65536 in
-  let sent_at : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let attempt_at : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let first_at : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let retry_at : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let answered_ids : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let sent = ref 0 in
+  let retries = ref 0 and duplicates = ref 0 in
+  let corrupt = ref 0 and gave_up = ref 0 in
   let answers = ref [] in
   let closed_req = ref false in
   let started = Obs.now_s () in
+  let admit now =
+    match client with None -> true | Some c -> Client.admit c ~now
+  in
   let issue_allowed now =
     match rate with
     | None -> true
     | Some r -> float_of_int !sent <= (now -. started) *. r
   in
+  let enqueue_line id now =
+    Hashtbl.replace attempt_at id now;
+    if not (Hashtbl.mem first_at id) then Hashtbl.replace first_at id now;
+    Hashtbl.replace attempts id
+      ((try Hashtbl.find attempts id with Not_found -> 0) + 1);
+    Buffer.add_string out (Hashtbl.find lines id);
+    Buffer.add_char out '\n'
+  in
   let issue_some () =
     let now = Obs.now_s () in
-    let inflight () = Hashtbl.length sent_at in
-    let continue = ref true in
-    while
-      !continue && !pending <> [] && inflight () < window
-      && Buffer.length out < 1 lsl 20
-      && issue_allowed now
-    do
-      match !pending with
-      | [] -> continue := false
-      | (id, line) :: rest ->
-          pending := rest;
-          incr sent;
-          Hashtbl.replace sent_at id now;
-          Buffer.add_string out line;
-          Buffer.add_char out '\n'
-    done
+    let inflight () = Hashtbl.length attempt_at in
+    if admit now then begin
+      (* Due retries go out first — they have been waiting longest. *)
+      let due =
+        Hashtbl.fold
+          (fun id when_ acc -> if when_ <= now then id :: acc else acc)
+          retry_at []
+      in
+      List.iter
+        (fun id ->
+          if inflight () < window && Buffer.length out < 1 lsl 20 then begin
+            Hashtbl.remove retry_at id;
+            incr retries;
+            Option.iter Client.count_retry client;
+            enqueue_line id now
+          end)
+        due;
+      let continue = ref true in
+      while
+        !continue && !pending <> [] && inflight () < window
+        && Buffer.length out < 1 lsl 20
+        && issue_allowed now
+      do
+        match !pending with
+        | [] -> continue := false
+        | (id, _) :: rest ->
+            pending := rest;
+            incr sent;
+            enqueue_line id now
+      done
+    end
+  in
+  (* Attempts past the deadline: failure for the breaker, then either a
+     backoff-scheduled re-send or (retry budget spent) a give-up. *)
+  let check_deadlines () =
+    match (deadline, client) with
+    | Some d, Some c ->
+        let now = Obs.now_s () in
+        let expired =
+          Hashtbl.fold
+            (fun id t0 acc -> if now -. t0 > d then id :: acc else acc)
+            attempt_at []
+        in
+        List.iter
+          (fun id ->
+            Hashtbl.remove attempt_at id;
+            Client.record_failure c ~now;
+            let n = try Hashtbl.find attempts id with Not_found -> 1 in
+            if n > max_retries then incr gave_up
+            else
+              Hashtbl.replace retry_at id
+                (now +. Client.backoff_s c ~attempt:(n - 1)))
+          expired
+    | _ -> ()
   in
   let handle_line line =
     match P.response_of_string line with
-    | Error _ -> ()
-    | Ok resp ->
+    | Error _ -> incr corrupt
+    | Ok resp -> (
         let id = P.response_id resp in
-        let latency =
-          match Hashtbl.find_opt sent_at id with
+        if Hashtbl.mem answered_ids id then incr duplicates
+        else
+          match Hashtbl.find_opt first_at id with
+          | None ->
+              (* Parses, but we never sent this id: a corrupted payload
+                 whose mangling survived the JSON parser.  Never an
+                 answer — the real request's deadline will retry it. *)
+              incr corrupt
           | Some t0 ->
-              Hashtbl.remove sent_at id;
-              Obs.now_s () -. t0
-          | None -> 0.
-        in
-        answers := (resp, latency) :: !answers
+              Hashtbl.add answered_ids id ();
+              let latency = Obs.now_s () -. t0 in
+              Hashtbl.remove attempt_at id;
+              Hashtbl.remove retry_at id;
+              Option.iter Client.record_success client;
+              answers := (resp, latency) :: !answers)
+  in
+  (* Nothing more will ever be sent once the trace is drained, no retry
+     is scheduled, and (when a deadline exists) nothing in flight can
+     still expire into a retry. *)
+  let done_sending () =
+    !pending = [] && Buffer.length out = 0
+    && Hashtbl.length retry_at = 0
+    && (deadline = None || Hashtbl.length attempt_at = 0)
   in
   let eof = ref false in
   while not !eof do
+    check_deadlines ();
     issue_some ();
-    if (not !closed_req) && !pending = [] && Buffer.length out = 0 then begin
+    if (not !closed_req) && done_sending () then begin
       closed_req := true;
       (try Unix.close req_w with Unix.Unix_error _ -> ())
     end;
-    let want_write = (not !closed_req) && Buffer.length out > 0 in
+    let want_write =
+      (not !closed_req) && Buffer.length out > 0
+    in
     let writes = if want_write then [ req_w ] else [] in
-    (match Unix.select [ resp_r ] writes [] 0.25 with
+    (* Tighter ticks while a deadline or scheduled retry is pending, so
+       expiry latency stays small against sub-second deadlines. *)
+    let tick =
+      if
+        Hashtbl.length retry_at > 0
+        || (deadline <> None && Hashtbl.length attempt_at > 0)
+      then 0.05
+      else 0.25
+    in
+    (match Unix.select [ resp_r ] writes [] tick with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, writable, _ ->
         if writable <> [] then write_nonblock req_w out;
@@ -341,12 +520,14 @@ let drive_fds ?(window = 32) ?rate ~req_w ~resp_r requests =
         end)
   done;
   if not !closed_req then (try Unix.close req_w with Unix.Unix_error _ -> ());
-  build_report ~sent:!sent ~wall_s:(Obs.now_s () -. started) !answers
+  build_report ~retries:!retries ~duplicates:!duplicates
+    ~corrupt_lines:!corrupt ~gave_up:!gave_up ~sent:!sent
+    ~wall_s:(Obs.now_s () -. started) !answers
 
 (* Spawn [argv] (a `bg serve` command line), drive the trace through its
    stdin/stdout, reap it, and report.  The child's stderr passes
    through. *)
-let drive_subprocess ?window ?rate argv requests =
+let drive_subprocess ?window ?rate ?client argv requests =
   (* cloexec on every pipe end: the child must NOT inherit our copies of
      req_w / resp_r, or closing req_w here would never deliver its EOF
      (the daemon itself would hold the write end open).  create_process
@@ -362,6 +543,6 @@ let drive_subprocess ?window ?rate argv requests =
       ~finally:(fun () ->
         (try Unix.close resp_r with Unix.Unix_error _ -> ());
         ignore (Unix.waitpid [] pid))
-      (fun () -> drive_fds ?window ?rate ~req_w ~resp_r requests)
+      (fun () -> drive_fds ?window ?rate ?client ~req_w ~resp_r requests)
   in
   report

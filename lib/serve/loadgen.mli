@@ -9,7 +9,15 @@
     the same seed yields byte-identical request lines (and therefore
     identical space digests server-side) on every run, at any driver
     concurrency — the property behind the warm-restart cache-hit
-    acceptance test. *)
+    acceptance test.
+
+    Both drivers take an optional {!Client} policy and then exercise the
+    full retry path: deadlines, seeded backoff, bounded re-sends (safe —
+    requests are idempotent by cache key), breaker pauses, and
+    first-answer-wins dedup, so each request contributes at most one
+    answer to the report however chaotic the daemon.  Unparseable
+    response lines (chaos-torn or corrupted) are counted and retried —
+    a corrupt payload is never scored as an answer. *)
 
 val zipf_cdf : s:float -> n:int -> float array
 (** Cumulative distribution of the zipf([s]) law on ranks [1..n]
@@ -39,7 +47,7 @@ val generate : workload -> Protocol.request list
     @raise Invalid_argument on a non-positive size or a bad skew. *)
 
 type report = {
-  sent : int;
+  sent : int;  (** distinct requests issued (first attempts) *)
   answered : int;  (** responses received (of any status) *)
   ok : int;
   rejected : int;  (** typed admission-control rejections *)
@@ -47,6 +55,11 @@ type report = {
   hits : int;
   misses : int;
   coalesced : int;
+  degraded : int;  (** [ok] answers served by the estimator tier *)
+  retries : int;  (** wire re-sends beyond first attempts *)
+  duplicates : int;  (** late answers discarded by first-answer-wins *)
+  corrupt_lines : int;  (** unparseable response lines skipped *)
+  gave_up : int;  (** requests abandoned after the retry budget *)
   wall_s : float;
   throughput_rps : float;  (** answered / wall *)
   mean_s : float;  (** latency statistics over answered requests *)
@@ -58,36 +71,51 @@ val hit_rate : report -> float
 (** [hits / ok] ([0.] when nothing succeeded). *)
 
 val build_report :
-  sent:int -> wall_s:float -> (Protocol.response * float) list -> report
+  ?retries:int ->
+  ?duplicates:int ->
+  ?corrupt_lines:int ->
+  ?gave_up:int ->
+  sent:int ->
+  wall_s:float ->
+  (Protocol.response * float) list ->
+  report
 (** Fold [(response, latency_s)] observations into a report. *)
 
 val report_to_json : report -> Obs_tools.Jsonl.t
 val pp_report : Format.formatter -> report -> unit
 
 val drive_inproc :
-  ?window:int -> Server.t -> Protocol.request list -> report
+  ?window:int -> ?client:Client.t -> Server.t -> Protocol.request list -> report
 (** Replay a trace against an in-process engine, closed-loop with at
     most [window] (default 32) requests in flight — tests and the perf
-    gate drive this. *)
+    gate drive this.  With [client], replies lost to chaos are detected
+    at batch boundaries and re-sent under the policy's retry budget;
+    this recovery requires [window <=] the engine's [batch_size] (every
+    in-flight request is then inside the batch being flushed). *)
 
 val drive_fds :
   ?window:int ->
   ?rate:float ->
+  ?client:Client.t ->
   req_w:Unix.file_descr ->
   resp_r:Unix.file_descr ->
   Protocol.request list ->
   report
 (** Replay a trace against a daemon speaking the protocol over a pipe
-    pair: requests down [req_w] (closed at end-of-trace so the daemon
-    sees EOF), responses up [resp_r].  Closed-loop with a bounded
-    in-flight [window]; [rate] adds an open-loop cap (requests issued no
-    faster than [rate]/s).  Reads and writes are multiplexed with
-    [select] and writes are nonblocking, so a busy daemon cannot
-    deadlock the generator. *)
+    pair: requests down [req_w] (closed once nothing more will ever be
+    sent, so the daemon sees EOF), responses up [resp_r].  Closed-loop
+    with a bounded in-flight [window]; [rate] adds an open-loop cap
+    (requests issued no faster than [rate]/s).  Reads and writes are
+    multiplexed with [select] and writes are nonblocking, so a busy
+    daemon cannot deadlock the generator.  With [client], attempts that
+    outlive the policy deadline are re-sent after jittered backoff, the
+    breaker pauses issuing after consecutive failures, and late answers
+    to timed-out attempts count as duplicates, never second results. *)
 
 val drive_subprocess :
   ?window:int ->
   ?rate:float ->
+  ?client:Client.t ->
   string array ->
   Protocol.request list ->
   report

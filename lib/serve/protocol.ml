@@ -7,6 +7,16 @@
    one of ok / rejected / error back, and overload is a first-class
    answer (status "rejected"), never a hung connection.
 
+   Ping is the one op with no space: a health probe answered at
+   admission (never queued), whose result reports uptime, queue depth,
+   hit rate and degraded-mode status.
+
+   A Done response may additionally carry degraded:true — the answer
+   came from the estimator tier (with its confidence interval in the
+   result) rather than an exact sweep, because the server was above its
+   load watermark.  The flag is omitted when false, so pre-resilience
+   response lines parse identically.
+
    All parsing goes through Obs_tools.Jsonl (floats round-trip via
    %.17g), so a workload generated from a seed produces bit-identical
    request lines — and therefore identical space digests — on every
@@ -20,13 +30,14 @@ type op =
   | Gamma of float
   | Summarize
   | Estimate of { nodes : int; replicates : int; seed : int }
+  | Ping
 
 type space_spec =
   | Inline of string * float array array
   | Csv of string
   | File of string
 
-type request = { id : string; op : op; space : space_spec }
+type request = { id : string; op : op; space : space_spec option }
 
 type cache_outcome = Hit | Miss | Coalesced
 
@@ -39,6 +50,7 @@ type response =
       queue_wait_s : float;
       batch : int;
       elapsed_s : float;
+      degraded : bool;
     }
   | Rejected of { id : string; reason : string }
   | Failed of { id : string; reason : string }
@@ -49,6 +61,7 @@ let op_name = function
   | Gamma _ -> "gamma"
   | Summarize -> "summarize"
   | Estimate _ -> "estimate"
+  | Ping -> "ping"
 
 (* The cache key suffix: every parameter that changes the result must be
    part of it (gamma's separation, the estimator design), so distinct
@@ -60,6 +73,7 @@ let op_key = function
   | Summarize -> "summarize"
   | Estimate { nodes; replicates; seed } ->
       Printf.sprintf "estimate:%d:%d:%d" nodes replicates seed
+  | Ping -> "ping"
 
 let cache_outcome_name = function
   | Hit -> "hit"
@@ -99,9 +113,14 @@ let request_to_json r =
         [ ("nodes", J.Num (float_of_int nodes));
           ("replicates", J.Num (float_of_int replicates));
           ("seed", J.Num (float_of_int seed)) ]
-    | Zeta | Phi | Summarize -> []
+    | Zeta | Phi | Summarize | Ping -> []
   in
-  J.Obj (base @ params @ [ ("space", space_to_json r.space) ])
+  let space =
+    match r.space with
+    | None -> []
+    | Some s -> [ ("space", space_to_json s) ]
+  in
+  J.Obj (base @ params @ space)
 
 let request_to_string r = J.to_string (request_to_json r)
 
@@ -131,16 +150,16 @@ let int_field name j ~default =
   | Some v -> int_of_float v
 
 let request_of_json j =
-  match (J.mem_str "id" j, J.mem_str "op" j, J.member "space" j) with
-  | None, _, _ -> Error "request: missing id"
-  | _, None, _ -> Error "request: missing op"
-  | _, _, None -> Error "request: missing space"
-  | Some id, Some op, Some space_j -> (
+  match (J.mem_str "id" j, J.mem_str "op" j) with
+  | None, _ -> Error "request: missing id"
+  | _, None -> Error "request: missing op"
+  | Some id, Some op -> (
       match
         match op with
         | "zeta" -> Ok Zeta
         | "phi" -> Ok Phi
         | "summarize" -> Ok Summarize
+        | "ping" -> Ok Ping
         | "gamma" -> (
             match J.mem_num "r" j with
             | Some r when r > 0. && Float.is_finite r -> Ok (Gamma r)
@@ -158,10 +177,15 @@ let request_of_json j =
       with
       | Error e -> Error e
       | Ok op -> (
-          match space_of_json space_j with
-          | Error e -> Error e
-          | exception Failure e -> Error e
-          | Ok space -> Ok { id; op; space }))
+          match J.member "space" j with
+          | None ->
+              if op = Ping then Ok { id; op; space = None }
+              else Error "request: missing space"
+          | Some space_j -> (
+              match space_of_json space_j with
+              | Error e -> Error e
+              | exception Failure e -> Error e
+              | Ok space -> Ok { id; op; space = Some space })))
 
 let request_of_string line =
   match J.parse line with
@@ -171,13 +195,17 @@ let request_of_string line =
 (* ----------------------------------------------------------- responses *)
 
 let response_to_json = function
-  | Done { id; op_name; result; cache; queue_wait_s; batch; elapsed_s } ->
+  | Done
+      { id; op_name; result; cache; queue_wait_s; batch; elapsed_s; degraded }
+    ->
       J.Obj
-        [ ("id", J.Str id); ("status", J.Str "ok"); ("op", J.Str op_name);
-          ("cache", J.Str (cache_outcome_name cache));
-          ("queue_wait_s", J.Num queue_wait_s);
-          ("batch", J.Num (float_of_int batch));
-          ("elapsed_s", J.Num elapsed_s); ("result", result) ]
+        ([ ("id", J.Str id); ("status", J.Str "ok"); ("op", J.Str op_name);
+           ("cache", J.Str (cache_outcome_name cache));
+           ("queue_wait_s", J.Num queue_wait_s);
+           ("batch", J.Num (float_of_int batch));
+           ("elapsed_s", J.Num elapsed_s) ]
+        @ (if degraded then [ ("degraded", J.Bool true) ] else [])
+        @ [ ("result", result) ])
   | Rejected { id; reason } ->
       J.Obj
         [ ("id", J.Str id); ("status", J.Str "rejected");
@@ -220,6 +248,8 @@ let response_of_json j =
                  batch = int_field "batch" j ~default:0;
                  elapsed_s =
                    Option.value (J.mem_num "elapsed_s" j) ~default:0.;
+                 degraded =
+                   Option.value (J.mem_bool "degraded" j) ~default:false;
                })
       | _ -> Error "ok response: missing op / cache / result")
   | Some _, Some other -> Error (Printf.sprintf "unknown status %S" other)

@@ -13,15 +13,24 @@
 {"id":"r2","op":"gamma","r":4,"space":{"csv":"# name: s\n0,2\n2,0"}}
 {"id":"r3","op":"estimate","nodes":32,"replicates":6,"seed":7,
  "space":{"file":"big.bgd"}}
+{"id":"hp","op":"ping"}
     v}
 
     Response line shapes:
     {v
 {"id":"r1","status":"ok","op":"zeta","cache":"hit|miss|coalesced",
  "queue_wait_s":F,"batch":N,"elapsed_s":F,"result":{...}}
+{"id":"r4","status":"ok","op":"zeta","cache":"miss",...,
+ "degraded":true,"result":{"point":...,"lo":...,"hi":...}}
 {"id":"r9","status":"rejected","reason":"queue full (256 pending)"}
 {"id":"rX","status":"error","reason":"space: need one of matrix/csv/file"}
     v}
+
+    [degraded:true] marks an answer produced by the
+    {!Bg_decay.Estimators} tier instead of an exact sweep — the server
+    was above its load watermark, and the result carries the estimator's
+    confidence interval.  The flag is omitted when false, so
+    pre-resilience response lines parse unchanged.
 
     Floats are serialized with [%.17g] ({!Obs_tools.Jsonl}), so a
     workload generated from a seed produces bit-identical request lines
@@ -36,13 +45,18 @@ type op =
   | Estimate of { nodes : int; replicates : int; seed : int }
       (** stratified {!Bg_decay.Estimators.zeta} — for spaces too large
           for the exact sweep *)
+  | Ping
+      (** health probe: answered at admission (never queued) with
+          uptime, queue depth, hit rate and degraded-mode status *)
 
 type space_spec =
   | Inline of string * float array array  (** name, decay rows *)
   | Csv of string  (** CSV text, as accepted by {!Bg_decay.Decay_io.of_csv} *)
   | File of string  (** path to a CSV or raw-binary matrix on the server *)
 
-type request = { id : string; op : op; space : space_spec }
+type request = { id : string; op : op; space : space_spec option }
+(** [space] is [None] only for {!Ping}; every analysis op requires
+    one. *)
 
 type cache_outcome =
   | Hit  (** answered from the shared store (memory or disk) *)
@@ -59,13 +73,17 @@ type response =
       queue_wait_s : float;  (** admission to batch start *)
       batch : int;  (** id of the batch that served it *)
       elapsed_s : float;  (** admission to response *)
+      degraded : bool;
+          (** answered by the estimator tier under load; the result
+              carries its confidence interval *)
     }
   | Rejected of { id : string; reason : string }
       (** shed by admission control; resubmit later *)
   | Failed of { id : string; reason : string }
 
 val op_name : op -> string
-(** ["zeta"], ["phi"], ["gamma"], ["summarize"], ["estimate"]. *)
+(** ["zeta"], ["phi"], ["gamma"], ["summarize"], ["estimate"],
+    ["ping"]. *)
 
 val op_key : op -> string
 (** The op's contribution to the cache key: includes every parameter

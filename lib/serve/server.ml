@@ -6,13 +6,14 @@
                 full queue is answered immediately with a typed
                 "rejected" response — overload sheds load instead of
                 collapsing latency, and the queue can never grow without
-                bound.
+                bound.  Pings are answered here too: a health probe
+                never waits behind analysis work.
      batching   up to batch_size queued requests are taken per cycle.
                 Within a batch, requests are keyed by space digest + op
                 parameters; concurrent duplicates coalesce onto a single
                 computation, and the shared store answers keys any
                 earlier batch (or an earlier daemon life, via the
-                persistent snapshot) already computed.
+                persistent snapshot + WAL) already computed.
      compute    the unique missing keys of a batch run in parallel on
                 the shared domain pool — one task per key with the
                 inner sweeps pinned sequential, so parallelism comes
@@ -25,11 +26,28 @@
                 response: one poisoned request cannot cancel its batch
                 or crash the daemon.
 
+   Degraded mode (config.degrade): when the backlog behind a batch
+   crosses the watermark, or a space is too large for an exact sweep,
+   zeta/phi/gamma requests that miss the cache are answered from the
+   Estimators tier — a certified lower bound with its confidence
+   interval, tagged degraded:true — instead of being shed.  Load
+   degrades exact -> estimated -> rejected.  Degraded answers are never
+   written to the store: the cache key promises the exact value.
+
+   Chaos (config.chaos): the injector's per-request stall and mid-batch
+   crash points fire inside process_batch; response-line faults fire at
+   the reply boundary in run_loop, so every transport misbehaves
+   identically.  With a WAL-backed store the group-commit ordering below
+   (compute -> journal -> fsync -> reply) means a crash at any point
+   loses at most the in-flight batch, and no reply is ever sent for an
+   entry that could vanish.
+
    Observability: one serve.request span per request (attrs: id, op,
    batch, cache outcome, queue-wait and total latency), one serve.batch
    span per cycle, serve.latency_s / serve.queue_wait_s histograms and
-   serve.{accepted,rejected,computed,...} counters — all through the
-   existing Obs registry, so `--metrics` and `--trace` just work. *)
+   serve.{accepted,rejected,computed,degraded,...} counters — all
+   through the existing Obs registry, so `--metrics` and `--trace` just
+   work. *)
 
 module P = Protocol
 module J = Obs_tools.Jsonl
@@ -44,12 +62,25 @@ module Par = Core.Prelude.Parallel
 module Obs = Core.Prelude.Obs
 module Rng = Core.Prelude.Rng
 
+type degrade = {
+  queue_watermark : int;
+  big_n : int;
+  nodes : int;
+  replicates : int;
+  seed : int;
+}
+
+let default_degrade =
+  { queue_watermark = 64; big_n = 1024; nodes = 32; replicates = 6; seed = 0 }
+
 type config = {
   ctx : Ctx.t;
   batch_size : int;
   max_queue : int;
   request_timeout_s : float option;
   store : Store.t option;
+  degrade : degrade option;
+  chaos : Chaos.t option;
 }
 
 let default_config =
@@ -59,6 +90,8 @@ let default_config =
     max_queue = 256;
     request_timeout_s = None;
     store = None;
+    degrade = None;
+    chaos = None;
   }
 
 type stats = {
@@ -71,22 +104,36 @@ type stats = {
   mutable coalesced : int;
   mutable batches : int;
   mutable peak_queue : int;
+  mutable degraded : int;
+  mutable pings : int;
+  mutable disconnects : int;
 }
 
-type t = { config : config; stats : stats }
+type t = { config : config; stats : stats; started_s : float }
 
 let create config =
   if config.batch_size < 1 then
     invalid_arg "Server.create: batch_size must be positive";
   if config.max_queue < 1 then
     invalid_arg "Server.create: max_queue must be positive";
+  (match config.degrade with
+  | Some d ->
+      if d.queue_watermark < 1 then
+        invalid_arg "Server.create: degrade watermark must be positive";
+      if d.nodes < 3 then
+        invalid_arg "Server.create: degrade nodes must be >= 3";
+      if d.replicates < 1 then
+        invalid_arg "Server.create: degrade replicates must be positive"
+  | None -> ());
   {
     config;
     stats =
       {
         accepted = 0; rejected = 0; failed = 0; served = 0; computed = 0;
         store_hits = 0; coalesced = 0; batches = 0; peak_queue = 0;
+        degraded = 0; pings = 0; disconnects = 0;
       };
+    started_s = Obs.now_s ();
   }
 
 let stats t = t.stats
@@ -98,6 +145,9 @@ let c_computed = Obs.counter "serve.computed"
 let c_store_hits = Obs.counter "serve.store_hits"
 let c_coalesced = Obs.counter "serve.coalesced"
 let c_batches = Obs.counter "serve.batches"
+let c_degraded = Obs.counter "serve.degraded"
+let c_pings = Obs.counter "serve.pings"
+let c_disconnects = Obs.counter "serve.client_disconnects"
 let h_latency = Obs.histogram "serve.latency_s"
 let h_queue_wait = Obs.histogram "serve.queue_wait_s"
 let h_batch_fill = Obs.histogram "serve.batch_fill"
@@ -148,6 +198,7 @@ let compute ~ctx op space =
       J.Obj
         [ ("zeta_lower", J.Num e.point); ("hi", J.Num e.hi);
           ("confidence", J.Num e.confidence) ]
+  | P.Ping -> invalid_arg "ping is answered at admission"
 
 let compute_guarded ~ctx ~timeout op space =
   let body () =
@@ -160,24 +211,101 @@ let compute_guarded ~ctx ~timeout op space =
   | exception Par.Timeout -> Error "wall-clock budget exceeded"
   | exception (Invalid_argument m | Failure m | Sys_error m) -> Error m
 
+(* The degraded tier: answer zeta/phi/gamma from Estimators, seeded
+   deterministically per cache key so identical requests under identical
+   load degrade to bit-identical estimates.  Returns None for ops with
+   no estimator (they stay exact) and spaces too small to stratify. *)
+let compute_degraded ~ctx d op space key =
+  let n = D.n space in
+  let rng = Rng.create (d.seed lxor Hashtbl.hash key) in
+  let estimate_json tag (e : Est.estimate) =
+    Some
+      (J.Obj
+         [ (tag, J.Num e.point); ("lo", J.Num e.lo); ("hi", J.Num e.hi);
+           ("confidence", J.Num e.confidence);
+           ("replicates", J.Num (float_of_int (Array.length e.replicates)))
+         ])
+  in
+  match op with
+  | P.Zeta when n >= 3 ->
+      let nodes = min d.nodes n in
+      if nodes < 3 then None
+      else
+        estimate_json "zeta_lower"
+          (Est.zeta ~ctx ~replicates:d.replicates ~nodes rng
+             (Est.of_space space))
+  | P.Phi when n >= 3 ->
+      let nodes = min d.nodes n in
+      if nodes < 3 then None
+      else
+        estimate_json "phi_lower"
+          (Est.phi ~ctx ~replicates:d.replicates ~nodes rng
+             (Est.of_space space))
+  | P.Gamma r when n >= 1 ->
+      let listeners = max 1 (min d.nodes n) in
+      estimate_json "gamma_lower"
+        (Est.gamma ~ctx ~replicates:d.replicates ~listeners rng
+           (Est.of_space space) ~r)
+  | _ -> None
+
+(* ---------------------------------------------------------------- ping *)
+
+let ping_result t ~queue_depth =
+  let st = t.stats in
+  let hit_rate =
+    if st.served > 0 then float_of_int st.store_hits /. float_of_int st.served
+    else 0.
+  in
+  J.Obj
+    [ ("uptime_s", J.Num (Float.max 0. (Obs.now_s () -. t.started_s)));
+      ("queue_depth", J.Num (float_of_int queue_depth));
+      ("accepted", J.Num (float_of_int st.accepted));
+      ("served", J.Num (float_of_int st.served));
+      ("hit_rate", J.Num hit_rate);
+      ("degraded_answers", J.Num (float_of_int st.degraded));
+      ("degrade_enabled", J.Bool (t.config.degrade <> None)) ]
+
+let ping_response t ~queue_depth ~id =
+  t.stats.pings <- t.stats.pings + 1;
+  Obs.incr c_pings;
+  P.Done
+    {
+      id;
+      op_name = "ping";
+      result = ping_result t ~queue_depth;
+      cache = P.Miss;
+      queue_wait_s = 0.;
+      batch = 0;
+      elapsed_s = 0.;
+      degraded = false;
+    }
+
 (* ------------------------------------------------------------- batches *)
 
 (* What admission knows about a request once its space is resolved. *)
 type resolved =
   | Bad of string (* unresolvable space: typed error *)
   | Keyed of D.t * string (* space + full cache key *)
+  | Health (* ping: answered without touching the compute path *)
 
 let resolve req =
-  match resolve_space req.P.space with
-  | space ->
-      (* Hex, not the raw 16 MD5 bytes: the key must survive a JSONL
-         snapshot round-trip as printable text. *)
-      Keyed (space, Digest.to_hex (D.digest space) ^ "/" ^ P.op_key req.P.op)
-  | exception (Invalid_argument m | Failure m | Sys_error m) -> Bad m
+  match (req.P.op, req.P.space) with
+  | P.Ping, _ -> Health
+  | _, None -> Bad "request: missing space"
+  | _, Some spec -> (
+      match resolve_space spec with
+      | space ->
+          (* Hex, not the raw 16 MD5 bytes: the key must survive a JSONL
+             snapshot round-trip as printable text. *)
+          Keyed
+            (space, Digest.to_hex (D.digest space) ^ "/" ^ P.op_key req.P.op)
+      | exception (Invalid_argument m | Failure m | Sys_error m) -> Bad m)
 
 (* Process one batch of admitted requests (with their admission
-   timestamps).  Returns one response per request, in input order. *)
-let process_batch t reqs =
+   timestamps).  [queue_depth] is the backlog left behind the batch —
+   the degraded-mode watermark signal.  Returns one response per
+   request, in input order. *)
+let process_batch ?(queue_depth = 0) t reqs =
   let cfg = t.config and st = t.stats in
   let batch = 1 + Atomic.fetch_and_add batch_counter 1 in
   let n = List.length reqs in
@@ -186,21 +314,51 @@ let process_batch t reqs =
     (fun () ->
       Obs.observe h_batch_fill (float_of_int n);
       let started_s = Obs.now_s () in
+      (* Chaos: per-request stall rolls, one per batch member. *)
+      (match cfg.chaos with
+      | Some c -> List.iter (fun _ -> Chaos.stall c) reqs
+      | None -> ());
       let resolved = List.map (fun (req, t0) -> (req, t0, resolve req)) reqs in
+      (* Which keys answer from the degraded tier this cycle: a cache
+         miss on zeta/phi/gamma when the backlog is over the watermark,
+         or whenever the space is too big for an exact sweep.  Store
+         hits stay exact — a hit is both cheaper and better. *)
+      let over_watermark =
+        match cfg.degrade with
+        | Some d -> queue_depth >= d.queue_watermark
+        | None -> false
+      in
+      let wants_degrade space =
+        match cfg.degrade with
+        | None -> false
+        | Some d -> over_watermark || D.n space >= d.big_n
+      in
       (* One compute per distinct key: the first requester owns it, later
          duplicates coalesce.  Store hits skip compute entirely. *)
       let owners = Hashtbl.create 16 in
       let from_store = Hashtbl.create 16 in
+      let degraded_results = Hashtbl.create 4 in
       List.iter
         (fun (req, _, r) ->
           match r with
-          | Bad _ -> ()
+          | Bad _ | Health -> ()
           | Keyed (space, key) ->
-              if not (Hashtbl.mem owners key || Hashtbl.mem from_store key)
+              if
+                not
+                  (Hashtbl.mem owners key || Hashtbl.mem from_store key
+                  || Hashtbl.mem degraded_results key)
               then begin
                 match Option.bind cfg.store (fun s -> Store.find s key) with
                 | Some v -> Hashtbl.add from_store key v
-                | None -> Hashtbl.add owners key (req.P.op, space)
+                | None -> (
+                    match
+                      if wants_degrade space then
+                        Option.bind cfg.degrade (fun d ->
+                            compute_degraded ~ctx:cfg.ctx d req.P.op space key)
+                      else None
+                    with
+                    | Some v -> Hashtbl.add degraded_results key v
+                    | None -> Hashtbl.add owners key (req.P.op, space))
               end)
         resolved;
       let to_compute =
@@ -235,6 +393,11 @@ let process_batch t reqs =
             in
             Array.to_list (Par.run tasks)
       in
+      (* Chaos: the mid-batch crash point sits between compute and the
+         store writes — results in hand, nothing journaled, no reply
+         sent.  The whole batch is the loss, exactly the WAL's promised
+         worst case. *)
+      Chaos.maybe_at cfg.chaos Chaos.Mid_batch;
       let results = Hashtbl.create 16 in
       List.iter
         (fun (key, r) ->
@@ -262,18 +425,10 @@ let process_batch t reqs =
           let response =
             match r with
             | Bad reason -> P.Failed { id = req.P.id; reason }
+            | Health -> ping_response t ~queue_depth ~id:req.P.id
             | Keyed (_, key) -> (
-                let result =
-                  match Hashtbl.find_opt from_store key with
-                  | Some v -> Ok v
-                  | None -> (
-                      match Hashtbl.find_opt results key with
-                      | Some r -> r
-                      | None -> Error "internal: result missing")
-                in
-                match result with
-                | Error reason -> P.Failed { id = req.P.id; reason }
-                | Ok v ->
+                match Hashtbl.find_opt degraded_results key with
+                | Some v ->
                     P.Done
                       {
                         id = req.P.id;
@@ -283,7 +438,31 @@ let process_batch t reqs =
                         queue_wait_s;
                         batch;
                         elapsed_s;
-                      })
+                        degraded = true;
+                      }
+                | None -> (
+                    let result =
+                      match Hashtbl.find_opt from_store key with
+                      | Some v -> Ok v
+                      | None -> (
+                          match Hashtbl.find_opt results key with
+                          | Some r -> r
+                          | None -> Error "internal: result missing")
+                    in
+                    match result with
+                    | Error reason -> P.Failed { id = req.P.id; reason }
+                    | Ok v ->
+                        P.Done
+                          {
+                            id = req.P.id;
+                            op_name = P.op_name req.P.op;
+                            result = v;
+                            cache = outcome_of key;
+                            queue_wait_s;
+                            batch;
+                            elapsed_s;
+                            degraded = false;
+                          }))
           in
           (* The per-request span: wall time of the request itself lives
              in the queue_wait_s / elapsed_s attrs (the span closes at
@@ -296,6 +475,7 @@ let process_batch t reqs =
                 ( "cache",
                   Obs.S
                     (match response with
+                    | P.Done { degraded = true; _ } -> "degraded"
                     | P.Done { cache; _ } -> P.cache_outcome_name cache
                     | P.Rejected _ -> "rejected"
                     | P.Failed _ -> "error") );
@@ -305,6 +485,11 @@ let process_batch t reqs =
               Obs.observe h_latency elapsed_s;
               Obs.observe h_queue_wait queue_wait_s;
               (match response with
+              | P.Done { degraded = true; _ } ->
+                  st.served <- st.served + 1;
+                  st.degraded <- st.degraded + 1;
+                  Obs.incr c_degraded
+              | P.Done { op_name = "ping"; _ } -> st.served <- st.served + 1
               | P.Done { cache; _ } ->
                   st.served <- st.served + 1;
                   (match cache with
@@ -336,41 +521,61 @@ let error_id line =
   | exception J.Bad _ -> "?"
   | j -> Option.value (J.mem_str "id" j) ~default:"?"
 
-let run_loop t io =
+let run_loop ?(should_stop = fun () -> false) t io =
   let cfg = t.config and st = t.stats in
+  (* Response lines pass through the chaos mangler on their way out, so
+     every transport tears, drops and corrupts identically. *)
+  let send =
+    match cfg.chaos with
+    | None -> fun reply line -> reply line
+    | Some c -> (
+        fun reply line ->
+          match Chaos.mangle c line with
+          | `Deliver l -> reply l
+          | `Drop | `Drop_keep_carry -> ())
+  in
   let queue : (P.request * float * (string -> unit)) Queue.t =
     Queue.create ()
   in
   let eof = ref false in
   let admit line reply =
-    if Queue.length queue >= cfg.max_queue then begin
-      (* Shed load with a typed answer: the queue is bounded by
-         construction, and accepted requests keep a bounded wait. *)
-      st.rejected <- st.rejected + 1;
-      Obs.incr c_rejected;
-      reply
-        (P.response_to_string
-           (P.Rejected
-              {
-                id = error_id line;
-                reason =
-                  Printf.sprintf "queue full (%d pending)" cfg.max_queue;
-              }))
-    end
-    else
-      match P.request_of_string line with
-      | Error reason ->
-          st.failed <- st.failed + 1;
-          Obs.incr c_failed;
-          reply
-            (P.response_to_string (P.Failed { id = error_id line; reason }))
-      | Ok req ->
-          st.accepted <- st.accepted + 1;
-          Obs.incr c_accepted;
-          Queue.add (req, Obs.now_s (), reply) queue
+    match P.request_of_string line with
+    | Ok ({ P.op = P.Ping; _ } as req) ->
+        (* Health probes bypass the queue entirely: they must answer
+           during overload, which is exactly when the queue is full. *)
+        send reply
+          (P.response_to_string
+             (ping_response t ~queue_depth:(Queue.length queue) ~id:req.P.id))
+    | parsed ->
+        if Queue.length queue >= cfg.max_queue then begin
+          (* Shed load with a typed answer: the queue is bounded by
+             construction, and accepted requests keep a bounded wait. *)
+          st.rejected <- st.rejected + 1;
+          Obs.incr c_rejected;
+          send reply
+            (P.response_to_string
+               (P.Rejected
+                  {
+                    id = error_id line;
+                    reason =
+                      Printf.sprintf "queue full (%d pending)" cfg.max_queue;
+                  }))
+        end
+        else
+          match parsed with
+          | Error reason ->
+              st.failed <- st.failed + 1;
+              Obs.incr c_failed;
+              send reply
+                (P.response_to_string
+                   (P.Failed { id = error_id line; reason }))
+          | Ok req ->
+              st.accepted <- st.accepted + 1;
+              Obs.incr c_accepted;
+              Queue.add (req, Obs.now_s (), reply) queue
   in
   let rec drain ~block =
-    if not !eof then
+    if not (!eof || should_stop ()) then
       match io.read ~block with
       | `Req (line, reply) ->
           admit line reply;
@@ -378,10 +583,12 @@ let run_loop t io =
       | `Nothing -> ()
       | `Eof -> eof := true
   in
-  while not (!eof && Queue.is_empty queue) do
+  while not ((!eof || should_stop ()) && Queue.is_empty queue) do
     (* Block only when idle; once work is queued, take whatever input is
-       already waiting and get on with the batch. *)
-    drain ~block:(Queue.is_empty queue);
+       already waiting and get on with the batch.  A signal interrupting
+       the blocking read surfaces as `Nothing, so should_stop is
+       re-checked promptly. *)
+    drain ~block:(Queue.is_empty queue && not (should_stop ()));
     st.peak_queue <- max st.peak_queue (Queue.length queue);
     if not (Queue.is_empty queue) then begin
       let batch = ref [] in
@@ -392,11 +599,16 @@ let run_loop t io =
         batch := (req, t0) :: !batch;
         replies := reply :: !replies
       done;
-      let responses = process_batch t (List.rev !batch) in
+      let responses =
+        process_batch ~queue_depth:(Queue.length queue) t (List.rev !batch)
+      in
       st.batches <- st.batches + 1;
       Obs.incr c_batches;
+      (* Group commit: make the batch's store entries durable before any
+         reply leaves — an answered request is never lost to a crash. *)
+      Option.iter Store.sync cfg.store;
       List.iter2
-        (fun reply resp -> reply (P.response_to_string resp))
+        (fun reply resp -> send reply (P.response_to_string resp))
         (List.rev !replies) responses;
       io.flush ()
     end
@@ -420,6 +632,8 @@ module Line_reader = struct
   }
 
   let create fd = { fd; buf = Buffer.create 4096; lines = []; closed = false }
+
+  let pending_partial t = Buffer.length t.buf
 
   let split_buffer t =
     let s = Buffer.contents t.buf in
@@ -505,7 +719,20 @@ let serve_stdio config =
           end);
     }
   in
-  run_loop t io
+  (* SIGTERM / SIGINT drain instead of dying mid-batch: the loop stops
+     reading, finishes the queued work, and flushes the store snapshot —
+     an interrupt no longer discards the warm cache accumulated since
+     the last flush.  (The signal interrupts the blocking select, which
+     surfaces as `Nothing; run_loop then notices should_stop.) *)
+  let stop = ref false in
+  let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
+  let old_int = (try Some (Sys.signal Sys.sigint on_signal) with Invalid_argument _ -> None) in
+  let old_term = (try Some (Sys.signal Sys.sigterm on_signal) with Invalid_argument _ -> None) in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter (Sys.set_signal Sys.sigint) old_int;
+      Option.iter (Sys.set_signal Sys.sigterm) old_term)
+    (fun () -> run_loop ~should_stop:(fun () -> !stop) t io)
 
 (* -------------------------------------------------------- socket daemon *)
 
@@ -513,8 +740,12 @@ let serve_stdio config =
    across them, answer each request on the connection it arrived on.
    Responses are written synchronously (requests and responses are a few
    KB; a client that stops reading only stalls its own connection's
-   replies).  The daemon stops on SIGINT/SIGTERM or, with [?max_requests],
-   after answering that many requests — the hook the smoke tests use. *)
+   replies).  A client that disconnects mid-request costs exactly its
+   own partial line — logged, counted (serve.client_disconnects),
+   dropped — and the remaining clients keep being served.  The daemon
+   stops on SIGINT/SIGTERM (draining the queue and flushing the store
+   first) or, with [?max_requests], after answering that many requests —
+   the hook the smoke tests use. *)
 let serve_socket ?max_requests config path =
   (match Sys.file_exists path with
   | true -> Sys.remove path
@@ -534,6 +765,18 @@ let serve_socket ?max_requests config path =
   let answered = ref 0 in
   let t = create config in
   let drop fd =
+    (match Hashtbl.find_opt clients fd with
+    | Some r ->
+        t.stats.disconnects <- t.stats.disconnects + 1;
+        Obs.incr c_disconnects;
+        let partial = Line_reader.pending_partial r in
+        if partial > 0 then
+          Printf.eprintf
+            "bg serve: client disconnected mid-request; dropped %d-byte \
+             partial line\n\
+             %!"
+            partial
+    | None -> ());
     Hashtbl.remove clients fd;
     try Unix.close fd with Unix.Unix_error _ -> ()
   in

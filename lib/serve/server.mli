@@ -10,10 +10,43 @@
     alone — one poisoned request cannot take down its batch or the
     daemon.
 
+    With [degrade] configured, load sheds {e gracefully}: cache-missing
+    zeta/phi/gamma requests behind a backlog over the watermark — or on
+    spaces too large for an exact sweep — are answered from the
+    {!Bg_decay.Estimators} tier (certified lower bound + confidence
+    interval, [degraded:true] on the wire) instead of being rejected.
+    Exact → estimated → rejected, in that order.  Degraded answers are
+    never stored: the cache key promises the exact value.
+
+    With [chaos] armed ({!Chaos}), per-request stalls and the mid-batch
+    crash point fire inside {!process_batch}; response-line faults fire
+    at the reply boundary of {!run_loop}, identically on every
+    transport.  Replies are sent only after {!Store.sync} journals the
+    batch (group commit), so a crash at any point loses at most the
+    in-flight batch and never an answered request.
+
+    [ping] requests are answered at admission — a health probe works
+    precisely when the queue is full — reporting uptime, queue depth,
+    hit rate and degraded-mode status.
+
     Every request gets one [serve.request] span (queue-wait, batch id
     and cache outcome as attrs) and lands in the [serve.latency_s] /
-    [serve.queue_wait_s] histograms; admission and batch counters are
-    [serve.*] in the {!Bg_prelude.Obs} registry. *)
+    [serve.queue_wait_s] histograms; admission, batch, degraded-answer
+    and disconnect counters are [serve.*] in the {!Bg_prelude.Obs}
+    registry. *)
+
+type degrade = {
+  queue_watermark : int;
+      (** backlog (after taking a batch) at which misses degrade *)
+  big_n : int;  (** spaces with [n >= big_n] always degrade *)
+  nodes : int;  (** estimator strata (clamped to the space size) *)
+  replicates : int;
+  seed : int;
+      (** per-key estimator seeds derive deterministically from this *)
+}
+
+val default_degrade : degrade
+(** watermark 64, [big_n] 1024, 32 nodes, 6 replicates, seed 0. *)
 
 type config = {
   ctx : Core.Decay.Ctx.t;  (** analysis context shared by all requests *)
@@ -23,6 +56,8 @@ type config = {
   request_timeout_s : float option;
       (** per-compute wall-clock budget; overruns answer [error] *)
   store : Store.t option;  (** shared (optionally persistent) result cache *)
+  degrade : degrade option;  (** graceful degradation; [None] = shed only *)
+  chaos : Chaos.t option;  (** fault injection; [None] in production *)
 }
 
 val default_config : config
@@ -37,21 +72,29 @@ type stats = {
   mutable coalesced : int;  (** duplicates folded into a batch-mate *)
   mutable batches : int;
   mutable peak_queue : int;  (** high-water mark; [<= max_queue] always *)
+  mutable degraded : int;  (** answers from the estimator tier *)
+  mutable pings : int;
+  mutable disconnects : int;  (** socket clients gone before EOF handshake *)
 }
 
 type t
 
 val create : config -> t
-(** @raise Invalid_argument if [batch_size < 1] or [max_queue < 1]. *)
+(** @raise Invalid_argument if [batch_size < 1], [max_queue < 1], or a
+    [degrade] field is out of range. *)
 
 val stats : t -> stats
 
 val process_batch :
-  t -> (Protocol.request * float) list -> Protocol.response list
+  ?queue_depth:int ->
+  t ->
+  (Protocol.request * float) list ->
+  Protocol.response list
 (** Serve one batch of [(request, admission_time)] pairs (admission
     times from {!Bg_prelude.Obs.now_s}); responses come back in input
-    order.  Exposed for tests and in-process drivers — the daemon loops
-    call it internally. *)
+    order.  [queue_depth] (default 0) is the backlog left behind the
+    batch — the degraded-mode watermark signal.  Exposed for tests and
+    in-process drivers — the daemon loops call it internally. *)
 
 type input =
   [ `Req of string * (string -> unit)
@@ -78,20 +121,28 @@ module Line_reader : sig
 
   val next : block:bool -> t -> [ `Line of string | `Nothing | `Eof ]
   (** Next complete line; with [block:false] this only polls. *)
+
+  val pending_partial : t -> int
+  (** Bytes of an incomplete trailing line sitting in the buffer. *)
 end
 
-val run_loop : t -> io -> stats
+val run_loop : ?should_stop:(unit -> bool) -> t -> io -> stats
 (** The generic serve loop over any transport: drain available input
-    (blocking only when idle), take a batch, reply in order, flush;
-    finish when [`Eof] and the queue is empty.  Flushes the store on
-    exit. *)
+    (blocking only when idle), take a batch, {!Store.sync} the journal,
+    reply in order, flush; finish when [`Eof] and the queue is empty.
+    When [should_stop] flips true the loop stops {e reading}, drains the
+    queued work, and exits — the SIGTERM drain path.  Flushes the store
+    on exit. *)
 
 val serve_stdio : config -> stats
 (** The [bg serve] stdin/stdout daemon: JSONL requests on stdin, JSONL
-    responses on stdout, until EOF. *)
+    responses on stdout, until EOF.  SIGTERM / SIGINT drain the current
+    queue and flush the store snapshot before exit. *)
 
 val serve_socket : ?max_requests:int -> config -> string -> stats
 (** The Unix-domain-socket daemon: listen at [path] (an existing file
     there is replaced), serve any number of concurrent clients, answer
-    each request on the connection it arrived on.  Stops on SIGINT /
-    SIGTERM, or after [max_requests] answers when given. *)
+    each request on the connection it arrived on.  A client
+    disconnecting mid-request is logged and its partial line dropped;
+    other clients are unaffected.  Stops on SIGINT / SIGTERM (draining
+    first), or after [max_requests] answers when given. *)

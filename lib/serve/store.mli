@@ -1,27 +1,52 @@
 (** The digest-keyed result store shared across requests {e and} daemon
-    restarts.
+    restarts — crash-safe via a write-ahead journal.
 
     In memory this is one {!Bg_prelude.Memo} table — the same
     max-entries cap and per-entry LRU eviction policy as the in-process
     analysis caches, with hit/miss/eviction counters mirrored into the
-    {!Bg_prelude.Obs} registry as [memo.store.*].  On disk it is a JSONL
-    snapshot (one [{"key":K,"result":V}] line per entry, least recently
-    used first) written atomically through
-    {!Bg_decay.Decay_io.with_atomic_out}: a crash mid-flush can never
-    clobber the previous snapshot with a torn one.
+    {!Bg_prelude.Obs} registry as [memo.store.*].  On disk it is two
+    files:
 
-    Loading is corruption-tolerant: a line that fails to parse — or
-    parses to something without the expected fields — is counted
-    ([store.corrupt_dropped]) and skipped.  A damaged entry costs one
-    recompute, never a crashed daemon. *)
+    - [PATH] — a JSONL snapshot (one [{"key":K,"result":V}] line per
+      entry, least recently used first) written atomically through
+      {!Bg_decay.Decay_io.with_atomic_out}: a crash mid-flush can never
+      clobber the previous snapshot with a torn one.
+    - [PATH.wal] — an append-only journal of entries added since the
+      last snapshot.  Each record is md5-checksummed and appended with a
+      single [write(2)]; {!sync} fsyncs it (the server group-commits
+      once per batch), so a [SIGKILL] at any point loses at most the
+      in-flight batch.
+
+    {!open_} replays the snapshot, then the {e longest valid prefix} of
+    the journal — recovery stops at the first unparseable or
+    checksum-failing line (the torn tail of a crashed append) and counts
+    what it discarded ([store.wal_torn]).  {!flush} compacts:
+    snapshot-then-truncate, in that order, so a crash between the two
+    merely replays entries the snapshot already holds.
+
+    Snapshot loading stays corruption-tolerant: a damaged line is
+    counted ([store.corrupt_dropped]) and skipped — it costs one
+    recompute, never a crashed daemon, and a torn record can never reach
+    a client. *)
 
 type t
 
-val open_ : ?max_entries:int -> ?flush_every:int -> ?path:string -> unit -> t
+val open_ :
+  ?max_entries:int ->
+  ?flush_every:int ->
+  ?path:string ->
+  ?wal:bool ->
+  ?chaos:Chaos.t ->
+  unit ->
+  t
 (** Open a store capped at [max_entries] (default 4096, LRU-evicted).
     With [?path], the snapshot at [path] is loaded (leniently; a missing
-    file is an empty store) and {!add} re-snapshots every [flush_every]
-    (default 256) inserts.  Without [?path] the store is memory-only.
+    file is an empty store), the journal at [path ^ ".wal"] is replayed
+    to its longest valid prefix, and {!add} compacts every [flush_every]
+    (default 256) inserts.  [wal] (default [true]) opens the journal for
+    appends; pass [false] for the PR 7 snapshot-only behaviour.  Without
+    [?path] the store is memory-only.  [?chaos] arms the [pre-snapshot]
+    and [mid-snapshot] crash points inside {!flush}.
     @raise Invalid_argument if [flush_every < 1]. *)
 
 val find : t -> string -> Obs_tools.Jsonl.t option
@@ -29,12 +54,22 @@ val find : t -> string -> Obs_tools.Jsonl.t option
     recency and counts a hit or miss. *)
 
 val add : t -> string -> Obs_tools.Jsonl.t -> unit
-(** Insert a computed result, evicting LRU entries beyond the cap, and
-    snapshot to disk when the flush threshold is reached. *)
+(** Insert a computed result: journal it ([store.wal_appends]), evict
+    LRU entries beyond the cap, and compact when the flush threshold is
+    reached.  Durable after the next {!sync} or {!flush}. *)
+
+val sync : t -> unit
+(** fsync journal appends since the last {!sync} ([store.wal_syncs]).
+    The server calls this once per completed batch — group commit — so
+    a crash loses at most the batch in flight.  No-op without a WAL. *)
 
 val flush : t -> unit
-(** Snapshot to disk now (atomic temp-file + rename).  No-op for a
-    memory-only store.  Call on daemon shutdown. *)
+(** Compact: snapshot atomically (temp-file + rename), then truncate the
+    journal.  No-op for a memory-only store.  Call on daemon
+    shutdown. *)
+
+val close : t -> unit
+(** {!flush}, then close the journal descriptor. *)
 
 val length : t -> int
 val hits : t -> int
@@ -46,5 +81,11 @@ val loaded : t -> int
 
 val corrupt_dropped : t -> int
 (** Damaged snapshot lines skipped at {!open_}. *)
+
+val wal_recovered : t -> int
+(** Journal entries replayed at {!open_} ([store.wal_recovered]). *)
+
+val wal_torn : t -> int
+(** Journal lines discarded as the torn tail at {!open_}. *)
 
 val path : t -> string option

@@ -1,0 +1,32 @@
+(** Daemon supervision for [bg serve --supervise]: respawn a crashed
+    worker with capped exponential backoff.
+
+    The worker inherits the supervisor's stdin/stdout {e directly}, so a
+    restart is invisible at the transport level: request bytes the dead
+    worker never consumed are still in the pipe for its successor; only
+    the in-flight partial line and the unanswered batch are lost — which
+    is precisely what a retrying {!Client} recovers, and the WAL-backed
+    {!Store} preserves everything already journaled.
+
+    Supervision ends on a clean exit (0) or a usage error (2); any other
+    exit, or death by signal (chaos [SIGKILL], OOM), restarts after a
+    capped exponential delay.  SIGINT/SIGTERM at the supervisor are
+    forwarded to the worker, whose own handlers drain and flush.
+    Restarts are counted under [supervisor.restarts]. *)
+
+type outcome = {
+  restarts : int;  (** how many times the worker was respawned *)
+  final_status : Unix.process_status;  (** the last worker's exit *)
+}
+
+val run :
+  ?max_restarts:int ->
+  ?backoff_base_s:float ->
+  ?backoff_cap_s:float ->
+  string array ->
+  outcome
+(** [run argv] spawns [argv] (program + args) with inherited stdio and
+    supervises it.  Defaults: 16 restarts max, 50 ms base delay doubling
+    to a 2 s cap.
+    @raise Invalid_argument on empty [argv] or negative
+    [max_restarts]. *)

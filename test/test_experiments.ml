@@ -25,11 +25,11 @@ let run_quiet id =
 let case_for id = case id (fun () -> run_quiet id)
 
 let test_registry_complete () =
-  check_int "29 experiments registered" 29
+  check_int "30 experiments registered" 30
     (List.length Bg_experiments.Registry.all);
   (* Ids are unique and well-formed. *)
   let ids = List.map (fun e -> e.Bg_experiments.Registry.id) Bg_experiments.Registry.all in
-  check_int "unique ids" 29 (List.length (List.sort_uniq compare ids));
+  check_int "unique ids" 30 (List.length (List.sort_uniq compare ids));
   check_true "find is case-insensitive"
     (Bg_experiments.Registry.find "e7" <> None);
   check_true "unknown id" (Bg_experiments.Registry.find "E99" = None)

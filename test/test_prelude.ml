@@ -89,6 +89,30 @@ let test_bernoulli_rate () =
   done;
   check_float ~eps:0.02 "rate ~ 0.3" 0.3 (float_of_int !hits /. 20000.)
 
+let test_backoff_equal_jitter () =
+  let g = Rng.create 53 in
+  for attempt = 0 to 8 do
+    let nominal = Float.min 2. (0.05 *. (2. ** float_of_int attempt)) in
+    let d = Rng.backoff g ~attempt ~base:0.05 ~cap:2. in
+    check_true
+      (Printf.sprintf "attempt %d in [nominal/2, nominal)" attempt)
+      (d >= (nominal /. 2.) -. 1e-12 && d < nominal)
+  done;
+  (* Same seed, same schedule; bad arguments rejected. *)
+  let sched seed =
+    let g = Rng.create seed in
+    List.init 5 (fun attempt -> Rng.backoff g ~attempt ~base:0.1 ~cap:1.)
+  in
+  check_true "seeded schedule replays" (sched 7 = sched 7);
+  let invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : float) -> Alcotest.fail "accepted bad backoff arguments"
+  in
+  invalid (fun () -> Rng.backoff g ~attempt:(-1) ~base:0.1 ~cap:1.);
+  invalid (fun () -> Rng.backoff g ~attempt:0 ~base:0. ~cap:1.);
+  invalid (fun () -> Rng.backoff g ~attempt:0 ~base:0.5 ~cap:0.1)
+
 let test_shuffle_permutes () =
   let g = Rng.create 37 in
   let arr = Array.init 50 Fun.id in
@@ -416,6 +440,7 @@ let suite =
         case "lognormal median" test_lognormal_median;
         case "pareto support" test_pareto_support;
         case "bernoulli rate" test_bernoulli_rate;
+        case "backoff equal jitter" test_backoff_equal_jitter;
         case "shuffle permutes" test_shuffle_permutes;
         case "sample distinct" test_sample_distinct;
         case "sample too many" test_sample_too_many;

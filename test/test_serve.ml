@@ -24,10 +24,10 @@ let check_exact_float msg a b = check_true msg (Float.equal a b)
 let tiny_matrix = [| [| 0.; 1.5; 2. |]; [| 1.2; 0.; 3. |]; [| 2.; 1.; 0. |] |]
 
 let req ?(id = "r1") op =
-  { P.id; op; space = P.Inline ("tiny", tiny_matrix) }
+  { P.id; op; space = Some (P.Inline ("tiny", tiny_matrix)) }
 
-let engine ?(batch_size = 32) ?(max_queue = 256) ?request_timeout_s ?store ()
-    =
+let engine ?(batch_size = 32) ?(max_queue = 256) ?request_timeout_s ?store
+    ?degrade ?chaos () =
   Server.create
     {
       Server.ctx = Ctx.make ~jobs:1 ~cache:false ();
@@ -35,6 +35,8 @@ let engine ?(batch_size = 32) ?(max_queue = 256) ?request_timeout_s ?store ()
       max_queue;
       request_timeout_s;
       store;
+      degrade;
+      chaos;
     }
 
 (* Feed requests through the engine one batch at a time (no windowing);
@@ -56,8 +58,9 @@ let test_request_round_trip () =
       req ~id:"g" (P.Gamma 4.);
       req ~id:"s" P.Summarize;
       req ~id:"e" (P.Estimate { nodes = 8; replicates = 3; seed = 9 });
-      { P.id = "c"; op = P.Zeta; space = P.Csv "0,2\n2,0" };
-      { P.id = "f"; op = P.Phi; space = P.File "/tmp/x.csv" };
+      { P.id = "c"; op = P.Zeta; space = Some (P.Csv "0,2\n2,0") };
+      { P.id = "f"; op = P.Phi; space = Some (P.File "/tmp/x.csv") };
+      { P.id = "hp"; op = P.Ping; space = None };
     ]
   in
   List.iter
@@ -99,6 +102,18 @@ let test_response_round_trip () =
           queue_wait_s = 0.25;
           batch = 7;
           elapsed_s = 0.5;
+          degraded = false;
+        };
+      P.Done
+        {
+          id = "d";
+          op_name = "zeta";
+          result = J.Obj [ ("zeta_lower", J.Num 1.2) ];
+          cache = P.Miss;
+          queue_wait_s = 0.;
+          batch = 9;
+          elapsed_s = 0.01;
+          degraded = true;
         };
       P.Rejected { id = "b"; reason = "queue full (8 pending)" };
       P.Failed { id = "c"; reason = "boom" };
@@ -239,7 +254,7 @@ let test_hit_rate_meets_analytic_floor () =
       (List.map
          (fun r ->
            match r.P.space with
-           | P.Inline (name, _) -> name ^ "/" ^ P.op_key r.P.op
+           | Some (P.Inline (name, _)) -> name ^ "/" ^ P.op_key r.P.op
            | _ -> assert false)
          reqs)
     |> List.length
@@ -310,10 +325,10 @@ let test_error_isolated_to_its_request () =
 let test_bad_space_answers_error () =
   let bad_matrix =
     { P.id = "m"; op = P.Zeta;
-      space = P.Inline ("bad", [| [| 0.; -1. |]; [| 1.; 0. |] |]) }
+      space = Some (P.Inline ("bad", [| [| 0.; -1. |]; [| 1.; 0. |] |])) }
   in
   let bad_file =
-    { P.id = "f"; op = P.Zeta; space = P.File "/nonexistent/nope.csv" }
+    { P.id = "f"; op = P.Zeta; space = Some (P.File "/nonexistent/nope.csv") }
   in
   match serve_all [ bad_matrix; bad_file; req P.Zeta ] with
   | [ P.Failed { id = "m"; _ }; P.Failed { id = "f"; _ }; P.Done _ ] -> ()
@@ -411,7 +426,9 @@ let test_request_timeout_answers_error () =
         Array.init 48 (fun j ->
             if i = j then 0. else 0.5 +. Rng.float g 10.))
   in
-  let reqs = [ { P.id = "slow"; op = P.Zeta; space = P.Inline ("big", big) } ] in
+  let reqs =
+    [ { P.id = "slow"; op = P.Zeta; space = Some (P.Inline ("big", big)) } ]
+  in
   let now = Obs.now_s () in
   match Server.process_batch t (List.map (fun r -> (r, now)) reqs) with
   | [ P.Failed { id = "slow"; reason } ] ->
@@ -429,8 +446,11 @@ let tmp_path name =
 
 let with_tmp name f =
   let path = tmp_path name in
+  let rm p = try Sys.remove p with Sys_error _ -> () in
   Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    ~finally:(fun () ->
+      rm path;
+      rm (path ^ ".wal"))
     (fun () -> f path)
 
 let test_store_persists_across_reopen () =
@@ -520,6 +540,277 @@ let test_warm_restart_hits_persisted_cache () =
         (Printf.sprintf "warm hit rate %.3f >= 0.9" (L.hit_rate warm))
         (L.hit_rate warm >= 0.9))
 
+(* --------------------------------------------------------------- chaos *)
+
+module Chaos = Bg_serve.Chaos
+module Client = Bg_serve.Client
+
+let test_chaos_spec_parse_round_trip () =
+  let ok s =
+    match Chaos.parse s with
+    | Ok sp -> sp
+    | Error e -> Alcotest.failf "rejected %s: %s" s e
+  in
+  let sp =
+    ok "torn=0.1,drop=0.05,corrupt=0.2,stall=0.5:0.001,crash=mid-batch:3"
+  in
+  check_true "crash clause parsed" (sp.Chaos.crash = Some (Chaos.Mid_batch, 3));
+  check_exact_float "torn parsed" 0.1 sp.Chaos.torn;
+  check_true "canonical form round-trips" (ok (Chaos.spec_to_string sp) = sp);
+  check_true "none renders as none" (Chaos.spec_to_string Chaos.none = "none");
+  let bad s =
+    match Chaos.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" s
+  in
+  bad "torn=1.5";
+  bad "drop=-0.1";
+  bad "warp=1";
+  bad "crash=nowhere:1";
+  bad "crash=mid-batch:0";
+  bad "stall=0.5";
+  bad "torn=abc";
+  bad "torn"
+
+let test_chaos_mangle_is_seeded () =
+  let spec = { Chaos.none with Chaos.torn = 0.3; drop = 0.2; corrupt = 0.3 } in
+  let run seed =
+    let c = Chaos.create ~action:Chaos.Raise ~seed spec in
+    List.init 200 (fun i ->
+        match Chaos.mangle c (Printf.sprintf {|{"id":"x%d","v":12345}|} i) with
+        | `Deliver s -> "d:" ^ s
+        | `Drop -> "drop"
+        | `Drop_keep_carry -> "torn")
+  in
+  check_true "same seed, same fault schedule" (run 9 = run 9);
+  check_true "different seed, different schedule" (run 9 <> run 10);
+  let faults = run 9 in
+  check_true "some lines dropped" (List.mem "drop" faults);
+  check_true "some lines torn" (List.mem "torn" faults);
+  (* Corruption / torn carry must change some delivered payloads. *)
+  let originals =
+    List.init 200 (fun i -> "d:" ^ Printf.sprintf {|{"id":"x%d","v":12345}|} i)
+  in
+  check_true "some deliveries mangled"
+    (List.exists
+       (fun s -> String.starts_with ~prefix:"d:" s && not (List.mem s originals))
+       faults)
+
+let test_chaos_crash_at_nth_arrival () =
+  let spec = { Chaos.none with Chaos.crash = Some (Chaos.Pre_snapshot, 3) } in
+  let c = Chaos.create ~action:Chaos.Raise ~seed:1 spec in
+  Chaos.at c Chaos.Pre_snapshot;
+  Chaos.at c Chaos.Mid_batch;
+  (* other points don't advance the count *)
+  Chaos.at c Chaos.Pre_snapshot;
+  match Chaos.at c Chaos.Pre_snapshot with
+  | exception Chaos.Injected_crash p ->
+      check_true "crash names its point" (p = "pre-snapshot")
+  | () -> Alcotest.fail "no crash at the 3rd arrival"
+
+(* ----------------------------------------------------------------- wal *)
+
+let test_wal_survives_power_cut () =
+  with_tmp "wal.jsonl" (fun path ->
+      let s = Store.open_ ~path ~flush_every:1_000_000 () in
+      Store.add s "k1" (J.Num 1.);
+      Store.add s "k2" (J.Str "two");
+      Store.sync s;
+      (* No flush, no close: a power cut.  Only the journal survives. *)
+      let s' = Store.open_ ~path () in
+      check_int "journal replayed" 2 (Store.wal_recovered s');
+      check_true "k1 recovered" (Store.find s' "k1" = Some (J.Num 1.));
+      check_true "k2 recovered" (Store.find s' "k2" = Some (J.Str "two"));
+      (* Compaction moves entries into the snapshot and empties the
+         journal. *)
+      Store.flush s';
+      let s'' = Store.open_ ~path () in
+      check_int "journal empty after compaction" 0 (Store.wal_recovered s'');
+      check_int "snapshot holds them" 2 (Store.loaded s''))
+
+let test_wal_recovers_longest_valid_prefix () =
+  with_tmp "torn.jsonl" (fun path ->
+      let s = Store.open_ ~path ~flush_every:1_000_000 () in
+      List.iter (fun k -> Store.add s k (J.Str k)) [ "a"; "b"; "c" ];
+      Store.sync s;
+      (* A torn append: half a record, no newline, bad checksum. *)
+      let oc = open_out_gen [ Open_append ] 0o644 (path ^ ".wal") in
+      output_string oc {|{"key":"d","result":"d","md5":"dead|};
+      close_out oc;
+      let s' = Store.open_ ~path () in
+      check_int "valid prefix recovered" 3 (Store.wal_recovered s');
+      check_int "torn tail counted" 1 (Store.wal_torn s');
+      check_true "last good entry present" (Store.find s' "c" = Some (J.Str "c"));
+      check_true "torn entry absent" (Store.find s' "d" = None))
+
+(* The crash-safety property, exhaustively: truncate the journal at
+   EVERY byte offset (every possible kill point of an append) and
+   reopen.  Recovery must always yield exactly the fully-written records
+   before the cut — never a crash, never a torn record surfacing. *)
+let test_wal_recovery_at_every_byte_prefix () =
+  let keys = [| "a"; "b"; "c"; "d"; "e" |] in
+  let full =
+    with_tmp "prefix_src.jsonl" (fun path ->
+        let s = Store.open_ ~path ~flush_every:1_000_000 () in
+        Array.iteri (fun i k -> Store.add s k (J.Num (float_of_int i))) keys;
+        Store.sync s;
+        In_channel.with_open_bin (path ^ ".wal") In_channel.input_all)
+  in
+  let len = String.length full in
+  check_true "journal has content" (len > 0);
+  for cut = 0 to len do
+    with_tmp (Printf.sprintf "prefix_%d.jsonl" cut) (fun path ->
+        Out_channel.with_open_bin (path ^ ".wal") (fun oc ->
+            Out_channel.output_string oc (String.sub full 0 cut));
+        let s = Store.open_ ~path () in
+        (* Every fully-terminated record before the cut must recover; a
+           complete record merely missing its newline may also recover
+           (its checksum proves it intact); a genuinely torn record must
+           vanish — never a crash, never a damaged entry surfacing. *)
+        let terminated =
+          String.fold_left
+            (fun acc ch -> if ch = '\n' then acc + 1 else acc)
+            0 (String.sub full 0 cut)
+        in
+        let r = Store.wal_recovered s in
+        check_true
+          (Printf.sprintf
+             "cut at byte %d: recovered %d in [%d, %d]" cut r terminated
+             (terminated + 1))
+          (r >= terminated && r <= terminated + 1);
+        for i = 0 to r - 1 do
+          check_true "recovered entry intact"
+            (Store.find s keys.(i) = Some (J.Num (float_of_int i)))
+        done;
+        if r < Array.length keys then
+          check_true "entry after the cut absent" (Store.find s keys.(r) = None);
+        Store.close s)
+  done
+
+(* ------------------------------------------------------------- degrade *)
+
+let test_degraded_answers_under_load () =
+  let d =
+    { Server.default_degrade with
+      Server.queue_watermark = 1; nodes = 3; replicates = 2 }
+  in
+  let t = engine ~store:(Store.open_ ()) ~degrade:d () in
+  let now = Obs.now_s () in
+  (match Server.process_batch ~queue_depth:5 t [ (req P.Zeta, now) ] with
+  | [ P.Done { degraded = true; result; _ } ] ->
+      let num f = Option.get (J.mem_num f result) in
+      check_true "interval ordered"
+        (num "lo" <= num "zeta_lower" && num "zeta_lower" <= num "hi");
+      check_true "confidence present" (num "confidence" > 0.)
+  | other ->
+      Alcotest.failf "expected a degraded answer: %s"
+        (String.concat " | " (List.map P.response_to_string other)));
+  (* Degraded answers are never cached: the next calm request computes
+     the exact value as a fresh miss. *)
+  (match Server.process_batch ~queue_depth:0 t [ (req P.Zeta, now) ] with
+  | [ P.Done { degraded = false; cache = P.Miss; result; _ } ] ->
+      check_true "exact zeta" (J.mem_num "zeta" result <> None)
+  | _ -> Alcotest.fail "expected an exact recompute");
+  (* A cached key stays exact even over the watermark. *)
+  match Server.process_batch ~queue_depth:5 t [ (req P.Zeta, now) ] with
+  | [ P.Done { degraded = false; cache = P.Hit; _ } ] -> ()
+  | _ -> Alcotest.fail "expected an exact cache hit under load"
+
+let test_degraded_big_space_without_backlog () =
+  let d = { Server.default_degrade with Server.big_n = 3; nodes = 3 } in
+  let t = engine ~store:(Store.open_ ()) ~degrade:d () in
+  match Server.process_batch t [ (req P.Phi, Obs.now_s ()) ] with
+  | [ P.Done { degraded = true; result; _ } ] ->
+      check_true "phi lower bound" (J.mem_num "phi_lower" result <> None)
+  | _ -> Alcotest.fail "n >= big_n should degrade even with an empty queue"
+
+let test_ping_health_op () =
+  let t = engine () in
+  let ping = { P.id = "hp"; op = P.Ping; space = None } in
+  match Server.process_batch t [ (ping, Obs.now_s ()) ] with
+  | [ P.Done { op_name = "ping"; degraded = false; result; _ } ] ->
+      check_true "uptime reported"
+        (Option.get (J.mem_num "uptime_s" result) >= 0.);
+      check_true "queue depth reported" (J.mem_num "queue_depth" result <> None);
+      check_true "hit rate reported" (J.mem_num "hit_rate" result <> None);
+      check_true "degrade status reported"
+        (J.mem_bool "degrade_enabled" result = Some false)
+  | other ->
+      Alcotest.failf "unexpected ping answer: %s"
+        (String.concat " | " (List.map P.response_to_string other))
+
+(* -------------------------------------------------------------- client *)
+
+let test_client_breaker_lifecycle () =
+  let cfg =
+    { Client.default_config with
+      Client.breaker_threshold = 3; breaker_cooldown_s = 0.05 }
+  in
+  let c = Client.create ~config:cfg ~seed:5 () in
+  check_true "starts closed" (Client.breaker_state c = Client.Closed);
+  let now = 1000. in
+  Client.record_failure c ~now;
+  Client.record_failure c ~now;
+  check_true "under threshold stays closed"
+    (Client.breaker_state c = Client.Closed);
+  check_true "closed admits" (Client.admit c ~now);
+  Client.record_failure c ~now;
+  check_true "opens at the threshold" (Client.breaker_state c = Client.Open);
+  check_int "opens counted" 1 (Client.breaker_opens c);
+  check_false "open rejects inside the cooldown"
+    (Client.admit c ~now:(now +. 0.01));
+  check_true "half-open probe after the cooldown"
+    (Client.admit c ~now:(now +. 0.1));
+  check_true "probing is half-open"
+    (Client.breaker_state c = Client.Half_open);
+  Client.record_failure c ~now:(now +. 0.1);
+  check_true "failed probe re-opens" (Client.breaker_state c = Client.Open);
+  check_false "cooldown restarts" (Client.admit c ~now:(now +. 0.12));
+  check_true "second probe" (Client.admit c ~now:(now +. 0.2));
+  Client.record_success c;
+  check_true "success closes" (Client.breaker_state c = Client.Closed);
+  check_true "closed again admits" (Client.admit c ~now:(now +. 0.2))
+
+let test_client_backoff_schedule () =
+  let cfg =
+    { Client.default_config with
+      Client.backoff_base_s = 0.1; backoff_cap_s = 0.4 }
+  in
+  let schedule seed =
+    let c = Client.create ~config:cfg ~seed () in
+    List.init 6 (fun attempt -> Client.backoff_s c ~attempt)
+  in
+  check_true "seeded schedule replays" (schedule 3 = schedule 3);
+  check_true "distinct seeds de-synchronize" (schedule 3 <> schedule 4);
+  List.iteri
+    (fun attempt d ->
+      let nominal = Float.min 0.4 (0.1 *. (2. ** float_of_int attempt)) in
+      check_true
+        (Printf.sprintf "attempt %d delay %.4f inside equal-jitter bounds"
+           attempt d)
+        (d >= (nominal /. 2.) -. 1e-12 && d < nominal))
+    (schedule 3)
+
+(* Chaotic wire, retrying driver: every id answered exactly once, no
+   corrupt line ever scored as an answer. *)
+let test_chaotic_replies_recovered_by_retries () =
+  let spec = { Chaos.none with Chaos.drop = 0.15; torn = 0.1; corrupt = 0.1 } in
+  let chaos = Chaos.create ~action:Chaos.Raise ~seed:41 spec in
+  let client =
+    Client.create
+      ~config:
+        { Client.default_config with
+          Client.deadline_s = None; max_retries = 10 }
+      ~seed:6 ()
+  in
+  let w = { L.seed = 8; requests = 80; spaces = 12; nodes = 8; zipf_s = 1.1 } in
+  let t = engine ~batch_size:16 ~store:(Store.open_ ()) ~chaos () in
+  let r = L.drive_inproc ~window:16 ~client t (L.generate w) in
+  check_int "every id answered exactly once" r.L.sent r.L.answered;
+  check_int "all ok" r.L.sent r.L.ok;
+  check_int "nothing abandoned" 0 r.L.gave_up;
+  check_true "faults actually fired" (r.L.retries > 0)
+
 (* ------------------------------------------------- end-to-end daemon *)
 
 (* Under `dune runtest` the cwd is _build/default/test (the dep puts the
@@ -571,9 +862,148 @@ let test_cli_rejects_bad_resource_flags () =
       (exit_of [ "serve"; "--batch-size"; "0" ]);
     check_int "serve --max-queue 0 rejected" 2
       (exit_of [ "serve"; "--max-queue"; "0" ]);
+    check_int "serve bad --chaos rejected" 2
+      (exit_of [ "serve"; "--chaos"; "torn=2" ]);
+    check_int "serve --degrade-watermark 0 rejected" 2
+      (exit_of [ "serve"; "--degrade-watermark"; "0" ]);
     check_int "loadgen --window 0 rejected" 2
-      (exit_of [ "loadgen"; "--window"; "0" ])
+      (exit_of [ "loadgen"; "--window"; "0" ]);
+    check_int "loadgen --requests 0 rejected" 2
+      (exit_of [ "loadgen"; "--requests"; "0" ]);
+    check_int "loadgen --spaces -1 rejected" 2
+      (exit_of [ "loadgen"; "--spaces=-1" ]);
+    check_int "loadgen --nodes 0 rejected" 2
+      (exit_of [ "loadgen"; "--nodes"; "0" ]);
+    check_int "loadgen NaN --rate rejected" 2
+      (exit_of [ "loadgen"; "--rate"; "nan" ]);
+    check_int "loadgen --rate 0 rejected" 2
+      (exit_of [ "loadgen"; "--rate"; "0" ]);
+    check_int "loadgen --deadline 0 rejected" 2
+      (exit_of [ "loadgen"; "--deadline"; "0" ]);
+    check_int "loadgen --client-retries -1 rejected" 2
+      (exit_of [ "loadgen"; "--client-retries=-1" ])
   end
+
+(* Regression: a socket client vanishing mid-request must be logged and
+   dropped while a second client is served normally. *)
+let test_socket_disconnect_mid_request () =
+  if not (Sys.file_exists bg_exe) then Alcotest.skip ()
+  else begin
+    let sock = tmp_path "disc.sock" in
+    let errf = tmp_path "disc.err" in
+    let cleanup () =
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ sock; errf ]
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let errfd =
+      Unix.openfile errf [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let pid =
+      Unix.create_process bg_exe
+        [| bg_exe; "serve"; "--socket"; sock; "--max-requests"; "1" |]
+        Unix.stdin Unix.stdout errfd
+    in
+    Unix.close errfd;
+    let rec await n =
+      if n = 0 then Alcotest.fail "daemon socket never appeared"
+      else if Sys.file_exists sock then ()
+      else begin
+        Unix.sleepf 0.05;
+        await (n - 1)
+      end
+    in
+    await 100;
+    let connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      fd
+    in
+    let send fd s =
+      let b = Bytes.of_string s in
+      let rec go off =
+        if off < Bytes.length b then
+          go (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      go 0
+    in
+    let recv_line fd =
+      let buf = Buffer.create 256 in
+      let one = Bytes.create 1 in
+      let rec go () =
+        match Unix.read fd one 0 1 with
+        | 0 -> Buffer.contents buf
+        | _ ->
+            if Bytes.get one 0 = '\n' then Buffer.contents buf
+            else begin
+              Buffer.add_char buf (Bytes.get one 0);
+              go ()
+            end
+      in
+      go ()
+    in
+    (* Client A: half a request line, then gone. *)
+    let a = connect () in
+    send a {|{"id":"half","op":"zeta|};
+    Unix.close a;
+    (* Client B: a full request; must be answered normally. *)
+    let b = connect () in
+    send b (P.request_to_string (req ~id:"whole" P.Zeta) ^ "\n");
+    let line = recv_line b in
+    (match P.response_of_string line with
+    | Ok (P.Done { id = "whole"; _ }) -> ()
+    | _ -> Alcotest.failf "client B got %S" line);
+    Unix.close b;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, st ->
+        Alcotest.failf "daemon exit: %s"
+          (match st with
+          | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+    let log = In_channel.with_open_text errf In_channel.input_all in
+    let contains ~sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    check_true "partial line logged as a disconnect"
+      (contains ~sub:"disconnected mid-request" log)
+  end
+
+(* A supervised daemon that chaos-SIGKILLs itself mid-batch: the
+   supervisor restarts it on the same pipes, the client's deadline
+   retries recover the lost batch, and the WAL-backed cache carries
+   answers across incarnations.  Every request still answered once. *)
+let test_supervised_restart_rides_out_crashes () =
+  if not (Sys.file_exists bg_exe) then Alcotest.skip ()
+  else
+    with_tmp "sup_cache.jsonl" (fun cache ->
+        let w =
+          { L.seed = 9; requests = 60; spaces = 10; nodes = 8; zipf_s = 1.1 }
+        in
+        let client =
+          Client.create
+            ~config:
+              { Client.default_config with
+                Client.deadline_s = Some 1.0;
+                max_retries = 8;
+                backoff_base_s = 0.05;
+                backoff_cap_s = 0.2;
+                breaker_threshold = 1000 }
+            ~seed:4 ()
+        in
+        let r =
+          L.drive_subprocess ~window:8 ~client
+            [| bg_exe; "serve"; "--supervise"; "--batch-size"; "8"; "--cache";
+               cache; "--chaos"; "crash=mid-batch:3"; "--chaos-seed"; "11";
+               "--jobs"; "1" |]
+            (L.generate w)
+        in
+        check_int "every request answered" r.L.sent r.L.answered;
+        check_int "all ok" r.L.sent r.L.ok;
+        check_int "nothing abandoned" 0 r.L.gave_up;
+        check_true "the crash actually cost retries" (r.L.retries > 0))
 
 let suite =
   [
@@ -621,6 +1051,35 @@ let suite =
         case "LRU cap and snapshot order" test_store_lru_cap_and_snapshot_order;
         case "memo evicts per entry, LRU first" test_memo_per_entry_lru;
       ] );
+    ( "serve.chaos",
+      [
+        case "spec parses and round-trips" test_chaos_spec_parse_round_trip;
+        case "fault schedule is seeded" test_chaos_mangle_is_seeded;
+        case "crash fires at the Nth arrival" test_chaos_crash_at_nth_arrival;
+      ] );
+    ( "serve.wal",
+      [
+        case "synced appends survive a power cut" test_wal_survives_power_cut;
+        case "torn tail: longest valid prefix wins"
+          test_wal_recovers_longest_valid_prefix;
+        case "recovery clean at every byte prefix"
+          test_wal_recovery_at_every_byte_prefix;
+      ] );
+    ( "serve.degrade",
+      [
+        case "backlog over the watermark degrades"
+          test_degraded_answers_under_load;
+        case "big spaces degrade without backlog"
+          test_degraded_big_space_without_backlog;
+        case "ping reports daemon health" test_ping_health_op;
+      ] );
+    ( "serve.client",
+      [
+        case "breaker lifecycle" test_client_breaker_lifecycle;
+        case "backoff is seeded equal jitter" test_client_backoff_schedule;
+        case "retries recover chaotic replies"
+          test_chaotic_replies_recovered_by_retries;
+      ] );
     ( "serve.restart",
       [
         case "warm restart hits the persisted cache"
@@ -632,5 +1091,9 @@ let suite =
           test_pipe_driver_against_real_daemon;
         case "CLI rejects bad resource flags"
           test_cli_rejects_bad_resource_flags;
+        case "mid-request disconnect is logged and isolated"
+          test_socket_disconnect_mid_request;
+        case "supervised restart rides out chaos crashes"
+          test_supervised_restart_rides_out_crashes;
       ] );
   ]
