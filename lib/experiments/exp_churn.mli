@@ -1,0 +1,15 @@
+(** Experiment E31: scheduling under mobility churn.
+
+    Drives a seeded {!Core.Decay.Evolve} trace, maintains ζ/φ/γ with
+    {!Core.Decay.Incremental} (differentially checked against full
+    recompute at every step), and asks the ROADMAP's churn questions: how
+    fast do the parameters drift, how long does a schedule computed at
+    t=0 stay SINR-feasible, and does dynamic (E16/E21-style) scheduling
+    still stabilize on the drifted space? *)
+
+val e31_churn_scheduling : unit -> Outcome.t
+(** Pass iff every differential check is bit-exact, the t=0 schedule
+    survives at least one step, and longest-queue-first stays stable at
+    modest load on both the initial and the final space.  [measured] is
+    the number of steps the t=0 schedule stayed feasible; [bound] is the
+    1-step survival floor. *)

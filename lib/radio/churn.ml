@@ -1,0 +1,21 @@
+(* Adapters from the radio substrate to Bg_decay.Evolve — see churn.mli. *)
+
+let strip config =
+  {
+    config with
+    Propagation.shadowing_sigma_db = 0.;
+    fading = Propagation.No_fading;
+  }
+
+let base_decay ?(config = Propagation.default) env =
+  let config = strip config in
+  fun p q ->
+    Propagation.loss_to_decay (Propagation.large_scale_loss_db config env p q)
+
+let evolve ?config ?name ~seed env (cfg : Bg_decay.Evolve.config) =
+  if cfg.Bg_decay.Evolve.side > Environment.side env +. 1e-9 then
+    invalid_arg
+      (Printf.sprintf
+         "Churn.evolve: arena side %g exceeds environment side %g"
+         cfg.Bg_decay.Evolve.side (Environment.side env));
+  Bg_decay.Evolve.create ~base:(base_decay ?config env) ?name ~seed cfg

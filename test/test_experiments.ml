@@ -1,49 +1,55 @@
-(* Smoke-test the experiment registry: the sub-second experiments run
-   inside the unit-test suite so a regression in any claim check is caught
-   by `dune runtest`, not only by the bench harness.  (The full set runs in
-   bench/main.exe; see EXPERIMENTS.md.) *)
+(* Registry-level tests: the full experiment catalogue (E1..E31) runs
+   inside `dune runtest` under the Isolate wrapper — every id must finish
+   with a structured passing outcome, and the id sequence itself must be
+   unique and dense.  (bench/main.exe runs the same registry unisolated;
+   see EXPERIMENTS.md.) *)
 
 open Testutil
+module R = Bg_experiments.Registry
+module Isolate = Bg_experiments.Isolate
 
-let run_quiet id =
-  (* The experiments print their tables; keep runtest output readable by
-     swallowing stdout around the call. *)
-  match Bg_experiments.Registry.find id with
-  | None -> Alcotest.fail ("unknown experiment " ^ id)
-  | Some e ->
-      let o = e.Bg_experiments.Registry.run () in
-      check_true (id ^ " verdict") o.Bg_experiments.Registry.pass;
-      (* Structured outcomes: a recorded measured value must actually be on
-         the right side of a recorded bound when the experiment passes with
-         both present and a leq/geq reading; at minimum it must be finite. *)
-      (match o.Bg_experiments.Registry.measured with
-      | Some m -> check_true (id ^ " measured finite") (Float.is_finite m)
-      | None -> ());
-      check_true (id ^ " has detail")
-        (String.length o.Bg_experiments.Registry.detail > 0)
-
-let case_for id = case id (fun () -> run_quiet id)
+let n_registered = List.length R.all
 
 let test_registry_complete () =
-  check_int "30 experiments registered" 30
-    (List.length Bg_experiments.Registry.all);
-  (* Ids are unique and well-formed. *)
-  let ids = List.map (fun e -> e.Bg_experiments.Registry.id) Bg_experiments.Registry.all in
-  check_int "unique ids" 30 (List.length (List.sort_uniq compare ids));
-  check_true "find is case-insensitive"
-    (Bg_experiments.Registry.find "e7" <> None);
-  check_true "unknown id" (Bg_experiments.Registry.find "E99" = None)
+  let ids = List.map (fun e -> e.R.id) R.all in
+  check_int "unique ids" n_registered (List.length (List.sort_uniq compare ids));
+  (* Dense: the ids are exactly E1..E<n>, in order. *)
+  List.iteri
+    (fun i id -> check_true (Printf.sprintf "id %d is E%d" i (i + 1))
+        (String.equal id (Printf.sprintf "E%d" (i + 1))))
+    ids;
+  check_true "E31 is registered" (n_registered >= 31);
+  check_true "find is case-insensitive" (R.find "e7" <> None);
+  check_true "unknown id" (R.find (Printf.sprintf "E%d" (n_registered + 1)) = None)
+
+(* Every registered experiment, under Isolate with a real timeout: the
+   status must be Finished (not Crashed/Timed_out), the outcome must
+   pass, any measured/bound must be finite, and detail must be
+   non-empty.  This is the registry-wide structured-outcome contract. *)
+let run_isolated (e : R.entry) () =
+  let res = Isolate.run_entry ~timeout_s:120. ~retries:0 e in
+  check_int (e.R.id ^ " single attempt") 1 res.Isolate.attempts;
+  match res.Isolate.status with
+  | Isolate.Crashed { exn; backtrace } ->
+      Alcotest.fail (Printf.sprintf "%s crashed: %s\n%s" e.R.id exn backtrace)
+  | Isolate.Timed_out budget ->
+      Alcotest.fail (Printf.sprintf "%s timed out (%.0fs)" e.R.id budget)
+  | Isolate.Finished o ->
+      check_true (e.R.id ^ " verdict") o.R.pass;
+      check_true (e.R.id ^ " isolate agrees") (Isolate.passed res);
+      (match o.R.measured with
+      | Some m -> check_true (e.R.id ^ " measured finite") (Float.is_finite m)
+      | None -> ());
+      (match o.R.bound with
+      | Some b -> check_true (e.R.id ^ " bound finite") (Float.is_finite b)
+      | None -> ());
+      check_true (e.R.id ^ " has detail") (String.length o.R.detail > 0)
 
 let suite =
   [
     ( "experiments.registry",
-      [
-        case "registry metadata" test_registry_complete;
-        (* The fastest claim experiments, as regression canaries. *)
-        case_for "E1";
-        case_for "E3";
-        case_for "E9";
-        case_for "E10";
-        case_for "E26";
-      ] );
+      case "registry metadata" test_registry_complete
+      :: List.map
+           (fun e -> case (e.R.id ^ " under Isolate") (run_isolated e))
+           R.all );
   ]
