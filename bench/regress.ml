@@ -174,6 +174,9 @@ let run_suite ?(reps = 5) ?(large = false) () =
                   store = Some store;
                   degrade = None;
                   chaos = None;
+                  slo = None;
+                  telemetry = None;
+                  lineage = None;
                 }
             in
             let r = Bg_serve.Loadgen.drive_inproc ~window:32 t reqs in

@@ -12,6 +12,8 @@
      bg bench [--record|--check]   kernel bench / perf-regression gate
      bg serve                      batched JSONL analysis daemon
      bg loadgen                    workload replayer / benchmark for serve
+     bg top                        live daemon telemetry (socket or file)
+     bg slo                        score recorded telemetry against SLOs
      bg zoo                        list the built-in constructions *)
 
 open Cmdliner
@@ -127,11 +129,12 @@ let profile_arg =
            and per worker domain. No effect without --trace.")
 
 (* An unwritable trace path must be a clean exit-2 error at startup, not
-   a Sys_error escaping at first flush mid-run. *)
-let apply_obs ?(profile = false) trace =
+   a Sys_error escaping at first flush mid-run.  [append] is how a
+   supervised worker respawn continues its predecessors' file. *)
+let apply_obs ?(profile = false) ?(append = false) trace =
   Option.iter
     (fun path ->
-      (try Core.Prelude.Obs.set_trace_file path
+      (try Core.Prelude.Obs.set_trace_file ~append path
        with Sys_error msg -> user_error "cannot open trace file: %s" msg);
       Core.Prelude.Obs.set_profile profile)
     trace
@@ -1071,6 +1074,17 @@ let trace_pos_arg ~at ~docv =
     & pos at (some file) None
     & info [] ~docv ~doc:"JSONL trace file (written by --trace FILE).")
 
+let trace_files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"TRACE"
+        ~doc:
+          "JSONL trace file(s) (written by --trace FILE). Several files \
+           — e.g. a loadgen client trace plus the daemon's — are merged \
+           into one causal forest: span ids are remapped per process \
+           and server spans re-parent under the client span whose id \
+           rode the wire.")
+
 let load_spans path =
   or_user_error (fun () ->
       let spans = Obs_tools.Trace.load path in
@@ -1078,23 +1092,52 @@ let load_spans path =
         user_error "%s: no span events (is this a --trace file?)" path;
       spans)
 
+let load_merged = function
+  | [ path ] -> load_spans path
+  | paths -> Obs_tools.Trace.merge (List.map load_spans paths)
+
 let trace_report_cmd =
-  let run path =
-    let spans = load_spans path in
-    Core.Prelude.Table.print
-      (Obs_tools.Trace.report_table
-         ~title:(Printf.sprintf "trace report: %s" path)
-         spans);
-    Core.Prelude.Table.print (Obs_tools.Trace.critical_path_table spans)
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"TRACE_ID"
+          ~doc:
+            "Show one logical request's causal tree instead of the \
+             aggregate: every span tagged with $(docv) (a loadgen p99 \
+             exemplar, a client.request trace id) plus its descendants, \
+             indented in start order.")
+  in
+  let run paths id =
+    let spans = load_merged paths in
+    match id with
+    | Some tid ->
+        let sub = Obs_tools.Trace.filter_trace ~id:tid spans in
+        if sub = [] then
+          user_error "trace id %s not found in %s" tid
+            (String.concat ", " paths);
+        Core.Prelude.Table.print
+          (Obs_tools.Trace.tree_table
+             ~title:(Printf.sprintf "causal tree: %s" tid)
+             sub)
+    | None ->
+        Core.Prelude.Table.print
+          (Obs_tools.Trace.report_table
+             ~title:
+               (Printf.sprintf "trace report: %s" (String.concat " + " paths))
+             spans);
+        Core.Prelude.Table.print (Obs_tools.Trace.critical_path_table spans)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Aggregate a JSONL trace into a per-span-kind table (count, \
+         "Aggregate JSONL trace(s) into a per-span-kind table (count, \
           total/self/child wall time, allocation when recorded with \
           --profile, p50/p99 from log2 buckets) plus the critical path \
-          of the slowest experiment.")
-    Term.(const run $ trace_pos_arg ~at:0 ~docv:"TRACE")
+          of the slowest experiment. Multiple files merge into one \
+          cross-process forest; --id renders a single request's causal \
+          tree.")
+    Term.(const run $ trace_files_arg $ id_arg)
 
 let trace_flame_cmd =
   let format_arg =
@@ -1114,14 +1157,15 @@ let trace_flame_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write to $(docv) instead of stdout.")
   in
-  let run path format out =
-    let spans = load_spans path in
+  let run paths format out =
+    let spans = load_merged paths in
+    let name =
+      String.concat "+" (List.map Filename.basename paths)
+    in
     let text =
       match format with
       | `Folded -> Obs_tools.Trace.folded_to_string spans
-      | `Speedscope ->
-          Obs_tools.Trace.speedscope ~name:(Filename.basename path) spans
-          ^ "\n"
+      | `Speedscope -> Obs_tools.Trace.speedscope ~name spans ^ "\n"
     in
     match out with
     | None -> print_string text
@@ -1133,13 +1177,24 @@ let trace_flame_cmd =
   Cmd.v
     (Cmd.info "flame"
        ~doc:
-         "Render a JSONL trace as folded stacks (flamegraph.pl) or a \
-          speedscope profile.")
-    Term.(const run $ trace_pos_arg ~at:0 ~docv:"TRACE" $ format_arg $ out_arg)
+         "Render JSONL trace(s) (merged when several) as folded stacks \
+          (flamegraph.pl) or a speedscope profile.")
+    Term.(const run $ trace_files_arg $ format_arg $ out_arg)
 
 let trace_diff_cmd =
   let run old_path new_path =
     let old_spans = load_spans old_path and new_spans = load_spans new_path in
+    (* Disjoint kind sets mean the traces describe different programs —
+       a diff would be all "new"/"gone" noise; refuse cleanly. *)
+    let new_kinds = Obs_tools.Trace.kinds new_spans in
+    if
+      not
+        (List.exists
+           (fun k -> List.mem k new_kinds)
+           (Obs_tools.Trace.kinds old_spans))
+    then
+      user_error "%s and %s share no span kinds — nothing to compare"
+        old_path new_path;
     Core.Prelude.Table.print
       (Obs_tools.Trace.diff_table ~old_spans ~new_spans)
   in
@@ -1247,7 +1302,8 @@ let degrade_above_arg =
    [make_chaos] and [make_config] — --supervise must validate without
    opening the store in the parent. *)
 let serve_settings ~batch_size ~max_queue ~cache ~cache_entries
-    ~request_timeout ~chaos ~chaos_seed ~degrade_watermark ~degrade_above =
+    ~request_timeout ~chaos ~chaos_seed ~degrade_watermark ~degrade_above
+    ~slo ~telemetry ~telemetry_interval =
   if batch_size < 1 then
     user_error "--batch-size must be at least 1 (got %d)" batch_size;
   if max_queue < 1 then
@@ -1286,6 +1342,17 @@ let serve_settings ~batch_size ~max_queue ~cache ~cache_entries
             big_n = Option.value a ~default:d.Bg_serve.Server.big_n;
           }
   in
+  let slo_spec =
+    match slo with
+    | None -> None
+    | Some text -> (
+        match Bg_serve.Slo.parse_spec text with
+        | Ok spec -> Some spec
+        | Error msg -> user_error "--slo: %s" msg)
+  in
+  if not (telemetry_interval > 0.) then
+    user_error "--telemetry-interval must be positive (got %g)"
+      telemetry_interval;
   let make_chaos () =
     Option.map
       (fun spec -> Bg_serve.Chaos.create ~seed:chaos_seed spec)
@@ -1296,6 +1363,22 @@ let serve_settings ~batch_size ~max_queue ~cache ~cache_entries
     let store =
       Bg_serve.Store.open_ ~max_entries:cache_entries ?path:cache ?chaos ()
     in
+    let telemetry =
+      Option.map
+        (fun path ->
+          try Bg_serve.Telemetry.create ~interval_s:telemetry_interval path
+          with Sys_error msg ->
+            user_error "cannot open telemetry file: %s" msg)
+        telemetry
+    in
+    (* A supervised worker learns its lineage from the environment the
+       supervisor exported before the spawn. *)
+    let lineage =
+      Option.map
+        (fun (restarts, supervisor_started_s, prior_uptime_s) ->
+          { Bg_serve.Server.restarts; supervisor_started_s; prior_uptime_s })
+        (Bg_serve.Supervisor.read_lineage ())
+    in
     {
       Bg_serve.Server.ctx = Core.Decay.Ctx.make ~jobs ();
       batch_size;
@@ -1304,6 +1387,9 @@ let serve_settings ~batch_size ~max_queue ~cache ~cache_entries
       store = Some store;
       degrade;
       chaos;
+      slo = Option.map (fun spec -> Bg_serve.Slo.create spec) slo_spec;
+      telemetry;
+      lineage;
     }
   in
   make_config
@@ -1322,6 +1408,45 @@ let print_serve_summary (st : Bg_serve.Server.stats) =
     st.degraded st.batches st.peak_queue
     (Obs.histogram_quantile h 0.50)
     (Obs.histogram_quantile h 0.99)
+
+let serve_slo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Track service-level objectives over a sliding window: a \
+           comma-separated spec of latency-quantile bounds (p99<=0.05, \
+           seconds) and error-rate bounds (err<=1%). Burn rates and a \
+           health verdict are reported by every ping/metrics reply.")
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Append periodic metric snapshots (counter/gauge/histogram \
+           values and deltas) to $(docv) as a bounded JSONL ring. `bg \
+           top --telemetry` tails it; `bg slo` replays it against an \
+           SLO spec. Append-mode, so supervised respawns continue one \
+           ring.")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "telemetry-interval" ] ~docv:"SECONDS"
+        ~doc:"Seconds between --telemetry snapshots.")
+
+let trace_append_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-append" ]
+        ~doc:
+          "With --trace: append to the file instead of truncating it \
+           (used by --supervise so every worker incarnation lands in \
+           one file; span ids stay unambiguous because `bg trace` \
+           remaps per process on merge).")
 
 let supervise_arg =
   Arg.(
@@ -1354,10 +1479,10 @@ let serve_cmd =
              tests and bounded sessions).")
   in
   let run socket max_requests batch_size max_queue cache cache_entries
-      request_timeout chaos chaos_seed degrade_watermark degrade_above
-      supervise jobs trace profile metrics =
+      request_timeout chaos chaos_seed degrade_watermark degrade_above slo
+      telemetry telemetry_interval trace_append supervise jobs trace profile
+      metrics =
     let jobs = apply_jobs jobs in
-    apply_obs ~profile trace;
     (match max_requests with
     | Some n when n < 1 ->
         user_error "--max-requests must be at least 1 (got %d)" n
@@ -1365,11 +1490,20 @@ let serve_cmd =
     let make_config =
       serve_settings ~batch_size ~max_queue ~cache ~cache_entries
         ~request_timeout ~chaos ~chaos_seed ~degrade_watermark ~degrade_above
+        ~slo ~telemetry ~telemetry_interval
     in
     if supervise then begin
       (* Validation already ran above; the worker re-runs it cheaply.
          The store opens in the worker only, so each incarnation replays
-         the WAL itself. *)
+         the WAL itself.  The workers also own the trace file — the
+         supervisor truncates it exactly once here and hands the workers
+         --trace-append, so one supervised run (however many respawns)
+         yields one mergeable file. *)
+      Option.iter
+        (fun path ->
+          try Out_channel.with_open_bin path (fun _ -> ())
+          with Sys_error msg -> user_error "cannot open trace file: %s" msg)
+        trace;
       let argv =
         Array.of_list
           ([ Sys.executable_name; "serve"; "--batch-size";
@@ -1390,6 +1524,17 @@ let serve_cmd =
           @ (match degrade_above with
             | Some n -> [ "--degrade-above"; string_of_int n ]
             | None -> [])
+          @ (match slo with Some s -> [ "--slo"; s ] | None -> [])
+          @ (match telemetry with
+            | Some f ->
+                [ "--telemetry"; f; "--telemetry-interval";
+                  string_of_float telemetry_interval ]
+            | None -> [])
+          @ (match trace with
+            | Some f ->
+                [ "--trace"; f; "--trace-append" ]
+                @ (if profile then [ "--profile" ] else [])
+            | None -> [])
           @ (match socket with Some p -> [ "--socket"; p ] | None -> [])
           @ (match max_requests with
             | Some n -> [ "--max-requests"; string_of_int n ]
@@ -1404,6 +1549,7 @@ let serve_cmd =
       | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> exit 1
     end
     else begin
+      apply_obs ~profile ~append:trace_append trace;
       let config = make_config ~jobs () in
       let stats =
         or_user_error (fun () ->
@@ -1428,13 +1574,20 @@ let serve_cmd =
           restarts with --cache. Under load or on huge spaces, \
           --degrade-watermark/--degrade-above answer from the estimator \
           tier instead of shedding; --chaos injects seeded faults for \
-          resilience testing; --supervise restarts a crashed daemon.")
+          resilience testing; --supervise restarts a crashed daemon. \
+          Observability: the metrics wire op answers a full registry \
+          scrape at admission, --slo tracks latency/error objectives \
+          with burn rates in every ping, --telemetry appends periodic \
+          snapshot deltas for `bg top` / `bg slo`, and --trace records \
+          spans that `bg trace report` merges with client traces into \
+          per-request causal trees.")
     Term.(
       const run $ socket_arg $ max_requests_arg $ batch_size_arg
       $ max_queue_arg $ cache_file_arg $ cache_entries_arg
       $ request_timeout_arg $ chaos_arg $ chaos_seed_arg
-      $ degrade_watermark_arg $ degrade_above_arg $ supervise_arg $ jobs_arg
-      $ trace_arg $ profile_arg $ metrics_arg)
+      $ degrade_watermark_arg $ degrade_above_arg $ serve_slo_arg
+      $ telemetry_arg $ telemetry_interval_arg $ trace_append_arg
+      $ supervise_arg $ jobs_arg $ trace_arg $ profile_arg $ metrics_arg)
 
 (* -------------------------------------------------------------- loadgen *)
 
@@ -1504,10 +1657,41 @@ let loadgen_cmd =
             "Retry budget per request beyond the first attempt; \
              exhausted requests are reported as given up.")
   in
+  let lg_slo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "Score the finished run against service-level objectives \
+             (same grammar as `bg serve --slo`, e.g. p99<=0.05,err<=1%). \
+             Requests that gave up count as failures. A violated \
+             objective makes the run exit 3.")
+  in
+  let serve_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve-trace" ] ~docv:"FILE"
+          ~doc:
+            "Pass --trace $(docv) to the spawned daemon, so the run \
+             leaves a server-side span file; together with this \
+             command's own --trace (the client side), `bg trace report \
+             FILE1 FILE2` merges them into per-request causal trees.")
+  in
   let run requests spaces nodes zipf seed window rate json deadline
-      client_retries chaos chaos_seed supervise batch_size max_queue cache
-      cache_entries request_timeout jobs trace profile metrics =
+      client_retries slo serve_trace chaos chaos_seed supervise batch_size
+      max_queue cache cache_entries request_timeout jobs trace profile
+      metrics =
     apply_obs ~profile trace;
+    let slo_spec =
+      Option.map
+        (fun text ->
+          match Bg_serve.Slo.parse_spec text with
+          | Ok spec -> spec
+          | Error msg -> user_error "--slo: %s" msg)
+        slo
+    in
     if requests < 1 then
       user_error "--requests must be at least 1 (got %d)" requests;
     if spaces < 1 then user_error "--spaces must be at least 1 (got %d)" spaces;
@@ -1572,6 +1756,9 @@ let loadgen_cmd =
         @ (match chaos with
           | Some s -> [ "--chaos"; s; "--chaos-seed"; string_of_int chaos_seed ]
           | None -> [])
+        (* Under --supervise the daemon's own supervise branch truncates
+           the file once and respawns workers in append mode. *)
+        @ (match serve_trace with Some f -> [ "--trace"; f ] | None -> [])
         @ (if supervise then [ "--supervise" ] else []))
     in
     let report =
@@ -1579,13 +1766,26 @@ let loadgen_cmd =
           L.drive_subprocess ~window ?rate ?client argv trace_reqs)
     in
     Format.printf "%a@." L.pp_report report;
+    let slo_statuses =
+      Option.map
+        (fun spec -> Bg_serve.Slo.eval_samples spec report.L.slo_samples)
+        slo_spec
+    in
+    Option.iter
+      (List.iter (fun st ->
+           Format.printf "slo %s: %s  (burn %.2f, %d/%d bad)@."
+             (Bg_serve.Slo.objective_name st.Bg_serve.Slo.objective)
+             (if st.Bg_serve.Slo.healthy then "ok" else "VIOLATED")
+             st.Bg_serve.Slo.window_burn st.Bg_serve.Slo.window_bad
+             st.Bg_serve.Slo.window_total))
+      slo_statuses;
     Option.iter
       (fun path ->
         or_user_error (fun () ->
             Core.Decay.Decay_io.with_atomic_out path (fun oc ->
                 let j =
                   Obs_tools.Jsonl.Obj
-                    [ ("suite", Obs_tools.Jsonl.Str "serve");
+                    ([ ("suite", Obs_tools.Jsonl.Str "serve");
                       ( "workload",
                         Obs_tools.Jsonl.Obj
                           [ ("seed", Obs_tools.Jsonl.Num (float_of_int seed));
@@ -1618,6 +1818,14 @@ let loadgen_cmd =
                           @ [ ("supervise", Obs_tools.Jsonl.Bool supervise) ])
                       );
                       ("report", L.report_to_json report) ]
+                    @
+                    match slo_statuses with
+                    | None -> []
+                    | Some statuses ->
+                        [ ( "slo",
+                            Obs_tools.Jsonl.Arr
+                              (List.map Bg_serve.Slo.status_to_json statuses)
+                          ) ])
                 in
                 output_string oc (Obs_tools.Jsonl.to_string j);
                 output_char oc '\n'));
@@ -1631,7 +1839,24 @@ let loadgen_cmd =
         (report.L.sent - report.L.answered)
         report.L.sent;
       exit 1
-    end
+    end;
+    (* Exit 3 mirrors the perf gate's soft-fail: the run completed, the
+       objective did not. *)
+    Option.iter
+      (fun statuses ->
+        if Bg_serve.Slo.violated statuses then begin
+          Printf.eprintf "bg loadgen: SLO violated (%s)\n%!"
+            (String.concat ", "
+               (List.filter_map
+                  (fun st ->
+                    if st.Bg_serve.Slo.healthy then None
+                    else
+                      Some
+                        (Bg_serve.Slo.objective_name st.Bg_serve.Slo.objective))
+                  statuses));
+          exit 3
+        end)
+      slo_statuses
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -1643,15 +1868,407 @@ let loadgen_cmd =
           driver retries lost or late answers under seeded backoff; \
           --chaos/--supervise pass fault injection and supervision \
           through to the daemon. Reports throughput, p50/p99 latency, \
-          cache outcomes and resilience counters; exits nonzero if any \
-          request goes unanswered.")
+          cache outcomes, p99 trace-id exemplars and resilience \
+          counters; exits 1 if any request goes unanswered and 3 if a \
+          --slo objective is violated.")
     Term.(
       const run $ requests_arg $ spaces_arg $ lg_nodes_arg $ zipf_arg
       $ seed_arg $ window_arg $ rate_arg $ json_out_arg $ deadline_arg
-      $ client_retries_arg $ chaos_arg $ chaos_seed_arg $ supervise_arg
-      $ batch_size_arg $ max_queue_arg $ cache_file_arg $ cache_entries_arg
-      $ request_timeout_arg $ jobs_arg $ trace_arg $ profile_arg
-      $ metrics_arg)
+      $ client_retries_arg $ lg_slo_arg $ serve_trace_arg $ chaos_arg
+      $ chaos_seed_arg $ supervise_arg $ batch_size_arg $ max_queue_arg
+      $ cache_file_arg $ cache_entries_arg $ request_timeout_arg $ jobs_arg
+      $ trace_arg $ profile_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ top *)
+
+(* Shared JSON digging for bg top / bg slo: every accessor degrades to a
+   zero, never an exception — telemetry is observed, not validated. *)
+let j_num j k =
+  Option.value ~default:0. (Obs_tools.Jsonl.mem_num k j)
+
+let j_obj j k =
+  match Obs_tools.Jsonl.member k j with
+  | Some (Obs_tools.Jsonl.Obj kvs) -> kvs
+  | _ -> []
+
+let top_cmd =
+  let module J = Obs_tools.Jsonl in
+  let module P = Bg_serve.Protocol in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Poll a live daemon's metrics wire op over its Unix socket \
+             (answered at admission, so it works during overload).")
+  in
+  let telemetry_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Tail a --telemetry ring file instead of polling a socket \
+             (works on a dead daemon's last snapshots too).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes (0 = run until interrupted).")
+  in
+  let prometheus_arg =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "With --socket: print a Prometheus text-exposition scrape of \
+             the polled registry instead of the table (counters and \
+             gauges exactly; histograms as _sum/_count, bucket detail \
+             lives in --telemetry files).")
+  in
+  (* One throughput sample needs two polls; remember the last one. *)
+  let prev : (float * float) option ref = ref None in
+  let render_wire result =
+    let now = Core.Prelude.Obs.now_s () in
+    let stats = j_obj result "stats" in
+    let snum k = j_num (J.Obj stats) k in
+    let served = snum "served" in
+    let throughput =
+      match !prev with
+      | Some (ps, pt) when now > pt && served >= ps ->
+          (served -. ps) /. (now -. pt)
+      | _ -> 0.
+    in
+    prev := Some (served, now);
+    let hist name =
+      match List.assoc_opt name (j_obj result "histograms") with
+      | Some h -> h
+      | None -> J.Obj []
+    in
+    let counter name =
+      int_of_float (j_num (J.Obj (j_obj result "counters")) name)
+    in
+    let lat = hist "serve.latency_s" in
+    let hit_rate =
+      if served > 0. then snum "store_hits" /. served else 0.
+    in
+    let t =
+      Core.Prelude.Table.create ~title:"bg top" [ "metric"; "value" ]
+    in
+    let open Core.Prelude.Table in
+    add_row t [ S "uptime"; S (Printf.sprintf "%.1fs" (j_num result "uptime_s")) ];
+    add_row t
+      [ S "restarts / total uptime";
+        S
+          (Printf.sprintf "%d / %.1fs"
+             (int_of_float (j_num result "restarts"))
+             (j_num result "total_uptime_s")) ];
+    add_row t [ S "queue depth"; I (int_of_float (j_num result "queue_depth")) ];
+    add_row t [ S "throughput"; S (Printf.sprintf "%.1f req/s" throughput) ];
+    add_row t
+      [ S "accepted / served";
+        S (Printf.sprintf "%d / %d" (int_of_float (snum "accepted"))
+             (int_of_float served)) ];
+    add_row t [ S "hit rate"; S (Printf.sprintf "%.3f" hit_rate) ];
+    add_row t
+      [ S "rejected / failed";
+        S (Printf.sprintf "%d / %d" (int_of_float (snum "rejected"))
+             (int_of_float (snum "failed"))) ];
+    add_row t
+      [ S "degraded / coalesced";
+        S (Printf.sprintf "%d / %d" (int_of_float (snum "degraded"))
+             (int_of_float (snum "coalesced"))) ];
+    add_row t
+      [ S "latency p50 / p99";
+        S (Printf.sprintf "%.4gs / %.4gs" (j_num lat "p50") (j_num lat "p99")) ];
+    add_row t
+      [ S "queue wait p99";
+        S (Printf.sprintf "%.4gs" (j_num (hist "serve.queue_wait_s") "p99")) ];
+    add_row t
+      [ S "retries (client) / WAL appends";
+        S (Printf.sprintf "%d / %d" (counter "client.retries")
+             (counter "store.wal_appends")) ];
+    add_row t
+      [ S "WAL recovered / torn";
+        S (Printf.sprintf "%d / %d" (counter "store.wal_recovered")
+             (counter "store.wal_torn")) ];
+    (match J.member "slo" result with
+    | Some (J.Arr statuses) ->
+        List.iter
+          (fun st ->
+            let name =
+              Option.value ~default:"?" (J.mem_str "objective" st)
+            in
+            let burn = j_num (J.Obj (j_obj st "window")) "burn" in
+            let healthy =
+              Option.value ~default:true (J.mem_bool "healthy" st)
+            in
+            add_row t
+              [ S (Printf.sprintf "slo %s" name);
+                S
+                  (Printf.sprintf "%s (burn %.2f)"
+                     (if healthy then "ok" else "VIOLATED")
+                     burn) ])
+          statuses
+    | _ -> ());
+    print t
+  in
+  let render_telemetry path =
+    let lines =
+      or_user_error (fun () -> J.parse_lines (J.read_file path))
+      |> List.filter (fun l -> J.mem_str "type" l = Some "telemetry")
+    in
+    match List.rev lines with
+    | [] -> user_error "%s: no telemetry snapshots" path
+    | last :: _ ->
+        let t =
+          Core.Prelude.Table.create
+            ~title:
+              (Printf.sprintf "bg top (telemetry seq %d)"
+                 (int_of_float (j_num last "seq")))
+            [ "metric"; "value"; "delta" ]
+        in
+        let open Core.Prelude.Table in
+        add_row t
+          [ S "uptime"; S (Printf.sprintf "%.1fs" (j_num last "uptime_s"));
+            S "-" ];
+        List.iter
+          (fun (name, c) ->
+            add_row t
+              [ S name; I (int_of_float (j_num c "value"));
+                S (Printf.sprintf "+%d" (int_of_float (j_num c "delta"))) ])
+          (j_obj last "counters");
+        List.iter
+          (fun (name, g) ->
+            match J.num g with
+            | Some v -> add_row t [ S name; S (Printf.sprintf "%g" v); S "-" ]
+            | None -> ())
+          (j_obj last "gauges");
+        List.iter
+          (fun (name, h) ->
+            add_row t
+              [ S name;
+                S
+                  (Printf.sprintf "p50 %.4gs p99 %.4gs" (j_num h "p50")
+                     (j_num h "p99"));
+                S (Printf.sprintf "+%d" (int_of_float (j_num h "count_delta")))
+              ])
+          (j_obj last "histograms");
+        print t
+  in
+  let run socket telemetry interval iterations prometheus =
+    if not (interval > 0.) then
+      user_error "--interval must be positive (got %g)" interval;
+    if iterations < 0 then
+      user_error "--iterations must be non-negative (got %d)" iterations;
+    if prometheus && socket = None then
+      user_error "--prometheus requires --socket";
+    let poll =
+      match (socket, telemetry) with
+      | Some _, Some _ -> user_error "--socket and --telemetry are exclusive"
+      | None, None -> user_error "one of --socket or --telemetry is required"
+      | Some path, None ->
+          let policy = Bg_serve.Client.create ~seed:0 () in
+          let conn = Bg_serve.Client.connect policy path in
+          fun () -> (
+            match Bg_serve.Client.metrics conn with
+            | Error e -> user_error "metrics poll failed: %s" e
+            | Ok (P.Done { result; _ }) ->
+                if prometheus then
+                  (* Reconstruct a registry snapshot from the wire scrape:
+                     counters and gauges map exactly; histograms keep
+                     sum/count (bucket detail lives in telemetry files). *)
+                  let snap =
+                    List.map
+                      (fun (n, v) ->
+                        ( n,
+                          Core.Prelude.Obs.Counter_snapshot
+                            (int_of_float
+                               (Option.value ~default:0. (J.num v))) ))
+                      (j_obj result "counters")
+                    @ List.map
+                        (fun (n, v) ->
+                          ( n,
+                            Core.Prelude.Obs.Gauge_snapshot
+                              (Option.value ~default:0. (J.num v)) ))
+                        (j_obj result "gauges")
+                    @ List.map
+                        (fun (n, h) ->
+                          ( n,
+                            Core.Prelude.Obs.Histogram_snapshot
+                              {
+                                count = int_of_float (j_num h "count");
+                                sum = j_num h "sum";
+                                buckets = [];
+                              } ))
+                        (j_obj result "histograms")
+                  in
+                  print_string (Bg_serve.Telemetry.prometheus snap)
+                else render_wire result
+            | Ok (P.Rejected { reason; _ }) | Ok (P.Failed { reason; _ }) ->
+                user_error "metrics poll rejected: %s" reason)
+      | None, Some path -> fun () -> render_telemetry path
+    in
+    let clear () =
+      if Unix.isatty Unix.stdout && not prometheus then
+        print_string "\027[2J\027[H"
+    in
+    let rec loop i =
+      clear ();
+      poll ();
+      flush stdout;
+      if iterations = 0 || i < iterations then begin
+        Unix.sleepf interval;
+        loop (i + 1)
+      end
+    in
+    loop 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a serving daemon: poll the metrics wire op over \
+          --socket (or tail a --telemetry ring file) and render a \
+          refreshing table of throughput, hit rate, queue depth, \
+          latency quantiles, degraded/retry/WAL/restart counters and \
+          SLO burn rates. --prometheus emits a text-exposition scrape \
+          instead.")
+    Term.(
+      const run $ socket_arg $ telemetry_file_arg $ interval_arg
+      $ iterations_arg $ prometheus_arg)
+
+(* ------------------------------------------------------------------ slo *)
+
+let slo_cmd =
+  let module J = Obs_tools.Jsonl in
+  let spec_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:
+            "The objectives to score, same grammar as `bg serve --slo` \
+             (e.g. p99<=0.05,err<=1%).")
+  in
+  let telemetry_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TELEMETRY"
+          ~doc:"A --telemetry ring file recorded by `bg serve`.")
+  in
+  let run spec_text path =
+    let spec =
+      match Bg_serve.Slo.parse_spec spec_text with
+      | Ok s -> s
+      | Error msg -> user_error "--spec: %s" msg
+    in
+    let lines =
+      or_user_error (fun () -> J.parse_lines (J.read_file path))
+      |> List.filter (fun l -> J.mem_str "type" l = Some "telemetry")
+    in
+    if lines = [] then user_error "%s: no telemetry snapshots" path;
+    let counter_delta line name =
+      match List.assoc_opt name (j_obj line "counters") with
+      | Some c -> int_of_float (j_num c "delta")
+      | None -> 0
+    in
+    let latency_hist line =
+      List.assoc_opt "serve.latency_s" (j_obj line "histograms")
+    in
+    let buckets_delta h =
+      List.filter_map
+        (fun (k, v) ->
+          match (int_of_string_opt k, J.num v) with
+          | Some b, Some c -> Some (b, int_of_float c)
+          | _ -> None)
+        (j_obj h "buckets_delta")
+    in
+    (* Replay the ring: sum deltas per objective.  Latency objectives
+       read the latency histogram at log2-bucket resolution; the error
+       objective reads the admission counters (rejected and failed are
+       bad, accepted + rejected is the request total). *)
+    let statuses =
+      List.map
+        (fun objective ->
+          let total = ref 0 and bad = ref 0 in
+          List.iter
+            (fun line ->
+              match objective with
+              | Bg_serve.Slo.Latency { threshold_s; _ } -> (
+                  match latency_hist line with
+                  | None -> ()
+                  | Some h ->
+                      total := !total + int_of_float (j_num h "count_delta");
+                      bad :=
+                        !bad
+                        + Bg_serve.Slo.bad_latency_of_buckets ~threshold_s
+                            (buckets_delta h))
+              | Bg_serve.Slo.Error_rate _ ->
+                  let rejected = counter_delta line "serve.rejected" in
+                  total :=
+                    !total + counter_delta line "serve.accepted" + rejected;
+                  bad := !bad + counter_delta line "serve.failed" + rejected)
+            lines;
+          let budget =
+            match objective with
+            | Bg_serve.Slo.Latency { quantile; _ } -> 1. -. quantile
+            | Bg_serve.Slo.Error_rate b -> b
+          in
+          let frac =
+            if !total = 0 then 0.
+            else float_of_int !bad /. float_of_int !total
+          in
+          let burn =
+            if budget > 0. then frac /. budget
+            else if !bad > 0 then infinity
+            else 0.
+          in
+          {
+            Bg_serve.Slo.objective;
+            window_total = !total;
+            window_bad = !bad;
+            window_burn = burn;
+            lifetime_total = !total;
+            lifetime_bad = !bad;
+            lifetime_burn = burn;
+            healthy = burn <= 1.;
+          })
+        spec
+    in
+    let t =
+      Core.Prelude.Table.create
+        ~title:(Printf.sprintf "SLO report: %s over %s" spec_text path)
+        [ "objective"; "events"; "bad"; "burn"; "verdict" ]
+    in
+    let open Core.Prelude.Table in
+    List.iter
+      (fun st ->
+        add_row t
+          [ S (Bg_serve.Slo.objective_name st.Bg_serve.Slo.objective);
+            I st.Bg_serve.Slo.window_total; I st.Bg_serve.Slo.window_bad;
+            F2 st.Bg_serve.Slo.window_burn;
+            S (if st.Bg_serve.Slo.healthy then "ok" else "VIOLATED") ])
+      statuses;
+    print t;
+    if Bg_serve.Slo.violated statuses then exit 3
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Score recorded telemetry against service-level objectives: \
+          replay a --telemetry ring file, sum the latency-histogram and \
+          admission-counter deltas per objective, and report burn rates \
+          (latency at log2-bucket resolution). Exits 3 when an \
+          objective is violated.")
+    Term.(const run $ spec_arg $ telemetry_pos_arg)
 
 (* ------------------------------------------------------------------ zoo *)
 
@@ -1679,7 +2296,7 @@ let main =
        ~doc:"Decay-space wireless models (Beyond Geometry, PODC 2014).")
     [ analyze_cmd; generate_cmd; evolve_cmd; capacity_cmd; experiment_cmd;
       stats_cmd; protocols_cmd; bench_cmd; estimate_cmd; trace_cmd;
-      serve_cmd; loadgen_cmd; zoo_cmd ]
+      serve_cmd; loadgen_cmd; top_cmd; slo_cmd; zoo_cmd ]
 
 let () =
   (* Cmdliner reports its own parse errors with Exit.cli_error (124);

@@ -7,6 +7,7 @@ module Store = Bg_serve.Store
 module Chaos = Bg_serve.Chaos
 module Client = Bg_serve.Client
 module L = Bg_serve.Loadgen
+module Slo = Bg_serve.Slo
 
 (* E30 — resilient serving under injected faults: a seeded zipf workload
    driven through the chaos harness (dropped, torn and corrupted reply
@@ -62,6 +63,9 @@ let engine ?chaos ?store () =
       store;
       degrade = None;
       chaos;
+      slo = None;
+      telemetry = None;
+      lineage = None;
     }
 
 (* No deadline: the in-process driver detects lost replies at batch
@@ -162,6 +166,37 @@ let e30_resilient_serving () =
     [ T.S "ground truth"; T.I (List.length distinct); T.S "-"; T.S "-";
       T.S "-"; T.S "-";
       T.S (Printf.sprintf "%d mismatches, %d uncached" mismatches uncached) ];
+  (* SLO verdict over the chaotic re-drive.  The error objective is
+     load-bearing (chaos may slow requests with retries but must not
+     fail them); the latency burn is recorded for the table but kept out
+     of the pass criterion — wall-clock on a loaded CI box is not a
+     claim of the paper. *)
+  let slo_statuses =
+    match Slo.parse_spec "err<=1%,p99<=1.0" with
+    | Ok spec -> Slo.eval_samples spec after.L.slo_samples
+    | Error m -> invalid_arg m
+  in
+  let slo_note =
+    String.concat ", "
+      (List.map
+         (fun st ->
+           Printf.sprintf "%s burn %.2f %s"
+             (Slo.objective_name st.Slo.objective)
+             st.Slo.window_burn
+             (if st.Slo.healthy then "ok" else "VIOLATED"))
+         slo_statuses)
+  in
+  let err_healthy =
+    List.for_all
+      (fun st ->
+        match st.Slo.objective with
+        | Slo.Error_rate _ -> st.Slo.healthy
+        | Slo.Latency _ -> true)
+      slo_statuses
+  in
+  T.add_row t
+    [ T.S "slo verdict"; T.I after.L.sent; T.S "-"; T.S "-"; T.S "-"; T.S "-";
+      T.S slo_note ];
   T.print t;
   let exactly_once =
     after.L.answered = after.L.sent && after.L.ok = after.L.sent
@@ -170,13 +205,13 @@ let e30_resilient_serving () =
   let pass =
     crashed && recovered > 0 && exactly_once && warm.L.misses = 0
     && L.hit_rate warm >= 0.5
-    && mismatches = 0 && uncached = 0
+    && mismatches = 0 && uncached = 0 && err_healthy
   in
   Outcome.make ~measured:(L.hit_rate warm) ~bound:0.5
     ~detail:
       (Printf.sprintf
          "crash=%b wal_recovered=%d exactly_once=%b retries=%d corrupt=%d \
-          warm_misses=%d mismatches=%d"
+          warm_misses=%d mismatches=%d slo=[%s]"
          crashed recovered exactly_once after.L.retries after.L.corrupt_lines
-         warm.L.misses mismatches)
+         warm.L.misses mismatches slo_note)
     pass

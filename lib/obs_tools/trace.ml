@@ -62,7 +62,86 @@ let load_events path = Jsonl.parse_lines (Jsonl.read_file path)
 let load path = spans (load_events path)
 
 let attr_num sp k = Option.bind (List.assoc_opt k sp.attrs) Jsonl.num
+
+let attr_str sp k =
+  match List.assoc_opt k sp.attrs with Some (Jsonl.Str s) -> Some s | _ -> None
+
 let alloc_bytes sp = attr_num sp "gc.alloc_bytes"
+let trace_id sp = attr_str sp "trace_id"
+
+let kinds spans =
+  List.sort_uniq String.compare (List.map (fun sp -> sp.name) spans)
+
+(* ------------------------------------------------------- multi-file merge *)
+
+(* Merge per-process trace files into one causal forest.  Span ids are
+   process-local (each process numbers from 1), so every file's ids are
+   first remapped into one dense namespace; local parent links follow
+   their file's map.  Then the cross-process links close: a span
+   carrying BOTH a [trace_id] and a [parent_span] attribute is a remote
+   child (a server span whose parent lives in the client's file — the
+   wire carried the client span's id as [parent_span]); its parent is
+   the span with the same [trace_id] attribute, NO [parent_span]
+   attribute, and the matching {e original} id.  Client-side spans
+   (client.request / client.attempt) are exactly the link targets: they
+   name the trace but were not caused remotely.  An unmatched remote
+   child (its client file wasn't given) stays a root — the merge
+   degrades, never drops. *)
+let merge files =
+  let next = ref 1 in
+  let targets : (string * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let merged =
+    List.concat_map
+      (fun spans ->
+        (* One file may hold several process incarnations appended back
+           to back (a supervised worker reopens its trace file with
+           --trace-append), each restarting span ids from 1.  Within one
+           process every span id closes exactly once, so seeing an id
+           close a second time marks an incarnation boundary: reset the
+           remap there, or incarnation 2's parent links would resolve
+           into incarnation 1's spans.  Children close before parents,
+           so a parent referenced before its own line gets its merged id
+           allocated at first reference. *)
+        let map = Hashtbl.create 256 in
+        let emitted = Hashtbl.create 256 in
+        let remap id =
+          match Hashtbl.find_opt map id with
+          | Some nid -> nid
+          | None ->
+              let nid = !next in
+              incr next;
+              Hashtbl.replace map id nid;
+              nid
+        in
+        List.map
+          (fun sp ->
+            if Hashtbl.mem emitted sp.id then begin
+              Hashtbl.reset map;
+              Hashtbl.reset emitted
+            end;
+            Hashtbl.replace emitted sp.id ();
+            let nid = remap sp.id in
+            (match (trace_id sp, attr_num sp "parent_span") with
+            | Some tid, None -> Hashtbl.replace targets (tid, sp.id) nid
+            | _ -> ());
+            let nparent = if sp.parent = 0 then 0 else remap sp.parent in
+            { sp with id = nid; parent = nparent })
+          spans)
+      files
+  in
+  (* The wire-propagated parent is the causal edge; a process-local
+     parent (the server's batch grouping around its request spans) is
+     incidental nesting and loses to it.  An absent target (client file
+     not given) keeps the local parent: degrade, never orphan. *)
+  List.map
+    (fun sp ->
+      match (trace_id sp, attr_num sp "parent_span") with
+      | Some tid, Some ps -> (
+          match Hashtbl.find_opt targets (tid, int_of_float ps) with
+          | Some p when p <> sp.id -> { sp with parent = p }
+          | _ -> sp)
+      | _ -> sp)
+    merged
 
 (* ------------------------------------------------------------- indexing *)
 
@@ -105,6 +184,21 @@ let child_s idx sp =
   Float.min sum sp.dur_s
 
 let self_s idx sp = sp.dur_s -. child_s idx sp
+
+(* Keep one logical request's causal tree: every span tagged with the
+   trace id, plus all descendants (a server's queue-wait/kernel children
+   carry no tag of their own — they follow their parent). *)
+let filter_trace ~id:tid spans =
+  let idx = index spans in
+  let keep : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec mark sp =
+    if not (Hashtbl.mem keep sp.id) then begin
+      Hashtbl.replace keep sp.id ();
+      List.iter mark (children_of idx sp)
+    end
+  in
+  List.iter (fun sp -> if trace_id sp = Some tid then mark sp) spans;
+  List.filter (fun sp -> Hashtbl.mem keep sp.id) spans
 
 (* ----------------------------------------------------------- aggregate *)
 
@@ -238,6 +332,41 @@ let report_table ?(title = "trace report") spans =
           Table.S (fmt_s k.max_s); Table.S (fmt_bytes k.alloc_b);
           Table.I k.errors ])
     (aggregate spans);
+  t
+
+(* ---------------------------------------------------------- causal tree *)
+
+(* One row per span, children indented under parents in start order —
+   the per-request view `bg trace report --id` renders after a merge.
+   Starts are relative to the earliest span so a tree reads as a
+   timeline, not as wall-clock epochs. *)
+let tree_table ?(title = "causal tree") spans =
+  let idx = index spans in
+  let t0 =
+    List.fold_left (fun m sp -> Float.min m sp.start_s) infinity spans
+  in
+  let t = Table.create ~title [ "span"; "start"; "dur"; "detail" ] in
+  let detail sp =
+    let field k =
+      match List.assoc_opt k sp.attrs with
+      | Some (Jsonl.Str s) -> [ Printf.sprintf "%s=%s" k s ]
+      | Some (Jsonl.Num n) ->
+          [ (if Float.is_integer n then Printf.sprintf "%s=%d" k (int_of_float n)
+             else Printf.sprintf "%s=%g" k n) ]
+      | _ -> []
+    in
+    String.concat "  "
+      ((if sp.ok then [] else [ "FAILED" ])
+      @ field "op" @ field "attempt" @ field "attempts" @ field "error")
+  in
+  let rec emit depth sp =
+    Table.add_row t
+      [ Table.S (String.make (2 * depth) ' ' ^ sp.name);
+        Table.S (fmt_s (sp.start_s -. t0)); Table.S (fmt_s sp.dur_s);
+        Table.S (detail sp) ];
+    List.iter (emit (depth + 1)) (children_of idx sp)
+  in
+  List.iter (emit 0) idx.roots;
   t
 
 (* -------------------------------------------------------- critical path *)

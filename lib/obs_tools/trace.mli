@@ -41,9 +41,46 @@ val spans : Jsonl.t list -> span list
 val attr_num : span -> string -> float option
 (** Numeric attribute by name. *)
 
+val attr_str : span -> string -> string option
+(** String attribute by name. *)
+
 val alloc_bytes : span -> float option
 (** The ["gc.alloc_bytes"] profiling attribute, when the trace was
     recorded under [--profile]. *)
+
+val trace_id : span -> string option
+(** The ["trace_id"] attribute — the logical-request tag the serving
+    stack propagates across processes. *)
+
+val kinds : span list -> string list
+(** The distinct span names, sorted — [bg trace diff] refuses two traces
+    whose kind sets are disjoint (nothing to compare). *)
+
+(** {1 Cross-process merge} *)
+
+val merge : span list list -> span list
+(** Merge per-process trace files (client, daemon incarnations,
+    supervisor) into one causal forest.  Every file's process-local span
+    ids are remapped into one namespace; then each span carrying both a
+    [trace_id] and a [parent_span] attribute (a server span whose cause
+    lives in another process — the wire carried the client span's id)
+    is re-parented under the span with the same [trace_id], {e no}
+    [parent_span] attribute, and the matching original id.  The wire
+    parent overrides process-local nesting (a server groups its request
+    spans under batch spans; the causal edge wins).  A remote child
+    whose target file is absent keeps its local parent: the merge
+    degrades, never drops spans. *)
+
+val filter_trace : id:string -> span list -> span list
+(** The spans of one logical request: every span whose [trace_id]
+    attribute equals [id], plus all their descendants (server-side
+    queue-wait and kernel children carry no tag — they follow their
+    parent).  Meaningful after {!merge}. *)
+
+val tree_table : ?title:string -> span list -> Bg_prelude.Table.t
+(** The forest rendered as an indented causal tree in start order, with
+    starts relative to the earliest span — the [bg trace report --id]
+    view. *)
 
 (** {1 Per-kind aggregation} *)
 

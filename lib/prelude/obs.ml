@@ -109,9 +109,13 @@ let close_trace () =
 
 let at_exit_registered = ref false
 
-let set_trace_file path =
+let set_trace_file ?(append = false) path =
   close_trace ();
-  let oc = open_out path in
+  let oc =
+    if append then
+      open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+    else open_out path
+  in
   Atomic.set sink (Some { oc; lock = Mutex.create (); closed = false });
   (* The CLI exits through [exit] on experiment failures; close (and so
      flush) the sink from at_exit so a failing run still leaves a
@@ -271,6 +275,52 @@ let add_span_attr key v =
     | [] -> ()
     | fr :: _ -> fr.fattrs <- (key, v) :: fr.fattrs
 
+let current_span_id () =
+  if not (tracing ()) then 0
+  else match !(Domain.DLS.get stack_key) with [] -> 0 | fr :: _ -> fr.id
+
+let alloc_span_id () = Atomic.fetch_and_add next_span_id 1
+
+(* Backdated spans: event-loop callers (loadgen drivers, the server's
+   queue-wait accounting) measure extents with timestamps and emit the
+   span after the fact.  The span never lives on the domain stack, so it
+   cannot parent a [with_span]; explicit [?parent] wiring links these
+   trees together instead. *)
+let emit_span_at ?(attrs = []) ?parent ?id ?(ok = true) ~name ~start_s
+    ~dur_s () =
+  match Atomic.get sink with
+  | None -> 0
+  | Some s ->
+      let parent =
+        match parent with
+        | Some p -> p
+        | None -> (
+            match !(Domain.DLS.get stack_key) with
+            | [] -> 0
+            | fr :: _ -> fr.id)
+      in
+      let id = match id with Some i -> i | None -> alloc_span_id () in
+      let b = Buffer.create 160 in
+      Buffer.add_string b "{\"type\":\"span\",\"id\":";
+      Buffer.add_string b (string_of_int id);
+      Buffer.add_string b ",\"parent\":";
+      Buffer.add_string b (string_of_int parent);
+      Buffer.add_string b ",\"domain\":";
+      Buffer.add_string b (string_of_int (Domain.self () :> int));
+      Buffer.add_string b ",\"name\":";
+      buf_add_json_string b name;
+      Buffer.add_string b ",\"start_s\":";
+      buf_add_json_float b start_s;
+      Buffer.add_string b ",\"dur_s\":";
+      buf_add_json_float b dur_s;
+      Buffer.add_string b ",\"ok\":";
+      Buffer.add_string b (if ok then "true" else "false");
+      Buffer.add_string b ",\"attrs\":";
+      buf_add_attrs b attrs;
+      Buffer.add_char b '}';
+      emit_line s (Buffer.contents b);
+      id
+
 (* -------------------------------------------------------------- metrics *)
 
 type counter = { cname : string; c : int Atomic.t }
@@ -420,6 +470,35 @@ let sorted_metrics () =
   List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
 let metric_names () = List.map fst (sorted_metrics ())
+
+type metric_snapshot =
+  | Counter_snapshot of int
+  | Gauge_snapshot of float
+  | Histogram_snapshot of {
+      count : int;
+      sum : float;
+      buckets : (int * int) list;
+    }
+
+let snapshot () =
+  List.map
+    (fun (name, m) ->
+      let v =
+        match m with
+        | C c -> Counter_snapshot (Atomic.get c.c)
+        | G g -> Gauge_snapshot g.g
+        | H h ->
+            let buckets = ref [] in
+            for i = num_buckets - 1 downto 0 do
+              let n = Atomic.get h.buckets.(i) in
+              if n > 0 then buckets := (i, n) :: !buckets
+            done;
+            Histogram_snapshot
+              { count = Atomic.get h.hcount; sum = h.hsum;
+                buckets = !buckets }
+      in
+      (name, v))
+    (sorted_metrics ())
 
 let reset_metrics () =
   List.iter

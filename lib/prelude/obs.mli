@@ -39,10 +39,13 @@ val now_s : unit -> float
 
 (** {1 Tracing} *)
 
-val set_trace_file : string -> unit
-(** Open (truncating) [path] as the JSONL trace sink, replacing any
-    previous sink.  Registers an [at_exit] hook so the sink is flushed
-    and closed even when the process exits through [exit]. *)
+val set_trace_file : ?append:bool -> string -> unit
+(** Open [path] as the JSONL trace sink, replacing any previous sink.
+    Truncates by default; [~append:true] appends instead, which is how a
+    supervised worker reopens the trace file across respawns so one file
+    accumulates every incarnation's spans.  Registers an [at_exit] hook
+    so the sink is flushed and closed even when the process exits
+    through [exit]. *)
 
 val close_trace : unit -> unit
 (** Flush and close the current sink, if any.  Idempotent. *)
@@ -61,6 +64,37 @@ val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
 val add_span_attr : string -> value -> unit
 (** Attach an attribute to the innermost open span of the current
     domain.  No-op when not tracing or when no span is open. *)
+
+val current_span_id : unit -> int
+(** Id of the innermost open span of the current domain, or [0] when
+    none is open (or tracing is off).  This is the id a caller puts on
+    the wire as a remote parent so another process can stitch its spans
+    under ours. *)
+
+val alloc_span_id : unit -> int
+(** Reserve a span id without opening a span.  Used by event-loop style
+    callers (the loadgen drivers) that must place a span's id on the
+    wire before the span's extent is known; pass it back to
+    {!emit_span_at} via [?id].  Always allocates, even when tracing is
+    off, so ids stay stable whether or not a sink is installed. *)
+
+val emit_span_at :
+  ?attrs:(string * value) list ->
+  ?parent:int ->
+  ?id:int ->
+  ?ok:bool ->
+  name:string ->
+  start_s:float ->
+  dur_s:float ->
+  unit ->
+  int
+(** Emit one already-closed span with explicit timing, bypassing the
+    per-domain stack.  [parent] defaults to the innermost open span of
+    the current domain (0 = root); [id] defaults to a fresh id.  Used
+    for backdated spans — queue waits measured by timestamps, retry
+    backoffs, per-request client spans in an event loop — that cannot be
+    expressed as a [with_span] around a call.  Returns the span id used,
+    or [0] without emitting when tracing is off. *)
 
 (** {1 Per-span profiling}
 
@@ -157,6 +191,25 @@ val bucket_lower_bound : int -> float
 
 val metric_names : unit -> string list
 (** All registered metric names, sorted. *)
+
+(** {1 Snapshots}
+
+    A point-in-time copy of the whole registry, used by the serving
+    layer's telemetry snapshotter and the [metrics] wire op.  Histogram
+    buckets are reported sparsely as [(index, count)] pairs in index
+    order. *)
+
+type metric_snapshot =
+  | Counter_snapshot of int
+  | Gauge_snapshot of float
+  | Histogram_snapshot of {
+      count : int;
+      sum : float;
+      buckets : (int * int) list;
+    }
+
+val snapshot : unit -> (string * metric_snapshot) list
+(** Every registered metric with its current value, sorted by name. *)
 
 val reset_metrics : unit -> unit
 (** Zero every registered metric (counters to 0, gauges to 0, histograms

@@ -233,30 +233,89 @@ let attempt conn req =
           await ())
 
 (* The full policy loop: breaker gate, attempt, backoff, bounded
-   retries.  Every outcome is typed; a request never hangs. *)
+   retries.  Every outcome is typed; a request never hangs.
+
+   Tracing: each logical request is one [client.request] root span;
+   every wire attempt and every backoff sleep is a child span.  The wire
+   carries the trace id plus the {e attempt} span's id as parent, so the
+   server's [serve.request] subtree lands under the exact attempt that
+   elicited it when trace files are merged — a retried request shows
+   each attempt with its own server-side work (including the post-crash
+   re-execution after a supervisor restart). *)
+let trace_seq = Atomic.make 0
+
 let request conn req =
   let policy = conn.policy in
-  let rec go attempt_no =
-    let now = Obs.now_s () in
-    if not (admit policy ~now) then Error "circuit breaker open"
-    else
-      match attempt conn req with
-      | Ok resp ->
-          record_success policy;
-          Ok resp
-      | Error e ->
-          record_failure policy ~now:(Obs.now_s ());
-          if attempt_no >= policy.config.max_retries then
-            Error
-              (Printf.sprintf "%s (gave up after %d attempts)" e
-                 (attempt_no + 1))
-          else begin
-            count_retry policy;
-            Unix.sleepf (backoff_s policy ~attempt:attempt_no);
-            go (attempt_no + 1)
-          end
+  let trace_id =
+    match req.P.trace with
+    | Some t -> Some t.P.trace_id
+    | None ->
+        if Obs.tracing () then
+          Some
+            (Printf.sprintf "c%d-%s-%d" (Unix.getpid ()) req.P.id
+               (Atomic.fetch_and_add trace_seq 1))
+        else None
   in
-  go 0
+  let trace_attrs =
+    match trace_id with None -> [] | Some tid -> [ ("trace_id", Obs.S tid) ]
+  in
+  let one_attempt attempt_no =
+    Obs.with_span "client.attempt"
+      ~attrs:(("attempt", Obs.I attempt_no) :: trace_attrs)
+      (fun () ->
+        let wire =
+          match trace_id with
+          | None -> req
+          | Some tid ->
+              {
+                req with
+                P.trace =
+                  Some
+                    {
+                      P.trace_id = tid;
+                      parent_span = Obs.current_span_id ();
+                    };
+              }
+        in
+        match attempt conn wire with
+        | Ok _ as r -> r
+        | Error e ->
+            Obs.add_span_attr "error" (Obs.S e);
+            Error e)
+  in
+  Obs.with_span "client.request"
+    ~attrs:(("id", Obs.S req.P.id) :: trace_attrs)
+    (fun () ->
+      let rec go attempt_no =
+        let now = Obs.now_s () in
+        if not (admit policy ~now) then begin
+          Obs.add_span_attr "breaker" (Obs.S "open");
+          Error "circuit breaker open"
+        end
+        else
+          match one_attempt attempt_no with
+          | Ok resp ->
+              record_success policy;
+              Ok resp
+          | Error e ->
+              record_failure policy ~now:(Obs.now_s ());
+              if attempt_no >= policy.config.max_retries then
+                Error
+                  (Printf.sprintf "%s (gave up after %d attempts)" e
+                     (attempt_no + 1))
+              else begin
+                count_retry policy;
+                Obs.with_span "client.backoff"
+                  ~attrs:(("attempt", Obs.I attempt_no) :: trace_attrs)
+                  (fun () ->
+                    Unix.sleepf (backoff_s policy ~attempt:attempt_no));
+                go (attempt_no + 1)
+              end
+      in
+      go 0)
 
 let ping conn =
-  request conn { P.id = "ping"; op = P.Ping; space = None }
+  request conn { P.id = "ping"; op = P.Ping; space = None; trace = None }
+
+let metrics conn =
+  request conn { P.id = "metrics"; op = P.Metrics; space = None; trace = None }

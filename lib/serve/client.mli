@@ -81,10 +81,21 @@ val request : conn -> Protocol.request -> (Protocol.response, string) result
     the breaker is open.  Corrupt response lines are counted and
     skipped, never surfaced; stale answers from timed-out attempts are
     discarded by reconnecting.  [Error] after [max_retries + 1]
-    attempts. *)
+    attempts.
+
+    When tracing is on (or the request already carries
+    {!Protocol.trace_context}), the logical request is recorded as one
+    [client.request] root span with each wire attempt and each backoff
+    sleep as child spans, and the wire carries the trace id plus the
+    attempt span's id — the other half of the cross-process causal tree
+    {!Obs_tools.Trace.merge} assembles. *)
 
 val ping : conn -> (Protocol.response, string) result
 (** {!request} with the [ping] health op. *)
+
+val metrics : conn -> (Protocol.response, string) result
+(** {!request} with the [metrics] telemetry-scrape op — a full registry
+    snapshot from the live daemon ([bg top]'s poll). *)
 
 val close : conn -> unit
 

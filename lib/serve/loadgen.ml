@@ -118,7 +118,79 @@ let generate w =
         op;
         space =
           Some (P.Inline (Printf.sprintf "lg-%d-%d" w.seed rank, pool.(rank)));
+        (* Deterministic trace id: the same seed names the same request
+           the same way on every run, so a p99 exemplar from one report
+           can be looked up in any other run's trace files. *)
+        trace =
+          Some
+            {
+              P.trace_id = Printf.sprintf "t%d-r%06d" w.seed i;
+              parent_span = 0;
+            };
       })
+
+(* --------------------------------------------------- driver-side tracing *)
+
+(* The drivers run their own event loop rather than Client.request, so
+   they emit spans after the fact: each request's root [client.request]
+   span id is preallocated before the first send and rides the wire as
+   [parent_span], and the span itself is emitted (backdated) when the
+   request resolves.  The daemon's serve.request subtree then re-parents
+   under this exact span when the trace files are merged. *)
+type tracing = {
+  spans : (string, string * int * string) Hashtbl.t;
+      (* id -> (trace_id, root span id, re-rendered request line) *)
+  mutable emitted : int;
+}
+
+let trace_prep requests =
+  if not (Obs.tracing ()) then None
+  else begin
+    let spans = Hashtbl.create 256 in
+    List.iter
+      (fun r ->
+        let tid =
+          match r.P.trace with
+          | Some t -> t.P.trace_id
+          | None -> "lg-" ^ r.P.id
+        in
+        let span = Obs.alloc_span_id () in
+        let line =
+          P.request_to_string
+            { r with P.trace = Some { P.trace_id = tid; parent_span = span } }
+        in
+        Hashtbl.replace spans r.P.id (tid, span, line))
+      requests;
+    Some { spans; emitted = 0 }
+  end
+
+let traced_line tr id line =
+  match tr with
+  | None -> line
+  | Some t -> (
+      match Hashtbl.find_opt t.spans id with
+      | Some (_, _, l) -> l
+      | None -> line)
+
+(* Close a request's root span.  Called at most once per id (answered,
+   or given up); ids that never resolve before the driver exits simply
+   have no root span — the server subtree still names the trace id. *)
+let trace_finish tr ~id ~start_s ~dur_s ~attempts ~ok =
+  match tr with
+  | None -> ()
+  | Some t -> (
+      match Hashtbl.find_opt t.spans id with
+      | None -> ()
+      | Some (tid, span, _) ->
+          Hashtbl.remove t.spans id;
+          t.emitted <- t.emitted + 1;
+          ignore
+            (Obs.emit_span_at
+               ~attrs:
+                 [ ("trace_id", Obs.S tid); ("id", Obs.S id);
+                   ("attempts", Obs.I attempts) ]
+               ~parent:0 ~id:span ~ok ~name:"client.request" ~start_s ~dur_s
+               ()))
 
 (* -------------------------------------------------------------- report *)
 
@@ -141,6 +213,11 @@ type report = {
   mean_s : float;
   p50_s : float;
   p99_s : float;
+  exemplars : (string * float) list;
+      (* trace ids of the slowest-decile answers, worst first *)
+  slo_samples : (float * bool) list;
+      (* (latency_s, ok) per resolved request; gave-ups score as
+         (infinity, false) so no objective can be gamed by abandonment *)
 }
 
 let quantile sorted q =
@@ -157,10 +234,15 @@ let build_report ?(retries = 0) ?(duplicates = 0) ?(corrupt_lines = 0)
   let hits = ref 0 and misses = ref 0 and coalesced = ref 0 in
   let degraded = ref 0 in
   let lat = ref [] in
+  let traced = ref [] in
+  let samples = ref [] in
   List.iter
     (fun (resp, latency) ->
       lat := latency :: !lat;
-      match resp with
+      (match P.response_trace resp with
+      | Some t -> traced := (t.P.trace_id, latency) :: !traced
+      | None -> ());
+      (match resp with
       | P.Done { cache; degraded = d; _ } ->
           incr ok;
           if d then incr degraded;
@@ -169,14 +251,29 @@ let build_report ?(retries = 0) ?(duplicates = 0) ?(corrupt_lines = 0)
           | P.Miss -> incr misses
           | P.Coalesced -> incr coalesced)
       | P.Rejected _ -> incr rejected
-      | P.Failed _ -> incr errors)
+      | P.Failed _ -> incr errors);
+      samples := (latency, match resp with P.Done _ -> true | _ -> false)
+                 :: !samples)
     answers;
+  for _ = 1 to gave_up do
+    samples := (Float.infinity, false) :: !samples
+  done;
   let lats = Array.of_list !lat in
   Array.sort compare lats;
   let answered = Array.length lats in
   let mean_s =
     if answered = 0 then 0.
     else Array.fold_left ( +. ) 0. lats /. float_of_int answered
+  in
+  (* Exemplars: trace ids of the slowest-decile answers (at least one
+     when anything was traced), worst first, capped — enough to jump
+     into `bg trace report --id` without drowning the report. *)
+  let exemplars =
+    let arr = Array.of_list !traced in
+    Array.sort (fun (_, a) (_, b) -> compare b a) arr;
+    let n = Array.length arr in
+    let keep = min 8 (max (min n 1) (n / 10)) in
+    Array.to_list (Array.sub arr 0 keep)
   in
   {
     sent;
@@ -198,6 +295,8 @@ let build_report ?(retries = 0) ?(duplicates = 0) ?(corrupt_lines = 0)
     mean_s;
     p50_s = quantile lats 0.50;
     p99_s = quantile lats 0.99;
+    exemplars;
+    slo_samples = List.rev !samples;
   }
 
 let hit_rate r = if r.ok = 0 then 0. else float_of_int r.hits /. float_of_int r.ok
@@ -222,7 +321,13 @@ let report_to_json r =
       ("throughput_rps", J.Num r.throughput_rps);
       ("mean_s", J.Num r.mean_s);
       ("p50_s", J.Num r.p50_s);
-      ("p99_s", J.Num r.p99_s) ]
+      ("p99_s", J.Num r.p99_s);
+      ( "exemplars",
+        J.Arr
+          (List.map
+             (fun (tid, lat) ->
+               J.Obj [ ("trace_id", J.Str tid); ("latency_s", J.Num lat) ])
+             r.exemplars) ) ]
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -234,7 +339,14 @@ let pp_report fmt r =
      p99 %.2gs"
     r.sent r.answered r.ok r.rejected r.errors r.hits r.misses r.coalesced
     (hit_rate r) r.degraded r.retries r.duplicates r.corrupt_lines r.gave_up
-    r.wall_s r.throughput_rps r.mean_s r.p50_s r.p99_s
+    r.wall_s r.throughput_rps r.mean_s r.p50_s r.p99_s;
+  match r.exemplars with
+  | [] -> ()
+  | ex ->
+      Format.fprintf fmt "@\nslowest traces:";
+      List.iter
+        (fun (tid, lat) -> Format.fprintf fmt " %s(%.2gs)" tid lat)
+        ex
 
 (* ---------------------------------------------------- in-process driver *)
 
@@ -251,8 +363,12 @@ let drive_inproc ?(window = 32) ?client server requests =
   let max_retries =
     match client with None -> 0 | Some c -> (Client.config c).Client.max_retries
   in
+  let tr = trace_prep requests in
   let remaining =
-    ref (List.map (fun r -> (r.P.id, P.request_to_string r)) requests)
+    ref
+      (List.map
+         (fun r -> (r.P.id, traced_line tr r.P.id (P.request_to_string r)))
+         requests)
   in
   let lines : (string, string) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun (id, line) -> Hashtbl.replace lines id line) !remaining;
@@ -281,7 +397,11 @@ let drive_inproc ?(window = 32) ?client server requests =
               Hashtbl.remove inflight id;
               Hashtbl.add answered id ();
               Option.iter Client.record_success client;
-              answers := (resp, Obs.now_s () -. t0) :: !answers)
+              let latency = Obs.now_s () -. t0 in
+              trace_finish tr ~id ~start_s:t0 ~dur_s:latency
+                ~attempts:(try Hashtbl.find attempts id with Not_found -> 1)
+                ~ok:(match resp with P.Done _ -> true | _ -> false);
+              answers := (resp, latency) :: !answers)
   in
   let read ~block:_ =
     match !remaining with
@@ -311,6 +431,12 @@ let drive_inproc ?(window = 32) ?client server requests =
         let n = try Hashtbl.find attempts id with Not_found -> 1 in
         Option.iter (fun c -> Client.record_failure c ~now:(Obs.now_s ())) client;
         if n > max_retries then begin
+          (match Hashtbl.find_opt inflight id with
+          | Some t0 ->
+              trace_finish tr ~id ~start_s:t0
+                ~dur_s:(Obs.now_s () -. t0)
+                ~attempts:n ~ok:false
+          | None -> ());
           Hashtbl.remove inflight id;
           incr gave_up
         end
@@ -362,8 +488,12 @@ let drive_fds ?(window = 32) ?rate ?client ~req_w ~resp_r requests =
   let max_retries =
     match client with None -> 0 | Some c -> (Client.config c).Client.max_retries
   in
+  let tr = trace_prep requests in
   let pending =
-    ref (List.map (fun r -> (r.P.id, P.request_to_string r)) requests)
+    ref
+      (List.map
+         (fun r -> (r.P.id, traced_line tr r.P.id (P.request_to_string r)))
+         requests)
   in
   let lines : (string, string) Hashtbl.t = Hashtbl.create 256 in
   List.iter (fun (id, line) -> Hashtbl.replace lines id line) !pending;
@@ -445,7 +575,14 @@ let drive_fds ?(window = 32) ?rate ?client ~req_w ~resp_r requests =
             Hashtbl.remove attempt_at id;
             Client.record_failure c ~now;
             let n = try Hashtbl.find attempts id with Not_found -> 1 in
-            if n > max_retries then incr gave_up
+            if n > max_retries then begin
+              (match Hashtbl.find_opt first_at id with
+              | Some t0 ->
+                  trace_finish tr ~id ~start_s:t0 ~dur_s:(now -. t0)
+                    ~attempts:n ~ok:false
+              | None -> ());
+              incr gave_up
+            end
             else
               Hashtbl.replace retry_at id
                 (now +. Client.backoff_s c ~attempt:(n - 1)))
@@ -471,6 +608,9 @@ let drive_fds ?(window = 32) ?rate ?client ~req_w ~resp_r requests =
               Hashtbl.remove attempt_at id;
               Hashtbl.remove retry_at id;
               Option.iter Client.record_success client;
+              trace_finish tr ~id ~start_s:t0 ~dur_s:latency
+                ~attempts:(try Hashtbl.find attempts id with Not_found -> 1)
+                ~ok:(match resp with P.Done _ -> true | _ -> false);
               answers := (resp, latency) :: !answers)
   in
   (* Nothing more will ever be sent once the trace is drained, no retry

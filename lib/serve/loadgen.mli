@@ -17,7 +17,13 @@
     first-answer-wins dedup, so each request contributes at most one
     answer to the report however chaotic the daemon.  Unparseable
     response lines (chaos-torn or corrupted) are counted and retried —
-    a corrupt payload is never scored as an answer. *)
+    a corrupt payload is never scored as an answer.
+
+    When tracing is on ({!Bg_prelude.Obs.set_trace_file}), both drivers
+    preallocate a [client.request] root span id per request, send it on
+    the wire as [parent_span], and emit the (backdated) root span when
+    the request resolves — the client half of the cross-process causal
+    tree {!Obs_tools.Trace.merge} assembles. *)
 
 val zipf_cdf : s:float -> n:int -> float array
 (** Cumulative distribution of the zipf([s]) law on ranks [1..n]
@@ -43,7 +49,10 @@ val generate : workload -> Protocol.request list
 (** Expand a workload into its request trace (ids [r000000], …).  Ops
     mix roughly 60% zeta / 20% phi / 10% gamma / 5% summarize / 5%
     estimate; estimate designs derive from the space rank so repeats of
-    a hot space repeat the full cache key.
+    a hot space repeat the full cache key.  Every request carries a
+    deterministic {!Protocol.trace_context} ([t<seed>-r<i>]), so a p99
+    exemplar from one report names the same request in any run's trace
+    files.
     @raise Invalid_argument on a non-positive size or a bad skew. *)
 
 type report = {
@@ -65,6 +74,12 @@ type report = {
   mean_s : float;  (** latency statistics over answered requests *)
   p50_s : float;
   p99_s : float;  (** exact sorted-sample quantiles, not bucketed *)
+  exemplars : (string * float) list;
+      (** trace ids of the slowest-decile answers, worst first (capped
+          at 8) — [bg trace report --id TID] jumps to the causal tree *)
+  slo_samples : (float * bool) list;
+      (** [(latency_s, ok)] per resolved request, for
+          {!Slo.eval_samples}; gave-ups score as [(infinity, false)] *)
 }
 
 val hit_rate : report -> float

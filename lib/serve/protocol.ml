@@ -31,13 +31,27 @@ type op =
   | Summarize
   | Estimate of { nodes : int; replicates : int; seed : int }
   | Ping
+  | Metrics
 
 type space_spec =
   | Inline of string * float array array
   | Csv of string
   | File of string
 
-type request = { id : string; op : op; space : space_spec option }
+(* Trace context rides every request and is echoed on its responses:
+   [trace_id] names the logical request across every process it touches;
+   [parent_span] is the sender's span id, so the server's spans can be
+   re-parented under the client's when trace files are merged
+   (Obs_tools.Trace.merge).  Both fields are omitted from the wire when
+   absent, so pre-tracing lines parse unchanged. *)
+type trace_context = { trace_id : string; parent_span : int }
+
+type request = {
+  id : string;
+  op : op;
+  space : space_spec option;
+  trace : trace_context option;
+}
 
 type cache_outcome = Hit | Miss | Coalesced
 
@@ -51,9 +65,10 @@ type response =
       batch : int;
       elapsed_s : float;
       degraded : bool;
+      trace : trace_context option;
     }
-  | Rejected of { id : string; reason : string }
-  | Failed of { id : string; reason : string }
+  | Rejected of { id : string; reason : string; trace : trace_context option }
+  | Failed of { id : string; reason : string; trace : trace_context option }
 
 let op_name = function
   | Zeta -> "zeta"
@@ -62,6 +77,7 @@ let op_name = function
   | Summarize -> "summarize"
   | Estimate _ -> "estimate"
   | Ping -> "ping"
+  | Metrics -> "metrics"
 
 (* The cache key suffix: every parameter that changes the result must be
    part of it (gamma's separation, the estimator design), so distinct
@@ -74,6 +90,7 @@ let op_key = function
   | Estimate { nodes; replicates; seed } ->
       Printf.sprintf "estimate:%d:%d:%d" nodes replicates seed
   | Ping -> "ping"
+  | Metrics -> "metrics"
 
 let cache_outcome_name = function
   | Hit -> "hit"
@@ -88,6 +105,31 @@ let cache_outcome_of_name = function
 
 let response_id = function
   | Done { id; _ } | Rejected { id; _ } | Failed { id; _ } -> id
+
+let response_trace = function
+  | Done { trace; _ } | Rejected { trace; _ } | Failed { trace; _ } -> trace
+
+(* -------------------------------------------------------- trace context *)
+
+let trace_fields = function
+  | None -> []
+  | Some { trace_id; parent_span } ->
+      ("trace_id", J.Str trace_id)
+      ::
+      (if parent_span > 0 then
+         [ ("parent_span", J.Num (float_of_int parent_span)) ]
+       else [])
+
+let trace_of_json j =
+  match J.mem_str "trace_id" j with
+  | None -> None
+  | Some trace_id ->
+      let parent_span =
+        match J.mem_num "parent_span" j with
+        | Some v when Float.is_finite v && v > 0. -> int_of_float v
+        | _ -> 0
+      in
+      Some { trace_id; parent_span }
 
 (* ------------------------------------------------------------ requests *)
 
@@ -113,14 +155,14 @@ let request_to_json r =
         [ ("nodes", J.Num (float_of_int nodes));
           ("replicates", J.Num (float_of_int replicates));
           ("seed", J.Num (float_of_int seed)) ]
-    | Zeta | Phi | Summarize | Ping -> []
+    | Zeta | Phi | Summarize | Ping | Metrics -> []
   in
   let space =
     match r.space with
     | None -> []
     | Some s -> [ ("space", space_to_json s) ]
   in
-  J.Obj (base @ params @ space)
+  J.Obj (base @ params @ trace_fields r.trace @ space)
 
 let request_to_string r = J.to_string (request_to_json r)
 
@@ -160,6 +202,7 @@ let request_of_json j =
         | "phi" -> Ok Phi
         | "summarize" -> Ok Summarize
         | "ping" -> Ok Ping
+        | "metrics" -> Ok Metrics
         | "gamma" -> (
             match J.mem_num "r" j with
             | Some r when r > 0. && Float.is_finite r -> Ok (Gamma r)
@@ -177,15 +220,16 @@ let request_of_json j =
       with
       | Error e -> Error e
       | Ok op -> (
+          let trace = trace_of_json j in
           match J.member "space" j with
           | None ->
-              if op = Ping then Ok { id; op; space = None }
+              if op = Ping || op = Metrics then Ok { id; op; space = None; trace }
               else Error "request: missing space"
           | Some space_j -> (
               match space_of_json space_j with
               | Error e -> Error e
               | exception Failure e -> Error e
-              | Ok space -> Ok { id; op; space = Some space })))
+              | Ok space -> Ok { id; op; space = Some space; trace })))
 
 let request_of_string line =
   match J.parse line with
@@ -196,7 +240,8 @@ let request_of_string line =
 
 let response_to_json = function
   | Done
-      { id; op_name; result; cache; queue_wait_s; batch; elapsed_s; degraded }
+      { id; op_name; result; cache; queue_wait_s; batch; elapsed_s; degraded;
+        trace }
     ->
       J.Obj
         ([ ("id", J.Str id); ("status", J.Str "ok"); ("op", J.Str op_name);
@@ -205,15 +250,18 @@ let response_to_json = function
            ("batch", J.Num (float_of_int batch));
            ("elapsed_s", J.Num elapsed_s) ]
         @ (if degraded then [ ("degraded", J.Bool true) ] else [])
+        @ trace_fields trace
         @ [ ("result", result) ])
-  | Rejected { id; reason } ->
+  | Rejected { id; reason; trace } ->
       J.Obj
-        [ ("id", J.Str id); ("status", J.Str "rejected");
-          ("reason", J.Str reason) ]
-  | Failed { id; reason } ->
+        ([ ("id", J.Str id); ("status", J.Str "rejected");
+           ("reason", J.Str reason) ]
+        @ trace_fields trace)
+  | Failed { id; reason; trace } ->
       J.Obj
-        [ ("id", J.Str id); ("status", J.Str "error");
-          ("reason", J.Str reason) ]
+        ([ ("id", J.Str id); ("status", J.Str "error");
+           ("reason", J.Str reason) ]
+        @ trace_fields trace)
 
 let response_to_string r = J.to_string (response_to_json r)
 
@@ -224,11 +272,13 @@ let response_of_json j =
   | Some id, Some "rejected" ->
       Ok
         (Rejected
-           { id; reason = Option.value (J.mem_str "reason" j) ~default:"" })
+           { id; reason = Option.value (J.mem_str "reason" j) ~default:"";
+             trace = trace_of_json j })
   | Some id, Some "error" ->
       Ok
         (Failed
-           { id; reason = Option.value (J.mem_str "reason" j) ~default:"" })
+           { id; reason = Option.value (J.mem_str "reason" j) ~default:"";
+             trace = trace_of_json j })
   | Some id, Some "ok" -> (
       match
         ( J.mem_str "op" j,
@@ -250,6 +300,7 @@ let response_of_json j =
                    Option.value (J.mem_num "elapsed_s" j) ~default:0.;
                  degraded =
                    Option.value (J.mem_bool "degraded" j) ~default:false;
+                 trace = trace_of_json j;
                })
       | _ -> Error "ok response: missing op / cache / result")
   | Some _, Some other -> Error (Printf.sprintf "unknown status %S" other)

@@ -47,16 +47,34 @@ type op =
           for the exact sweep *)
   | Ping
       (** health probe: answered at admission (never queued) with
-          uptime, queue depth, hit rate and degraded-mode status *)
+          uptime, queue depth, hit rate, degraded-mode and SLO status,
+          plus supervisor lineage (restarts, cumulative uptime) *)
+  | Metrics
+      (** live telemetry scrape: answered at admission with a full
+          snapshot of the server's metrics registry (counters, gauges,
+          histogram buckets) — what [bg top] polls *)
 
 type space_spec =
   | Inline of string * float array array  (** name, decay rows *)
   | Csv of string  (** CSV text, as accepted by {!Bg_decay.Decay_io.of_csv} *)
   | File of string  (** path to a CSV or raw-binary matrix on the server *)
 
-type request = { id : string; op : op; space : space_spec option }
-(** [space] is [None] only for {!Ping}; every analysis op requires
-    one. *)
+type trace_context = { trace_id : string; parent_span : int }
+(** Cross-process trace identity.  [trace_id] names the logical request
+    across every process it touches; [parent_span] is the sender's span
+    id in its own trace file (0 = unknown), which lets
+    {!Obs_tools.Trace.merge} re-parent the server's spans under the
+    client's.  Serialized as top-level [trace_id] / [parent_span] wire
+    fields, omitted when absent, so pre-tracing lines parse unchanged. *)
+
+type request = {
+  id : string;
+  op : op;
+  space : space_spec option;
+  trace : trace_context option;
+}
+(** [space] is [None] only for {!Ping} / {!Metrics}; every analysis op
+    requires one. *)
 
 type cache_outcome =
   | Hit  (** answered from the shared store (memory or disk) *)
@@ -76,14 +94,18 @@ type response =
       degraded : bool;
           (** answered by the estimator tier under load; the result
               carries its confidence interval *)
+      trace : trace_context option;  (** echo of the request's context *)
     }
-  | Rejected of { id : string; reason : string }
-      (** shed by admission control; resubmit later *)
-  | Failed of { id : string; reason : string }
+  | Rejected of {
+      id : string;
+      reason : string;
+      trace : trace_context option;
+    }  (** shed by admission control; resubmit later *)
+  | Failed of { id : string; reason : string; trace : trace_context option }
 
 val op_name : op -> string
 (** ["zeta"], ["phi"], ["gamma"], ["summarize"], ["estimate"],
-    ["ping"]. *)
+    ["ping"], ["metrics"]. *)
 
 val op_key : op -> string
 (** The op's contribution to the cache key: includes every parameter
@@ -92,6 +114,9 @@ val op_key : op -> string
 
 val cache_outcome_name : cache_outcome -> string
 val response_id : response -> string
+
+val response_trace : response -> trace_context option
+(** The trace context echoed on any response variant. *)
 
 val request_to_string : request -> string
 (** One JSONL line (no trailing newline). *)

@@ -73,6 +73,16 @@ type degrade = {
 let default_degrade =
   { queue_watermark = 64; big_n = 1024; nodes = 32; replicates = 6; seed = 0 }
 
+(* Supervisor lineage: counters the supervisor threads into each worker
+   incarnation (via BG_SUPERVISE_* environment variables, see
+   Supervisor), so a respawned worker's ping does not report zeroed
+   telemetry. *)
+type lineage = {
+  restarts : int;
+  supervisor_started_s : float;
+  prior_uptime_s : float; (* summed uptime of dead predecessor workers *)
+}
+
 type config = {
   ctx : Ctx.t;
   batch_size : int;
@@ -81,6 +91,9 @@ type config = {
   store : Store.t option;
   degrade : degrade option;
   chaos : Chaos.t option;
+  slo : Slo.t option;
+  telemetry : Telemetry.t option;
+  lineage : lineage option;
 }
 
 let default_config =
@@ -92,6 +105,9 @@ let default_config =
     store = None;
     degrade = None;
     chaos = None;
+    slo = None;
+    telemetry = None;
+    lineage = None;
   }
 
 type stats = {
@@ -198,7 +214,7 @@ let compute ~ctx op space =
       J.Obj
         [ ("zeta_lower", J.Num e.point); ("hi", J.Num e.hi);
           ("confidence", J.Num e.confidence) ]
-  | P.Ping -> invalid_arg "ping is answered at admission"
+  | P.Ping | P.Metrics -> invalid_arg "ping/metrics are answered at admission"
 
 let compute_guarded ~ctx ~timeout op space =
   let body () =
@@ -250,34 +266,127 @@ let compute_degraded ~ctx d op space key =
 
 (* ---------------------------------------------------------------- ping *)
 
+(* Supervisor lineage fields, shared by ping and metrics: a worker
+   respawned by the supervisor keeps reporting cumulative restart and
+   uptime figures rather than starting over from zero. *)
+let lineage_fields t ~now =
+  let uptime = Float.max 0. (now -. t.started_s) in
+  match t.config.lineage with
+  | None -> [ ("restarts", J.Num 0.); ("total_uptime_s", J.Num uptime) ]
+  | Some l ->
+      [ ("restarts", J.Num (float_of_int l.restarts));
+        ( "supervisor_uptime_s",
+          J.Num (Float.max 0. (now -. l.supervisor_started_s)) );
+        ("total_uptime_s", J.Num (l.prior_uptime_s +. uptime)) ]
+
+let slo_fields t ~now =
+  match t.config.slo with
+  | None -> []
+  | Some slo ->
+      let statuses = Slo.report slo ~now_s:now in
+      [ ("slo", J.Arr (List.map Slo.status_to_json statuses));
+        ("slo_healthy", J.Bool (not (Slo.violated statuses))) ]
+
 let ping_result t ~queue_depth =
   let st = t.stats in
+  let now = Obs.now_s () in
   let hit_rate =
     if st.served > 0 then float_of_int st.store_hits /. float_of_int st.served
     else 0.
   in
   J.Obj
-    [ ("uptime_s", J.Num (Float.max 0. (Obs.now_s () -. t.started_s)));
-      ("queue_depth", J.Num (float_of_int queue_depth));
-      ("accepted", J.Num (float_of_int st.accepted));
-      ("served", J.Num (float_of_int st.served));
-      ("hit_rate", J.Num hit_rate);
-      ("degraded_answers", J.Num (float_of_int st.degraded));
-      ("degrade_enabled", J.Bool (t.config.degrade <> None)) ]
+    ([ ("uptime_s", J.Num (Float.max 0. (now -. t.started_s)));
+       ("queue_depth", J.Num (float_of_int queue_depth));
+       ("accepted", J.Num (float_of_int st.accepted));
+       ("served", J.Num (float_of_int st.served));
+       ("hit_rate", J.Num hit_rate);
+       ("degraded_answers", J.Num (float_of_int st.degraded));
+       ("degrade_enabled", J.Bool (t.config.degrade <> None)) ]
+    @ lineage_fields t ~now
+    @ slo_fields t ~now)
 
-let ping_response t ~queue_depth ~id =
+(* The metrics op: one full registry scrape plus the server's own stats,
+   answered at admission like ping so a scraper works during overload.
+   This is what `bg top --socket` polls. *)
+let metrics_result t ~queue_depth =
+  let st = t.stats in
+  let now = Obs.now_s () in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Obs.Counter_snapshot v ->
+          counters := (name, J.Num (float_of_int v)) :: !counters
+      | Obs.Gauge_snapshot v -> gauges := (name, J.Num v) :: !gauges
+      | Obs.Histogram_snapshot { count; sum; buckets } ->
+          let q q' =
+            let total = count in
+            if total = 0 then 0.
+            else begin
+              let rank =
+                int_of_float (Float.round (q' *. float_of_int (total - 1)))
+              in
+              let rec go seen = function
+                | [] -> 0.
+                | (b, c) :: rest ->
+                    let seen = seen + c in
+                    if seen > rank then
+                      if b <= 0 then 0.
+                      else if b >= Obs.num_buckets - 1 then
+                        Obs.bucket_lower_bound b
+                      else Obs.bucket_lower_bound b *. Float.sqrt 2.
+                    else go seen rest
+              in
+              go 0 buckets
+            end
+          in
+          histograms :=
+            ( name,
+              J.Obj
+                [ ("count", J.Num (float_of_int count)); ("sum", J.Num sum);
+                  ("p50", J.Num (q 0.5)); ("p99", J.Num (q 0.99)) ] )
+            :: !histograms)
+    (Obs.snapshot ());
+  J.Obj
+    ([ ("uptime_s", J.Num (Float.max 0. (now -. t.started_s)));
+       ("queue_depth", J.Num (float_of_int queue_depth));
+       ( "stats",
+         J.Obj
+           [ ("accepted", J.Num (float_of_int st.accepted));
+             ("rejected", J.Num (float_of_int st.rejected));
+             ("failed", J.Num (float_of_int st.failed));
+             ("served", J.Num (float_of_int st.served));
+             ("computed", J.Num (float_of_int st.computed));
+             ("store_hits", J.Num (float_of_int st.store_hits));
+             ("coalesced", J.Num (float_of_int st.coalesced));
+             ("batches", J.Num (float_of_int st.batches));
+             ("peak_queue", J.Num (float_of_int st.peak_queue));
+             ("degraded", J.Num (float_of_int st.degraded));
+             ("pings", J.Num (float_of_int st.pings));
+             ("disconnects", J.Num (float_of_int st.disconnects)) ] );
+       ("counters", J.Obj (List.rev !counters));
+       ("gauges", J.Obj (List.rev !gauges));
+       ("histograms", J.Obj (List.rev !histograms)) ]
+    @ lineage_fields t ~now
+    @ slo_fields t ~now)
+
+let admission_response t ~queue_depth ~id ~op ~trace =
   t.stats.pings <- t.stats.pings + 1;
   Obs.incr c_pings;
   P.Done
     {
       id;
-      op_name = "ping";
-      result = ping_result t ~queue_depth;
+      op_name = P.op_name op;
+      result =
+        (match op with
+        | P.Metrics -> metrics_result t ~queue_depth
+        | _ -> ping_result t ~queue_depth);
       cache = P.Miss;
       queue_wait_s = 0.;
       batch = 0;
       elapsed_s = 0.;
       degraded = false;
+      trace;
     }
 
 (* ------------------------------------------------------------- batches *)
@@ -286,11 +395,11 @@ let ping_response t ~queue_depth ~id =
 type resolved =
   | Bad of string (* unresolvable space: typed error *)
   | Keyed of D.t * string (* space + full cache key *)
-  | Health (* ping: answered without touching the compute path *)
+  | Health (* ping/metrics: answered without touching the compute path *)
 
 let resolve req =
   match (req.P.op, req.P.space) with
-  | P.Ping, _ -> Health
+  | (P.Ping | P.Metrics), _ -> Health
   | _, None -> Bad "request: missing space"
   | _, Some spec -> (
       match resolve_space spec with
@@ -368,13 +477,22 @@ let process_batch ?(queue_depth = 0) t reqs =
         |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
       in
       let timeout = cfg.request_timeout_s in
+      (* Each compute is timed explicitly (not just spanned) so response
+         assembly can re-emit the kernel sweep as a backdated child of
+         every requester's serve.request span — the merged causal tree
+         then shows the sweep under each originating client root. *)
+      let timed key f =
+        let c0 = Obs.now_s () in
+        let r = f () in
+        (key, r, c0, Obs.now_s () -. c0)
+      in
       let computed =
         match to_compute with
         | [] -> []
         | [ (key, op, space) ] ->
             (* A lone compute keeps the configured within-request
                parallelism: nothing else to overlap it with. *)
-            [ (key, compute_guarded ~ctx:cfg.ctx ~timeout op space) ]
+            [ timed key (fun () -> compute_guarded ~ctx:cfg.ctx ~timeout op space) ]
         | _ ->
             (* Several distinct keys: fan out across the pool, one task
                per key, inner sweeps sequential.  Results are identical
@@ -388,7 +506,8 @@ let process_batch ?(queue_depth = 0) t reqs =
                          [ ("op", Obs.S (P.op_name op));
                            ("batch", Obs.I batch) ]
                        (fun () ->
-                         (key, compute_guarded ~ctx:seq_ctx ~timeout op space)))
+                         timed key (fun () ->
+                             compute_guarded ~ctx:seq_ctx ~timeout op space)))
               |> Array.of_list
             in
             Array.to_list (Par.run tasks)
@@ -399,9 +518,11 @@ let process_batch ?(queue_depth = 0) t reqs =
          worst case. *)
       Chaos.maybe_at cfg.chaos Chaos.Mid_batch;
       let results = Hashtbl.create 16 in
+      let timings = Hashtbl.create 16 in
       List.iter
-        (fun (key, r) ->
+        (fun (key, r, c0, cdur) ->
           Hashtbl.replace results key r;
+          Hashtbl.replace timings key (c0, cdur);
           match (r, cfg.store) with
           | Ok v, Some store -> Store.add store key v
           | _ -> ())
@@ -422,10 +543,13 @@ let process_batch ?(queue_depth = 0) t reqs =
               P.Miss
             end
           in
+          let trace = req.P.trace in
           let response =
             match r with
-            | Bad reason -> P.Failed { id = req.P.id; reason }
-            | Health -> ping_response t ~queue_depth ~id:req.P.id
+            | Bad reason -> P.Failed { id = req.P.id; reason; trace }
+            | Health ->
+                admission_response t ~queue_depth ~id:req.P.id ~op:req.P.op
+                  ~trace
             | Keyed (_, key) -> (
                 match Hashtbl.find_opt degraded_results key with
                 | Some v ->
@@ -439,6 +563,7 @@ let process_batch ?(queue_depth = 0) t reqs =
                         batch;
                         elapsed_s;
                         degraded = true;
+                        trace;
                       }
                 | None -> (
                     let result =
@@ -450,7 +575,7 @@ let process_batch ?(queue_depth = 0) t reqs =
                           | None -> Error "internal: result missing")
                     in
                     match result with
-                    | Error reason -> P.Failed { id = req.P.id; reason }
+                    | Error reason -> P.Failed { id = req.P.id; reason; trace }
                     | Ok v ->
                         P.Done
                           {
@@ -462,28 +587,65 @@ let process_batch ?(queue_depth = 0) t reqs =
                             batch;
                             elapsed_s;
                             degraded = false;
+                            trace;
                           }))
           in
           (* The per-request span: wall time of the request itself lives
              in the queue_wait_s / elapsed_s attrs (the span closes at
-             response assembly). *)
+             response assembly).  When the request carried trace context,
+             the span records it — trace_id plus the client's span id —
+             which is what lets Obs_tools.Trace.merge re-parent this
+             subtree under the originating client root.  Queue wait and
+             the kernel sweep are re-emitted as backdated children, so
+             the merged tree attributes the request's latency stage by
+             stage. *)
+          let trace_attrs =
+            match trace with
+            | None -> []
+            | Some { P.trace_id; parent_span } ->
+                ("trace_id", Obs.S trace_id)
+                ::
+                (if parent_span > 0 then
+                   [ ("parent_span", Obs.I parent_span) ]
+                 else [])
+          in
           Obs.with_span "serve.request"
             ~attrs:
-              [ ("id", Obs.S req.P.id);
-                ("op", Obs.S (P.op_name req.P.op));
-                ("batch", Obs.I batch);
-                ( "cache",
-                  Obs.S
-                    (match response with
-                    | P.Done { degraded = true; _ } -> "degraded"
-                    | P.Done { cache; _ } -> P.cache_outcome_name cache
-                    | P.Rejected _ -> "rejected"
-                    | P.Failed _ -> "error") );
-                ("queue_wait_s", Obs.F queue_wait_s);
-                ("elapsed_s", Obs.F elapsed_s) ]
+              ([ ("id", Obs.S req.P.id);
+                 ("op", Obs.S (P.op_name req.P.op));
+                 ("batch", Obs.I batch);
+                 ( "cache",
+                   Obs.S
+                     (match response with
+                     | P.Done { degraded = true; _ } -> "degraded"
+                     | P.Done { cache; _ } -> P.cache_outcome_name cache
+                     | P.Rejected _ -> "rejected"
+                     | P.Failed _ -> "error") );
+                 ("queue_wait_s", Obs.F queue_wait_s);
+                 ("elapsed_s", Obs.F elapsed_s) ]
+              @ trace_attrs)
             (fun () ->
+              (match r with
+              | Keyed (_, key) when Obs.tracing () ->
+                  if queue_wait_s > 0. then
+                    ignore
+                      (Obs.emit_span_at ~name:"serve.queue_wait"
+                         ~start_s:t0 ~dur_s:queue_wait_s ());
+                  (match Hashtbl.find_opt timings key with
+                  | Some (c0, cdur) ->
+                      ignore
+                        (Obs.emit_span_at ~name:"serve.kernel"
+                           ~attrs:[ ("op", Obs.S (P.op_name req.P.op)) ]
+                           ~start_s:c0 ~dur_s:cdur ())
+                  | None -> ())
+              | _ -> ());
               Obs.observe h_latency elapsed_s;
               Obs.observe h_queue_wait queue_wait_s;
+              (match cfg.slo with
+              | Some slo ->
+                  Slo.record slo ~now_s:finished_s ~latency_s:elapsed_s
+                    ~ok:(match response with P.Done _ -> true | _ -> false)
+              | None -> ());
               (match response with
               | P.Done { degraded = true; _ } ->
                   st.served <- st.served + 1;
@@ -540,18 +702,27 @@ let run_loop ?(should_stop = fun () -> false) t io =
   let eof = ref false in
   let admit line reply =
     match P.request_of_string line with
-    | Ok ({ P.op = P.Ping; _ } as req) ->
-        (* Health probes bypass the queue entirely: they must answer
-           during overload, which is exactly when the queue is full. *)
+    | Ok ({ P.op = P.Ping | P.Metrics; _ } as req) ->
+        (* Health probes and telemetry scrapes bypass the queue
+           entirely: they must answer during overload, which is exactly
+           when the queue is full. *)
         send reply
           (P.response_to_string
-             (ping_response t ~queue_depth:(Queue.length queue) ~id:req.P.id))
+             (admission_response t ~queue_depth:(Queue.length queue)
+                ~id:req.P.id ~op:req.P.op ~trace:req.P.trace))
     | parsed ->
         if Queue.length queue >= cfg.max_queue then begin
           (* Shed load with a typed answer: the queue is bounded by
              construction, and accepted requests keep a bounded wait. *)
           st.rejected <- st.rejected + 1;
           Obs.incr c_rejected;
+          (match cfg.slo with
+          | Some slo ->
+              Slo.record slo ~now_s:(Obs.now_s ()) ~latency_s:0. ~ok:false
+          | None -> ());
+          let trace =
+            match parsed with Ok req -> req.P.trace | Error _ -> None
+          in
           send reply
             (P.response_to_string
                (P.Rejected
@@ -559,6 +730,7 @@ let run_loop ?(should_stop = fun () -> false) t io =
                     id = error_id line;
                     reason =
                       Printf.sprintf "queue full (%d pending)" cfg.max_queue;
+                    trace;
                   }))
         end
         else
@@ -568,7 +740,7 @@ let run_loop ?(should_stop = fun () -> false) t io =
               Obs.incr c_failed;
               send reply
                 (P.response_to_string
-                   (P.Failed { id = error_id line; reason }))
+                   (P.Failed { id = error_id line; reason; trace = None }))
           | Ok req ->
               st.accepted <- st.accepted + 1;
               Obs.incr c_accepted;
@@ -590,6 +762,7 @@ let run_loop ?(should_stop = fun () -> false) t io =
        re-checked promptly. *)
     drain ~block:(Queue.is_empty queue && not (should_stop ()));
     st.peak_queue <- max st.peak_queue (Queue.length queue);
+    Option.iter (fun tel -> Telemetry.maybe_snapshot tel) cfg.telemetry;
     if not (Queue.is_empty queue) then begin
       let batch = ref [] in
       let replies = ref [] in
@@ -615,6 +788,13 @@ let run_loop ?(should_stop = fun () -> false) t io =
   done;
   io.flush ();
   Option.iter Store.flush cfg.store;
+  (* The tail of the run must land in the ring even if the last interval
+     had not elapsed: a drained shutdown leaves complete telemetry. *)
+  Option.iter
+    (fun tel ->
+      Telemetry.force_snapshot tel;
+      Telemetry.close tel)
+    cfg.telemetry;
   st
 
 (* ------------------------------------------------- line-buffered reads *)

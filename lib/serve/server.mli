@@ -25,15 +25,22 @@
     batch (group commit), so a crash at any point loses at most the
     in-flight batch and never an answered request.
 
-    [ping] requests are answered at admission — a health probe works
-    precisely when the queue is full — reporting uptime, queue depth,
-    hit rate and degraded-mode status.
+    [ping] and [metrics] requests are answered at admission — a health
+    probe or telemetry scrape works precisely when the queue is full.
+    [ping] reports uptime, queue depth, hit rate, degraded-mode status,
+    supervisor lineage (restarts, cumulative uptime across respawns) and
+    SLO health; [metrics] adds a full registry snapshot (every counter,
+    gauge and histogram with p50/p99) — what [bg top --socket] polls.
 
     Every request gets one [serve.request] span (queue-wait, batch id
     and cache outcome as attrs) and lands in the [serve.latency_s] /
     [serve.queue_wait_s] histograms; admission, batch, degraded-answer
     and disconnect counters are [serve.*] in the {!Bg_prelude.Obs}
-    registry. *)
+    registry.  A request that carried {!Protocol.trace_context} gets the
+    [trace_id] / [parent_span] recorded on its [serve.request] span and
+    backdated [serve.queue_wait] / [serve.kernel] child spans, so
+    {!Obs_tools.Trace.merge} can stitch the server's work under the
+    originating client root. *)
 
 type degrade = {
   queue_watermark : int;
@@ -48,6 +55,15 @@ type degrade = {
 val default_degrade : degrade
 (** watermark 64, [big_n] 1024, 32 nodes, 6 replicates, seed 0. *)
 
+type lineage = {
+  restarts : int;  (** how many times the supervisor respawned a worker *)
+  supervisor_started_s : float;  (** wall clock of supervisor start *)
+  prior_uptime_s : float;  (** summed uptime of dead predecessor workers *)
+}
+(** Counters the supervisor threads into each worker incarnation (via
+    [BG_SUPERVISE_*] environment variables, see {!Supervisor.lineage_env})
+    so a respawned worker's [ping] keeps reporting cumulative figures. *)
+
 type config = {
   ctx : Core.Decay.Ctx.t;  (** analysis context shared by all requests *)
   batch_size : int;  (** max requests taken per batch (default 32) *)
@@ -58,6 +74,12 @@ type config = {
   store : Store.t option;  (** shared (optionally persistent) result cache *)
   degrade : degrade option;  (** graceful degradation; [None] = shed only *)
   chaos : Chaos.t option;  (** fault injection; [None] in production *)
+  slo : Slo.t option;
+      (** latency/error objectives tracked over every response; reported
+          by [ping], [metrics] and [bg top] *)
+  telemetry : Telemetry.t option;
+      (** periodic registry snapshots to a ring-buffer JSONL file *)
+  lineage : lineage option;  (** supervisor-threaded counters *)
 }
 
 val default_config : config

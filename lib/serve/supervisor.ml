@@ -24,6 +24,28 @@ type outcome = {
   final_status : Unix.process_status;
 }
 
+(* Worker lineage rides environment variables: each incarnation is told
+   how many respawns preceded it, when supervision began, and how long
+   its predecessors ran in total — so a ping answered by worker #3 can
+   report the whole supervised history, not just its own uptime. *)
+let lineage_env = "BG_SUPERVISE_RESTARTS"
+let started_env = "BG_SUPERVISE_STARTED_S"
+let prior_uptime_env = "BG_SUPERVISE_PRIOR_UPTIME_S"
+
+let read_lineage () =
+  match Sys.getenv_opt lineage_env with
+  | None -> None
+  | Some restarts ->
+      let float_env name =
+        match Sys.getenv_opt name with
+        | None -> 0.
+        | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 0.)
+      in
+      Some
+        ( (match int_of_string_opt restarts with Some n -> max 0 n | None -> 0),
+          float_env started_env,
+          float_env prior_uptime_env )
+
 (* OCaml signal numbers are internal (negative); name the common ones. *)
 let signal_name s =
   if s = Sys.sigkill then "SIGKILL"
@@ -64,7 +86,13 @@ let run ?(max_restarts = 16) ?(backoff_base_s = 0.05) ?(backoff_cap_s = 2.)
       Option.iter (Sys.set_signal Sys.sigint) old_int;
       Option.iter (Sys.set_signal Sys.sigterm) old_term)
     (fun () ->
+      let supervise_started = Unix.gettimeofday () in
+      let prior_uptime = ref 0. in
       let rec loop restarts =
+        Unix.putenv lineage_env (string_of_int restarts);
+        Unix.putenv started_env (Printf.sprintf "%.6f" supervise_started);
+        Unix.putenv prior_uptime_env (Printf.sprintf "%.6f" !prior_uptime);
+        let spawned_at = Unix.gettimeofday () in
         let pid =
           Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
         in
@@ -75,6 +103,7 @@ let run ?(max_restarts = 16) ?(backoff_base_s = 0.05) ?(backoff_cap_s = 2.)
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
         in
         let status = wait () in
+        prior_uptime := !prior_uptime +. (Unix.gettimeofday () -. spawned_at);
         child := None;
         match status with
         | Unix.WEXITED 0 | Unix.WEXITED 2 -> { restarts; final_status = status }

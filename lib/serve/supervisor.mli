@@ -19,6 +19,33 @@ type outcome = {
   final_status : Unix.process_status;  (** the last worker's exit *)
 }
 
+(** {2 Worker lineage}
+
+    Supervisor-side counters persist {e across} respawns by riding the
+    worker's environment: before each spawn the supervisor exports how
+    many restarts preceded this incarnation, the wall-clock instant
+    supervision began, and the summed uptime of every dead predecessor.
+    A worker folds these into {!Server.lineage} so every [ping] reply
+    carries the whole supervised history. *)
+
+val lineage_env : string
+(** [BG_SUPERVISE_RESTARTS] — respawns before this worker (0 for the
+    first). *)
+
+val started_env : string
+(** [BG_SUPERVISE_STARTED_S] — [Unix.gettimeofday] when supervision
+    began. *)
+
+val prior_uptime_env : string
+(** [BG_SUPERVISE_PRIOR_UPTIME_S] — seconds of worker uptime accumulated
+    by dead predecessors. *)
+
+val read_lineage : unit -> (int * float * float) option
+(** [(restarts, supervisor_started_s, prior_uptime_s)] from the
+    environment; [None] when not running under a supervisor.  Malformed
+    values degrade to [0], never to an error — lineage is telemetry, not
+    control. *)
+
 val run :
   ?max_restarts:int ->
   ?backoff_base_s:float ->

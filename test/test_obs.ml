@@ -578,6 +578,120 @@ let test_golden_e1_trace () =
   Alcotest.(check (list string))
     "trace shape matches the committed golden" golden (normalize_spans spans)
 
+(* ------------------------------------------------- quantile estimation *)
+
+(* The telemetry snapshotter and `bg top` read p50/p99 straight off the
+   registry, so the estimator's edges are contract, not detail. *)
+
+let test_quantile_empty () =
+  let h = Obs.histogram "test.obs.q_empty" in
+  List.iter
+    (fun q ->
+      check_float
+        (Printf.sprintf "empty histogram q=%g is 0" q)
+        0.
+        (Obs.histogram_quantile h q))
+    [ 0.; 0.5; 1. ]
+
+let test_quantile_single_bucket () =
+  let h = Obs.histogram "test.obs.q_single" in
+  for _ = 1 to 100 do
+    Obs.observe h 1.5
+  done;
+  (* Every rank lands in the one occupied bucket, reported at its
+     geometric midpoint. *)
+  let mid = Obs.bucket_lower_bound (Obs.bucket_of 1.5) *. Float.sqrt 2. in
+  List.iter
+    (fun q ->
+      check_float ~eps:1e-12
+        (Printf.sprintf "q=%g at the geometric midpoint" q)
+        mid
+        (Obs.histogram_quantile h q))
+    [ 0.; 0.5; 0.99; 1. ];
+  (* Out-of-range quantiles clamp instead of raising. *)
+  check_float ~eps:1e-12 "q<0 clamps to 0" mid (Obs.histogram_quantile h (-1.));
+  check_float ~eps:1e-12 "q>1 clamps to 1" mid (Obs.histogram_quantile h 2.)
+
+let test_quantile_overflow_mass () =
+  let h = Obs.histogram "test.obs.q_overflow" in
+  List.iter (Obs.observe h) [ 1e300; Float.infinity; 1e305 ];
+  (* The overflow bucket has no midpoint; its lower bound is the honest
+     (under-)estimate. *)
+  let lo = Obs.bucket_lower_bound (Obs.num_buckets - 1) in
+  check_float "p50 reads the overflow lower bound" lo
+    (Obs.histogram_quantile h 0.5);
+  check_float "p99 too" lo (Obs.histogram_quantile h 0.99)
+
+let test_quantile_nonpositive_mass () =
+  let h = Obs.histogram "test.obs.q_zero" in
+  List.iter (Obs.observe h) [ 0.; -1.; Float.nan ];
+  check_float "all-nonpositive mass reads as 0" 0.
+    (Obs.histogram_quantile h 0.9)
+
+(* ------------------------------------------- backdated spans, snapshot *)
+
+let test_alloc_and_emit_backdated () =
+  let reserved = ref 0 in
+  let events =
+    trace_to_events (fun () ->
+      let id = Obs.alloc_span_id () in
+      reserved := id;
+      check_true "alloc ids advance" (Obs.alloc_span_id () > id);
+      check_int "no span open outside with_span" 0 (Obs.current_span_id ());
+      Obs.with_span "outer" (fun () ->
+          check_true "current_span_id names the open span"
+            (Obs.current_span_id () > 0));
+      check_int "span close restores no-open state" 0 (Obs.current_span_id ());
+      let used =
+        Obs.emit_span_at
+          ~attrs:[ ("trace_id", Obs.S "t0-r000001") ]
+          ~parent:0 ~id ~ok:false ~name:"client.request" ~start_s:1.
+          ~dur_s:0.5 ()
+      in
+      check_int "emit_span_at uses the reserved id" id used)
+  in
+  match
+    List.filter (fun s -> span_name s = "client.request") (spans_of events)
+  with
+  | [ s ] ->
+      check_int "reserved id on the wire" !reserved (span_id s);
+      check_int "emitted as a root" 0 (span_parent s);
+      check_true "ok:false preserved" (Jsonl.mem_bool "ok" s = Some false);
+      check_true "trace_id attribute preserved"
+        (List.assoc_opt "trace_id" (span_attrs s)
+        = Some (Jsonl.Str "t0-r000001"));
+      check_float "backdated start" 1. (req "start" (Jsonl.mem_num "start_s" s));
+      check_float "explicit duration" 0.5 (req "dur" (Jsonl.mem_num "dur_s" s))
+  | l ->
+      Alcotest.failf "expected one client.request span, got %d" (List.length l)
+
+let test_emit_span_at_without_sink () =
+  Obs.close_trace ();
+  check_int "no sink: emit_span_at is a 0 no-op" 0
+    (Obs.emit_span_at ~name:"x" ~start_s:0. ~dur_s:0. ())
+
+let test_snapshot_covers_metrics () =
+  let c = Obs.counter "test.obs.snap_counter" in
+  Obs.add c 3;
+  let g = Obs.gauge "test.obs.snap_gauge" in
+  Obs.set_gauge g 1.25;
+  let h = Obs.histogram "test.obs.snap_hist" in
+  List.iter (Obs.observe h) [ 0.5; 2. ];
+  let snap = Obs.snapshot () in
+  (match List.assoc_opt "test.obs.snap_counter" snap with
+  | Some (Obs.Counter_snapshot n) -> check_int "counter value" 3 n
+  | _ -> Alcotest.fail "counter missing from snapshot");
+  (match List.assoc_opt "test.obs.snap_gauge" snap with
+  | Some (Obs.Gauge_snapshot v) -> check_float "gauge value" 1.25 v
+  | _ -> Alcotest.fail "gauge missing from snapshot");
+  match List.assoc_opt "test.obs.snap_hist" snap with
+  | Some (Obs.Histogram_snapshot { count; sum; buckets }) ->
+      check_int "histogram count" 2 count;
+      check_float ~eps:1e-12 "histogram sum" 2.5 sum;
+      check_int "sparse buckets carry all the mass" 2
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 buckets)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
 let suite =
   [
     ( "obs.metrics",
@@ -590,6 +704,11 @@ let suite =
         fuzz_bucket_bounds;
         fuzz_histogram_conservation;
         case "summary covers registry" test_summary_table_covers_registry;
+        case "quantile: empty histogram" test_quantile_empty;
+        case "quantile: single occupied bucket" test_quantile_single_bucket;
+        case "quantile: all mass in overflow" test_quantile_overflow_mass;
+        case "quantile: non-positive mass" test_quantile_nonpositive_mass;
+        case "snapshot covers every metric kind" test_snapshot_covers_metrics;
       ] );
     ( "obs.spans",
       [
@@ -597,6 +716,8 @@ let suite =
         case "span structure, attrs, errors" test_span_structure;
         fuzz_span_nesting;
         case "flush_metrics round-trips" test_flush_metrics_round_trip;
+        case "alloc + backdated emit_span_at" test_alloc_and_emit_backdated;
+        case "emit_span_at without a sink" test_emit_span_at_without_sink;
       ] );
     ( "obs.profiling",
       [

@@ -24,10 +24,10 @@ let check_exact_float msg a b = check_true msg (Float.equal a b)
 let tiny_matrix = [| [| 0.; 1.5; 2. |]; [| 1.2; 0.; 3. |]; [| 2.; 1.; 0. |] |]
 
 let req ?(id = "r1") op =
-  { P.id; op; space = Some (P.Inline ("tiny", tiny_matrix)) }
+  { P.id; op; space = Some (P.Inline ("tiny", tiny_matrix)); trace = None }
 
 let engine ?(batch_size = 32) ?(max_queue = 256) ?request_timeout_s ?store
-    ?degrade ?chaos () =
+    ?degrade ?chaos ?slo ?lineage () =
   Server.create
     {
       Server.ctx = Ctx.make ~jobs:1 ~cache:false ();
@@ -37,6 +37,9 @@ let engine ?(batch_size = 32) ?(max_queue = 256) ?request_timeout_s ?store
       store;
       degrade;
       chaos;
+      slo;
+      telemetry = None;
+      lineage;
     }
 
 (* Feed requests through the engine one batch at a time (no windowing);
@@ -58,9 +61,9 @@ let test_request_round_trip () =
       req ~id:"g" (P.Gamma 4.);
       req ~id:"s" P.Summarize;
       req ~id:"e" (P.Estimate { nodes = 8; replicates = 3; seed = 9 });
-      { P.id = "c"; op = P.Zeta; space = Some (P.Csv "0,2\n2,0") };
-      { P.id = "f"; op = P.Phi; space = Some (P.File "/tmp/x.csv") };
-      { P.id = "hp"; op = P.Ping; space = None };
+      { P.id = "c"; op = P.Zeta; space = Some (P.Csv "0,2\n2,0"); trace = None };
+      { P.id = "f"; op = P.Phi; space = Some (P.File "/tmp/x.csv"); trace = None };
+      { P.id = "hp"; op = P.Ping; space = None; trace = None };
     ]
   in
   List.iter
@@ -103,6 +106,7 @@ let test_response_round_trip () =
           batch = 7;
           elapsed_s = 0.5;
           degraded = false;
+          trace = Some { P.trace_id = "t1-r000001"; parent_span = 12 };
         };
       P.Done
         {
@@ -114,9 +118,10 @@ let test_response_round_trip () =
           batch = 9;
           elapsed_s = 0.01;
           degraded = true;
+          trace = None;
         };
-      P.Rejected { id = "b"; reason = "queue full (8 pending)" };
-      P.Failed { id = "c"; reason = "boom" };
+      P.Rejected { id = "b"; reason = "queue full (8 pending)"; trace = None };
+      P.Failed { id = "c"; reason = "boom"; trace = None };
     ]
   in
   List.iter
@@ -325,10 +330,12 @@ let test_error_isolated_to_its_request () =
 let test_bad_space_answers_error () =
   let bad_matrix =
     { P.id = "m"; op = P.Zeta;
-      space = Some (P.Inline ("bad", [| [| 0.; -1. |]; [| 1.; 0. |] |])) }
+      space = Some (P.Inline ("bad", [| [| 0.; -1. |]; [| 1.; 0. |] |]));
+      trace = None }
   in
   let bad_file =
-    { P.id = "f"; op = P.Zeta; space = Some (P.File "/nonexistent/nope.csv") }
+    { P.id = "f"; op = P.Zeta; space = Some (P.File "/nonexistent/nope.csv");
+      trace = None }
   in
   match serve_all [ bad_matrix; bad_file; req P.Zeta ] with
   | [ P.Failed { id = "m"; _ }; P.Failed { id = "f"; _ }; P.Done _ ] -> ()
@@ -427,11 +434,12 @@ let test_request_timeout_answers_error () =
             if i = j then 0. else 0.5 +. Rng.float g 10.))
   in
   let reqs =
-    [ { P.id = "slow"; op = P.Zeta; space = Some (P.Inline ("big", big)) } ]
+    [ { P.id = "slow"; op = P.Zeta; space = Some (P.Inline ("big", big));
+        trace = None } ]
   in
   let now = Obs.now_s () in
   match Server.process_batch t (List.map (fun r -> (r, now)) reqs) with
-  | [ P.Failed { id = "slow"; reason } ] ->
+  | [ P.Failed { id = "slow"; reason; _ } ] ->
       check_true "reason mentions the budget"
         (String.length reason > 0)
   | other ->
@@ -726,7 +734,7 @@ let test_degraded_big_space_without_backlog () =
 
 let test_ping_health_op () =
   let t = engine () in
-  let ping = { P.id = "hp"; op = P.Ping; space = None } in
+  let ping = { P.id = "hp"; op = P.Ping; space = None; trace = None } in
   match Server.process_batch t [ (ping, Obs.now_s ()) ] with
   | [ P.Done { op_name = "ping"; degraded = false; result; _ } ] ->
       check_true "uptime reported"
@@ -1005,6 +1013,220 @@ let test_supervised_restart_rides_out_crashes () =
         check_int "nothing abandoned" 0 r.L.gave_up;
         check_true "the crash actually cost retries" (r.L.retries > 0))
 
+(* ------------------------------------------------------- observability *)
+
+let test_trace_context_on_the_wire () =
+  let r =
+    { P.id = "w"; op = P.Ping; space = None;
+      trace = Some { P.trace_id = "t9-r000042"; parent_span = 17 } }
+  in
+  let j = P.request_to_json r in
+  check_true "trace_id is a top-level wire field"
+    (J.mem_str "trace_id" j = Some "t9-r000042");
+  check_true "parent_span is a top-level wire field"
+    (J.mem_num "parent_span" j = Some 17.);
+  (match P.request_of_string (P.request_to_string r) with
+  | Ok r' -> check_true "request trace round-trips" (r = r')
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* parent_span = 0 means "no remote parent" and stays off the wire. *)
+  let root =
+    { r with trace = Some { P.trace_id = "t9-r000042"; parent_span = 0 } }
+  in
+  check_true "zero parent_span omitted"
+    (J.mem_num "parent_span" (P.request_to_json root) = None);
+  (match P.request_of_string (P.request_to_string root) with
+  | Ok r' -> check_true "omitted parent reads back as 0" (root = r')
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* The server echoes the context; response_trace reads it back. *)
+  let resp =
+    P.Failed { id = "w"; reason = "x"; trace = r.P.trace }
+  in
+  (match P.response_of_string (P.response_to_string resp) with
+  | Ok r' -> check_true "response echo read back" (P.response_trace r' = r.P.trace)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e)
+
+let test_metrics_op_scrape () =
+  let slo = Bg_serve.Slo.create [ Bg_serve.Slo.Error_rate 0.5 ] in
+  let lineage =
+    { Server.restarts = 2;
+      supervisor_started_s = Obs.now_s () -. 10.;
+      prior_uptime_s = 5. }
+  in
+  let t = engine ~store:(Store.open_ ()) ~slo ~lineage () in
+  let now = Obs.now_s () in
+  ignore (Server.process_batch t [ (req P.Zeta, now) ]);
+  match Server.process_batch ~queue_depth:3 t
+          [ ({ P.id = "m"; op = P.Metrics; space = None; trace = None }, now) ]
+  with
+  | [ P.Done { op_name = "metrics"; result; _ } ] ->
+      check_true "queue depth echoed"
+        (J.mem_num "queue_depth" result = Some 3.);
+      let stats = Option.get (J.member "stats" result) in
+      check_true "computed count present"
+        (J.mem_num "computed" stats = Some 1.);
+      (match J.member "counters" result with
+      | Some (J.Obj kvs) ->
+          check_true "registry counters scraped"
+            (List.mem_assoc "serve.accepted" kvs)
+      | _ -> Alcotest.fail "counters object missing");
+      (match J.member "histograms" result with
+      | Some (J.Obj kvs) -> (
+          match List.assoc_opt "serve.latency_s" kvs with
+          | Some h ->
+              check_true "latency histogram has quantiles"
+                (J.mem_num "p99" h <> None)
+          | None -> Alcotest.fail "serve.latency_s missing")
+      | _ -> Alcotest.fail "histograms object missing");
+      check_true "supervisor lineage included"
+        (J.mem_num "restarts" result = Some 2.);
+      check_true "prior incarnations counted"
+        (Option.get (J.mem_num "total_uptime_s" result) >= 5.);
+      (match J.member "slo" result with
+      | Some (J.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "slo statuses missing");
+      check_true "slo verdict summarized"
+        (J.mem_bool "slo_healthy" result = Some true)
+  | other ->
+      Alcotest.failf "unexpected metrics answer: %s"
+        (String.concat " | " (List.map P.response_to_string other))
+
+let test_lineage_in_ping () =
+  let lineage =
+    { Server.restarts = 3;
+      supervisor_started_s = Obs.now_s () -. 60.;
+      prior_uptime_s = 42. }
+  in
+  let t = engine ~lineage () in
+  let ping = { P.id = "hp"; op = P.Ping; space = None; trace = None } in
+  match Server.process_batch t [ (ping, Obs.now_s ()) ] with
+  | [ P.Done { result; _ } ] ->
+      check_true "restart count rides every ping"
+        (J.mem_num "restarts" result = Some 3.);
+      check_true "supervisor uptime reported"
+        (Option.get (J.mem_num "supervisor_uptime_s" result) >= 59.);
+      check_true "total uptime spans incarnations"
+        (Option.get (J.mem_num "total_uptime_s" result) >= 42.)
+  | _ -> Alcotest.fail "expected a ping answer"
+
+let test_supervisor_lineage_env_round_trip () =
+  Unix.putenv Bg_serve.Supervisor.lineage_env "4";
+  Unix.putenv Bg_serve.Supervisor.started_env "123.5";
+  Unix.putenv Bg_serve.Supervisor.prior_uptime_env "7.25";
+  (match Bg_serve.Supervisor.read_lineage () with
+  | Some (4, 123.5, 7.25) -> ()
+  | Some (r, s, p) ->
+      Alcotest.failf "lineage misread: %d %g %g" r s p
+  | None -> Alcotest.fail "lineage env not read");
+  (* Malformed values degrade to zero, never to an exception. *)
+  Unix.putenv Bg_serve.Supervisor.started_env "not-a-float";
+  (match Bg_serve.Supervisor.read_lineage () with
+  | Some (4, 0., 7.25) -> ()
+  | _ -> Alcotest.fail "malformed float should degrade to 0");
+  Unix.putenv Bg_serve.Supervisor.lineage_env ""
+
+let test_slo_spec_and_burn () =
+  (* Grammar: quantile + threshold, error rate with % sugar. *)
+  (match Bg_serve.Slo.parse_spec "p99<=0.05,err<=10%" with
+  | Ok [ Bg_serve.Slo.Latency { quantile; threshold_s };
+         Bg_serve.Slo.Error_rate e ] ->
+      check_float ~eps:1e-9 "p99 quantile" 0.99 quantile;
+      check_float ~eps:1e-9 "threshold seconds" 0.05 threshold_s;
+      check_float ~eps:1e-9 "percent sugar" 0.1 e
+  | Ok _ -> Alcotest.fail "wrong objectives"
+  | Error e -> Alcotest.failf "spec rejected: %s" e);
+  check_true "empty spec is an error"
+    (match Bg_serve.Slo.parse_spec "" with Error _ -> true | Ok _ -> false);
+  check_true "nonsense rejected"
+    (match Bg_serve.Slo.parse_spec "p99<=fast" with
+    | Error _ -> true
+    | Ok _ -> false);
+  (* 100 samples, 2 slow ones against a p99 objective: the 1% budget is
+     being burned at exactly 2x. *)
+  let samples =
+    List.init 100 (fun i -> if i < 2 then (1., true) else (0.001, true))
+  in
+  (match Bg_serve.Slo.parse_spec "p99<=0.05" with
+  | Ok spec -> (
+      match Bg_serve.Slo.eval_samples spec samples with
+      | [ st ] ->
+          check_int "bad events" 2 st.Bg_serve.Slo.window_bad;
+          check_float ~eps:1e-9 "burn rate 2x" 2. st.Bg_serve.Slo.window_burn;
+          check_true "2x burn is a violation"
+            (Bg_serve.Slo.violated [ st ]);
+          (* A failed request is bad for latency objectives too. *)
+          (match Bg_serve.Slo.eval_samples spec [ (0.001, false) ] with
+          | [ st ] -> check_int "failure counts as bad" 1 st.Bg_serve.Slo.window_bad
+          | _ -> Alcotest.fail "one objective expected")
+      | _ -> Alcotest.fail "one objective expected")
+  | Error e -> Alcotest.failf "spec rejected: %s" e);
+  (* Bucket-resolution scoring for recorded telemetry. *)
+  let b_slow = Obs.bucket_of 1.0 and b_fast = Obs.bucket_of 0.001 in
+  check_int "buckets above the threshold count as bad" 3
+    (Bg_serve.Slo.bad_latency_of_buckets ~threshold_s:0.05
+       [ (b_fast, 97); (b_slow, 3) ]);
+  check_int "threshold's own bucket counts as good" 0
+    (Bg_serve.Slo.bad_latency_of_buckets ~threshold_s:1.5 [ (b_slow, 3) ])
+
+let test_telemetry_ring_and_deltas () =
+  check_int "monotonic counter delta" 5 (Bg_serve.Telemetry.delta ~prev:10 ~cur:15);
+  check_int "reset counter yields the new count" 3
+    (Bg_serve.Telemetry.delta ~prev:10 ~cur:3);
+  check_float ~eps:1e-9 "float accumulator reset clamps" 0.5
+    (Bg_serve.Telemetry.delta_f ~prev:2. ~cur:0.5);
+  let path = Filename.temp_file "bg_telemetry_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let c = Obs.counter "test.serve.telemetry_ring" in
+      let tel = Bg_serve.Telemetry.create ~interval_s:0.001 path in
+      Obs.add c 2;
+      Bg_serve.Telemetry.force_snapshot tel;
+      Obs.add c 3;
+      Bg_serve.Telemetry.force_snapshot tel;
+      Bg_serve.Telemetry.close tel;
+      let lines =
+        J.parse_lines (J.read_file path)
+        |> List.filter (fun l -> J.mem_str "type" l = Some "telemetry")
+      in
+      check_int "two snapshots recorded" 2 (List.length lines);
+      let counter_of line =
+        match J.member "counters" line with
+        | Some (J.Obj kvs) -> List.assoc "test.serve.telemetry_ring" kvs
+        | _ -> Alcotest.fail "counters missing"
+      in
+      match lines with
+      | [ a; b ] ->
+          check_true "seq increments"
+            (J.mem_num "seq" b > J.mem_num "seq" a);
+          check_true "first snapshot carries the full count as delta"
+            (J.mem_num "delta" (counter_of a) = Some 2.);
+          check_true "second snapshot carries only the new activity"
+            (J.mem_num "delta" (counter_of b) = Some 3.);
+          check_true "cumulative value rides along"
+            (J.mem_num "value" (counter_of b) = Some 5.)
+      | _ -> Alcotest.fail "expected two lines")
+
+let test_prometheus_rendering () =
+  let text =
+    Bg_serve.Telemetry.prometheus
+      [ ("serve.accepted", Obs.Counter_snapshot 7);
+        ("serve.queue_depth", Obs.Gauge_snapshot 2.5);
+        ( "serve.latency_s",
+          Obs.Histogram_snapshot { count = 2; sum = 0.25; buckets = [] } ) ]
+  in
+  let has needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i =
+      i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle -> check_true (needle ^ " present") (has needle))
+    [ "# TYPE serve_accepted counter"; "serve_accepted 7";
+      "serve_queue_depth 2.5"; "serve_latency_s_count 2";
+      "serve_latency_s_sum 0.25"; "serve_latency_s_bucket{le=\"+Inf\"} 0" ]
+
 let suite =
   [
     ( "serve.protocol",
@@ -1084,6 +1306,18 @@ let suite =
       [
         case "warm restart hits the persisted cache"
           test_warm_restart_hits_persisted_cache;
+      ] );
+    ( "serve.observability",
+      [
+        case "trace context on the wire" test_trace_context_on_the_wire;
+        case "metrics op scrapes the registry" test_metrics_op_scrape;
+        case "lineage rides every ping" test_lineage_in_ping;
+        case "supervisor lineage env round-trips"
+          test_supervisor_lineage_env_round_trip;
+        case "slo spec grammar and burn rates" test_slo_spec_and_burn;
+        case "telemetry ring deltas, reset clamp"
+          test_telemetry_ring_and_deltas;
+        case "prometheus text rendering" test_prometheus_rendering;
       ] );
     ( "serve.e2e",
       [

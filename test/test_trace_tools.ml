@@ -420,6 +420,118 @@ let test_jsonl_emitter_round_trip () =
         (Jsonl.parse (Jsonl.to_string line) = line))
     (Jsonl.parse_lines (Jsonl.read_file (fixture "golden_trace.jsonl")))
 
+(* ------------------------------------------------- cross-process merge *)
+
+(* A two-process request: the client reserved span id 5 for its attempt
+   and put it on the wire; the server's serve.request carries both the
+   trace_id and that parent_span.  Both processes happen to reuse the
+   same small span ids — the merge must keep them apart. *)
+let client_spans =
+  [
+    mk ~id:5 ~parent:10 ~name:"client.attempt"
+      ~attrs:[ ("trace_id", Jsonl.Str "t1") ]
+      ~start:0.1 ~dur:0.4 ();
+    mk ~id:10 ~parent:0 ~name:"client.request"
+      ~attrs:[ ("trace_id", Jsonl.Str "t1") ]
+      ~start:0.1 ~dur:0.5 ();
+  ]
+
+let server_spans =
+  [
+    mk ~id:3 ~parent:7 ~name:"serve.kernel" ~start:0.25 ~dur:0.1 ();
+    (* Locally nested under the server's batch span: the wire parent
+       must override this process-local grouping. *)
+    mk ~id:7 ~parent:9 ~name:"serve.request"
+      ~attrs:[ ("trace_id", Jsonl.Str "t1"); ("parent_span", Jsonl.Num 5.) ]
+      ~start:0.2 ~dur:0.2 ();
+    mk ~id:9 ~parent:0 ~name:"serve.batch" ~start:0.2 ~dur:0.3 ();
+  ]
+
+let find_span name spans = List.find (fun s -> s.Trace.name = name) spans
+
+let test_merge_stitches_processes () =
+  let merged = Trace.merge [ client_spans; server_spans ] in
+  check_int "no span lost" 5 (List.length merged);
+  let ids = List.map (fun s -> s.Trace.id) merged in
+  check_int "remapped ids stay distinct" 5
+    (List.length (List.sort_uniq compare ids));
+  let attempt = find_span "client.attempt" merged in
+  let request = find_span "client.request" merged in
+  let serve = find_span "serve.request" merged in
+  let kernel = find_span "serve.kernel" merged in
+  check_int "wire parent_span overrides the local batch nesting"
+    attempt.Trace.id serve.Trace.parent;
+  check_int "local nesting survives the remap" request.Trace.id
+    attempt.Trace.parent;
+  check_int "server-local child follows its parent" serve.Trace.id
+    kernel.Trace.parent;
+  (* One tree with one root per request once filtered to its trace id. *)
+  let t1 = Trace.filter_trace ~id:"t1" merged in
+  check_int "request tree is complete" 4 (List.length t1);
+  check_int "exactly one root per request" 1
+    (List.length (List.filter (fun s -> s.Trace.parent = 0) t1))
+
+let test_merge_degrades_without_target () =
+  (* Server file alone: the wire parent lives in an absent client file —
+     the span keeps its process-local parent instead of being dropped or
+     orphaned. *)
+  let merged = Trace.merge [ server_spans ] in
+  check_int "nothing dropped" 3 (List.length merged);
+  check_int "remote child keeps its local batch parent"
+    (find_span "serve.batch" merged).Trace.id
+    (find_span "serve.request" merged).Trace.parent
+
+let test_filter_trace_follows_descendants () =
+  let noise =
+    [
+      mk ~id:2 ~parent:0 ~name:"client.request"
+        ~attrs:[ ("trace_id", Jsonl.Str "t2") ]
+        ();
+      mk ~id:4 ~parent:0 ~name:"analyze" ();
+    ]
+  in
+  let merged = Trace.merge [ client_spans; server_spans; noise ] in
+  let t1 = Trace.filter_trace ~id:"t1" merged in
+  check_int "t1 keeps its four spans" 4 (List.length t1);
+  check_true "untagged kernel child follows its parent"
+    (List.exists (fun s -> s.Trace.name = "serve.kernel") t1);
+  check_true "other traces excluded"
+    (not (List.exists (fun s -> Trace.trace_id s = Some "t2") t1));
+  check_int "t2 is just its root" 1
+    (List.length (Trace.filter_trace ~id:"t2" merged));
+  check_int "unknown trace id is empty" 0
+    (List.length (Trace.filter_trace ~id:"zzz" merged))
+
+let test_kinds_sorted_distinct () =
+  check_true "kinds are sorted distinct names"
+    (Trace.kinds (client_spans @ client_spans)
+    = [ "client.attempt"; "client.request" ]);
+  (* The disjoint check `bg trace diff` applies. *)
+  let inter =
+    List.filter
+      (fun k -> List.mem k (Trace.kinds server_spans))
+      (Trace.kinds client_spans)
+  in
+  check_int "client and server kinds are disjoint" 0 (List.length inter)
+
+let test_tree_table_renders_merge () =
+  let merged = Trace.merge [ client_spans; server_spans ] in
+  let rendered =
+    Core.Prelude.Table.render
+      (Trace.tree_table ~title:"causal tree: t1"
+         (Trace.filter_trace ~id:"t1" merged))
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec go i =
+      i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle -> check_true (needle ^ " rendered") (contains needle))
+    [ "client.request"; "serve.kernel" ]
+
 let suite =
   [
     ( "trace_tools.report",
@@ -440,6 +552,18 @@ let suite =
         case "diff against itself is all-zero" test_diff_self_is_zero;
         case "diff orders regressions, marks new kinds"
           test_diff_orders_regressions;
+      ] );
+    ( "trace_tools.merge",
+      [
+        case "merge stitches client + server" test_merge_stitches_processes;
+        case "merge degrades without its target"
+          test_merge_degrades_without_target;
+        case "filter_trace follows descendants"
+          test_filter_trace_follows_descendants;
+        case "kinds sorted, disjointness detectable"
+          test_kinds_sorted_distinct;
+        case "tree_table renders the causal tree"
+          test_tree_table_renders_merge;
       ] );
     ( "trace_tools.regress",
       [
